@@ -1,0 +1,88 @@
+// Ablation: double-buffered in-place row update vs ping-pong rows.
+//
+// The warp-synchronous kernel updates its DP row IN PLACE: before writing
+// a 32-cell group it reads the next group's diagonal dependencies into
+// registers (Fig. 5 steps 1-4), protecting the one boundary cell the
+// write would clobber.  The alternative that needs no such care is
+// ping-pong buffering — two rows per warp, read row A, write row B —
+// which costs double the per-warp shared memory and therefore occupancy.
+// This ablation prices that choice across model sizes: same instruction
+// stream, half the resident warps.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace finehmm;
+using namespace finehmm::bench;
+
+int main() {
+  auto k40 = simt::DeviceSpec::tesla_k40();
+  std::printf(
+      "Ablation: in-place double-buffered rows vs ping-pong rows (MSV,\n"
+      "shared parameters, %s)\n\n", k40.name.c_str());
+  TextTable table({"HMM size", "in-place occ", "ping-pong occ",
+                   "in-place x", "ping-pong x", "penalty"});
+
+  for (int M : paper_sizes()) {
+    auto db = sample_database(DbPreset::envnr(), M, bench_cell_budget() / 2);
+    bio::PackedDatabase packed(db);
+    auto model = hmm::paper_model(M);
+    hmm::SearchProfile prof(model, hmm::AlignMode::kLocalMultihit, 400);
+    profile::MsvProfile msv(prof);
+
+    auto in_place =
+        measure_msv(k40, msv, packed, gpu::ParamPlacement::kShared,
+                    kEnvnrResidues);
+    if (!in_place.feasible) {
+      table.add_row({std::to_string(M), "n/a", "n/a", "n/a", "n/a", "-"});
+      continue;
+    }
+
+    // Ping-pong variant: identical counters, but the block needs TWO rows
+    // per warp; re-plan the launch under that footprint.
+    const int mpad = msv.padded_length();
+    gpu::LaunchPlan best;
+    for (int warps = 1; warps <= k40.max_warps_per_sm; warps *= 2) {
+      gpu::MsvSmemLayout l;
+      l.mpad = mpad;
+      l.warps = warps;
+      l.shared_params = true;
+      std::size_t smem = l.total_bytes() +
+                         static_cast<std::size_t>(warps) * l.row_elems();
+      if (smem > k40.shared_mem_per_block) continue;
+      simt::KernelResources res;
+      res.regs_per_thread = gpu::kMsvRegsPerThread;
+      res.smem_per_block = smem;
+      res.threads_per_block = warps * simt::kWarpSize;
+      auto occ = simt::compute_occupancy(k40, res);
+      if (occ.warps_per_sm > best.occ.warps_per_sm) {
+        best.feasible = true;
+        best.occ = occ;
+        best.cfg.warps_per_block = warps;
+      }
+    }
+    if (!best.feasible) {
+      table.add_row({std::to_string(M),
+                     TextTable::pct(in_place.occupancy, 0), "n/a",
+                     TextTable::num(in_place.speedup()), "n/a", "inf"});
+      continue;
+    }
+    auto pp_time = perf::extrapolate(
+        perf::estimate_gpu_time(k40, in_place.run.counters, best.occ,
+                                best.cfg.warps_per_block),
+        kEnvnrResidues /
+            static_cast<double>(packed.total_residues()));
+    double pp_speedup = in_place.cpu_time / pp_time.total_s;
+    table.add_row(
+        {std::to_string(M), TextTable::pct(in_place.occupancy, 0),
+         TextTable::pct(best.occ.fraction, 0),
+         TextTable::num(in_place.speedup()), TextTable::num(pp_speedup),
+         TextTable::num(in_place.speedup() / pp_speedup, 2) + "x"});
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::printf(
+      "\nThe in-place update is free where occupancy is not shared-memory\n"
+      "bound, and worth up to the full occupancy ratio where it is — the\n"
+      "reason Fig. 5's register double-buffering exists at all.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Ablation: parallel Lazy-F (paper §III-B, Fig. 7).
+//
+// The D->D chain is the only sequential dependency in the P7Viterbi row.
+// Lazy-F evaluates it optimistically: one vote per 32-position group, with
+// extra iterations only where the D->D path actually improves a score.
+// We sweep the model's delete-extension probability and report how many
+// extra iterations fire, against the "eager" alternative that would
+// propagate all 32 steps in every group (what a full serial evaluation
+// costs), and against the paper's future-work prefix-sum bound of log2(32)
+// = 5 steps per group.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace finehmm;
+using namespace finehmm::bench;
+
+int main() {
+  auto k40 = simt::DeviceSpec::tesla_k40();
+  const int M = 256;
+
+  std::printf("Ablation: parallel Lazy-F iteration counts (P7Viterbi, M=%d)\n",
+              M);
+  std::printf("groups/row = %d; eager evaluation = 32 iters/group, "
+              "prefix-sum bound = 5\n\n",
+              (M + 31) / 32);
+  TextTable table({"delete-extend", "iters/group", "lazy-F speedup vs eager",
+                   "est time", "vs lazy"});
+
+  for (double dd : {0.05, 0.3, 0.5, 0.7, 0.85, 0.95}) {
+    hmm::RandomHmmSpec spec;
+    spec.length = M;
+    spec.seed = 1234;
+    spec.indel_open = 0.02;  // Pfam-like M->D opening rate
+    spec.delete_extend = dd;
+    auto model = hmm::generate_hmm(spec);
+    hmm::SearchProfile prof(model, hmm::AlignMode::kLocalMultihit, 400);
+    profile::VitProfile vit(prof);
+    auto db = sample_database(DbPreset::swissprot(), M,
+                              bench_cell_budget() / 4);
+    bio::PackedDatabase packed(db);
+
+    gpu::GpuSearch search(k40);
+    auto run = search.run_vit(vit, packed, gpu::ParamPlacement::kShared);
+    auto lazy_t = perf::estimate_gpu_time(k40, run.counters, run.plan.occ,
+                                          run.plan.cfg.warps_per_block);
+
+    double groups = static_cast<double>(run.counters.residues) *
+                    ((M + 31) / 32);
+    double iters_per_group =
+        static_cast<double>(run.counters.lazyf_inner) / groups;
+
+    // Eager variant: every group runs all 32 propagation iterations
+    // (1 shuffle + 1 add + 1 vote + 1 max each).
+    simt::PerfCounters eager = run.counters;
+    double extra_iters = groups * 32.0 -
+                         static_cast<double>(run.counters.lazyf_inner);
+    eager.shuffles += static_cast<std::uint64_t>(extra_iters);
+    eager.alu += static_cast<std::uint64_t>(2.0 * extra_iters);
+    eager.votes += static_cast<std::uint64_t>(extra_iters);
+    auto eager_t = perf::estimate_gpu_time(k40, eager, run.plan.occ,
+                                           run.plan.cfg.warps_per_block);
+
+    table.add_row({TextTable::num(dd), TextTable::num(iters_per_group),
+                   TextTable::num(eager_t.total_s / lazy_t.total_s) + "x",
+                   TextTable::num(lazy_t.total_s * 1e3, 2) + " ms",
+                   "1.00x"});
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::printf(
+      "\nLow delete-extension models converge after the single mandatory\n"
+      "check; even at 95%% extension the warp-vote loop stays far below\n"
+      "eager evaluation.  The paper's future work proposes prefix sums to\n"
+      "bound the worst case at log2(32) iterations (§VI).\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Ablation: residue packing (paper §III-A, Fig. 6).
+//
+// Packing six 5-bit residues per 32-bit word cuts the per-sequence
+// streaming traffic 6x: each warp issues one coalesced transaction per 6
+// rows instead of one per row.  We measure the packed kernel's counters
+// and reconstruct the unpacked variant's traffic (identical compute,
+// byte-per-residue fetches) to price the difference.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace finehmm;
+using namespace finehmm::bench;
+
+int main() {
+  auto k40 = simt::DeviceSpec::tesla_k40();
+  const int M = 400;
+  auto model = hmm::paper_model(M);
+  hmm::SearchProfile prof(model, hmm::AlignMode::kLocalMultihit, 400);
+  profile::MsvProfile msv(prof);
+  auto db = sample_database(DbPreset::envnr(), M, bench_cell_budget());
+  bio::PackedDatabase packed(db);
+
+  gpu::GpuSearch search(k40);
+  auto run = search.run_msv(msv, packed, gpu::ParamPlacement::kShared);
+  auto packed_t = perf::estimate_gpu_time(k40, run.counters, run.plan.occ,
+                                          run.plan.cfg.warps_per_block);
+
+  // Unpacked variant: one 32-byte transaction per residue row instead of
+  // per 6 rows; everything else identical.
+  simt::PerfCounters unpacked = run.counters;
+  std::uint64_t word_tx = (run.counters.residues + 5) / 6;
+  std::uint64_t residue_tx = run.counters.residues;
+  unpacked.gmem_transactions += residue_tx - word_tx;
+  unpacked.gmem_bytes += (residue_tx - word_tx) * 32;
+  auto unpacked_t = perf::estimate_gpu_time(k40, unpacked, run.plan.occ,
+                                            run.plan.cfg.warps_per_block);
+
+  std::printf("Ablation: residue packing (MSV, M=%d, %llu residues)\n\n", M,
+              static_cast<unsigned long long>(run.counters.residues));
+  TextTable table({"variant", "gmem transactions", "gmem bytes", "est time",
+                   "relative"});
+  table.add_row({"packed 6/word",
+                 std::to_string(run.counters.gmem_transactions),
+                 std::to_string(run.counters.gmem_bytes),
+                 TextTable::num(packed_t.total_s * 1e3, 2) + " ms", "1.00x"});
+  table.add_row({"unpacked 1/residue",
+                 std::to_string(unpacked.gmem_transactions),
+                 std::to_string(unpacked.gmem_bytes),
+                 TextTable::num(unpacked_t.total_s * 1e3, 2) + " ms",
+                 TextTable::num(unpacked_t.total_s / packed_t.total_s) + "x"});
+  std::fputs(table.str().c_str(), stdout);
+
+  // Isolate the residue stream itself (at production scale it dominates;
+  // in this small sample the per-block parameter staging is
+  // over-represented, so the total ratio understates the 6x).
+  std::uint64_t stream_packed = 0, stream_unpacked = 0;
+  for (std::size_t s = 0; s < packed.size(); ++s) {
+    stream_packed += packed.word_count(s);   // one 32B tx per word
+    stream_unpacked += packed.length(s);     // one 32B tx per residue
+  }
+  std::printf(
+      "\nResidue-stream transactions: packed %llu vs unpacked %llu "
+      "(%.2fx)\n",
+      static_cast<unsigned long long>(stream_packed),
+      static_cast<unsigned long long>(stream_unpacked),
+      static_cast<double>(stream_unpacked) /
+          static_cast<double>(stream_packed));
+  std::printf(
+      "Total-traffic ratio in this sampled run: %.2fx (parameter staging\n"
+      "and result write-backs, amortized away at database scale, dilute\n"
+      "the stream's 6x here).\n",
+      static_cast<double>(unpacked.gmem_bytes) /
+          static_cast<double>(run.counters.gmem_bytes));
+  return 0;
+}

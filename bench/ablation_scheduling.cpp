@@ -1,0 +1,79 @@
+// Ablation: dynamic work queue vs static sequence assignment (tier (c)
+// of the three-tiered parallelization, §III-C).
+//
+// Sequence lengths vary wildly (log-normal), so statically assigning
+// sequence i to warp i%W leaves some warps grinding long sequences while
+// others idle — the load-imbalance problem [7] solved here by the global
+// ticket queue ("a single warp ... automatically continues working on the
+// next available sequence").  We quantify it: per-warp total residues
+// under static round-robin vs the near-perfect balance of dynamic
+// fetching, and the resulting wall-clock ratio (the slowest warp gates
+// the launch tail).
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace finehmm;
+using namespace finehmm::bench;
+
+int main() {
+  const int M = 400;
+  auto k40 = simt::DeviceSpec::tesla_k40();
+  auto plan = gpu::plan_launch(gpu::Stage::kMsv,
+                               gpu::ParamPlacement::kShared, M, k40);
+  const std::size_t n_warps =
+      static_cast<std::size_t>(plan.cfg.grid_blocks) *
+      plan.cfg.warps_per_block;
+
+  std::printf("Ablation: warp scheduling, MSV M=%d, %zu resident warps\n\n",
+              M, n_warps);
+  TextTable table({"database", "sequences", "static max/mean", "dynamic max/mean",
+                   "static slowdown"});
+
+  for (const auto& preset : {DbPreset::swissprot(), DbPreset::envnr()}) {
+    // Scheduling effects need many sequences per warp; size the sample by
+    // warp count, not by the DP-cell budget.
+    auto spec = preset.spec(1e-6);
+    spec.n_sequences = n_warps * 24;
+    auto db = bio::generate_database(spec);
+    std::vector<std::uint64_t> static_load(n_warps, 0);
+    std::vector<std::uint64_t> dynamic_load(n_warps, 0);
+
+    // Static: sequence i -> warp i % W.
+    for (std::size_t s = 0; s < db.size(); ++s)
+      static_load[s % n_warps] += db[s].length();
+
+    // Dynamic: greedy ticket queue — each sequence goes to the warp that
+    // frees up first (equivalent to the atomic-counter queue when
+    // per-sequence cost ~ length).
+    for (std::size_t s = 0; s < db.size(); ++s) {
+      auto it = std::min_element(dynamic_load.begin(), dynamic_load.end());
+      *it += db[s].length();
+    }
+
+    auto ratio = [&](const std::vector<std::uint64_t>& load) {
+      std::uint64_t mx = 0, total = 0;
+      for (auto v : load) {
+        mx = std::max(mx, v);
+        total += v;
+      }
+      double mean = static_cast<double>(total) / load.size();
+      return mean > 0 ? static_cast<double>(mx) / mean : 1.0;
+    };
+
+    double rs = ratio(static_load);
+    double rd = ratio(dynamic_load);
+    table.add_row({preset.name, std::to_string(db.size()),
+                   TextTable::num(rs), TextTable::num(rd),
+                   TextTable::num(rs / rd) + "x"});
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::printf(
+      "\nThe slowest warp gates the tail of a launch, so the static\n"
+      "max/mean ratio is a lower bound on the schedule-induced slowdown\n"
+      "the dynamic queue removes.  Imbalance grows with length variance\n"
+      "and shrinks with sequences-per-warp.\n");
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Shared machinery for the figure-reproduction benches.
+//
+// Strategy (documented in EXPERIMENTS.md): the functional SIMT simulator
+// executes each kernel on a *sample* of the synthetic database — enough
+// sequences for stable per-cell counter statistics — and the analytic cost
+// model extrapolates to the paper's full database size (171.7M residues
+// for Swissprot, 1.29G for Env_nr), which is valid because these are
+// streaming kernels whose counters grow linearly in DP cells.  The CPU
+// baseline is the modeled quad-core SSE HMMER 3.0 (see perf::CostModelParams).
+//
+// Environment knobs:
+//   FINEHMM_BENCH_CELLS   sampled DP-cell budget per configuration
+//                         (default 8e6; raise for tighter statistics)
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bio/packing.hpp"
+#include "bio/synthetic.hpp"
+#include "gpu/search.hpp"
+#include "hmm/generator.hpp"
+#include "hmm/profile.hpp"
+#include "perf/cost_model.hpp"
+#include "pipeline/workload.hpp"
+#include "util/table.hpp"
+
+namespace finehmm::bench {
+
+/// The paper's full database sizes (total residues).
+inline constexpr double kSwissprotResidues = 171731281.0;
+inline constexpr double kEnvnrResidues = 1290247663.0;
+
+struct DbPreset {
+  std::string name;
+  double full_residues;
+  bio::SyntheticDbSpec spec(double scale) const {
+    return name == "Swissprot" ? bio::SyntheticDbSpec::swissprot_like(scale)
+                               : bio::SyntheticDbSpec::envnr_like(scale);
+  }
+  static DbPreset swissprot() { return {"Swissprot", kSwissprotResidues}; }
+  static DbPreset envnr() { return {"Envnr", kEnvnrResidues}; }
+};
+
+inline double bench_cell_budget() {
+  if (const char* env = std::getenv("FINEHMM_BENCH_CELLS"))
+    return std::atof(env);
+  return 8e6;
+}
+
+/// Generate a sample database with roughly `cell_budget / M` residues.
+inline bio::SequenceDatabase sample_database(const DbPreset& preset, int M,
+                                             double cell_budget) {
+  double want_residues = cell_budget / static_cast<double>(M);
+  auto probe = preset.spec(1e-6);
+  double mean_len = probe.expected_mean_length();
+  std::size_t n = static_cast<std::size_t>(want_residues / mean_len);
+  if (n < 24) n = 24;
+  auto spec = probe;
+  spec.n_sequences = n;
+  return bio::generate_database(spec);
+}
+
+/// One stage measurement: functional sample run + extrapolated times.
+struct StageMeasurement {
+  gpu::StageResult run;          // counters of the sampled run
+  perf::TimeEstimate gpu_time;   // extrapolated to the full database
+  double cpu_time = 0.0;         // modeled CPU baseline, full database
+  double occupancy = 0.0;
+  bool feasible = false;
+  double speedup() const {
+    return gpu_time.total_s > 0.0 ? cpu_time / gpu_time.total_s : 0.0;
+  }
+};
+
+/// Run the MSV stage of size-M model over a sampled preset database on
+/// `dev`, extrapolated to the preset's full residue count.
+inline StageMeasurement measure_msv(const simt::DeviceSpec& dev,
+                                    const profile::MsvProfile& prof,
+                                    const bio::PackedDatabase& packed,
+                                    gpu::ParamPlacement placement,
+                                    double full_residues) {
+  StageMeasurement m;
+  auto plan = gpu::plan_launch(gpu::Stage::kMsv, placement, prof.length(), dev);
+  if (!plan.feasible) return m;
+  m.feasible = true;
+  gpu::GpuSearch search(dev);
+  m.run = search.run_msv(prof, packed, placement);
+  double factor =
+      full_residues / static_cast<double>(packed.total_residues());
+  auto sampled = perf::estimate_gpu_time(dev, m.run.counters, m.run.plan.occ,
+                                         m.run.plan.cfg.warps_per_block);
+  m.gpu_time = perf::extrapolate(sampled, factor);
+  m.cpu_time = perf::estimate_cpu_time(
+      perf::CpuStage::kMsv,
+      static_cast<double>(m.run.counters.cells) * factor);
+  m.occupancy = m.run.plan.occ.fraction;
+  return m;
+}
+
+/// Same for the P7Viterbi stage (run over all sampled sequences; the
+/// stage speedup is input-set invariant).
+inline StageMeasurement measure_vit(const simt::DeviceSpec& dev,
+                                    const profile::VitProfile& prof,
+                                    const bio::PackedDatabase& packed,
+                                    gpu::ParamPlacement placement,
+                                    double full_residues) {
+  StageMeasurement m;
+  auto plan =
+      gpu::plan_launch(gpu::Stage::kViterbi, placement, prof.length(), dev);
+  if (!plan.feasible) return m;
+  m.feasible = true;
+  gpu::GpuSearch search(dev);
+  m.run = search.run_vit(prof, packed, placement);
+  double factor =
+      full_residues / static_cast<double>(packed.total_residues());
+  auto sampled = perf::estimate_gpu_time(dev, m.run.counters, m.run.plan.occ,
+                                         m.run.plan.cfg.warps_per_block);
+  m.gpu_time = perf::extrapolate(sampled, factor);
+  m.cpu_time = perf::estimate_cpu_time(
+      perf::CpuStage::kViterbi,
+      static_cast<double>(m.run.counters.cells) * factor);
+  m.occupancy = m.run.plan.occ.fraction;
+  return m;
+}
+
+/// The model sizes of Figs. 9-11.
+inline const std::vector<int>& paper_sizes() {
+  static const std::vector<int> sizes(std::begin(hmm::kPaperModelSizes),
+                                      std::end(hmm::kPaperModelSizes));
+  return sizes;
+}
+
+}  // namespace finehmm::bench

@@ -1,0 +1,102 @@
+// Figure 10 reproduction: overall speedup of the combined MSV + P7Viterbi
+// pipeline on a single Tesla K40, for Swissprot- and Env_nr-sized
+// databases across the eight paper model sizes.
+//
+// Overall time = MSV over the whole database + P7Viterbi over the MSV
+// survivors (the filter pass rate is measured on the sampled database
+// with calibrated P-value thresholds, then applied to the full-scale
+// cell counts).  The paper reports peaks of 3.0x (Swissprot) and 3.8x
+// (Env_nr); Env_nr wins because its lower homology keeps the MSV:Viterbi
+// execution ratio higher (§V).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "pipeline/pipeline.hpp"
+
+using namespace finehmm;
+using namespace finehmm::bench;
+
+namespace {
+
+struct OverallResult {
+  double speedup = 0.0;
+  double pass_rate = 0.0;
+  const char* msv_cfg = "";
+  const char* vit_cfg = "";
+};
+
+OverallResult overall(const simt::DeviceSpec& dev, int M,
+                      const DbPreset& preset, double homolog_fraction) {
+  auto model = hmm::paper_model(M);
+
+  pipeline::WorkloadSpec wspec;
+  wspec.db = preset.spec(1e-6);
+  double mean_len = wspec.db.expected_mean_length();
+  wspec.db.n_sequences = std::max<std::size_t>(
+      48, static_cast<std::size_t>(bench_cell_budget() / M / mean_len));
+  wspec.homolog_fraction = homolog_fraction;
+  auto db = pipeline::make_workload(model, wspec);
+  bio::PackedDatabase packed(db);
+
+  // Analytic MSV pass rate: the calibrated P-value threshold passes
+  // thr.msv_p of the null sequences plus (virtually all of) the homologs.
+  // The sampled database is too small for a stable empirical rate at
+  // bench scale.
+  double pass = pipeline::Thresholds{}.msv_p + homolog_fraction;
+
+  hmm::SearchProfile prof(model, hmm::AlignMode::kLocalMultihit, 400);
+  profile::MsvProfile msv(prof);
+  profile::VitProfile vit(prof);
+
+  OverallResult out;
+  out.pass_rate = pass;
+
+  // Per-stage GPU measurements under both placements; optimal per stage.
+  double best_msv = 1e30, best_vit = 1e30;
+  double cpu_msv = 0.0, cpu_vit = 0.0;
+  for (auto placement :
+       {gpu::ParamPlacement::kShared, gpu::ParamPlacement::kGlobal}) {
+    auto m = measure_msv(dev, msv, packed, placement, preset.full_residues);
+    if (m.feasible && m.gpu_time.total_s < best_msv) {
+      best_msv = m.gpu_time.total_s;
+      cpu_msv = m.cpu_time;
+      out.msv_cfg = placement_name(placement);
+    }
+    auto v = measure_vit(dev, vit, packed, placement,
+                         preset.full_residues * pass);
+    if (v.feasible && v.gpu_time.total_s < best_vit) {
+      best_vit = v.gpu_time.total_s;
+      cpu_vit = v.cpu_time;
+      out.vit_cfg = placement_name(placement);
+    }
+  }
+  out.speedup = (cpu_msv + cpu_vit) / (best_msv + best_vit);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  auto k40 = simt::DeviceSpec::tesla_k40();
+  std::printf("Figure 10: overall MSV+P7Viterbi speedup on %s\n",
+              k40.name.c_str());
+
+  // Swissprot (curated) carries more homologs than metagenomic Env_nr.
+  const double hom_swiss = 0.02, hom_env = 0.002;
+
+  TextTable table({"HMM size", "Swissprot", "Envnr", "SP pass", "ENV pass",
+                   "msv cfg", "vit cfg"});
+  for (int M : paper_sizes()) {
+    auto sp = overall(k40, M, DbPreset::swissprot(), hom_swiss);
+    auto env = overall(k40, M, DbPreset::envnr(), hom_env);
+    table.add_row({std::to_string(M), TextTable::num(sp.speedup),
+                   TextTable::num(env.speedup), TextTable::pct(sp.pass_rate),
+                   TextTable::pct(env.pass_rate), env.msv_cfg, env.vit_cfg});
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::printf(
+      "\nPaper reference: maxima of 3.0x (Swissprot) and 3.8x (Env_nr);\n"
+      "Env_nr wins because a lower homolog fraction keeps more of the\n"
+      "runtime in the faster-accelerating MSV stage (discussion, §V).\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Figure 11 reproduction: overall MSV+P7Viterbi speedup on four GTX 580s
+// (Fermi), plus the device-count scaling the paper calls "almost linear".
+//
+// Fermi differences exercised here (§IV-A): no warp shuffle (reductions
+// bounce through shared memory, raising shared traffic and footprint),
+// half the register file (32K vs 64K per SM), fewer warp slots.  The
+// database is partitioned across devices by residue count; wall clock is
+// the slowest device.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "pipeline/pipeline.hpp"
+
+using namespace finehmm;
+using namespace finehmm::bench;
+
+namespace {
+
+struct MultiResult {
+  double speedup = 0.0;
+};
+
+/// Overall speedup with the database split over n_dev Fermi GPUs.
+MultiResult multi_overall(int n_dev, int M, const DbPreset& preset,
+                          double homolog_fraction) {
+  auto fermi = simt::DeviceSpec::gtx580();
+  auto model = hmm::paper_model(M);
+
+  pipeline::WorkloadSpec wspec;
+  wspec.db = preset.spec(1e-6);
+  double mean_len = wspec.db.expected_mean_length();
+  wspec.db.n_sequences = std::max<std::size_t>(
+      64, static_cast<std::size_t>(bench_cell_budget() / M / mean_len));
+  wspec.homolog_fraction = homolog_fraction;
+  auto db = pipeline::make_workload(model, wspec);
+  bio::PackedDatabase packed(db);
+
+  // Analytic MSV pass rate (see fig10): threshold mass + homologs.
+  double pass = pipeline::Thresholds{}.msv_p + homolog_fraction;
+
+  hmm::SearchProfile prof(model, hmm::AlignMode::kLocalMultihit, 400);
+  profile::MsvProfile msv(prof);
+  profile::VitProfile vit(prof);
+
+  // Best placement per stage on one Fermi; the per-device share of the
+  // full workload is 1/n_dev (partitioning is residue-balanced, verified
+  // by tests), so each device's time is the single-device time / n_dev.
+  double best_msv = 1e30, best_vit = 1e30;
+  double cpu_msv = 0.0, cpu_vit = 0.0;
+  for (auto placement :
+       {gpu::ParamPlacement::kShared, gpu::ParamPlacement::kGlobal}) {
+    auto m = measure_msv(fermi, msv, packed, placement, preset.full_residues);
+    if (m.feasible && m.gpu_time.total_s < best_msv) {
+      best_msv = m.gpu_time.total_s;
+      cpu_msv = m.cpu_time;
+    }
+    auto v = measure_vit(fermi, vit, packed, placement,
+                         preset.full_residues * pass);
+    if (v.feasible && v.gpu_time.total_s < best_vit) {
+      best_vit = v.gpu_time.total_s;
+      cpu_vit = v.cpu_time;
+    }
+  }
+  // The slowest device bounds the wall clock: scale by the largest
+  // partition's residue share rather than the ideal 1/n.
+  auto parts = gpu::partition_by_residues(packed, n_dev);
+  std::uint64_t max_part = 0;
+  for (const auto& p : parts) {
+    std::uint64_t r = 0;
+    for (auto s : p) r += packed.length(s);
+    max_part = std::max(max_part, r);
+  }
+  double share = static_cast<double>(max_part) /
+                 static_cast<double>(packed.total_residues());
+
+  MultiResult out;
+  double gpu_time = (best_msv + best_vit) * share;
+  out.speedup = (cpu_msv + cpu_vit) / gpu_time;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 11: overall speedup on 4x GTX 580 (Fermi)\n");
+  const double hom_swiss = 0.02, hom_env = 0.002;
+
+  TextTable table({"HMM size", "Swissprot (4 GPU)", "Envnr (4 GPU)"});
+  for (int M : paper_sizes()) {
+    auto sp = multi_overall(4, M, DbPreset::swissprot(), hom_swiss);
+    auto env = multi_overall(4, M, DbPreset::envnr(), hom_env);
+    table.add_row({std::to_string(M), TextTable::num(sp.speedup),
+                   TextTable::num(env.speedup)});
+  }
+  std::fputs(table.str().c_str(), stdout);
+
+  // Device-count scaling at the paper's headline size.
+  std::printf("\nScaling with device count (Envnr, M=400):\n");
+  TextTable scaling({"devices", "overall speedup", "efficiency vs linear"});
+  double base = 0.0;
+  for (int n = 1; n <= 4; ++n) {
+    auto r = multi_overall(n, 400, DbPreset::envnr(), hom_env);
+    if (n == 1) base = r.speedup;
+    scaling.add_row({std::to_string(n), TextTable::num(r.speedup),
+                     TextTable::pct(r.speedup / (base * n))});
+  }
+  std::fputs(scaling.str().c_str(), stdout);
+  std::printf(
+      "\nPaper reference: up to 5.6x (Swissprot) and 7.8x (Env_nr) on four\n"
+      "GTX 580s, with near-linear scaling in the number of devices.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Expected speedup over the Pfam model-size distribution.
+//
+// §IV closes with: "As the majority of use-case models, about 98.9% of
+// Pfam database, have size less than 1002, the presented technique will
+// offer greater benefits to vast majority of common use cases."  This
+// bench makes that quantitative: it samples model sizes from the paper's
+// Pfam 27.0 statistics (84.5% <= 400, 14.4% in 401..1000, 1.1% > 1000),
+// runs the optimal-placement MSV stage at each sampled size, and reports
+// the distribution-weighted expected speedup.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace finehmm;
+using namespace finehmm::bench;
+
+namespace {
+
+int sample_pfam_size(Pcg32& rng) {
+  double u = rng.uniform();
+  if (u < 0.845) return 30 + static_cast<int>(rng.below(371));
+  if (u < 0.989) return 401 + static_cast<int>(rng.below(600));
+  return 1001 + static_cast<int>(rng.below(1405));
+}
+
+}  // namespace
+
+int main() {
+  auto k40 = simt::DeviceSpec::tesla_k40();
+  Pcg32 rng(777);
+  const int n_samples = 24;
+
+  std::printf("Expected MSV speedup over the Pfam 27.0 size distribution\n");
+  std::printf("(%d sampled families, optimal placement per size, %s)\n\n",
+              n_samples, k40.name.c_str());
+
+  std::vector<double> speedups;
+  double weighted = 0.0;
+  int small = 0, mid = 0, large = 0;
+  for (int i = 0; i < n_samples; ++i) {
+    int M = sample_pfam_size(rng);
+    (M <= 400 ? small : M <= 1000 ? mid : large) += 1;
+
+    auto db = sample_database(DbPreset::envnr(), M, bench_cell_budget() / 4);
+    bio::PackedDatabase packed(db);
+    auto model = hmm::paper_model(M);
+    hmm::SearchProfile prof(model, hmm::AlignMode::kLocalMultihit, 400);
+    profile::MsvProfile msv(prof);
+
+    double best = 0.0;
+    for (auto placement :
+         {gpu::ParamPlacement::kShared, gpu::ParamPlacement::kGlobal}) {
+      auto m = measure_msv(k40, msv, packed, placement, kEnvnrResidues);
+      if (m.feasible) best = std::max(best, m.speedup());
+    }
+    speedups.push_back(best);
+    weighted += best;
+  }
+  weighted /= n_samples;
+
+  std::sort(speedups.begin(), speedups.end());
+  std::printf("sampled sizes: %d small (<=400), %d mid (401..1000), "
+              "%d large (>1000)\n",
+              small, mid, large);
+  std::printf("expected speedup:   %.2fx\n", weighted);
+  std::printf("median / min / max: %.2fx / %.2fx / %.2fx\n",
+              speedups[speedups.size() / 2], speedups.front(),
+              speedups.back());
+  std::printf(
+      "\nThe distribution mass sits where the shared configuration runs at\n"
+      "full occupancy, so the typical Pfam family sees near-peak speedup —\n"
+      "the paper's \"greater benefits to [the] vast majority of common use\n"
+      "cases\".\n");
+  return 0;
+}

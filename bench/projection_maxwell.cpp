@@ -1,0 +1,51 @@
+// Architecture projection: how the paper's strategy ports forward.
+//
+// §IV-A demonstrates backward portability (Fermi); here we project the
+// other direction onto Maxwell (GTX 980, released months before the
+// paper): 96 KB of shared memory per SM doubles the resident-warp ceiling
+// of the shared-parameter configuration, so the occupancy cliff that
+// forces the shared->global switch moves to larger models.  The same
+// kernels, occupancy rules and cost model produce the whole table.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace finehmm;
+using namespace finehmm::bench;
+
+int main() {
+  std::printf("Projection: MSV shared-configuration occupancy and speedup\n");
+  std::printf("across GPU generations (Envnr-scale databases)\n\n");
+
+  TextTable table({"HMM size", "Fermi occ", "Kepler occ", "Maxwell occ",
+                   "Fermi x", "Kepler x", "Maxwell x"});
+
+  const simt::DeviceSpec devices[] = {simt::DeviceSpec::gtx580(),
+                                      simt::DeviceSpec::tesla_k40(),
+                                      simt::DeviceSpec::gtx980()};
+
+  for (int M : paper_sizes()) {
+    auto db = sample_database(DbPreset::envnr(), M, bench_cell_budget() / 2);
+    bio::PackedDatabase packed(db);
+    auto model = hmm::paper_model(M);
+    hmm::SearchProfile prof(model, hmm::AlignMode::kLocalMultihit, 400);
+    profile::MsvProfile msv(prof);
+
+    std::string occs[3], sps[3];
+    for (int d = 0; d < 3; ++d) {
+      auto m = measure_msv(devices[d], msv, packed,
+                           gpu::ParamPlacement::kShared, kEnvnrResidues);
+      occs[d] = m.feasible ? TextTable::pct(m.occupancy, 0) : "n/a";
+      sps[d] = m.feasible ? TextTable::num(m.speedup()) : "n/a";
+    }
+    table.add_row({std::to_string(M), occs[0], occs[1], occs[2], sps[0],
+                   sps[1], sps[2]});
+  }
+  std::fputs(table.str().c_str(), stdout);
+  std::printf(
+      "\nMaxwell's 96 KB shared memory keeps the shared configuration's\n"
+      "occupancy high deeper into the model-size range, moving the\n"
+      "shared/global crossover beyond the paper's ~1002 threshold — the\n"
+      "strategy ports, only the switch point shifts.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// hmmpress-like tool: compile ASCII .hmm files into a binary model
+// library (.fhpdb) for fast scanning, calibrating any model that lacks
+// STATS lines.
+//
+// Usage:
+//   hmmpress_tool <out.fhpdb> <model1.hmm> [model2.hmm ...]
+//   hmmpress_tool --demo <out.fhpdb> [n_models]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "hmm/generator.hpp"
+#include "hmm/hmm_io.hpp"
+#include "hmm/model_db.hpp"
+#include "hmm/profile.hpp"
+#include "profile/msv_profile.hpp"
+#include "profile/vit_profile.hpp"
+#include "stats/calibrate.hpp"
+
+using namespace finehmm;
+
+namespace {
+
+stats::ModelStats calibrate_model(const hmm::Plan7Hmm& model) {
+  hmm::SearchProfile prof(model, hmm::AlignMode::kLocalMultihit, 400);
+  profile::MsvProfile msv(prof);
+  profile::VitProfile vit(prof);
+  return stats::calibrate(prof, msv, vit);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: hmmpress_tool <out.fhpdb> <model.hmm> [...]\n"
+                 "       hmmpress_tool --demo <out.fhpdb> [n_models]\n");
+    return 2;
+  }
+  try {
+    std::vector<hmm::ModelEntry> entries;
+    std::string out_path;
+
+    if (std::string(argv[1]) == "--demo") {
+      out_path = argv[2];
+      int n = argc > 3 ? std::atoi(argv[3]) : 5;
+      Pcg32 rng(99);
+      for (int i = 0; i < n; ++i) {
+        hmm::RandomHmmSpec spec;
+        spec.length = 30 + static_cast<int>(rng.below(200));
+        spec.seed = 500 + i;
+        hmm::ModelEntry e;
+        e.model = hmm::generate_hmm(spec);
+        e.model.set_name("DEMO" + std::to_string(i));
+        std::printf("calibrating %s (M=%d)...\n", e.model.name().c_str(),
+                    e.model.length());
+        e.model_stats = calibrate_model(e.model);
+        entries.push_back(std::move(e));
+      }
+    } else {
+      out_path = argv[1];
+      for (int i = 2; i < argc; ++i) {
+        hmm::ModelEntry e;
+        e.model = hmm::read_hmm_file(argv[i], &e.model_stats);
+        if (!e.model_stats) {
+          std::printf("calibrating %s (no STATS lines)...\n", argv[i]);
+          e.model_stats = calibrate_model(e.model);
+        }
+        entries.push_back(std::move(e));
+      }
+    }
+
+    hmm::write_model_db_file(out_path, entries);
+    std::printf("pressed %zu models into %s\n", entries.size(),
+                out_path.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

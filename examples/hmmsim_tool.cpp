@@ -1,0 +1,90 @@
+// hmmsim-like tool: score random sequences against a model and test the
+// theoretical score distributions the whole E-value machinery rests on
+// (paper §I: Viterbi/MSV null scores are Gumbel with lambda = log 2,
+// Forward's high tail is exponential with the same lambda).
+//
+// Usage:
+//   hmmsim_tool [model.hmm] [n_samples]        (default: demo model, 500)
+//
+// Reports fitted parameters, the full-ML lambda (should be ~log 2), and
+// Kolmogorov-Smirnov goodness of fit for the Gumbel fits.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bio/synthetic.hpp"
+#include "cpu/fwd_filter.hpp"
+#include "cpu/msv_filter.hpp"
+#include "cpu/vit_filter.hpp"
+#include "hmm/generator.hpp"
+#include "hmm/hmm_io.hpp"
+#include "stats/distributions.hpp"
+
+using namespace finehmm;
+
+int main(int argc, char** argv) {
+  try {
+    hmm::Plan7Hmm model;
+    int n = 500;
+    if (argc > 1 && std::string(argv[1]) != "--demo") {
+      model = hmm::read_hmm_file(argv[1]);
+    } else {
+      model = hmm::paper_model(120);
+    }
+    if (argc > 2) n = std::atoi(argv[2]);
+    if (n < 50) n = 50;
+
+    hmm::SearchProfile prof(model, hmm::AlignMode::kLocalMultihit, 100);
+    profile::MsvProfile msv(prof);
+    profile::VitProfile vit(prof);
+    profile::FwdProfile fwd(prof);
+
+    std::printf("hmmsim: %s (M=%d), %d random sequences of length 100\n\n",
+                model.name().c_str(), model.length(), n);
+
+    std::vector<double> msv_bits, vit_bits, fwd_bits;
+    Pcg32 rng(0x51AB);
+    cpu::MsvFilter msv_f(msv);
+    cpu::VitFilter vit_f(vit);
+    cpu::FwdFilter fwd_f(fwd);
+    for (int i = 0; i < n; ++i) {
+      auto seq = bio::random_sequence(100, rng);
+      auto m = msv_f.score(seq.codes.data(), 100);
+      if (!m.overflowed)
+        msv_bits.push_back(hmm::nats_to_bits(m.score_nats, 100));
+      auto v = vit_f.score(seq.codes.data(), 100);
+      vit_bits.push_back(hmm::nats_to_bits(v.score_nats, 100));
+      fwd_bits.push_back(
+          hmm::nats_to_bits(fwd_f.score(seq.codes.data(), 100), 100));
+    }
+
+    auto report = [](const char* name, const std::vector<double>& xs) {
+      auto fixed = stats::Gumbel::fit_mu_given_lambda(xs);
+      auto full = stats::Gumbel::fit_ml(xs);
+      auto ks = stats::ks_test(
+          xs, [&](double x) { return fixed.cdf(x); });
+      std::printf("%-8s mu=%7.3f  (full-ML lambda=%.3f vs log2=0.693)  "
+                  "KS D=%.4f p=%.3f\n",
+                  name, fixed.mu, full.lambda, ks.d, ks.pvalue);
+      return ks.pvalue;
+    };
+
+    std::printf("Gumbel fits (lambda fixed at log 2):\n");
+    double p1 = report("MSV", msv_bits);
+    double p2 = report("Viterbi", vit_bits);
+
+    auto tail = stats::ExponentialTail::fit_tail(fwd_bits);
+    std::printf("\nForward exponential tail: tau=%.3f "
+                "(tail mass 0.04, lambda=log 2)\n", tail.mu);
+
+    std::printf(
+        "\nEddy (2008): null Viterbi-family scores are Gumbel(lambda=log2)\n"
+        "and Forward tails exponential(lambda=log2) — the property that\n"
+        "lets the MSV/Viterbi stages pre-filter for Forward (paper §I).\n");
+    // Exit nonzero if the Gumbel hypothesis is strongly rejected.
+    return (p1 < 0.001 || p2 < 0.001) ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,98 @@
+// hmmstat-like tool: summary statistics of a profile HMM.
+//
+// Usage:
+//   hmmstat_tool <model.hmm>
+//   hmmstat_tool --demo [model_size]
+//
+// Prints length, mean match occupancy, information content (relative
+// entropy per match state), indel statistics, the calibrated score
+// statistics when present, and the GPU launch plans the library would
+// pick for each stage — a one-stop sanity check for a model.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "gpu/placement_policy.hpp"
+#include "hmm/generator.hpp"
+#include "hmm/hmm_io.hpp"
+
+using namespace finehmm;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: hmmstat_tool <model.hmm>\n"
+                 "       hmmstat_tool --demo [model_size]\n");
+    return 2;
+  }
+  try {
+    hmm::Plan7Hmm model;
+    std::optional<stats::ModelStats> st;
+    if (std::string(argv[1]) == "--demo") {
+      int M = argc > 2 ? std::atoi(argv[2]) : 200;
+      model = hmm::paper_model(M);
+    } else {
+      model = hmm::read_hmm_file(argv[1], &st);
+    }
+
+    const int M = model.length();
+    const auto& bg = bio::background_frequencies();
+
+    // Relative entropy (bits) per match state: information content.
+    double re_total = 0.0;
+    for (int k = 1; k <= M; ++k) {
+      double re = 0.0;
+      for (int a = 0; a < bio::kK; ++a) {
+        double p = model.mat(k, a);
+        if (p > 0.0) re += p * std::log2(p / bg[a]);
+      }
+      re_total += re;
+    }
+
+    auto occ = model.match_occupancy();
+    double occ_mean = 0.0;
+    for (int k = 1; k <= M; ++k) occ_mean += occ[k];
+    occ_mean /= M;
+
+    double mi = 0.0, md = 0.0, dd = 0.0;
+    for (int k = 1; k < M; ++k) {
+      mi += model.tr(k, hmm::kTMI);
+      md += model.tr(k, hmm::kTMD);
+      dd += model.tr(k, hmm::kTDD);
+    }
+
+    std::printf("model:           %s\n", model.name().c_str());
+    if (!model.description().empty())
+      std::printf("description:     %s\n", model.description().c_str());
+    std::printf("length:          %d match states\n", M);
+    std::printf("info content:    %.2f bits total, %.3f bits/state\n",
+                re_total, re_total / M);
+    std::printf("mean occupancy:  %.3f\n", occ_mean);
+    std::printf("mean M->I / M->D / D->D: %.4f / %.4f / %.4f\n", mi / (M - 1),
+                md / (M - 1), dd / (M - 1));
+    if (st) {
+      std::printf("calibration:     MSV mu=%.2f  VIT mu=%.2f  FWD tau=%.2f\n",
+                  st->msv.mu, st->vit.mu, st->fwd.mu);
+    } else {
+      std::printf("calibration:     (no STATS lines)\n");
+    }
+
+    std::printf("\nGPU launch plans (Tesla K40):\n");
+    auto k40 = simt::DeviceSpec::tesla_k40();
+    for (auto stage : {gpu::Stage::kMsv, gpu::Stage::kViterbi}) {
+      auto c = gpu::choose_placement(stage, M, k40);
+      std::printf("  %-9s -> %s placement, %d warps/block, %.0f%% occupancy "
+                  "(%s-limited)\n",
+                  stage == gpu::Stage::kMsv ? "MSV" : "P7Viterbi",
+                  gpu::placement_name(c.placement),
+                  c.plan.cfg.warps_per_block, 100.0 * c.plan.occ.fraction,
+                  c.plan.occ.limiter_name());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Sequence database converter: FASTA <-> packed binary (.fsqdb).
+//
+// Usage:
+//   seqconvert_tool <in.fasta> <out.fsqdb>     (pack)
+//   seqconvert_tool <in.fsqdb> <out.fasta>     (unpack)
+//
+// Direction is inferred from the extensions.
+#include <cstdio>
+#include <string>
+
+#include "bio/fasta.hpp"
+#include "bio/seq_db_io.hpp"
+
+using namespace finehmm;
+
+namespace {
+
+bool has_ext(const std::string& path, const std::string& ext) {
+  return path.size() > ext.size() &&
+         path.compare(path.size() - ext.size(), ext.size(), ext) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr,
+                 "usage: seqconvert_tool <in.fasta> <out.fsqdb>\n"
+                 "       seqconvert_tool <in.fsqdb> <out.fasta>\n");
+    return 2;
+  }
+  try {
+    std::string in_path = argv[1], out_path = argv[2];
+    bio::SequenceDatabase db = has_ext(in_path, ".fsqdb")
+                                   ? bio::read_seq_db_file(in_path)
+                                   : bio::read_fasta_file(in_path);
+    if (has_ext(out_path, ".fsqdb"))
+      bio::write_seq_db_file(out_path, db);
+    else
+      bio::write_fasta_file(out_path, db);
+    std::printf("converted %zu sequences (%llu residues): %s -> %s\n",
+                db.size(),
+                static_cast<unsigned long long>(db.total_residues()),
+                in_path.c_str(), out_path.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Run every figure/ablation bench and the micro suite, teeing the output.
+# Usage: run_benches.sh <bench-bin-dir> [cells-budget]
+set -euo pipefail
+
+BIN_DIR=${1:?usage: run_benches.sh <bench-bin-dir> [cells]}
+export FINEHMM_BENCH_CELLS=${2:-8e6}
+
+for b in "$BIN_DIR"/fig* "$BIN_DIR"/ablation_* "$BIN_DIR"/projection_* \
+         "$BIN_DIR"/report_* "$BIN_DIR"/validate_* "$BIN_DIR"/pfam_dist*; do
+  echo
+  echo "############ $(basename "$b") ############"
+  "$b"
+done
+
+echo
+echo "############ micro_kernels ############"
+"$BIN_DIR/micro_kernels" --benchmark_min_time=0.05

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the command-line tools, wired into ctest.
+# Exercises the full hmmbuild -> hmmstat -> hmmemit -> hmmsearch ->
+# hmmalign round trip through real files.
+set -euo pipefail
+
+BIN_DIR=${1:?usage: smoke_tools.sh <examples-bin-dir>}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== hmmbuild_tool =="
+"$BIN_DIR/hmmbuild_tool" --demo "$WORK/model.hmm"
+grep -q "STATS LOCAL MSV" "$WORK/model.hmm"
+
+echo "== hmmstat_tool =="
+"$BIN_DIR/hmmstat_tool" "$WORK/model.hmm" | grep -q "match states"
+
+echo "== hmmemit_tool =="
+"$BIN_DIR/hmmemit_tool" "$WORK/model.hmm" 8 "$WORK/homologs.fasta"
+grep -c '^>' "$WORK/homologs.fasta" | grep -qx 8
+
+echo "== hmmsearch_tool (CPU) =="
+"$BIN_DIR/hmmsearch_tool" "$WORK/model.hmm" "$WORK/homologs.fasta" \
+  > "$WORK/cpu.out"
+grep -q "hits 8" "$WORK/cpu.out" || {
+  echo "expected all 8 emitted homologs to hit"; cat "$WORK/cpu.out"; exit 1;
+}
+
+echo "== hmmsearch_tool (GPU engine) =="
+"$BIN_DIR/hmmsearch_tool" --gpu "$WORK/model.hmm" "$WORK/homologs.fasta" \
+  > "$WORK/gpu.out"
+# Identical hit counts from both engines.
+cpu_hits=$(grep -o "hits [0-9]*" "$WORK/cpu.out")
+gpu_hits=$(grep -o "hits [0-9]*" "$WORK/gpu.out")
+[ "$cpu_hits" = "$gpu_hits" ]
+
+echo "== hmmsearch_tool --ali =="
+"$BIN_DIR/hmmsearch_tool" --ali "$WORK/model.hmm" "$WORK/homologs.fasta" \
+  | grep -q "model"
+
+echo "== hmmalign_tool =="
+"$BIN_DIR/hmmalign_tool" "$WORK/model.hmm" "$WORK/homologs.fasta" \
+  "$WORK/aligned.afa"
+grep -c '^>' "$WORK/aligned.afa" | grep -qx 8
+
+echo "== hmmpress_tool / hmmscan_tool =="
+"$BIN_DIR/hmmpress_tool" "$WORK/lib.fhpdb" "$WORK/model.hmm"
+"$BIN_DIR/hmmscan_tool" "$WORK/lib.fhpdb" "$WORK/homologs.fasta" \
+  > "$WORK/scan.out"
+# Every emitted homolog should be annotated with the pressed model.
+[ "$(grep -c demo_motif "$WORK/scan.out")" -ge 8 ] || {
+  echo "hmmscan failed to annotate homologs"; cat "$WORK/scan.out"; exit 1;
+}
+
+echo "== seqconvert_tool round trip =="
+"$BIN_DIR/seqconvert_tool" "$WORK/homologs.fasta" "$WORK/homologs.fsqdb"
+"$BIN_DIR/seqconvert_tool" "$WORK/homologs.fsqdb" "$WORK/back.fasta"
+cmp -s <(grep -v '^>' "$WORK/homologs.fasta" | tr -d '\n') \
+       <(grep -v '^>' "$WORK/back.fasta" | tr -d '\n')
+# hmmsearch straight from the packed database.
+"$BIN_DIR/hmmsearch_tool" "$WORK/model.hmm" "$WORK/homologs.fsqdb" \
+  | grep -q "hits 8"
+
+echo "== hmmsim_tool (Gumbel hypothesis must not be rejected) =="
+"$BIN_DIR/hmmsim_tool" "$WORK/model.hmm" 300 > /dev/null
+
+echo "== tblout / domains =="
+"$BIN_DIR/hmmsearch_tool" --domains --tblout "$WORK/hits.tbl" \
+  "$WORK/model.hmm" "$WORK/homologs.fasta" > /dev/null
+[ "$(grep -cv '^#' "$WORK/hits.tbl")" -eq 8 ]
+
+echo "== quickstart / pfam_scan / gpu_speedup_demo =="
+"$BIN_DIR/quickstart" > /dev/null
+"$BIN_DIR/pfam_scan" 3 120 > /dev/null
+"$BIN_DIR/gpu_speedup_demo" 100 > /dev/null
+
+echo "ALL TOOL SMOKE TESTS PASSED"

@@ -1,0 +1,103 @@
+#include "bio/alphabet.hpp"
+
+#include <cctype>
+
+#include "util/error.hpp"
+
+namespace finehmm::bio {
+
+namespace {
+
+struct CharTable {
+  std::array<std::int8_t, 256> code;
+  CharTable() {
+    code.fill(-1);
+    auto put = [&](char c, std::uint8_t v) {
+      code[static_cast<unsigned char>(c)] = static_cast<std::int8_t>(v);
+      code[static_cast<unsigned char>(std::tolower(c))] =
+          static_cast<std::int8_t>(v);
+    };
+    for (int i = 0; i < kK; ++i) put(kCanonical[i], i);
+    for (int i = 0; i < 6; ++i) put(kDegenerate[i], kK + i);
+    // Specials have no case.
+    code[static_cast<unsigned char>('-')] = 26;
+    code[static_cast<unsigned char>('*')] = 27;
+    code[static_cast<unsigned char>('~')] = 28;
+    code[static_cast<unsigned char>('.')] = 26;  // alt gap spelling
+  }
+};
+
+const CharTable& char_table() {
+  static const CharTable t;
+  return t;
+}
+
+}  // namespace
+
+std::uint8_t digitize(char c) {
+  std::int8_t v = char_table().code[static_cast<unsigned char>(c)];
+  if (v < 0)
+    throw Error(std::string("unknown residue character '") + c + "'");
+  return static_cast<std::uint8_t>(v);
+}
+
+char symbol(std::uint8_t code) {
+  if (code < kK) return kCanonical[code];
+  if (code < 26) return kDegenerate[code - kK];
+  if (code < kKp) return kSpecial[code - 26];
+  if (code == kPadCode) return '.';
+  throw Error("invalid alphabet code " + std::to_string(code));
+}
+
+std::vector<std::uint8_t> digitize(std::string_view text) {
+  std::vector<std::uint8_t> out;
+  out.reserve(text.size());
+  for (char c : text) out.push_back(digitize(c));
+  return out;
+}
+
+std::string textize(const std::vector<std::uint8_t>& codes) {
+  std::string out;
+  out.reserve(codes.size());
+  for (auto c : codes) out.push_back(symbol(c));
+  return out;
+}
+
+const std::vector<std::uint8_t>& expansion(std::uint8_t code) {
+  static const std::vector<std::uint8_t> empty;
+  static const std::vector<std::uint8_t> singletons[kK] = {
+      {0},  {1},  {2},  {3},  {4},  {5},  {6},  {7},  {8},  {9},
+      {10}, {11}, {12}, {13}, {14}, {15}, {16}, {17}, {18}, {19}};
+  // B = {D,N}; J = {I,L}; Z = {E,Q}; O -> K; U -> C; X -> everything.
+  static const std::vector<std::uint8_t> b = {2, 11};
+  static const std::vector<std::uint8_t> j = {7, 9};
+  static const std::vector<std::uint8_t> z = {3, 13};
+  static const std::vector<std::uint8_t> o = {8};
+  static const std::vector<std::uint8_t> u = {1};
+  static const std::vector<std::uint8_t> x = {0,  1,  2,  3,  4,  5,  6,
+                                              7,  8,  9,  10, 11, 12, 13,
+                                              14, 15, 16, 17, 18, 19};
+  if (code < kK) return singletons[code];
+  switch (code) {
+    case kCodeB: return b;
+    case kCodeJ: return j;
+    case kCodeZ: return z;
+    case kCodeO: return o;
+    case kCodeU: return u;
+    case kCodeX: return x;
+    default: return empty;
+  }
+}
+
+const std::array<float, kK>& background_frequencies() {
+  // Swissprot 50.8 amino-acid composition, the default null model of
+  // HMMER 3 (order ACDEFGHIKLMNPQRSTVWY).
+  static const std::array<float, kK> f = {
+      0.0787945f, 0.0151600f, 0.0535222f, 0.0668298f, 0.0397062f,
+      0.0695071f, 0.0229198f, 0.0590092f, 0.0594422f, 0.0963728f,
+      0.0237718f, 0.0414386f, 0.0482904f, 0.0395639f, 0.0540978f,
+      0.0683364f, 0.0540687f, 0.0673417f, 0.0114135f, 0.0304133f};
+  return f;
+}
+
+}  // namespace finehmm::bio

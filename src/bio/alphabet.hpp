@@ -1,0 +1,68 @@
+// The amino-acid alphabet used throughout the library.
+//
+// Matches the paper's digitization (Fig. 6): 20 standard amino acids, 6
+// degenerate symbols (B J Z O U X) and 3 gap/special types (- * ~), i.e.
+// 29 codes representable in 5 bits; code 31 is reserved as the packing pad
+// flag that terminates a packed sequence word.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace finehmm::bio {
+
+/// Number of canonical residues.
+inline constexpr int kK = 20;
+/// Total number of alphabet codes (canonical + degenerate + special).
+inline constexpr int kKp = 29;
+/// Pad flag used by residue packing (outside the alphabet proper).
+inline constexpr std::uint8_t kPadCode = 31;
+
+/// Canonical residues in index order 0..19.
+inline constexpr std::string_view kCanonical = "ACDEFGHIKLMNPQRSTVWY";
+/// Degenerate symbols in index order 20..25.
+inline constexpr std::string_view kDegenerate = "BJZOUX";
+/// Special / gap symbols in index order 26..28.
+inline constexpr std::string_view kSpecial = "-*~";
+
+/// Residue codes for the degenerate symbols.
+enum DegenerateCode : std::uint8_t {
+  kCodeB = 20,  // Asn or Asp
+  kCodeJ = 21,  // Ile or Leu
+  kCodeZ = 22,  // Gln or Glu
+  kCodeO = 23,  // pyrrolysine (scored as Lys)
+  kCodeU = 24,  // selenocysteine (scored as Cys)
+  kCodeX = 25,  // any residue
+};
+
+/// True if the code is one of the 20 canonical residues.
+constexpr bool is_canonical(std::uint8_t code) { return code < kK; }
+/// True if the code is scoreable against a profile (canonical or degenerate).
+constexpr bool is_residue(std::uint8_t code) { return code < 26; }
+/// True if the code is a valid alphabet code at all.
+constexpr bool is_valid(std::uint8_t code) { return code < kKp; }
+
+/// Map a character to its code; throws finehmm::Error on unknown characters.
+std::uint8_t digitize(char c);
+
+/// Map a code back to its character; pad renders as '.'.
+char symbol(std::uint8_t code);
+
+/// Digitize a whole string.
+std::vector<std::uint8_t> digitize(std::string_view text);
+
+/// Render a code vector back to text.
+std::string textize(const std::vector<std::uint8_t>& codes);
+
+/// The canonical residues a degenerate code may stand for, as indices into
+/// 0..19.  Canonical codes return themselves; specials return empty.
+const std::vector<std::uint8_t>& expansion(std::uint8_t code);
+
+/// Background (null model) amino-acid frequencies over the 20 canonical
+/// residues; Swissprot-derived, matching HMMER's default null model.
+const std::array<float, kK>& background_frequencies();
+
+}  // namespace finehmm::bio

@@ -1,0 +1,81 @@
+#include "bio/fasta.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace finehmm::bio {
+
+SequenceDatabase read_fasta(std::istream& in) {
+  SequenceDatabase db;
+  std::string line;
+  std::size_t lineno = 0;
+
+  std::string name, desc, residues;
+  bool have_record = false;
+
+  auto flush = [&]() {
+    if (!have_record) return;
+    if (name.empty()) throw ParseError("FASTA record with empty name", lineno);
+    Sequence s = Sequence::from_text(name, residues, desc);
+    db.add(std::move(s));
+    residues.clear();
+  };
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      flush();
+      have_record = true;
+      std::size_t sp = line.find_first_of(" \t");
+      if (sp == std::string::npos) {
+        name = line.substr(1);
+        desc.clear();
+      } else {
+        name = line.substr(1, sp - 1);
+        std::size_t ds = line.find_first_not_of(" \t", sp);
+        desc = ds == std::string::npos ? "" : line.substr(ds);
+      }
+    } else {
+      if (!have_record)
+        throw ParseError("residue data before first FASTA header", lineno);
+      for (char c : line)
+        if (!std::isspace(static_cast<unsigned char>(c))) residues.push_back(c);
+    }
+  }
+  flush();
+  return db;
+}
+
+SequenceDatabase read_fasta_file(const std::string& path) {
+  std::ifstream in(path);
+  FH_REQUIRE(in.good(), "cannot open FASTA file: " + path);
+  return read_fasta(in);
+}
+
+void write_fasta(std::ostream& out, const SequenceDatabase& db,
+                 std::size_t width) {
+  FH_REQUIRE(width > 0, "FASTA line width must be positive");
+  for (const auto& s : db) {
+    out << '>' << s.name;
+    if (!s.description.empty()) out << ' ' << s.description;
+    out << '\n';
+    std::string text = s.text();
+    for (std::size_t i = 0; i < text.size(); i += width)
+      out << text.substr(i, width) << '\n';
+  }
+}
+
+void write_fasta_file(const std::string& path, const SequenceDatabase& db,
+                      std::size_t width) {
+  std::ofstream out(path);
+  FH_REQUIRE(out.good(), "cannot open FASTA file for writing: " + path);
+  write_fasta(out, db, width);
+}
+
+}  // namespace finehmm::bio

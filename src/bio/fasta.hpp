@@ -1,0 +1,25 @@
+// FASTA reading and writing.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "bio/sequence.hpp"
+
+namespace finehmm::bio {
+
+/// Parse a FASTA stream into a database.  Accepts multi-line records,
+/// lowercase residues and blank lines; throws ParseError on malformed input.
+SequenceDatabase read_fasta(std::istream& in);
+
+/// Parse a FASTA file by path.
+SequenceDatabase read_fasta_file(const std::string& path);
+
+/// Write a database as FASTA, wrapping residue lines at `width` columns.
+void write_fasta(std::ostream& out, const SequenceDatabase& db,
+                 std::size_t width = 60);
+
+void write_fasta_file(const std::string& path, const SequenceDatabase& db,
+                      std::size_t width = 60);
+
+}  // namespace finehmm::bio

@@ -1,0 +1,50 @@
+#include "bio/packing.hpp"
+
+#include "util/error.hpp"
+
+namespace finehmm::bio {
+
+aligned_vector<std::uint32_t> pack_residues(
+    const std::vector<std::uint8_t>& codes) {
+  std::size_t n_words =
+      (codes.size() + kResiduesPerWord - 1) / kResiduesPerWord;
+  if (n_words == 0) n_words = 1;  // an empty sequence still gets a pad word
+  aligned_vector<std::uint32_t> words(n_words, 0);
+
+  // Pre-fill everything with pad flags, then overwrite real residues.
+  std::uint32_t pad_word = 0;
+  for (std::size_t r = 0; r < kResiduesPerWord; ++r)
+    pad_word |= static_cast<std::uint32_t>(kPadCode) << (r * kBitsPerResidue);
+  for (auto& w : words) w = pad_word;
+
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    FH_REQUIRE(is_valid(codes[i]), "cannot pack invalid residue code");
+    std::size_t w = i / kResiduesPerWord;
+    std::uint32_t shift =
+        static_cast<std::uint32_t>(i % kResiduesPerWord) * kBitsPerResidue;
+    words[w] &= ~(kResidueMask << shift);
+    words[w] |= static_cast<std::uint32_t>(codes[i]) << shift;
+  }
+  return words;
+}
+
+std::vector<std::uint8_t> unpack_residues(const std::uint32_t* words,
+                                          std::size_t length) {
+  std::vector<std::uint8_t> out(length);
+  for (std::size_t i = 0; i < length; ++i) out[i] = packed_residue(words, i);
+  return out;
+}
+
+PackedDatabase::PackedDatabase(const SequenceDatabase& db) {
+  offsets_.reserve(db.size());
+  lengths_.reserve(db.size());
+  for (const auto& seq : db) {
+    auto packed = pack_residues(seq.codes);
+    offsets_.push_back(words_.size());
+    lengths_.push_back(static_cast<std::uint32_t>(seq.length()));
+    words_.insert(words_.end(), packed.begin(), packed.end());
+    total_residues_ += seq.length();
+  }
+}
+
+}  // namespace finehmm::bio

@@ -1,0 +1,71 @@
+// Residue packing (paper §III-A, Fig. 6).
+//
+// Each residue needs 5 bits (codes 0..28), so 6 consecutive residues are
+// packed into one 32-bit word; the two high bits are unused.  Incomplete
+// trailing words are padded with code 31 which kernels use as the loop
+// termination / "wasteful residue" flag.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bio/sequence.hpp"
+#include "util/aligned.hpp"
+
+namespace finehmm::bio {
+
+/// Residues per packed 32-bit word.
+inline constexpr std::size_t kResiduesPerWord = 6;
+/// Bits per residue within a word.
+inline constexpr std::uint32_t kBitsPerResidue = 5;
+inline constexpr std::uint32_t kResidueMask = 0x1f;
+
+/// Pack a digitized sequence; the result is padded to a whole word.
+aligned_vector<std::uint32_t> pack_residues(
+    const std::vector<std::uint8_t>& codes);
+
+/// Unpack `length` residues from a packed buffer.
+std::vector<std::uint8_t> unpack_residues(const std::uint32_t* words,
+                                          std::size_t length);
+
+/// Extract residue i from a packed buffer.
+inline std::uint8_t packed_residue(const std::uint32_t* words, std::size_t i) {
+  std::uint32_t word = words[i / kResiduesPerWord];
+  std::uint32_t shift =
+      static_cast<std::uint32_t>(i % kResiduesPerWord) * kBitsPerResidue;
+  return static_cast<std::uint8_t>((word >> shift) & kResidueMask);
+}
+
+/// A whole database in packed form: one flat word buffer plus per-sequence
+/// offsets.  This is the layout the GPU kernels stream from "global memory".
+class PackedDatabase {
+ public:
+  PackedDatabase() = default;
+  explicit PackedDatabase(const SequenceDatabase& db);
+
+  std::size_t size() const noexcept { return lengths_.size(); }
+  std::uint32_t length(std::size_t seq) const { return lengths_[seq]; }
+  const std::uint32_t* words(std::size_t seq) const {
+    return words_.data() + offsets_[seq];
+  }
+  std::size_t word_count(std::size_t seq) const {
+    return (lengths_[seq] + kResiduesPerWord - 1) / kResiduesPerWord;
+  }
+  std::uint8_t residue(std::size_t seq, std::size_t i) const {
+    return packed_residue(words(seq), i);
+  }
+
+  /// Total packed footprint in bytes (the global-memory traffic unit).
+  std::size_t packed_bytes() const noexcept {
+    return words_.size() * sizeof(std::uint32_t);
+  }
+  std::uint64_t total_residues() const noexcept { return total_residues_; }
+
+ private:
+  aligned_vector<std::uint32_t> words_;
+  std::vector<std::size_t> offsets_;
+  std::vector<std::uint32_t> lengths_;
+  std::uint64_t total_residues_ = 0;
+};
+
+}  // namespace finehmm::bio

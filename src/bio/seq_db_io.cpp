@@ -1,0 +1,122 @@
+#include "bio/seq_db_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "bio/packing.hpp"
+#include "util/error.hpp"
+
+namespace finehmm::bio {
+
+namespace {
+
+constexpr char kMagic[4] = {'F', 'S', 'Q', 'D'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint64_t kMaxSequences = 1ull << 32;
+constexpr std::uint32_t kMaxNameLen = 1 << 12;
+constexpr std::uint32_t kMaxSeqLen = 1u << 28;
+
+template <class T>
+void put(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <class T>
+T get(std::istream& in) {
+  T v;
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  FH_REQUIRE(in.good(), "truncated sequence database");
+  return v;
+}
+
+}  // namespace
+
+void write_seq_db(std::ostream& out, const SequenceDatabase& db) {
+  out.write(kMagic, sizeof(kMagic));
+  put<std::uint32_t>(out, kVersion);
+  put<std::uint64_t>(out, db.size());
+
+  std::uint64_t total_words = 0;
+  for (const auto& s : db) {
+    FH_REQUIRE(s.name.size() <= kMaxNameLen, "sequence name too long");
+    put<std::uint32_t>(out, static_cast<std::uint32_t>(s.name.size()));
+    out.write(s.name.data(), static_cast<std::streamsize>(s.name.size()));
+    put<std::uint32_t>(out, static_cast<std::uint32_t>(s.length()));
+    total_words += (s.length() + kResiduesPerWord - 1) / kResiduesPerWord;
+    if (s.length() == 0) total_words += 1;  // pack_residues pads empties
+  }
+  put<std::uint64_t>(out, total_words);
+  for (const auto& s : db) {
+    auto words = pack_residues(s.codes);
+    out.write(reinterpret_cast<const char*>(words.data()),
+              static_cast<std::streamsize>(words.size() * sizeof(std::uint32_t)));
+  }
+  FH_REQUIRE(out.good(), "sequence database write failed");
+}
+
+void write_seq_db_file(const std::string& path, const SequenceDatabase& db) {
+  std::ofstream out(path, std::ios::binary);
+  FH_REQUIRE(out.good(), "cannot open sequence database for writing: " + path);
+  write_seq_db(out, db);
+}
+
+SequenceDatabase read_seq_db(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  FH_REQUIRE(in.good() && std::memcmp(magic, kMagic, 4) == 0,
+             "not a finehmm sequence database (bad magic)");
+  auto version = get<std::uint32_t>(in);
+  FH_REQUIRE(version == kVersion, "unsupported sequence database version");
+  auto count = get<std::uint64_t>(in);
+  FH_REQUIRE(count <= kMaxSequences, "implausible sequence count");
+
+  std::vector<std::string> names(count);
+  std::vector<std::uint32_t> lengths(count);
+  std::uint64_t expect_words = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    auto name_len = get<std::uint32_t>(in);
+    FH_REQUIRE(name_len <= kMaxNameLen, "implausible name length");
+    names[i].resize(name_len);
+    in.read(names[i].data(), name_len);
+    FH_REQUIRE(in.good(), "truncated sequence database");
+    lengths[i] = get<std::uint32_t>(in);
+    FH_REQUIRE(lengths[i] <= kMaxSeqLen, "implausible sequence length");
+    expect_words += lengths[i] == 0
+                        ? 1
+                        : (lengths[i] + kResiduesPerWord - 1) /
+                              kResiduesPerWord;
+  }
+  auto total_words = get<std::uint64_t>(in);
+  FH_REQUIRE(total_words == expect_words,
+             "sequence database word count mismatch");
+
+  SequenceDatabase db;
+  db.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::size_t n_words = lengths[i] == 0
+                              ? 1
+                              : (lengths[i] + kResiduesPerWord - 1) /
+                                    kResiduesPerWord;
+    std::vector<std::uint32_t> words(n_words);
+    in.read(reinterpret_cast<char*>(words.data()),
+            static_cast<std::streamsize>(n_words * sizeof(std::uint32_t)));
+    FH_REQUIRE(in.good(), "truncated sequence database");
+    Sequence s;
+    s.name = std::move(names[i]);
+    s.codes = unpack_residues(words.data(), lengths[i]);
+    for (auto c : s.codes)
+      FH_REQUIRE(is_valid(c), "corrupt residue code in sequence database");
+    db.add(std::move(s));
+  }
+  return db;
+}
+
+SequenceDatabase read_seq_db_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  FH_REQUIRE(in.good(), "cannot open sequence database: " + path);
+  return read_seq_db(in);
+}
+
+}  // namespace finehmm::bio

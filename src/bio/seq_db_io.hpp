@@ -1,0 +1,26 @@
+// Binary sequence database files (.fsqdb).
+//
+// FASTA parses at ~hundreds of MB/s and re-digitizes every run; a packed
+// binary database stores the 5-bit residue encoding (6 per word, exactly
+// the GPU streaming format of bio/packing.hpp) plus names, so a scan can
+// mmap-style load and go.  Roughly 37% of the FASTA size.
+//
+// Layout: magic "FSQD" | u32 version | u64 count
+//         | per sequence: u32 name_len | name | u32 residue_count
+//         | u64 total_words | u32 packed words (concatenated, in order)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "bio/sequence.hpp"
+
+namespace finehmm::bio {
+
+void write_seq_db(std::ostream& out, const SequenceDatabase& db);
+void write_seq_db_file(const std::string& path, const SequenceDatabase& db);
+
+SequenceDatabase read_seq_db(std::istream& in);
+SequenceDatabase read_seq_db_file(const std::string& path);
+
+}  // namespace finehmm::bio

@@ -1,0 +1,35 @@
+#include "bio/sequence.hpp"
+
+#include <algorithm>
+
+namespace finehmm::bio {
+
+Sequence Sequence::from_text(std::string name, std::string_view residues,
+                             std::string description) {
+  Sequence s;
+  s.name = std::move(name);
+  s.description = std::move(description);
+  s.codes = digitize(residues);
+  return s;
+}
+
+void SequenceDatabase::add(Sequence seq) {
+  total_residues_ += seq.length();
+  max_length_ = std::max(max_length_, seq.length());
+  seqs_.push_back(std::move(seq));
+}
+
+void SequenceDatabase::replace(std::size_t i, Sequence seq) {
+  total_residues_ -= seqs_[i].length();
+  total_residues_ += seq.length();
+  seqs_[i] = std::move(seq);
+  // max_length_ can only grow cheaply; recompute if we may have shrunk it.
+  if (seqs_[i].length() >= max_length_) {
+    max_length_ = seqs_[i].length();
+  } else {
+    max_length_ = 0;
+    for (const auto& s : seqs_) max_length_ = std::max(max_length_, s.length());
+  }
+}
+
+}  // namespace finehmm::bio

@@ -1,0 +1,63 @@
+// Digitized protein sequences and the in-memory database container.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bio/alphabet.hpp"
+
+namespace finehmm::bio {
+
+/// A named, digitized protein sequence.
+struct Sequence {
+  std::string name;
+  std::string description;
+  std::vector<std::uint8_t> codes;  // alphabet codes, no sentinels
+
+  Sequence() = default;
+  Sequence(std::string n, std::vector<std::uint8_t> c)
+      : name(std::move(n)), codes(std::move(c)) {}
+
+  std::size_t length() const noexcept { return codes.size(); }
+  std::string text() const { return textize(codes); }
+
+  /// Construct from raw text (digitizes; throws on invalid characters).
+  static Sequence from_text(std::string name, std::string_view residues,
+                            std::string description = {});
+};
+
+/// A flat collection of sequences with summary statistics.
+class SequenceDatabase {
+ public:
+  SequenceDatabase() = default;
+
+  void add(Sequence seq);
+  void reserve(std::size_t n) { seqs_.reserve(n); }
+
+  std::size_t size() const noexcept { return seqs_.size(); }
+  bool empty() const noexcept { return seqs_.empty(); }
+  const Sequence& operator[](std::size_t i) const { return seqs_[i]; }
+
+  /// Replace sequence i, keeping the summary statistics consistent.
+  void replace(std::size_t i, Sequence seq);
+
+  auto begin() const { return seqs_.begin(); }
+  auto end() const { return seqs_.end(); }
+
+  /// Sum of all sequence lengths.
+  std::uint64_t total_residues() const noexcept { return total_residues_; }
+  std::size_t max_length() const noexcept { return max_length_; }
+  double mean_length() const noexcept {
+    return seqs_.empty() ? 0.0
+                         : static_cast<double>(total_residues_) /
+                               static_cast<double>(seqs_.size());
+  }
+
+ private:
+  std::vector<Sequence> seqs_;
+  std::uint64_t total_residues_ = 0;
+  std::size_t max_length_ = 0;
+};
+
+}  // namespace finehmm::bio

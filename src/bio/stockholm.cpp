@@ -1,0 +1,118 @@
+#include "bio/stockholm.hpp"
+
+#include <fstream>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace finehmm::bio {
+
+StockholmAlignment read_stockholm(std::istream& in) {
+  std::string line;
+  std::size_t lineno = 0;
+
+  // Header.
+  bool header = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    FH_REQUIRE(line.rfind("# STOCKHOLM", 0) == 0,
+               "missing '# STOCKHOLM 1.0' header");
+    header = true;
+    break;
+  }
+  FH_REQUIRE(header, "empty Stockholm file");
+
+  StockholmAlignment aln;
+  std::map<std::string, std::size_t> index;
+  std::string rf;
+  bool terminated = false;
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line == "//") {
+      terminated = true;
+      break;
+    }
+    if (line[0] == '#') {
+      std::istringstream ls(line);
+      std::string tag, sub;
+      ls >> tag >> sub;
+      if (tag == "#=GF" && sub == "ID") {
+        ls >> aln.id;
+      } else if (tag == "#=GC" && sub == "RF") {
+        std::string chunk;
+        ls >> chunk;
+        rf += chunk;
+      }
+      continue;  // other annotations skipped
+    }
+    // Sequence line: name whitespace alignedtext (possibly one of many
+    // interleaved blocks).
+    std::istringstream ls(line);
+    std::string name, text;
+    ls >> name >> text;
+    if (name.empty() || text.empty())
+      throw ParseError("malformed Stockholm sequence line", lineno);
+    auto it = index.find(name);
+    if (it == index.end()) {
+      index.emplace(name, aln.names.size());
+      aln.names.push_back(name);
+      aln.rows.emplace_back();
+      it = index.find(name);
+    }
+    aln.rows[it->second] += text;
+  }
+  FH_REQUIRE(terminated, "missing '//' terminator");
+  FH_REQUIRE(!aln.rows.empty(), "Stockholm file contains no sequences");
+  for (std::size_t i = 1; i < aln.rows.size(); ++i)
+    FH_REQUIRE(aln.rows[i].size() == aln.rows[0].size(),
+               "ragged Stockholm alignment (row " + aln.names[i] + ")");
+  if (!rf.empty()) {
+    FH_REQUIRE(rf.size() == aln.rows[0].size(),
+               "#=GC RF length does not match the alignment width");
+    aln.rf = rf;
+  }
+  return aln;
+}
+
+StockholmAlignment read_stockholm_file(const std::string& path) {
+  std::ifstream in(path);
+  FH_REQUIRE(in.good(), "cannot open Stockholm file: " + path);
+  return read_stockholm(in);
+}
+
+void write_stockholm(std::ostream& out, const StockholmAlignment& aln) {
+  FH_REQUIRE(aln.names.size() == aln.rows.size(),
+             "names/rows arity mismatch");
+  out << "# STOCKHOLM 1.0\n";
+  if (!aln.id.empty()) out << "#=GF ID " << aln.id << '\n';
+  std::size_t name_width = 4;
+  for (const auto& n : aln.names) name_width = std::max(name_width, n.size());
+  for (std::size_t i = 0; i < aln.rows.size(); ++i) {
+    out << aln.names[i];
+    for (std::size_t pad = aln.names[i].size(); pad < name_width + 2; ++pad)
+      out << ' ';
+    out << aln.rows[i] << '\n';
+  }
+  if (aln.rf) {
+    out << "#=GC RF";
+    for (std::size_t pad = 7; pad < name_width + 2; ++pad) out << ' ';
+    out << *aln.rf << '\n';
+  }
+  out << "//\n";
+}
+
+void write_stockholm_file(const std::string& path,
+                          const StockholmAlignment& aln) {
+  std::ofstream out(path);
+  FH_REQUIRE(out.good(), "cannot open Stockholm file for writing: " + path);
+  write_stockholm(out, aln);
+}
+
+}  // namespace finehmm::bio

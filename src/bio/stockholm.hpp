@@ -1,0 +1,34 @@
+// Stockholm 1.0 multiple-alignment format (Pfam's native format, and the
+// input hmmbuild actually consumes).
+//
+// Supports interleaved (multi-block) alignments, per-file and per-column
+// annotations (the #=GC RF reference line drives match-column assignment
+// when present), and the mandatory header/terminator.  Per-residue and
+// per-sequence annotations other than RF are skipped.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace finehmm::bio {
+
+struct StockholmAlignment {
+  std::string id;  // #=GF ID, if any
+  std::vector<std::string> names;
+  std::vector<std::string> rows;  // equal-length aligned rows
+  /// #=GC RF reference annotation: non-gap columns are match columns.
+  std::optional<std::string> rf;
+
+  std::size_t width() const { return rows.empty() ? 0 : rows[0].size(); }
+};
+
+StockholmAlignment read_stockholm(std::istream& in);
+StockholmAlignment read_stockholm_file(const std::string& path);
+
+void write_stockholm(std::ostream& out, const StockholmAlignment& aln);
+void write_stockholm_file(const std::string& path,
+                          const StockholmAlignment& aln);
+
+}  // namespace finehmm::bio

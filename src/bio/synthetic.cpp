@@ -1,0 +1,97 @@
+#include "bio/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace finehmm::bio {
+
+namespace {
+
+std::size_t clamp_length(double len, const SyntheticDbSpec& spec) {
+  if (len < static_cast<double>(spec.min_length))
+    return spec.min_length;
+  if (len > static_cast<double>(spec.max_length))
+    return spec.max_length;
+  return static_cast<std::size_t>(len);
+}
+
+}  // namespace
+
+SyntheticDbSpec SyntheticDbSpec::swissprot_like(double scale) {
+  FH_REQUIRE(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+  SyntheticDbSpec spec;
+  spec.name = "swissprot-like";
+  spec.n_sequences =
+      std::max<std::size_t>(1, static_cast<std::size_t>(459565.0 * scale));
+  // Mean 373.7 = exp(mu + sigma^2/2) with sigma 0.55 -> mu = 5.772.
+  spec.log_length_sigma = 0.55;
+  spec.log_length_mu = std::log(373.7) - 0.5 * 0.55 * 0.55;
+  spec.seed = 4242;
+  return spec;
+}
+
+SyntheticDbSpec SyntheticDbSpec::envnr_like(double scale) {
+  FH_REQUIRE(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+  SyntheticDbSpec spec;
+  spec.name = "envnr-like";
+  spec.n_sequences =
+      std::max<std::size_t>(1, static_cast<std::size_t>(6549721.0 * scale));
+  // Env_nr is metagenomic: short reads, mean 197, tighter distribution.
+  spec.log_length_sigma = 0.45;
+  spec.log_length_mu = std::log(197.0) - 0.5 * 0.45 * 0.45;
+  spec.min_length = 20;
+  spec.seed = 777;
+  return spec;
+}
+
+double SyntheticDbSpec::expected_mean_length() const {
+  return std::exp(log_length_mu + 0.5 * log_length_sigma * log_length_sigma);
+}
+
+Sequence random_sequence(std::size_t length, Pcg32& rng,
+                         const std::string& name) {
+  const auto& bg = background_frequencies();
+  // Build a cumulative table once per call; cheap relative to sampling.
+  std::array<double, kK> cdf;
+  double acc = 0.0;
+  for (int i = 0; i < kK; ++i) {
+    acc += bg[i];
+    cdf[i] = acc;
+  }
+  Sequence s;
+  s.name = name;
+  s.codes.resize(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    double x = rng.uniform() * acc;
+    // Linear scan is fine for K=20; branch-predictable and cache-resident.
+    std::uint8_t code = kK - 1;
+    for (int k = 0; k < kK; ++k) {
+      if (x < cdf[k]) {
+        code = static_cast<std::uint8_t>(k);
+        break;
+      }
+    }
+    s.codes[i] = code;
+  }
+  return s;
+}
+
+SequenceDatabase generate_database(const SyntheticDbSpec& spec) {
+  FH_REQUIRE(spec.n_sequences > 0, "database must have at least one sequence");
+  FH_REQUIRE(spec.min_length > 0 && spec.min_length <= spec.max_length,
+             "invalid length bounds");
+  Pcg32 rng(spec.seed);
+  SequenceDatabase db;
+  db.reserve(spec.n_sequences);
+  for (std::size_t i = 0; i < spec.n_sequences; ++i) {
+    double len = rng.lognormal(spec.log_length_mu, spec.log_length_sigma);
+    std::size_t n = clamp_length(len, spec);
+    Sequence s = random_sequence(n, rng, spec.name + "_" + std::to_string(i));
+    db.add(std::move(s));
+  }
+  return db;
+}
+
+}  // namespace finehmm::bio

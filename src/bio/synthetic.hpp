@@ -1,0 +1,51 @@
+// Synthetic sequence database generation.
+//
+// The paper evaluates on Swissprot (459,565 sequences / 171.7M residues) and
+// Env_nr (6,549,721 sequences / 1.29B residues).  Neither database ships
+// with this repository, so we synthesize stand-ins that reproduce what the
+// kernels are actually sensitive to: database size, sequence-length
+// distribution (load imbalance across warps) and residue composition.
+// Presets can be scaled down uniformly for CI-speed runs; every figure
+// bench reports which scale it used.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bio/sequence.hpp"
+#include "util/rng.hpp"
+
+namespace finehmm::bio {
+
+/// Parameters of a synthetic database.  Lengths are log-normal, clamped to
+/// [min_length, max_length]; residues are i.i.d. from the background
+/// composition.
+struct SyntheticDbSpec {
+  std::string name;
+  std::size_t n_sequences = 1000;
+  double log_length_mu = 5.6;     // underlying normal mean
+  double log_length_sigma = 0.55; // underlying normal sd
+  std::size_t min_length = 25;
+  std::size_t max_length = 8000;
+  std::uint64_t seed = 42;
+
+  /// Swissprot-like preset: mean length ~374 residues.  `scale` divides the
+  /// sequence count (1.0 would be the full 459,565 sequences).
+  static SyntheticDbSpec swissprot_like(double scale);
+
+  /// Env_nr-like preset: many short sequences, mean length ~197.
+  static SyntheticDbSpec envnr_like(double scale);
+
+  /// Expected mean sequence length of the log-normal (before clamping).
+  double expected_mean_length() const;
+};
+
+/// Generate the database described by `spec`.
+SequenceDatabase generate_database(const SyntheticDbSpec& spec);
+
+/// Generate a single random sequence of the given length from the
+/// background composition.
+Sequence random_sequence(std::size_t length, Pcg32& rng,
+                         const std::string& name = "random");
+
+}  // namespace finehmm::bio

@@ -1,0 +1,221 @@
+#include "cpu/checkpoint.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/logspace.hpp"
+
+namespace finehmm::cpu {
+
+namespace {
+
+using hmm::kPTBM;
+using hmm::kPTDD;
+using hmm::kPTDM;
+using hmm::kPTII;
+using hmm::kPTIM;
+using hmm::kPTMD;
+using hmm::kPTMI;
+using hmm::kPTMM;
+
+float add(float a, float b) {
+  if (a == kNegInf || b == kNegInf) return kNegInf;
+  return a + b;
+}
+
+/// One Forward row step: (pm, pi, pd) at row i-1 -> (cm, ci, cd) at row i.
+/// Returns xE of row i.  fwd_b_prev is B(i-1).
+float forward_row(const hmm::SearchProfile& prof, std::uint8_t x,
+                  float fwd_b_prev, const std::vector<float>& pm,
+                  const std::vector<float>& pi, const std::vector<float>& pd,
+                  std::vector<float>& cm, std::vector<float>& ci,
+                  std::vector<float>& cd) {
+  const int M = prof.length();
+  float xE = kNegInf;
+  cm[0] = ci[0] = cd[0] = kNegInf;
+  for (int k = 1; k <= M; ++k) {
+    float m = add(fwd_b_prev, prof.tsc(k - 1, kPTBM));
+    m = logsum_exact(m, add(pm[k - 1], prof.tsc(k - 1, kPTMM)));
+    m = logsum_exact(m, add(pi[k - 1], prof.tsc(k - 1, kPTIM)));
+    m = logsum_exact(m, add(pd[k - 1], prof.tsc(k - 1, kPTDM)));
+    m = add(m, prof.msc(k, x));
+    cm[k] = m;
+    xE = logsum_exact(xE, add(m, prof.esc(k)));
+    if (k < M) {
+      ci[k] = logsum_exact(add(pm[k], prof.tsc(k, kPTMI)),
+                           add(pi[k], prof.tsc(k, kPTII)));
+    } else {
+      ci[k] = kNegInf;
+    }
+    if (k >= 2) {
+      cd[k] = logsum_exact(add(cm[k - 1], prof.tsc(k - 1, kPTMD)),
+                           add(cd[k - 1], prof.tsc(k - 1, kPTDD)));
+    } else {
+      cd[k] = kNegInf;
+    }
+  }
+  return xE;
+}
+
+}  // namespace
+
+CheckpointedPosterior model_occupancy_checkpointed(
+    const hmm::SearchProfile& prof, const std::uint8_t* seq, std::size_t L,
+    std::size_t block) {
+  FH_REQUIRE(L >= 1, "cannot decode an empty sequence");
+  const int M = prof.length();
+  const auto xs = prof.xsc_for(static_cast<int>(L));
+  if (block == 0)
+    block = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(L))));
+  block = std::max<std::size_t>(1, block);
+
+  CheckpointedPosterior out;
+  out.block = block;
+  out.mocc.assign(L, 0.0f);
+
+  const std::size_t stride = static_cast<std::size_t>(M + 1);
+  const std::size_t n_blocks = (L + block - 1) / block;
+
+  // ---- Pass 1: Forward; keep specials for every row, snapshot (m,i,d)
+  // at each block's first row - 1 (i.e. the row the block restarts from).
+  std::vector<float> fwd_n(L + 1, kNegInf), fwd_b(L + 1, kNegInf),
+      fwd_j(L + 1, kNegInf), fwd_c(L + 1, kNegInf);
+  std::vector<float> snap_m(n_blocks * stride, kNegInf),
+      snap_i(n_blocks * stride, kNegInf), snap_d(n_blocks * stride, kNegInf);
+
+  std::vector<float> pm(stride, kNegInf), pi(stride, kNegInf),
+      pd(stride, kNegInf);
+  std::vector<float> cm(stride, kNegInf), ci(stride, kNegInf),
+      cd(stride, kNegInf);
+
+  fwd_n[0] = 0.0f;
+  fwd_b[0] = xs.n_move;
+  for (std::size_t i = 1; i <= L; ++i) {
+    if ((i - 1) % block == 0) {
+      std::size_t b = (i - 1) / block;
+      std::copy(pm.begin(), pm.end(), snap_m.begin() + b * stride);
+      std::copy(pi.begin(), pi.end(), snap_i.begin() + b * stride);
+      std::copy(pd.begin(), pd.end(), snap_d.begin() + b * stride);
+    }
+    float xE = forward_row(prof, seq[i - 1], fwd_b[i - 1], pm, pi, pd, cm,
+                           ci, cd);
+    fwd_j[i] = logsum_exact(add(fwd_j[i - 1], xs.j_loop), add(xE, xs.e_j));
+    fwd_c[i] = logsum_exact(add(fwd_c[i - 1], xs.c_loop), add(xE, xs.e_c));
+    fwd_n[i] = add(fwd_n[i - 1], xs.n_loop);
+    fwd_b[i] = logsum_exact(add(fwd_n[i], xs.n_move),
+                            add(fwd_j[i], xs.j_move));
+    pm.swap(cm);
+    pi.swap(ci);
+    pd.swap(cd);
+  }
+  out.total = add(fwd_c[L], xs.c_move);
+
+  // ---- Pass 2: Backward sweep; per block, recompute the block's Forward
+  // rows from its snapshot, then consume them back to front.
+  std::vector<float> blk_m(block * stride), blk_i(block * stride),
+      blk_d(block * stride);
+  out.peak_rows = 3 * (n_blocks + block + 4);  // snapshots + block + rolling
+
+  // Rolling backward rows at i+1 ("next") and i ("cur").
+  std::vector<float> bnm(stride + 1, kNegInf), bni(stride + 1, kNegInf),
+      bnd(stride + 1, kNegInf);
+  std::vector<float> bcm(stride + 1, kNegInf), bci(stride + 1, kNegInf),
+      bcd(stride + 1, kNegInf);
+  float bwd_c = xs.c_move;
+  float bwd_j = kNegInf;
+  float bwd_n = kNegInf;
+  {
+    float bxE = add(xs.e_c, bwd_c);
+    for (int k = 1; k <= M; ++k) bnm[k] = add(prof.esc(k), bxE);
+  }
+
+  for (std::size_t b = n_blocks; b-- > 0;) {
+    std::size_t lo = b * block + 1;                       // first row of block
+    std::size_t hi = std::min(L, (b + 1) * block);        // last row
+    // Recompute Forward rows lo..hi from the snapshot at row lo-1.
+    std::copy(snap_m.begin() + b * stride,
+              snap_m.begin() + (b + 1) * stride, pm.begin());
+    std::copy(snap_i.begin() + b * stride,
+              snap_i.begin() + (b + 1) * stride, pi.begin());
+    std::copy(snap_d.begin() + b * stride,
+              snap_d.begin() + (b + 1) * stride, pd.begin());
+    for (std::size_t i = lo; i <= hi; ++i) {
+      forward_row(prof, seq[i - 1], fwd_b[i - 1], pm, pi, pd, cm, ci, cd);
+      std::size_t r = (i - lo) * stride;
+      std::copy(cm.begin(), cm.end(), blk_m.begin() + r);
+      std::copy(ci.begin(), ci.end(), blk_i.begin() + r);
+      std::copy(cd.begin(), cd.end(), blk_d.begin() + r);
+      pm.swap(cm);
+      pi.swap(ci);
+      pd.swap(cd);
+    }
+
+    // Backward through the block, combining on the fly.
+    for (std::size_t i = hi; i >= lo; --i) {
+      // mocc(i) from fwd row i (in blk_*) and bwd row i... but the bwd
+      // row at i is produced AFTER stepping from i+1; at loop entry the
+      // "next" arrays hold row i+1's bwd values... The bwd M/I values of
+      // row i are needed; we must first compute them (they depend on row
+      // i+1 and residue x_{i+1}), except at i == L where they are the
+      // initial rows set above.
+      if (i < L) {
+        std::uint8_t x = seq[i];  // residue i+1
+        float bxB = kNegInf;
+        for (int k = 1; k <= M; ++k)
+          bxB = logsum_exact(bxB, add(prof.tsc(k - 1, kPTBM),
+                                      add(prof.msc(k, x), bnm[k])));
+        float new_j = logsum_exact(add(xs.j_loop, bwd_j),
+                                   add(xs.j_move, bxB));
+        float new_c = add(xs.c_loop, bwd_c);
+        float new_n = logsum_exact(add(xs.n_loop, bwd_n),
+                                   add(xs.n_move, bxB));
+        float bxE = logsum_exact(add(xs.e_c, new_c), add(xs.e_j, new_j));
+        for (int k = M; k >= 1; --k) {
+          float d = kNegInf;
+          if (k < M) {
+            d = add(prof.tsc(k, kPTDM), add(prof.msc(k + 1, x), bnm[k + 1]));
+            d = logsum_exact(d, add(prof.tsc(k, kPTDD), bcd[k + 1]));
+          }
+          bcd[k] = d;
+          float iv = kNegInf;
+          if (k < M) {
+            iv = add(prof.tsc(k, kPTIM),
+                     add(prof.msc(k + 1, x), bnm[k + 1]));
+            iv = logsum_exact(iv, add(prof.tsc(k, kPTII), bni[k]));
+          }
+          bci[k] = iv;
+          float m = add(prof.esc(k), bxE);
+          if (k < M) {
+            m = logsum_exact(m, add(prof.tsc(k, kPTMM),
+                                    add(prof.msc(k + 1, x), bnm[k + 1])));
+            m = logsum_exact(m, add(prof.tsc(k, kPTMI), bni[k]));
+            m = logsum_exact(m, add(prof.tsc(k, kPTMD), bcd[k + 1]));
+          }
+          bcm[k] = m;
+        }
+        bwd_j = new_j;
+        bwd_c = new_c;
+        bwd_n = new_n;
+        bnm.swap(bcm);
+        bni.swap(bci);
+        bnd.swap(bcd);
+      }
+
+      // Combine: fwd row i (block storage) x bwd row i (bn*).
+      const std::size_t r = (i - lo) * stride;
+      float acc = kNegInf;
+      for (int k = 1; k <= M; ++k) {
+        acc = logsum_exact(acc, blk_m[r + k] + bnm[k]);
+        acc = logsum_exact(acc, blk_i[r + k] + bni[k]);
+      }
+      float p = acc == kNegInf ? 0.0f : std::exp(acc - out.total);
+      out.mocc[i - 1] = std::min(1.0f, std::max(0.0f, p));
+      if (i == lo) break;  // avoid size_t underflow
+    }
+  }
+  return out;
+}
+
+}  // namespace finehmm::cpu

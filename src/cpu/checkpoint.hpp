@@ -1,0 +1,33 @@
+// Checkpointed posterior decoding (extension; the memory-economy idea of
+// HMMER 3.1's checkpointed Forward/Backward matrices).
+//
+// Full posterior decoding stores O(M*L) Forward AND Backward cells — for
+// a 2405-state model against a 40k-residue target that is ~2.3 GB.  The
+// checkpointed decoder stores Forward row snapshots every B rows plus the
+// O(L) special-state lanes, then sweeps Backward once, recomputing each
+// B-row Forward block from its snapshot just in time; with B = sqrt(L)
+// memory drops to O(M*sqrt(L)) at the cost of one extra Forward pass.
+// The produced occupancies match cpu::model_occupancy exactly (same
+// arithmetic, same order within rows).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hmm/profile.hpp"
+
+namespace finehmm::cpu {
+
+struct CheckpointedPosterior {
+  float total = 0.0f;           // Forward score (nats)
+  std::vector<float> mocc;      // per-residue model occupancy, size L
+  std::size_t block = 0;        // block size used
+  std::size_t peak_rows = 0;    // max simultaneously resident M-sized rows
+};
+
+/// block = 0 selects ceil(sqrt(L)).
+CheckpointedPosterior model_occupancy_checkpointed(
+    const hmm::SearchProfile& prof, const std::uint8_t* seq, std::size_t L,
+    std::size_t block = 0);
+
+}  // namespace finehmm::cpu

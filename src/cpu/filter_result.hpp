@@ -1,0 +1,16 @@
+// Result type shared by every MSV / Viterbi filter implementation.
+#pragma once
+
+#include <limits>
+
+namespace finehmm::cpu {
+
+struct FilterResult {
+  /// Raw profile score in nats (log-odds vs the background emissions;
+  /// null1's length term is NOT yet subtracted).  +inf when the byte
+  /// filter overflowed (the sequence certainly passes the filter).
+  float score_nats = -std::numeric_limits<float>::infinity();
+  bool overflowed = false;
+};
+
+}  // namespace finehmm::cpu

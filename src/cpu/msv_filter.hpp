@@ -1,0 +1,35 @@
+// Striped SIMD MSV filter — the CPU baseline the paper compares against.
+//
+// Farrar striping over 16 byte lanes: model position k (1-based) lives in
+// stripe q=(k-1)%Q, lane j=(k-1)/Q.  The previous row's diagonal
+// dependency is realized by shifting the last stripe's lanes up by one at
+// the start of each row.  This mirrors HMMER 3.0's SSE p7_MSVFilter and
+// returns xJ bytes bit-identical to msv_scalar.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "cpu/filter_result.hpp"
+#include "profile/msv_profile.hpp"
+
+namespace finehmm::cpu {
+
+/// Reusable row storage so database scans don't reallocate per sequence.
+class MsvFilter {
+ public:
+  explicit MsvFilter(const profile::MsvProfile& prof);
+
+  FilterResult score(const std::uint8_t* seq, std::size_t L);
+
+ private:
+  const profile::MsvProfile& prof_;
+  // Q stripes x 16 lanes of the current DP row.
+  std::vector<std::uint8_t> row_;
+};
+
+/// One-shot convenience wrapper.
+FilterResult msv_striped(const profile::MsvProfile& prof,
+                         const std::uint8_t* seq, std::size_t L);
+
+}  // namespace finehmm::cpu

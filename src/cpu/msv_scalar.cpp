@@ -1,0 +1,66 @@
+#include "cpu/msv_scalar.hpp"
+
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/logspace.hpp"
+
+namespace finehmm::cpu {
+
+namespace {
+
+inline std::uint8_t sat_add(std::uint8_t a, std::uint8_t b) {
+  unsigned s = unsigned(a) + unsigned(b);
+  return s > 255u ? 255u : std::uint8_t(s);
+}
+inline std::uint8_t sat_sub(std::uint8_t a, std::uint8_t b) {
+  return a > b ? std::uint8_t(a - b) : 0;
+}
+
+}  // namespace
+
+FilterResult msv_scalar(const profile::MsvProfile& prof,
+                        const std::uint8_t* seq, std::size_t L) {
+  FH_REQUIRE(L >= 1, "cannot score an empty sequence");
+  const int M = prof.length();
+  const std::uint8_t base = prof.base();
+  const std::uint8_t bias = prof.bias();
+  const std::uint8_t tbm = prof.tbm();
+  const std::uint8_t tec = prof.tec();
+  const std::uint8_t tjb = prof.tjb_for(static_cast<int>(L));
+
+  // mmx[k], k = 1..M; byte 0 is the saturating floor (-inf).
+  std::vector<std::uint8_t> mmx(static_cast<std::size_t>(M) + 1, 0);
+
+  std::uint8_t xJ = 0;
+  std::uint8_t xB = sat_sub(base, tjb);  // N->B move charged up front
+
+  FilterResult out;
+  for (std::size_t i = 0; i < L; ++i) {
+    const std::uint8_t* rbv = prof.linear_row(seq[i]);
+    const std::uint8_t xBv = sat_sub(xB, tbm);
+    std::uint8_t xE = 0;
+    std::uint8_t diag = 0;  // previous row's mmx[k-1]; mmx[0] == floor
+    for (int k = 1; k <= M; ++k) {
+      std::uint8_t sv = diag > xBv ? diag : xBv;
+      sv = sat_add(sv, bias);
+      sv = sat_sub(sv, rbv[k - 1]);
+      diag = mmx[k];  // read previous-row value before overwriting
+      mmx[k] = sv;
+      if (sv > xE) xE = sv;
+    }
+    if (prof.overflowed(xE)) {
+      out.score_nats = std::numeric_limits<float>::infinity();
+      out.overflowed = true;
+      return out;
+    }
+    xE = sat_sub(xE, tec);
+    if (xE > xJ) xJ = xE;
+    xB = xJ > base ? xJ : base;
+    xB = sat_sub(xB, tjb);
+  }
+  out.score_nats = prof.score_from_bytes(xJ, static_cast<int>(L));
+  return out;
+}
+
+}  // namespace finehmm::cpu

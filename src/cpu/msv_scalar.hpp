@@ -1,0 +1,21 @@
+// Golden scalar implementation of the 8-bit MSV filter.
+//
+// This is the executable specification: the striped CPU filter and the
+// warp-synchronous SIMT kernel must return bit-identical xJ bytes.  The
+// recurrence follows HMMER 3.0's p7_MSVFilter (and the paper's Algorithm
+// 1) exactly, including the double-buffered diagonal read.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "cpu/filter_result.hpp"
+#include "profile/msv_profile.hpp"
+
+namespace finehmm::cpu {
+
+/// Score one digitized sequence; L is the sequence length.
+FilterResult msv_scalar(const profile::MsvProfile& prof,
+                        const std::uint8_t* seq, std::size_t L);
+
+}  // namespace finehmm::cpu

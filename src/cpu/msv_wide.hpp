@@ -1,0 +1,156 @@
+// Width-templated striped MSV filter (extension).
+//
+// HMMER 3.0 shipped 16-lane SSE; later releases re-striped the same
+// algorithm for AVX2 (32 lanes) and AVX-512 (64 lanes).  The Farrar
+// striping generalizes cleanly — position k lives in stripe (k-1)%Q, lane
+// (k-1)/Q with Q = ceil(M/N) — and this header provides the whole family
+// as a template, byte-exact with the scalar reference at every width.
+// The portable lane loops vectorize to whatever the host ISA offers; the
+// template is the specification an intrinsic port would be tested
+// against.
+#pragma once
+
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "cpu/filter_result.hpp"
+#include "profile/msv_profile.hpp"
+#include "util/aligned.hpp"
+#include "util/error.hpp"
+
+namespace finehmm::cpu {
+
+template <int N>
+struct U8xN {
+  static_assert(N >= 2 && (N & (N - 1)) == 0, "lane count: power of two");
+  std::uint8_t v[N];
+
+  static U8xN splat(std::uint8_t x) {
+    U8xN r;
+    for (auto& e : r.v) e = x;
+    return r;
+  }
+  static U8xN load(const std::uint8_t* p) {
+    U8xN r;
+    std::memcpy(r.v, p, N);
+    return r;
+  }
+  void store(std::uint8_t* p) const { std::memcpy(p, v, N); }
+};
+
+template <int N>
+inline U8xN<N> max_u8(U8xN<N> a, U8xN<N> b) {
+  U8xN<N> r;
+  for (int i = 0; i < N; ++i) r.v[i] = a.v[i] > b.v[i] ? a.v[i] : b.v[i];
+  return r;
+}
+template <int N>
+inline U8xN<N> adds_u8(U8xN<N> a, U8xN<N> b) {
+  U8xN<N> r;
+  for (int i = 0; i < N; ++i) {
+    unsigned s = unsigned(a.v[i]) + unsigned(b.v[i]);
+    r.v[i] = s > 255u ? 255u : std::uint8_t(s);
+  }
+  return r;
+}
+template <int N>
+inline U8xN<N> subs_u8(U8xN<N> a, U8xN<N> b) {
+  U8xN<N> r;
+  for (int i = 0; i < N; ++i)
+    r.v[i] = a.v[i] > b.v[i] ? std::uint8_t(a.v[i] - b.v[i]) : 0;
+  return r;
+}
+template <int N>
+inline U8xN<N> shift_lanes_up(U8xN<N> a) {
+  U8xN<N> r;
+  r.v[0] = 0;
+  for (int i = 1; i < N; ++i) r.v[i] = a.v[i - 1];
+  return r;
+}
+template <int N>
+inline std::uint8_t hmax_u8(U8xN<N> a) {
+  std::uint8_t m = 0;
+  for (auto e : a.v)
+    if (e > m) m = e;
+  return m;
+}
+
+/// Emission costs re-striped for an N-lane engine, built once per model
+/// from the MsvProfile's linear (position-ordered) costs.
+template <int N>
+class WideMsvStripes {
+ public:
+  explicit WideMsvStripes(const profile::MsvProfile& prof)
+      : M_(prof.length()), Q_((prof.length() + N - 1) / N) {
+    rows_.assign(static_cast<std::size_t>(bio::kKp) * Q_ * N, 255);
+    for (int x = 0; x < bio::kKp; ++x) {
+      const std::uint8_t* lin = prof.linear_row(x);
+      for (int k = 1; k <= M_; ++k) {
+        int q = (k - 1) % Q_;
+        int j = (k - 1) / Q_;
+        rows_[(static_cast<std::size_t>(x) * Q_ + q) * N + j] = lin[k - 1];
+      }
+    }
+  }
+  int segments() const noexcept { return Q_; }
+  const std::uint8_t* row(int x) const {
+    return rows_.data() + static_cast<std::size_t>(x) * Q_ * N;
+  }
+
+ private:
+  int M_;
+  int Q_;
+  aligned_vector<std::uint8_t> rows_;
+};
+
+/// N-lane striped MSV; scores are byte-exact with cpu::msv_scalar.
+template <int N>
+FilterResult msv_striped_wide(const profile::MsvProfile& prof,
+                              const WideMsvStripes<N>& stripes,
+                              const std::uint8_t* seq, std::size_t L) {
+  FH_REQUIRE(L >= 1, "cannot score an empty sequence");
+  const int Q = stripes.segments();
+  const U8xN<N> biasv = U8xN<N>::splat(prof.bias());
+  const std::uint8_t base = prof.base();
+  const std::uint8_t tbm = prof.tbm();
+  const std::uint8_t tec = prof.tec();
+  const std::uint8_t tjb = prof.tjb_for(static_cast<int>(L));
+
+  std::vector<std::uint8_t> row(static_cast<std::size_t>(Q) * N, 0);
+  std::uint8_t xJ = 0;
+  std::uint8_t xB = base > tjb ? std::uint8_t(base - tjb) : 0;
+
+  FilterResult out;
+  for (std::size_t i = 0; i < L; ++i) {
+    const std::uint8_t* rbv = stripes.row(seq[i]);
+    const U8xN<N> xBv =
+        U8xN<N>::splat(xB > tbm ? std::uint8_t(xB - tbm) : 0);
+    U8xN<N> xEv = U8xN<N>::splat(0);
+    U8xN<N> mpv = shift_lanes_up(
+        U8xN<N>::load(row.data() + static_cast<std::size_t>(Q - 1) * N));
+    for (int q = 0; q < Q; ++q) {
+      std::uint8_t* cell = row.data() + static_cast<std::size_t>(q) * N;
+      U8xN<N> sv = max_u8(mpv, xBv);
+      sv = adds_u8(sv, biasv);
+      sv = subs_u8(sv, U8xN<N>::load(rbv + static_cast<std::size_t>(q) * N));
+      xEv = max_u8(xEv, sv);
+      mpv = U8xN<N>::load(cell);
+      sv.store(cell);
+    }
+    std::uint8_t xE = hmax_u8(xEv);
+    if (prof.overflowed(xE)) {
+      out.score_nats = std::numeric_limits<float>::infinity();
+      out.overflowed = true;
+      return out;
+    }
+    xE = xE > tec ? std::uint8_t(xE - tec) : 0;
+    if (xE > xJ) xJ = xE;
+    xB = xJ > base ? xJ : base;
+    xB = xB > tjb ? std::uint8_t(xB - tjb) : 0;
+  }
+  out.score_nats = prof.score_from_bytes(xJ, static_cast<int>(L));
+  return out;
+}
+
+}  // namespace finehmm::cpu

@@ -1,0 +1,103 @@
+#include "cpu/ssv.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "cpu/simd_vec.hpp"
+#include "util/error.hpp"
+
+namespace finehmm::cpu {
+
+namespace {
+
+inline std::uint8_t sat_add(std::uint8_t a, std::uint8_t b) {
+  unsigned s = unsigned(a) + unsigned(b);
+  return s > 255u ? 255u : std::uint8_t(s);
+}
+inline std::uint8_t sat_sub(std::uint8_t a, std::uint8_t b) {
+  return a > b ? std::uint8_t(a - b) : 0;
+}
+
+/// Shared final conversion: like MSV's but with a single E->C hop (no J
+/// re-entry ever happens, so xJ == best xE - tec).
+FilterResult finish(const profile::MsvProfile& prof, std::uint8_t xEmax,
+                    bool overflowed, std::size_t L) {
+  FilterResult out;
+  if (overflowed) {
+    out.score_nats = std::numeric_limits<float>::infinity();
+    out.overflowed = true;
+    return out;
+  }
+  std::uint8_t xJ = sat_sub(xEmax, prof.tec());
+  out.score_nats = prof.score_from_bytes(xJ, static_cast<int>(L));
+  return out;
+}
+
+}  // namespace
+
+FilterResult ssv_scalar(const profile::MsvProfile& prof,
+                        const std::uint8_t* seq, std::size_t L) {
+  FH_REQUIRE(L >= 1, "cannot score an empty sequence");
+  const int M = prof.length();
+  const std::uint8_t bias = prof.bias();
+  const std::uint8_t tjb = prof.tjb_for(static_cast<int>(L));
+  // Without J, the begin score is a constant: base - tjb - tbm.
+  const std::uint8_t xBv =
+      sat_sub(sat_sub(prof.base(), tjb), prof.tbm());
+
+  std::vector<std::uint8_t> mmx(static_cast<std::size_t>(M) + 1, 0);
+  std::uint8_t xEmax = 0;
+
+  for (std::size_t i = 0; i < L; ++i) {
+    const std::uint8_t* rbv = prof.linear_row(seq[i]);
+    std::uint8_t diag = 0;
+    for (int k = 1; k <= M; ++k) {
+      std::uint8_t sv = diag > xBv ? diag : xBv;
+      sv = sat_add(sv, bias);
+      sv = sat_sub(sv, rbv[k - 1]);
+      diag = mmx[k];
+      mmx[k] = sv;
+      if (sv > xEmax) xEmax = sv;
+    }
+    if (prof.overflowed(xEmax))
+      return finish(prof, xEmax, /*overflowed=*/true, L);
+  }
+  return finish(prof, xEmax, /*overflowed=*/false, L);
+}
+
+FilterResult ssv_striped(const profile::MsvProfile& prof,
+                         const std::uint8_t* seq, std::size_t L) {
+  FH_REQUIRE(L >= 1, "cannot score an empty sequence");
+  const int Q = prof.striped_segments();
+  const U8x16 biasv = U8x16::splat(prof.bias());
+  const std::uint8_t tjb = prof.tjb_for(static_cast<int>(L));
+  const U8x16 xBv = U8x16::splat(
+      sat_sub(sat_sub(prof.base(), tjb), prof.tbm()));
+
+  std::vector<std::uint8_t> row(
+      static_cast<std::size_t>(Q) * profile::MsvProfile::kLanes, 0);
+  U8x16 xEv = U8x16::zero();
+
+  for (std::size_t i = 0; i < L; ++i) {
+    const std::uint8_t* rbv = prof.striped_row(seq[i]);
+    U8x16 mpv = shift_lanes_up(
+        U8x16::load(row.data() + static_cast<std::size_t>(Q - 1) *
+                                     profile::MsvProfile::kLanes));
+    for (int q = 0; q < Q; ++q) {
+      std::uint8_t* cell =
+          row.data() + static_cast<std::size_t>(q) * profile::MsvProfile::kLanes;
+      U8x16 sv = max_u8(mpv, xBv);
+      sv = adds_u8(sv, biasv);
+      sv = subs_u8(sv, U8x16::load(rbv + static_cast<std::size_t>(q) *
+                                             profile::MsvProfile::kLanes));
+      xEv = max_u8(xEv, sv);
+      mpv = U8x16::load(cell);
+      sv.store(cell);
+    }
+    if (prof.overflowed(hmax_u8(xEv)))
+      return finish(prof, hmax_u8(xEv), /*overflowed=*/true, L);
+  }
+  return finish(prof, hmax_u8(xEv), /*overflowed=*/false, L);
+}
+
+}  // namespace finehmm::cpu

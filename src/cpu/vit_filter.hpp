@@ -1,0 +1,40 @@
+// Striped SIMD ViterbiFilter with the Farrar Lazy-F evaluation.
+//
+// The D->D dependency chain breaks striping: consecutive model positions
+// sit in consecutive stripes of the same lane, so in-row propagation works
+// within a pass over the stripes, but chains that cross a lane boundary
+// need the dcv register wrapped (lane-shifted) and the pass repeated.
+// Because most rows take no D->D path at all, the repeat almost never
+// fires — the "Lazy-F" insight of Farrar (2007) that HMMER 3.0 and the
+// paper's GPU kernel both rely on.  Word values match vit_scalar exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cpu/filter_result.hpp"
+#include "profile/vit_profile.hpp"
+
+namespace finehmm::cpu {
+
+class VitFilter {
+ public:
+  explicit VitFilter(const profile::VitProfile& prof);
+
+  FilterResult score(const std::uint8_t* seq, std::size_t L);
+
+  /// Number of Lazy-F wrap passes executed by the last score() call
+  /// (diagnostic; 0 means no chain crossed a lane boundary).
+  int last_lazyf_passes() const noexcept { return lazyf_passes_; }
+
+ private:
+  const profile::VitProfile& prof_;
+  std::vector<std::int16_t> mmx_, imx_, dmx_;  // Q stripes x 8 lanes each
+  int lazyf_passes_ = 0;
+};
+
+FilterResult vit_striped(const profile::VitProfile& prof,
+                         const std::uint8_t* seq, std::size_t L);
+
+}  // namespace finehmm::cpu

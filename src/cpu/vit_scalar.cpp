@@ -1,0 +1,69 @@
+#include "cpu/vit_scalar.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace finehmm::cpu {
+
+using profile::kWordNegInf;
+using profile::sat_add_word;
+
+FilterResult vit_scalar(const profile::VitProfile& prof,
+                        const std::uint8_t* seq, std::size_t L) {
+  FH_REQUIRE(L >= 1, "cannot score an empty sequence");
+  const int M = prof.length();
+  const auto lm = prof.length_model_for(static_cast<int>(L));
+  const std::int16_t entry = prof.entry();
+
+  // Two-row DP in absolute word scores; index 0 is the -inf floor column.
+  std::vector<std::int16_t> pm(M + 1, kWordNegInf), pi(M + 1, kWordNegInf),
+      pd(M + 1, kWordNegInf);
+  std::vector<std::int16_t> cm(M + 1, kWordNegInf), ci(M + 1, kWordNegInf),
+      cd(M + 1, kWordNegInf);
+
+  std::int16_t xN = profile::VitProfile::kBase;
+  std::int16_t xB = sat_add_word(xN, lm.move);
+  std::int16_t xJ = kWordNegInf;
+  std::int16_t xC = kWordNegInf;
+
+  for (std::size_t i = 0; i < L; ++i) {
+    const std::int16_t* msr = prof.msc_row(seq[i]);
+    std::int16_t xE = kWordNegInf;
+    cm[0] = ci[0] = cd[0] = kWordNegInf;
+    for (int k = 1; k <= M; ++k) {
+      std::int16_t m = sat_add_word(xB, entry);
+      m = std::max(m, sat_add_word(pm[k - 1], prof.tmm_in(k)));
+      m = std::max(m, sat_add_word(pi[k - 1], prof.tim_in(k)));
+      m = std::max(m, sat_add_word(pd[k - 1], prof.tdm_in(k)));
+      m = sat_add_word(m, msr[k - 1]);
+      cm[k] = m;
+      if (m > xE) xE = m;
+
+      ci[k] = std::max(sat_add_word(pm[k], prof.tmi_at(k)),
+                       sat_add_word(pi[k], prof.tii_at(k)));
+
+      // D->D is evaluated serially: cd[k-1] is already this row's value.
+      if (k >= 2) {
+        cd[k] = std::max(sat_add_word(cm[k - 1], prof.tmd_out(k - 1)),
+                         sat_add_word(cd[k - 1], prof.tdd_out(k - 1)));
+      } else {
+        cd[k] = kWordNegInf;  // no local delete entry
+      }
+    }
+    xJ = std::max(sat_add_word(xJ, lm.loop), sat_add_word(xE, prof.e_j()));
+    xC = std::max(sat_add_word(xC, lm.loop), sat_add_word(xE, prof.e_c()));
+    xN = sat_add_word(xN, lm.loop);
+    xB = std::max(sat_add_word(xN, lm.move), sat_add_word(xJ, lm.move));
+    pm.swap(cm);
+    pi.swap(ci);
+    pd.swap(cd);
+  }
+
+  FilterResult out;
+  out.score_nats = prof.score_from_words(xC, lm);
+  return out;
+}
+
+}  // namespace finehmm::cpu

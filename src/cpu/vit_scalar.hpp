@@ -1,0 +1,20 @@
+// Golden scalar implementation of the 16-bit ViterbiFilter.
+//
+// Computes the exact Plan-7 Viterbi recurrence in word scores, evaluating
+// the D->D chain serially within each row (no Lazy-F shortcut).  Both the
+// striped CPU filter (Farrar Lazy-F) and the SIMT kernel (the paper's
+// parallel Lazy-F, Fig. 7) must converge to bit-identical word values.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "cpu/filter_result.hpp"
+#include "profile/vit_profile.hpp"
+
+namespace finehmm::cpu {
+
+FilterResult vit_scalar(const profile::VitProfile& prof,
+                        const std::uint8_t* seq, std::size_t L);
+
+}  // namespace finehmm::cpu

@@ -1,0 +1,207 @@
+// Width-templated striped ViterbiFilter (extension; companion of
+// cpu/msv_wide.hpp).
+//
+// The Farrar/Lazy-F ViterbiFilter re-striped for N int16 lanes (8 = SSE,
+// 16 = AVX2, 32 = AVX-512).  All transition stripes are rebuilt from the
+// VitProfile's linear arrays; word scores are bit-exact with
+// cpu::vit_scalar at every width.
+#pragma once
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "cpu/filter_result.hpp"
+#include "profile/vit_profile.hpp"
+#include "util/aligned.hpp"
+#include "util/error.hpp"
+
+namespace finehmm::cpu {
+
+template <int N>
+struct I16xN {
+  static_assert(N >= 2 && (N & (N - 1)) == 0, "lane count: power of two");
+  std::int16_t v[N];
+
+  static I16xN splat(std::int16_t x) {
+    I16xN r;
+    for (auto& e : r.v) e = x;
+    return r;
+  }
+  static I16xN neg_inf() { return splat(profile::kWordNegInf); }
+  static I16xN load(const std::int16_t* p) {
+    I16xN r;
+    std::memcpy(r.v, p, N * sizeof(std::int16_t));
+    return r;
+  }
+  void store(std::int16_t* p) const {
+    std::memcpy(p, v, N * sizeof(std::int16_t));
+  }
+};
+
+template <int N>
+inline I16xN<N> max_w(I16xN<N> a, I16xN<N> b) {
+  I16xN<N> r;
+  for (int i = 0; i < N; ++i) r.v[i] = a.v[i] > b.v[i] ? a.v[i] : b.v[i];
+  return r;
+}
+template <int N>
+inline I16xN<N> adds_w(I16xN<N> a, I16xN<N> b) {
+  I16xN<N> r;
+  for (int i = 0; i < N; ++i) r.v[i] = profile::sat_add_word(a.v[i], b.v[i]);
+  return r;
+}
+template <int N>
+inline I16xN<N> shift_lanes_up(I16xN<N> a) {
+  I16xN<N> r;
+  r.v[0] = profile::kWordNegInf;
+  for (int i = 1; i < N; ++i) r.v[i] = a.v[i - 1];
+  return r;
+}
+template <int N>
+inline std::int16_t hmax_w(I16xN<N> a) {
+  std::int16_t m = profile::kWordNegInf;
+  for (auto e : a.v)
+    if (e > m) m = e;
+  return m;
+}
+template <int N>
+inline bool any_gt_w(I16xN<N> a, I16xN<N> b) {
+  for (int i = 0; i < N; ++i)
+    if (a.v[i] > b.v[i]) return true;
+  return false;
+}
+
+/// All eight parameter stripes re-laid-out for N lanes.
+template <int N>
+class WideVitStripes {
+ public:
+  explicit WideVitStripes(const profile::VitProfile& prof)
+      : M_(prof.length()), Q_((prof.length() + N - 1) / N) {
+    auto stripe = [this](const std::int16_t* lin,
+                         aligned_vector<std::int16_t>& out) {
+      out.assign(static_cast<std::size_t>(Q_) * N, profile::kWordNegInf);
+      for (int k = 1; k <= M_; ++k)
+        out[static_cast<std::size_t>((k - 1) % Q_) * N + (k - 1) / Q_] =
+            lin[k - 1];
+    };
+    stripe(prof.tmm_data(), tmm_);
+    stripe(prof.tim_data(), tim_);
+    stripe(prof.tdm_data(), tdm_);
+    stripe(prof.tmi_data(), tmi_);
+    stripe(prof.tii_data(), tii_);
+    stripe(prof.tmd_data(), tmd_);
+    stripe(prof.tdd_data(), tdd_);
+    msc_.assign(static_cast<std::size_t>(bio::kKp) * Q_ * N,
+                profile::kWordNegInf);
+    for (int x = 0; x < bio::kKp; ++x) {
+      const std::int16_t* lin = prof.msc_row(x);
+      for (int k = 1; k <= M_; ++k)
+        msc_[(static_cast<std::size_t>(x) * Q_ + (k - 1) % Q_) * N +
+             (k - 1) / Q_] = lin[k - 1];
+    }
+  }
+  int segments() const noexcept { return Q_; }
+  const std::int16_t* msc(int x) const {
+    return msc_.data() + static_cast<std::size_t>(x) * Q_ * N;
+  }
+  const std::int16_t* tmm() const { return tmm_.data(); }
+  const std::int16_t* tim() const { return tim_.data(); }
+  const std::int16_t* tdm() const { return tdm_.data(); }
+  const std::int16_t* tmi() const { return tmi_.data(); }
+  const std::int16_t* tii() const { return tii_.data(); }
+  const std::int16_t* tmd() const { return tmd_.data(); }
+  const std::int16_t* tdd() const { return tdd_.data(); }
+
+ private:
+  int M_;
+  int Q_;
+  aligned_vector<std::int16_t> msc_, tmm_, tim_, tdm_, tmi_, tii_, tmd_,
+      tdd_;
+};
+
+/// N-lane ViterbiFilter with Lazy-F; bit-exact with cpu::vit_scalar.
+template <int N>
+FilterResult vit_striped_wide(const profile::VitProfile& prof,
+                              const WideVitStripes<N>& st,
+                              const std::uint8_t* seq, std::size_t L) {
+  using profile::kWordNegInf;
+  using profile::sat_add_word;
+  FH_REQUIRE(L >= 1, "cannot score an empty sequence");
+  const int Q = st.segments();
+  const auto lm = prof.length_model_for(static_cast<int>(L));
+
+  std::vector<std::int16_t> mmx(static_cast<std::size_t>(Q) * N,
+                                kWordNegInf);
+  std::vector<std::int16_t> imx(mmx), dmx(mmx);
+  auto at = [&](std::vector<std::int16_t>& v, int q) {
+    return v.data() + static_cast<std::size_t>(q) * N;
+  };
+
+  std::int16_t xN = profile::VitProfile::kBase;
+  std::int16_t xB = sat_add_word(xN, lm.move);
+  std::int16_t xJ = kWordNegInf;
+  std::int16_t xC = kWordNegInf;
+
+  for (std::size_t i = 0; i < L; ++i) {
+    const std::int16_t* msr = st.msc(seq[i]);
+    I16xN<N> xEv = I16xN<N>::neg_inf();
+    I16xN<N> dcv = I16xN<N>::neg_inf();
+    const I16xN<N> xBv = I16xN<N>::splat(sat_add_word(xB, prof.entry()));
+
+    I16xN<N> mpv = shift_lanes_up(I16xN<N>::load(at(mmx, Q - 1)));
+    I16xN<N> ipv = shift_lanes_up(I16xN<N>::load(at(imx, Q - 1)));
+    I16xN<N> dpv = shift_lanes_up(I16xN<N>::load(at(dmx, Q - 1)));
+
+    for (int q = 0; q < Q; ++q) {
+      const std::size_t off = static_cast<std::size_t>(q) * N;
+      I16xN<N> sv = xBv;
+      sv = max_w(sv, adds_w(mpv, I16xN<N>::load(st.tmm() + off)));
+      sv = max_w(sv, adds_w(ipv, I16xN<N>::load(st.tim() + off)));
+      sv = max_w(sv, adds_w(dpv, I16xN<N>::load(st.tdm() + off)));
+      sv = adds_w(sv, I16xN<N>::load(msr + off));
+      xEv = max_w(xEv, sv);
+
+      mpv = I16xN<N>::load(at(mmx, q));
+      ipv = I16xN<N>::load(at(imx, q));
+      dpv = I16xN<N>::load(at(dmx, q));
+
+      sv.store(at(mmx, q));
+      dcv.store(at(dmx, q));
+      dcv = max_w(adds_w(sv, I16xN<N>::load(st.tmd() + off)),
+                  adds_w(dcv, I16xN<N>::load(st.tdd() + off)));
+      I16xN<N> iv = max_w(adds_w(mpv, I16xN<N>::load(st.tmi() + off)),
+                          adds_w(ipv, I16xN<N>::load(st.tii() + off)));
+      iv.store(at(imx, q));
+    }
+
+    dcv = shift_lanes_up(dcv);
+    for (int pass = 0; pass < N; ++pass) {
+      bool improved = false;
+      for (int q = 0; q < Q; ++q) {
+        const std::size_t off = static_cast<std::size_t>(q) * N;
+        I16xN<N> cur = I16xN<N>::load(at(dmx, q));
+        if (any_gt_w(dcv, cur)) {
+          improved = true;
+          cur = max_w(cur, dcv);
+          cur.store(at(dmx, q));
+        }
+        dcv = adds_w(cur, I16xN<N>::load(st.tdd() + off));
+      }
+      if (!improved) break;
+      dcv = shift_lanes_up(dcv);
+    }
+
+    std::int16_t xE = hmax_w(xEv);
+    xJ = std::max(sat_add_word(xJ, lm.loop), sat_add_word(xE, prof.e_j()));
+    xC = std::max(sat_add_word(xC, lm.loop), sat_add_word(xE, prof.e_c()));
+    xN = sat_add_word(xN, lm.loop);
+    xB = std::max(sat_add_word(xN, lm.move), sat_add_word(xJ, lm.move));
+  }
+
+  FilterResult out;
+  out.score_nats = prof.score_from_words(xC, lm);
+  return out;
+}
+
+}  // namespace finehmm::cpu

@@ -1,0 +1,67 @@
+#include "gpu/kernel_config.hpp"
+
+#include "util/error.hpp"
+
+namespace finehmm::gpu {
+
+namespace {
+
+std::size_t stage_smem(Stage stage, ParamPlacement placement, int mpad,
+                       int warps, const simt::DeviceSpec& dev) {
+  if (stage == Stage::kMsv) {
+    MsvSmemLayout l;
+    l.mpad = mpad;
+    l.warps = warps;
+    l.shared_params = placement == ParamPlacement::kShared;
+    l.shuffle_scratch = !dev.has_warp_shuffle;
+    return l.total_bytes();
+  }
+  VitSmemLayout l;
+  l.mpad = mpad;
+  l.warps = warps;
+  l.shared_params = placement == ParamPlacement::kShared;
+  l.shuffle_scratch = !dev.has_warp_shuffle;
+  return l.total_bytes();
+}
+
+}  // namespace
+
+LaunchPlan plan_launch(Stage stage, ParamPlacement placement, int model_len,
+                       const simt::DeviceSpec& dev) {
+  FH_REQUIRE(model_len >= 1, "model length must be >= 1");
+  const int mpad = (model_len + 31) / 32 * 32;
+  const int regs = stage == Stage::kMsv ? kMsvRegsPerThread
+                                        : kVitRegsPerThread;
+
+  LaunchPlan best;
+  best.stage = stage;
+  best.placement = placement;
+
+  for (int warps = 1; warps <= dev.max_warps_per_sm; warps *= 2) {
+    if (warps * simt::kWarpSize > dev.max_threads_per_sm) break;
+    std::size_t smem = stage_smem(stage, placement, mpad, warps, dev);
+    if (smem > dev.shared_mem_per_block) continue;
+
+    simt::KernelResources res;
+    res.regs_per_thread = regs;
+    res.smem_per_block = smem;
+    res.threads_per_block = warps * simt::kWarpSize;
+    simt::Occupancy occ = simt::compute_occupancy(dev, res);
+    if (occ.warps_per_sm == 0) continue;
+
+    bool better = !best.feasible || occ.warps_per_sm > best.occ.warps_per_sm ||
+                  (occ.warps_per_sm == best.occ.warps_per_sm &&
+                   warps > best.cfg.warps_per_block);
+    if (better) {
+      best.feasible = true;
+      best.res = res;
+      best.occ = occ;
+      best.cfg.warps_per_block = warps;
+      best.cfg.smem_bytes_per_block = smem;
+      best.cfg.grid_blocks = occ.blocks_per_sm * dev.sm_count;
+    }
+  }
+  return best;
+}
+
+}  // namespace finehmm::gpu

@@ -1,0 +1,124 @@
+// Kernel resource modeling and launch auto-configuration.
+//
+// The paper's two memory configurations (§IV):
+//  * kShared — model parameters staged into shared memory once per block;
+//    low-latency loads but shared-memory footprint grows with M, which
+//    throttles resident warps (occupancy) for large models.
+//  * kGlobal — parameters streamed from global memory; higher latency but
+//    the only shared memory consumed is the per-warp DP rows, so occupancy
+//    stays higher for large models.
+// The optimal strategy switches between them (threshold near M ~ 1000 for
+// MSV on the K40, Fig. 9) — reproduced by bench/fig9_stage_speedup.
+//
+// Register counts are modeled constants (we have no real compiler output):
+// 30 regs/thread for the MSV kernel and 63 for the P7Viterbi kernel.  The
+// latter pins Kepler occupancy at 50% exactly as §IV reports ("the amount
+// of available registers per SM becomes the main limiting factor").
+#pragma once
+
+#include <cstddef>
+
+#include "profile/msv_profile.hpp"
+#include "profile/vit_profile.hpp"
+#include "simt/device.hpp"
+#include "simt/grid.hpp"
+#include "simt/occupancy.hpp"
+
+namespace finehmm::gpu {
+
+enum class ParamPlacement { kShared, kGlobal };
+enum class Stage { kMsv, kViterbi };
+
+inline const char* placement_name(ParamPlacement p) {
+  return p == ParamPlacement::kShared ? "shared" : "global";
+}
+
+/// Modeled register pressure per thread.
+inline constexpr int kMsvRegsPerThread = 30;
+inline constexpr int kVitRegsPerThread = 63;
+
+/// Shared-memory layout of an MSV kernel block.
+struct MsvSmemLayout {
+  int mpad = 0;            // padded model length
+  int warps = 0;           // warps per block
+  bool shared_params = false;
+  bool shuffle_scratch = false;  // Fermi: per-warp reduction scratch
+
+  std::size_t param_bytes() const {
+    return shared_params ? static_cast<std::size_t>(bio::kKp) * mpad : 0;
+  }
+  std::size_t row_elems() const { return static_cast<std::size_t>(mpad) + 1; }
+  std::size_t param_row_offset(int residue) const {
+    return static_cast<std::size_t>(residue) * mpad;
+  }
+  std::size_t row_offset(int warp) const {
+    return param_bytes() + static_cast<std::size_t>(warp) * row_elems();
+  }
+  std::size_t scratch_bytes() const {
+    return shuffle_scratch
+               ? static_cast<std::size_t>(warps) * simt::kWarpSize * 4
+               : 0;
+  }
+  std::size_t total_bytes() const {
+    return param_bytes() + static_cast<std::size_t>(warps) * row_elems() +
+           scratch_bytes();
+  }
+};
+
+/// Shared-memory layout of a P7Viterbi kernel block.  The parameter region
+/// holds the padded emission table followed by seven padded transition
+/// arrays; each warp owns three int16 DP rows (M / I / D).
+struct VitSmemLayout {
+  int mpad = 0;
+  int warps = 0;
+  bool shared_params = false;
+  bool shuffle_scratch = false;
+
+  std::size_t param_words() const {
+    return shared_params
+               ? static_cast<std::size_t>(bio::kKp + 7) * mpad
+               : 0;
+  }
+  std::size_t param_bytes() const { return param_words() * 2; }
+  std::size_t msc_row_offset(int residue) const {
+    return static_cast<std::size_t>(residue) * mpad * 2;
+  }
+  /// Transition array t (0..6: tmm,tim,tdm,tmi,tii,tmd_in,tdd_in).
+  std::size_t trans_offset(int t) const {
+    return (static_cast<std::size_t>(bio::kKp) + t) * mpad * 2;
+  }
+  std::size_t row_elems() const { return static_cast<std::size_t>(mpad) + 1; }
+  /// DP array a (0=M,1=I,2=D) of a warp.
+  std::size_t row_offset(int warp, int a) const {
+    return param_bytes() +
+           (static_cast<std::size_t>(warp) * 3 + a) * row_elems() * 2;
+  }
+  std::size_t scratch_bytes() const {
+    return shuffle_scratch
+               ? static_cast<std::size_t>(warps) * simt::kWarpSize * 4
+               : 0;
+  }
+  std::size_t total_bytes() const {
+    return param_bytes() +
+           static_cast<std::size_t>(warps) * 3 * row_elems() * 2 +
+           scratch_bytes();
+  }
+};
+
+/// A fully resolved launch: placement, block shape, resources, occupancy.
+struct LaunchPlan {
+  Stage stage = Stage::kMsv;
+  ParamPlacement placement = ParamPlacement::kShared;
+  simt::LaunchConfig cfg;
+  simt::KernelResources res;
+  simt::Occupancy occ;
+  bool feasible = false;
+};
+
+/// Find the warps-per-block that maximizes occupancy for the given stage,
+/// placement and model size on the device.  Infeasible (e.g. shared
+/// placement of a model larger than shared memory) yields feasible=false.
+LaunchPlan plan_launch(Stage stage, ParamPlacement placement, int model_len,
+                       const simt::DeviceSpec& dev);
+
+}  // namespace finehmm::gpu

@@ -1,0 +1,52 @@
+// Warp-synchronous MSV kernel — the paper's Algorithm 1.
+//
+// One warp scores one sequence.  The DP row lives in shared memory, one
+// byte per cell, written with a +1 index shift so that reading index p
+// yields the previous row's value at position p-1 — the diagonal
+// dependency with no shuffle and no synchronization.  Before a chunk's
+// results are written, the next chunk's dependencies are read into
+// registers (the double-buffering of Fig. 5), which protects the one cell
+// at the warp boundary that the write would clobber.  The row maximum xE
+// is computed with the butterfly warp-shuffle reduction; residues are
+// streamed 6-per-word from the packed database.
+//
+// Scores are bit-identical to cpu::msv_scalar.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bio/packing.hpp"
+#include "gpu/kernel_config.hpp"
+#include "profile/msv_profile.hpp"
+#include "simt/warp.hpp"
+
+namespace finehmm::gpu {
+
+class MsvWarpKernel {
+ public:
+  /// `items` maps work indices to sequence ids (identity for a full scan).
+  MsvWarpKernel(const profile::MsvProfile& prof,
+                const bio::PackedDatabase& db, ParamPlacement placement,
+                MsvSmemLayout layout, std::vector<float>* out_scores,
+                std::vector<std::uint8_t>* out_overflow,
+                const std::vector<std::size_t>* items = nullptr);
+
+  /// Block prologue: stage model parameters into shared memory (one
+  /// cooperative pass by the block's warps) under shared placement.
+  void stage_params(simt::WarpContext& ctx) const;
+
+  /// Score one work item (tier a of the three-tier scheme).
+  void operator()(simt::WarpContext& ctx, std::size_t item) const;
+
+ private:
+  const profile::MsvProfile& prof_;
+  const bio::PackedDatabase& db_;
+  ParamPlacement placement_;
+  MsvSmemLayout layout_;
+  std::vector<float>* out_scores_;
+  std::vector<std::uint8_t>* out_overflow_;
+  const std::vector<std::size_t>* items_;
+};
+
+}  // namespace finehmm::gpu

@@ -1,0 +1,144 @@
+#include "gpu/msv_sync_kernel.hpp"
+
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace finehmm::gpu {
+
+using simt::kWarpSize;
+using simt::WarpContext;
+using simt::WarpReg;
+
+MsvSyncKernel::MsvSyncKernel(const profile::MsvProfile& prof,
+                             const bio::PackedDatabase& db,
+                             ParamPlacement placement, MsvSmemLayout layout,
+                             int coop_warps, std::vector<float>* out_scores,
+                             std::vector<std::uint8_t>* out_overflow)
+    : prof_(prof),
+      db_(db),
+      placement_(placement),
+      layout_(layout),
+      coop_warps_(coop_warps),
+      out_scores_(out_scores),
+      out_overflow_(out_overflow) {
+  FH_REQUIRE(coop_warps_ >= 1, "need at least one cooperating warp");
+  FH_REQUIRE(out_scores_ != nullptr, "output vector required");
+}
+
+void MsvSyncKernel::stage_params(WarpContext& ctx) const {
+  if (placement_ != ParamPlacement::kShared) return;
+  const int mpad = layout_.mpad;
+  for (int x = 0; x < bio::kKp; ++x) {
+    const std::uint8_t* row = prof_.linear_row(x);
+    for (int p0 = 0; p0 < mpad; p0 += kWarpSize) {
+      auto v = ctx.gmem_read_seq(row, p0, kWarpSize);
+      ctx.smem_write_seq<std::uint8_t>(layout_.param_row_offset(x), p0, v);
+    }
+  }
+}
+
+void MsvSyncKernel::operator()(WarpContext& ctx, std::size_t item) const {
+  const std::size_t seq = item;
+  const int mpad = layout_.mpad;
+  const std::uint32_t L = db_.length(seq);
+  // The whole block shares ONE row buffer (warp slot 0's region).
+  const std::size_t row_base = layout_.row_offset(0);
+
+  const std::uint8_t base = prof_.base();
+  const std::uint8_t bias = prof_.bias();
+  const std::uint8_t tbm = prof_.tbm();
+  const std::uint8_t tec = prof_.tec();
+  const std::uint8_t tjb = prof_.tjb_for(static_cast<int>(L));
+  const WarpReg<std::uint8_t> biasv = ctx.splat<std::uint8_t>(bias);
+  const WarpReg<std::uint8_t> zerov = ctx.splat<std::uint8_t>(0);
+
+  for (int e = 0;; e += kWarpSize) {
+    int start = e + kWarpSize <= mpad + 1 ? e : mpad + 1 - kWarpSize;
+    if (start < 0) start = 0;
+    ctx.smem_write_seq<std::uint8_t>(row_base, start, zerov);
+    if (start != e) break;
+  }
+
+  std::uint8_t xJ = 0;
+  std::uint8_t xB = base > tjb ? std::uint8_t(base - tjb) : 0;
+  ctx.tick_alu(2);
+
+  const std::uint32_t* words = db_.words(seq);
+  std::uint32_t packed = 0;
+  bool overflowed = false;
+
+  const int chunks = mpad / kWarpSize;
+  std::vector<WarpReg<std::uint8_t>> deps(static_cast<std::size_t>(chunks));
+
+  for (std::uint32_t i = 0; i < L && !overflowed; ++i) {
+    std::uint32_t sub = i % bio::kResiduesPerWord;
+    if (sub == 0) packed = ctx.gmem_read_scalar(&words[i / 6]);
+    std::uint8_t res = static_cast<std::uint8_t>(
+        (packed >> (sub * bio::kBitsPerResidue)) & bio::kResidueMask);
+    ctx.tick_alu(2);
+
+    const WarpReg<std::uint8_t> xBv =
+        ctx.splat<std::uint8_t>(xB > tbm ? std::uint8_t(xB - tbm) : 0);
+    WarpReg<std::uint8_t> xEv = zerov;
+
+    // Phase 1: every warp reads its chunks' diagonal dependencies.
+    for (int c = 0; c < chunks; ++c)
+      deps[c] = ctx.smem_read_seq<std::uint8_t>(row_base, c * kWarpSize);
+    // First barrier: all reads complete before anyone writes (Fig. 4 (1)).
+    ctx.syncthreads();
+
+    // Phase 2: compute and write back in place.
+    for (int c = 0; c < chunks; ++c) {
+      int p0 = c * kWarpSize;
+      WarpReg<std::uint8_t> cost;
+      if (placement_ == ParamPlacement::kShared) {
+        cost = ctx.smem_read_seq<std::uint8_t>(layout_.param_row_offset(res),
+                                               p0);
+      } else {
+        cost = ctx.gmem_read_param(prof_.linear_row(res), p0);
+      }
+      WarpReg<std::uint8_t> temp = ctx.max_u8(deps[c], xBv);
+      temp = ctx.adds_u8(temp, biasv);
+      temp = ctx.subs_u8(temp, cost);
+      xEv = ctx.max_u8(xEv, temp);
+      ctx.smem_write_seq<std::uint8_t>(row_base, p0 + 1, temp);
+    }
+    // Second barrier: all writes complete before the next row reads.
+    ctx.syncthreads();
+
+    // Shared-memory tree reduction for xE across the block's warps
+    // (Harris-style), with two more barriers.
+    std::uint8_t xE = ctx.reduce_max(xEv);
+    for (int w = 1; w < coop_warps_; ++w) {
+      // Each extra warp contributes a partial max via shared memory
+      // (scratch in the second warp's unused row region).
+      ctx.smem_write_scalar<std::uint8_t>(layout_.row_offset(1), xE);
+      ctx.tick_alu(1);
+    }
+    ctx.syncthreads();
+    ctx.syncthreads();
+
+    if (prof_.overflowed(xE)) {
+      overflowed = true;
+      break;
+    }
+    xE = xE > tec ? std::uint8_t(xE - tec) : 0;
+    if (xE > xJ) xJ = xE;
+    xB = xJ > base ? xJ : base;
+    xB = xB > tjb ? std::uint8_t(xB - tjb) : 0;
+    ctx.tick_alu(4);
+    ctx.counters().residues += 1;
+    ctx.counters().cells += static_cast<std::uint64_t>(prof_.length());
+  }
+
+  float score = overflowed
+                    ? std::numeric_limits<float>::infinity()
+                    : prof_.score_from_bytes(xJ, static_cast<int>(L));
+  (*out_scores_)[item] = score;
+  if (out_overflow_) (*out_overflow_)[item] = overflowed ? 1 : 0;
+  ctx.counters().gmem_transactions += 1;
+  ctx.counters().gmem_bytes += 32;
+}
+
+}  // namespace finehmm::gpu

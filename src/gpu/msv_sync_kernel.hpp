@@ -1,0 +1,48 @@
+// Synchronized multi-warp MSV kernel — the baseline the paper's
+// warp-synchronous design is measured against (Fig. 4).
+//
+// Here a whole thread block cooperates on ONE sequence: the block's warps
+// partition each DP row, and because the diagonal dependency crosses warp
+// boundaries (the yellow cells of Fig. 4), every row needs two
+// __syncthreads() — one after reading dependencies, one after writing —
+// plus a shared-memory tree reduction for the row maximum.  Scores remain
+// bit-identical to the scalar reference; what differs is the cost: the
+// sync counters feed the performance model, quantifying the overhead the
+// paper's design eliminates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bio/packing.hpp"
+#include "gpu/kernel_config.hpp"
+#include "profile/msv_profile.hpp"
+#include "simt/warp.hpp"
+
+namespace finehmm::gpu {
+
+class MsvSyncKernel {
+ public:
+  /// `coop_warps` is the number of warps cooperating per sequence (the
+  /// real block width); the launcher drives this kernel with one context
+  /// per block.
+  MsvSyncKernel(const profile::MsvProfile& prof,
+                const bio::PackedDatabase& db, ParamPlacement placement,
+                MsvSmemLayout layout, int coop_warps,
+                std::vector<float>* out_scores,
+                std::vector<std::uint8_t>* out_overflow);
+
+  void stage_params(simt::WarpContext& ctx) const;
+  void operator()(simt::WarpContext& ctx, std::size_t item) const;
+
+ private:
+  const profile::MsvProfile& prof_;
+  const bio::PackedDatabase& db_;
+  ParamPlacement placement_;
+  MsvSmemLayout layout_;
+  int coop_warps_;
+  std::vector<float>* out_scores_;
+  std::vector<std::uint8_t>* out_overflow_;
+};
+
+}  // namespace finehmm::gpu

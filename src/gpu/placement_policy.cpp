@@ -1,0 +1,38 @@
+#include "gpu/placement_policy.hpp"
+
+#include "util/error.hpp"
+
+namespace finehmm::gpu {
+
+PlacementChoice choose_placement(Stage stage, int model_len,
+                                 const simt::DeviceSpec& dev) {
+  LaunchPlan shared =
+      plan_launch(stage, ParamPlacement::kShared, model_len, dev);
+  LaunchPlan global =
+      plan_launch(stage, ParamPlacement::kGlobal, model_len, dev);
+  FH_REQUIRE(shared.feasible || global.feasible,
+             "no feasible launch for this model on this device");
+
+  PlacementChoice out;
+  // Higher occupancy wins; shared wins ties (same residency, cheaper
+  // loads).  A shared launch that is only marginally below global's
+  // occupancy still wins while it keeps enough warps to hide latency
+  // (~1/3 of the warp slots) — the L2 round trips of the global
+  // configuration cost roughly that much headroom.
+  bool pick_shared;
+  if (!global.feasible) {
+    pick_shared = true;
+  } else if (!shared.feasible) {
+    pick_shared = false;
+  } else if (shared.occ.warps_per_sm >= global.occ.warps_per_sm) {
+    pick_shared = true;
+  } else {
+    pick_shared = shared.occ.fraction >= 0.34;
+  }
+  out.placement = pick_shared ? ParamPlacement::kShared
+                              : ParamPlacement::kGlobal;
+  out.plan = pick_shared ? shared : global;
+  return out;
+}
+
+}  // namespace finehmm::gpu

@@ -1,0 +1,26 @@
+// The "optimal speedup strategy" of Fig. 9: choose between the shared-
+// and global-memory parameter placements per stage and model size.
+//
+// The paper's rule of thumb is a size threshold (~1002 for MSV on the
+// K40); ours derives the choice from first principles — pick the
+// placement whose launch achieves more resident warps, breaking ties
+// toward shared memory (lower latency at equal occupancy).  This
+// reproduces the paper's threshold on the K40 and adapts automatically to
+// other devices (Fermi flips earlier because of its smaller register
+// file).
+#pragma once
+
+#include "gpu/kernel_config.hpp"
+
+namespace finehmm::gpu {
+
+struct PlacementChoice {
+  ParamPlacement placement = ParamPlacement::kShared;
+  LaunchPlan plan;  // the winning plan
+};
+
+/// Choose the placement for one stage/model/device.
+PlacementChoice choose_placement(Stage stage, int model_len,
+                                 const simt::DeviceSpec& dev);
+
+}  // namespace finehmm::gpu

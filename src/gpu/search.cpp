@@ -1,0 +1,216 @@
+#include "gpu/search.hpp"
+
+#include "util/error.hpp"
+
+namespace finehmm::gpu {
+
+namespace {
+
+std::size_t item_count(const bio::PackedDatabase& db,
+                       const std::vector<std::size_t>* items) {
+  return items ? items->size() : db.size();
+}
+
+}  // namespace
+
+StageResult GpuSearch::run_msv(const profile::MsvProfile& prof,
+                               const bio::PackedDatabase& db,
+                               ParamPlacement placement,
+                               const std::vector<std::size_t>* items) const {
+  StageResult out;
+  out.plan = plan_launch(Stage::kMsv, placement, prof.length(), dev_);
+  FH_REQUIRE(out.plan.feasible,
+             "MSV launch infeasible for this placement/model size");
+
+  MsvSmemLayout layout;
+  layout.mpad = prof.padded_length();
+  layout.warps = out.plan.cfg.warps_per_block;
+  layout.shared_params = placement == ParamPlacement::kShared;
+  layout.shuffle_scratch = !dev_.has_warp_shuffle;
+
+  std::size_t n = item_count(db, items);
+  out.scores.assign(n, 0.0f);
+  out.overflow.assign(n, 0);
+
+  MsvWarpKernel kernel(prof, db, placement, layout, &out.scores,
+                       &out.overflow, items);
+  out.counters = simt::launch_grid(
+      dev_, out.plan.cfg, n,
+      [&kernel](simt::WarpContext& ctx, std::size_t item) {
+        kernel(ctx, item);
+      },
+      [&kernel](simt::WarpContext& ctx) { kernel.stage_params(ctx); });
+  return out;
+}
+
+StageResult GpuSearch::run_ssv(const profile::MsvProfile& prof,
+                               const bio::PackedDatabase& db,
+                               ParamPlacement placement,
+                               const std::vector<std::size_t>* items) const {
+  StageResult out;
+  out.plan = plan_launch(Stage::kMsv, placement, prof.length(), dev_);
+  FH_REQUIRE(out.plan.feasible,
+             "SSV launch infeasible for this placement/model size");
+
+  MsvSmemLayout layout;
+  layout.mpad = prof.padded_length();
+  layout.warps = out.plan.cfg.warps_per_block;
+  layout.shared_params = placement == ParamPlacement::kShared;
+  layout.shuffle_scratch = !dev_.has_warp_shuffle;
+
+  std::size_t n = item_count(db, items);
+  out.scores.assign(n, 0.0f);
+  out.overflow.assign(n, 0);
+
+  SsvWarpKernel kernel(prof, db, placement, layout, &out.scores,
+                       &out.overflow, items);
+  out.counters = simt::launch_grid(
+      dev_, out.plan.cfg, n,
+      [&kernel](simt::WarpContext& ctx, std::size_t item) {
+        kernel(ctx, item);
+      },
+      [&kernel](simt::WarpContext& ctx) { kernel.stage_params(ctx); });
+  return out;
+}
+
+StageResult GpuSearch::run_vit(const profile::VitProfile& prof,
+                               const bio::PackedDatabase& db,
+                               ParamPlacement placement,
+                               const std::vector<std::size_t>* items) const {
+  StageResult out;
+  out.plan = plan_launch(Stage::kViterbi, placement, prof.length(), dev_);
+  FH_REQUIRE(out.plan.feasible,
+             "P7Viterbi launch infeasible for this placement/model size");
+
+  VitSmemLayout layout;
+  layout.mpad = prof.padded_length();
+  layout.warps = out.plan.cfg.warps_per_block;
+  layout.shared_params = placement == ParamPlacement::kShared;
+  layout.shuffle_scratch = !dev_.has_warp_shuffle;
+
+  std::size_t n = item_count(db, items);
+  out.scores.assign(n, 0.0f);
+
+  VitWarpKernel kernel(prof, db, placement, layout, &out.scores, items);
+  out.counters = simt::launch_grid(
+      dev_, out.plan.cfg, n,
+      [&kernel](simt::WarpContext& ctx, std::size_t item) {
+        kernel(ctx, item);
+      },
+      [&kernel](simt::WarpContext& ctx) { kernel.stage_params(ctx); });
+  return out;
+}
+
+StageResult GpuSearch::run_vit_prefix(
+    const profile::VitProfile& prof, const bio::PackedDatabase& db,
+    ParamPlacement placement, const std::vector<std::size_t>* items) const {
+  StageResult out;
+  out.plan = plan_launch(Stage::kViterbi, placement, prof.length(), dev_);
+  FH_REQUIRE(out.plan.feasible,
+             "P7Viterbi launch infeasible for this placement/model size");
+
+  VitSmemLayout layout;
+  layout.mpad = prof.padded_length();
+  layout.warps = out.plan.cfg.warps_per_block;
+  layout.shared_params = placement == ParamPlacement::kShared;
+  layout.shuffle_scratch = !dev_.has_warp_shuffle;
+
+  std::size_t n = item_count(db, items);
+  out.scores.assign(n, 0.0f);
+
+  VitPrefixKernel kernel(prof, db, placement, layout, &out.scores, items);
+  out.counters = simt::launch_grid(
+      dev_, out.plan.cfg, n,
+      [&kernel](simt::WarpContext& ctx, std::size_t item) {
+        kernel(ctx, item);
+      },
+      [&kernel](simt::WarpContext& ctx) { kernel.stage_params(ctx); });
+  return out;
+}
+
+StageResult GpuSearch::run_msv_sync(const profile::MsvProfile& prof,
+                                    const bio::PackedDatabase& db,
+                                    ParamPlacement placement,
+                                    int coop_warps) const {
+  FH_REQUIRE(coop_warps >= 1, "need at least one cooperating warp");
+  StageResult out;
+  // Resource shape of the real cooperative block.
+  out.plan = plan_launch(Stage::kMsv, placement, prof.length(), dev_);
+  FH_REQUIRE(out.plan.feasible, "MSV sync launch infeasible");
+
+  MsvSmemLayout layout;
+  layout.mpad = prof.padded_length();
+  layout.warps = coop_warps;
+  layout.shared_params = placement == ParamPlacement::kShared;
+  layout.shuffle_scratch = !dev_.has_warp_shuffle;
+  FH_REQUIRE(layout.total_bytes() <= dev_.shared_mem_per_block,
+             "cooperative block exceeds shared memory");
+
+  // Occupancy of the cooperative shape.
+  simt::KernelResources res;
+  res.regs_per_thread = kMsvRegsPerThread;
+  res.smem_per_block = layout.total_bytes();
+  res.threads_per_block = coop_warps * simt::kWarpSize;
+  out.plan.res = res;
+  out.plan.occ = simt::compute_occupancy(dev_, res);
+  out.plan.cfg.warps_per_block = coop_warps;
+  out.plan.cfg.smem_bytes_per_block = layout.total_bytes();
+  out.plan.cfg.grid_blocks =
+      std::max(1, out.plan.occ.blocks_per_sm * dev_.sm_count);
+
+  std::size_t n = db.size();
+  out.scores.assign(n, 0.0f);
+  out.overflow.assign(n, 0);
+
+  MsvSyncKernel kernel(prof, db, placement, layout, coop_warps, &out.scores,
+                       &out.overflow);
+  // One context per block: each queue item is processed by the whole
+  // cooperating block, so the launcher runs one "warp" per block.
+  simt::LaunchConfig drive = out.plan.cfg;
+  drive.warps_per_block = 1;
+  out.counters = simt::launch_grid(
+      dev_, drive, n,
+      [&kernel](simt::WarpContext& ctx, std::size_t item) {
+        kernel(ctx, item);
+      },
+      [&kernel](simt::WarpContext& ctx) { kernel.stage_params(ctx); });
+  return out;
+}
+
+std::vector<std::vector<std::size_t>> partition_by_residues(
+    const bio::PackedDatabase& db, std::size_t n_devices) {
+  FH_REQUIRE(n_devices >= 1, "need at least one device");
+  std::vector<std::vector<std::size_t>> parts(n_devices);
+  std::uint64_t total = db.total_residues();
+  std::uint64_t per_dev = (total + n_devices - 1) / n_devices;
+  std::size_t dev = 0;
+  std::uint64_t acc = 0;
+  for (std::size_t s = 0; s < db.size(); ++s) {
+    if (acc >= per_dev * (dev + 1) && dev + 1 < n_devices) ++dev;
+    parts[dev].push_back(s);
+    acc += db.length(s);
+  }
+  return parts;
+}
+
+MultiDeviceResult run_msv_multi(const std::vector<simt::DeviceSpec>& devs,
+                                const profile::MsvProfile& prof,
+                                const bio::PackedDatabase& db,
+                                ParamPlacement placement) {
+  MultiDeviceResult out;
+  auto parts = partition_by_residues(db, devs.size());
+  out.scores.assign(db.size(), 0.0f);
+  out.overflow.assign(db.size(), 0);
+  for (std::size_t d = 0; d < devs.size(); ++d) {
+    GpuSearch search(devs[d]);
+    StageResult r = search.run_msv(prof, db, placement, &parts[d]);
+    for (std::size_t i = 0; i < parts[d].size(); ++i) {
+      out.scores[parts[d][i]] = r.scores[i];
+      out.overflow[parts[d][i]] = r.overflow[i];
+    }
+    out.per_device.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace finehmm::gpu

@@ -1,0 +1,91 @@
+// Database search drivers: single device and multi-GPU.
+//
+// A StageRun executes one filter stage (MSV or P7Viterbi) for a set of
+// sequences on one simulated device, with the launch plan chosen by the
+// occupancy maximizer, and returns scores plus the performance counters
+// the cost model consumes.  Multi-GPU runs partition the database across
+// devices by residue count (the sequence scoring is embarrassingly
+// parallel across devices, §IV-A of the paper), and the slowest device
+// bounds the wall clock.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "bio/packing.hpp"
+#include "gpu/kernel_config.hpp"
+#include "gpu/msv_kernel.hpp"
+#include "gpu/msv_sync_kernel.hpp"
+#include "gpu/ssv_kernel.hpp"
+#include "gpu/vit_kernel.hpp"
+#include "gpu/vit_prefix_kernel.hpp"
+#include "simt/grid.hpp"
+
+namespace finehmm::gpu {
+
+struct StageResult {
+  std::vector<float> scores;             // nats, one per work item
+  std::vector<std::uint8_t> overflow;    // MSV only: byte filter saturated
+  simt::PerfCounters counters;
+  LaunchPlan plan;
+};
+
+class GpuSearch {
+ public:
+  explicit GpuSearch(simt::DeviceSpec dev) : dev_(std::move(dev)) {}
+
+  const simt::DeviceSpec& device() const noexcept { return dev_; }
+
+  /// Warp-synchronous MSV over the database (or an item subset).
+  StageResult run_msv(const profile::MsvProfile& prof,
+                      const bio::PackedDatabase& db, ParamPlacement placement,
+                      const std::vector<std::size_t>* items = nullptr) const;
+
+  /// Warp-synchronous SSV (single ungapped segment; extension — the even
+  /// faster heuristic HMMER 3.1 later adopted as its first stage).
+  StageResult run_ssv(const profile::MsvProfile& prof,
+                      const bio::PackedDatabase& db, ParamPlacement placement,
+                      const std::vector<std::size_t>* items = nullptr) const;
+
+  /// Warp-synchronous P7Viterbi over an item subset (the MSV survivors).
+  StageResult run_vit(const profile::VitProfile& prof,
+                      const bio::PackedDatabase& db, ParamPlacement placement,
+                      const std::vector<std::size_t>* items = nullptr) const;
+
+  /// P7Viterbi with the prefix-scan D-chain evaluation (the paper's §VI
+  /// future work) instead of parallel Lazy-F.  Scores are identical; the
+  /// op mix differs (fixed 2*log2(32) shuffle steps per group).
+  StageResult run_vit_prefix(
+      const profile::VitProfile& prof, const bio::PackedDatabase& db,
+      ParamPlacement placement,
+      const std::vector<std::size_t>* items = nullptr) const;
+
+  /// Ablation: the synchronized multi-warp MSV of Fig. 4 (one sequence per
+  /// block, `coop_warps` warps cooperating with __syncthreads()).
+  StageResult run_msv_sync(const profile::MsvProfile& prof,
+                           const bio::PackedDatabase& db,
+                           ParamPlacement placement, int coop_warps) const;
+
+ private:
+  simt::DeviceSpec dev_;
+};
+
+/// Result of a database partitioned over several devices.
+struct MultiDeviceResult {
+  std::vector<StageResult> per_device;
+  std::vector<float> scores;           // merged over the whole database
+  std::vector<std::uint8_t> overflow;
+};
+
+/// Split [0, db.size()) into contiguous per-device ranges with roughly
+/// equal residue counts.
+std::vector<std::vector<std::size_t>> partition_by_residues(
+    const bio::PackedDatabase& db, std::size_t n_devices);
+
+/// Run the MSV stage with the database partitioned across devices.
+MultiDeviceResult run_msv_multi(const std::vector<simt::DeviceSpec>& devs,
+                                const profile::MsvProfile& prof,
+                                const bio::PackedDatabase& db,
+                                ParamPlacement placement);
+
+}  // namespace finehmm::gpu

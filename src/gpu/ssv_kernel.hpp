@@ -1,0 +1,41 @@
+// Warp-synchronous SSV kernel (extension; see cpu/ssv.hpp).
+//
+// Identical structure to the MSV kernel (Alg. 1) but the begin score is a
+// constant (no J feedback), so the per-row specials collapse to tracking
+// the global maximum — one warp reduction per sequence rather than per
+// row when the early-overflow check is hoisted.  We keep the per-row
+// reduction for the overflow check, as HMMER's SSV does.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bio/packing.hpp"
+#include "gpu/kernel_config.hpp"
+#include "profile/msv_profile.hpp"
+#include "simt/warp.hpp"
+
+namespace finehmm::gpu {
+
+class SsvWarpKernel {
+ public:
+  SsvWarpKernel(const profile::MsvProfile& prof,
+                const bio::PackedDatabase& db, ParamPlacement placement,
+                MsvSmemLayout layout, std::vector<float>* out_scores,
+                std::vector<std::uint8_t>* out_overflow,
+                const std::vector<std::size_t>* items = nullptr);
+
+  void stage_params(simt::WarpContext& ctx) const;
+  void operator()(simt::WarpContext& ctx, std::size_t item) const;
+
+ private:
+  const profile::MsvProfile& prof_;
+  const bio::PackedDatabase& db_;
+  ParamPlacement placement_;
+  MsvSmemLayout layout_;
+  std::vector<float>* out_scores_;
+  std::vector<std::uint8_t>* out_overflow_;
+  const std::vector<std::size_t>* items_;
+};
+
+}  // namespace finehmm::gpu

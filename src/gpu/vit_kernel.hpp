@@ -1,0 +1,50 @@
+// Warp-synchronous P7Viterbi kernel — the paper's Algorithm 2 with the
+// parallel Lazy-F procedure of Fig. 7.
+//
+// Like the MSV kernel, one warp owns one sequence and three shared-memory
+// int16 rows (M / I / D) with the +1 index shift for diagonal reads.  The
+// D->D dependency is resolved *within* each 32-position group by an
+// iterative warp-vote loop: every lane computes its D->D candidate from
+// its left neighbour (shuffle), and the group is final once
+// __all(candidate <= current) — usually after a single check, because the
+// D->D path is rarely taken.  A scalar carry propagates the chain across
+// group boundaries.  Word scores are bit-identical to cpu::vit_scalar.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bio/packing.hpp"
+#include "gpu/kernel_config.hpp"
+#include "profile/vit_profile.hpp"
+#include "simt/warp.hpp"
+
+namespace finehmm::gpu {
+
+class VitWarpKernel {
+ public:
+  VitWarpKernel(const profile::VitProfile& prof,
+                const bio::PackedDatabase& db, ParamPlacement placement,
+                VitSmemLayout layout, std::vector<float>* out_scores,
+                const std::vector<std::size_t>* items = nullptr);
+
+  void stage_params(simt::WarpContext& ctx) const;
+
+  void operator()(simt::WarpContext& ctx, std::size_t item) const;
+
+ private:
+  /// Load a 32-wide chunk of a parameter array (shared or global).
+  simt::WarpReg<std::int16_t> load_param(simt::WarpContext& ctx,
+                                         const std::int16_t* gmem_ptr,
+                                         std::size_t smem_offset,
+                                         int p0) const;
+
+  const profile::VitProfile& prof_;
+  const bio::PackedDatabase& db_;
+  ParamPlacement placement_;
+  VitSmemLayout layout_;
+  std::vector<float>* out_scores_;
+  const std::vector<std::size_t>* items_;
+};
+
+}  // namespace finehmm::gpu

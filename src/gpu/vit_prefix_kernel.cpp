@@ -1,0 +1,223 @@
+#include "gpu/vit_prefix_kernel.hpp"
+
+#include "util/error.hpp"
+
+namespace finehmm::gpu {
+
+using profile::kWordNegInf;
+using profile::sat_add_word;
+using simt::kWarpSize;
+using simt::WarpContext;
+using simt::WarpReg;
+
+namespace {
+
+// Impossible D->D links are clamped to this finite cost inside the scan.
+// One clamped link drives any crossing path below the int16 floor, so it
+// is restored to -inf at write-back; no live candidate is affected.
+constexpr int kClampedLink = -2'000'000;
+// Dead M->D start candidates.
+constexpr int kDeadStart = -1'000'000'000;
+
+}  // namespace
+
+VitPrefixKernel::VitPrefixKernel(const profile::VitProfile& prof,
+                                 const bio::PackedDatabase& db,
+                                 ParamPlacement placement,
+                                 VitSmemLayout layout,
+                                 std::vector<float>* out_scores,
+                                 const std::vector<std::size_t>* items)
+    : prof_(prof),
+      db_(db),
+      placement_(placement),
+      layout_(layout),
+      out_scores_(out_scores),
+      items_(items) {
+  FH_REQUIRE(layout_.mpad == prof.padded_length(), "layout/profile mismatch");
+  FH_REQUIRE(out_scores_ != nullptr, "output vector required");
+}
+
+void VitPrefixKernel::stage_params(WarpContext& ctx) const {
+  if (placement_ != ParamPlacement::kShared) return;
+  const int mpad = layout_.mpad;
+  for (int x = 0; x < bio::kKp; ++x) {
+    const std::int16_t* row = prof_.msc_row(x);
+    for (int p0 = 0; p0 < mpad; p0 += kWarpSize) {
+      auto v = ctx.gmem_read_seq(row, p0, kWarpSize);
+      ctx.smem_write_seq<std::int16_t>(layout_.msc_row_offset(x), p0, v);
+    }
+  }
+  const std::int16_t* trans[7] = {
+      prof_.tmm_data(), prof_.tim_data(),    prof_.tdm_data(),
+      prof_.tmi_data(), prof_.tii_data(),    prof_.tmd_in_data(),
+      prof_.tdd_in_data()};
+  for (int t = 0; t < 7; ++t) {
+    for (int p0 = 0; p0 < mpad; p0 += kWarpSize) {
+      auto v = ctx.gmem_read_seq(trans[t], p0, kWarpSize);
+      ctx.smem_write_seq<std::int16_t>(layout_.trans_offset(t), p0, v);
+    }
+  }
+}
+
+WarpReg<std::int16_t> VitPrefixKernel::load_param(
+    WarpContext& ctx, const std::int16_t* gmem_ptr, std::size_t smem_offset,
+    int p0) const {
+  if (placement_ == ParamPlacement::kShared)
+    return ctx.smem_read_seq<std::int16_t>(smem_offset, p0);
+  return ctx.gmem_read_param(gmem_ptr, p0);
+}
+
+void VitPrefixKernel::operator()(WarpContext& ctx, std::size_t item) const {
+  const std::size_t seq = items_ ? (*items_)[item] : item;
+  const int mpad = layout_.mpad;
+  const std::uint32_t L = db_.length(seq);
+  const int w = ctx.warp_slot();
+  const std::size_t mrow = layout_.row_offset(w, 0);
+  const std::size_t irow = layout_.row_offset(w, 1);
+  const std::size_t drow = layout_.row_offset(w, 2);
+
+  const auto lm = prof_.length_model_for(static_cast<int>(L));
+  const WarpReg<std::int16_t> ninfv = ctx.splat<std::int16_t>(kWordNegInf);
+
+  for (std::size_t r : {mrow, irow, drow}) {
+    for (int e = 0;; e += kWarpSize) {
+      int start = e + kWarpSize <= mpad + 1 ? e : mpad + 1 - kWarpSize;
+      ctx.smem_write_seq<std::int16_t>(r, start, ninfv);
+      if (start != e) break;
+    }
+  }
+
+  std::int16_t xN = profile::VitProfile::kBase;
+  std::int16_t xB = sat_add_word(xN, lm.move);
+  std::int16_t xJ = kWordNegInf;
+  std::int16_t xC = kWordNegInf;
+  ctx.tick_alu(2);
+
+  const std::uint32_t* words = db_.words(seq);
+  std::uint32_t packed = 0;
+
+  for (std::uint32_t i = 0; i < L; ++i) {
+    std::uint32_t sub = i % bio::kResiduesPerWord;
+    if (sub == 0) packed = ctx.gmem_read_scalar(&words[i / 6]);
+    std::uint8_t res = static_cast<std::uint8_t>(
+        (packed >> (sub * bio::kBitsPerResidue)) & bio::kResidueMask);
+    ctx.tick_alu(2);
+
+    const WarpReg<std::int16_t> xBentry =
+        ctx.splat<std::int16_t>(sat_add_word(xB, prof_.entry()));
+    WarpReg<std::int16_t> xEv = ninfv;
+    std::int16_t carry_m = kWordNegInf;
+    std::int16_t carry_d = kWordNegInf;
+
+    WarpReg<std::int16_t> m_diag = ctx.smem_read_seq<std::int16_t>(mrow, 0);
+    WarpReg<std::int16_t> i_diag = ctx.smem_read_seq<std::int16_t>(irow, 0);
+    WarpReg<std::int16_t> d_diag = ctx.smem_read_seq<std::int16_t>(drow, 0);
+
+    for (int p0 = 0; p0 < mpad; p0 += kWarpSize) {
+      const std::int16_t* msc_g = prof_.msc_row(res);
+      WarpReg<std::int16_t> msc =
+          load_param(ctx, msc_g, layout_.msc_row_offset(res), p0);
+      WarpReg<std::int16_t> tmm =
+          load_param(ctx, prof_.tmm_data(), layout_.trans_offset(0), p0);
+      WarpReg<std::int16_t> tim =
+          load_param(ctx, prof_.tim_data(), layout_.trans_offset(1), p0);
+      WarpReg<std::int16_t> tdm =
+          load_param(ctx, prof_.tdm_data(), layout_.trans_offset(2), p0);
+      WarpReg<std::int16_t> tmi =
+          load_param(ctx, prof_.tmi_data(), layout_.trans_offset(3), p0);
+      WarpReg<std::int16_t> tii =
+          load_param(ctx, prof_.tii_data(), layout_.trans_offset(4), p0);
+      WarpReg<std::int16_t> tmd_in =
+          load_param(ctx, prof_.tmd_in_data(), layout_.trans_offset(5), p0);
+      WarpReg<std::int16_t> tdd_in =
+          load_param(ctx, prof_.tdd_in_data(), layout_.trans_offset(6), p0);
+
+      WarpReg<std::int16_t> m_same =
+          ctx.smem_read_seq<std::int16_t>(mrow, p0 + 1);
+      WarpReg<std::int16_t> i_same =
+          ctx.smem_read_seq<std::int16_t>(irow, p0 + 1);
+
+      WarpReg<std::int16_t> temp_m = xBentry;
+      temp_m = ctx.max_w(temp_m, ctx.adds_w(m_diag, tmm));
+      temp_m = ctx.max_w(temp_m, ctx.adds_w(i_diag, tim));
+      temp_m = ctx.max_w(temp_m, ctx.adds_w(d_diag, tdm));
+      temp_m = ctx.adds_w(temp_m, msc);
+      xEv = ctx.max_w(xEv, temp_m);
+
+      WarpReg<std::int16_t> temp_i =
+          ctx.max_w(ctx.adds_w(m_same, tmi), ctx.adds_w(i_same, tii));
+
+      // --- prefix-scan D evaluation (future work §VI) ---
+      WarpReg<std::int16_t> m_left = ctx.shfl_up(temp_m, 1, carry_m);
+      WarpReg<std::int16_t> a16 = ctx.adds_w(m_left, tmd_in);
+      // Fold the cross-group carry chain into lane 0's start candidate.
+      a16[0] = std::max(a16[0], sat_add_word(carry_d, tdd_in[0]));
+      ctx.tick_alu(1);
+
+      // Integer promotion with clamped links / dead starts.
+      WarpReg<int> wl, a;
+      for (int lane = 0; lane < kWarpSize; ++lane) {
+        wl[lane] = tdd_in[lane] == kWordNegInf ? kClampedLink
+                                               : static_cast<int>(tdd_in[lane]);
+        a[lane] = a16[lane] == kWordNegInf ? kDeadStart
+                                           : static_cast<int>(a16[lane]);
+      }
+      ctx.tick_alu(2);
+
+      // S_j = inclusive sum of link costs w_0..w_j.  A chain starting at t
+      // and ending at j crosses links t+1..j, worth S_j - S_t, so
+      //   D_j = S_j + max_{t <= j} (a_t - S_t)
+      // (the start's own link w_t is never crossed, and both occurrences
+      // of S cancel for t = j).
+      WarpReg<int> s = ctx.scan_add_i32(wl);
+      WarpReg<int> rel;
+      for (int lane = 0; lane < kWarpSize; ++lane)
+        rel[lane] = a[lane] - s[lane];
+      ctx.tick_alu(1);
+      WarpReg<int> best = ctx.scan_max_i32(rel, kDeadStart);
+      WarpReg<std::int16_t> d;
+      for (int lane = 0; lane < kWarpSize; ++lane) {
+        int v = s[lane] + best[lane];
+        d[lane] = v < -32767 ? kWordNegInf : static_cast<std::int16_t>(v);
+      }
+      ctx.tick_alu(2);
+
+      if (p0 + kWarpSize < mpad) {
+        WarpReg<std::int16_t> m_next =
+            ctx.smem_read_seq<std::int16_t>(mrow, p0 + kWarpSize);
+        WarpReg<std::int16_t> i_next =
+            ctx.smem_read_seq<std::int16_t>(irow, p0 + kWarpSize);
+        WarpReg<std::int16_t> d_next =
+            ctx.smem_read_seq<std::int16_t>(drow, p0 + kWarpSize);
+        ctx.smem_write_seq<std::int16_t>(mrow, p0 + 1, temp_m);
+        ctx.smem_write_seq<std::int16_t>(irow, p0 + 1, temp_i);
+        ctx.smem_write_seq<std::int16_t>(drow, p0 + 1, d);
+        m_diag = m_next;
+        i_diag = i_next;
+        d_diag = d_next;
+      } else {
+        ctx.smem_write_seq<std::int16_t>(mrow, p0 + 1, temp_m);
+        ctx.smem_write_seq<std::int16_t>(irow, p0 + 1, temp_i);
+        ctx.smem_write_seq<std::int16_t>(drow, p0 + 1, d);
+      }
+
+      carry_m = ctx.broadcast(temp_m, kWarpSize - 1);
+      carry_d = ctx.broadcast(d, kWarpSize - 1);
+    }
+
+    std::int16_t xE = ctx.reduce_max(xEv);
+    xJ = std::max(sat_add_word(xJ, lm.loop), sat_add_word(xE, prof_.e_j()));
+    xC = std::max(sat_add_word(xC, lm.loop), sat_add_word(xE, prof_.e_c()));
+    xN = sat_add_word(xN, lm.loop);
+    xB = std::max(sat_add_word(xN, lm.move), sat_add_word(xJ, lm.move));
+    ctx.tick_alu(8);
+    ctx.counters().residues += 1;
+    ctx.counters().cells += static_cast<std::uint64_t>(prof_.length());
+  }
+
+  (*out_scores_)[item] = prof_.score_from_words(xC, lm);
+  ctx.counters().gmem_transactions += 1;
+  ctx.counters().gmem_bytes += 32;
+}
+
+}  // namespace finehmm::gpu

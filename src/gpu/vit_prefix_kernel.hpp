@@ -1,0 +1,63 @@
+// P7Viterbi kernel with prefix-scan D-chain evaluation — the paper's
+// FUTURE WORK (§VI), implemented as an alternative to the parallel Lazy-F
+// of Fig. 7.
+//
+// Within a 32-position group the delete recurrence
+//
+//   D_k = max( M_{k-1} + tMD_{k-1},  D_{k-1} + tDD_{k-1} )
+//
+// is a max-plus chain.  Writing a_k for the M->D start candidate at
+// position k and S_k for the running sum of D->D link costs, the closed
+// form is
+//
+//   D_k = S_k + max_{j <= k} ( a_j - S_j ),
+//
+// i.e. one additive inclusive scan (for S) plus one max inclusive scan —
+// exactly 2 * log2(32) = 10 warp-shuffle steps, a fixed upper bound
+// independent of how often the D->D path is taken.  Lazy-F wins on
+// ordinary models (its single vote usually suffices); the prefix version
+// wins on delete-heavy models where Lazy-F iterates — the trade-off the
+// paper's §VI anticipates, quantified by bench/ablation_prefix_scan.
+//
+// Impossible (-inf) D->D links are clamped to a large finite cost inside
+// the scan (a saturating sum would poison the suffix); any path using a
+// clamped link scores far below every live candidate and below the final
+// flooring threshold, so scores remain bit-identical to cpu::vit_scalar
+// (enforced by tests, including delete-heavy models).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bio/packing.hpp"
+#include "gpu/kernel_config.hpp"
+#include "profile/vit_profile.hpp"
+#include "simt/warp.hpp"
+
+namespace finehmm::gpu {
+
+class VitPrefixKernel {
+ public:
+  VitPrefixKernel(const profile::VitProfile& prof,
+                  const bio::PackedDatabase& db, ParamPlacement placement,
+                  VitSmemLayout layout, std::vector<float>* out_scores,
+                  const std::vector<std::size_t>* items = nullptr);
+
+  void stage_params(simt::WarpContext& ctx) const;
+  void operator()(simt::WarpContext& ctx, std::size_t item) const;
+
+ private:
+  simt::WarpReg<std::int16_t> load_param(simt::WarpContext& ctx,
+                                         const std::int16_t* gmem_ptr,
+                                         std::size_t smem_offset,
+                                         int p0) const;
+
+  const profile::VitProfile& prof_;
+  const bio::PackedDatabase& db_;
+  ParamPlacement placement_;
+  VitSmemLayout layout_;
+  std::vector<float>* out_scores_;
+  const std::vector<std::size_t>* items_;
+};
+
+}  // namespace finehmm::gpu

@@ -1,0 +1,37 @@
+// Binary profile serialization (the role HMMER's .h3m pressed files play).
+//
+// The ASCII .hmm format rounds probabilities to 5 decimals; the binary
+// format is lossless (bit-exact floats) and loads without parsing, which
+// matters when scanning a multi-thousand-family library.  Vectorized
+// profiles are NOT stored — they are cheap deterministic functions of the
+// core model and get rebuilt on load.
+//
+// Layout (little-endian, the only platform we target):
+//   magic "FHMP" | u32 version | u32 name_len | name | u32 desc_len | desc
+//   | i32 M | f32 mat[M*20] | f32 ins[(M+1)*20] | f32 tr[(M+1)*7]
+//   | u8 has_stats | (f64 x 8: ssv/msv/vit/fwd mu+lambda)
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "hmm/plan7.hpp"
+#include "stats/calibrate.hpp"
+
+namespace finehmm::hmm {
+
+inline constexpr std::uint32_t kBinaryVersion = 1;
+
+void write_hmm_binary(std::ostream& out, const Plan7Hmm& hmm,
+                      const stats::ModelStats* model_stats = nullptr);
+void write_hmm_binary_file(const std::string& path, const Plan7Hmm& hmm,
+                           const stats::ModelStats* model_stats = nullptr);
+
+Plan7Hmm read_hmm_binary(std::istream& in,
+                         std::optional<stats::ModelStats>* out_stats = nullptr);
+Plan7Hmm read_hmm_binary_file(
+    const std::string& path,
+    std::optional<stats::ModelStats>* out_stats = nullptr);
+
+}  // namespace finehmm::hmm

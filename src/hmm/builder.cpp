@@ -1,0 +1,255 @@
+#include "hmm/builder.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bio/alphabet.hpp"
+#include "hmm/priors.hpp"
+#include "util/error.hpp"
+
+namespace finehmm::hmm {
+
+namespace {
+
+bool is_gap_char(char c) { return c == '-' || c == '.' || c == '~'; }
+
+/// Henikoff position-based weights: each column distributes one unit of
+/// weight equally among the residue types present, then among the
+/// sequences sharing each type.
+std::vector<double> henikoff_weights(const std::vector<std::string>& aln) {
+  const std::size_t n = aln.size();
+  const std::size_t width = aln[0].size();
+  std::vector<double> w(n, 0.0);
+  for (std::size_t c = 0; c < width; ++c) {
+    int counts[bio::kKp] = {0};
+    int types = 0;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (is_gap_char(aln[s][c])) continue;
+      std::uint8_t code = bio::digitize(aln[s][c]);
+      if (counts[code]++ == 0) ++types;
+    }
+    if (types == 0) continue;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (is_gap_char(aln[s][c])) continue;
+      std::uint8_t code = bio::digitize(aln[s][c]);
+      w[s] += 1.0 / (static_cast<double>(types) * counts[code]);
+    }
+  }
+  // Normalize to mean 1 so pseudocount balance is insensitive to depth.
+  double total = 0.0;
+  for (double x : w) total += x;
+  if (total <= 0.0) return std::vector<double>(n, 1.0);
+  for (double& x : w) x *= static_cast<double>(n) / total;
+  return w;
+}
+
+}  // namespace
+
+namespace {
+
+/// Shared core: estimate the model given an explicit match-column mask.
+Plan7Hmm build_with_match_columns(const std::vector<std::string>& alignment,
+                                  const std::string& name,
+                                  const std::vector<bool>& is_match,
+                                  const BuildOptions& opts);
+
+}  // namespace
+
+Plan7Hmm build_from_alignment(const std::vector<std::string>& alignment,
+                              const std::string& name,
+                              const BuildOptions& opts) {
+  FH_REQUIRE(!alignment.empty(), "alignment must have at least one sequence");
+  const std::size_t n = alignment.size();
+  const std::size_t width = alignment[0].size();
+  FH_REQUIRE(width > 0, "alignment has zero columns");
+  for (const auto& row : alignment)
+    FH_REQUIRE(row.size() == width, "ragged alignment rows");
+
+  // Gap-fraction rule for match columns.
+  std::vector<bool> is_match(width, false);
+  for (std::size_t c = 0; c < width; ++c) {
+    std::size_t residues = 0;
+    for (const auto& row : alignment)
+      if (!is_gap_char(row[c])) ++residues;
+    if (static_cast<double>(residues) >=
+        opts.match_threshold * static_cast<double>(n))
+      is_match[c] = true;
+  }
+  return build_with_match_columns(alignment, name, is_match, opts);
+}
+
+Plan7Hmm build_from_stockholm(const bio::StockholmAlignment& aln,
+                              const BuildOptions& opts) {
+  FH_REQUIRE(!aln.rows.empty(), "alignment must have at least one sequence");
+  if (!aln.rf) {
+    return build_from_alignment(aln.rows,
+                                aln.id.empty() ? "stockholm" : aln.id, opts);
+  }
+  std::vector<bool> is_match(aln.rf->size(), false);
+  for (std::size_t c = 0; c < aln.rf->size(); ++c)
+    is_match[c] = !is_gap_char((*aln.rf)[c]) && (*aln.rf)[c] != ' ';
+  return build_with_match_columns(
+      aln.rows, aln.id.empty() ? "stockholm" : aln.id, is_match, opts);
+}
+
+namespace {
+
+Plan7Hmm build_with_match_columns(const std::vector<std::string>& alignment,
+                                  const std::string& name,
+                                  const std::vector<bool>& is_match,
+                                  const BuildOptions& opts) {
+  const std::size_t n = alignment.size();
+  const std::size_t width = alignment[0].size();
+  FH_REQUIRE(is_match.size() == width, "match mask width mismatch");
+  for (const auto& row : alignment)
+    FH_REQUIRE(row.size() == width, "ragged alignment rows");
+  int M = 0;
+  for (bool m : is_match)
+    if (m) ++M;
+  FH_REQUIRE(M >= 1, "no match columns");
+
+  std::vector<double> weights =
+      opts.position_based_weights ? henikoff_weights(alignment)
+                                  : std::vector<double>(n, 1.0);
+
+  Plan7Hmm hmm(M);
+  hmm.set_name(name);
+  hmm.set_description("built from " + std::to_string(n) +
+                      "-sequence alignment");
+
+  const auto& bg = bio::background_frequencies();
+  std::vector<double> mat_counts(static_cast<std::size_t>(M + 1) * bio::kK,
+                                 0.0);
+  std::vector<double> ins_counts(static_cast<std::size_t>(M + 1) * bio::kK,
+                                 0.0);
+  std::vector<double> tr_counts(static_cast<std::size_t>(M + 1) * kNTransitions,
+                                0.0);
+
+  // --- count emissions and transitions along each sequence's implied path ---
+  for (std::size_t s = 0; s < n; ++s) {
+    const std::string& row = alignment[s];
+    double w = weights[s];
+    // State walk: node index k (0 = begin), state among M/I/D.
+    int k = 0;
+    int state = kTMM;  // reuse transition enum source tags: M=0, I=1, D=2
+    enum { kSM = 0, kSI = 1, kSD = 2 };
+    int cur = kSM;  // begin node acts as a match state at k=0
+    for (std::size_t c = 0; c < width; ++c) {
+      char ch = row[c];
+      if (is_match[c]) {
+        int next_state;
+        if (is_gap_char(ch)) {
+          next_state = kSD;
+        } else {
+          next_state = kSM;
+        }
+        // Record transition cur@k -> next_state@(k+1).
+        int t;
+        if (cur == kSM)
+          t = next_state == kSM ? kTMM : kTMD;
+        else if (cur == kSI)
+          t = next_state == kSM ? kTIM : kTIM;  // I->D not in Plan-7; fold to I->M
+        else
+          t = next_state == kSM ? kTDM : kTDD;
+        tr_counts[static_cast<std::size_t>(k) * kNTransitions + t] += w;
+        ++k;
+        cur = next_state;
+        if (cur == kSM) {
+          std::uint8_t code = bio::digitize(ch);
+          if (bio::is_canonical(code))
+            mat_counts[static_cast<std::size_t>(k) * bio::kK + code] += w;
+          else if (code == bio::kCodeX)
+            for (int a = 0; a < bio::kK; ++a)
+              mat_counts[static_cast<std::size_t>(k) * bio::kK + a] +=
+                  w * bg[a];
+        }
+      } else {
+        if (is_gap_char(ch)) continue;  // gap in an insert column: nothing
+        // Insert emission at node k.
+        int t = (cur == kSI) ? kTII : kTMI;  // D->I folded into M->I
+        tr_counts[static_cast<std::size_t>(k) * kNTransitions + t] += w;
+        std::uint8_t code = bio::digitize(ch);
+        if (bio::is_canonical(code))
+          ins_counts[static_cast<std::size_t>(k) * bio::kK + code] += w;
+        cur = kSI;
+      }
+    }
+    (void)state;
+  }
+
+  // --- priors and normalization ---
+  for (int k = 1; k <= M; ++k) {
+    if (opts.use_dirichlet_mixture) {
+      std::array<double, bio::kK> counts{};
+      for (int a = 0; a < bio::kK; ++a)
+        counts[a] = mat_counts[static_cast<std::size_t>(k) * bio::kK + a];
+      auto p = DirichletMixture::default_amino().posterior_mean(counts);
+      for (int a = 0; a < bio::kK; ++a)
+        hmm.mat(k, a) = static_cast<float>(p[a]);
+    } else {
+      double total = 0.0;
+      for (int a = 0; a < bio::kK; ++a) {
+        double c = mat_counts[static_cast<std::size_t>(k) * bio::kK + a] +
+                   opts.emission_pseudocount * bg[a];
+        hmm.mat(k, a) = static_cast<float>(c);
+        total += c;
+      }
+      for (int a = 0; a < bio::kK; ++a)
+        hmm.mat(k, a) = static_cast<float>(hmm.mat(k, a) / total);
+    }
+  }
+  for (int k = 0; k <= M; ++k) {
+    double total = 0.0;
+    for (int a = 0; a < bio::kK; ++a) {
+      double c = ins_counts[static_cast<std::size_t>(k) * bio::kK + a] +
+                 opts.emission_pseudocount * bg[a];
+      hmm.ins(k, a) = static_cast<float>(c);
+      total += c;
+    }
+    for (int a = 0; a < bio::kK; ++a)
+      hmm.ins(k, a) = static_cast<float>(hmm.ins(k, a) / total);
+  }
+  auto norm_tr = [&](int k, std::initializer_list<Plan7Transition> ts,
+                     std::initializer_list<double> priors) {
+    double total = 0.0;
+    auto pit = priors.begin();
+    for (auto t : ts) {
+      double c = tr_counts[static_cast<std::size_t>(k) * kNTransitions + t] +
+                 opts.transition_pseudocount * (*pit++);
+      hmm.tr(k, t) = static_cast<float>(c);
+      total += c;
+    }
+    for (auto t : ts)
+      hmm.tr(k, t) = static_cast<float>(hmm.tr(k, t) / total);
+  };
+  for (int k = 0; k <= M; ++k) {
+    // Priors favor the match path, as HMMER's Dirichlet priors do.
+    norm_tr(k, {kTMM, kTMI, kTMD}, {0.9, 0.05, 0.05});
+    if (k < M)
+      norm_tr(k, {kTIM, kTII}, {0.6, 0.4});
+    else {
+      hmm.tr(k, kTIM) = 1.0f;
+      hmm.tr(k, kTII) = 0.0f;
+    }
+    if (k >= 1 && k < M)
+      norm_tr(k, {kTDM, kTDD}, {0.6, 0.4});
+    else if (k == M) {
+      hmm.tr(k, kTDM) = 1.0f;
+      hmm.tr(k, kTDD) = 0.0f;
+    } else {
+      hmm.tr(k, kTDM) = 0.0f;
+      hmm.tr(k, kTDD) = 0.0f;
+    }
+  }
+  // Node M: match transitions all lead to E; by convention M_M->E = 1.
+  hmm.tr(M, kTMM) = 1.0f;
+  hmm.tr(M, kTMI) = 0.0f;
+  hmm.tr(M, kTMD) = 0.0f;
+
+  hmm.validate();
+  return hmm;
+}
+
+}  // namespace
+
+}  // namespace finehmm::hmm

@@ -1,0 +1,46 @@
+// hmmbuild-lite: estimate a Plan-7 model from a multiple sequence alignment.
+//
+// A deliberately small but functional reimplementation of the model
+// construction half of HMMER's hmmbuild: match-column assignment by gap
+// fraction, Henikoff position-based sequence weights, Laplace-plus-
+// background pseudocounts, maximum a posteriori normalization.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bio/stockholm.hpp"
+#include "hmm/plan7.hpp"
+
+namespace finehmm::hmm {
+
+struct BuildOptions {
+  /// A column becomes a match column when at least this fraction of
+  /// sequences have a residue (not a gap) in it.
+  double match_threshold = 0.5;
+  /// Estimate match emissions with the Dirichlet mixture prior
+  /// (hmm/priors.hpp), as hmmbuild does.  When false, falls back to flat
+  /// background-proportional pseudocounts.
+  bool use_dirichlet_mixture = true;
+  /// Pseudocount mass for the flat fallback (and for insert emissions,
+  /// which always use the simple prior).
+  double emission_pseudocount = 2.0;
+  /// Pseudocount mass for each transition distribution.
+  double transition_pseudocount = 1.0;
+  /// Use Henikoff position-based weights (true) or uniform weights.
+  bool position_based_weights = true;
+};
+
+/// Build a model from aligned sequences (rows of equal length; '-', '.' and
+/// '~' are gaps).  Throws finehmm::Error on ragged or empty input.
+Plan7Hmm build_from_alignment(const std::vector<std::string>& alignment,
+                              const std::string& name,
+                              const BuildOptions& opts = {});
+
+/// Build from a Stockholm alignment.  When the file carries a #=GC RF
+/// reference line, its non-gap columns define the match states (hmmbuild's
+/// --hand behaviour); otherwise the gap-fraction rule applies.
+Plan7Hmm build_from_stockholm(const bio::StockholmAlignment& aln,
+                              const BuildOptions& opts = {});
+
+}  // namespace finehmm::hmm

@@ -1,0 +1,88 @@
+#include "hmm/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace finehmm::hmm {
+
+Plan7Hmm generate_hmm(const RandomHmmSpec& spec) {
+  FH_REQUIRE(spec.length >= 1, "model length must be >= 1");
+  FH_REQUIRE(spec.indel_open > 0.0 && spec.indel_open < 0.5,
+             "indel_open out of range");
+  Pcg32 rng(spec.seed, 0x9e3779b97f4a7c15ULL ^ spec.length);
+  const int M = spec.length;
+  Plan7Hmm hmm(M);
+  hmm.set_name("synthetic_M" + std::to_string(M));
+  hmm.set_description("random Pfam-like profile");
+
+  const auto& bg = bio::background_frequencies();
+
+  // Match emissions: Dirichlet draws biased toward a conserved residue.
+  for (int k = 1; k <= M; ++k) {
+    auto p = rng.dirichlet(bio::kK, spec.match_alpha);
+    for (int a = 0; a < bio::kK; ++a)
+      hmm.mat(k, a) = static_cast<float>(p[a]);
+  }
+  // Insert emissions equal the background (HMMER convention for local mode).
+  for (int k = 0; k <= M; ++k)
+    for (int a = 0; a < bio::kK; ++a) hmm.ins(k, a) = bg[a];
+
+  auto jitter = [&](double mean) {
+    // Log-normal jitter around the mean, clamped away from 0 and 1.
+    double v = mean * std::exp(0.5 * rng.gaussian());
+    return std::clamp(v, 1e-4, 0.45);
+  };
+
+  for (int k = 0; k <= M; ++k) {
+    double mi = jitter(spec.indel_open);
+    double md = jitter(spec.indel_open);
+    if (k == 0) {
+      // Begin node: mostly B->M1, tiny B->D1, negligible B->I0.
+      mi = 1e-4;
+      md = jitter(spec.indel_open);
+    }
+    if (k == M) {
+      // Node M: M_M -> E with probability 1 by convention.
+      mi = 0.0;
+      md = 0.0;
+    }
+    hmm.tr(k, kTMM) = static_cast<float>(1.0 - mi - md);
+    hmm.tr(k, kTMI) = static_cast<float>(mi);
+    hmm.tr(k, kTMD) = static_cast<float>(md);
+
+    if (k < M) {
+      double ii = jitter(spec.insert_extend);
+      hmm.tr(k, kTIM) = static_cast<float>(1.0 - ii);
+      hmm.tr(k, kTII) = static_cast<float>(ii);
+    } else {
+      hmm.tr(k, kTIM) = 1.0f;
+      hmm.tr(k, kTII) = 0.0f;
+    }
+
+    if (k >= 1 && k < M) {
+      double dd = jitter(spec.delete_extend);
+      hmm.tr(k, kTDM) = static_cast<float>(1.0 - dd);
+      hmm.tr(k, kTDD) = static_cast<float>(dd);
+    } else if (k == M) {
+      hmm.tr(k, kTDM) = 1.0f;  // D_M -> E
+      hmm.tr(k, kTDD) = 0.0f;
+    } else {
+      hmm.tr(k, kTDM) = 0.0f;
+      hmm.tr(k, kTDD) = 0.0f;
+    }
+  }
+
+  hmm.validate();
+  return hmm;
+}
+
+Plan7Hmm paper_model(int size) {
+  RandomHmmSpec spec;
+  spec.length = size;
+  spec.seed = 0xfee1600dULL + static_cast<std::uint64_t>(size);
+  return generate_hmm(spec);
+}
+
+}  // namespace finehmm::hmm

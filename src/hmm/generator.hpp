@@ -1,0 +1,42 @@
+// Random Pfam-like profile HMM generation.
+//
+// The paper evaluates on Pfam models of sizes 48, 100, 200, 400, 800, 1002,
+// 1528 and 2405.  Kernel behaviour depends on the model length and the
+// transition statistics (D-D frequency drives the Lazy-F workload), not on
+// the biological identity of a motif, so we generate models whose
+// statistics mimic Pfam seed profiles.
+#pragma once
+
+#include <cstdint>
+
+#include "hmm/plan7.hpp"
+#include "util/rng.hpp"
+
+namespace finehmm::hmm {
+
+struct RandomHmmSpec {
+  int length = 100;
+  std::uint64_t seed = 1;
+  /// Dirichlet concentration of match emissions; smaller = more conserved
+  /// columns (Pfam seeds are strongly conserved, ~0.2).
+  double match_alpha = 0.2;
+  /// Mean probability of M->I and M->D at an interior node.
+  double indel_open = 0.01;
+  /// Mean probability of I->I (gap extend).
+  double insert_extend = 0.4;
+  /// Mean probability of D->D (delete extend).  Raise this to stress the
+  /// parallel Lazy-F path.
+  double delete_extend = 0.5;
+};
+
+/// The model sizes benchmarked in the paper (Fig. 9-11).
+inline constexpr int kPaperModelSizes[] = {48,  100,  200,  400,
+                                           800, 1002, 1528, 2405};
+
+/// Generate a normalized, validated Plan-7 model.
+Plan7Hmm generate_hmm(const RandomHmmSpec& spec);
+
+/// Convenience: paper-like model of a given size, deterministic per size.
+Plan7Hmm paper_model(int size);
+
+}  // namespace finehmm::hmm

@@ -1,0 +1,37 @@
+// HMMER3 ASCII profile file I/O (a faithful subset of the 3/f format).
+//
+// We read and write NAME / DESC / LENG / ALPH headers, the HMM emission /
+// transition table (values stored as negative natural logs, '*' for zero
+// probability) and the closing '//'.  COMPO lines and per-node annotation
+// columns (MAP/CONS/RF/MM/CS) are written with placeholder values and
+// skipped on read, so round-tripping through this module is lossless for
+// the probability model.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "hmm/plan7.hpp"
+#include "stats/calibrate.hpp"
+
+namespace finehmm::hmm {
+
+/// Write one model in HMMER3 ASCII format.  When calibrated statistics
+/// are provided they are stored as HMMER-style STATS lines
+/// (STATS LOCAL MSV / VITERBI mu lambda, STATS LOCAL FORWARD tau lambda)
+/// so a search can skip recalibration.
+void write_hmm(std::ostream& out, const Plan7Hmm& hmm,
+               const stats::ModelStats* model_stats = nullptr);
+void write_hmm_file(const std::string& path, const Plan7Hmm& hmm,
+                    const stats::ModelStats* model_stats = nullptr);
+
+/// Read one model; throws ParseError on malformed input.  If
+/// `out_stats` is non-null and the file carries all three STATS lines,
+/// the calibration is returned through it.
+Plan7Hmm read_hmm(std::istream& in,
+                  std::optional<stats::ModelStats>* out_stats = nullptr);
+Plan7Hmm read_hmm_file(const std::string& path,
+                       std::optional<stats::ModelStats>* out_stats = nullptr);
+
+}  // namespace finehmm::hmm

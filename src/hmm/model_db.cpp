@@ -1,0 +1,135 @@
+#include "hmm/model_db.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace finehmm::hmm {
+
+namespace {
+
+constexpr char kDbMagic[4] = {'F', 'H', 'D', 'B'};
+constexpr std::uint32_t kDbVersion = 1;
+constexpr std::uint64_t kMaxModels = 1ull << 24;
+
+template <class T>
+void put(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <class T>
+T get(std::istream& in) {
+  T v;
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  FH_REQUIRE(in.good(), "truncated model library");
+  return v;
+}
+
+}  // namespace
+
+void write_model_db(std::ostream& out,
+                    const std::vector<ModelEntry>& models) {
+  FH_REQUIRE(!models.empty(), "refusing to write an empty model library");
+  out.write(kDbMagic, sizeof(kDbMagic));
+  put<std::uint32_t>(out, kDbVersion);
+  put<std::uint64_t>(out, models.size());
+
+  // Serialize the records first to learn their sizes.
+  std::vector<std::string> blobs;
+  blobs.reserve(models.size());
+  for (const auto& e : models) {
+    std::ostringstream rec(std::ios::binary);
+    write_hmm_binary(rec, e.model,
+                     e.model_stats ? &*e.model_stats : nullptr);
+    blobs.push_back(rec.str());
+  }
+
+  std::uint64_t offset = sizeof(kDbMagic) + sizeof(std::uint32_t) +
+                         sizeof(std::uint64_t) +
+                         models.size() * sizeof(std::uint64_t);
+  for (const auto& blob : blobs) {
+    put<std::uint64_t>(out, offset);
+    offset += blob.size();
+  }
+  for (const auto& blob : blobs)
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  FH_REQUIRE(out.good(), "model library write failed");
+}
+
+void write_model_db_file(const std::string& path,
+                         const std::vector<ModelEntry>& models) {
+  std::ofstream out(path, std::ios::binary);
+  FH_REQUIRE(out.good(), "cannot open model library for writing: " + path);
+  write_model_db(out, models);
+}
+
+namespace {
+
+std::vector<std::uint64_t> read_header(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  FH_REQUIRE(in.good() && std::memcmp(magic, kDbMagic, 4) == 0,
+             "not a finehmm model library (bad magic)");
+  auto version = get<std::uint32_t>(in);
+  FH_REQUIRE(version == kDbVersion,
+             "unsupported model library version " + std::to_string(version));
+  auto count = get<std::uint64_t>(in);
+  FH_REQUIRE(count >= 1 && count <= kMaxModels,
+             "implausible model count in library");
+  std::vector<std::uint64_t> offsets(count);
+  for (auto& o : offsets) o = get<std::uint64_t>(in);
+  return offsets;
+}
+
+}  // namespace
+
+std::vector<ModelEntry> read_model_db(std::istream& in) {
+  auto offsets = read_header(in);
+  std::vector<ModelEntry> out;
+  out.reserve(offsets.size());
+  for (std::size_t i = 0; i < offsets.size(); ++i) {
+    in.seekg(static_cast<std::streamoff>(offsets[i]));
+    FH_REQUIRE(in.good(), "bad record offset in model library");
+    ModelEntry e;
+    e.model = read_hmm_binary(in, &e.model_stats);
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::vector<ModelEntry> read_model_db_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  FH_REQUIRE(in.good(), "cannot open model library: " + path);
+  return read_model_db(in);
+}
+
+struct ModelDbReader::Impl {
+  std::ifstream in;
+  std::mutex mutex;  // load() seeks the shared stream; serialize callers
+};
+
+ModelDbReader::ModelDbReader(const std::string& path)
+    : impl_(new Impl{std::ifstream(path, std::ios::binary)}) {
+  FH_REQUIRE(impl_->in.good(), "cannot open model library: " + path);
+  offsets_ = read_header(impl_->in);
+}
+
+ModelDbReader::~ModelDbReader() { delete impl_; }
+
+ModelEntry ModelDbReader::load(std::size_t index) const {
+  FH_REQUIRE(index < offsets_.size(), "model index out of range");
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->in.clear();
+  impl_->in.seekg(static_cast<std::streamoff>(offsets_[index]));
+  FH_REQUIRE(impl_->in.good(), "bad record offset in model library");
+  ModelEntry e;
+  e.model = read_hmm_binary(impl_->in, &e.model_stats);
+  return e;
+}
+
+}  // namespace finehmm::hmm

@@ -1,0 +1,55 @@
+// Model library files — the hmmpress / hmmscan workflow.
+//
+// Scanning a query sequence against Pfam means loading tens of thousands
+// of models fast.  A ModelDb file ("pressed" library, .fhpdb) is a header
+// plus concatenated binary profiles (hmm/binary_io) with an offset index,
+// so single models can be loaded lazily and the whole library streams
+// without parsing.
+//
+// Layout: magic "FHDB" | u32 version | u64 count
+//         | count x { u64 offset }          (index, file-absolute)
+//         | count x binary profile records
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hmm/binary_io.hpp"
+
+namespace finehmm::hmm {
+
+/// One model plus its optional calibration.
+struct ModelEntry {
+  Plan7Hmm model;
+  std::optional<stats::ModelStats> model_stats;
+};
+
+/// Write a library file.
+void write_model_db(std::ostream& out, const std::vector<ModelEntry>& models);
+void write_model_db_file(const std::string& path,
+                         const std::vector<ModelEntry>& models);
+
+/// Read a whole library.
+std::vector<ModelEntry> read_model_db(std::istream& in);
+std::vector<ModelEntry> read_model_db_file(const std::string& path);
+
+/// Lazy reader: open once, fetch models by index.
+class ModelDbReader {
+ public:
+  explicit ModelDbReader(const std::string& path);
+  ~ModelDbReader();
+  ModelDbReader(const ModelDbReader&) = delete;
+  ModelDbReader& operator=(const ModelDbReader&) = delete;
+
+  std::size_t size() const noexcept { return offsets_.size(); }
+  ModelEntry load(std::size_t index) const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  std::vector<std::uint64_t> offsets_;
+};
+
+}  // namespace finehmm::hmm

@@ -1,0 +1,113 @@
+#include "hmm/priors.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace finehmm::hmm {
+
+namespace {
+
+/// log of the multivariate Beta function of a positive vector.
+double log_beta(const std::array<double, bio::kK>& a) {
+  double sum = 0.0, lg = 0.0;
+  for (double x : a) {
+    sum += x;
+    lg += std::lgamma(x);
+  }
+  return lg - std::lgamma(sum);
+}
+
+}  // namespace
+
+DirichletMixture::DirichletMixture(std::vector<DirichletComponent> components)
+    : components_(std::move(components)) {
+  FH_REQUIRE(!components_.empty(), "mixture needs at least one component");
+  double qsum = 0.0;
+  for (auto& c : components_) {
+    FH_REQUIRE(c.q > 0.0, "mixture coefficients must be positive");
+    for (double a : c.alpha)
+      FH_REQUIRE(a > 0.0, "Dirichlet parameters must be positive");
+    qsum += c.q;
+  }
+  for (auto& c : components_) c.q /= qsum;
+}
+
+std::vector<double> DirichletMixture::responsibilities(
+    const std::array<double, bio::kK>& counts) const {
+  std::vector<double> logw(components_.size());
+  for (std::size_t j = 0; j < components_.size(); ++j) {
+    std::array<double, bio::kK> merged = components_[j].alpha;
+    for (int a = 0; a < bio::kK; ++a) merged[a] += counts[a];
+    logw[j] = std::log(components_[j].q) + log_beta(merged) -
+              log_beta(components_[j].alpha);
+  }
+  double hi = *std::max_element(logw.begin(), logw.end());
+  double total = 0.0;
+  for (double& w : logw) {
+    w = std::exp(w - hi);
+    total += w;
+  }
+  for (double& w : logw) w /= total;
+  return logw;
+}
+
+std::array<double, bio::kK> DirichletMixture::posterior_mean(
+    const std::array<double, bio::kK>& counts) const {
+  auto w = responsibilities(counts);
+  double csum = 0.0;
+  for (double c : counts) csum += c;
+
+  std::array<double, bio::kK> p{};
+  for (std::size_t j = 0; j < components_.size(); ++j) {
+    double asum = 0.0;
+    for (double a : components_[j].alpha) asum += a;
+    for (int a = 0; a < bio::kK; ++a)
+      p[a] += w[j] * (counts[a] + components_[j].alpha[a]) / (csum + asum);
+  }
+  // Normalize away accumulated rounding.
+  double total = 0.0;
+  for (double v : p) total += v;
+  for (double& v : p) v /= total;
+  return p;
+}
+
+const DirichletMixture& DirichletMixture::default_amino() {
+  // Five regimes; alphabetic order ACDEFGHIKLMNPQRSTVWY.  Magnitudes: a
+  // small |alpha| lets a few observations dominate (conserved columns), a
+  // larger |alpha| pulls sparse columns toward the regime's composition.
+  static const DirichletMixture mixture([] {
+    std::vector<DirichletComponent> cs(5);
+    auto set = [](DirichletComponent& c, double q,
+                  std::initializer_list<double> a) {
+      c.q = q;
+      std::copy(a.begin(), a.end(), c.alpha.begin());
+    };
+    // 1. near-background: unaligned/variable columns.
+    set(cs[0], 0.35,
+        {1.58, 0.30, 1.07, 1.34, 0.79, 1.39, 0.46, 1.18, 1.19, 1.93,
+         0.48, 0.83, 0.97, 0.79, 1.08, 1.37, 1.08, 1.35, 0.23, 0.61});
+    // 2. hydrophobic core (ILVMF heavy), low total: conserved-ish.
+    set(cs[1], 0.20,
+        {0.27, 0.04, 0.02, 0.02, 0.30, 0.05, 0.02, 0.65, 0.03, 0.75,
+         0.20, 0.02, 0.03, 0.02, 0.03, 0.05, 0.10, 0.60, 0.05, 0.10});
+    // 3. polar / small (STNQ, G).
+    set(cs[2], 0.20,
+        {0.45, 0.05, 0.25, 0.20, 0.04, 0.50, 0.10, 0.05, 0.20, 0.06,
+         0.04, 0.45, 0.20, 0.30, 0.15, 0.65, 0.50, 0.10, 0.02, 0.08});
+    // 4. charged (DEKR, H).
+    set(cs[3], 0.15,
+        {0.15, 0.02, 0.60, 0.70, 0.03, 0.10, 0.25, 0.05, 0.65, 0.08,
+         0.04, 0.20, 0.08, 0.30, 0.65, 0.20, 0.15, 0.05, 0.02, 0.08});
+    // 5. near-deterministic: strongly conserved single residues (tiny
+    // uniform alpha — the data decides which residue).
+    set(cs[4], 0.10,
+        {0.05, 0.05, 0.05, 0.05, 0.05, 0.05, 0.05, 0.05, 0.05, 0.05,
+         0.05, 0.05, 0.05, 0.05, 0.05, 0.05, 0.05, 0.05, 0.05, 0.05});
+    return cs;
+  }());
+  return mixture;
+}
+
+}  // namespace finehmm::hmm

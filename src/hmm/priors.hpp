@@ -1,0 +1,52 @@
+// Dirichlet mixture priors for emission estimation.
+//
+// hmmbuild does not use flat pseudocounts: match emissions are estimated
+// with a mixture-Dirichlet prior whose components capture recurring
+// residue regimes (hydrophobic cores, polar surfaces, charged sites,
+// glycine/proline breakers...).  Given observed weighted counts c, the
+// posterior mean under a mixture  sum_j q_j Dir(alpha_j)  is
+//
+//   p(a|c) = sum_j w_j(c) * (c_a + alpha_{j,a}) / (|c| + |alpha_j|),
+//   w_j(c) ∝ q_j * B(c + alpha_j) / B(alpha_j),
+//
+// with B the multivariate Beta.  The library ships a compact 5-component
+// amino-acid mixture (documented in priors.cpp; not the Sjölander 9-
+// component tables, but built on the same regime structure) and the
+// machinery accepts arbitrary mixtures.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "bio/alphabet.hpp"
+
+namespace finehmm::hmm {
+
+struct DirichletComponent {
+  double q = 1.0;                      // mixture coefficient
+  std::array<double, bio::kK> alpha{};  // Dirichlet parameters
+};
+
+class DirichletMixture {
+ public:
+  explicit DirichletMixture(std::vector<DirichletComponent> components);
+
+  std::size_t size() const noexcept { return components_.size(); }
+
+  /// Posterior mean estimate of the emission distribution given weighted
+  /// observed counts (all >= 0; may be all zero).
+  std::array<double, bio::kK> posterior_mean(
+      const std::array<double, bio::kK>& counts) const;
+
+  /// Posterior mixture responsibilities for the given counts.
+  std::vector<double> responsibilities(
+      const std::array<double, bio::kK>& counts) const;
+
+  /// The library's default amino-acid mixture.
+  static const DirichletMixture& default_amino();
+
+ private:
+  std::vector<DirichletComponent> components_;
+};
+
+}  // namespace finehmm::hmm

@@ -1,0 +1,114 @@
+#include "hmm/sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace finehmm::hmm {
+
+namespace {
+
+std::uint8_t sample_emission(const Plan7Hmm& hmm, int k, bool match,
+                             Pcg32& rng) {
+  double x = rng.uniform();
+  double acc = 0.0;
+  for (int a = 0; a < bio::kK; ++a) {
+    acc += match ? hmm.mat(k, a) : hmm.ins(k, a);
+    if (x < acc) return static_cast<std::uint8_t>(a);
+  }
+  return bio::kK - 1;
+}
+
+void append_background(std::vector<std::uint8_t>& codes, std::size_t n,
+                       Pcg32& rng) {
+  const auto& bg = bio::background_frequencies();
+  for (std::size_t i = 0; i < n; ++i) {
+    double x = rng.uniform();
+    double acc = 0.0;
+    std::uint8_t code = bio::kK - 1;
+    for (int a = 0; a < bio::kK; ++a) {
+      acc += bg[a];
+      if (x < acc) {
+        code = static_cast<std::uint8_t>(a);
+        break;
+      }
+    }
+    codes.push_back(code);
+  }
+}
+
+}  // namespace
+
+bio::Sequence sample_homolog(const Plan7Hmm& hmm, Pcg32& rng,
+                             const SampleOptions& opts,
+                             const std::string& name) {
+  const int M = hmm.length();
+  bio::Sequence seq;
+  seq.name = name;
+
+  std::size_t left =
+      static_cast<std::size_t>(rng.exponential(1.0 / opts.mean_flank));
+  append_background(seq.codes, left, rng);
+
+  // Pick an aligned region: full model, or a local fragment.
+  int k_start = 1, k_end = M;
+  if (rng.uniform() < opts.fragment_prob && M > 4) {
+    k_start = 1 + static_cast<int>(rng.below(static_cast<std::uint32_t>(M / 2)));
+    k_end = k_start +
+            static_cast<int>(rng.below(static_cast<std::uint32_t>(M - k_start))) +
+            1;
+    k_end = std::min(k_end, M);
+  }
+
+  // Walk the core model from M_{k_start}; D and I states per transitions.
+  enum class St { kM, kI, kD };
+  St state = St::kM;
+  int k = k_start;
+  while (k <= k_end) {
+    switch (state) {
+      case St::kM: {
+        seq.codes.push_back(sample_emission(hmm, k, /*match=*/true, rng));
+        if (k == k_end) { k = k_end + 1; break; }
+        double x = rng.uniform();
+        if (x < hmm.tr(k, kTMM)) {
+          ++k;
+        } else if (x < hmm.tr(k, kTMM) + hmm.tr(k, kTMI)) {
+          state = St::kI;
+        } else {
+          ++k;
+          state = St::kD;
+        }
+        break;
+      }
+      case St::kI: {
+        seq.codes.push_back(sample_emission(hmm, k, /*match=*/false, rng));
+        if (rng.uniform() < hmm.tr(k, kTIM)) {
+          ++k;
+          state = St::kM;
+        }
+        break;
+      }
+      case St::kD: {
+        if (k >= k_end) { k = k_end + 1; break; }
+        if (rng.uniform() < hmm.tr(k, kTDM)) {
+          ++k;
+          state = St::kM;
+        } else {
+          ++k;
+        }
+        break;
+      }
+    }
+  }
+
+  std::size_t right =
+      static_cast<std::size_t>(rng.exponential(1.0 / opts.mean_flank));
+  append_background(seq.codes, right, rng);
+
+  // Never emit an empty sequence.
+  if (seq.codes.empty()) append_background(seq.codes, 1, rng);
+  return seq;
+}
+
+}  // namespace finehmm::hmm

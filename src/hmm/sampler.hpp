@@ -1,0 +1,28 @@
+// Sampling sequences from a Plan-7 model.
+//
+// Used to plant homologous sequences into synthetic databases (the paper's
+// discussion notes that the pipeline speedup depends on the degree of
+// homology between the database and the query) and as a ground-truth
+// generator for statistical tests.
+#pragma once
+
+#include "bio/sequence.hpp"
+#include "hmm/plan7.hpp"
+#include "util/rng.hpp"
+
+namespace finehmm::hmm {
+
+struct SampleOptions {
+  /// Random flank lengths (geometric with this mean) are prepended and
+  /// appended so the motif sits inside a realistic sequence.
+  double mean_flank = 50.0;
+  /// Emit a partial-length homolog (local fragment) with this probability.
+  double fragment_prob = 0.3;
+};
+
+/// Sample one sequence containing one core-model traversal plus flanks.
+bio::Sequence sample_homolog(const Plan7Hmm& hmm, Pcg32& rng,
+                             const SampleOptions& opts = {},
+                             const std::string& name = "homolog");
+
+}  // namespace finehmm::hmm

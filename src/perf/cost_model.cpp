@@ -1,0 +1,77 @@
+#include "perf/cost_model.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace finehmm::perf {
+
+TimeEstimate estimate_gpu_time(const simt::DeviceSpec& dev,
+                               const simt::PerfCounters& counters,
+                               const simt::Occupancy& occ,
+                               int warps_per_block,
+                               const CostModelParams& params) {
+  FH_REQUIRE(occ.warps_per_sm > 0, "cannot time a zero-occupancy launch");
+  TimeEstimate out;
+
+  const double clock = dev.clock_ghz * 1e9;
+
+  const double alu_ops = static_cast<double>(counters.alu + counters.shuffles +
+                                             counters.votes);
+  const double smem = static_cast<double>(counters.smem_cycles);
+  const double gmem_tx = static_cast<double>(counters.gmem_transactions);
+  const double l2_tx = static_cast<double>(counters.gmem_cached_tx);
+  const double total_ops = alu_ops + smem + gmem_tx + l2_tx;
+  if (total_ops <= 0.0) return out;
+
+  // Peak pipe rate (warp-ops/cycle/SM): ALU ops across the CUDA-core
+  // pipes, memory ops through the LD/ST pipe; a barrier stalls every warp
+  // of the block for sync_latency cycles' worth of issue slots.
+  double pipe_cycles =
+      alu_ops / dev.issue_width() + smem / params.smem_ports +
+      (gmem_tx * params.gmem_pipe_cost + l2_tx * params.l2_pipe_cost) /
+          params.smem_ports +
+      static_cast<double>(counters.syncs) * params.sync_latency *
+          static_cast<double>(warps_per_block) / dev.issue_width();
+  double peak_rate = total_ops / pipe_cycles;
+
+  // Little's law: in-order warps with one outstanding dependent op each.
+  double avg_latency = (alu_ops * params.lat_alu + smem * params.lat_smem +
+                        l2_tx * params.lat_l2 + gmem_tx * params.lat_gmem) /
+                       total_ops;
+  double conc_rate = static_cast<double>(occ.warps_per_sm) *
+                     params.warp_ilp / avg_latency;
+
+  double rate = std::min(peak_rate, conc_rate);
+  out.compute_s = total_ops / (rate * static_cast<double>(dev.sm_count) *
+                               clock * params.efficiency);
+
+  // DRAM-side time; saturating the bus needs enough resident warps too.
+  double bw_util = std::min(1.0, occ.fraction / params.bw_occupancy_knee);
+  out.memory_s = static_cast<double>(counters.gmem_bytes) /
+                 (dev.mem_bandwidth_gbs * 1e9 * std::max(bw_util, 1e-3));
+
+  out.total_s = std::max(out.compute_s, out.memory_s);
+  if (out.total_s > 0.0)
+    out.gcells_per_s = static_cast<double>(counters.cells) / out.total_s / 1e9;
+  return out;
+}
+
+double estimate_cpu_time(CpuStage stage, double cells,
+                         const CostModelParams& params,
+                         const simt::DeviceSpec::CpuBaseline& cpu) {
+  double cpc = stage == CpuStage::kMsv ? params.cpu_cycles_per_cell_msv
+                                       : params.cpu_cycles_per_cell_vit;
+  return cells * cpc /
+         (static_cast<double>(cpu.cores) * cpu.clock_ghz * 1e9);
+}
+
+TimeEstimate extrapolate(const TimeEstimate& e, double factor) {
+  TimeEstimate out = e;
+  out.compute_s *= factor;
+  out.memory_s *= factor;
+  out.total_s *= factor;
+  return out;
+}
+
+}  // namespace finehmm::perf

@@ -1,0 +1,80 @@
+#include "perf/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace finehmm::perf {
+
+KernelAnalysis analyze_kernel(const simt::DeviceSpec& dev,
+                              const simt::PerfCounters& counters,
+                              const simt::Occupancy& occ, int warps_per_block,
+                              const CostModelParams& params) {
+  KernelAnalysis a;
+  a.time = estimate_gpu_time(dev, counters, occ, warps_per_block, params);
+
+  const double alu = static_cast<double>(counters.alu + counters.shuffles +
+                                         counters.votes);
+  const double smem = static_cast<double>(counters.smem_cycles);
+  const double gmem_tx = static_cast<double>(counters.gmem_transactions);
+  const double l2_tx = static_cast<double>(counters.gmem_cached_tx);
+  const double cells = std::max<double>(1.0, counters.cells);
+
+  a.warp_ops_per_cell = (alu + smem + gmem_tx + l2_tx) / cells;
+
+  double alu_cycles = alu / dev.issue_width();
+  double ldst_cycles =
+      smem / params.smem_ports +
+      (gmem_tx * params.gmem_pipe_cost + l2_tx * params.l2_pipe_cost) /
+          params.smem_ports;
+  double sync_cycles = static_cast<double>(counters.syncs) *
+                       params.sync_latency * warps_per_block /
+                       dev.issue_width();
+  double pipe = alu_cycles + ldst_cycles + sync_cycles;
+  if (pipe > 0.0) {
+    a.alu_share = alu_cycles / pipe;
+    a.ldst_share = ldst_cycles / pipe;
+    a.sync_share = sync_cycles / pipe;
+  }
+
+  a.arithmetic_intensity =
+      counters.gmem_bytes > 0
+          ? alu / static_cast<double>(counters.gmem_bytes)
+          : 0.0;
+  if (counters.smem_accesses > 0)
+    a.smem_conflict_rate =
+        static_cast<double>(counters.smem_cycles - counters.smem_accesses) /
+        static_cast<double>(counters.smem_accesses);
+
+  // What bounds the kernel?
+  if (a.time.memory_s >= a.time.compute_s) {
+    a.bound = Bound::kMemoryBandwidth;
+  } else {
+    // Compute-side: was it the pipes or the lack of resident warps?
+    double avg_latency =
+        (alu * params.lat_alu + smem * params.lat_smem +
+         l2_tx * params.lat_l2 + gmem_tx * params.lat_gmem) /
+        std::max(1.0, alu + smem + l2_tx + gmem_tx);
+    double conc_rate = occ.warps_per_sm * params.warp_ilp / avg_latency;
+    double peak_rate = (alu + smem + l2_tx + gmem_tx) / std::max(1.0, pipe);
+    a.bound = conc_rate < peak_rate ? Bound::kLatency : Bound::kCompute;
+  }
+  return a;
+}
+
+std::string format_analysis(const KernelAnalysis& a) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "  warp-ops/cell:        %.3f\n"
+      "  pipe shares:          ALU %.0f%% | LD/ST %.0f%% | sync %.0f%%\n"
+      "  arithmetic intensity: %.2f ALU ops per DRAM byte\n"
+      "  smem conflict rate:   %.3f replays/access\n"
+      "  bound by:             %s\n"
+      "  throughput:           %.1f Gcells/s (modeled)\n",
+      a.warp_ops_per_cell, 100.0 * a.alu_share, 100.0 * a.ldst_share,
+      100.0 * a.sync_share, a.arithmetic_intensity, a.smem_conflict_rate,
+      a.bound_name(), a.time.gcells_per_s);
+  return buf;
+}
+
+}  // namespace finehmm::perf

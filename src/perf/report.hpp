@@ -1,0 +1,43 @@
+// Kernel analysis: turn raw counters into the quantities the paper's
+// discussion (§V) reasons about — arithmetic intensity, pipe-cycle
+// shares, and which resource bounds the kernel.
+#pragma once
+
+#include <string>
+
+#include "perf/cost_model.hpp"
+
+namespace finehmm::perf {
+
+enum class Bound { kCompute, kMemoryBandwidth, kLatency };
+
+struct KernelAnalysis {
+  double warp_ops_per_cell = 0.0;   // issue-slot ops per DP cell
+  double alu_share = 0.0;           // fraction of pipe cycles on ALU
+  double ldst_share = 0.0;          // fraction on the LD/ST pipe
+  double sync_share = 0.0;          // fraction stalled at barriers
+  double arithmetic_intensity = 0.0;  // ALU ops per DRAM byte
+  double smem_conflict_rate = 0.0;  // replays per shared access (0 = clean)
+  Bound bound = Bound::kCompute;
+  TimeEstimate time;
+
+  const char* bound_name() const {
+    switch (bound) {
+      case Bound::kCompute: return "compute pipes";
+      case Bound::kMemoryBandwidth: return "DRAM bandwidth";
+      case Bound::kLatency: return "latency (occupancy)";
+    }
+    return "?";
+  }
+};
+
+/// Analyze one kernel run.
+KernelAnalysis analyze_kernel(const simt::DeviceSpec& dev,
+                              const simt::PerfCounters& counters,
+                              const simt::Occupancy& occ, int warps_per_block,
+                              const CostModelParams& params = {});
+
+/// Multi-line human-readable rendering.
+std::string format_analysis(const KernelAnalysis& a);
+
+}  // namespace finehmm::perf

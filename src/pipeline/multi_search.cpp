@@ -1,0 +1,47 @@
+#include "pipeline/multi_search.hpp"
+
+#include "util/error.hpp"
+
+namespace finehmm::pipeline {
+
+MultiSearch::MultiSearch(std::vector<hmm::Plan7Hmm> models,
+                         Thresholds thresholds,
+                         stats::CalibrateOptions calib) {
+  FH_REQUIRE(!models.empty(), "need at least one model");
+  searches_.reserve(models.size());
+  for (auto& m : models) searches_.emplace_back(m, thresholds, calib);
+}
+
+std::vector<ModelResult> MultiSearch::run_cpu(
+    const bio::SequenceDatabase& db) const {
+  std::vector<ModelResult> out;
+  out.reserve(searches_.size());
+  for (const auto& search : searches_) {
+    ModelResult r;
+    r.model_name = search.profile().name();
+    r.model_length = search.profile().length();
+    r.result = search.run_cpu(db);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::vector<ModelResult> MultiSearch::run_gpu(
+    const simt::DeviceSpec& dev, const bio::SequenceDatabase& db,
+    const bio::PackedDatabase& packed) const {
+  std::vector<ModelResult> out;
+  out.reserve(searches_.size());
+  for (const auto& search : searches_) {
+    ModelResult r;
+    r.model_name = search.profile().name();
+    r.model_length = search.profile().length();
+    r.msv_placement =
+        gpu::choose_placement(gpu::Stage::kMsv, r.model_length, dev)
+            .placement;
+    r.result = search.run_gpu_auto(dev, db, packed);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace finehmm::pipeline

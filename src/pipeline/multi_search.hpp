@@ -1,0 +1,44 @@
+// hmmscan-style batch search: one database against many profile HMMs.
+//
+// This is the paper's motivating production workload ("scanning an entire
+// database of HMMs for all motifs", §I): Pfam has tens of thousands of
+// families.  MultiSearch owns one calibrated HmmSearch per model and scans
+// the shared (packed-once) database against each; per-model launch
+// placement follows the occupancy policy, so small families run shared
+// and large families run global, as Fig. 9's optimal curve prescribes.
+#pragma once
+
+#include <vector>
+
+#include "pipeline/pipeline.hpp"
+
+namespace finehmm::pipeline {
+
+struct ModelResult {
+  std::string model_name;
+  int model_length = 0;
+  SearchResult result;
+  gpu::ParamPlacement msv_placement = gpu::ParamPlacement::kShared;
+};
+
+class MultiSearch {
+ public:
+  MultiSearch(std::vector<hmm::Plan7Hmm> models, Thresholds thresholds = {},
+              stats::CalibrateOptions calib = {});
+
+  std::size_t size() const noexcept { return searches_.size(); }
+  const HmmSearch& search(std::size_t i) const { return searches_[i]; }
+
+  /// Scan with the CPU engines.
+  std::vector<ModelResult> run_cpu(const bio::SequenceDatabase& db) const;
+
+  /// Scan with the SIMT kernels, auto placement per model.
+  std::vector<ModelResult> run_gpu(const simt::DeviceSpec& dev,
+                                   const bio::SequenceDatabase& db,
+                                   const bio::PackedDatabase& packed) const;
+
+ private:
+  std::vector<HmmSearch> searches_;
+};
+
+}  // namespace finehmm::pipeline

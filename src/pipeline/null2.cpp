@@ -1,0 +1,51 @@
+#include "pipeline/null2.hpp"
+
+#include <cmath>
+
+#include "util/logspace.hpp"
+
+namespace finehmm::pipeline {
+
+float null2_correction(const hmm::SearchProfile& prof,
+                       const cpu::ViterbiTrace& trace,
+                       const std::uint8_t* seq) {
+  const auto& bg = bio::background_frequencies();
+
+  // Expected emission composition of the aligned model columns.  The
+  // profile stores log-odds msc = log(mat/bg), so mat = bg * exp(msc).
+  double f[bio::kK] = {0.0};
+  int n_columns = 0;
+  std::size_t span_begin = 0, span_end = 0;
+  double null2_sc = 0.0;
+  bool any = false;
+
+  for (const auto& step : trace.steps) {
+    if (step.state != cpu::TraceState::kM) continue;
+    for (int a = 0; a < bio::kK; ++a) {
+      float msc = prof.msc(step.k, a);
+      if (msc != kNegInf) f[a] += bg[a] * std::exp(msc);
+    }
+    ++n_columns;
+    if (span_begin == 0) span_begin = step.i;
+    span_end = step.i;
+    any = true;
+  }
+  if (!any || n_columns == 0) return 0.0f;
+
+  double total = 0.0;
+  for (int a = 0; a < bio::kK; ++a) total += f[a];
+  if (total <= 0.0) return 0.0f;
+  for (int a = 0; a < bio::kK; ++a) f[a] /= total;
+
+  // Score the aligned span (match + insert residues) under null2 vs null1.
+  for (std::size_t i = span_begin; i <= span_end; ++i) {
+    std::uint8_t x = seq[i - 1];
+    if (!bio::is_canonical(x)) continue;  // degenerates: neutral
+    if (f[x] > 0.0) null2_sc += std::log(f[x] / bg[x]);
+  }
+
+  return logsum_exact(0.0f, std::log(kNull2Omega) +
+                                static_cast<float>(null2_sc));
+}
+
+}  // namespace finehmm::pipeline

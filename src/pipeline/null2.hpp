@@ -1,0 +1,34 @@
+// null2: ad hoc composition-bias score correction.
+//
+// Low-complexity or compositionally biased sequences (poly-Q stretches,
+// transmembrane runs...) inflate log-odds scores against the uniform-ish
+// null1.  HMMER corrects reported scores with a second null hypothesis
+// whose emission distribution is the alignment's own expected composition:
+// if the hit region looks like "any A-rich sequence", an A-rich target
+// gains little evidence.  We implement the classic ad hoc scheme:
+//
+//   f_null2(a)   = mean of the model's match emissions over the aligned
+//                  columns (recovered from the profile's log-odds scores)
+//   null2_score  = sum over aligned residues of log(f_null2(x)/f_bg(x))
+//   correction   = logsum(0, log(omega) + null2_score),  omega = 1/256
+//
+// which is subtracted from the raw score before the bit-score/E-value
+// conversion.  Unbiased hits lose ~0 bits; biased ones lose up to their
+// entire compositional advantage.
+#pragma once
+
+#include "cpu/trace.hpp"
+#include "hmm/profile.hpp"
+
+namespace finehmm::pipeline {
+
+/// Prior odds of the null2 hypothesis (HMMER's omega).
+inline constexpr float kNull2Omega = 1.0f / 256.0f;
+
+/// Compute the null2 correction (nats, >= 0) for the aligned regions of a
+/// trace.  Returns 0 when the trace aligns nothing.
+float null2_correction(const hmm::SearchProfile& prof,
+                       const cpu::ViterbiTrace& trace,
+                       const std::uint8_t* seq);
+
+}  // namespace finehmm::pipeline

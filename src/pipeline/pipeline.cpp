@@ -1,0 +1,434 @@
+#include "pipeline/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cpu/fwd_filter.hpp"
+#include "cpu/generic.hpp"
+#include "cpu/msv_filter.hpp"
+#include "cpu/ssv.hpp"
+#include "cpu/vit_filter.hpp"
+#include "pipeline/null2.hpp"
+#include "util/error.hpp"
+#include "util/threadpool.hpp"
+#include "util/timer.hpp"
+
+namespace finehmm::pipeline {
+
+HmmSearch::HmmSearch(const hmm::Plan7Hmm& model, Thresholds thresholds,
+                     stats::CalibrateOptions calib)
+    : model_(model),
+      prof_(model, hmm::AlignMode::kLocalMultihit, 400),
+      msv_(prof_),
+      vit_(prof_),
+      fwd_(prof_),
+      thr_(thresholds) {
+  stats_ = stats::calibrate(prof_, msv_, vit_, calib);
+}
+
+HmmSearch::HmmSearch(const hmm::Plan7Hmm& model,
+                     const stats::ModelStats& model_stats,
+                     Thresholds thresholds)
+    : model_(model),
+      prof_(model, hmm::AlignMode::kLocalMultihit, 400),
+      msv_(prof_),
+      vit_(prof_),
+      fwd_(prof_),
+      stats_(model_stats),
+      thr_(thresholds) {}
+
+namespace {
+
+float overflow_bits(const profile::MsvProfile& msv, int L) {
+  // A conservative lower bound on an overflowed byte score.
+  return hmm::nats_to_bits(
+      (255.0f - msv.bias() - msv.base()) / msv.scale(), L);
+}
+
+}  // namespace
+
+SearchResult HmmSearch::run_cpu(const bio::SequenceDatabase& db) const {
+  SearchResult out;
+  Timer timer;
+
+  // ---- Stage 0 (optional): SSV pre-filter ----
+  std::vector<std::size_t> candidates;
+  if (thr_.use_ssv_prefilter) {
+    out.ssv.n_in = db.size();
+    for (std::size_t s = 0; s < db.size(); ++s) {
+      const auto& seq = db[s];
+      auto r = cpu::ssv_striped(msv_, seq.codes.data(), seq.length());
+      float bits = r.overflowed
+                       ? overflow_bits(msv_, static_cast<int>(seq.length()))
+                       : hmm::nats_to_bits(r.score_nats,
+                                           static_cast<int>(seq.length()));
+      out.ssv.cells += static_cast<double>(seq.length()) * msv_.length();
+      if (r.overflowed || stats_.ssv_pvalue(bits) <= thr_.ssv_p)
+        candidates.push_back(s);
+    }
+    out.ssv.n_passed = candidates.size();
+    out.ssv.seconds = timer.seconds();
+    timer.reset();
+  } else {
+    candidates.resize(db.size());
+    for (std::size_t s = 0; s < db.size(); ++s) candidates[s] = s;
+  }
+
+  // ---- Stage 1: MSV ----
+  cpu::MsvFilter msv_filter(msv_);
+  std::vector<std::size_t> msv_pass;
+  std::vector<float> msv_bits_pass;
+  out.msv.n_in = candidates.size();
+  for (std::size_t s : candidates) {
+    const auto& seq = db[s];
+    auto r = msv_filter.score(seq.codes.data(), seq.length());
+    float bits = r.overflowed
+                     ? overflow_bits(msv_, static_cast<int>(seq.length()))
+                     : hmm::nats_to_bits(r.score_nats,
+                                         static_cast<int>(seq.length()));
+    out.msv.cells += static_cast<double>(seq.length()) * msv_.length();
+    if (r.overflowed || stats_.msv_pvalue(bits) <= thr_.msv_p) {
+      msv_pass.push_back(s);
+      msv_bits_pass.push_back(bits);
+    }
+  }
+  out.msv.n_passed = msv_pass.size();
+  out.msv.seconds = timer.seconds();
+
+  // ---- Stage 2: P7Viterbi over the MSV survivors ----
+  timer.reset();
+  cpu::VitFilter vit_filter(vit_);
+  std::vector<std::size_t> vit_pass;
+  std::vector<float> vit_bits_pass;
+  out.vit.n_in = msv_pass.size();
+  for (std::size_t s : msv_pass) {
+    const auto& seq = db[s];
+    auto r = vit_filter.score(seq.codes.data(), seq.length());
+    float bits =
+        hmm::nats_to_bits(r.score_nats, static_cast<int>(seq.length()));
+    out.vit.cells += static_cast<double>(seq.length()) * vit_.length();
+    if (stats_.vit_pvalue(bits) <= thr_.vit_p) {
+      vit_pass.push_back(s);
+      vit_bits_pass.push_back(bits);
+    }
+  }
+  out.vit.n_passed = vit_pass.size();
+  out.vit.seconds = timer.seconds();
+
+  forward_stage(db, vit_pass, vit_bits_pass, out);
+  return out;
+}
+
+SearchResult HmmSearch::run_cpu_parallel(const bio::SequenceDatabase& db,
+                                         std::size_t threads) const {
+  SearchResult out;
+  Timer timer;
+  ThreadPool pool(threads);
+
+  // ---- Stage 0+1: (optional SSV, then) MSV, fanned out over the pool.
+  // Within a shard the stages are fused: a sequence failing SSV never
+  // reaches MSV, exactly like the serial engine, so hit lists agree.
+  out.msv.n_in = db.size();
+  std::vector<std::uint8_t> ssv_keep(db.size(), 1);
+  std::vector<std::uint8_t> msv_keep(db.size(), 0);
+  {
+    // One filter (and its DP row) per worker would need thread-local
+    // state; constructing per task is costlier, so shard the database.
+    const std::size_t shards = std::max<std::size_t>(1, pool.size() * 4);
+    pool.parallel_for(shards, [&](std::size_t shard) {
+      cpu::MsvFilter filter(msv_);
+      for (std::size_t s = shard; s < db.size(); s += shards) {
+        const auto& seq = db[s];
+        if (thr_.use_ssv_prefilter) {
+          auto sr = cpu::ssv_striped(msv_, seq.codes.data(), seq.length());
+          float sbits =
+              sr.overflowed
+                  ? overflow_bits(msv_, static_cast<int>(seq.length()))
+                  : hmm::nats_to_bits(sr.score_nats,
+                                      static_cast<int>(seq.length()));
+          if (!sr.overflowed && stats_.ssv_pvalue(sbits) > thr_.ssv_p) {
+            ssv_keep[s] = 0;
+            continue;
+          }
+        }
+        auto r = filter.score(seq.codes.data(), seq.length());
+        float bits = r.overflowed
+                         ? overflow_bits(msv_, static_cast<int>(seq.length()))
+                         : hmm::nats_to_bits(r.score_nats,
+                                             static_cast<int>(seq.length()));
+        msv_keep[s] =
+            (r.overflowed || stats_.msv_pvalue(bits) <= thr_.msv_p) ? 1 : 0;
+      }
+    });
+  }
+  std::vector<std::size_t> msv_pass;
+  for (std::size_t s = 0; s < db.size(); ++s) {
+    double cells = static_cast<double>(db[s].length()) * msv_.length();
+    if (thr_.use_ssv_prefilter) {
+      out.ssv.n_in += 1;
+      out.ssv.cells += cells;
+      if (!ssv_keep[s]) continue;
+      out.ssv.n_passed += 1;
+    }
+    out.msv.cells += cells;
+    if (msv_keep[s]) msv_pass.push_back(s);
+  }
+  if (thr_.use_ssv_prefilter) out.msv.n_in = out.ssv.n_passed;
+  out.msv.n_passed = msv_pass.size();
+  out.msv.seconds = timer.seconds();
+
+  // ---- Stage 2: P7Viterbi over survivors ----
+  timer.reset();
+  out.vit.n_in = msv_pass.size();
+  std::vector<float> vit_bits_all(msv_pass.size());
+  std::vector<std::uint8_t> vit_keep(msv_pass.size(), 0);
+  if (!msv_pass.empty()) {
+    const std::size_t shards =
+        std::max<std::size_t>(1, std::min(pool.size() * 4, msv_pass.size()));
+    pool.parallel_for(shards, [&](std::size_t shard) {
+      cpu::VitFilter filter(vit_);
+      for (std::size_t i = shard; i < msv_pass.size(); i += shards) {
+        const auto& seq = db[msv_pass[i]];
+        auto r = filter.score(seq.codes.data(), seq.length());
+        float bits = hmm::nats_to_bits(r.score_nats,
+                                       static_cast<int>(seq.length()));
+        vit_bits_all[i] = bits;
+        vit_keep[i] = stats_.vit_pvalue(bits) <= thr_.vit_p ? 1 : 0;
+      }
+    });
+  }
+  std::vector<std::size_t> vit_pass;
+  std::vector<float> vit_bits_pass;
+  for (std::size_t i = 0; i < msv_pass.size(); ++i) {
+    out.vit.cells +=
+        static_cast<double>(db[msv_pass[i]].length()) * vit_.length();
+    if (vit_keep[i]) {
+      vit_pass.push_back(msv_pass[i]);
+      vit_bits_pass.push_back(vit_bits_all[i]);
+    }
+  }
+  out.vit.n_passed = vit_pass.size();
+  out.vit.seconds = timer.seconds();
+
+  forward_stage(db, vit_pass, vit_bits_pass, out);
+  return out;
+}
+
+SearchResult HmmSearch::run_gpu(const simt::DeviceSpec& dev,
+                                const bio::SequenceDatabase& db,
+                                const bio::PackedDatabase& packed,
+                                gpu::ParamPlacement placement) const {
+  return run_gpu_impl(dev, db, packed, placement, placement);
+}
+
+SearchResult HmmSearch::run_gpu_auto(const simt::DeviceSpec& dev,
+                                     const bio::SequenceDatabase& db,
+                                     const bio::PackedDatabase& packed) const {
+  auto msv_choice =
+      gpu::choose_placement(gpu::Stage::kMsv, msv_.length(), dev);
+  auto vit_choice =
+      gpu::choose_placement(gpu::Stage::kViterbi, vit_.length(), dev);
+  return run_gpu_impl(dev, db, packed, msv_choice.placement,
+                      vit_choice.placement);
+}
+
+SearchResult HmmSearch::run_gpu_impl(const simt::DeviceSpec& dev,
+                                     const bio::SequenceDatabase& db,
+                                     const bio::PackedDatabase& packed,
+                                     gpu::ParamPlacement msv_placement,
+                                     gpu::ParamPlacement vit_placement) const {
+  FH_REQUIRE(packed.size() == db.size(), "packed database mismatch");
+  SearchResult out;
+  Timer timer;
+  gpu::GpuSearch search(dev);
+
+  // ---- Stage 0 (optional): warp-synchronous SSV pre-filter ----
+  std::vector<std::size_t> candidates;
+  const std::vector<std::size_t>* msv_items = nullptr;
+  if (thr_.use_ssv_prefilter) {
+    out.ssv.n_in = db.size();
+    auto ssv_run = search.run_ssv(msv_, packed, msv_placement);
+    for (std::size_t s = 0; s < db.size(); ++s) {
+      int L = static_cast<int>(db[s].length());
+      bool overflowed = ssv_run.overflow[s] != 0;
+      float bits = overflowed ? overflow_bits(msv_, L)
+                              : hmm::nats_to_bits(ssv_run.scores[s], L);
+      if (overflowed || stats_.ssv_pvalue(bits) <= thr_.ssv_p)
+        candidates.push_back(s);
+    }
+    out.ssv.n_passed = candidates.size();
+    out.ssv.cells = static_cast<double>(ssv_run.counters.cells);
+    out.ssv.seconds = timer.seconds();
+    timer.reset();
+    msv_items = &candidates;
+  }
+
+  // ---- Stage 1: warp-synchronous MSV ----
+  out.msv.n_in = msv_items ? candidates.size() : db.size();
+  auto msv_run = search.run_msv(msv_, packed, msv_placement, msv_items);
+  std::vector<std::size_t> msv_pass;
+  for (std::size_t i = 0; i < msv_run.scores.size(); ++i) {
+    std::size_t s = msv_items ? candidates[i] : i;
+    int L = static_cast<int>(db[s].length());
+    bool overflowed = msv_run.overflow[i] != 0;
+    float bits = overflowed ? overflow_bits(msv_, L)
+                            : hmm::nats_to_bits(msv_run.scores[i], L);
+    if (overflowed || stats_.msv_pvalue(bits) <= thr_.msv_p)
+      msv_pass.push_back(s);
+  }
+  out.msv.n_passed = msv_pass.size();
+  out.msv.cells = static_cast<double>(msv_run.counters.cells);
+  out.msv.seconds = timer.seconds();
+  out.gpu_msv = std::move(msv_run);
+
+  // ---- Stage 2: warp-synchronous P7Viterbi on the survivors ----
+  timer.reset();
+  out.vit.n_in = msv_pass.size();
+  std::vector<std::size_t> vit_pass;
+  std::vector<float> vit_bits_pass;
+  if (!msv_pass.empty()) {
+    auto vit_run = search.run_vit(vit_, packed, vit_placement, &msv_pass);
+    for (std::size_t i = 0; i < msv_pass.size(); ++i) {
+      std::size_t s = msv_pass[i];
+      int L = static_cast<int>(db[s].length());
+      float bits = hmm::nats_to_bits(vit_run.scores[i], L);
+      if (stats_.vit_pvalue(bits) <= thr_.vit_p) {
+        vit_pass.push_back(s);
+        vit_bits_pass.push_back(bits);
+      }
+    }
+    out.vit.cells = static_cast<double>(vit_run.counters.cells);
+    out.gpu_vit = std::move(vit_run);
+  }
+  out.vit.n_passed = vit_pass.size();
+  out.vit.seconds = timer.seconds();
+
+  forward_stage(db, vit_pass, vit_bits_pass, out);
+  return out;
+}
+
+HmmSearch::MultiGpuResult HmmSearch::run_gpu_multi(
+    const std::vector<simt::DeviceSpec>& devs,
+    const bio::SequenceDatabase& db, const bio::PackedDatabase& packed,
+    gpu::ParamPlacement placement) const {
+  FH_REQUIRE(!devs.empty(), "need at least one device");
+  FH_REQUIRE(packed.size() == db.size(), "packed database mismatch");
+  MultiGpuResult out;
+  SearchResult& combined = out.combined;
+  Timer timer;
+
+  // ---- Stage 1: MSV, database partitioned by residues (Fig. 11) ----
+  combined.msv.n_in = db.size();
+  auto msv_multi = gpu::run_msv_multi(devs, msv_, packed, placement);
+  std::vector<std::size_t> msv_pass;
+  for (std::size_t s = 0; s < db.size(); ++s) {
+    int L = static_cast<int>(db[s].length());
+    bool overflowed = msv_multi.overflow[s] != 0;
+    float bits = overflowed ? overflow_bits(msv_, L)
+                            : hmm::nats_to_bits(msv_multi.scores[s], L);
+    if (overflowed || stats_.msv_pvalue(bits) <= thr_.msv_p)
+      msv_pass.push_back(s);
+  }
+  combined.msv.n_passed = msv_pass.size();
+  for (auto& r : msv_multi.per_device) {
+    combined.msv.cells += static_cast<double>(r.counters.cells);
+    out.msv_per_device.push_back(std::move(r));
+  }
+  combined.msv.seconds = timer.seconds();
+
+  // ---- Stage 2: P7Viterbi, survivors re-partitioned round-robin ----
+  timer.reset();
+  combined.vit.n_in = msv_pass.size();
+  std::vector<std::size_t> vit_pass;
+  std::vector<float> vit_bits_pass;
+  if (!msv_pass.empty()) {
+    std::vector<std::vector<std::size_t>> parts(devs.size());
+    for (std::size_t i = 0; i < msv_pass.size(); ++i)
+      parts[i % devs.size()].push_back(msv_pass[i]);
+    for (std::size_t d = 0; d < devs.size(); ++d) {
+      if (parts[d].empty()) continue;
+      gpu::GpuSearch search(devs[d]);
+      auto run = search.run_vit(vit_, packed, placement, &parts[d]);
+      for (std::size_t i = 0; i < parts[d].size(); ++i) {
+        std::size_t s = parts[d][i];
+        int L = static_cast<int>(db[s].length());
+        float bits = hmm::nats_to_bits(run.scores[i], L);
+        if (stats_.vit_pvalue(bits) <= thr_.vit_p) {
+          vit_pass.push_back(s);
+          vit_bits_pass.push_back(bits);
+        }
+      }
+      combined.vit.cells += static_cast<double>(run.counters.cells);
+      out.vit_per_device.push_back(std::move(run));
+    }
+    // Keep deterministic ordering for downstream reporting.
+    std::vector<std::size_t> order(vit_pass.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return vit_pass[a] < vit_pass[b];
+    });
+    std::vector<std::size_t> sorted_pass;
+    std::vector<float> sorted_bits;
+    for (auto idx : order) {
+      sorted_pass.push_back(vit_pass[idx]);
+      sorted_bits.push_back(vit_bits_pass[idx]);
+    }
+    vit_pass.swap(sorted_pass);
+    vit_bits_pass.swap(sorted_bits);
+  }
+  combined.vit.n_passed = vit_pass.size();
+  combined.vit.seconds = timer.seconds();
+
+  forward_stage(db, vit_pass, vit_bits_pass, combined);
+  return out;
+}
+
+void HmmSearch::forward_stage(const bio::SequenceDatabase& db,
+                              const std::vector<std::size_t>& survivors,
+                              const std::vector<float>& vit_bits,
+                              SearchResult& out) const {
+  Timer timer;
+  out.fwd.n_in = survivors.size();
+  const bool need_trace = thr_.null2_correction || thr_.compute_alignments;
+  cpu::FwdFilter fwd_filter(fwd_);
+  for (std::size_t i = 0; i < survivors.size(); ++i) {
+    std::size_t s = survivors[i];
+    const auto& seq = db[s];
+    float raw = fwd_filter.score(seq.codes.data(), seq.length());
+    out.fwd.cells += static_cast<double>(seq.length()) * prof_.length();
+
+    cpu::ViterbiTrace trace;
+    float bias_nats = 0.0f;
+    if (need_trace)
+      trace = cpu::viterbi_trace(prof_, seq.codes.data(), seq.length());
+    if (thr_.null2_correction)
+      bias_nats = null2_correction(prof_, trace, seq.codes.data());
+
+    float bits =
+        hmm::nats_to_bits(raw - bias_nats, static_cast<int>(seq.length()));
+    double p = stats_.fwd_pvalue(bits);
+    double e = stats::evalue(p, db.size());
+    if (e <= thr_.report_evalue) {
+      Hit h;
+      h.seq_index = s;
+      h.name = seq.name;
+      h.vit_bits = vit_bits[i];
+      h.fwd_bits = bits;
+      h.bias_bits = bias_nats / static_cast<float>(M_LN2);
+      h.pvalue = p;
+      h.evalue = e;
+      if (thr_.compute_alignments)
+        h.alignments = cpu::trace_alignments(trace, prof_, seq.codes.data());
+      if (thr_.define_domains)
+        h.domains =
+            cpu::define_domains(prof_, seq.codes.data(), seq.length());
+      out.hits.push_back(std::move(h));
+      ++out.fwd.n_passed;
+    }
+  }
+  out.fwd.seconds = timer.seconds();
+  std::sort(out.hits.begin(), out.hits.end(),
+            [](const Hit& a, const Hit& b) { return a.evalue < b.evalue; });
+}
+
+}  // namespace finehmm::pipeline

@@ -1,0 +1,170 @@
+// The HMMER 3.0 hmmsearch acceleration pipeline (paper Fig. 1).
+//
+//   100% of sequences -> MSV (P <= 0.02) -> ~2% -> P7Viterbi (P <= 0.001)
+//   -> ~0.1% -> Forward -> reported hits with E-values.
+//
+// Each filter converts its raw score to a bit score against null1 and
+// then to a P-value using the model's calibrated Gumbel (filters) or
+// exponential-tail (Forward) statistics.  Sequences whose byte MSV
+// overflowed pass unconditionally (their score is provably huge).
+//
+// Two engines share identical semantics and thresholds:
+//   * CpuEngine — striped SSE-style filters (the paper's baseline)
+//   * GpuEngine — the warp-synchronous SIMT kernels for MSV and P7Viterbi
+//     (the Forward stage stays on the CPU, as in the paper).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bio/packing.hpp"
+#include "bio/sequence.hpp"
+#include "cpu/posterior.hpp"
+#include "cpu/trace.hpp"
+#include "gpu/placement_policy.hpp"
+#include "gpu/search.hpp"
+#include "hmm/plan7.hpp"
+#include "hmm/profile.hpp"
+#include "profile/fwd_profile.hpp"
+#include "profile/msv_profile.hpp"
+#include "profile/vit_profile.hpp"
+#include "stats/calibrate.hpp"
+
+namespace finehmm::pipeline {
+
+struct Thresholds {
+  double msv_p = 0.02;    // HMMER's F1
+  double vit_p = 0.001;   // HMMER's F2
+  double report_evalue = 10.0;
+  /// Enable the SSV pre-filter ahead of MSV (extension; the design
+  /// HMMER 3.1 adopted).  SSV is cheaper per cell — no J bookkeeping and
+  /// one reduction per sequence — but blind to multi-segment hits, so it
+  /// runs at a looser threshold.
+  bool use_ssv_prefilter = false;
+  double ssv_p = 0.06;
+  /// Run the Viterbi traceback on every reported hit (costs one extra
+  /// O(M*L) pass per hit; hits are rare so this is cheap).
+  bool compute_alignments = false;
+  /// Apply the null2 composition-bias correction to Forward scores
+  /// (HMMER does; see pipeline/null2.hpp).
+  bool null2_correction = true;
+  /// Run posterior decoding on reported hits and attach per-domain
+  /// envelopes, scores and alignments (hmmsearch's domain table).
+  bool define_domains = false;
+};
+
+struct Hit {
+  std::size_t seq_index = 0;
+  std::string name;
+  float msv_bits = 0.0f;
+  float vit_bits = 0.0f;
+  float fwd_bits = 0.0f;   // after the null2 correction, when enabled
+  float bias_bits = 0.0f;  // the null2 correction itself (hmmsearch "bias")
+  double pvalue = 1.0;
+  double evalue = 1e9;
+  /// Viterbi alignments of the hit (one per matched segment), filled when
+  /// Thresholds::compute_alignments is set.
+  std::vector<cpu::Alignment> alignments;
+  /// Posterior-decoded domain envelopes, filled when
+  /// Thresholds::define_domains is set.
+  std::vector<cpu::Domain> domains;
+};
+
+struct StageStats {
+  std::size_t n_in = 0;       // sequences entering the stage
+  std::size_t n_passed = 0;   // sequences surviving
+  double cells = 0.0;         // DP cells evaluated
+  double seconds = 0.0;       // measured host wall-clock of this stage
+  double pass_rate() const {
+    return n_in ? static_cast<double>(n_passed) / n_in : 0.0;
+  }
+};
+
+struct SearchResult {
+  std::vector<Hit> hits;            // sorted by E-value
+  StageStats ssv;  // only populated when the SSV pre-filter is enabled
+  StageStats msv, vit, fwd;
+  /// GPU runs also expose the per-stage counters and launch plans.
+  std::optional<gpu::StageResult> gpu_msv;
+  std::optional<gpu::StageResult> gpu_vit;
+};
+
+/// A configured, calibrated search: one query model, ready to scan
+/// databases with either engine.
+class HmmSearch {
+ public:
+  HmmSearch(const hmm::Plan7Hmm& model, Thresholds thresholds = {},
+            stats::CalibrateOptions calib = {});
+
+  /// Construct with precomputed calibration (e.g. STATS lines read from a
+  /// .hmm file), skipping the random-sequence simulation.
+  HmmSearch(const hmm::Plan7Hmm& model, const stats::ModelStats& model_stats,
+            Thresholds thresholds = {});
+
+  const hmm::SearchProfile& profile() const noexcept { return prof_; }
+  const profile::MsvProfile& msv_profile() const noexcept { return msv_; }
+  const profile::VitProfile& vit_profile() const noexcept { return vit_; }
+  const stats::ModelStats& model_stats() const noexcept { return stats_; }
+  const Thresholds& thresholds() const noexcept { return thr_; }
+
+  /// Scan with the striped CPU filters (single thread).
+  SearchResult run_cpu(const bio::SequenceDatabase& db) const;
+
+  /// Multithreaded CPU scan — the shape of HMMER 3.0's worker-thread
+  /// parallelism on the paper's quad-core baseline.  `threads` = 0 picks
+  /// hardware concurrency.  Hits are identical to run_cpu.
+  SearchResult run_cpu_parallel(const bio::SequenceDatabase& db,
+                                std::size_t threads = 0) const;
+
+  /// Scan with the SIMT kernels for MSV and P7Viterbi on `dev`; the
+  /// Forward stage runs on the CPU.  `placement` applies to both kernels.
+  SearchResult run_gpu(const simt::DeviceSpec& dev,
+                       const bio::SequenceDatabase& db,
+                       const bio::PackedDatabase& packed,
+                       gpu::ParamPlacement placement) const;
+
+  /// As run_gpu, but each stage's parameter placement is chosen by the
+  /// occupancy-driven policy (the "optimal strategy" of Fig. 9).
+  SearchResult run_gpu_auto(const simt::DeviceSpec& dev,
+                            const bio::SequenceDatabase& db,
+                            const bio::PackedDatabase& packed) const;
+
+  /// Multi-GPU scan: the database is partitioned across the devices for
+  /// the MSV stage and the survivors re-partitioned for P7Viterbi, as in
+  /// the paper's Fig. 11 setup.  Scores are identical to a single-device
+  /// run; the per-device counters land in SearchResult::gpu_* of the
+  /// per-device results vector.
+  struct MultiGpuResult {
+    SearchResult combined;
+    std::vector<gpu::StageResult> msv_per_device;
+    std::vector<gpu::StageResult> vit_per_device;
+  };
+  MultiGpuResult run_gpu_multi(const std::vector<simt::DeviceSpec>& devs,
+                               const bio::SequenceDatabase& db,
+                               const bio::PackedDatabase& packed,
+                               gpu::ParamPlacement placement) const;
+
+ private:
+  SearchResult run_gpu_impl(const simt::DeviceSpec& dev,
+                            const bio::SequenceDatabase& db,
+                            const bio::PackedDatabase& packed,
+                            gpu::ParamPlacement msv_placement,
+                            gpu::ParamPlacement vit_placement) const;
+
+  /// Shared post-filter logic: P7Viterbi survivors -> Forward -> hits.
+  void forward_stage(const bio::SequenceDatabase& db,
+                     const std::vector<std::size_t>& survivors,
+                     const std::vector<float>& vit_bits,
+                     SearchResult& out) const;
+
+  hmm::Plan7Hmm model_;
+  hmm::SearchProfile prof_;
+  profile::MsvProfile msv_;
+  profile::VitProfile vit_;
+  profile::FwdProfile fwd_;
+  stats::ModelStats stats_;
+  Thresholds thr_;
+};
+
+}  // namespace finehmm::pipeline

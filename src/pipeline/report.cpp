@@ -1,0 +1,88 @@
+#include "pipeline/report.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace finehmm::pipeline {
+
+namespace {
+
+void print_alignment_block(std::ostream& out, const cpu::Alignment& a) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "    model %5d ", a.k_start);
+  out << buf << a.model_line << ' ' << a.k_end << '\n';
+  out << "                " << a.match_line << '\n';
+  std::snprintf(buf, sizeof(buf), "    seq   %5zu ", a.i_start);
+  out << buf << a.seq_line << ' ' << a.i_end << '\n';
+}
+
+}  // namespace
+
+void write_report(std::ostream& out, const SearchResult& result,
+                  const hmm::SearchProfile& query,
+                  const bio::SequenceDatabase& db,
+                  const ReportOptions& opts) {
+  char line[256];
+  out << "# query:    " << query.name() << " (M=" << query.length() << ")\n";
+  out << "# database: " << db.size() << " sequences, "
+      << db.total_residues() << " residues\n";
+  out << "# pipeline:";
+  if (result.ssv.n_in > 0)
+    out << " SSV " << result.ssv.n_passed << '/' << result.ssv.n_in << " ->";
+  out << " MSV " << result.msv.n_passed << '/' << result.msv.n_in
+      << " -> P7Viterbi " << result.vit.n_passed << " -> hits "
+      << result.hits.size() << "\n#\n";
+
+  std::snprintf(line, sizeof(line), "%10s %10s %6s %10s  %s\n", "E-value",
+                "score", "bias", "vit bits", "sequence");
+  out << line;
+  std::snprintf(line, sizeof(line), "%10s %10s %6s %10s  %s\n", "-------",
+                "-----", "----", "--------", "--------");
+  out << line;
+
+  std::size_t shown = 0;
+  for (const auto& hit : result.hits) {
+    std::snprintf(line, sizeof(line), "%10.2e %10.1f %6.1f %10.1f  %s\n",
+                  hit.evalue, hit.fwd_bits, hit.bias_bits, hit.vit_bits,
+                  hit.name.c_str());
+    out << line;
+    if (opts.show_domains && !hit.domains.empty()) {
+      for (std::size_t d = 0; d < hit.domains.size(); ++d) {
+        const auto& dom = hit.domains[d];
+        std::snprintf(line, sizeof(line),
+                      "    domain %zu: env %zu..%zu  %6.1f bits\n", d + 1,
+                      dom.i_start, dom.i_end, dom.bits);
+        out << line;
+        if (opts.show_alignments)
+          for (const auto& a : dom.alignments) print_alignment_block(out, a);
+      }
+    } else if (opts.show_alignments) {
+      for (const auto& a : hit.alignments) print_alignment_block(out, a);
+    }
+    if (++shown >= opts.max_hits) break;
+  }
+  if (result.hits.size() > shown)
+    out << "# ... " << result.hits.size() - shown
+        << " additional hits suppressed\n";
+}
+
+void write_tblout(std::ostream& out, const SearchResult& result,
+                  const hmm::SearchProfile& query,
+                  const bio::SequenceDatabase& db) {
+  (void)db;
+  char line[256];
+  out << "#target name         query name           E-value  score   bias"
+         "  vit-bits  ndom\n";
+  out << "#------------------- ------------------ --------- ------ ------"
+         "  --------  ----\n";
+  for (const auto& hit : result.hits) {
+    std::snprintf(line, sizeof(line),
+                  "%-20s %-18s %9.2e %6.1f %6.1f  %8.1f  %4zu\n",
+                  hit.name.c_str(), query.name().c_str(), hit.evalue,
+                  hit.fwd_bits, hit.bias_bits, hit.vit_bits,
+                  hit.domains.empty() ? 1 : hit.domains.size());
+    out << line;
+  }
+}
+
+}  // namespace finehmm::pipeline

@@ -1,0 +1,32 @@
+// Search result rendering: hmmsearch-style human-readable reports and the
+// machine-readable --tblout table, as library functions so every tool
+// (and test) shares one formatter.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "pipeline/pipeline.hpp"
+
+namespace finehmm::pipeline {
+
+struct ReportOptions {
+  std::size_t max_hits = 50;
+  bool show_alignments = false;  // needs Thresholds::compute_alignments
+  bool show_domains = false;     // needs Thresholds::define_domains
+};
+
+/// Human-readable report: header, pipeline summary, hit table, optional
+/// alignment blocks and domain tables.
+void write_report(std::ostream& out, const SearchResult& result,
+                  const hmm::SearchProfile& query,
+                  const bio::SequenceDatabase& db,
+                  const ReportOptions& opts = {});
+
+/// HMMER-style target table (--tblout): one line per hit,
+/// whitespace-separated, '#' comments.
+void write_tblout(std::ostream& out, const SearchResult& result,
+                  const hmm::SearchProfile& query,
+                  const bio::SequenceDatabase& db);
+
+}  // namespace finehmm::pipeline

@@ -1,0 +1,30 @@
+#include "pipeline/workload.hpp"
+
+#include "hmm/sampler.hpp"
+#include "util/error.hpp"
+
+namespace finehmm::pipeline {
+
+bio::SequenceDatabase make_workload(const hmm::Plan7Hmm& model,
+                                    const WorkloadSpec& spec) {
+  FH_REQUIRE(spec.homolog_fraction >= 0.0 && spec.homolog_fraction <= 1.0,
+             "homolog fraction out of range");
+  bio::SequenceDatabase db = bio::generate_database(spec.db);
+  if (spec.homolog_fraction <= 0.0) return db;
+
+  Pcg32 rng(spec.seed);
+  std::size_t n_hom = static_cast<std::size_t>(
+      spec.homolog_fraction * static_cast<double>(db.size()));
+  for (std::size_t i = 0; i < n_hom; ++i) {
+    // Replace a deterministic slot with a homolog so database size and
+    // length statistics stay comparable across homolog fractions.
+    std::size_t slot =
+        db.empty() ? 0 : rng.below(static_cast<std::uint32_t>(db.size()));
+    auto hom = hmm::sample_homolog(model, rng, {},
+                                   "homolog_" + std::to_string(i));
+    db.replace(slot, std::move(hom));
+  }
+  return db;
+}
+
+}  // namespace finehmm::pipeline

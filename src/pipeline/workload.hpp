@@ -1,0 +1,26 @@
+// Benchmark workloads: synthetic databases with planted homologs.
+//
+// The paper's discussion (§V) notes the overall speedup depends on the
+// degree of homology between the target database and the query model —
+// homologous sequences survive the MSV filter and shift work into the
+// P7Viterbi stage.  make_workload lets every bench control that fraction.
+#pragma once
+
+#include "bio/synthetic.hpp"
+#include "hmm/plan7.hpp"
+
+namespace finehmm::pipeline {
+
+struct WorkloadSpec {
+  bio::SyntheticDbSpec db;
+  /// Fraction of sequences sampled from the query model (true homologs).
+  double homolog_fraction = 0.01;
+  std::uint64_t seed = 2024;
+};
+
+/// Generate the database: (1 - homolog_fraction) background sequences plus
+/// homologs sampled from the model, interleaved deterministically.
+bio::SequenceDatabase make_workload(const hmm::Plan7Hmm& model,
+                                    const WorkloadSpec& spec);
+
+}  // namespace finehmm::pipeline

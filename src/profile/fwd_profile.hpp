@@ -1,0 +1,66 @@
+// Striped probability-space profile for the float Forward filter.
+//
+// The Forward stage sums over all alignments, so it runs in probability
+// (odds-ratio) space rather than log space: emissions are odds
+// exp(msc) = mat/bg, transitions are plain probabilities, and underflow
+// over long targets is handled by the filter's per-row rescaling (the
+// profile just supplies the numbers).  Layout mirrors VitProfile's
+// striping with 4 float lanes; "in"-indexed D arrays target position k.
+#pragma once
+
+#include <cmath>
+
+#include "hmm/profile.hpp"
+#include "util/aligned.hpp"
+
+namespace finehmm::profile {
+
+class FwdProfile {
+ public:
+  static constexpr int kLanes = 4;  // floats per 128-bit SIMD vector
+
+  FwdProfile() = default;
+  explicit FwdProfile(const hmm::SearchProfile& prof);
+
+  int length() const noexcept { return M_; }
+  int striped_segments() const noexcept { return Q_; }
+
+  /// Striped emission odds of alphabet code x; rows are Q*kLanes long.
+  const float* odds_striped(int x) const {
+    return odds_.data() + static_cast<std::size_t>(x) * Q_ * kLanes;
+  }
+  const float* tmm_striped() const { return tmm_.data(); }
+  const float* tim_striped() const { return tim_.data(); }
+  const float* tdm_striped() const { return tdm_.data(); }
+  const float* tmi_striped() const { return tmi_.data(); }
+  const float* tii_striped() const { return tii_.data(); }
+  const float* tmd_in_striped() const { return tmd_in_.data(); }
+  const float* tdd_in_striped() const { return tdd_in_.data(); }
+
+  /// Uniform local entry probability 2/(M(M+1)).
+  float entry() const noexcept { return entry_; }
+
+  /// Length-model probabilities for one target length.
+  struct LengthModel {
+    float loop;    // N/C/J self loop
+    float move;    // N->B, J->B, C->T
+    float e_c;     // E->C
+    float e_j;     // E->J
+  };
+  LengthModel length_model_for(int L) const;
+
+ private:
+  int M_ = 0;
+  int Q_ = 0;
+  float entry_ = 0.0f;
+  aligned_vector<float> odds_;  // Kp x (Q*4)
+  aligned_vector<float> tmm_, tim_, tdm_, tmi_, tii_;  // striped, Q*4
+  aligned_vector<float> tmd_in_, tdd_in_;              // striped, Q*4
+};
+
+/// Number of 4-lane stripes for model length M.
+inline int fwd_segments(int M) {
+  return (M + FwdProfile::kLanes - 1) / FwdProfile::kLanes;
+}
+
+}  // namespace finehmm::profile

@@ -1,0 +1,59 @@
+// Performance counters collected by the functional SIMT simulator.
+//
+// Every warp-wide operation the kernels perform is counted here; the
+// perf:: cost model converts counters plus device specs and occupancy into
+// estimated kernel time.  Counters are the honest part of the timing
+// pipeline: they come from actually executing the kernels.
+#pragma once
+
+#include <cstdint>
+
+namespace finehmm::simt {
+
+struct PerfCounters {
+  // One unit = one warp-wide instruction.
+  std::uint64_t alu = 0;           // arithmetic / logic / register moves
+  std::uint64_t shuffles = 0;      // __shfl_* ops (Kepler)
+  std::uint64_t votes = 0;         // __all / __any
+  std::uint64_t syncs = 0;         // __syncthreads (ablation kernel only)
+
+  std::uint64_t smem_accesses = 0; // warp-wide shared-memory requests
+  std::uint64_t smem_cycles = 0;   // >= accesses; extra = bank-conflict replays
+
+  std::uint64_t gmem_transactions = 0;  // streaming global transactions (DRAM)
+  std::uint64_t gmem_bytes = 0;         // total bytes moved from DRAM
+  std::uint64_t gmem_cached_tx = 0;     // L2/texture-cached transactions
+                                        // (model parameters under the
+                                        // global-memory configuration)
+
+  std::uint64_t lazyf_outer = 0;   // Lazy-F wrap passes executed
+  std::uint64_t lazyf_inner = 0;   // Lazy-F 32-position vote iterations
+
+  std::uint64_t sequences = 0;     // items processed
+  std::uint64_t residues = 0;      // DP rows processed
+  std::uint64_t cells = 0;         // DP cells (residues x model length)
+
+  void merge(const PerfCounters& o) {
+    alu += o.alu;
+    shuffles += o.shuffles;
+    votes += o.votes;
+    syncs += o.syncs;
+    smem_accesses += o.smem_accesses;
+    smem_cycles += o.smem_cycles;
+    gmem_transactions += o.gmem_transactions;
+    gmem_bytes += o.gmem_bytes;
+    gmem_cached_tx += o.gmem_cached_tx;
+    lazyf_outer += o.lazyf_outer;
+    lazyf_inner += o.lazyf_inner;
+    sequences += o.sequences;
+    residues += o.residues;
+    cells += o.cells;
+  }
+
+  /// Total issue slots consumed on the compute pipelines.
+  std::uint64_t issue_ops() const {
+    return alu + shuffles + votes + smem_cycles;
+  }
+};
+
+}  // namespace finehmm::simt

@@ -1,0 +1,71 @@
+#include "simt/device.hpp"
+
+namespace finehmm::simt {
+
+DeviceSpec DeviceSpec::tesla_k40() {
+  DeviceSpec d;
+  d.name = "Tesla K40 (Kepler GK110B)";
+  d.arch = Arch::kKepler;
+  d.sm_count = 15;
+  d.max_threads_per_sm = 2048;
+  d.max_warps_per_sm = 64;
+  d.max_blocks_per_sm = 16;
+  d.registers_per_sm = 65536;
+  d.max_registers_per_thread = 255;
+  d.reg_alloc_granularity = 256;
+  d.shared_mem_per_sm = 48 * 1024;
+  d.shared_mem_per_block = 48 * 1024;
+  d.smem_alloc_granularity = 256;
+  d.clock_ghz = 0.745;
+  d.cores_per_sm = 192;
+  d.mem_bandwidth_gbs = 288.0;
+  d.has_warp_shuffle = true;
+  return d;
+}
+
+DeviceSpec DeviceSpec::gtx580() {
+  DeviceSpec d;
+  d.name = "GeForce GTX 580 (Fermi GF110)";
+  d.arch = Arch::kFermi;
+  d.sm_count = 16;
+  d.max_threads_per_sm = 1536;
+  d.max_warps_per_sm = 48;
+  d.max_blocks_per_sm = 8;
+  d.registers_per_sm = 32768;
+  d.max_registers_per_thread = 63;
+  d.reg_alloc_granularity = 64;   // Fermi allocates per 64-register chunks
+  d.shared_mem_per_sm = 48 * 1024;
+  d.shared_mem_per_block = 48 * 1024;
+  d.smem_alloc_granularity = 128;
+  // Core (not shader) clock: the shared-memory pipe the kernels are bound
+  // by runs at core clock on Fermi.
+  d.clock_ghz = 0.772;
+  d.cores_per_sm = 32;
+  d.mem_bandwidth_gbs = 192.4;
+  d.has_warp_shuffle = false;
+  return d;
+}
+
+DeviceSpec DeviceSpec::gtx980() {
+  DeviceSpec d;
+  d.name = "GeForce GTX 980 (Maxwell GM204)";
+  d.arch = Arch::kKepler;  // shuffle-capable; Maxwell keeps the Kepler ISA
+  d.sm_count = 16;
+  d.max_threads_per_sm = 2048;
+  d.max_warps_per_sm = 64;
+  d.max_blocks_per_sm = 32;
+  d.registers_per_sm = 65536;
+  d.max_registers_per_thread = 255;
+  d.reg_alloc_granularity = 256;
+  // Maxwell dedicates 96 KB of shared memory per SM (no L1 split).
+  d.shared_mem_per_sm = 96 * 1024;
+  d.shared_mem_per_block = 48 * 1024;
+  d.smem_alloc_granularity = 256;
+  d.clock_ghz = 1.126;
+  d.cores_per_sm = 128;
+  d.mem_bandwidth_gbs = 224.0;
+  d.has_warp_shuffle = true;
+  return d;
+}
+
+}  // namespace finehmm::simt

@@ -1,0 +1,62 @@
+// GPU device models.
+//
+// The paper evaluates on a Kepler Tesla K40 (single-GPU results, Figs. 9
+// and 10) and four Fermi GTX 580s (Fig. 11).  These specs drive the
+// occupancy calculator and the analytic performance model; the functional
+// simulator itself is architecture-independent except for warp shuffle,
+// which Fermi lacks (its reductions fall back to shared memory, costing
+// extra shared-memory traffic and occupancy, exactly as §IV-A describes).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace finehmm::simt {
+
+inline constexpr int kWarpSize = 32;
+inline constexpr int kSharedMemBanks = 32;
+inline constexpr int kBankWidthBytes = 4;
+
+enum class Arch { kFermi, kKepler };
+
+struct DeviceSpec {
+  std::string name;
+  Arch arch = Arch::kKepler;
+
+  int sm_count = 0;
+  int max_threads_per_sm = 0;
+  int max_warps_per_sm = 0;
+  int max_blocks_per_sm = 0;
+  int registers_per_sm = 0;        // 32-bit registers
+  int max_registers_per_thread = 0;
+  int reg_alloc_granularity = 256;  // registers, per warp
+  std::size_t shared_mem_per_sm = 0;
+  std::size_t shared_mem_per_block = 0;
+  std::size_t smem_alloc_granularity = 256;
+  double clock_ghz = 0.0;           // shader clock
+  int cores_per_sm = 0;
+  double mem_bandwidth_gbs = 0.0;   // GB/s
+  bool has_warp_shuffle = false;
+
+  /// Peak warp-instructions issued per SM per cycle (ALU width / 32).
+  double issue_width() const {
+    return static_cast<double>(cores_per_sm) / kWarpSize;
+  }
+
+  /// NVIDIA Tesla K40 (GK110B), the paper's single-GPU platform.
+  static DeviceSpec tesla_k40();
+  /// NVIDIA GTX 580 (GF110), the paper's multi-GPU platform.
+  static DeviceSpec gtx580();
+  /// NVIDIA GTX 980 (Maxwell GM204) — released after the paper; used to
+  /// project how the acceleration strategy ports forward (more shared
+  /// memory per SM, higher occupancy ceilings).
+  static DeviceSpec gtx980();
+  /// The paper's CPU baseline: quad-core Intel i5 @ 3.4 GHz with SSE.
+  struct CpuBaseline {
+    int cores = 4;
+    double clock_ghz = 3.4;
+  };
+  static CpuBaseline baseline_cpu() { return CpuBaseline{}; }
+};
+
+}  // namespace finehmm::simt

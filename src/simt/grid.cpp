@@ -1,0 +1,53 @@
+#include "simt/grid.hpp"
+
+#include <mutex>
+
+#include "util/error.hpp"
+#include "util/threadpool.hpp"
+
+namespace finehmm::simt {
+
+PerfCounters launch_grid(const DeviceSpec& dev, const LaunchConfig& cfg,
+                         std::size_t n_items, const WarpKernel& kernel,
+                         const BlockPrologue& prologue) {
+  FH_REQUIRE(cfg.warps_per_block >= 1, "need at least one warp per block");
+  FH_REQUIRE(cfg.grid_blocks >= 1, "need at least one block");
+  FH_REQUIRE(cfg.smem_bytes_per_block <= dev.shared_mem_per_block,
+             "launch exceeds shared memory per block");
+
+  WorkQueue queue(0, n_items);
+  PerfCounters total;
+  std::mutex merge_mutex;
+
+  // Shared pool across launches would be nicer; a per-launch pool keeps the
+  // API free of global state and costs microseconds.
+  ThreadPool pool;
+
+  auto run_block = [&](std::size_t /*block_id*/) {
+    PerfCounters block_counters;
+    SharedMemory smem(cfg.smem_bytes_per_block, block_counters);
+    if (prologue) {
+      WarpContext ctx(dev, block_counters, smem, 0, cfg.warps_per_block);
+      prologue(ctx);
+    }
+    // Warps of the block take turns draining the queue.  Executing them
+    // sequentially is a valid lockstep interleaving because warps share no
+    // mutable state except the queue.
+    for (int w = 0; w < cfg.warps_per_block; ++w) {
+      WarpContext ctx(dev, block_counters, smem, w, cfg.warps_per_block);
+      for (;;) {
+        std::size_t item = queue.fetch();
+        if (item == WorkQueue::npos) break;
+        kernel(ctx, item);
+        block_counters.sequences += 1;
+      }
+    }
+    std::lock_guard<std::mutex> lock(merge_mutex);
+    total.merge(block_counters);
+  };
+
+  pool.parallel_for(static_cast<std::size_t>(cfg.grid_blocks), run_block);
+  return total;
+}
+
+}  // namespace finehmm::simt

@@ -1,0 +1,66 @@
+// Grid/block launch machinery — the paper's three-tiered parallelization.
+//
+// Tier (a): each sequence is scored by a single warp (the kernel functor).
+// Tier (b): several warps (sequences) share a thread block and its shared
+// memory.  Tier (c): many blocks populate the device; a global work queue
+// hands each finished warp the next unprocessed sequence, so no warp ever
+// waits on another — "true independence between warps" (§III-A).
+//
+// Functionally, blocks execute on a host thread pool and warps within a
+// block run back-to-back (they are data-independent by construction, so
+// any interleaving yields identical results).  Counters are collected per
+// block and merged.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "simt/counters.hpp"
+#include "simt/device.hpp"
+#include "simt/shared_memory.hpp"
+#include "simt/warp.hpp"
+
+namespace finehmm::simt {
+
+struct LaunchConfig {
+  int warps_per_block = 4;
+  int grid_blocks = 64;
+  std::size_t smem_bytes_per_block = 0;
+};
+
+/// The global sequence queue (tier c): an atomic ticket counter over
+/// [begin, end).
+class WorkQueue {
+ public:
+  WorkQueue(std::size_t begin, std::size_t end) : next_(begin), end_(end) {}
+
+  /// Returns the next item index, or npos when drained.
+  std::size_t fetch() {
+    std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    return i < end_ ? i : npos;
+  }
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+ private:
+  std::atomic<std::size_t> next_;
+  std::size_t end_;
+};
+
+/// A warp program: invoked once per claimed sequence.
+using WarpKernel = std::function<void(WarpContext&, std::size_t item)>;
+
+/// Optional per-block setup (e.g. staging model parameters into shared
+/// memory under the shared-placement configuration).
+using BlockPrologue = std::function<void(WarpContext&)>;
+
+/// Launch `kernel` over items [0, n_items) on `dev` and return the merged
+/// performance counters.  Blocks run concurrently on the host pool;
+/// correctness does not depend on the pool size.
+PerfCounters launch_grid(const DeviceSpec& dev, const LaunchConfig& cfg,
+                         std::size_t n_items, const WarpKernel& kernel,
+                         const BlockPrologue& prologue = nullptr);
+
+}  // namespace finehmm::simt

@@ -1,0 +1,83 @@
+#include "simt/occupancy.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace finehmm::simt {
+
+namespace {
+
+std::size_t ceil_to(std::size_t v, std::size_t g) {
+  return (v + g - 1) / g * g;
+}
+
+}  // namespace
+
+Occupancy compute_occupancy(const DeviceSpec& dev, const KernelResources& res) {
+  FH_REQUIRE(res.threads_per_block > 0 &&
+                 res.threads_per_block % kWarpSize == 0,
+             "threads per block must be a positive multiple of the warp size");
+  Occupancy occ;
+
+  const int warps_per_block = res.threads_per_block / kWarpSize;
+
+  // Infeasible launches: zero occupancy.
+  if (res.smem_per_block > dev.shared_mem_per_block ||
+      res.regs_per_thread > dev.max_registers_per_thread ||
+      warps_per_block > dev.max_warps_per_sm) {
+    occ.limiter = res.smem_per_block > dev.shared_mem_per_block
+                      ? Occupancy::Limiter::kSharedMem
+                      : Occupancy::Limiter::kRegisters;
+    return occ;
+  }
+
+  // 1. Warp-slot limit.
+  int by_warps = dev.max_warps_per_sm / warps_per_block;
+  // 2. Block-slot limit.
+  int by_blocks = dev.max_blocks_per_sm;
+  // 3. Register file: registers are allocated per warp with a granularity.
+  std::size_t regs_per_warp = ceil_to(
+      static_cast<std::size_t>(res.regs_per_thread) * kWarpSize,
+      static_cast<std::size_t>(dev.reg_alloc_granularity));
+  std::size_t regs_per_block =
+      regs_per_warp * static_cast<std::size_t>(warps_per_block);
+  int by_regs = static_cast<int>(
+      static_cast<std::size_t>(dev.registers_per_sm) / regs_per_block);
+  // 4. Shared memory, allocated with a granularity.
+  int by_smem;
+  if (res.smem_per_block == 0) {
+    by_smem = dev.max_blocks_per_sm;
+  } else {
+    std::size_t alloc = ceil_to(res.smem_per_block, dev.smem_alloc_granularity);
+    by_smem = static_cast<int>(dev.shared_mem_per_sm / alloc);
+  }
+
+  occ.blocks_per_sm = std::min(std::min(by_warps, by_blocks),
+                               std::min(by_regs, by_smem));
+  if (occ.blocks_per_sm <= 0) {
+    occ.blocks_per_sm = 0;
+    occ.warps_per_sm = 0;
+    occ.fraction = 0.0;
+    occ.limiter = by_regs <= 0 ? Occupancy::Limiter::kRegisters
+                               : Occupancy::Limiter::kSharedMem;
+    return occ;
+  }
+
+  if (occ.blocks_per_sm == by_warps)
+    occ.limiter = Occupancy::Limiter::kWarpSlots;
+  else if (occ.blocks_per_sm == by_regs)
+    occ.limiter = Occupancy::Limiter::kRegisters;
+  else if (occ.blocks_per_sm == by_smem)
+    occ.limiter = Occupancy::Limiter::kSharedMem;
+  else
+    occ.limiter = Occupancy::Limiter::kBlockSlots;
+
+  occ.warps_per_sm =
+      std::min(occ.blocks_per_sm * warps_per_block, dev.max_warps_per_sm);
+  occ.fraction = static_cast<double>(occ.warps_per_sm) /
+                 static_cast<double>(dev.max_warps_per_sm);
+  return occ;
+}
+
+}  // namespace finehmm::simt

@@ -1,0 +1,47 @@
+// CUDA occupancy calculation.
+//
+// Occupancy — resident warps per SM over the architectural maximum — is
+// the variable the paper's Figure 9 tracks against speedup ("the speedup
+// obtained bears a strong correlation to the occupancy").  We implement
+// the standard CUDA occupancy rules: a block's residency is limited by
+// warp slots, block slots, register file and shared memory, whichever
+// binds first.
+#pragma once
+
+#include <cstddef>
+
+#include "simt/device.hpp"
+
+namespace finehmm::simt {
+
+/// Static resource usage of one kernel launch configuration.
+struct KernelResources {
+  int regs_per_thread = 32;
+  std::size_t smem_per_block = 0;
+  int threads_per_block = 128;  // warps_per_block * 32
+};
+
+struct Occupancy {
+  enum class Limiter { kWarpSlots, kBlockSlots, kRegisters, kSharedMem };
+
+  int blocks_per_sm = 0;
+  int warps_per_sm = 0;
+  double fraction = 0.0;  // warps_per_sm / max_warps_per_sm
+  Limiter limiter = Limiter::kWarpSlots;
+
+  const char* limiter_name() const {
+    switch (limiter) {
+      case Limiter::kWarpSlots: return "warp-slots";
+      case Limiter::kBlockSlots: return "block-slots";
+      case Limiter::kRegisters: return "registers";
+      case Limiter::kSharedMem: return "shared-memory";
+    }
+    return "?";
+  }
+};
+
+/// Compute the occupancy of `res` on `dev`.  Returns zero occupancy when
+/// the block cannot run at all (e.g. shared memory per block exceeded).
+Occupancy compute_occupancy(const DeviceSpec& dev, const KernelResources& res);
+
+}  // namespace finehmm::simt

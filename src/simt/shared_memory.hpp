@@ -1,0 +1,79 @@
+// Per-block shared memory with bank-conflict accounting.
+//
+// Shared memory has 32 banks of 4-byte words; a warp-wide access that
+// touches multiple distinct words in the same bank is replayed once per
+// extra word.  The paper's "intrinsic conflict-free access" stores one
+// byte per DP cell so that each group of four lanes reads one word from
+// one bank — the accounting here lets the benches demonstrate exactly
+// that (1 cycle per warp access instead of up to 32).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "simt/counters.hpp"
+#include "simt/device.hpp"
+#include "util/error.hpp"
+
+namespace finehmm::simt {
+
+class SharedMemory {
+ public:
+  SharedMemory(std::size_t bytes, PerfCounters& counters)
+      : bytes_(bytes, 0), counters_(&counters) {}
+
+  std::size_t size() const noexcept { return bytes_.size(); }
+
+  void clear() { std::fill(bytes_.begin(), bytes_.end(), 0); }
+
+  /// Raw (un-counted) typed access used by the warp-wide helpers below.
+  template <class T>
+  T read_raw(std::size_t byte_addr) const {
+    FH_ASSERT(byte_addr + sizeof(T) <= bytes_.size());
+    T v;
+    std::memcpy(&v, bytes_.data() + byte_addr, sizeof(T));
+    return v;
+  }
+  template <class T>
+  void write_raw(std::size_t byte_addr, T v) {
+    FH_ASSERT(byte_addr + sizeof(T) <= bytes_.size());
+    std::memcpy(bytes_.data() + byte_addr, &v, sizeof(T));
+  }
+
+  /// Account one warp-wide access at the given per-lane byte addresses
+  /// (active lanes only).  Returns the number of cycles (1 = conflict
+  /// free; >1 = replays).
+  int account_access(const std::size_t* addrs, int n_lanes) {
+    // cycles = max over banks of the number of distinct words accessed in
+    // that bank; lanes hitting the same word broadcast for free.
+    std::uint64_t words[kWarpSize];
+    int n_words = 0;
+    for (int i = 0; i < n_lanes; ++i) {
+      std::uint64_t w = addrs[i] / kBankWidthBytes;
+      bool seen = false;
+      for (int j = 0; j < n_words; ++j)
+        if (words[j] == w) {
+          seen = true;
+          break;
+        }
+      if (!seen) words[n_words++] = w;
+    }
+    int per_bank[kSharedMemBanks] = {0};
+    int cycles = 1;
+    for (int j = 0; j < n_words; ++j) {
+      int b = static_cast<int>(words[j] % kSharedMemBanks);
+      ++per_bank[b];
+      if (per_bank[b] > cycles) cycles = per_bank[b];
+    }
+    counters_->smem_accesses += 1;
+    counters_->smem_cycles += static_cast<std::uint64_t>(cycles);
+    return cycles;
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  PerfCounters* counters_;
+};
+
+}  // namespace finehmm::simt

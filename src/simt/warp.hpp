@@ -1,0 +1,344 @@
+// Warp-level SIMT execution primitives.
+//
+// The paper's kernels are *warp-synchronous by construction*: all 32 lanes
+// of a warp execute in lockstep and never need __syncthreads().  We model
+// that execution exactly: a WarpReg<T> is the warp's view of one register
+// (32 lanes), and every warp-wide operation goes through the WarpContext,
+// which (a) applies the operation to all lanes at once — lockstep
+// semantics by definition — and (b) bills it to the performance counters.
+//
+// Fermi vs Kepler: Fermi has no warp shuffle, so shfl/reduce/vote fall
+// back to staged shared-memory exchanges, exactly the portability cost
+// §IV-A of the paper describes (more shared memory, more cycles).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "simt/counters.hpp"
+#include "simt/device.hpp"
+#include "simt/shared_memory.hpp"
+
+namespace finehmm::simt {
+
+template <class T>
+struct WarpReg {
+  alignas(64) std::array<T, kWarpSize> lane;
+
+  T& operator[](int i) { return lane[static_cast<std::size_t>(i)]; }
+  const T& operator[](int i) const { return lane[static_cast<std::size_t>(i)]; }
+};
+
+/// Execution context of one warp within one thread block.
+class WarpContext {
+ public:
+  WarpContext(const DeviceSpec& dev, PerfCounters& counters,
+              SharedMemory& smem, int warp_slot, int warps_per_block)
+      : dev_(&dev),
+        counters_(&counters),
+        smem_(&smem),
+        warp_slot_(warp_slot),
+        warps_per_block_(warps_per_block) {}
+
+  const DeviceSpec& device() const noexcept { return *dev_; }
+  PerfCounters& counters() noexcept { return *counters_; }
+  SharedMemory& smem() noexcept { return *smem_; }
+  int warp_slot() const noexcept { return warp_slot_; }
+  int warps_per_block() const noexcept { return warps_per_block_; }
+  bool has_shuffle() const noexcept { return dev_->has_warp_shuffle; }
+
+  /// Bill n uniform (warp-wide scalar) ALU operations.
+  void tick_alu(int n = 1) { counters_->alu += static_cast<std::uint64_t>(n); }
+
+  // ---- register-file operations (1 warp instruction each) ----
+
+  template <class T>
+  WarpReg<T> splat(T v) {
+    tick_alu();
+    WarpReg<T> r;
+    r.lane.fill(v);
+    return r;
+  }
+
+  /// lane_id as a register (iota); free, like reading %laneid.
+  WarpReg<int> lane_id() {
+    WarpReg<int> r;
+    for (int i = 0; i < kWarpSize; ++i) r[i] = i;
+    return r;
+  }
+
+  WarpReg<std::uint8_t> max_u8(const WarpReg<std::uint8_t>& a,
+                               const WarpReg<std::uint8_t>& b) {
+    tick_alu();
+    WarpReg<std::uint8_t> r;
+    for (int i = 0; i < kWarpSize; ++i) r[i] = a[i] > b[i] ? a[i] : b[i];
+    return r;
+  }
+  WarpReg<std::uint8_t> adds_u8(const WarpReg<std::uint8_t>& a,
+                                const WarpReg<std::uint8_t>& b) {
+    tick_alu();
+    WarpReg<std::uint8_t> r;
+    for (int i = 0; i < kWarpSize; ++i) {
+      unsigned s = unsigned(a[i]) + unsigned(b[i]);
+      r[i] = s > 255u ? 255u : static_cast<std::uint8_t>(s);
+    }
+    return r;
+  }
+  WarpReg<std::uint8_t> subs_u8(const WarpReg<std::uint8_t>& a,
+                                const WarpReg<std::uint8_t>& b) {
+    tick_alu();
+    WarpReg<std::uint8_t> r;
+    for (int i = 0; i < kWarpSize; ++i)
+      r[i] = a[i] > b[i] ? static_cast<std::uint8_t>(a[i] - b[i]) : 0;
+    return r;
+  }
+
+  WarpReg<std::int16_t> max_w(const WarpReg<std::int16_t>& a,
+                              const WarpReg<std::int16_t>& b) {
+    tick_alu();
+    WarpReg<std::int16_t> r;
+    for (int i = 0; i < kWarpSize; ++i) r[i] = a[i] > b[i] ? a[i] : b[i];
+    return r;
+  }
+  /// Saturating word add with the library's sticky -inf floor.
+  WarpReg<std::int16_t> adds_w(const WarpReg<std::int16_t>& a,
+                               const WarpReg<std::int16_t>& b) {
+    tick_alu();
+    WarpReg<std::int16_t> r;
+    for (int i = 0; i < kWarpSize; ++i) {
+      if (a[i] == std::int16_t(-32768) || b[i] == std::int16_t(-32768)) {
+        r[i] = -32768;
+      } else {
+        int v = int(a[i]) + int(b[i]);
+        r[i] = v < -32767 ? -32767 : (v > 32767 ? 32767 : std::int16_t(v));
+      }
+    }
+    return r;
+  }
+
+  WarpReg<int> add_i32(const WarpReg<int>& a, const WarpReg<int>& b) {
+    tick_alu();
+    WarpReg<int> r;
+    for (int i = 0; i < kWarpSize; ++i) r[i] = a[i] + b[i];
+    return r;
+  }
+  WarpReg<int> max_i32(const WarpReg<int>& a, const WarpReg<int>& b) {
+    tick_alu();
+    WarpReg<int> r;
+    for (int i = 0; i < kWarpSize; ++i) r[i] = a[i] > b[i] ? a[i] : b[i];
+    return r;
+  }
+
+  /// Kogge-Stone inclusive scans (log2(32) = 5 shuffle+op steps), the
+  /// building block of the paper's future-work prefix-sum D-chain
+  /// evaluation (§VI).
+  WarpReg<int> scan_add_i32(const WarpReg<int>& a) {
+    WarpReg<int> v = a;
+    for (int d = 1; d < kWarpSize; d <<= 1)
+      v = add_i32(v, shfl_up(v, d, 0));
+    return v;
+  }
+  WarpReg<int> scan_max_i32(const WarpReg<int>& a, int identity) {
+    WarpReg<int> v = a;
+    for (int d = 1; d < kWarpSize; d <<= 1)
+      v = max_i32(v, shfl_up(v, d, identity));
+    return v;
+  }
+
+  /// Per-lane select: mask ? a : b.
+  template <class T>
+  WarpReg<T> select(const WarpReg<bool>& mask, const WarpReg<T>& a,
+                    const WarpReg<T>& b) {
+    tick_alu();
+    WarpReg<T> r;
+    for (int i = 0; i < kWarpSize; ++i) r[i] = mask[i] ? a[i] : b[i];
+    return r;
+  }
+
+  /// Per-lane comparison a > b.
+  template <class T>
+  WarpReg<bool> gt(const WarpReg<T>& a, const WarpReg<T>& b) {
+    tick_alu();
+    WarpReg<bool> r;
+    for (int i = 0; i < kWarpSize; ++i) r[i] = a[i] > b[i];
+    return r;
+  }
+
+  // ---- warp shuffle / vote ----
+
+  /// __shfl_up(reg, delta): lane i reads lane i-delta; lanes < delta get
+  /// `fill`.  On Fermi this is emulated with a shared-memory bounce.
+  template <class T>
+  WarpReg<T> shfl_up(const WarpReg<T>& a, int delta, T fill) {
+    bill_shuffle();
+    WarpReg<T> r;
+    for (int i = 0; i < kWarpSize; ++i)
+      r[i] = i >= delta ? a[i - delta] : fill;
+    return r;
+  }
+
+  /// Broadcast one lane's value to the whole warp.
+  template <class T>
+  T broadcast(const WarpReg<T>& a, int src_lane) {
+    bill_shuffle();
+    return a[src_lane];
+  }
+
+  /// Butterfly (XOR) max-reduction with automatic broadcast of the result
+  /// to every lane — the paper's warp-shuffled reduction.  log2(32) = 5
+  /// shuffle+max steps on Kepler; a shared-memory tree on Fermi.
+  template <class T>
+  T reduce_max(const WarpReg<T>& a) {
+    WarpReg<T> v = a;
+    for (int step = 1; step < kWarpSize; step <<= 1) {
+      bill_shuffle();
+      tick_alu();  // the max
+      WarpReg<T> x;
+      for (int i = 0; i < kWarpSize; ++i) x[i] = v[i ^ step];
+      for (int i = 0; i < kWarpSize; ++i)
+        if (x[i] > v[i]) v[i] = x[i];
+    }
+    return v[0];
+  }
+
+  /// __all(pred): true if the predicate holds on every lane.
+  bool vote_all(const WarpReg<bool>& pred) {
+    counters_->votes += 1;
+    for (int i = 0; i < kWarpSize; ++i)
+      if (!pred[i]) return false;
+    return true;
+  }
+  bool vote_any(const WarpReg<bool>& pred) {
+    counters_->votes += 1;
+    for (int i = 0; i < kWarpSize; ++i)
+      if (pred[i]) return true;
+    return false;
+  }
+
+  // ---- shared memory (per-block), warp-wide accesses ----
+
+  /// Read lanes-consecutive elements smem[base + (start+lane)*sizeof(T)].
+  template <class T>
+  WarpReg<T> smem_read_seq(std::size_t base_byte, int start_elem) {
+    std::size_t addrs[kWarpSize];
+    WarpReg<T> r;
+    for (int i = 0; i < kWarpSize; ++i) {
+      std::size_t a = base_byte + (static_cast<std::size_t>(start_elem) + i) *
+                                      sizeof(T);
+      addrs[i] = a;
+      r[i] = smem_->template read_raw<T>(a);
+    }
+    smem_->account_access(addrs, kWarpSize);
+    return r;
+  }
+
+  template <class T>
+  void smem_write_seq(std::size_t base_byte, int start_elem,
+                      const WarpReg<T>& v) {
+    std::size_t addrs[kWarpSize];
+    for (int i = 0; i < kWarpSize; ++i) {
+      std::size_t a = base_byte + (static_cast<std::size_t>(start_elem) + i) *
+                                      sizeof(T);
+      addrs[i] = a;
+      smem_->template write_raw<T>(a, v[i]);
+    }
+    smem_->account_access(addrs, kWarpSize);
+  }
+
+  /// Strided read: smem[base + (start + lane*stride)*sizeof(T)] — used by
+  /// tests to demonstrate bank conflicts.
+  template <class T>
+  WarpReg<T> smem_read_strided(std::size_t base_byte, int start_elem,
+                               int stride) {
+    std::size_t addrs[kWarpSize];
+    WarpReg<T> r;
+    for (int i = 0; i < kWarpSize; ++i) {
+      std::size_t a =
+          base_byte +
+          (static_cast<std::size_t>(start_elem) + std::size_t(i) * stride) *
+              sizeof(T);
+      addrs[i] = a;
+      r[i] = smem_->template read_raw<T>(a);
+    }
+    smem_->account_access(addrs, kWarpSize);
+    return r;
+  }
+
+  /// Uniform scalar read/write (one lane's worth; still one access).
+  template <class T>
+  T smem_read_scalar(std::size_t byte_addr) {
+    std::size_t a = byte_addr;
+    smem_->account_access(&a, 1);
+    return smem_->template read_raw<T>(byte_addr);
+  }
+  template <class T>
+  void smem_write_scalar(std::size_t byte_addr, T v) {
+    std::size_t a = byte_addr;
+    smem_->account_access(&a, 1);
+    smem_->template write_raw<T>(byte_addr, v);
+  }
+
+  // ---- global memory ----
+
+  /// Warp-coalesced read of `lanes` consecutive elements of type T from
+  /// host memory standing in for device-global memory.  Bills ceil(bytes /
+  /// 32B) transactions at 32-byte granularity.
+  template <class T>
+  WarpReg<T> gmem_read_seq(const T* p, int start_elem, int active_lanes) {
+    WarpReg<T> r{};
+    for (int i = 0; i < active_lanes; ++i) r[i] = p[start_elem + i];
+    bill_gmem(static_cast<std::size_t>(active_lanes) * sizeof(T));
+    return r;
+  }
+
+  /// Uniform scalar load (e.g. the next packed residue word): one 32-byte
+  /// transaction broadcast to the warp.
+  template <class T>
+  T gmem_read_scalar(const T* p) {
+    bill_gmem(sizeof(T));
+    return *p;
+  }
+
+  /// Warp-coalesced read of model *parameters* resident in global memory.
+  /// Every warp of every block re-reads the same few-hundred-KB tables, so
+  /// these hit in L2/texture cache on real hardware: billed as cached
+  /// transactions (LD/ST pipe slots + L2 latency, no DRAM traffic).
+  template <class T>
+  WarpReg<T> gmem_read_param(const T* p, int start_elem) {
+    WarpReg<T> r{};
+    for (int i = 0; i < kWarpSize; ++i) r[i] = p[start_elem + i];
+    std::size_t bytes = static_cast<std::size_t>(kWarpSize) * sizeof(T);
+    counters_->gmem_cached_tx += (bytes + 31) / 32;
+    return r;
+  }
+
+  /// __syncthreads() — only the ablation kernel uses this.
+  void syncthreads() { counters_->syncs += 1; }
+
+ private:
+  void bill_shuffle() {
+    if (dev_->has_warp_shuffle) {
+      counters_->shuffles += 1;
+    } else {
+      // Fermi emulation: write all lanes to scratch, read permuted.
+      counters_->smem_accesses += 2;
+      counters_->smem_cycles += 2;
+      counters_->alu += 1;
+    }
+  }
+
+  void bill_gmem(std::size_t bytes) {
+    // 32-byte minimum transaction granularity.
+    std::size_t tx = (bytes + 31) / 32;
+    counters_->gmem_transactions += tx;
+    counters_->gmem_bytes += tx * 32;
+  }
+
+  const DeviceSpec* dev_;
+  PerfCounters* counters_;
+  SharedMemory* smem_;
+  int warp_slot_;
+  int warps_per_block_;
+};
+
+}  // namespace finehmm::simt

@@ -1,0 +1,108 @@
+#include "stats/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace finehmm::stats {
+
+double Gumbel::pdf(double x) const {
+  double y = lambda * (x - mu);
+  return lambda * std::exp(-y - std::exp(-y));
+}
+
+double Gumbel::cdf(double x) const {
+  double y = lambda * (x - mu);
+  return std::exp(-std::exp(-y));
+}
+
+double Gumbel::surv(double x) const {
+  double y = lambda * (x - mu);
+  double ey = std::exp(-y);
+  // For small ey, 1 - exp(-ey) ~ ey: use expm1 for accuracy in the tail
+  // that actually matters for E-values.
+  return -std::expm1(-ey);
+}
+
+double Gumbel::sample(Pcg32& rng) const {
+  double u = rng.uniform();
+  while (u <= 0.0) u = rng.uniform();
+  return mu - std::log(-std::log(u)) / lambda;
+}
+
+Gumbel Gumbel::fit_mu_given_lambda(const std::vector<double>& scores,
+                                   double lambda) {
+  FH_REQUIRE(!scores.empty(), "cannot fit an empty sample");
+  // Numerically stable log-mean-exp.
+  double hi = *std::max_element(scores.begin(), scores.end());
+  // exp(-lambda x) is largest for the *smallest* x.
+  double lo = *std::min_element(scores.begin(), scores.end());
+  (void)hi;
+  double acc = 0.0;
+  for (double x : scores) acc += std::exp(-lambda * (x - lo));
+  double log_mean = -lambda * lo + std::log(acc / scores.size());
+  Gumbel g;
+  g.lambda = lambda;
+  g.mu = -log_mean / lambda;
+  return g;
+}
+
+Gumbel Gumbel::fit_ml(const std::vector<double>& scores) {
+  FH_REQUIRE(scores.size() >= 2, "need >= 2 samples for a full ML fit");
+  const std::size_t n = scores.size();
+  double mean = 0.0;
+  for (double x : scores) mean += x;
+  mean /= static_cast<double>(n);
+
+  // Newton-Raphson on the Lawless profile-likelihood equation for lambda.
+  double lam = 1.0;
+  for (int iter = 0; iter < 100; ++iter) {
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0;
+    for (double x : scores) {
+      double e = std::exp(-lam * x);
+      s0 += e;
+      s1 += x * e;
+      s2 += x * x * e;
+    }
+    double f = 1.0 / lam - mean + s1 / s0;
+    double df = -1.0 / (lam * lam) + (s1 * s1 - s2 * s0) / (s0 * s0);
+    double step = f / df;
+    lam -= step;
+    if (lam <= 0.0) lam = 1e-3;
+    if (std::fabs(step) < 1e-10) break;
+  }
+  double s0 = 0.0;
+  for (double x : scores) s0 += std::exp(-lam * x);
+  Gumbel g;
+  g.lambda = lam;
+  g.mu = -std::log(s0 / static_cast<double>(n)) / lam;
+  return g;
+}
+
+double ExponentialTail::surv(double x) const {
+  if (x < mu) return 1.0;
+  return std::exp(-lambda * (x - mu));
+}
+
+ExponentialTail ExponentialTail::fit_tail(std::vector<double> scores,
+                                          double tail_mass, double lambda) {
+  FH_REQUIRE(!scores.empty(), "cannot fit an empty sample");
+  FH_REQUIRE(tail_mass > 0.0 && tail_mass <= 1.0, "bad tail mass");
+  std::sort(scores.begin(), scores.end());
+  // The tail base sits at the (1 - tail_mass) quantile; beyond it the
+  // survival function is exp(-lambda (x - base)) scaled by tail_mass:
+  // fold the mass into an effective location parameter.
+  std::size_t idx = static_cast<std::size_t>(
+      std::floor((1.0 - tail_mass) * static_cast<double>(scores.size())));
+  if (idx >= scores.size()) idx = scores.size() - 1;
+  double base = scores[idx];
+  ExponentialTail t;
+  t.lambda = lambda;
+  // P(X > x) = tail_mass * exp(-lambda (x - base))
+  //          = exp(-lambda (x - (base + log(tail_mass)/lambda))).
+  t.mu = base + std::log(tail_mass) / lambda;
+  return t;
+}
+
+}  // namespace finehmm::stats

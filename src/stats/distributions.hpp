@@ -1,0 +1,94 @@
+// Score distributions for statistical significance (paper §I).
+//
+// Eddy (2008) showed that optimal-alignment (Viterbi/MSV) scores of random
+// sequences follow a Gumbel distribution with slope lambda = log 2, and
+// Forward scores' high tail is exponential with the same lambda.  HMMER 3.0
+// fixes lambda and calibrates only the location parameter by simulation;
+// we implement both the fixed-lambda fits used in production and full
+// maximum-likelihood fits used by tests.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace finehmm::stats {
+
+/// lambda = log 2: scores are in bits.
+inline constexpr double kLambdaLog2 = 0.69314718055994529;
+
+/// Type-1 extreme value (Gumbel) distribution.
+struct Gumbel {
+  double mu = 0.0;
+  double lambda = kLambdaLog2;
+
+  double pdf(double x) const;
+  double cdf(double x) const;
+  /// Survival P(X > x), computed accurately in both tails.
+  double surv(double x) const;
+  double sample(Pcg32& rng) const;
+
+  /// ML fit of mu with lambda held fixed (HMMER's calibration step):
+  ///   mu = -(1/lambda) * log( mean( exp(-lambda * x_i) ) ).
+  static Gumbel fit_mu_given_lambda(const std::vector<double>& scores,
+                                    double lambda = kLambdaLog2);
+
+  /// Full ML fit of (mu, lambda) via the Lawless (1982) iteration.
+  static Gumbel fit_ml(const std::vector<double>& scores);
+};
+
+/// Exponential tail: P(X > x) = exp(-lambda (x - mu)) for x >= mu.
+struct ExponentialTail {
+  double mu = 0.0;
+  double lambda = kLambdaLog2;
+
+  double surv(double x) const;
+
+  /// Fit the location so that the empirical tail of mass `tail_mass`
+  /// matches an exponential with the given fixed lambda (HMMER's Forward
+  /// calibration).
+  static ExponentialTail fit_tail(std::vector<double> scores,
+                                  double tail_mass = 0.04,
+                                  double lambda = kLambdaLog2);
+};
+
+/// E-value = P-value * database size.
+inline double evalue(double pvalue, std::size_t db_size) {
+  return pvalue * static_cast<double>(db_size);
+}
+
+/// Kolmogorov-Smirnov goodness of fit (one-sample, fully specified null).
+struct KsResult {
+  double d = 0.0;       // sup |F_empirical - F_theoretical|
+  double pvalue = 1.0;  // asymptotic Kolmogorov distribution
+};
+
+/// KS test of `sorted_or_not` scores against a CDF functor.
+template <class Cdf>
+KsResult ks_test(std::vector<double> xs, Cdf cdf) {
+  KsResult r;
+  if (xs.empty()) return r;
+  std::sort(xs.begin(), xs.end());
+  const double n = static_cast<double>(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    double f = cdf(xs[i]);
+    double lo = static_cast<double>(i) / n;
+    double hi = static_cast<double>(i + 1) / n;
+    r.d = std::max(r.d, std::max(f - lo, hi - f));
+  }
+  // Asymptotic Kolmogorov survival: Q(t) = 2 sum_{k>=1} (-1)^{k-1} e^{-2k^2t^2}.
+  double t = (std::sqrt(n) + 0.12 + 0.11 / std::sqrt(n)) * r.d;
+  double q = 0.0;
+  for (int k = 1; k <= 100; ++k) {
+    double term = 2.0 * std::pow(-1.0, k - 1) * std::exp(-2.0 * k * k * t * t);
+    q += term;
+    if (std::fabs(term) < 1e-12) break;
+  }
+  r.pvalue = std::min(1.0, std::max(0.0, q));
+  return r;
+}
+
+}  // namespace finehmm::stats

@@ -1,0 +1,56 @@
+// Cache-line / SIMD aligned storage.
+//
+// The striped CPU filters and the SIMT simulator both want contiguous,
+// over-aligned buffers.  `AlignedAllocator` is a minimal C++17-style
+// allocator over std::aligned_alloc; `aligned_vector<T>` is the convenience
+// alias used throughout.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <vector>
+
+namespace finehmm {
+
+inline constexpr std::size_t kSimdAlign = 64;  // one cache line, >= any SIMD
+
+template <class T, std::size_t Align = kSimdAlign>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static constexpr std::align_val_t alignment{Align};
+
+  AlignedAllocator() noexcept = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T))
+      throw std::bad_alloc();
+    // aligned_alloc requires the size to be a multiple of the alignment.
+    std::size_t bytes = n * sizeof(T);
+    bytes = (bytes + Align - 1) / Align * Align;
+    void* p = std::aligned_alloc(Align, bytes);
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+template <class T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace finehmm

@@ -1,0 +1,52 @@
+// Error handling primitives shared across the library.
+//
+// The library throws `finehmm::Error` (an std::runtime_error) for
+// recoverable API misuse and file-format problems.  Internal invariants use
+// FH_ASSERT, which is compiled in all build types: this is scientific code,
+// a silently wrong score is worse than a crash.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace finehmm {
+
+/// Base exception for all library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when parsing a file (FASTA, .hmm) fails.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, std::size_t line)
+      : Error(what + " (line " + std::to_string(line) + ")"), line_(line) {}
+  std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line) {
+  throw Error(std::string("assertion failed: ") + expr + " at " + file + ":" +
+              std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace finehmm
+
+/// Always-on invariant check; throws finehmm::Error on failure.
+#define FH_ASSERT(expr)                                           \
+  do {                                                            \
+    if (!(expr))                                                  \
+      ::finehmm::detail::assert_fail(#expr, __FILE__, __LINE__);  \
+  } while (0)
+
+/// Precondition check with a custom message.
+#define FH_REQUIRE(expr, msg)                                \
+  do {                                                       \
+    if (!(expr)) throw ::finehmm::Error(msg);                \
+  } while (0)

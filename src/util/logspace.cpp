@@ -1,0 +1,17 @@
+#include "util/logspace.hpp"
+
+namespace finehmm {
+
+LogSumTable::LogSumTable() {
+  for (int i = 0; i < kTableSize; ++i) {
+    float d = static_cast<float>(i) / kScale;
+    table_[i] = std::log1p(std::exp(-static_cast<double>(d)));
+  }
+}
+
+const LogSumTable& LogSumTable::instance() {
+  static const LogSumTable table;
+  return table;
+}
+
+}  // namespace finehmm

@@ -1,0 +1,86 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace finehmm {
+
+double Pcg32::gaussian() {
+  if (has_cached_) {
+    has_cached_ = false;
+    return cached_;
+  }
+  // Box-Muller; u1 in (0,1] to avoid log(0).
+  double u1 = 1.0 - uniform();
+  double u2 = uniform();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_ = r * std::sin(theta);
+  has_cached_ = true;
+  return r * std::cos(theta);
+}
+
+double Pcg32::lognormal(double mu, double sigma) {
+  return std::exp(mu + sigma * gaussian());
+}
+
+double Pcg32::exponential(double lambda) {
+  FH_REQUIRE(lambda > 0.0, "exponential rate must be positive");
+  return -std::log(1.0 - uniform()) / lambda;
+}
+
+std::size_t Pcg32::categorical(const std::vector<double>& weights) {
+  FH_REQUIRE(!weights.empty(), "categorical weights must be non-empty");
+  double total = 0.0;
+  for (double w : weights) total += w;
+  FH_REQUIRE(total > 0.0, "categorical weights must sum to > 0");
+  double x = uniform() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (x < acc) return i;
+  }
+  return weights.size() - 1;  // floating-point slack
+}
+
+double Pcg32::gamma(double shape) {
+  FH_REQUIRE(shape > 0.0, "gamma shape must be positive");
+  if (shape < 1.0) {
+    // Boost to shape+1 then scale back (Marsaglia-Tsang trick).
+    double u = uniform();
+    while (u <= 0.0) u = uniform();
+    return gamma(shape + 1.0) * std::pow(u, 1.0 / shape);
+  }
+  double d = shape - 1.0 / 3.0;
+  double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x = gaussian();
+    double v = 1.0 + c * x;
+    if (v <= 0.0) continue;
+    v = v * v * v;
+    double u = uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (u > 0.0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v)))
+      return d * v;
+  }
+}
+
+std::vector<double> Pcg32::dirichlet(std::size_t k, double alpha) {
+  std::vector<double> out(k);
+  double total = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    out[i] = gamma(alpha);
+    total += out[i];
+  }
+  // A Dirichlet draw is a normalized vector of Gammas; total > 0 almost
+  // surely, but guard against underflow for tiny alpha.
+  if (total <= 0.0) {
+    for (auto& v : out) v = 1.0 / static_cast<double>(k);
+  } else {
+    for (auto& v : out) v /= total;
+  }
+  return out;
+}
+
+}  // namespace finehmm

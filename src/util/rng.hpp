@@ -1,0 +1,81 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of the library (synthetic databases, random
+// profile HMMs, statistical calibration) draw from Pcg32 so that every
+// experiment is reproducible from a seed.  The generator is O'Neill's
+// PCG-XSH-RR 64/32.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace finehmm {
+
+class Pcg32 {
+ public:
+  using result_type = std::uint32_t;
+
+  explicit Pcg32(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL) {
+    state_ = 0;
+    inc_ = (stream << 1u) | 1u;
+    next();
+    state_ += seed;
+    next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return 0xffffffffu; }
+
+  result_type operator()() { return next(); }
+
+  std::uint32_t next() {
+    std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    std::uint32_t xorshifted =
+        static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Uniform in [0, bound) without modulo bias.
+  std::uint32_t below(std::uint32_t bound) {
+    std::uint32_t threshold = (0u - bound) % bound;
+    for (;;) {
+      std::uint32_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return next() * (1.0 / 4294967296.0); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Standard normal via Box-Muller (cached second deviate).
+  double gaussian();
+
+  /// Log-normal with the given parameters of the underlying normal.
+  double lognormal(double mu, double sigma) ;
+
+  /// Exponential with rate lambda.
+  double exponential(double lambda);
+
+  /// Sample an index from an (unnormalized) weight vector.
+  std::size_t categorical(const std::vector<double>& weights);
+
+  /// Symmetric Dirichlet(alpha) sample of dimension k (normalized).
+  std::vector<double> dirichlet(std::size_t k, double alpha);
+
+  /// Gamma(shape, 1) via Marsaglia-Tsang.
+  double gamma(double shape);
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+  bool has_cached_ = false;
+  double cached_ = 0.0;
+};
+
+}  // namespace finehmm

@@ -1,0 +1,32 @@
+// Plain-text table formatting for benchmark reports.
+//
+// Every bench binary prints the rows/series of the paper's tables and
+// figures; this helper keeps the output aligned and parseable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace finehmm {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with fixed precision.
+  static std::string num(double v, int precision = 2);
+  /// Convenience: format a percentage.
+  static std::string pct(double fraction, int precision = 1);
+
+  /// Render with column alignment and a separator under the header.
+  std::string str() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace finehmm

@@ -1,0 +1,90 @@
+#include "util/threadpool.hpp"
+
+#include <atomic>
+#include <exception>
+
+namespace finehmm {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  // Chunked dynamic scheduling: workers pull the next index from a shared
+  // atomic counter, so uneven per-item cost (sequence-length imbalance)
+  // still balances.
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done_workers{0};
+  std::exception_ptr first_error = nullptr;
+  std::mutex error_mutex;
+
+  std::size_t n_workers = workers_.size();
+  if (n_workers > count) n_workers = count;
+
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  auto body = [&] {
+    for (;;) {
+      std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (done_workers.fetch_add(1) + 1 == n_workers) {
+      std::lock_guard<std::mutex> lock(done_mutex);
+      done_cv.notify_all();
+    }
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // n_workers - 1 tasks for the pool; the calling thread also works.
+    for (std::size_t i = 0; i + 1 < n_workers; ++i) tasks_.push(body);
+  }
+  cv_.notify_all();
+  body();  // caller participates
+
+  {
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&] { return done_workers.load() == n_workers; });
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace finehmm

@@ -1,0 +1,45 @@
+// Minimal fixed-size thread pool with a blocking parallel_for.
+//
+// The SIMT grid launcher uses this to execute thread-blocks concurrently on
+// the host.  On a single-core machine it degrades gracefully to serial
+// execution (the pool still provides correct semantics).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace finehmm {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Run fn(i) for i in [0, count), distributing chunks over the pool.
+  /// Blocks until every index completed.  Exceptions from fn propagate to
+  /// the caller (first one wins).
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace finehmm

@@ -1,0 +1,101 @@
+// Binary profile serialization: lossless round trip, hostile inputs.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hmm/binary_io.hpp"
+#include "hmm/generator.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace finehmm;
+using namespace finehmm::hmm;
+
+TEST(BinaryIo, RoundTripIsBitExact) {
+  auto model = paper_model(77);
+  stats::ModelStats st;
+  st.ssv = {-5.5, stats::kLambdaLog2};
+  st.msv = {-6.25, stats::kLambdaLog2};
+  st.vit = {-7.75, stats::kLambdaLog2};
+  st.fwd = {-2.125, stats::kLambdaLog2};
+
+  std::ostringstream out(std::ios::binary);
+  write_hmm_binary(out, model, &st);
+  std::istringstream in(out.str(), std::ios::binary);
+  std::optional<stats::ModelStats> back_stats;
+  auto back = read_hmm_binary(in, &back_stats);
+
+  ASSERT_EQ(back.length(), model.length());
+  EXPECT_EQ(back.name(), model.name());
+  EXPECT_EQ(back.description(), model.description());
+  for (int k = 1; k <= model.length(); ++k)
+    for (int a = 0; a < bio::kK; ++a)
+      EXPECT_EQ(back.mat(k, a), model.mat(k, a)) << k << "," << a;
+  for (int k = 0; k <= model.length(); ++k)
+    for (int t = 0; t < kNTransitions; ++t)
+      EXPECT_EQ(back.tr(k, static_cast<Plan7Transition>(t)),
+                model.tr(k, static_cast<Plan7Transition>(t)));
+  ASSERT_TRUE(back_stats.has_value());
+  EXPECT_EQ(back_stats->msv.mu, st.msv.mu);  // doubles, bit-exact
+  EXPECT_EQ(back_stats->fwd.mu, st.fwd.mu);
+  EXPECT_EQ(back_stats->ssv.mu, st.ssv.mu);
+}
+
+TEST(BinaryIo, WithoutStatsYieldsNullopt) {
+  auto model = paper_model(10);
+  std::ostringstream out(std::ios::binary);
+  write_hmm_binary(out, model);
+  std::istringstream in(out.str(), std::ios::binary);
+  std::optional<stats::ModelStats> st;
+  read_hmm_binary(in, &st);
+  EXPECT_FALSE(st.has_value());
+}
+
+TEST(BinaryIo, RejectsBadMagic) {
+  std::istringstream in("NOPE....................", std::ios::binary);
+  EXPECT_THROW(read_hmm_binary(in), Error);
+}
+
+TEST(BinaryIo, RejectsTruncationAtEveryQuarter) {
+  auto model = paper_model(25);
+  std::ostringstream out(std::ios::binary);
+  write_hmm_binary(out, model);
+  std::string bytes = out.str();
+  for (std::size_t frac = 1; frac <= 3; ++frac) {
+    std::istringstream in(bytes.substr(0, bytes.size() * frac / 4),
+                          std::ios::binary);
+    EXPECT_THROW(read_hmm_binary(in), Error) << "frac " << frac;
+  }
+}
+
+TEST(BinaryIo, RejectsImplausibleLengths) {
+  auto model = paper_model(5);
+  std::ostringstream out(std::ios::binary);
+  write_hmm_binary(out, model);
+  std::string bytes = out.str();
+  // Corrupt the M field (right after magic+version+two strings).
+  std::size_t name_len = model.name().size();
+  std::size_t pos = 4 + 4 + 4 + name_len + 4 + model.description().size();
+  bytes[pos + 3] = '\x7f';  // gigantic M
+  std::istringstream in(bytes, std::ios::binary);
+  EXPECT_THROW(read_hmm_binary(in), Error);
+}
+
+TEST(BinaryIo, BinaryPreservesScoresAsciiOnlyApproximates) {
+  // ASCII rounds to 5 decimals; binary must be exact.
+  auto model = paper_model(30);
+  std::ostringstream bin(std::ios::binary);
+  write_hmm_binary(bin, model);
+  std::istringstream bin_in(bin.str(), std::ios::binary);
+  auto from_bin = read_hmm_binary(bin_in);
+  int exact = 0, total = 0;
+  for (int k = 1; k <= 30; ++k)
+    for (int a = 0; a < bio::kK; ++a) {
+      ++total;
+      if (from_bin.mat(k, a) == model.mat(k, a)) ++exact;
+    }
+  EXPECT_EQ(exact, total);
+}
+
+}  // namespace

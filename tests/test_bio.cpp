@@ -1,0 +1,155 @@
+// Alphabet, sequences, FASTA, residue packing, synthetic databases.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bio/fasta.hpp"
+#include "bio/packing.hpp"
+#include "bio/synthetic.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace finehmm;
+using namespace finehmm::bio;
+
+TEST(Alphabet, RoundTripsEveryCode) {
+  for (int c = 0; c < kKp; ++c) {
+    char ch = symbol(static_cast<std::uint8_t>(c));
+    EXPECT_EQ(digitize(ch), c) << "code " << c << " char " << ch;
+  }
+}
+
+TEST(Alphabet, LowercaseDigitizesLikeUppercase) {
+  EXPECT_EQ(digitize('a'), digitize('A'));
+  EXPECT_EQ(digitize('w'), digitize('W'));
+  EXPECT_EQ(digitize('x'), digitize('X'));
+}
+
+TEST(Alphabet, UnknownCharacterThrows) {
+  EXPECT_THROW(digitize('0'), Error);
+  EXPECT_THROW(digitize('?'), Error);
+}
+
+TEST(Alphabet, DegenerateExpansions) {
+  EXPECT_EQ(expansion(kCodeB).size(), 2u);  // D or N
+  EXPECT_EQ(expansion(kCodeJ).size(), 2u);  // I or L
+  EXPECT_EQ(expansion(kCodeZ).size(), 2u);  // E or Q
+  EXPECT_EQ(expansion(kCodeX).size(), 20u);
+  EXPECT_EQ(expansion(5).size(), 1u);
+  EXPECT_EQ(expansion(5)[0], 5);
+}
+
+TEST(Alphabet, BackgroundFrequenciesSumToOne) {
+  double total = 0.0;
+  for (float f : background_frequencies()) total += f;
+  EXPECT_NEAR(total, 1.0, 1e-4);
+}
+
+TEST(Packing, RoundTripsAllLengths) {
+  Pcg32 rng(1);
+  for (std::size_t len : {1u, 5u, 6u, 7u, 11u, 12u, 100u, 601u}) {
+    std::vector<std::uint8_t> codes(len);
+    for (auto& c : codes) c = static_cast<std::uint8_t>(rng.below(kKp));
+    auto words = pack_residues(codes);
+    EXPECT_EQ(words.size(), (len + 5) / 6);
+    auto back = unpack_residues(words.data(), len);
+    EXPECT_EQ(back, codes);
+  }
+}
+
+TEST(Packing, PadsTailWithFlag31) {
+  std::vector<std::uint8_t> codes = {1, 2, 3, 4};  // 4 residues, 2 pads
+  auto words = pack_residues(codes);
+  ASSERT_EQ(words.size(), 1u);
+  EXPECT_EQ(packed_residue(words.data(), 4), kPadCode);
+  EXPECT_EQ(packed_residue(words.data(), 5), kPadCode);
+}
+
+TEST(Packing, SixResiduesPerWord) {
+  EXPECT_EQ(kResiduesPerWord, 6u);
+  std::vector<std::uint8_t> codes(6, 28);  // max code value
+  auto words = pack_residues(codes);
+  ASSERT_EQ(words.size(), 1u);
+  for (int i = 0; i < 6; ++i)
+    EXPECT_EQ(packed_residue(words.data(), i), 28);
+}
+
+TEST(PackedDatabase, MatchesSourceSequences) {
+  Pcg32 rng(7);
+  SequenceDatabase db;
+  for (int i = 0; i < 20; ++i)
+    db.add(random_sequence(1 + rng.below(50), rng, "s" + std::to_string(i)));
+  PackedDatabase packed(db);
+  ASSERT_EQ(packed.size(), db.size());
+  EXPECT_EQ(packed.total_residues(), db.total_residues());
+  for (std::size_t s = 0; s < db.size(); ++s) {
+    ASSERT_EQ(packed.length(s), db[s].length());
+    for (std::size_t i = 0; i < db[s].length(); ++i)
+      EXPECT_EQ(packed.residue(s, i), db[s].codes[i]);
+  }
+}
+
+TEST(Fasta, RoundTrip) {
+  SequenceDatabase db;
+  db.add(Sequence::from_text("seq1", "ACDEFGHIKLMNPQRSTVWY", "a protein"));
+  db.add(Sequence::from_text("seq2", "AAAA"));
+  std::ostringstream out;
+  write_fasta(out, db, 7);
+  std::istringstream in(out.str());
+  auto back = read_fasta(in);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].name, "seq1");
+  EXPECT_EQ(back[0].description, "a protein");
+  EXPECT_EQ(back[0].text(), "ACDEFGHIKLMNPQRSTVWY");
+  EXPECT_EQ(back[1].text(), "AAAA");
+}
+
+TEST(Fasta, HandlesMultilineAndBlankLines) {
+  std::istringstream in(">x desc here\nACDE\n\nFGHI\n>y\nKL\n");
+  auto db = read_fasta(in);
+  ASSERT_EQ(db.size(), 2u);
+  EXPECT_EQ(db[0].text(), "ACDEFGHI");
+  EXPECT_EQ(db[0].description, "desc here");
+  EXPECT_EQ(db[1].text(), "KL");
+}
+
+TEST(Fasta, ResidueBeforeHeaderThrows) {
+  std::istringstream in("ACDE\n>x\nAC\n");
+  EXPECT_THROW(read_fasta(in), ParseError);
+}
+
+TEST(Synthetic, PresetsMatchPaperShapes) {
+  auto sp = SyntheticDbSpec::swissprot_like(0.001);
+  auto env = SyntheticDbSpec::envnr_like(0.0001);
+  EXPECT_NEAR(sp.expected_mean_length(), 373.7, 1.0);
+  EXPECT_NEAR(env.expected_mean_length(), 197.0, 1.0);
+  EXPECT_GT(env.n_sequences, sp.n_sequences);
+}
+
+TEST(Synthetic, GeneratedDatabaseHasExpectedMeanLength) {
+  auto spec = SyntheticDbSpec::swissprot_like(0.002);  // ~919 sequences
+  auto db = generate_database(spec);
+  EXPECT_EQ(db.size(), spec.n_sequences);
+  EXPECT_NEAR(db.mean_length(), 373.7, 40.0);
+}
+
+TEST(Synthetic, DeterministicAcrossRuns) {
+  auto spec = SyntheticDbSpec::envnr_like(0.00002);
+  auto a = generate_database(spec);
+  auto b = generate_database(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].codes, b[i].codes);
+}
+
+TEST(Database, ReplaceKeepsStatsConsistent) {
+  Pcg32 rng(3);
+  SequenceDatabase db;
+  db.add(random_sequence(10, rng));
+  db.add(random_sequence(50, rng));
+  db.replace(1, random_sequence(20, rng));
+  EXPECT_EQ(db.total_residues(), 30u);
+  EXPECT_EQ(db.max_length(), 20u);
+}
+
+}  // namespace

@@ -1,0 +1,74 @@
+// Checkpointed posterior decoding vs the full-matrix reference.
+#include <gtest/gtest.h>
+
+#include "bio/synthetic.hpp"
+#include "cpu/checkpoint.hpp"
+#include "cpu/posterior.hpp"
+#include "hmm/generator.hpp"
+#include "hmm/sampler.hpp"
+
+namespace {
+
+using namespace finehmm;
+
+struct CkptFixture {
+  hmm::Plan7Hmm model;
+  hmm::SearchProfile prof;
+  explicit CkptFixture(int M)
+      : model(hmm::paper_model(M)),
+        prof(model, hmm::AlignMode::kLocalMultihit, 300) {}
+};
+
+class Checkpointing : public ::testing::TestWithParam<int> {};
+
+TEST_P(Checkpointing, MatchesFullMatrixOccupancy) {
+  CkptFixture fx(40);
+  Pcg32 rng(GetParam());
+  auto seq = rng.uniform() < 0.5 ? hmm::sample_homolog(fx.model, rng)
+                                 : bio::random_sequence(120, rng);
+  auto full = cpu::posterior_matrices(fx.prof, seq.codes.data(),
+                                      seq.length());
+  auto full_mocc = cpu::model_occupancy(full);
+  for (std::size_t blk : {0u, 1u, 3u, 16u, 4096u}) {
+    auto ck = cpu::model_occupancy_checkpointed(fx.prof, seq.codes.data(),
+                                                seq.length(), blk);
+    EXPECT_NEAR(ck.total, full.total, 1e-3f) << "block " << blk;
+    ASSERT_EQ(ck.mocc.size(), full_mocc.size());
+    for (std::size_t i = 0; i < full_mocc.size(); ++i)
+      EXPECT_NEAR(ck.mocc[i], full_mocc[i], 1e-4f)
+          << "block " << blk << " row " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Checkpointing, ::testing::Values(1, 2, 3));
+
+TEST(Checkpointing, DefaultBlockIsSqrtL) {
+  CkptFixture fx(20);
+  Pcg32 rng(9);
+  auto seq = bio::random_sequence(400, rng);
+  auto ck = cpu::model_occupancy_checkpointed(fx.prof, seq.codes.data(),
+                                              seq.length());
+  EXPECT_EQ(ck.block, 20u);
+}
+
+TEST(Checkpointing, LongTargetStaysAccurate) {
+  CkptFixture fx(30);
+  Pcg32 rng(11);
+  bio::Sequence seq;
+  for (int i = 0; i < 8; ++i) {
+    auto h = hmm::sample_homolog(fx.model, rng);
+    seq.codes.insert(seq.codes.end(), h.codes.begin(), h.codes.end());
+  }
+  auto full = cpu::posterior_matrices(fx.prof, seq.codes.data(),
+                                      seq.length());
+  auto full_mocc = cpu::model_occupancy(full);
+  auto ck = cpu::model_occupancy_checkpointed(fx.prof, seq.codes.data(),
+                                              seq.length());
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < full_mocc.size(); ++i)
+    max_err = std::max(max_err,
+                       std::abs(double(ck.mocc[i]) - full_mocc[i]));
+  EXPECT_LT(max_err, 1e-4);
+}
+
+}  // namespace

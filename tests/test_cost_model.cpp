@@ -1,0 +1,139 @@
+// The analytic performance model: sanity and monotonicity properties the
+// paper's figures rely on.
+#include <gtest/gtest.h>
+
+#include "bio/synthetic.hpp"
+#include "gpu/search.hpp"
+#include "hmm/generator.hpp"
+#include "perf/cost_model.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace finehmm;
+using perf::CostModelParams;
+using perf::estimate_cpu_time;
+using perf::estimate_gpu_time;
+
+simt::Occupancy occ_at(double fraction, const simt::DeviceSpec& dev) {
+  simt::Occupancy occ;
+  occ.warps_per_sm =
+      static_cast<int>(fraction * dev.max_warps_per_sm + 0.5);
+  occ.blocks_per_sm = 1;
+  occ.fraction = fraction;
+  return occ;
+}
+
+TEST(CostModel, TimeScalesLinearlyInWork) {
+  auto dev = simt::DeviceSpec::tesla_k40();
+  simt::PerfCounters c;
+  c.alu = 1'000'000;
+  c.smem_cycles = 500'000;
+  c.cells = 1'000'000;
+  auto t1 = estimate_gpu_time(dev, c, occ_at(1.0, dev), 8);
+  simt::PerfCounters c2 = c;
+  c2.merge(c);
+  auto t2 = estimate_gpu_time(dev, c2, occ_at(1.0, dev), 8);
+  EXPECT_NEAR(t2.total_s, 2.0 * t1.total_s, 1e-12);
+}
+
+TEST(CostModel, LowOccupancyIsSlower) {
+  auto dev = simt::DeviceSpec::tesla_k40();
+  simt::PerfCounters c;
+  c.alu = 1'000'000;
+  c.smem_cycles = 1'000'000;
+  auto full = estimate_gpu_time(dev, c, occ_at(1.0, dev), 8);
+  auto low = estimate_gpu_time(dev, c, occ_at(0.1, dev), 8);
+  EXPECT_GT(low.total_s, 2.0 * full.total_s);
+}
+
+TEST(CostModel, SyncsCostTime) {
+  auto dev = simt::DeviceSpec::tesla_k40();
+  simt::PerfCounters c;
+  c.alu = 1'000'000;
+  simt::PerfCounters with_syncs = c;
+  with_syncs.syncs = 100'000;
+  auto a = estimate_gpu_time(dev, c, occ_at(1.0, dev), 8);
+  auto b = estimate_gpu_time(dev, with_syncs, occ_at(1.0, dev), 8);
+  EXPECT_GT(b.total_s, a.total_s);
+}
+
+TEST(CostModel, MemoryBoundWhenTrafficDominates) {
+  auto dev = simt::DeviceSpec::tesla_k40();
+  simt::PerfCounters c;
+  c.alu = 1000;
+  c.gmem_bytes = 100ull * 1000 * 1000 * 1000;  // 100 GB
+  auto t = estimate_gpu_time(dev, c, occ_at(1.0, dev), 8);
+  EXPECT_GT(t.memory_s, t.compute_s);
+  EXPECT_DOUBLE_EQ(t.total_s, t.memory_s);
+}
+
+TEST(CostModel, CpuBaselineMatchesClosedForm) {
+  CostModelParams p;
+  double cells = 1e9;
+  double t = estimate_cpu_time(perf::CpuStage::kMsv, cells, p);
+  EXPECT_NEAR(t, cells * p.cpu_cycles_per_cell_msv / (4 * 3.4e9), 1e-12);
+  EXPECT_GT(estimate_cpu_time(perf::CpuStage::kViterbi, cells, p), t);
+}
+
+TEST(CostModel, ExtrapolateScalesTimes) {
+  perf::TimeEstimate e;
+  e.compute_s = 1.0;
+  e.memory_s = 0.5;
+  e.total_s = 1.0;
+  auto x = perf::extrapolate(e, 10.0);
+  EXPECT_DOUBLE_EQ(x.total_s, 10.0);
+  EXPECT_DOUBLE_EQ(x.memory_s, 5.0);
+}
+
+TEST(CostModel, EmptyCountersYieldZeroTime) {
+  auto dev = simt::DeviceSpec::tesla_k40();
+  simt::PerfCounters none;
+  auto t = estimate_gpu_time(dev, none, occ_at(1.0, dev), 4);
+  EXPECT_EQ(t.total_s, 0.0);
+  EXPECT_EQ(t.gcells_per_s, 0.0);
+}
+
+TEST(CostModel, ZeroOccupancyLaunchIsRejected) {
+  auto dev = simt::DeviceSpec::tesla_k40();
+  simt::PerfCounters c;
+  c.alu = 100;
+  simt::Occupancy occ;  // zero warps
+  EXPECT_THROW(estimate_gpu_time(dev, c, occ, 4), Error);
+}
+
+TEST(CostModel, DeviceSpecsAreInternallyConsistent) {
+  for (const auto& dev :
+       {simt::DeviceSpec::tesla_k40(), simt::DeviceSpec::gtx580(),
+        simt::DeviceSpec::gtx980()}) {
+    EXPECT_EQ(dev.max_threads_per_sm, dev.max_warps_per_sm * 32) << dev.name;
+    EXPECT_GT(dev.sm_count, 0);
+    EXPECT_GT(dev.clock_ghz, 0.1);
+    EXPECT_GE(dev.shared_mem_per_sm, dev.shared_mem_per_block);
+    EXPECT_GT(dev.issue_width(), 0.0);
+  }
+}
+
+// End-to-end sanity: on a small real workload, the modeled K40 beats the
+// modeled quad-core CPU for MSV by a factor in the paper's ballpark.
+TEST(CostModel, MsvSpeedupInPaperBallpark) {
+  auto model = hmm::paper_model(400);
+  hmm::SearchProfile prof(model, hmm::AlignMode::kLocalMultihit, 400);
+  profile::MsvProfile msv(prof);
+  auto spec = bio::SyntheticDbSpec::envnr_like(0.00005);  // ~327 seqs
+  auto db = bio::generate_database(spec);
+  bio::PackedDatabase packed(db);
+
+  gpu::GpuSearch search(simt::DeviceSpec::tesla_k40());
+  auto run = search.run_msv(msv, packed, gpu::ParamPlacement::kShared);
+  auto gpu_t = estimate_gpu_time(search.device(), run.counters, run.plan.occ,
+                                 run.plan.cfg.warps_per_block);
+  double cpu_t = estimate_cpu_time(perf::CpuStage::kMsv,
+                                   static_cast<double>(run.counters.cells));
+  double speedup = cpu_t / gpu_t.total_s;
+  // Paper Fig. 9: MSV stage speedups are between ~2x and ~5.4x.
+  EXPECT_GT(speedup, 1.5);
+  EXPECT_LT(speedup, 9.0);
+}
+
+}  // namespace

@@ -1,0 +1,78 @@
+// Performance-counter foundations: the cost model extrapolates counters
+// linearly in DP cells, so counters must actually scale that way, and
+// the op mix must be placement-consistent.
+#include <gtest/gtest.h>
+
+#include "bio/synthetic.hpp"
+#include "gpu/search.hpp"
+#include "hmm/generator.hpp"
+
+namespace {
+
+using namespace finehmm;
+
+bio::PackedDatabase make_db(int n_seqs, int len, std::uint64_t seed) {
+  Pcg32 rng(seed);
+  bio::SequenceDatabase db;
+  for (int i = 0; i < n_seqs; ++i)
+    db.add(bio::random_sequence(len, rng));
+  return bio::PackedDatabase(db);
+}
+
+TEST(Counters, ScaleLinearlyInCells) {
+  auto model = hmm::paper_model(96);
+  hmm::SearchProfile prof(model, hmm::AlignMode::kLocalMultihit, 200);
+  profile::MsvProfile msv(prof);
+  gpu::GpuSearch search(simt::DeviceSpec::tesla_k40());
+
+  auto small = make_db(16, 200, 5);
+  auto large = make_db(64, 200, 5);  // 4x the cells
+  auto a = search.run_msv(msv, small, gpu::ParamPlacement::kGlobal);
+  auto b = search.run_msv(msv, large, gpu::ParamPlacement::kGlobal);
+  ASSERT_EQ(b.counters.cells, 4 * a.counters.cells);
+
+  auto ratio = [](std::uint64_t x, std::uint64_t y) {
+    return static_cast<double>(y) / static_cast<double>(x);
+  };
+  // Global placement has no per-block staging, so every counter is
+  // work-proportional.
+  EXPECT_NEAR(ratio(a.counters.alu, b.counters.alu), 4.0, 0.1);
+  EXPECT_NEAR(ratio(a.counters.smem_cycles, b.counters.smem_cycles), 4.0,
+              0.1);
+  EXPECT_NEAR(ratio(a.counters.gmem_cached_tx, b.counters.gmem_cached_tx),
+              4.0, 0.1);
+  EXPECT_NEAR(ratio(a.counters.shuffles, b.counters.shuffles), 4.0, 0.1);
+}
+
+TEST(Counters, SharedPlacementTradesCachedLoadsForSmem) {
+  auto model = hmm::paper_model(128);
+  hmm::SearchProfile prof(model, hmm::AlignMode::kLocalMultihit, 200);
+  profile::MsvProfile msv(prof);
+  gpu::GpuSearch search(simt::DeviceSpec::tesla_k40());
+  auto db = make_db(32, 250, 7);
+
+  auto shared = search.run_msv(msv, db, gpu::ParamPlacement::kShared);
+  auto global = search.run_msv(msv, db, gpu::ParamPlacement::kGlobal);
+  // Same work...
+  EXPECT_EQ(shared.counters.cells, global.counters.cells);
+  EXPECT_EQ(shared.counters.residues, global.counters.residues);
+  // ...different memory paths: shared placement does no cached global
+  // emission loads inside the row loop, global placement does no
+  // emission reads from shared memory.
+  EXPECT_GT(global.counters.gmem_cached_tx, 0u);
+  EXPECT_LT(shared.counters.gmem_cached_tx, global.counters.gmem_cached_tx);
+  EXPECT_GT(shared.counters.smem_cycles, global.counters.smem_cycles);
+}
+
+TEST(Counters, LazyfInnerCountsAtLeastOnePerGroup) {
+  auto model = hmm::paper_model(64);  // 2 groups of 32
+  hmm::SearchProfile prof(model, hmm::AlignMode::kLocalMultihit, 200);
+  profile::VitProfile vit(prof);
+  gpu::GpuSearch search(simt::DeviceSpec::tesla_k40());
+  auto db = make_db(8, 100, 9);
+  auto run = search.run_vit(vit, db, gpu::ParamPlacement::kShared);
+  // Every residue row visits 2 groups, each with >= 1 mandatory check.
+  EXPECT_GE(run.counters.lazyf_inner, 2 * run.counters.residues);
+}
+
+}  // namespace

@@ -1,0 +1,113 @@
+// Striped float Forward filter vs the exact log-space reference.
+#include <gtest/gtest.h>
+
+#include "bio/synthetic.hpp"
+#include "cpu/fwd_filter.hpp"
+#include "cpu/generic.hpp"
+#include "hmm/generator.hpp"
+#include "hmm/sampler.hpp"
+
+namespace {
+
+using namespace finehmm;
+
+struct FwdFixture {
+  hmm::Plan7Hmm model;
+  hmm::SearchProfile prof;
+  profile::FwdProfile fwd;
+  explicit FwdFixture(int M, std::uint64_t seed = 2,
+                      double delete_extend = 0.5)
+      : model([&] {
+          hmm::RandomHmmSpec spec;
+          spec.length = M;
+          spec.seed = seed;
+          spec.delete_extend = delete_extend;
+          return hmm::generate_hmm(spec);
+        }()),
+        prof(model, hmm::AlignMode::kLocalMultihit, 400),
+        fwd(prof) {}
+};
+
+class FwdFilterEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(FwdFilterEquivalence, TracksExactForwardOnRandomSequences) {
+  FwdFixture fx(GetParam());
+  Pcg32 rng(31);
+  cpu::FwdFilter filter(fx.fwd);
+  for (int rep = 0; rep < 10; ++rep) {
+    std::size_t L = 10 + rng.below(400);
+    auto seq = bio::random_sequence(L, rng);
+    float exact = cpu::generic_forward(fx.prof, seq.codes.data(), L, true);
+    float striped = filter.score(seq.codes.data(), L);
+    EXPECT_NEAR(striped, exact, 0.02f + 1e-4f * L)
+        << "M=" << GetParam() << " L=" << L;
+  }
+}
+
+TEST_P(FwdFilterEquivalence, TracksExactForwardOnHomologs) {
+  FwdFixture fx(GetParam());
+  Pcg32 rng(37);
+  cpu::FwdFilter filter(fx.fwd);
+  for (int rep = 0; rep < 6; ++rep) {
+    auto seq = hmm::sample_homolog(fx.model, rng);
+    float exact = cpu::generic_forward(fx.prof, seq.codes.data(),
+                                       seq.length(), true);
+    float striped = filter.score(seq.codes.data(), seq.length());
+    // Homolog scores are large; tolerance scales with magnitude.
+    EXPECT_NEAR(striped, exact, 0.05f + 2e-4f * seq.length());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ModelSizes, FwdFilterEquivalence,
+                         ::testing::Values(1, 3, 4, 5, 33, 100, 200),
+                         ::testing::PrintToStringParamName());
+
+TEST(FwdFilter, RescalingHandlesLongStrongTargets) {
+  // A long sequence stuffed with homologous segments drives the raw
+  // probability mass far beyond float range; the per-row rescaling must
+  // keep the result finite and correct.
+  FwdFixture fx(60);
+  Pcg32 rng(41);
+  bio::Sequence seq;
+  seq.name = "long";
+  for (int copy = 0; copy < 30; ++copy) {
+    auto h = hmm::sample_homolog(fx.model, rng);
+    seq.codes.insert(seq.codes.end(), h.codes.begin(), h.codes.end());
+  }
+  ASSERT_GT(seq.length(), 3000u);
+  cpu::FwdFilter filter(fx.fwd);
+  float striped = filter.score(seq.codes.data(), seq.length());
+  float exact = cpu::generic_forward(fx.prof, seq.codes.data(),
+                                     seq.length(), true);
+  EXPECT_TRUE(std::isfinite(striped));
+  EXPECT_NEAR(striped, exact, 0.02f * std::fabs(exact));
+  EXPECT_GT(striped, 100.0f) << "30 planted copies must score huge";
+}
+
+TEST(FwdFilter, HighDeleteModelsConverge) {
+  FwdFixture fx(96, 5, /*delete_extend=*/0.9);
+  Pcg32 rng(43);
+  cpu::FwdFilter filter(fx.fwd);
+  for (int rep = 0; rep < 5; ++rep) {
+    std::size_t L = 50 + rng.below(200);
+    auto seq = bio::random_sequence(L, rng);
+    float exact = cpu::generic_forward(fx.prof, seq.codes.data(), L, true);
+    float striped = filter.score(seq.codes.data(), L);
+    EXPECT_NEAR(striped, exact, 0.05f) << "L=" << L;
+  }
+}
+
+TEST(FwdFilter, DominatesViterbiLikeTheExactForward) {
+  FwdFixture fx(80);
+  Pcg32 rng(47);
+  cpu::FwdFilter filter(fx.fwd);
+  for (int rep = 0; rep < 5; ++rep) {
+    std::size_t L = 30 + rng.below(200);
+    auto seq = bio::random_sequence(L, rng);
+    float fwd = filter.score(seq.codes.data(), L);
+    float vit = cpu::generic_viterbi(fx.prof, seq.codes.data(), L);
+    EXPECT_GE(fwd, vit - 0.05f);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,149 @@
+// Glocal alignment mode (wing-retracted entry/exit through deletes).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bio/synthetic.hpp"
+#include "cpu/generic.hpp"
+#include "cpu/trace.hpp"
+#include "hmm/generator.hpp"
+#include "hmm/sampler.hpp"
+#include "profile/msv_profile.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace finehmm;
+using hmm::AlignMode;
+
+struct GlocalFixture {
+  hmm::Plan7Hmm model;
+  hmm::SearchProfile local;
+  hmm::SearchProfile glocal;
+  explicit GlocalFixture(int M, std::uint64_t seed = 4)
+      : model([&] {
+          hmm::RandomHmmSpec spec;
+          spec.length = M;
+          spec.seed = seed;
+          return hmm::generate_hmm(spec);
+        }()),
+        local(model, AlignMode::kLocalMultihit, 300),
+        glocal(model, AlignMode::kGlocalMultihit, 300) {}
+};
+
+TEST(Glocal, EntryDistributionIsNormalized) {
+  GlocalFixture fx(50);
+  // Sum over k of P(B -> M_k) plus the all-delete mass must be <= 1 and
+  // close to 1 (the all-delete path is vanishingly small).
+  double total = 0.0;
+  for (int k = 0; k < 50; ++k)
+    total += std::exp(fx.glocal.tsc(k, hmm::kPTBM));
+  EXPECT_GT(total, 0.95);
+  EXPECT_LE(total, 1.0 + 1e-4);
+}
+
+TEST(Glocal, ExitScoresAreProperProbabilities) {
+  GlocalFixture fx(50);
+  EXPECT_FLOAT_EQ(fx.glocal.esc(50), 0.0f);  // M_M -> E is certain
+  for (int k = 1; k < 50; ++k) {
+    EXPECT_LE(fx.glocal.esc(k), 0.0f) << "k=" << k;
+    // Exit from deep inside the model requires a long delete chain.
+    if (k < 40) EXPECT_LT(fx.glocal.esc(k), fx.glocal.esc(k + 5));
+  }
+  // Local mode: free exit everywhere.
+  for (int k = 1; k <= 50; ++k) EXPECT_FLOAT_EQ(fx.local.esc(k), 0.0f);
+}
+
+TEST(Glocal, ForwardEqualsBackward) {
+  GlocalFixture fx(40);
+  Pcg32 rng(9);
+  for (int rep = 0; rep < 3; ++rep) {
+    std::size_t L = 30 + rng.below(120);
+    auto seq = bio::random_sequence(L, rng);
+    float fwd = cpu::generic_forward(fx.glocal, seq.codes.data(), L, true);
+    float bwd = cpu::generic_backward(fx.glocal, seq.codes.data(), L, true);
+    EXPECT_NEAR(fwd, bwd, 2e-3f);
+  }
+}
+
+TEST(Glocal, FullLengthHomologsScoreSimilarlyInBothModes) {
+  GlocalFixture fx(60);
+  Pcg32 rng(21);
+  hmm::SampleOptions opts;
+  opts.fragment_prob = 0.0;
+  for (int rep = 0; rep < 5; ++rep) {
+    auto seq = hmm::sample_homolog(fx.model, rng, opts);
+    float lv = cpu::generic_viterbi(fx.local, seq.codes.data(), seq.length());
+    float gv =
+        cpu::generic_viterbi(fx.glocal, seq.codes.data(), seq.length());
+    // A full-length homolog pays the local entry (~log 2/(M(M+1))) but no
+    // glocal penalty; scores should be within a few nats.
+    EXPECT_NEAR(lv, gv, 10.0f);
+  }
+}
+
+TEST(Glocal, FragmentsPayTheWingPenalty) {
+  // The local -> glocal score drop measures the wing cost a hit pays.
+  // Full-length homologs pay almost nothing; half-model fragments must be
+  // charged the delete chain covering the unmatched half.
+  GlocalFixture fx(80);
+  Pcg32 rng(23);
+  hmm::SampleOptions opts;
+  opts.mean_flank = 1e-9;
+
+  auto penalty = [&](const bio::Sequence& s) {
+    return cpu::generic_viterbi(fx.local, s.codes.data(), s.length()) -
+           cpu::generic_viterbi(fx.glocal, s.codes.data(), s.length());
+  };
+
+  opts.fragment_prob = 0.0;
+  double full_penalty = 0.0;
+  for (int rep = 0; rep < 4; ++rep)
+    full_penalty += penalty(hmm::sample_homolog(fx.model, rng, opts));
+  full_penalty /= 4.0;
+
+  opts.fragment_prob = 1.0;
+  double frag_penalty = 0.0;
+  int n = 0;
+  for (int rep = 0; rep < 20 && n < 4; ++rep) {
+    auto frag = hmm::sample_homolog(fx.model, rng, opts);
+    if (frag.length() > 50) continue;  // want clear fragments
+    frag_penalty += penalty(frag);
+    ++n;
+  }
+  if (n == 0) GTEST_SKIP() << "sampler produced no short fragments";
+  frag_penalty /= n;
+
+  EXPECT_GT(frag_penalty, full_penalty + 5.0)
+      << "fragments must pay for the unmatched model span";
+}
+
+TEST(Glocal, TraceCoversTheWholeModel) {
+  GlocalFixture fx(40);
+  Pcg32 rng(25);
+  hmm::SampleOptions opts;
+  opts.fragment_prob = 0.0;
+  auto seq = hmm::sample_homolog(fx.model, rng, opts);
+  auto trace = cpu::viterbi_trace(fx.glocal, seq.codes.data(), seq.length());
+  float recomputed =
+      cpu::trace_score(trace, fx.glocal, seq.codes.data(), seq.length());
+  EXPECT_NEAR(recomputed, trace.score, 1e-3f);
+  // In glocal mode the alignment must span essentially the whole model
+  // (entry/exit wings are implicit delete paths, so a couple of terminal
+  // positions may be absorbed into them).
+  int k_min = 1000, k_max = 0;
+  for (const auto& s : trace.steps)
+    if (s.state == cpu::TraceState::kM || s.state == cpu::TraceState::kD) {
+      k_min = std::min(k_min, s.k);
+      k_max = std::max(k_max, s.k);
+    }
+  EXPECT_LE(k_min, 3);
+  EXPECT_GE(k_max, 38);
+}
+
+TEST(Glocal, VectorizedProfilesRejectGlocalMode) {
+  GlocalFixture fx(20);
+  EXPECT_THROW(profile::MsvProfile msv(fx.glocal), Error);
+}
+
+}  // namespace

@@ -1,0 +1,70 @@
+// Golden regression values.
+//
+// These freeze the *scoring system itself*: scale/base/bias choices, the
+// length model, the RNG streams and the DP semantics.  If any of these
+// change — even in a way every cross-implementation test still agrees on
+// — this test fires, forcing the change to be deliberate.  Values were
+// generated from the current implementation and verified against the
+// float references at creation time.
+#include <gtest/gtest.h>
+
+#include "bio/synthetic.hpp"
+#include "cpu/generic.hpp"
+#include "cpu/msv_scalar.hpp"
+#include "cpu/ssv.hpp"
+#include "cpu/vit_scalar.hpp"
+#include "hmm/generator.hpp"
+
+namespace {
+
+using namespace finehmm;
+
+struct Golden {
+  std::size_t L;
+  float msv, vit, ssv, fwd;
+};
+
+TEST(Goldens, ScoringSystemConstants) {
+  auto model = hmm::paper_model(48);
+  hmm::SearchProfile prof(model, hmm::AlignMode::kLocalMultihit, 400);
+  profile::MsvProfile msv(prof);
+  profile::VitProfile vit(prof);
+  EXPECT_EQ(msv.base(), 190);
+  EXPECT_EQ(msv.bias(), 14);
+  EXPECT_EQ(msv.tbm(), 31);
+  EXPECT_EQ(msv.tec(), 3);
+  EXPECT_EQ(msv.tjb_for(400), 21);
+  EXPECT_NEAR(msv.scale(), 3.0 / M_LN2, 1e-5);
+  EXPECT_EQ(vit.entry(), -5100);
+  EXPECT_NEAR(vit.scale(), 500.0 / M_LN2, 1e-3);
+}
+
+TEST(Goldens, FrozenScores) {
+  auto model = hmm::paper_model(48);
+  hmm::SearchProfile prof(model, hmm::AlignMode::kLocalMultihit, 400);
+  profile::MsvProfile msv(prof);
+  profile::VitProfile vit(prof);
+
+  const Golden goldens[] = {
+      {100, -10.855669f, -10.741009f, -10.855669f, -7.8214f},
+      {157, -8.545177f, -8.651863f, -8.545177f, -7.2844f},
+      {214, -8.083079f, -7.689775f, -8.083079f, -6.5986f},
+      {271, -10.393570f, -9.981319f, -10.393570f, -7.5179f},
+  };
+
+  Pcg32 rng(12345);
+  for (const auto& g : goldens) {
+    auto seq = bio::random_sequence(g.L, rng);
+    ASSERT_EQ(seq.length(), g.L);
+    auto m = cpu::msv_scalar(msv, seq.codes.data(), g.L);
+    auto v = cpu::vit_scalar(vit, seq.codes.data(), g.L);
+    auto s = cpu::ssv_scalar(msv, seq.codes.data(), g.L);
+    float f = cpu::generic_forward(prof, seq.codes.data(), g.L, true);
+    EXPECT_FLOAT_EQ(m.score_nats, g.msv) << "L=" << g.L;
+    EXPECT_FLOAT_EQ(v.score_nats, g.vit) << "L=" << g.L;
+    EXPECT_FLOAT_EQ(s.score_nats, g.ssv) << "L=" << g.L;
+    EXPECT_NEAR(f, g.fwd, 1e-3f) << "L=" << g.L;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,218 @@
+// Plan-7 model, profile configuration, HMM I/O, builder, sampler.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "cpu/generic.hpp"
+#include "util/error.hpp"
+#include "hmm/builder.hpp"
+#include "hmm/generator.hpp"
+#include "hmm/hmm_io.hpp"
+#include "hmm/profile.hpp"
+#include "hmm/sampler.hpp"
+
+namespace {
+
+using namespace finehmm;
+using namespace finehmm::hmm;
+
+TEST(Plan7, GeneratedModelsValidateAcrossSizes) {
+  for (int M : {1, 2, 48, 100, 2405}) {
+    auto hmm = paper_model(M);
+    EXPECT_EQ(hmm.length(), M);
+    EXPECT_NO_THROW(hmm.validate());
+  }
+}
+
+TEST(Plan7, RenormalizeFixesPerturbedModel) {
+  auto hmm = paper_model(20);
+  hmm.mat(3, 0) += 0.5f;
+  EXPECT_THROW(hmm.validate(1e-4f), Error);
+  hmm.renormalize();
+  EXPECT_NO_THROW(hmm.validate(1e-4f));
+}
+
+TEST(Plan7, OccupancyInUnitRangeAndHighForMatchRichModels) {
+  auto hmm = paper_model(64);
+  auto occ = hmm.match_occupancy();
+  ASSERT_EQ(occ.size(), 65u);
+  for (int k = 1; k <= 64; ++k) {
+    EXPECT_GE(occ[k], 0.0f);
+    EXPECT_LE(occ[k], 1.0f + 1e-5f);
+  }
+  // With ~1% indel rates the middle of the model is nearly always used.
+  EXPECT_GT(occ[32], 0.9f);
+}
+
+TEST(Plan7, ConsensusPicksDominantResidues) {
+  std::vector<std::string> aln = {"MKVA", "MKVA", "MKVA", "MKVC"};
+  auto hmm = build_from_alignment(aln, "cons");
+  auto c = hmm.consensus();
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.substr(0, 3), "MKV") << "fully conserved columns, uppercase";
+  EXPECT_EQ(std::toupper(c[3]), 'A') << "majority residue";
+}
+
+TEST(HmmIo, RoundTripPreservesProbabilities) {
+  auto hmm = paper_model(33);
+  std::ostringstream out;
+  write_hmm(out, hmm);
+  std::istringstream in(out.str());
+  auto back = read_hmm(in);
+  ASSERT_EQ(back.length(), hmm.length());
+  EXPECT_EQ(back.name(), hmm.name());
+  for (int k = 1; k <= hmm.length(); ++k)
+    for (int a = 0; a < bio::kK; ++a)
+      EXPECT_NEAR(back.mat(k, a), hmm.mat(k, a), 2e-5f)
+          << "k=" << k << " a=" << a;
+  for (int k = 0; k <= hmm.length(); ++k)
+    for (int t = 0; t < kNTransitions; ++t)
+      EXPECT_NEAR(back.tr(k, static_cast<Plan7Transition>(t)),
+                  hmm.tr(k, static_cast<Plan7Transition>(t)), 2e-5f);
+  EXPECT_NO_THROW(back.validate(1e-2f));
+}
+
+TEST(HmmIo, StatsLinesRoundTrip) {
+  auto hmm = paper_model(24);
+  stats::ModelStats st;
+  st.msv = {-7.25, stats::kLambdaLog2};
+  st.vit = {-8.5, stats::kLambdaLog2};
+  st.fwd = {-3.125, stats::kLambdaLog2};
+  std::ostringstream out;
+  write_hmm(out, hmm, &st);
+  std::istringstream in(out.str());
+  std::optional<stats::ModelStats> back;
+  read_hmm(in, &back);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_NEAR(back->msv.mu, st.msv.mu, 1e-3);
+  EXPECT_NEAR(back->vit.mu, st.vit.mu, 1e-3);
+  EXPECT_NEAR(back->fwd.mu, st.fwd.mu, 1e-3);
+  EXPECT_NEAR(back->msv.lambda, stats::kLambdaLog2, 1e-4);
+}
+
+TEST(HmmIo, MissingStatsYieldsNullopt) {
+  auto hmm = paper_model(10);
+  std::ostringstream out;
+  write_hmm(out, hmm);  // no stats
+  std::istringstream in(out.str());
+  std::optional<stats::ModelStats> back;
+  read_hmm(in, &back);
+  EXPECT_FALSE(back.has_value());
+}
+
+TEST(HmmIo, RejectsGarbage) {
+  std::istringstream in("not an hmm file\n");
+  EXPECT_THROW(read_hmm(in), Error);
+}
+
+TEST(HmmIo, RejectsTruncatedFile) {
+  auto hmm = paper_model(5);
+  std::ostringstream out;
+  write_hmm(out, hmm);
+  std::string text = out.str();
+  std::istringstream in(text.substr(0, text.size() / 2));
+  EXPECT_THROW(read_hmm(in), Error);
+}
+
+TEST(Profile, EntryScoreMatchesUniformFragmentModel) {
+  auto hmm = paper_model(100);
+  SearchProfile prof(hmm, AlignMode::kLocalMultihit, 350);
+  float expected = std::log(2.0f / (100.0f * 101.0f));
+  for (int k = 0; k < 100; ++k)
+    EXPECT_FLOAT_EQ(prof.tsc(k, kPTBM), expected);
+}
+
+TEST(Profile, LengthModelNormalizes) {
+  auto hmm = paper_model(10);
+  SearchProfile prof(hmm, AlignMode::kLocalMultihit, 100);
+  auto xs = prof.xsc();
+  EXPECT_NEAR(std::exp(xs.n_loop) + std::exp(xs.n_move), 1.0, 1e-5);
+  EXPECT_NEAR(std::exp(xs.e_c) + std::exp(xs.e_j), 1.0, 1e-5);
+}
+
+TEST(Profile, UnihitDisablesJ) {
+  auto hmm = paper_model(10);
+  SearchProfile prof(hmm, AlignMode::kLocalUnihit, 100);
+  EXPECT_EQ(prof.xsc().e_j, kNegInf);
+  EXPECT_FLOAT_EQ(prof.xsc().e_c, 0.0f);
+}
+
+TEST(Profile, DegenerateScoresAreWeightedAverages) {
+  auto hmm = paper_model(50);
+  SearchProfile prof(hmm, AlignMode::kLocalMultihit, 350);
+  const auto& bg = bio::background_frequencies();
+  // B = {D(2), N(11)}.
+  for (int k = 1; k <= 50; ++k) {
+    float expect = (bg[2] * prof.msc(k, 2) + bg[11] * prof.msc(k, 11)) /
+                   (bg[2] + bg[11]);
+    EXPECT_NEAR(prof.msc(k, bio::kCodeB), expect, 1e-4f);
+  }
+}
+
+TEST(Profile, Null1MatchesClosedForm) {
+  for (int L : {10, 100, 1000}) {
+    float lf = static_cast<float>(L);
+    float expect =
+        lf * std::log(lf / (lf + 1.0f)) + std::log(1.0f / (lf + 1.0f));
+    // Allow for float rounding differences between 1 - L/(L+1) and 1/(L+1).
+    EXPECT_NEAR(null1_score(L), expect, 2e-3f);
+  }
+}
+
+TEST(Sampler, HomologLengthsAreReasonable) {
+  auto hmm = paper_model(80);
+  Pcg32 rng(5);
+  for (int i = 0; i < 20; ++i) {
+    auto seq = sample_homolog(hmm, rng);
+    EXPECT_GE(seq.length(), 1u);
+    EXPECT_LT(seq.length(), 2000u);
+    for (auto c : seq.codes) EXPECT_LT(c, bio::kK);
+  }
+}
+
+TEST(Builder, RecoversConservedColumns) {
+  // Five aligned sequences, perfectly conserved except one gappy column.
+  std::vector<std::string> aln = {
+      "ACDEF", "ACDEF", "AC-EF", "ACDEF", "ACDEF",
+  };
+  auto hmm = build_from_alignment(aln, "toy");
+  EXPECT_EQ(hmm.length(), 5);
+  // Column 1 is all-A: A must dominate the match distribution.
+  int a_code = bio::digitize('A');
+  for (int a = 0; a < bio::kK; ++a) {
+    if (a != a_code) {
+      EXPECT_GT(hmm.mat(1, a_code), hmm.mat(1, a));
+    }
+  }
+  EXPECT_NO_THROW(hmm.validate());
+}
+
+TEST(Builder, InsertColumnsBecomeInsertStates) {
+  // The lowercase-ish minority column (only 1/4 residues) is an insert.
+  std::vector<std::string> aln = {
+      "AC-DF", "AC-DF", "ACWDF", "AC-DF",
+  };
+  auto hmm = build_from_alignment(aln, "ins");
+  EXPECT_EQ(hmm.length(), 4);  // the W column fails the 50% threshold
+}
+
+TEST(Builder, RaggedAlignmentThrows) {
+  std::vector<std::string> aln = {"ACD", "AC"};
+  EXPECT_THROW(build_from_alignment(aln, "bad"), Error);
+}
+
+TEST(Builder, BuiltModelScoresItsTrainingSequences) {
+  std::vector<std::string> aln = {
+      "MKVLATGCEW", "MKVLATGCEW", "MKVLSTGCEW", "MKVLATGAEW",
+  };
+  auto hmm = build_from_alignment(aln, "train");
+  SearchProfile prof(hmm, AlignMode::kLocalMultihit, 10);
+  auto train = bio::digitize("MKVLATGCEW");
+  auto junk = bio::digitize("GGGGGGGGGG");
+  float self = cpu::generic_viterbi(prof, train.data(), train.size());
+  float other = cpu::generic_viterbi(prof, junk.data(), junk.size());
+  EXPECT_GT(self, other + 3.0f);
+}
+
+}  // namespace

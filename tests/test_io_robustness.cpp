@@ -1,0 +1,111 @@
+// Robustness of the parsers: mutated / truncated / hostile inputs must
+// throw cleanly (finehmm::Error or derived), never crash or hang.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bio/fasta.hpp"
+#include "hmm/generator.hpp"
+#include "hmm/hmm_io.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace finehmm;
+
+std::string valid_hmm_text() {
+  auto model = hmm::paper_model(12);
+  std::ostringstream out;
+  hmm::write_hmm(out, model);
+  return out.str();
+}
+
+TEST(IoRobustness, TruncatedHmmAtEveryLineBoundary) {
+  std::string text = valid_hmm_text();
+  std::vector<std::size_t> cut_points;
+  for (std::size_t i = 0; i < text.size(); ++i)
+    if (text[i] == '\n') cut_points.push_back(i);
+  int parsed = 0, threw = 0;
+  for (std::size_t cut : cut_points) {
+    std::istringstream in(text.substr(0, cut));
+    try {
+      hmm::read_hmm(in);
+      ++parsed;
+    } catch (const Error&) {
+      ++threw;
+    }
+  }
+  // Only the final '//' cut may still parse; everything shorter throws.
+  EXPECT_GE(threw, static_cast<int>(cut_points.size()) - 1);
+  EXPECT_LE(parsed, 1);
+}
+
+TEST(IoRobustness, MutatedHmmTokensNeverCrash) {
+  std::string text = valid_hmm_text();
+  Pcg32 rng(99);
+  for (int rep = 0; rep < 200; ++rep) {
+    std::string mutated = text;
+    // Flip a few characters to hostile values.
+    for (int m = 0; m < 5; ++m) {
+      std::size_t pos = rng.below(static_cast<std::uint32_t>(mutated.size()));
+      const char hostile[] = {'x', '*', '-', '\t', '9', '.', 'e'};
+      mutated[pos] = hostile[rng.below(sizeof(hostile))];
+    }
+    std::istringstream in(mutated);
+    try {
+      auto model = hmm::read_hmm(in);
+      // If it parsed, it must at least be structurally sane.
+      EXPECT_GE(model.length(), 1);
+    } catch (const Error&) {
+      // fine
+    } catch (const std::exception&) {
+      // std::stoi and friends may throw std:: exceptions on hostile
+      // numerics before our validation sees them: acceptable, no crash.
+    }
+  }
+}
+
+TEST(IoRobustness, FastaWithHostileBytes) {
+  const char* cases[] = {
+      ">",
+      ">\n",
+      ">a\n\n\n",
+      ">a\nACGT123\n",       // digits are invalid residues
+      ">a desc\nAC DE\n",    // internal whitespace is skipped
+      ">a\n>b\nAC\n",        // empty first record
+  };
+  for (const char* c : cases) {
+    std::istringstream in(c);
+    try {
+      auto db = bio::read_fasta(in);
+      for (const auto& s : db) EXPECT_FALSE(s.name.empty());
+    } catch (const Error&) {
+      // fine
+    }
+  }
+}
+
+TEST(IoRobustness, EmptyInputsGiveEmptyOrThrow) {
+  {
+    std::istringstream in("");
+    auto db = bio::read_fasta(in);
+    EXPECT_TRUE(db.empty());
+  }
+  {
+    std::istringstream in("");
+    EXPECT_THROW(hmm::read_hmm(in), Error);
+  }
+}
+
+TEST(IoRobustness, HmmWithWrongNodeCountThrows) {
+  std::string text = valid_hmm_text();
+  // Claim 13 nodes while providing 12.
+  auto pos = text.find("LENG  12");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 8, "LENG  13");
+  std::istringstream in(text);
+  EXPECT_THROW(hmm::read_hmm(in), Error);
+}
+
+}  // namespace

@@ -1,0 +1,109 @@
+// Shared-memory layouts and launch planning invariants.
+#include <gtest/gtest.h>
+
+#include "gpu/kernel_config.hpp"
+#include "hmm/generator.hpp"
+
+namespace {
+
+using namespace finehmm;
+using gpu::MsvSmemLayout;
+using gpu::VitSmemLayout;
+
+TEST(SmemLayout, MsvRegionsAreDisjoint) {
+  MsvSmemLayout l;
+  l.mpad = 416;  // M=400
+  l.warps = 8;
+  l.shared_params = true;
+  // Param rows end where warp rows start.
+  EXPECT_EQ(l.param_row_offset(bio::kKp - 1) + l.mpad, l.param_bytes());
+  for (int w = 0; w < l.warps; ++w) {
+    EXPECT_GE(l.row_offset(w), l.param_bytes());
+    if (w > 0)
+      EXPECT_EQ(l.row_offset(w), l.row_offset(w - 1) + l.row_elems());
+  }
+  EXPECT_LE(l.row_offset(l.warps - 1) + l.row_elems(), l.total_bytes());
+}
+
+TEST(SmemLayout, VitRegionsAreDisjoint) {
+  VitSmemLayout l;
+  l.mpad = 128;
+  l.warps = 4;
+  l.shared_params = true;
+  // The 7 transition arrays follow the emission table contiguously.
+  EXPECT_EQ(l.trans_offset(0), static_cast<std::size_t>(bio::kKp) * l.mpad * 2);
+  EXPECT_EQ(l.trans_offset(6) + l.mpad * 2, l.param_bytes());
+  for (int w = 0; w < l.warps; ++w)
+    for (int a = 0; a < 3; ++a) {
+      EXPECT_GE(l.row_offset(w, a), l.param_bytes());
+      EXPECT_LE(l.row_offset(w, a) + l.row_elems() * 2, l.total_bytes());
+    }
+  // M/I/D rows of one warp do not overlap.
+  EXPECT_EQ(l.row_offset(0, 1), l.row_offset(0, 0) + l.row_elems() * 2);
+  EXPECT_EQ(l.row_offset(1, 0), l.row_offset(0, 2) + l.row_elems() * 2);
+}
+
+TEST(SmemLayout, GlobalPlacementDropsParamRegion) {
+  MsvSmemLayout shared, global;
+  shared.mpad = global.mpad = 800;
+  shared.warps = global.warps = 8;
+  shared.shared_params = true;
+  global.shared_params = false;
+  EXPECT_EQ(global.param_bytes(), 0u);
+  EXPECT_LT(global.total_bytes(), shared.total_bytes());
+}
+
+TEST(LaunchPlan, SmemFitsDeviceForEveryFeasiblePlan) {
+  for (const auto& dev :
+       {simt::DeviceSpec::tesla_k40(), simt::DeviceSpec::gtx580()}) {
+    for (int M : hmm::kPaperModelSizes) {
+      for (auto stage : {gpu::Stage::kMsv, gpu::Stage::kViterbi}) {
+        for (auto placement :
+             {gpu::ParamPlacement::kShared, gpu::ParamPlacement::kGlobal}) {
+          auto plan = gpu::plan_launch(stage, placement, M, dev);
+          if (!plan.feasible) continue;
+          EXPECT_LE(plan.cfg.smem_bytes_per_block, dev.shared_mem_per_block);
+          EXPECT_GE(plan.cfg.warps_per_block, 1);
+          EXPECT_GE(plan.cfg.grid_blocks, 1);
+          EXPECT_GT(plan.occ.warps_per_sm, 0);
+        }
+      }
+    }
+  }
+}
+
+TEST(LaunchPlan, GlobalIsAlwaysFeasibleForPaperSizes) {
+  // The DP rows alone always fit; only shared params can overflow.
+  for (const auto& dev :
+       {simt::DeviceSpec::tesla_k40(), simt::DeviceSpec::gtx580()}) {
+    for (int M : hmm::kPaperModelSizes) {
+      auto plan = gpu::plan_launch(gpu::Stage::kMsv,
+                                   gpu::ParamPlacement::kGlobal, M, dev);
+      EXPECT_TRUE(plan.feasible) << dev.name << " M=" << M;
+    }
+  }
+}
+
+TEST(LaunchPlan, MsvSharedInfeasibleOnlyBeyond1528) {
+  // §IV: "models of size 1528 could be accommodated within the shared
+  // memory" for MSV; 2405 cannot.
+  auto dev = simt::DeviceSpec::tesla_k40();
+  EXPECT_TRUE(gpu::plan_launch(gpu::Stage::kMsv,
+                               gpu::ParamPlacement::kShared, 1528, dev)
+                  .feasible);
+  EXPECT_FALSE(gpu::plan_launch(gpu::Stage::kMsv,
+                                gpu::ParamPlacement::kShared, 2405, dev)
+                   .feasible);
+}
+
+TEST(LaunchPlan, FermiScratchIsAccounted) {
+  MsvSmemLayout kepler, fermi;
+  kepler.mpad = fermi.mpad = 128;
+  kepler.warps = fermi.warps = 8;
+  kepler.shuffle_scratch = false;
+  fermi.shuffle_scratch = true;
+  EXPECT_EQ(fermi.total_bytes() - kepler.total_bytes(),
+            8u * simt::kWarpSize * 4);
+}
+
+}  // namespace

@@ -1,0 +1,89 @@
+// Model library (pressed database) round trip and lazy loading.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "hmm/generator.hpp"
+#include "hmm/model_db.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace finehmm;
+using namespace finehmm::hmm;
+
+std::vector<ModelEntry> demo_entries(int n) {
+  std::vector<ModelEntry> entries;
+  for (int i = 0; i < n; ++i) {
+    ModelEntry e;
+    RandomHmmSpec spec;
+    spec.length = 10 + i * 7;
+    spec.seed = 2000 + i;
+    e.model = generate_hmm(spec);
+    e.model.set_name("LIB" + std::to_string(i));
+    if (i % 2 == 0) {
+      stats::ModelStats st;
+      st.msv = {-5.0 - i, stats::kLambdaLog2};
+      st.vit = {-6.0 - i, stats::kLambdaLog2};
+      st.fwd = {-2.0 - i, stats::kLambdaLog2};
+      e.model_stats = st;
+    }
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+TEST(ModelDb, StreamRoundTrip) {
+  auto entries = demo_entries(5);
+  std::ostringstream out(std::ios::binary);
+  write_model_db(out, entries);
+  std::istringstream in(out.str(), std::ios::binary);
+  auto back = read_model_db(in);
+  ASSERT_EQ(back.size(), entries.size());
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back[i].model.name(), entries[i].model.name());
+    EXPECT_EQ(back[i].model.length(), entries[i].model.length());
+    EXPECT_EQ(back[i].model_stats.has_value(),
+              entries[i].model_stats.has_value());
+    if (back[i].model_stats)
+      EXPECT_EQ(back[i].model_stats->msv.mu, entries[i].model_stats->msv.mu);
+    // Spot-check a probability for bit exactness.
+    EXPECT_EQ(back[i].model.mat(1, 3), entries[i].model.mat(1, 3));
+  }
+}
+
+TEST(ModelDb, LazyReaderLoadsByIndexInAnyOrder) {
+  auto entries = demo_entries(4);
+  std::string path = "/tmp/finehmm_test_lib.fhpdb";
+  write_model_db_file(path, entries);
+  ModelDbReader reader(path);
+  ASSERT_EQ(reader.size(), 4u);
+  for (std::size_t i : {2u, 0u, 3u, 1u, 2u}) {
+    auto e = reader.load(i);
+    EXPECT_EQ(e.model.name(), entries[i].model.name());
+    EXPECT_EQ(e.model.length(), entries[i].model.length());
+  }
+  EXPECT_THROW(reader.load(4), Error);
+  std::remove(path.c_str());
+}
+
+TEST(ModelDb, RejectsGarbageAndTruncation) {
+  {
+    std::istringstream in("garbage data here", std::ios::binary);
+    EXPECT_THROW(read_model_db(in), Error);
+  }
+  auto entries = demo_entries(3);
+  std::ostringstream out(std::ios::binary);
+  write_model_db(out, entries);
+  std::string bytes = out.str();
+  std::istringstream in(bytes.substr(0, bytes.size() / 2), std::ios::binary);
+  EXPECT_THROW(read_model_db(in), Error);
+}
+
+TEST(ModelDb, RefusesEmptyLibrary) {
+  std::ostringstream out(std::ios::binary);
+  EXPECT_THROW(write_model_db(out, {}), Error);
+}
+
+}  // namespace

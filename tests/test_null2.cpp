@@ -1,0 +1,115 @@
+// null2 composition-bias correction.
+#include <gtest/gtest.h>
+
+#include "bio/synthetic.hpp"
+#include "cpu/trace.hpp"
+#include "hmm/generator.hpp"
+#include "hmm/sampler.hpp"
+#include "pipeline/null2.hpp"
+#include "pipeline/pipeline.hpp"
+#include "pipeline/workload.hpp"
+
+namespace {
+
+using namespace finehmm;
+
+TEST(Null2, CorrectionIsNonNegative) {
+  auto model = hmm::paper_model(60);
+  hmm::SearchProfile prof(model, hmm::AlignMode::kLocalMultihit, 200);
+  Pcg32 rng(1);
+  for (int rep = 0; rep < 10; ++rep) {
+    auto seq = rep % 2 ? hmm::sample_homolog(model, rng)
+                       : bio::random_sequence(100, rng);
+    auto trace = cpu::viterbi_trace(prof, seq.codes.data(), seq.length());
+    EXPECT_GE(pipeline::null2_correction(prof, trace, seq.codes.data()),
+              0.0f);
+  }
+}
+
+TEST(Null2, UnbiasedHomologsLoseAlmostNothing) {
+  auto model = hmm::paper_model(80);
+  hmm::SearchProfile prof(model, hmm::AlignMode::kLocalMultihit, 200);
+  Pcg32 rng(5);
+  double total = 0.0;
+  for (int rep = 0; rep < 8; ++rep) {
+    auto seq = hmm::sample_homolog(model, rng);
+    auto trace = cpu::viterbi_trace(prof, seq.codes.data(), seq.length());
+    total += pipeline::null2_correction(prof, trace, seq.codes.data());
+  }
+  // True homologs genuinely share the model's composition, so a few nats
+  // of correction are expected — but not tens.
+  EXPECT_LT(total / 8.0, 8.0);
+}
+
+TEST(Null2, BiasedSequenceGetsLargerCorrectionThanCleanOne) {
+  // A model with an extremely A-rich block: a poly-A target aligns it and
+  // should be flagged as compositionally biased.
+  hmm::Plan7Hmm model(40);
+  model.set_name("arich");
+  const auto& bg = bio::background_frequencies();
+  for (int k = 1; k <= 40; ++k)
+    for (int a = 0; a < bio::kK; ++a)
+      model.mat(k, a) = a == 0 ? 0.9f : 0.1f / 19.0f;
+  for (int k = 0; k <= 40; ++k) {
+    for (int a = 0; a < bio::kK; ++a) model.ins(k, a) = bg[a];
+    model.tr(k, hmm::kTMM) = 0.98f;
+    model.tr(k, hmm::kTMI) = 0.01f;
+    model.tr(k, hmm::kTMD) = 0.01f;
+    model.tr(k, hmm::kTIM) = 0.5f;
+    model.tr(k, hmm::kTII) = 0.5f;
+    model.tr(k, hmm::kTDM) = 0.5f;
+    model.tr(k, hmm::kTDD) = 0.5f;
+  }
+  model.tr(40, hmm::kTMM) = 1.0f;
+  model.tr(40, hmm::kTMI) = 0.0f;
+  model.tr(40, hmm::kTMD) = 0.0f;
+  hmm::SearchProfile prof(model, hmm::AlignMode::kLocalMultihit, 100);
+
+  std::vector<std::uint8_t> polya(100, 0);  // AAAA...
+  auto trace_a = cpu::viterbi_trace(prof, polya.data(), polya.size());
+  float bias_a = pipeline::null2_correction(prof, trace_a, polya.data());
+
+  Pcg32 rng(9);
+  auto clean = bio::random_sequence(100, rng);
+  auto trace_c =
+      cpu::viterbi_trace(prof, clean.codes.data(), clean.length());
+  float bias_c =
+      pipeline::null2_correction(prof, trace_c, clean.codes.data());
+
+  EXPECT_GT(bias_a, bias_c + 5.0f)
+      << "poly-A vs A-rich model must be heavily corrected";
+}
+
+TEST(Null2, PipelineBiasColumnIsPopulated) {
+  auto model = hmm::paper_model(70);
+  pipeline::WorkloadSpec spec;
+  spec.db.n_sequences = 200;
+  spec.homolog_fraction = 0.05;
+  auto db = pipeline::make_workload(model, spec);
+  pipeline::HmmSearch search(model);  // null2 on by default
+  auto result = search.run_cpu(db);
+  ASSERT_FALSE(result.hits.empty());
+  for (const auto& hit : result.hits) EXPECT_GE(hit.bias_bits, 0.0f);
+}
+
+TEST(Null2, DisablingTheCorrectionRaisesScores) {
+  auto model = hmm::paper_model(70);
+  pipeline::WorkloadSpec spec;
+  spec.db.n_sequences = 200;
+  spec.homolog_fraction = 0.05;
+  auto db = pipeline::make_workload(model, spec);
+
+  pipeline::Thresholds with;
+  pipeline::Thresholds without;
+  without.null2_correction = false;
+  pipeline::HmmSearch s_with(model, with);
+  pipeline::HmmSearch s_without(model, without);
+  auto r_with = s_with.run_cpu(db);
+  auto r_without = s_without.run_cpu(db);
+  ASSERT_FALSE(r_with.hits.empty());
+  ASSERT_EQ(r_with.hits.size(), r_without.hits.size());
+  for (std::size_t i = 0; i < r_with.hits.size(); ++i)
+    EXPECT_LE(r_with.hits[i].fwd_bits, r_without.hits[i].fwd_bits + 1e-4f);
+}
+
+}  // namespace

@@ -1,0 +1,54 @@
+// Kernel analysis report invariants.
+#include <gtest/gtest.h>
+
+#include "bio/synthetic.hpp"
+#include "gpu/search.hpp"
+#include "hmm/generator.hpp"
+#include "perf/report.hpp"
+
+namespace {
+
+using namespace finehmm;
+
+TEST(PerfReport, SharesSumToOneAndFieldsAreSane) {
+  auto model = hmm::paper_model(100);
+  hmm::SearchProfile prof(model, hmm::AlignMode::kLocalMultihit, 400);
+  profile::MsvProfile msv(prof);
+  Pcg32 rng(3);
+  bio::SequenceDatabase db;
+  for (int i = 0; i < 20; ++i) db.add(bio::random_sequence(200, rng));
+  bio::PackedDatabase packed(db);
+
+  auto k40 = simt::DeviceSpec::tesla_k40();
+  gpu::GpuSearch search(k40);
+  auto run = search.run_msv(msv, packed, gpu::ParamPlacement::kShared);
+  auto a = perf::analyze_kernel(k40, run.counters, run.plan.occ,
+                                run.plan.cfg.warps_per_block);
+  EXPECT_NEAR(a.alu_share + a.ldst_share + a.sync_share, 1.0, 1e-9);
+  EXPECT_GT(a.warp_ops_per_cell, 0.0);
+  EXPECT_LT(a.warp_ops_per_cell, 10.0);
+  EXPECT_EQ(a.sync_share, 0.0) << "warp-synchronous kernel has no barriers";
+  EXPECT_DOUBLE_EQ(a.smem_conflict_rate, 0.0) << "conflict-free layout";
+  EXPECT_GT(a.time.gcells_per_s, 0.0);
+  EXPECT_FALSE(std::string(a.bound_name()).empty());
+  EXPECT_FALSE(perf::format_analysis(a).empty());
+}
+
+TEST(PerfReport, SyncKernelShowsBarrierShare) {
+  auto model = hmm::paper_model(64);
+  hmm::SearchProfile prof(model, hmm::AlignMode::kLocalMultihit, 400);
+  profile::MsvProfile msv(prof);
+  Pcg32 rng(5);
+  bio::SequenceDatabase db;
+  for (int i = 0; i < 10; ++i) db.add(bio::random_sequence(150, rng));
+  bio::PackedDatabase packed(db);
+
+  auto k40 = simt::DeviceSpec::tesla_k40();
+  gpu::GpuSearch search(k40);
+  auto run = search.run_msv_sync(msv, packed,
+                                 gpu::ParamPlacement::kShared, 4);
+  auto a = perf::analyze_kernel(k40, run.counters, run.plan.occ, 4);
+  EXPECT_GT(a.sync_share, 0.2) << "barriers must dominate the sync kernel";
+}
+
+}  // namespace

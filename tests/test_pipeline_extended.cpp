@@ -1,0 +1,227 @@
+// Extended pipeline features: auto placement, multi-GPU pipeline, hit
+// alignments, multi-model search.
+#include <gtest/gtest.h>
+
+#include "gpu/placement_policy.hpp"
+#include "hmm/generator.hpp"
+#include "pipeline/multi_search.hpp"
+#include "pipeline/pipeline.hpp"
+#include "pipeline/workload.hpp"
+
+namespace {
+
+using namespace finehmm;
+
+struct ExtFixture {
+  hmm::Plan7Hmm model;
+  bio::SequenceDatabase db;
+  bio::PackedDatabase packed;
+
+  explicit ExtFixture(int M = 80, std::size_t n = 300, double hom = 0.04)
+      : model(hmm::paper_model(M)) {
+    pipeline::WorkloadSpec spec;
+    spec.db.n_sequences = n;
+    spec.db.log_length_mu = 4.8;
+    spec.homolog_fraction = hom;
+    spec.db.seed = 1001;
+    db = pipeline::make_workload(model, spec);
+    packed = bio::PackedDatabase(db);
+  }
+};
+
+TEST(PlacementPolicy, MatchesPaperThresholdOnK40) {
+  auto k40 = simt::DeviceSpec::tesla_k40();
+  // Fig. 9: shared wins for MSV up to ~1002, global beyond.
+  for (int M : {48, 100, 200, 400, 800}) {
+    auto c = gpu::choose_placement(gpu::Stage::kMsv, M, k40);
+    EXPECT_EQ(c.placement, gpu::ParamPlacement::kShared) << "M=" << M;
+  }
+  for (int M : {1528, 2405}) {
+    auto c = gpu::choose_placement(gpu::Stage::kMsv, M, k40);
+    EXPECT_EQ(c.placement, gpu::ParamPlacement::kGlobal) << "M=" << M;
+  }
+}
+
+TEST(PlacementPolicy, AlwaysFeasibleForPaperSizes) {
+  for (const auto& dev :
+       {simt::DeviceSpec::tesla_k40(), simt::DeviceSpec::gtx580()}) {
+    for (int M : hmm::kPaperModelSizes) {
+      for (auto stage : {gpu::Stage::kMsv, gpu::Stage::kViterbi}) {
+        auto c = gpu::choose_placement(stage, M, dev);
+        EXPECT_TRUE(c.plan.feasible)
+            << dev.name << " M=" << M << " stage=" << static_cast<int>(stage);
+        EXPECT_GT(c.plan.occ.warps_per_sm, 0);
+      }
+    }
+  }
+}
+
+TEST(PipelineExtended, AutoPlacementMatchesExplicit) {
+  ExtFixture fx;
+  pipeline::HmmSearch search(fx.model);
+  auto k40 = simt::DeviceSpec::tesla_k40();
+  auto automatic = search.run_gpu_auto(k40, fx.db, fx.packed);
+  auto manual = search.run_gpu(k40, fx.db, fx.packed,
+                               gpu::ParamPlacement::kShared);
+  EXPECT_EQ(automatic.hits.size(), manual.hits.size());
+  EXPECT_EQ(automatic.msv.n_passed, manual.msv.n_passed);
+}
+
+TEST(PipelineExtended, MultiGpuPipelineMatchesSingleDevice) {
+  ExtFixture fx;
+  pipeline::HmmSearch search(fx.model);
+  auto k40 = simt::DeviceSpec::tesla_k40();
+  std::vector<simt::DeviceSpec> fermis(4, simt::DeviceSpec::gtx580());
+
+  auto single = search.run_gpu(k40, fx.db, fx.packed,
+                               gpu::ParamPlacement::kShared);
+  auto multi = search.run_gpu_multi(fermis, fx.db, fx.packed,
+                                    gpu::ParamPlacement::kShared);
+  ASSERT_EQ(multi.combined.hits.size(), single.hits.size());
+  for (std::size_t i = 0; i < single.hits.size(); ++i) {
+    EXPECT_EQ(multi.combined.hits[i].seq_index, single.hits[i].seq_index);
+    EXPECT_FLOAT_EQ(multi.combined.hits[i].fwd_bits, single.hits[i].fwd_bits);
+  }
+  EXPECT_EQ(multi.msv_per_device.size(), 4u);
+}
+
+TEST(PipelineExtended, HitAlignmentsAreProducedOnRequest) {
+  ExtFixture fx(60, 250, 0.06);
+  pipeline::Thresholds thr;
+  thr.compute_alignments = true;
+  pipeline::HmmSearch search(fx.model, thr);
+  auto result = search.run_cpu(fx.db);
+  ASSERT_FALSE(result.hits.empty());
+  for (const auto& hit : result.hits) {
+    EXPECT_FALSE(hit.alignments.empty()) << hit.name;
+    for (const auto& a : hit.alignments) {
+      EXPECT_EQ(a.model_line.size(), a.seq_line.size());
+      EXPECT_GE(a.k_start, 1);
+      EXPECT_LE(a.k_end, fx.model.length());
+    }
+  }
+}
+
+TEST(PipelineExtended, ParallelCpuMatchesSerial) {
+  ExtFixture fx(90, 400, 0.03);
+  pipeline::HmmSearch search(fx.model);
+  auto serial = search.run_cpu(fx.db);
+  for (std::size_t threads : {1u, 2u, 4u}) {
+    auto parallel = search.run_cpu_parallel(fx.db, threads);
+    ASSERT_EQ(parallel.hits.size(), serial.hits.size()) << threads;
+    for (std::size_t i = 0; i < serial.hits.size(); ++i) {
+      EXPECT_EQ(parallel.hits[i].seq_index, serial.hits[i].seq_index);
+      EXPECT_FLOAT_EQ(parallel.hits[i].fwd_bits, serial.hits[i].fwd_bits);
+    }
+    EXPECT_EQ(parallel.msv.n_passed, serial.msv.n_passed);
+    EXPECT_EQ(parallel.vit.n_passed, serial.vit.n_passed);
+  }
+}
+
+TEST(PipelineExtended, ParallelEngineHonoursSsvPrefilter) {
+  ExtFixture fx(90, 400, 0.03);
+  pipeline::Thresholds thr;
+  thr.use_ssv_prefilter = true;
+  pipeline::HmmSearch search(fx.model, thr);
+  auto serial = search.run_cpu(fx.db);
+  auto parallel = search.run_cpu_parallel(fx.db, 3);
+  EXPECT_EQ(serial.ssv.n_passed, parallel.ssv.n_passed);
+  EXPECT_EQ(serial.msv.n_passed, parallel.msv.n_passed);
+  ASSERT_EQ(serial.hits.size(), parallel.hits.size());
+  for (std::size_t i = 0; i < serial.hits.size(); ++i)
+    EXPECT_EQ(serial.hits[i].seq_index, parallel.hits[i].seq_index);
+}
+
+TEST(PipelineExtended, GpuEngineHonoursSsvPrefilter) {
+  ExtFixture fx(72, 300, 0.04);
+  pipeline::Thresholds thr;
+  thr.use_ssv_prefilter = true;
+  pipeline::HmmSearch search(fx.model, thr);
+  auto cpu = search.run_cpu(fx.db);
+  auto gpu = search.run_gpu(simt::DeviceSpec::tesla_k40(), fx.db, fx.packed,
+                            gpu::ParamPlacement::kShared);
+  EXPECT_EQ(cpu.ssv.n_passed, gpu.ssv.n_passed);
+  EXPECT_EQ(cpu.msv.n_passed, gpu.msv.n_passed);
+  ASSERT_EQ(cpu.hits.size(), gpu.hits.size());
+  for (std::size_t i = 0; i < cpu.hits.size(); ++i)
+    EXPECT_EQ(cpu.hits[i].seq_index, gpu.hits[i].seq_index);
+}
+
+TEST(PipelineExtended, SsvPrefilterKeepsSensitivity) {
+  ExtFixture fx(100, 500, 0.04);
+  pipeline::Thresholds base;
+  pipeline::Thresholds with_ssv;
+  with_ssv.use_ssv_prefilter = true;
+  pipeline::HmmSearch s_base(fx.model, base);
+  pipeline::HmmSearch s_ssv(fx.model, with_ssv);
+
+  auto r_base = s_base.run_cpu(fx.db);
+  auto r_ssv = s_ssv.run_cpu(fx.db);
+
+  // The pre-filter must discard most of the database...
+  EXPECT_GT(r_ssv.ssv.n_in, 0u);
+  EXPECT_LT(r_ssv.ssv.pass_rate(), 0.25);
+  // ...while keeping essentially all true hits (full-length homologs
+  // always carry one strong segment).
+  ASSERT_FALSE(r_base.hits.empty());
+  EXPECT_GE(r_ssv.hits.size() + 1, r_base.hits.size());
+  // And MSV now runs on far fewer sequences.
+  EXPECT_LT(r_ssv.msv.n_in, fx.db.size() / 2);
+}
+
+TEST(PipelineExtended, SearchesAreDeterministic) {
+  // No hidden global state: identical inputs -> identical outputs, for
+  // both engines, run twice from the same HmmSearch instance.
+  ExtFixture fx(64, 200, 0.05);
+  pipeline::HmmSearch search(fx.model);
+  auto a = search.run_cpu(fx.db);
+  auto b = search.run_cpu(fx.db);
+  ASSERT_EQ(a.hits.size(), b.hits.size());
+  for (std::size_t i = 0; i < a.hits.size(); ++i) {
+    EXPECT_EQ(a.hits[i].seq_index, b.hits[i].seq_index);
+    EXPECT_EQ(a.hits[i].evalue, b.hits[i].evalue);
+    EXPECT_EQ(a.hits[i].fwd_bits, b.hits[i].fwd_bits);
+  }
+  auto g1 = search.run_gpu_auto(simt::DeviceSpec::tesla_k40(), fx.db,
+                                fx.packed);
+  auto g2 = search.run_gpu_auto(simt::DeviceSpec::tesla_k40(), fx.db,
+                                fx.packed);
+  ASSERT_EQ(g1.hits.size(), g2.hits.size());
+  for (std::size_t i = 0; i < g1.hits.size(); ++i)
+    EXPECT_EQ(g1.hits[i].evalue, g2.hits[i].evalue);
+}
+
+TEST(MultiSearch, FindsHomologsOfTheRightFamily) {
+  // Two distinct families; homologs of family A must hit A, not B.
+  auto fam_a = hmm::paper_model(70);
+  auto fam_b = hmm::paper_model(90);
+  fam_a.set_name("famA");
+  fam_b.set_name("famB");
+
+  pipeline::WorkloadSpec spec;
+  spec.db.n_sequences = 250;
+  spec.homolog_fraction = 0.08;  // homologs of famA only
+  auto db = pipeline::make_workload(fam_a, spec);
+  bio::PackedDatabase packed(db);
+
+  std::vector<hmm::Plan7Hmm> models;
+  models.push_back(fam_a);
+  models.push_back(fam_b);
+  pipeline::MultiSearch multi(std::move(models));
+
+  auto cpu_results = multi.run_cpu(db);
+  ASSERT_EQ(cpu_results.size(), 2u);
+  EXPECT_GT(cpu_results[0].result.hits.size(), 5u);
+  EXPECT_LT(cpu_results[1].result.hits.size(),
+            cpu_results[0].result.hits.size() / 2);
+
+  auto gpu_results =
+      multi.run_gpu(simt::DeviceSpec::tesla_k40(), db, packed);
+  ASSERT_EQ(gpu_results.size(), 2u);
+  EXPECT_EQ(gpu_results[0].result.hits.size(),
+            cpu_results[0].result.hits.size());
+  EXPECT_EQ(gpu_results[1].result.hits.size(),
+            cpu_results[1].result.hits.size());
+}
+
+}  // namespace

@@ -1,0 +1,163 @@
+// Posterior decoding and domain definition.
+#include <gtest/gtest.h>
+
+#include "bio/synthetic.hpp"
+#include "cpu/generic.hpp"
+#include "cpu/posterior.hpp"
+#include "hmm/generator.hpp"
+#include "hmm/sampler.hpp"
+
+namespace {
+
+using namespace finehmm;
+
+struct PostFixture {
+  hmm::Plan7Hmm model;
+  hmm::SearchProfile prof;
+  explicit PostFixture(int M, std::uint64_t seed = 8)
+      : model([&] {
+          hmm::RandomHmmSpec spec;
+          spec.length = M;
+          spec.seed = seed;
+          return hmm::generate_hmm(spec);
+        }()),
+        prof(model, hmm::AlignMode::kLocalMultihit, 300) {}
+};
+
+TEST(Posterior, TotalMatchesGenericForward) {
+  PostFixture fx(50);
+  Pcg32 rng(3);
+  for (int rep = 0; rep < 5; ++rep) {
+    std::size_t L = 20 + rng.below(150);
+    auto seq = bio::random_sequence(L, rng);
+    auto pm = cpu::posterior_matrices(fx.prof, seq.codes.data(), L);
+    float ref = cpu::generic_forward(fx.prof, seq.codes.data(), L, true);
+    EXPECT_NEAR(pm.total, ref, 1e-3f);
+  }
+}
+
+TEST(Posterior, ForwardTimesBackwardIsConstantAcrossRows) {
+  // For every row i, summing fwd*bwd over all states that "hold" the
+  // parse at that point must reproduce the total probability.  We verify
+  // via the emission decomposition: mocc + N/J/C loop posteriors == 1.
+  PostFixture fx(40);
+  Pcg32 rng(5);
+  auto seq = hmm::sample_homolog(fx.model, rng);
+  std::size_t L = seq.length();
+  auto pm = cpu::posterior_matrices(fx.prof, seq.codes.data(), L);
+  auto mocc = cpu::model_occupancy(pm);
+  const auto xs = fx.prof.xsc_for(static_cast<int>(L));
+
+  for (std::size_t i = 1; i <= L; ++i) {
+    auto loop_post = [&](const std::vector<float>& f,
+                         const std::vector<float>& b, float loop) {
+      float v = f[i - 1] + loop + b[i];
+      return std::isfinite(v) ? std::exp(v - pm.total) : 0.0f;
+    };
+    float flank = loop_post(pm.fwd_n, pm.bwd_n, xs.n_loop) +
+                  loop_post(pm.fwd_j, pm.bwd_j, xs.j_loop) +
+                  loop_post(pm.fwd_c, pm.bwd_c, xs.c_loop);
+    EXPECT_NEAR(mocc[i - 1] + flank, 1.0f, 2e-2f) << "row " << i;
+  }
+}
+
+TEST(Posterior, OccupancyHighInsideMotifLowOutside) {
+  PostFixture fx(60);
+  Pcg32 rng(11);
+  // Construct: 100 random + full homolog core + 100 random.
+  auto flank1 = bio::random_sequence(100, rng);
+  hmm::SampleOptions opts;
+  opts.fragment_prob = 0.0;
+  opts.mean_flank = 1e-9;  // no extra flanks
+  auto core = hmm::sample_homolog(fx.model, rng, opts);
+  auto flank2 = bio::random_sequence(100, rng);
+  std::vector<std::uint8_t> seq;
+  seq.insert(seq.end(), flank1.codes.begin(), flank1.codes.end());
+  std::size_t core_begin = seq.size();
+  seq.insert(seq.end(), core.codes.begin(), core.codes.end());
+  std::size_t core_end = seq.size();
+  seq.insert(seq.end(), flank2.codes.begin(), flank2.codes.end());
+
+  auto pm = cpu::posterior_matrices(fx.prof, seq.data(), seq.size());
+  auto mocc = cpu::model_occupancy(pm);
+  // Mean occupancy inside the core far exceeds the flanks.
+  double inside = 0.0, outside = 0.0;
+  for (std::size_t i = core_begin; i < core_end; ++i) inside += mocc[i];
+  inside /= static_cast<double>(core_end - core_begin);
+  for (std::size_t i = 0; i < 80; ++i) outside += mocc[i];
+  outside /= 80.0;
+  EXPECT_GT(inside, 0.85);
+  EXPECT_LT(outside, 0.15);
+}
+
+TEST(Posterior, SinglePlantedMotifYieldsOneDomainAtTheRightPlace) {
+  PostFixture fx(60);
+  Pcg32 rng(13);
+  auto flank1 = bio::random_sequence(120, rng);
+  hmm::SampleOptions opts;
+  opts.fragment_prob = 0.0;
+  opts.mean_flank = 1e-9;
+  auto core = hmm::sample_homolog(fx.model, rng, opts);
+  auto flank2 = bio::random_sequence(120, rng);
+  std::vector<std::uint8_t> seq;
+  seq.insert(seq.end(), flank1.codes.begin(), flank1.codes.end());
+  std::size_t core_begin = seq.size() + 1;  // 1-based
+  seq.insert(seq.end(), core.codes.begin(), core.codes.end());
+  std::size_t core_end = seq.size();
+  seq.insert(seq.end(), flank2.codes.begin(), flank2.codes.end());
+
+  auto domains = cpu::define_domains(fx.prof, seq.data(), seq.size());
+  ASSERT_EQ(domains.size(), 1u);
+  const auto& d = domains[0];
+  EXPECT_NEAR(static_cast<double>(d.i_start),
+              static_cast<double>(core_begin), 12.0);
+  EXPECT_NEAR(static_cast<double>(d.i_end), static_cast<double>(core_end),
+              12.0);
+  EXPECT_GT(d.bits, 20.0f);
+  ASSERT_FALSE(d.alignments.empty());
+  EXPECT_GE(d.alignments.front().i_start, d.i_start);
+  EXPECT_LE(d.alignments.back().i_end, d.i_end);
+}
+
+TEST(Posterior, TwoPlantedCopiesYieldTwoDomains) {
+  PostFixture fx(50);
+  Pcg32 rng(17);
+  hmm::SampleOptions opts;
+  opts.fragment_prob = 0.0;
+  opts.mean_flank = 1e-9;
+  auto copy1 = hmm::sample_homolog(fx.model, rng, opts);
+  auto copy2 = hmm::sample_homolog(fx.model, rng, opts);
+  auto gap = bio::random_sequence(150, rng);
+  std::vector<std::uint8_t> seq;
+  auto flank = bio::random_sequence(60, rng);
+  seq.insert(seq.end(), flank.codes.begin(), flank.codes.end());
+  seq.insert(seq.end(), copy1.codes.begin(), copy1.codes.end());
+  seq.insert(seq.end(), gap.codes.begin(), gap.codes.end());
+  seq.insert(seq.end(), copy2.codes.begin(), copy2.codes.end());
+  seq.insert(seq.end(), flank.codes.begin(), flank.codes.end());
+
+  auto domains = cpu::define_domains(fx.prof, seq.data(), seq.size());
+  ASSERT_EQ(domains.size(), 2u);
+  EXPECT_LT(domains[0].i_end, domains[1].i_start);
+  for (const auto& d : domains) EXPECT_GT(d.bits, 15.0f);
+}
+
+TEST(Posterior, RandomSequenceDomainsAreWeak) {
+  // Null sequences may occasionally seed an envelope (HMMER's do too);
+  // what matters is that such envelopes carry no significant score and
+  // would be discarded by the E-value threshold downstream.
+  PostFixture fx(80);
+  Pcg32 rng(19);
+  int total_domains = 0;
+  for (int rep = 0; rep < 5; ++rep) {
+    auto seq = bio::random_sequence(300, rng);
+    auto domains =
+        cpu::define_domains(fx.prof, seq.codes.data(), seq.length());
+    total_domains += static_cast<int>(domains.size());
+    for (const auto& d : domains)
+      EXPECT_LT(d.bits, 15.0f) << "null domain must be insignificant";
+  }
+  EXPECT_LE(total_domains, 6);
+}
+
+}  // namespace

@@ -1,0 +1,115 @@
+// Dirichlet mixture priors.
+#include <gtest/gtest.h>
+
+#include "bio/synthetic.hpp"
+#include "cpu/generic.hpp"
+#include "hmm/builder.hpp"
+#include "hmm/generator.hpp"
+#include "hmm/priors.hpp"
+#include "hmm/profile.hpp"
+#include "hmm/sampler.hpp"
+
+namespace {
+
+using namespace finehmm;
+using namespace finehmm::hmm;
+
+TEST(Priors, PosteriorMeanIsNormalized) {
+  const auto& mix = DirichletMixture::default_amino();
+  std::array<double, bio::kK> counts{};
+  for (auto c : {0.0, 1.0, 10.0}) {
+    counts[3] = c;
+    counts[7] = c / 2;
+    auto p = mix.posterior_mean(counts);
+    double total = 0.0;
+    for (double v : p) {
+      EXPECT_GT(v, 0.0);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(Priors, ResponsibilitiesSumToOne) {
+  const auto& mix = DirichletMixture::default_amino();
+  std::array<double, bio::kK> counts{};
+  counts[9] = 5.0;  // leucine-heavy: hydrophobic component should light up
+  auto w = mix.responsibilities(counts);
+  double total = 0.0;
+  for (double v : w) {
+    EXPECT_GE(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Priors, ManyCountsDominateThePrior) {
+  const auto& mix = DirichletMixture::default_amino();
+  std::array<double, bio::kK> counts{};
+  counts[0] = 100.0;  // 100 alanines
+  auto p = mix.posterior_mean(counts);
+  EXPECT_GT(p[0], 0.9);
+}
+
+TEST(Priors, ZeroCountsGiveSomethingBackgroundLike) {
+  const auto& mix = DirichletMixture::default_amino();
+  std::array<double, bio::kK> counts{};
+  auto p = mix.posterior_mean(counts);
+  // No residue should be wildly over- or under-represented a priori.
+  for (int a = 0; a < bio::kK; ++a) {
+    EXPECT_GT(p[a], 0.003) << bio::kCanonical[a];
+    EXPECT_LT(p[a], 0.25) << bio::kCanonical[a];
+  }
+}
+
+TEST(Priors, HydrophobicContextSharpensHydrophobicEstimates) {
+  const auto& mix = DirichletMixture::default_amino();
+  // Two observations of isoleucine...
+  std::array<double, bio::kK> counts{};
+  counts[bio::digitize('I')] = 2.0;
+  auto p = mix.posterior_mean(counts);
+  // ...should also raise the probability of the other core hydrophobics
+  // (the mixture generalizes), unlike a flat pseudocount which cannot.
+  const auto& bg = bio::background_frequencies();
+  EXPECT_GT(p[bio::digitize('V')], bg[bio::digitize('V')] * 0.9);
+  EXPECT_GT(p[bio::digitize('L')] + p[bio::digitize('V')] +
+                p[bio::digitize('M')],
+            0.20);
+}
+
+TEST(Priors, MixtureBuilderGeneralizesBetterOnTinyAlignments) {
+  // Build from only three sequences sampled from a known model; score a
+  // held-out homolog.  The mixture prior should not do worse than flat
+  // pseudocounts (it usually does noticeably better).
+  auto truth = paper_model(40);
+  Pcg32 rng(71);
+  SampleOptions opts;
+  opts.fragment_prob = 0.0;
+  opts.mean_flank = 1e-9;
+
+  // "Alignment": ungapped samples of the core (equal length by luck of
+  // low indel rates; retry until three match).
+  std::vector<std::string> aln;
+  while (aln.size() < 3) {
+    auto s = sample_homolog(truth, rng, opts);
+    if (s.length() == 40) aln.push_back(s.text());
+  }
+  auto held_out = sample_homolog(truth, rng, opts);
+
+  BuildOptions with_mix;
+  with_mix.use_dirichlet_mixture = true;
+  BuildOptions flat;
+  flat.use_dirichlet_mixture = false;
+  auto m_mix = build_from_alignment(aln, "mix", with_mix);
+  auto m_flat = build_from_alignment(aln, "flat", flat);
+
+  SearchProfile p_mix(m_mix, AlignMode::kLocalMultihit, 100);
+  SearchProfile p_flat(m_flat, AlignMode::kLocalMultihit, 100);
+  float s_mix = cpu::generic_viterbi(p_mix, held_out.codes.data(),
+                                     held_out.length());
+  float s_flat = cpu::generic_viterbi(p_flat, held_out.codes.data(),
+                                      held_out.length());
+  EXPECT_GT(s_mix, s_flat - 2.0f);
+}
+
+}  // namespace

@@ -1,0 +1,80 @@
+// Report rendering.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hmm/generator.hpp"
+#include "pipeline/pipeline.hpp"
+#include "pipeline/report.hpp"
+#include "pipeline/workload.hpp"
+
+namespace {
+
+using namespace finehmm;
+
+struct ReportFixture {
+  hmm::Plan7Hmm model = hmm::paper_model(60);
+  bio::SequenceDatabase db;
+  pipeline::SearchResult result;
+  hmm::SearchProfile prof{model, hmm::AlignMode::kLocalMultihit, 400};
+
+  ReportFixture() {
+    pipeline::WorkloadSpec spec;
+    spec.db.n_sequences = 250;
+    spec.homolog_fraction = 0.05;
+    db = pipeline::make_workload(model, spec);
+    pipeline::Thresholds thr;
+    thr.compute_alignments = true;
+    thr.define_domains = true;
+    pipeline::HmmSearch search(model, thr);
+    result = search.run_cpu(db);
+  }
+};
+
+TEST(Report, ContainsHeaderAndEveryHit) {
+  ReportFixture fx;
+  ASSERT_FALSE(fx.result.hits.empty());
+  std::ostringstream out;
+  pipeline::write_report(out, fx.result, fx.prof, fx.db);
+  std::string text = out.str();
+  EXPECT_NE(text.find("# query:"), std::string::npos);
+  EXPECT_NE(text.find("E-value"), std::string::npos);
+  for (const auto& hit : fx.result.hits)
+    EXPECT_NE(text.find(hit.name), std::string::npos) << hit.name;
+}
+
+TEST(Report, MaxHitsTruncatesWithNotice) {
+  ReportFixture fx;
+  if (fx.result.hits.size() < 3) GTEST_SKIP();
+  pipeline::ReportOptions opts;
+  opts.max_hits = 2;
+  std::ostringstream out;
+  pipeline::write_report(out, fx.result, fx.prof, fx.db, opts);
+  EXPECT_NE(out.str().find("additional hits suppressed"), std::string::npos);
+}
+
+TEST(Report, DomainsAndAlignmentsRenderOnRequest) {
+  ReportFixture fx;
+  pipeline::ReportOptions opts;
+  opts.show_domains = true;
+  opts.show_alignments = true;
+  std::ostringstream out;
+  pipeline::write_report(out, fx.result, fx.prof, fx.db, opts);
+  std::string text = out.str();
+  EXPECT_NE(text.find("domain 1:"), std::string::npos);
+  EXPECT_NE(text.find("model "), std::string::npos);
+}
+
+TEST(Report, TbloutHasOneLinePerHit) {
+  ReportFixture fx;
+  std::ostringstream out;
+  pipeline::write_tblout(out, fx.result, fx.prof, fx.db);
+  std::string text = out.str();
+  std::size_t lines = 0;
+  for (char c : text)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, fx.result.hits.size() + 2);  // 2 comment lines
+  EXPECT_NE(text.find(fx.prof.name()), std::string::npos);
+}
+
+}  // namespace

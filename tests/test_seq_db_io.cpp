@@ -1,0 +1,67 @@
+// Binary sequence database round trip and robustness.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bio/fasta.hpp"
+#include "bio/seq_db_io.hpp"
+#include "bio/synthetic.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace finehmm;
+using namespace finehmm::bio;
+
+TEST(SeqDbIo, RoundTripPreservesEverything) {
+  Pcg32 rng(41);
+  SequenceDatabase db;
+  for (int i = 0; i < 25; ++i)
+    db.add(random_sequence(1 + rng.below(200), rng, "seq_" +
+                                                        std::to_string(i)));
+  // Include degenerate codes too.
+  db.add(Sequence::from_text("degen", "ACDXBZJOU"));
+
+  std::ostringstream out(std::ios::binary);
+  write_seq_db(out, db);
+  std::istringstream in(out.str(), std::ios::binary);
+  auto back = read_seq_db(in);
+
+  ASSERT_EQ(back.size(), db.size());
+  EXPECT_EQ(back.total_residues(), db.total_residues());
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    EXPECT_EQ(back[i].name, db[i].name);
+    EXPECT_EQ(back[i].codes, db[i].codes);
+  }
+}
+
+TEST(SeqDbIo, SmallerThanFasta) {
+  auto spec = SyntheticDbSpec::swissprot_like(0.0001);
+  auto db = generate_database(spec);
+  std::ostringstream bin(std::ios::binary);
+  write_seq_db(bin, db);
+  std::ostringstream fasta;
+  write_fasta(fasta, db);
+  EXPECT_LT(bin.str().size(), fasta.str().size() * 3 / 4);
+}
+
+TEST(SeqDbIo, RejectsGarbage) {
+  std::istringstream in("not a database at all, sorry", std::ios::binary);
+  EXPECT_THROW(read_seq_db(in), Error);
+}
+
+TEST(SeqDbIo, RejectsTruncation) {
+  Pcg32 rng(43);
+  SequenceDatabase db;
+  for (int i = 0; i < 5; ++i) db.add(random_sequence(50, rng));
+  std::ostringstream out(std::ios::binary);
+  write_seq_db(out, db);
+  std::string bytes = out.str();
+  for (std::size_t frac = 1; frac <= 3; ++frac) {
+    std::istringstream in(bytes.substr(0, bytes.size() * frac / 4),
+                          std::ios::binary);
+    EXPECT_THROW(read_seq_db(in), Error) << frac;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,70 @@
+// Portable SIMD vector lane semantics.
+#include <gtest/gtest.h>
+
+#include "cpu/simd_vec.hpp"
+
+namespace {
+
+using namespace finehmm::cpu;
+
+TEST(U8x16, SaturatingOps) {
+  auto a = U8x16::splat(200);
+  auto b = U8x16::splat(100);
+  EXPECT_EQ(adds_u8(a, b).v[7], 255);
+  EXPECT_EQ(subs_u8(b, a).v[7], 0);
+  EXPECT_EQ(subs_u8(a, b).v[7], 100);
+  EXPECT_EQ(max_u8(a, b).v[0], 200);
+}
+
+TEST(U8x16, ShiftLanesUp) {
+  U8x16 a;
+  for (int i = 0; i < 16; ++i) a.v[i] = static_cast<std::uint8_t>(i + 1);
+  auto s = shift_lanes_up(a, 99);
+  EXPECT_EQ(s.v[0], 99);
+  for (int i = 1; i < 16; ++i) EXPECT_EQ(s.v[i], i);
+}
+
+TEST(U8x16, HorizontalMax) {
+  U8x16 a = U8x16::zero();
+  a.v[11] = 42;
+  EXPECT_EQ(hmax_u8(a), 42);
+  EXPECT_EQ(hmax_u8(U8x16::zero()), 0);
+}
+
+TEST(U8x16, LoadStoreRoundTrip) {
+  std::uint8_t buf[16];
+  for (int i = 0; i < 16; ++i) buf[i] = static_cast<std::uint8_t>(i * 3);
+  auto v = U8x16::load(buf);
+  std::uint8_t out[16];
+  v.store(out);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(out[i], buf[i]);
+}
+
+TEST(I16x8, StickyNegInfAdd) {
+  auto ninf = I16x8::neg_inf();
+  auto big = I16x8::splat(30000);
+  EXPECT_EQ(adds_w(ninf, big).v[3], finehmm::profile::kWordNegInf);
+  EXPECT_EQ(adds_w(big, big).v[3], 32767);
+  auto small = I16x8::splat(-30000);
+  EXPECT_EQ(adds_w(small, small).v[3], -32767);
+}
+
+TEST(I16x8, ShiftAndMax) {
+  I16x8 a;
+  for (int i = 0; i < 8; ++i) a.v[i] = static_cast<std::int16_t>(i * 100);
+  auto s = shift_lanes_up(a);
+  EXPECT_EQ(s.v[0], finehmm::profile::kWordNegInf);
+  EXPECT_EQ(s.v[7], 600);
+  EXPECT_EQ(hmax_i16(a), 700);
+}
+
+TEST(I16x8, AnyGt) {
+  auto a = I16x8::splat(5);
+  auto b = I16x8::splat(5);
+  EXPECT_FALSE(any_gt_i16(a, b));
+  a.v[6] = 6;
+  EXPECT_TRUE(any_gt_i16(a, b));
+  EXPECT_FALSE(any_gt_i16(b, a));
+}
+
+}  // namespace

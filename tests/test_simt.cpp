@@ -1,0 +1,212 @@
+// SIMT substrate unit tests: warp primitives, bank-conflict accounting,
+// occupancy calculator, grid launcher.
+#include <gtest/gtest.h>
+
+#include "simt/grid.hpp"
+#include "simt/occupancy.hpp"
+#include "simt/warp.hpp"
+
+namespace {
+
+using namespace finehmm;
+using simt::DeviceSpec;
+using simt::kWarpSize;
+using simt::PerfCounters;
+using simt::SharedMemory;
+using simt::WarpContext;
+using simt::WarpReg;
+
+struct SimtFixture {
+  DeviceSpec dev = DeviceSpec::tesla_k40();
+  PerfCounters counters;
+  SharedMemory smem{4096, counters};
+  WarpContext ctx{dev, counters, smem, 0, 1};
+};
+
+TEST(Warp, ShflUpShiftsLanes) {
+  SimtFixture f;
+  WarpReg<int> a;
+  for (int i = 0; i < kWarpSize; ++i) a[i] = i * 10;
+  auto r = f.ctx.shfl_up(a, 1, -7);
+  EXPECT_EQ(r[0], -7);
+  for (int i = 1; i < kWarpSize; ++i) EXPECT_EQ(r[i], (i - 1) * 10);
+  EXPECT_EQ(f.counters.shuffles, 1u);
+}
+
+TEST(Warp, ReduceMaxFindsMaxAndCountsShuffles) {
+  SimtFixture f;
+  WarpReg<std::int16_t> a;
+  for (int i = 0; i < kWarpSize; ++i) a[i] = static_cast<std::int16_t>(i * 3);
+  a[17] = 1000;
+  EXPECT_EQ(f.ctx.reduce_max(a), 1000);
+  EXPECT_EQ(f.counters.shuffles, 5u);  // log2(32) butterfly steps
+}
+
+TEST(Warp, ReduceMaxFallsBackToSharedOnFermi) {
+  DeviceSpec dev = DeviceSpec::gtx580();
+  PerfCounters counters;
+  SharedMemory smem(4096, counters);
+  WarpContext ctx(dev, counters, smem, 0, 1);
+  WarpReg<std::uint8_t> a{};
+  a[3] = 42;
+  EXPECT_EQ(ctx.reduce_max(a), 42);
+  EXPECT_EQ(counters.shuffles, 0u);
+  EXPECT_GT(counters.smem_cycles, 0u);  // emulated through shared memory
+}
+
+TEST(Warp, VoteAllAndAny) {
+  SimtFixture f;
+  WarpReg<bool> all_true;
+  all_true.lane.fill(true);
+  EXPECT_TRUE(f.ctx.vote_all(all_true));
+  EXPECT_TRUE(f.ctx.vote_any(all_true));
+  all_true[13] = false;
+  EXPECT_FALSE(f.ctx.vote_all(all_true));
+  EXPECT_TRUE(f.ctx.vote_any(all_true));
+  EXPECT_EQ(f.counters.votes, 4u);
+}
+
+TEST(Warp, SaturatingByteOps) {
+  SimtFixture f;
+  auto a = f.ctx.splat<std::uint8_t>(250);
+  auto b = f.ctx.splat<std::uint8_t>(10);
+  EXPECT_EQ(f.ctx.adds_u8(a, b)[0], 255);
+  EXPECT_EQ(f.ctx.subs_u8(b, a)[0], 0);
+}
+
+TEST(Warp, StickyNegInfWordAdd) {
+  SimtFixture f;
+  auto ninf = f.ctx.splat<std::int16_t>(-32768);
+  auto big = f.ctx.splat<std::int16_t>(30000);
+  EXPECT_EQ(f.ctx.adds_w(ninf, big)[5], -32768);
+  EXPECT_EQ(f.ctx.adds_w(big, big)[5], 32767);
+}
+
+// --- shared memory bank conflicts ---
+
+TEST(SharedMemory, ConsecutiveBytesAreConflictFree) {
+  SimtFixture f;
+  // The paper's "intrinsic conflict-free access": 32 consecutive byte
+  // cells span 8 words in 8 distinct banks -> one cycle.
+  f.ctx.smem_read_seq<std::uint8_t>(0, 0);
+  EXPECT_EQ(f.counters.smem_accesses, 1u);
+  EXPECT_EQ(f.counters.smem_cycles, 1u);
+}
+
+TEST(SharedMemory, ConsecutiveWordsAreConflictFree) {
+  SimtFixture f;
+  f.ctx.smem_read_seq<std::uint32_t>(0, 0);
+  EXPECT_EQ(f.counters.smem_cycles, 1u);
+}
+
+TEST(SharedMemory, Stride32WordsIs32WayConflict) {
+  SimtFixture f;
+  // Lane i reads word i*32: all words map to bank 0 -> 32 replays.
+  f.ctx.smem_read_strided<std::uint32_t>(0, 0, 32);
+  EXPECT_EQ(f.counters.smem_cycles, 32u);
+}
+
+TEST(SharedMemory, Stride2WordsIs2WayConflict) {
+  SimtFixture f;
+  f.ctx.smem_read_strided<std::uint32_t>(0, 0, 2);
+  EXPECT_EQ(f.counters.smem_cycles, 2u);
+}
+
+TEST(SharedMemory, BroadcastIsFree) {
+  SimtFixture f;
+  f.ctx.smem_read_strided<std::uint32_t>(0, 0, 0);  // all lanes same word
+  EXPECT_EQ(f.counters.smem_cycles, 1u);
+}
+
+// --- occupancy ---
+
+TEST(Occupancy, K40FullOccupancyCase) {
+  auto dev = DeviceSpec::tesla_k40();
+  simt::KernelResources res;
+  res.regs_per_thread = 32;
+  res.smem_per_block = 0;
+  res.threads_per_block = 256;  // 8 warps
+  auto occ = simt::compute_occupancy(dev, res);
+  // 32 regs * 32 lanes = 1024/warp -> 64 warps by regs; warp slots allow
+  // 8 blocks * 8 warps = 64 warps -> 100%.
+  EXPECT_EQ(occ.warps_per_sm, 64);
+  EXPECT_DOUBLE_EQ(occ.fraction, 1.0);
+}
+
+TEST(Occupancy, RegisterLimited) {
+  auto dev = DeviceSpec::tesla_k40();
+  simt::KernelResources res;
+  res.regs_per_thread = 63;  // ceil(63*32, 256) = 2048 regs/warp
+  res.smem_per_block = 0;
+  res.threads_per_block = 256;
+  auto occ = simt::compute_occupancy(dev, res);
+  // 65536 / 2048 = 32 warps by registers -> 4 blocks of 8 warps -> 50%.
+  EXPECT_EQ(occ.warps_per_sm, 32);
+  EXPECT_DOUBLE_EQ(occ.fraction, 0.5);
+  EXPECT_EQ(occ.limiter, simt::Occupancy::Limiter::kRegisters);
+}
+
+TEST(Occupancy, SharedMemoryLimited) {
+  auto dev = DeviceSpec::tesla_k40();
+  simt::KernelResources res;
+  res.regs_per_thread = 32;
+  res.smem_per_block = 24 * 1024;  // two blocks fit
+  res.threads_per_block = 128;     // 4 warps
+  auto occ = simt::compute_occupancy(dev, res);
+  EXPECT_EQ(occ.blocks_per_sm, 2);
+  EXPECT_EQ(occ.warps_per_sm, 8);
+  EXPECT_EQ(occ.limiter, simt::Occupancy::Limiter::kSharedMem);
+}
+
+TEST(Occupancy, InfeasibleSmemGivesZero) {
+  auto dev = DeviceSpec::tesla_k40();
+  simt::KernelResources res;
+  res.smem_per_block = 128 * 1024;
+  res.threads_per_block = 32;
+  auto occ = simt::compute_occupancy(dev, res);
+  EXPECT_EQ(occ.warps_per_sm, 0);
+}
+
+TEST(Occupancy, FermiHasFewerRegisters) {
+  auto k40 = DeviceSpec::tesla_k40();
+  auto f580 = DeviceSpec::gtx580();
+  simt::KernelResources res;
+  res.regs_per_thread = 63;
+  res.smem_per_block = 0;
+  res.threads_per_block = 192;
+  auto a = simt::compute_occupancy(k40, res);
+  auto b = simt::compute_occupancy(f580, res);
+  EXPECT_GT(a.fraction, b.fraction);  // §IV-A: Fermi has half the registers
+}
+
+// --- grid launcher ---
+
+TEST(Grid, AllItemsProcessedExactlyOnce) {
+  auto dev = DeviceSpec::tesla_k40();
+  simt::LaunchConfig cfg;
+  cfg.warps_per_block = 4;
+  cfg.grid_blocks = 8;
+  cfg.smem_bytes_per_block = 1024;
+  std::vector<std::atomic<int>> hits(501);
+  for (auto& h : hits) h = 0;
+  auto counters = simt::launch_grid(
+      dev, cfg, hits.size(),
+      [&](WarpContext&, std::size_t item) { hits[item]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(counters.sequences, hits.size());
+}
+
+TEST(Grid, PrologueRunsOncePerBlock) {
+  auto dev = DeviceSpec::tesla_k40();
+  simt::LaunchConfig cfg;
+  cfg.warps_per_block = 2;
+  cfg.grid_blocks = 5;
+  cfg.smem_bytes_per_block = 64;
+  std::atomic<int> prologues{0};
+  simt::launch_grid(
+      dev, cfg, 10, [](WarpContext&, std::size_t) {},
+      [&](WarpContext&) { prologues++; });
+  EXPECT_EQ(prologues.load(), 5);
+}
+
+}  // namespace

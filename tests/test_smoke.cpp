@@ -1,0 +1,15 @@
+// Build smoke test: the library links and basic invariants hold.
+#include <gtest/gtest.h>
+
+#include "bio/alphabet.hpp"
+#include "util/logspace.hpp"
+
+TEST(Smoke, AlphabetSizes) {
+  EXPECT_EQ(finehmm::bio::kK, 20);
+  EXPECT_EQ(finehmm::bio::kKp, 29);
+}
+
+TEST(Smoke, LogsumIdentity) {
+  using finehmm::logsum_exact;
+  EXPECT_NEAR(logsum_exact(0.0f, 0.0f), std::log(2.0f), 1e-6f);
+}

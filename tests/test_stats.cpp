@@ -1,0 +1,173 @@
+// Statistics: Gumbel/exponential distributions, fits, calibration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bio/synthetic.hpp"
+#include "cpu/msv_filter.hpp"
+#include "cpu/vit_filter.hpp"
+#include "hmm/generator.hpp"
+#include "hmm/sampler.hpp"
+#include "stats/calibrate.hpp"
+#include "stats/distributions.hpp"
+
+namespace {
+
+using namespace finehmm;
+using namespace finehmm::stats;
+
+TEST(Gumbel, CdfSurvComplement) {
+  Gumbel g{2.0, 0.7};
+  for (double x : {-3.0, 0.0, 2.0, 5.0, 20.0})
+    EXPECT_NEAR(g.cdf(x) + g.surv(x), 1.0, 1e-12);
+}
+
+TEST(Gumbel, SurvIsAccurateInTheFarTail) {
+  Gumbel g{0.0, kLambdaLog2};
+  // For large x, P(X > x) ~ exp(-lambda x); naive 1-cdf would round to 0.
+  double x = 60.0;
+  EXPECT_NEAR(std::log(g.surv(x)), -kLambdaLog2 * x, 1e-6);
+}
+
+TEST(Gumbel, PdfIntegratesToOne) {
+  Gumbel g{1.0, 0.9};
+  double sum = 0.0, dx = 0.01;
+  for (double x = -20.0; x < 40.0; x += dx) sum += g.pdf(x) * dx;
+  EXPECT_NEAR(sum, 1.0, 1e-3);
+}
+
+TEST(Gumbel, FitMuGivenLambdaRecoversParameters) {
+  Gumbel truth{3.7, kLambdaLog2};
+  Pcg32 rng(42);
+  std::vector<double> xs(5000);
+  for (auto& x : xs) x = truth.sample(rng);
+  auto fit = Gumbel::fit_mu_given_lambda(xs);
+  EXPECT_NEAR(fit.mu, truth.mu, 0.1);
+}
+
+TEST(Gumbel, FullMlFitRecoversBothParameters) {
+  Gumbel truth{-1.5, 1.3};
+  Pcg32 rng(7);
+  std::vector<double> xs(8000);
+  for (auto& x : xs) x = truth.sample(rng);
+  auto fit = Gumbel::fit_ml(xs);
+  EXPECT_NEAR(fit.mu, truth.mu, 0.1);
+  EXPECT_NEAR(fit.lambda, truth.lambda, 0.08);
+}
+
+TEST(ExponentialTail, SurvDecaysAtLambda) {
+  ExponentialTail t{1.0, kLambdaLog2};
+  EXPECT_DOUBLE_EQ(t.surv(0.5), 1.0);  // below the base
+  EXPECT_NEAR(std::log(t.surv(11.0)), -kLambdaLog2 * 10.0, 1e-12);
+}
+
+TEST(ExponentialTail, FitTailMatchesEmpiricalQuantile) {
+  Pcg32 rng(3);
+  // Synthetic forward-like scores: Gaussian bulk + exponential tail.
+  std::vector<double> xs(4000);
+  for (auto& x : xs) x = rng.gaussian() * 1.5;
+  auto t = ExponentialTail::fit_tail(xs, 0.04);
+  // At the 96th percentile, P(X > x) should be about 0.04.
+  std::sort(xs.begin(), xs.end());
+  double q96 = xs[static_cast<std::size_t>(0.96 * xs.size())];
+  EXPECT_NEAR(t.surv(q96), 0.04, 0.005);
+}
+
+TEST(KsTest, AcceptsTheTrueDistribution) {
+  stats::Gumbel g{1.5, stats::kLambdaLog2};
+  Pcg32 rng(77);
+  std::vector<double> xs(800);
+  for (auto& x : xs) x = g.sample(rng);
+  auto r = stats::ks_test(xs, [&](double x) { return g.cdf(x); });
+  EXPECT_LT(r.d, 0.06);
+  EXPECT_GT(r.pvalue, 0.01);
+}
+
+TEST(KsTest, RejectsAWrongDistribution) {
+  stats::Gumbel truth{1.5, stats::kLambdaLog2};
+  stats::Gumbel wrong{4.0, stats::kLambdaLog2};  // shifted by 2.5 bits
+  Pcg32 rng(78);
+  std::vector<double> xs(800);
+  for (auto& x : xs) x = truth.sample(rng);
+  auto r = stats::ks_test(xs, [&](double x) { return wrong.cdf(x); });
+  EXPECT_LT(r.pvalue, 1e-6);
+}
+
+TEST(KsTest, NullScoresAreGumbelDistributed) {
+  // The statistical foundation of the pipeline (paper §I / Eddy 2008):
+  // ViterbiFilter null scores must pass a KS test against the calibrated
+  // Gumbel with lambda = log 2.
+  auto model = hmm::paper_model(90);
+  hmm::SearchProfile prof(model, hmm::AlignMode::kLocalMultihit, 100);
+  profile::VitProfile vit(prof);
+  cpu::VitFilter filter(vit);
+  Pcg32 rng(79);
+  std::vector<double> bits(400);
+  for (auto& b : bits) {
+    auto seq = bio::random_sequence(100, rng);
+    b = hmm::nats_to_bits(filter.score(seq.codes.data(), 100).score_nats,
+                          100);
+  }
+  auto fit = stats::Gumbel::fit_mu_given_lambda(bits);
+  auto r = stats::ks_test(bits, [&](double x) { return fit.cdf(x); });
+  EXPECT_GT(r.pvalue, 0.001)
+      << "null Viterbi scores must look Gumbel(log 2), D=" << r.d;
+}
+
+TEST(Evalue, ScalesWithDatabaseSize) {
+  EXPECT_DOUBLE_EQ(evalue(1e-4, 1000000), 100.0);
+}
+
+TEST(Calibrate, PvaluesAreUniformOnNullScores) {
+  // The calibrated Gumbel must turn random-sequence scores into roughly
+  // uniform P-values: ~p of them below p.
+  auto model = hmm::paper_model(100);
+  hmm::SearchProfile prof(model, hmm::AlignMode::kLocalMultihit, 100);
+  profile::MsvProfile msv(prof);
+  profile::VitProfile vit(prof);
+  CalibrateOptions opts;
+  opts.n_samples = 400;
+  opts.with_forward = false;
+  auto st = calibrate(prof, msv, vit, opts);
+
+  // Fresh null sample (different seed).
+  opts.seed = 987;
+  Pcg32 rng(opts.seed);
+  int below_10pct_msv = 0, below_10pct_vit = 0;
+  const int n = 300;
+  cpu::MsvFilter msv_filter(msv);
+  cpu::VitFilter vit_filter(vit);
+  for (int i = 0; i < n; ++i) {
+    auto seq = bio::random_sequence(100, rng);
+    auto m = msv_filter.score(seq.codes.data(), 100);
+    auto v = vit_filter.score(seq.codes.data(), 100);
+    if (st.msv_pvalue(hmm::nats_to_bits(m.score_nats, 100)) < 0.10)
+      ++below_10pct_msv;
+    if (st.vit_pvalue(hmm::nats_to_bits(v.score_nats, 100)) < 0.10)
+      ++below_10pct_vit;
+  }
+  EXPECT_NEAR(below_10pct_msv / double(n), 0.10, 0.06);
+  EXPECT_NEAR(below_10pct_vit / double(n), 0.10, 0.06);
+}
+
+TEST(Calibrate, HomologsGetTinyPvalues) {
+  auto model = hmm::paper_model(150);
+  hmm::SearchProfile prof(model, hmm::AlignMode::kLocalMultihit, 200);
+  profile::MsvProfile msv(prof);
+  profile::VitProfile vit(prof);
+  CalibrateOptions opts;
+  opts.with_forward = false;
+  auto st = calibrate(prof, msv, vit, opts);
+
+  Pcg32 rng(55);
+  cpu::VitFilter vit_filter(vit);
+  for (int i = 0; i < 5; ++i) {
+    auto seq = hmm::sample_homolog(model, rng);
+    auto v = vit_filter.score(seq.codes.data(), seq.length());
+    double p = st.vit_pvalue(
+        hmm::nats_to_bits(v.score_nats, static_cast<int>(seq.length())));
+    EXPECT_LT(p, 1e-6);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,106 @@
+// Stockholm format parsing and RF-guided model building.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bio/stockholm.hpp"
+#include "hmm/builder.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace finehmm;
+using namespace finehmm::bio;
+
+TEST(Stockholm, ParsesSimpleAlignment) {
+  std::istringstream in(
+      "# STOCKHOLM 1.0\n"
+      "#=GF ID demo_fam\n"
+      "seq1  ACDE-F\n"
+      "seq2  ACDEGF\n"
+      "#=GC RF   xxxx.x\n"
+      "//\n");
+  auto aln = read_stockholm(in);
+  EXPECT_EQ(aln.id, "demo_fam");
+  ASSERT_EQ(aln.rows.size(), 2u);
+  EXPECT_EQ(aln.rows[0], "ACDE-F");
+  ASSERT_TRUE(aln.rf.has_value());
+  EXPECT_EQ(*aln.rf, "xxxx.x");
+}
+
+TEST(Stockholm, HandlesInterleavedBlocks) {
+  std::istringstream in(
+      "# STOCKHOLM 1.0\n"
+      "seq1  ACD\n"
+      "seq2  ACD\n"
+      "\n"
+      "seq1  EFG\n"
+      "seq2  E-G\n"
+      "//\n");
+  auto aln = read_stockholm(in);
+  ASSERT_EQ(aln.rows.size(), 2u);
+  EXPECT_EQ(aln.rows[0], "ACDEFG");
+  EXPECT_EQ(aln.rows[1], "ACDE-G");
+}
+
+TEST(Stockholm, RoundTrips) {
+  StockholmAlignment aln;
+  aln.id = "rt";
+  aln.names = {"a", "longer_name"};
+  aln.rows = {"AC-DE", "ACWDE"};
+  aln.rf = "xx.xx";
+  std::ostringstream out;
+  write_stockholm(out, aln);
+  std::istringstream in(out.str());
+  auto back = read_stockholm(in);
+  EXPECT_EQ(back.id, aln.id);
+  EXPECT_EQ(back.rows, aln.rows);
+  EXPECT_EQ(back.names, aln.names);
+  ASSERT_TRUE(back.rf.has_value());
+  EXPECT_EQ(*back.rf, *aln.rf);
+}
+
+TEST(Stockholm, RejectsMalformedInputs) {
+  {
+    std::istringstream in("seq1 ACDE\n//\n");  // missing header
+    EXPECT_THROW(read_stockholm(in), Error);
+  }
+  {
+    std::istringstream in("# STOCKHOLM 1.0\nseq1 ACDE\n");  // missing //
+    EXPECT_THROW(read_stockholm(in), Error);
+  }
+  {
+    std::istringstream in(
+        "# STOCKHOLM 1.0\nseq1 ACDE\nseq2 AC\n//\n");  // ragged
+    EXPECT_THROW(read_stockholm(in), Error);
+  }
+  {
+    std::istringstream in(
+        "# STOCKHOLM 1.0\nseq1 ACDE\n#=GC RF xx\n//\n");  // RF width
+    EXPECT_THROW(read_stockholm(in), Error);
+  }
+}
+
+TEST(Stockholm, RfLineDrivesMatchColumns) {
+  // Column 3 (W-insert) is marked as insert by RF even though every
+  // sequence has a residue there — the threshold rule would call it a
+  // match column, RF must override.
+  std::istringstream in(
+      "# STOCKHOLM 1.0\n"
+      "#=GF ID rf_demo\n"
+      "s1  ACWDE\n"
+      "s2  ACWDE\n"
+      "s3  ACWDE\n"
+      "#=GC RF  xx.xx\n"
+      "//\n");
+  auto aln = read_stockholm(in);
+  auto with_rf = hmm::build_from_stockholm(aln);
+  EXPECT_EQ(with_rf.length(), 4);
+  EXPECT_EQ(with_rf.name(), "rf_demo");
+
+  aln.rf.reset();
+  auto without_rf = hmm::build_from_stockholm(aln);
+  EXPECT_EQ(without_rf.length(), 5);
+}
+
+}  // namespace

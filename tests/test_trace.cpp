@@ -1,0 +1,133 @@
+// Viterbi traceback: path score equals the DP score, structural validity,
+// and alignment rendering.
+#include <gtest/gtest.h>
+
+#include "bio/synthetic.hpp"
+#include "cpu/generic.hpp"
+#include "cpu/trace.hpp"
+#include "hmm/generator.hpp"
+#include "hmm/sampler.hpp"
+
+namespace {
+
+using namespace finehmm;
+using cpu::TraceState;
+
+struct TraceFixture {
+  hmm::Plan7Hmm model;
+  hmm::SearchProfile prof;
+  explicit TraceFixture(int M, std::uint64_t seed = 3)
+      : model([&] {
+          hmm::RandomHmmSpec spec;
+          spec.length = M;
+          spec.seed = seed;
+          return hmm::generate_hmm(spec);
+        }()),
+        prof(model, hmm::AlignMode::kLocalMultihit, 300) {}
+};
+
+class TraceProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(TraceProperties, TraceScoreEqualsViterbiScore) {
+  TraceFixture fx(GetParam());
+  Pcg32 rng(11);
+  for (int rep = 0; rep < 8; ++rep) {
+    auto seq = rep % 2 == 0 ? hmm::sample_homolog(fx.model, rng)
+                            : bio::random_sequence(30 + rng.below(250), rng);
+    auto trace = cpu::viterbi_trace(fx.prof, seq.codes.data(), seq.length());
+    float vit = cpu::generic_viterbi(fx.prof, seq.codes.data(), seq.length());
+    EXPECT_NEAR(trace.score, vit, 1e-3f) << "DP vs DP-with-backpointers";
+    float recomputed =
+        cpu::trace_score(trace, fx.prof, seq.codes.data(), seq.length());
+    EXPECT_NEAR(recomputed, trace.score, 1e-3f)
+        << "path score must reproduce the DP score";
+  }
+}
+
+TEST_P(TraceProperties, TraceIsStructurallyValid) {
+  TraceFixture fx(GetParam());
+  Pcg32 rng(13);
+  auto seq = hmm::sample_homolog(fx.model, rng);
+  auto trace = cpu::viterbi_trace(fx.prof, seq.codes.data(), seq.length());
+  ASSERT_FALSE(trace.steps.empty());
+  EXPECT_EQ(trace.steps.front().state, TraceState::kN);
+  EXPECT_EQ(trace.steps.back().state, TraceState::kC);
+
+  // Every sequence position is emitted exactly once, in order.
+  std::size_t expect_i = 1;
+  for (const auto& s : trace.steps) {
+    bool emits = (s.state == TraceState::kM || s.state == TraceState::kI ||
+                  (s.state == TraceState::kN && s.i > 0) ||
+                  (s.state == TraceState::kJ && s.i > 0) ||
+                  (s.state == TraceState::kC && s.i > 0));
+    if (emits) {
+      EXPECT_EQ(s.i, expect_i) << "emission order";
+      ++expect_i;
+    }
+  }
+  EXPECT_EQ(expect_i, seq.length() + 1) << "all residues emitted";
+
+  // Model positions within a segment strictly increase.
+  int last_k = 0;
+  for (const auto& s : trace.steps) {
+    if (s.state == TraceState::kB) last_k = 0;
+    if (s.state == TraceState::kM || s.state == TraceState::kD) {
+      EXPECT_GT(s.k, last_k);
+      last_k = s.k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ModelSizes, TraceProperties,
+                         ::testing::Values(8, 40, 120),
+                         ::testing::PrintToStringParamName());
+
+TEST(TraceAlignment, HomologAlignmentCoversModel) {
+  TraceFixture fx(80);
+  Pcg32 rng(17);
+  hmm::SampleOptions opts;
+  opts.fragment_prob = 0.0;
+  auto seq = hmm::sample_homolog(fx.model, rng, opts);
+  auto trace = cpu::viterbi_trace(fx.prof, seq.codes.data(), seq.length());
+  auto alis = cpu::trace_alignments(trace, fx.prof, seq.codes.data());
+  ASSERT_FALSE(alis.empty());
+  const auto& a = alis.front();
+  // A full-length homolog should align most of the model.
+  EXPECT_LE(a.k_start, 8);
+  EXPECT_GE(a.k_end, 72);
+  EXPECT_EQ(a.model_line.size(), a.seq_line.size());
+  EXPECT_EQ(a.model_line.size(), a.match_line.size());
+  // The three lines contain no stray characters.
+  for (char c : a.seq_line)
+    EXPECT_TRUE(std::isalpha(static_cast<unsigned char>(c)) || c == '-');
+}
+
+TEST(TraceAlignment, AlignmentSpansMatchTraceCoordinates) {
+  TraceFixture fx(60);
+  Pcg32 rng(19);
+  auto seq = hmm::sample_homolog(fx.model, rng);
+  auto trace = cpu::viterbi_trace(fx.prof, seq.codes.data(), seq.length());
+  for (const auto& a :
+       cpu::trace_alignments(trace, fx.prof, seq.codes.data())) {
+    EXPECT_GE(a.k_start, 1);
+    EXPECT_LE(a.k_end, 60);
+    EXPECT_GE(a.i_start, 1u);
+    EXPECT_LE(a.i_end, seq.length());
+    EXPECT_LE(a.k_start, a.k_end);
+    EXPECT_LE(a.i_start, a.i_end);
+  }
+}
+
+TEST(TraceAlignment, RandomSequencesStillTraceCleanly) {
+  TraceFixture fx(50);
+  Pcg32 rng(23);
+  for (int rep = 0; rep < 5; ++rep) {
+    auto seq = bio::random_sequence(10 + rng.below(200), rng);
+    auto trace = cpu::viterbi_trace(fx.prof, seq.codes.data(), seq.length());
+    float recomputed =
+        cpu::trace_score(trace, fx.prof, seq.codes.data(), seq.length());
+    EXPECT_NEAR(recomputed, trace.score, 1e-3f);
+  }
+}
+
+}  // namespace

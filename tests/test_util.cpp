@@ -1,0 +1,166 @@
+// Utility layer: RNG distributions, log-space table, thread pool, text
+// tables, aligned allocation, work queue.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+
+#include "simt/grid.hpp"
+#include "util/aligned.hpp"
+#include "util/error.hpp"
+#include "util/logspace.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/threadpool.hpp"
+
+namespace {
+
+using namespace finehmm;
+
+TEST(Rng, DeterministicPerSeed) {
+  Pcg32 a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    auto va = a.next();
+    EXPECT_EQ(va, b.next());
+  }
+  bool differs = false;
+  Pcg32 a2(42);
+  for (int i = 0; i < 100; ++i)
+    if (a2.next() != c.next()) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BelowIsUnbiasedEnough) {
+  Pcg32 rng(7);
+  int counts[10] = {0};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[rng.below(10)]++;
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 10 / 5);
+}
+
+TEST(Rng, GaussianMomentsMatch) {
+  Pcg32 rng(11);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.gaussian();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, DirichletSumsToOne) {
+  Pcg32 rng(3);
+  for (double alpha : {0.1, 1.0, 10.0}) {
+    auto v = rng.dirichlet(20, alpha);
+    double total = 0.0;
+    for (double x : v) {
+      EXPECT_GE(x, 0.0);
+      total += x;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Pcg32 rng(5);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(0.5);
+  EXPECT_NEAR(sum / n, 2.0, 0.06);
+}
+
+TEST(Logspace, TableMatchesExactWithinTolerance) {
+  Pcg32 rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    float a = static_cast<float>(rng.uniform(-30.0, 30.0));
+    float b = static_cast<float>(rng.uniform(-30.0, 30.0));
+    EXPECT_NEAR(logsum(a, b), logsum_exact(a, b), 2e-3f);
+  }
+}
+
+TEST(Logspace, NegInfIsIdentity) {
+  EXPECT_FLOAT_EQ(logsum(kNegInf, 3.5f), 3.5f);
+  EXPECT_FLOAT_EQ(logsum(3.5f, kNegInf), 3.5f);
+  EXPECT_EQ(logsum(kNegInf, kNegInf), kNegInf);
+}
+
+TEST(Logspace, CommutativeAndMonotone) {
+  EXPECT_FLOAT_EQ(logsum(1.0f, 2.0f), logsum(2.0f, 1.0f));
+  EXPECT_GT(logsum(5.0f, 5.0f), 5.0f);
+  EXPECT_LT(logsum(5.0f, 5.0f), 6.0f);  // log(2e^5) = 5.69
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  for (auto& h : hits) h = 0;
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [](std::size_t i) {
+                                   if (i == 7) throw Error("boom");
+                                 }),
+               Error);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 5; ++round)
+    pool.parallel_for(100, [&](std::size_t) { total++; });
+  EXPECT_EQ(total.load(), 500);
+}
+
+TEST(WorkQueue, DrainsExactlyOnceUnderContention) {
+  simt::WorkQueue queue(0, 10000);
+  std::vector<std::atomic<int>> seen(10000);
+  for (auto& s : seen) s = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&] {
+      for (;;) {
+        std::size_t i = queue.fetch();
+        if (i == simt::WorkQueue::npos) break;
+        seen[i]++;
+      }
+    });
+  for (auto& th : threads) th.join();
+  for (auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"a", "long-header"});
+  t.add_row({"x", "1"});
+  t.add_row({"yyyy", "2"});
+  std::string s = t.str();
+  EXPECT_NE(s.find("a     long-header"), std::string::npos);
+  EXPECT_NE(s.find("yyyy"), std::string::npos);
+}
+
+TEST(TextTable, RejectsWrongArity) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::pct(0.5), "50.0%");
+}
+
+TEST(Aligned, VectorDataIsCacheLineAligned) {
+  aligned_vector<std::uint8_t> v(100);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kSimdAlign, 0u);
+  aligned_vector<std::int16_t> w(33);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(w.data()) % kSimdAlign, 0u);
+}
+
+}  // namespace

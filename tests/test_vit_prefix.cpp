@@ -1,0 +1,121 @@
+// The prefix-scan P7Viterbi kernel (paper §VI future work) must be
+// bit-identical to the scalar reference — including on delete-heavy
+// models where the D->D chains are long, and on models containing
+// impossible (-inf) D->D links, which exercise the clamped-link path.
+#include <gtest/gtest.h>
+
+#include "bio/synthetic.hpp"
+#include "cpu/vit_scalar.hpp"
+#include "gpu/search.hpp"
+#include "hmm/generator.hpp"
+#include "hmm/sampler.hpp"
+
+namespace {
+
+using namespace finehmm;
+
+struct PrefixFixture {
+  hmm::Plan7Hmm model;
+  hmm::SearchProfile prof;
+  profile::VitProfile vit;
+  bio::SequenceDatabase db;
+  bio::PackedDatabase packed;
+
+  PrefixFixture(int M, double delete_extend, double indel_open = 0.02,
+                std::uint64_t seed = 21)
+      : model([&] {
+          hmm::RandomHmmSpec spec;
+          spec.length = M;
+          spec.seed = seed;
+          spec.delete_extend = delete_extend;
+          spec.indel_open = indel_open;
+          return hmm::generate_hmm(spec);
+        }()),
+        prof(model, hmm::AlignMode::kLocalMultihit, 350),
+        vit(prof) {
+    Pcg32 rng(seed + 3);
+    for (int i = 0; i < 25; ++i) {
+      if (i % 4 == 0)
+        db.add(hmm::sample_homolog(model, rng));
+      else
+        db.add(bio::random_sequence(15 + rng.below(350), rng));
+    }
+    packed = bio::PackedDatabase(db);
+  }
+};
+
+class PrefixScanEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PrefixScanEquivalence, MatchesScalarReference) {
+  auto [M, dd10] = GetParam();
+  PrefixFixture fx(M, dd10 / 10.0, dd10 >= 7 ? 0.10 : 0.02);
+  gpu::GpuSearch search(simt::DeviceSpec::tesla_k40());
+  for (auto placement :
+       {gpu::ParamPlacement::kShared, gpu::ParamPlacement::kGlobal}) {
+    auto result = search.run_vit_prefix(fx.vit, fx.packed, placement);
+    for (std::size_t s = 0; s < fx.db.size(); ++s) {
+      auto ref = cpu::vit_scalar(fx.vit, fx.db[s].codes.data(),
+                                 fx.db[s].length());
+      EXPECT_FLOAT_EQ(result.scores[s], ref.score_nats)
+          << "seq " << s << " M=" << M << " dd=" << dd10 / 10.0;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SizesAndDeleteRates, PrefixScanEquivalence,
+                         ::testing::Combine(::testing::Values(7, 32, 33, 96,
+                                                              200),
+                                            ::testing::Values(1, 5, 9)));
+
+TEST(PrefixScan, AgreesWithLazyFKernel) {
+  PrefixFixture fx(128, 0.8, 0.08);
+  gpu::GpuSearch search(simt::DeviceSpec::tesla_k40());
+  auto lazy = search.run_vit(fx.vit, fx.packed, gpu::ParamPlacement::kShared);
+  auto prefix =
+      search.run_vit_prefix(fx.vit, fx.packed, gpu::ParamPlacement::kShared);
+  for (std::size_t s = 0; s < fx.db.size(); ++s)
+    EXPECT_FLOAT_EQ(lazy.scores[s], prefix.scores[s]) << "seq " << s;
+}
+
+TEST(PrefixScan, UsesBoundedShufflesPerGroup) {
+  // The prefix kernel's shuffle count per group is fixed (2 scans of 5
+  // steps + 1 diagonal shift + broadcasts); Lazy-F's grows with the
+  // delete-extension rate.
+  PrefixFixture heavy(128, 0.9, 0.12);
+  gpu::GpuSearch search(simt::DeviceSpec::tesla_k40());
+  auto lazy =
+      search.run_vit(heavy.vit, heavy.packed, gpu::ParamPlacement::kShared);
+  auto prefix = search.run_vit_prefix(heavy.vit, heavy.packed,
+                                      gpu::ParamPlacement::kShared);
+  double groups = static_cast<double>(lazy.counters.residues) * (128 / 32);
+  double lazy_votes = static_cast<double>(lazy.counters.votes) / groups;
+  EXPECT_GT(lazy_votes, 1.5) << "delete-heavy model should iterate Lazy-F";
+  EXPECT_EQ(prefix.counters.votes, 0u) << "prefix scan needs no votes";
+  double prefix_shfl_per_group =
+      static_cast<double>(prefix.counters.shuffles) / groups;
+  // 10 scan steps + shifts/broadcasts + (amortized) xE reduction.
+  EXPECT_LT(prefix_shfl_per_group, 20.0);
+}
+
+TEST(PrefixScan, ScanPrimitivesAreExact) {
+  auto dev = simt::DeviceSpec::tesla_k40();
+  simt::PerfCounters counters;
+  simt::SharedMemory smem(64, counters);
+  simt::WarpContext ctx(dev, counters, smem, 0, 1);
+  Pcg32 rng(4);
+  simt::WarpReg<int> a;
+  for (int i = 0; i < simt::kWarpSize; ++i)
+    a[i] = static_cast<int>(rng.below(1000)) - 500;
+  auto sum = ctx.scan_add_i32(a);
+  auto mx = ctx.scan_max_i32(a, -1000000);
+  int acc = 0, best = -1000000;
+  for (int i = 0; i < simt::kWarpSize; ++i) {
+    acc += a[i];
+    best = std::max(best, a[i]);
+    EXPECT_EQ(sum[i], acc) << "lane " << i;
+    EXPECT_EQ(mx[i], best) << "lane " << i;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bank_conflicts.dir/ablation_bank_conflicts.cpp.o"
+  "CMakeFiles/ablation_bank_conflicts.dir/ablation_bank_conflicts.cpp.o.d"
+  "ablation_bank_conflicts"
+  "ablation_bank_conflicts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bank_conflicts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

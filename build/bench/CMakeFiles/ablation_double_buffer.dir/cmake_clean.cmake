@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_double_buffer.dir/ablation_double_buffer.cpp.o"
+  "CMakeFiles/ablation_double_buffer.dir/ablation_double_buffer.cpp.o.d"
+  "ablation_double_buffer"
+  "ablation_double_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_double_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lazyf.dir/ablation_lazyf.cpp.o"
+  "CMakeFiles/ablation_lazyf.dir/ablation_lazyf.cpp.o.d"
+  "ablation_lazyf"
+  "ablation_lazyf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lazyf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

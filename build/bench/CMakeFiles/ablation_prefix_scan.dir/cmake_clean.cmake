@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_prefix_scan.dir/ablation_prefix_scan.cpp.o"
+  "CMakeFiles/ablation_prefix_scan.dir/ablation_prefix_scan.cpp.o.d"
+  "ablation_prefix_scan"
+  "ablation_prefix_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prefix_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

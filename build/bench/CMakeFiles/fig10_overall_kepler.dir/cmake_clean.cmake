@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_overall_kepler.dir/fig10_overall_kepler.cpp.o"
+  "CMakeFiles/fig10_overall_kepler.dir/fig10_overall_kepler.cpp.o.d"
+  "fig10_overall_kepler"
+  "fig10_overall_kepler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_overall_kepler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_multigpu_fermi.dir/fig11_multigpu_fermi.cpp.o"
+  "CMakeFiles/fig11_multigpu_fermi.dir/fig11_multigpu_fermi.cpp.o.d"
+  "fig11_multigpu_fermi"
+  "fig11_multigpu_fermi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_multigpu_fermi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfam_distribution_speedup.dir/pfam_distribution_speedup.cpp.o"
+  "CMakeFiles/pfam_distribution_speedup.dir/pfam_distribution_speedup.cpp.o.d"
+  "pfam_distribution_speedup"
+  "pfam_distribution_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfam_distribution_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pfam_distribution_speedup.
+# This may be replaced when dependencies are built.

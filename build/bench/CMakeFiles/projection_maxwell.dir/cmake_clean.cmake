@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/projection_maxwell.dir/projection_maxwell.cpp.o"
+  "CMakeFiles/projection_maxwell.dir/projection_maxwell.cpp.o.d"
+  "projection_maxwell"
+  "projection_maxwell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/projection_maxwell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

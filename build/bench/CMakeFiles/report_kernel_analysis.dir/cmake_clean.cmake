@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_kernel_analysis.dir/report_kernel_analysis.cpp.o"
+  "CMakeFiles/report_kernel_analysis.dir/report_kernel_analysis.cpp.o.d"
+  "report_kernel_analysis"
+  "report_kernel_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_kernel_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

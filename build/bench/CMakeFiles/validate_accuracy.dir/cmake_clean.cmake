@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validate_accuracy.dir/validate_accuracy.cpp.o"
+  "CMakeFiles/validate_accuracy.dir/validate_accuracy.cpp.o.d"
+  "validate_accuracy"
+  "validate_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validate_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

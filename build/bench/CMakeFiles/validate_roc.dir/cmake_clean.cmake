@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validate_roc.dir/validate_roc.cpp.o"
+  "CMakeFiles/validate_roc.dir/validate_roc.cpp.o.d"
+  "validate_roc"
+  "validate_roc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validate_roc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_speedup_demo.dir/gpu_speedup_demo.cpp.o"
+  "CMakeFiles/gpu_speedup_demo.dir/gpu_speedup_demo.cpp.o.d"
+  "gpu_speedup_demo"
+  "gpu_speedup_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_speedup_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmmalign_tool.dir/hmmalign_tool.cpp.o"
+  "CMakeFiles/hmmalign_tool.dir/hmmalign_tool.cpp.o.d"
+  "hmmalign_tool"
+  "hmmalign_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmmalign_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

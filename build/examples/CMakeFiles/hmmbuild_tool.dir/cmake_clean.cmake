@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmmbuild_tool.dir/hmmbuild_tool.cpp.o"
+  "CMakeFiles/hmmbuild_tool.dir/hmmbuild_tool.cpp.o.d"
+  "hmmbuild_tool"
+  "hmmbuild_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmmbuild_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

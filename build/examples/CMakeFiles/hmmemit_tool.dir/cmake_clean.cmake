@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmmemit_tool.dir/hmmemit_tool.cpp.o"
+  "CMakeFiles/hmmemit_tool.dir/hmmemit_tool.cpp.o.d"
+  "hmmemit_tool"
+  "hmmemit_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmmemit_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmmpress_tool.dir/hmmpress_tool.cpp.o"
+  "CMakeFiles/hmmpress_tool.dir/hmmpress_tool.cpp.o.d"
+  "hmmpress_tool"
+  "hmmpress_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmmpress_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

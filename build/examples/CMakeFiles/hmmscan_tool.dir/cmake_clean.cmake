@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmmscan_tool.dir/hmmscan_tool.cpp.o"
+  "CMakeFiles/hmmscan_tool.dir/hmmscan_tool.cpp.o.d"
+  "hmmscan_tool"
+  "hmmscan_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmmscan_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmmsearch_tool.dir/hmmsearch_tool.cpp.o"
+  "CMakeFiles/hmmsearch_tool.dir/hmmsearch_tool.cpp.o.d"
+  "hmmsearch_tool"
+  "hmmsearch_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmmsearch_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

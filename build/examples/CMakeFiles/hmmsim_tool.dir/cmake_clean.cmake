@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmmsim_tool.dir/hmmsim_tool.cpp.o"
+  "CMakeFiles/hmmsim_tool.dir/hmmsim_tool.cpp.o.d"
+  "hmmsim_tool"
+  "hmmsim_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmmsim_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

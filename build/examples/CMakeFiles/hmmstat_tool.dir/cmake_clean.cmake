@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hmmstat_tool.dir/hmmstat_tool.cpp.o"
+  "CMakeFiles/hmmstat_tool.dir/hmmstat_tool.cpp.o.d"
+  "hmmstat_tool"
+  "hmmstat_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hmmstat_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfam_scan.dir/pfam_scan.cpp.o"
+  "CMakeFiles/pfam_scan.dir/pfam_scan.cpp.o.d"
+  "pfam_scan"
+  "pfam_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfam_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seqconvert_tool.dir/seqconvert_tool.cpp.o"
+  "CMakeFiles/seqconvert_tool.dir/seqconvert_tool.cpp.o.d"
+  "seqconvert_tool"
+  "seqconvert_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seqconvert_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

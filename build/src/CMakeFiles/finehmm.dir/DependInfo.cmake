@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bio/alphabet.cpp" "src/CMakeFiles/finehmm.dir/bio/alphabet.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/bio/alphabet.cpp.o.d"
+  "/root/repo/src/bio/fasta.cpp" "src/CMakeFiles/finehmm.dir/bio/fasta.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/bio/fasta.cpp.o.d"
+  "/root/repo/src/bio/packing.cpp" "src/CMakeFiles/finehmm.dir/bio/packing.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/bio/packing.cpp.o.d"
+  "/root/repo/src/bio/seq_db_io.cpp" "src/CMakeFiles/finehmm.dir/bio/seq_db_io.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/bio/seq_db_io.cpp.o.d"
+  "/root/repo/src/bio/sequence.cpp" "src/CMakeFiles/finehmm.dir/bio/sequence.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/bio/sequence.cpp.o.d"
+  "/root/repo/src/bio/stockholm.cpp" "src/CMakeFiles/finehmm.dir/bio/stockholm.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/bio/stockholm.cpp.o.d"
+  "/root/repo/src/bio/synthetic.cpp" "src/CMakeFiles/finehmm.dir/bio/synthetic.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/bio/synthetic.cpp.o.d"
+  "/root/repo/src/cpu/checkpoint.cpp" "src/CMakeFiles/finehmm.dir/cpu/checkpoint.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/cpu/checkpoint.cpp.o.d"
+  "/root/repo/src/cpu/fwd_filter.cpp" "src/CMakeFiles/finehmm.dir/cpu/fwd_filter.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/cpu/fwd_filter.cpp.o.d"
+  "/root/repo/src/cpu/generic.cpp" "src/CMakeFiles/finehmm.dir/cpu/generic.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/cpu/generic.cpp.o.d"
+  "/root/repo/src/cpu/msv_filter.cpp" "src/CMakeFiles/finehmm.dir/cpu/msv_filter.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/cpu/msv_filter.cpp.o.d"
+  "/root/repo/src/cpu/msv_scalar.cpp" "src/CMakeFiles/finehmm.dir/cpu/msv_scalar.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/cpu/msv_scalar.cpp.o.d"
+  "/root/repo/src/cpu/posterior.cpp" "src/CMakeFiles/finehmm.dir/cpu/posterior.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/cpu/posterior.cpp.o.d"
+  "/root/repo/src/cpu/ssv.cpp" "src/CMakeFiles/finehmm.dir/cpu/ssv.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/cpu/ssv.cpp.o.d"
+  "/root/repo/src/cpu/trace.cpp" "src/CMakeFiles/finehmm.dir/cpu/trace.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/cpu/trace.cpp.o.d"
+  "/root/repo/src/cpu/vit_filter.cpp" "src/CMakeFiles/finehmm.dir/cpu/vit_filter.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/cpu/vit_filter.cpp.o.d"
+  "/root/repo/src/cpu/vit_scalar.cpp" "src/CMakeFiles/finehmm.dir/cpu/vit_scalar.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/cpu/vit_scalar.cpp.o.d"
+  "/root/repo/src/gpu/kernel_config.cpp" "src/CMakeFiles/finehmm.dir/gpu/kernel_config.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/gpu/kernel_config.cpp.o.d"
+  "/root/repo/src/gpu/msv_kernel.cpp" "src/CMakeFiles/finehmm.dir/gpu/msv_kernel.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/gpu/msv_kernel.cpp.o.d"
+  "/root/repo/src/gpu/msv_sync_kernel.cpp" "src/CMakeFiles/finehmm.dir/gpu/msv_sync_kernel.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/gpu/msv_sync_kernel.cpp.o.d"
+  "/root/repo/src/gpu/placement_policy.cpp" "src/CMakeFiles/finehmm.dir/gpu/placement_policy.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/gpu/placement_policy.cpp.o.d"
+  "/root/repo/src/gpu/search.cpp" "src/CMakeFiles/finehmm.dir/gpu/search.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/gpu/search.cpp.o.d"
+  "/root/repo/src/gpu/ssv_kernel.cpp" "src/CMakeFiles/finehmm.dir/gpu/ssv_kernel.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/gpu/ssv_kernel.cpp.o.d"
+  "/root/repo/src/gpu/vit_kernel.cpp" "src/CMakeFiles/finehmm.dir/gpu/vit_kernel.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/gpu/vit_kernel.cpp.o.d"
+  "/root/repo/src/gpu/vit_prefix_kernel.cpp" "src/CMakeFiles/finehmm.dir/gpu/vit_prefix_kernel.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/gpu/vit_prefix_kernel.cpp.o.d"
+  "/root/repo/src/hmm/binary_io.cpp" "src/CMakeFiles/finehmm.dir/hmm/binary_io.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/hmm/binary_io.cpp.o.d"
+  "/root/repo/src/hmm/builder.cpp" "src/CMakeFiles/finehmm.dir/hmm/builder.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/hmm/builder.cpp.o.d"
+  "/root/repo/src/hmm/generator.cpp" "src/CMakeFiles/finehmm.dir/hmm/generator.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/hmm/generator.cpp.o.d"
+  "/root/repo/src/hmm/hmm_io.cpp" "src/CMakeFiles/finehmm.dir/hmm/hmm_io.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/hmm/hmm_io.cpp.o.d"
+  "/root/repo/src/hmm/model_db.cpp" "src/CMakeFiles/finehmm.dir/hmm/model_db.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/hmm/model_db.cpp.o.d"
+  "/root/repo/src/hmm/plan7.cpp" "src/CMakeFiles/finehmm.dir/hmm/plan7.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/hmm/plan7.cpp.o.d"
+  "/root/repo/src/hmm/priors.cpp" "src/CMakeFiles/finehmm.dir/hmm/priors.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/hmm/priors.cpp.o.d"
+  "/root/repo/src/hmm/profile.cpp" "src/CMakeFiles/finehmm.dir/hmm/profile.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/hmm/profile.cpp.o.d"
+  "/root/repo/src/hmm/sampler.cpp" "src/CMakeFiles/finehmm.dir/hmm/sampler.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/hmm/sampler.cpp.o.d"
+  "/root/repo/src/perf/cost_model.cpp" "src/CMakeFiles/finehmm.dir/perf/cost_model.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/perf/cost_model.cpp.o.d"
+  "/root/repo/src/perf/report.cpp" "src/CMakeFiles/finehmm.dir/perf/report.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/perf/report.cpp.o.d"
+  "/root/repo/src/pipeline/multi_search.cpp" "src/CMakeFiles/finehmm.dir/pipeline/multi_search.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/pipeline/multi_search.cpp.o.d"
+  "/root/repo/src/pipeline/null2.cpp" "src/CMakeFiles/finehmm.dir/pipeline/null2.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/pipeline/null2.cpp.o.d"
+  "/root/repo/src/pipeline/pipeline.cpp" "src/CMakeFiles/finehmm.dir/pipeline/pipeline.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/pipeline/pipeline.cpp.o.d"
+  "/root/repo/src/pipeline/report.cpp" "src/CMakeFiles/finehmm.dir/pipeline/report.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/pipeline/report.cpp.o.d"
+  "/root/repo/src/pipeline/workload.cpp" "src/CMakeFiles/finehmm.dir/pipeline/workload.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/pipeline/workload.cpp.o.d"
+  "/root/repo/src/profile/fwd_profile.cpp" "src/CMakeFiles/finehmm.dir/profile/fwd_profile.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/profile/fwd_profile.cpp.o.d"
+  "/root/repo/src/profile/msv_profile.cpp" "src/CMakeFiles/finehmm.dir/profile/msv_profile.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/profile/msv_profile.cpp.o.d"
+  "/root/repo/src/profile/vit_profile.cpp" "src/CMakeFiles/finehmm.dir/profile/vit_profile.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/profile/vit_profile.cpp.o.d"
+  "/root/repo/src/simt/device.cpp" "src/CMakeFiles/finehmm.dir/simt/device.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/simt/device.cpp.o.d"
+  "/root/repo/src/simt/grid.cpp" "src/CMakeFiles/finehmm.dir/simt/grid.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/simt/grid.cpp.o.d"
+  "/root/repo/src/simt/occupancy.cpp" "src/CMakeFiles/finehmm.dir/simt/occupancy.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/simt/occupancy.cpp.o.d"
+  "/root/repo/src/stats/calibrate.cpp" "src/CMakeFiles/finehmm.dir/stats/calibrate.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/stats/calibrate.cpp.o.d"
+  "/root/repo/src/stats/distributions.cpp" "src/CMakeFiles/finehmm.dir/stats/distributions.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/stats/distributions.cpp.o.d"
+  "/root/repo/src/util/logspace.cpp" "src/CMakeFiles/finehmm.dir/util/logspace.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/util/logspace.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/finehmm.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/finehmm.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/threadpool.cpp" "src/CMakeFiles/finehmm.dir/util/threadpool.cpp.o" "gcc" "src/CMakeFiles/finehmm.dir/util/threadpool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_binary_io.cpp" "tests/CMakeFiles/finehmm_tests.dir/test_binary_io.cpp.o" "gcc" "tests/CMakeFiles/finehmm_tests.dir/test_binary_io.cpp.o.d"
+  "/root/repo/tests/test_bio.cpp" "tests/CMakeFiles/finehmm_tests.dir/test_bio.cpp.o" "gcc" "tests/CMakeFiles/finehmm_tests.dir/test_bio.cpp.o.d"
+  "/root/repo/tests/test_checkpoint.cpp" "tests/CMakeFiles/finehmm_tests.dir/test_checkpoint.cpp.o" "gcc" "tests/CMakeFiles/finehmm_tests.dir/test_checkpoint.cpp.o.d"
+  "/root/repo/tests/test_cost_model.cpp" "tests/CMakeFiles/finehmm_tests.dir/test_cost_model.cpp.o" "gcc" "tests/CMakeFiles/finehmm_tests.dir/test_cost_model.cpp.o.d"
+  "/root/repo/tests/test_counters.cpp" "tests/CMakeFiles/finehmm_tests.dir/test_counters.cpp.o" "gcc" "tests/CMakeFiles/finehmm_tests.dir/test_counters.cpp.o.d"
+  "/root/repo/tests/test_cross_engine.cpp" "tests/CMakeFiles/finehmm_tests.dir/test_cross_engine.cpp.o" "gcc" "tests/CMakeFiles/finehmm_tests.dir/test_cross_engine.cpp.o.d"
+  "/root/repo/tests/test_filters.cpp" "tests/CMakeFiles/finehmm_tests.dir/test_filters.cpp.o" "gcc" "tests/CMakeFiles/finehmm_tests.dir/test_filters.cpp.o.d"
+  "/root/repo/tests/test_fwd_filter.cpp" "tests/CMakeFiles/finehmm_tests.dir/test_fwd_filter.cpp.o" "gcc" "tests/CMakeFiles/finehmm_tests.dir/test_fwd_filter.cpp.o.d"
+  "/root/repo/tests/test_glocal.cpp" "tests/CMakeFiles/finehmm_tests.dir/test_glocal.cpp.o" "gcc" "tests/CMakeFiles/finehmm_tests.dir/test_glocal.cpp.o.d"
+  "/root/repo/tests/test_goldens.cpp" "tests/CMakeFiles/finehmm_tests.dir/test_goldens.cpp.o" "gcc" "tests/CMakeFiles/finehmm_tests.dir/test_goldens.cpp.o.d"
+  "/root/repo/tests/test_gpu_kernels.cpp" "tests/CMakeFiles/finehmm_tests.dir/test_gpu_kernels.cpp.o" "gcc" "tests/CMakeFiles/finehmm_tests.dir/test_gpu_kernels.cpp.o.d"
+  "/root/repo/tests/test_hmm.cpp" "tests/CMakeFiles/finehmm_tests.dir/test_hmm.cpp.o" "gcc" "tests/CMakeFiles/finehmm_tests.dir/test_hmm.cpp.o.d"
+  "/root/repo/tests/test_io_robustness.cpp" "tests/CMakeFiles/finehmm_tests.dir/test_io_robustness.cpp.o" "gcc" "tests/CMakeFiles/finehmm_tests.dir/test_io_robustness.cpp.o.d"
+  "/root/repo/tests/test_kernel_config.cpp" "tests/CMakeFiles/finehmm_tests.dir/test_kernel_config.cpp.o" "gcc" "tests/CMakeFiles/finehmm_tests.dir/test_kernel_config.cpp.o.d"
+  "/root/repo/tests/test_model_db.cpp" "tests/CMakeFiles/finehmm_tests.dir/test_model_db.cpp.o" "gcc" "tests/CMakeFiles/finehmm_tests.dir/test_model_db.cpp.o.d"
+  "/root/repo/tests/test_msv_wide.cpp" "tests/CMakeFiles/finehmm_tests.dir/test_msv_wide.cpp.o" "gcc" "tests/CMakeFiles/finehmm_tests.dir/test_msv_wide.cpp.o.d"
+  "/root/repo/tests/test_null2.cpp" "tests/CMakeFiles/finehmm_tests.dir/test_null2.cpp.o" "gcc" "tests/CMakeFiles/finehmm_tests.dir/test_null2.cpp.o.d"
+  "/root/repo/tests/test_perf_report.cpp" "tests/CMakeFiles/finehmm_tests.dir/test_perf_report.cpp.o" "gcc" "tests/CMakeFiles/finehmm_tests.dir/test_perf_report.cpp.o.d"
+  "/root/repo/tests/test_pipeline.cpp" "tests/CMakeFiles/finehmm_tests.dir/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/finehmm_tests.dir/test_pipeline.cpp.o.d"
+  "/root/repo/tests/test_pipeline_extended.cpp" "tests/CMakeFiles/finehmm_tests.dir/test_pipeline_extended.cpp.o" "gcc" "tests/CMakeFiles/finehmm_tests.dir/test_pipeline_extended.cpp.o.d"
+  "/root/repo/tests/test_posterior.cpp" "tests/CMakeFiles/finehmm_tests.dir/test_posterior.cpp.o" "gcc" "tests/CMakeFiles/finehmm_tests.dir/test_posterior.cpp.o.d"
+  "/root/repo/tests/test_priors.cpp" "tests/CMakeFiles/finehmm_tests.dir/test_priors.cpp.o" "gcc" "tests/CMakeFiles/finehmm_tests.dir/test_priors.cpp.o.d"
+  "/root/repo/tests/test_profile.cpp" "tests/CMakeFiles/finehmm_tests.dir/test_profile.cpp.o" "gcc" "tests/CMakeFiles/finehmm_tests.dir/test_profile.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/finehmm_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/finehmm_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_seq_db_io.cpp" "tests/CMakeFiles/finehmm_tests.dir/test_seq_db_io.cpp.o" "gcc" "tests/CMakeFiles/finehmm_tests.dir/test_seq_db_io.cpp.o.d"
+  "/root/repo/tests/test_simd_vec.cpp" "tests/CMakeFiles/finehmm_tests.dir/test_simd_vec.cpp.o" "gcc" "tests/CMakeFiles/finehmm_tests.dir/test_simd_vec.cpp.o.d"
+  "/root/repo/tests/test_simt.cpp" "tests/CMakeFiles/finehmm_tests.dir/test_simt.cpp.o" "gcc" "tests/CMakeFiles/finehmm_tests.dir/test_simt.cpp.o.d"
+  "/root/repo/tests/test_smoke.cpp" "tests/CMakeFiles/finehmm_tests.dir/test_smoke.cpp.o" "gcc" "tests/CMakeFiles/finehmm_tests.dir/test_smoke.cpp.o.d"
+  "/root/repo/tests/test_ssv.cpp" "tests/CMakeFiles/finehmm_tests.dir/test_ssv.cpp.o" "gcc" "tests/CMakeFiles/finehmm_tests.dir/test_ssv.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/finehmm_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/finehmm_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_stockholm.cpp" "tests/CMakeFiles/finehmm_tests.dir/test_stockholm.cpp.o" "gcc" "tests/CMakeFiles/finehmm_tests.dir/test_stockholm.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/finehmm_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/finehmm_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/finehmm_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/finehmm_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_vit_prefix.cpp" "tests/CMakeFiles/finehmm_tests.dir/test_vit_prefix.cpp.o" "gcc" "tests/CMakeFiles/finehmm_tests.dir/test_vit_prefix.cpp.o.d"
+  "/root/repo/tests/test_vit_wide.cpp" "tests/CMakeFiles/finehmm_tests.dir/test_vit_wide.cpp.o" "gcc" "tests/CMakeFiles/finehmm_tests.dir/test_vit_wide.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/finehmm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,160 @@
+// Database-scan throughput per filter stage, per SIMD tier, per thread
+// count, on a Swissprot-like synthetic database.
+//
+// Unlike the micro suite (one hot sequence), this drives the
+// allocation-free BatchScanner over a whole database through the
+// ThreadPool's chunked dynamic scheduler — the same path the CPU engines
+// use — so the numbers include real length imbalance and scheduling
+// overhead.  Results are written to BENCH_throughput.json (machine
+// readable; cells/sec per stage x tier x threads) for the roadmap's
+// evidence trail.
+//
+// Usage: bench_throughput [db_scale] [model_length] [out.json]
+//   db_scale default 0.001 (~460 sequences), model_length default 400.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bio/synthetic.hpp"
+#include "cpu/simd_backend/simd_tier.hpp"
+#include "hmm/generator.hpp"
+#include "hmm/profile.hpp"
+#include "pipeline/batch_scanner.hpp"
+#include "profile/fwd_profile.hpp"
+#include "profile/msv_profile.hpp"
+#include "profile/vit_profile.hpp"
+#include "util/threadpool.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace finehmm;
+
+struct Record {
+  const char* stage;
+  const char* tier;
+  std::size_t threads;
+  double cells;
+  double seconds;
+  double cells_per_sec() const { return seconds > 0 ? cells / seconds : 0; }
+};
+
+/// Time one stage over the first `n` database sequences; returns cells/s.
+template <class ScoreFn>
+Record time_stage(const char* stage, cpu::SimdTier tier, ThreadPool& pool,
+                  std::size_t threads, const bio::SequenceDatabase& db,
+                  std::size_t n, int M, ScoreFn&& score) {
+  Timer timer;
+  pool.parallel_for_chunked(
+      n, 16, [&](std::size_t worker, std::size_t begin, std::size_t end) {
+        for (std::size_t s = begin; s < end; ++s)
+          score(worker, db[s].codes.data(), db[s].length());
+      });
+  Record r;
+  r.stage = stage;
+  r.tier = cpu::simd_tier_name(tier);
+  r.threads = threads;
+  r.seconds = timer.seconds();
+  r.cells = 0;
+  for (std::size_t s = 0; s < n; ++s)
+    r.cells += static_cast<double>(db[s].length()) * M;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = argc > 1 ? std::stod(argv[1]) : 0.001;
+  const int M = argc > 2 ? std::stoi(argv[2]) : 400;
+  const std::string out_path =
+      argc > 3 ? argv[3] : "BENCH_throughput.json";
+
+  auto spec = bio::SyntheticDbSpec::swissprot_like(scale);
+  auto db = bio::generate_database(spec);
+  std::size_t total_residues = 0;
+  for (std::size_t s = 0; s < db.size(); ++s)
+    total_residues += db[s].length();
+
+  auto model = hmm::paper_model(M);
+  hmm::SearchProfile prof(model, hmm::AlignMode::kLocalMultihit, 400);
+  profile::MsvProfile msv(prof);
+  profile::VitProfile vit(prof);
+  profile::FwdProfile fwd(prof);
+
+  // Word/float stages cost ~5x the byte stages per cell; cap their slice
+  // of the database so a full sweep stays interactive.
+  const std::size_t n_byte = db.size();
+  const std::size_t n_word = std::min<std::size_t>(db.size(), 200);
+
+  std::size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  std::vector<std::size_t> thread_counts{1};
+  if (hw > 1) thread_counts.push_back(hw);
+
+  std::vector<Record> records;
+  for (cpu::SimdTier tier : cpu::supported_simd_tiers()) {
+    cpu::set_simd_tier(tier);
+    for (std::size_t threads : thread_counts) {
+      ThreadPool pool(threads);
+      pipeline::BatchScanner scanner(msv, vit, &fwd, pool.workers(), tier);
+      // Warm-up: fault in the scanner state before the timed loops.
+      for (std::size_t w = 0; w < scanner.workers(); ++w)
+        scanner.msv(w, db[0].codes.data(), db[0].length());
+
+      records.push_back(time_stage(
+          "ssv", tier, pool, threads, db, n_byte, M,
+          [&](std::size_t w, const std::uint8_t* s, std::size_t L) {
+            scanner.ssv(w, s, L);
+          }));
+      records.push_back(time_stage(
+          "msv", tier, pool, threads, db, n_byte, M,
+          [&](std::size_t w, const std::uint8_t* s, std::size_t L) {
+            scanner.msv(w, s, L);
+          }));
+      records.push_back(time_stage(
+          "vit", tier, pool, threads, db, n_word, M,
+          [&](std::size_t w, const std::uint8_t* s, std::size_t L) {
+            scanner.vit(w, s, L);
+          }));
+      records.push_back(time_stage(
+          "fwd", tier, pool, threads, db, n_word, M,
+          [&](std::size_t w, const std::uint8_t* s, std::size_t L) {
+            scanner.fwd(w, s, L);
+          }));
+
+      const auto& r = records;
+      std::printf("tier=%-8s threads=%zu  ssv=%.3g msv=%.3g vit=%.3g "
+                  "fwd=%.3g cells/s\n",
+                  cpu::simd_tier_name(tier), threads,
+                  r[r.size() - 4].cells_per_sec(),
+                  r[r.size() - 3].cells_per_sec(),
+                  r[r.size() - 2].cells_per_sec(),
+                  r[r.size() - 1].cells_per_sec());
+    }
+  }
+  cpu::reset_simd_tier();
+
+  std::ofstream out(out_path);
+  out << "{\n";
+  out << "  \"bench\": \"throughput\",\n";
+  out << "  \"database\": {\"preset\": \"swissprot_like\", \"scale\": "
+      << scale << ", \"n_sequences\": " << db.size()
+      << ", \"n_residues\": " << total_residues << "},\n";
+  out << "  \"model_length\": " << M << ",\n";
+  out << "  \"results\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    out << "    {\"stage\": \"" << r.stage << "\", \"tier\": \"" << r.tier
+        << "\", \"threads\": " << r.threads << ", \"cells\": " << r.cells
+        << ", \"seconds\": " << r.seconds
+        << ", \"cells_per_sec\": " << r.cells_per_sec() << "}"
+        << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << out_path << "\n";
+  return 0;
+}

@@ -10,6 +10,7 @@
 #include "cpu/msv_filter.hpp"
 #include "cpu/msv_scalar.hpp"
 #include "cpu/msv_wide.hpp"
+#include "cpu/simd_backend/simd_tier.hpp"
 #include "cpu/ssv.hpp"
 #include "cpu/vit_filter.hpp"
 #include "cpu/vit_scalar.hpp"
@@ -82,6 +83,51 @@ void BM_MsvWide(benchmark::State& state) {
 }
 BENCHMARK(BM_MsvWide<32>)->Arg(400);
 BENCHMARK(BM_MsvWide<64>)->Arg(400);
+
+// Per-tier variants: range(1) is the SimdTier (0 portable / 1 sse2 /
+// 2 avx2); tiers this host can't run are skipped, not failed.  The AVX2
+// vs. portable ratio here is the tentpole's headline number.
+void BM_MsvStripedTier(benchmark::State& state) {
+  auto& f = fixture(static_cast<int>(state.range(0)));
+  const auto tier = static_cast<cpu::SimdTier>(state.range(1));
+  if (!cpu::simd_tier_supported(tier)) {
+    state.SkipWithError("tier not supported on this host");
+    return;
+  }
+  cpu::MsvFilter filter(f.msv, tier);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        filter.score(f.seq.codes.data(), f.seq.length()));
+  set_cell_rate(state, static_cast<int>(state.range(0)));
+  state.SetLabel(cpu::simd_tier_name(filter.tier()));
+}
+BENCHMARK(BM_MsvStripedTier)
+    ->Args({400, 0})
+    ->Args({400, 1})
+    ->Args({400, 2})
+    ->Args({1002, 0})
+    ->Args({1002, 2});
+
+void BM_VitStripedTier(benchmark::State& state) {
+  auto& f = fixture(static_cast<int>(state.range(0)));
+  const auto tier = static_cast<cpu::SimdTier>(state.range(1));
+  if (!cpu::simd_tier_supported(tier)) {
+    state.SkipWithError("tier not supported on this host");
+    return;
+  }
+  cpu::VitFilter filter(f.vit, tier);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        filter.score(f.seq.codes.data(), f.seq.length()));
+  set_cell_rate(state, static_cast<int>(state.range(0)));
+  state.SetLabel(cpu::simd_tier_name(filter.tier()));
+}
+BENCHMARK(BM_VitStripedTier)
+    ->Args({400, 0})
+    ->Args({400, 1})
+    ->Args({400, 2})
+    ->Args({1002, 0})
+    ->Args({1002, 2});
 
 void BM_VitScalar(benchmark::State& state) {
   auto& f = fixture(static_cast<int>(state.range(0)));

@@ -1,22 +1,27 @@
 #include "cpu/fwd_filter.hpp"
 
 #include <algorithm>
-#include <cmath>
 
+#include "cpu/simd_backend/backend.hpp"
+#include "cpu/simd_backend/kernels.hpp"
 #include "cpu/simd_vec.hpp"
-#include "util/error.hpp"
-#include "util/logspace.hpp"
 
 namespace finehmm::cpu {
 
 namespace {
+
 constexpr int kLanes = profile::FwdProfile::kLanes;
-constexpr float kRescaleHi = 1e12f;
-constexpr float kRescaleLo = 1e-12f;
-constexpr float kDdEpsilon = 1e-9f;  // relative wrap-mass cutoff
+
+// Forward never runs wider than 128-bit lanes (see header).
+SimdTier fwd_tier(SimdTier requested) {
+  SimdTier t = resolve_simd_tier(requested);
+  return t == SimdTier::kAvx2 ? SimdTier::kSse2 : t;
+}
+
 }  // namespace
 
-FwdFilter::FwdFilter(const profile::FwdProfile& prof) : prof_(prof) {
+FwdFilter::FwdFilter(const profile::FwdProfile& prof, SimdTier tier)
+    : prof_(prof), tier_(fwd_tier(tier)) {
   std::size_t n = static_cast<std::size_t>(prof.striped_segments()) * kLanes;
   mmx_.assign(n, 0.0f);
   imx_.assign(n, 0.0f);
@@ -24,125 +29,28 @@ FwdFilter::FwdFilter(const profile::FwdProfile& prof) : prof_(prof) {
 }
 
 float FwdFilter::score(const std::uint8_t* seq, std::size_t L) {
-  FH_REQUIRE(L >= 1, "cannot score an empty sequence");
-  const int Q = prof_.striped_segments();
-  const auto lm = prof_.length_model_for(static_cast<int>(L));
-
-  std::fill(mmx_.begin(), mmx_.end(), 0.0f);
-  std::fill(imx_.begin(), imx_.end(), 0.0f);
-  std::fill(dmx_.begin(), dmx_.end(), 0.0f);
-
-  auto stripe = [](std::vector<float>& v, int q) {
-    return v.data() + static_cast<std::size_t>(q) * kLanes;
-  };
-
-  double scale_log = 0.0;  // accumulated log of factored-out mass
-  float xN = 1.0f;
-  float xB = xN * lm.move;
-  float xJ = 0.0f;
-  float xC = 0.0f;
-
-  for (std::size_t i = 0; i < L; ++i) {
-    const float* odds = prof_.odds_striped(seq[i]);
-    F32x4 xEv = F32x4::zero();
-    const F32x4 xBv = F32x4::splat(xB * prof_.entry());
-
-    // Previous row's last stripe, lane-shifted = the diagonal.
-    F32x4 mpv = shift_lanes_up(F32x4::load(stripe(mmx_, Q - 1)));
-    F32x4 ipv = shift_lanes_up(F32x4::load(stripe(imx_, Q - 1)));
-    F32x4 dpv = shift_lanes_up(F32x4::load(stripe(dmx_, Q - 1)));
-
-    // Same-row, same-lane left neighbours for the D recurrence
-    //   D(i,k) = M(i,k-1) * tMD(k-1->k) + D(i,k-1) * tDD(k-1->k);
-    // the "in"-indexed stripes hold the link INTO position k, so stripe q
-    // multiplies its own link arrays by the previous stripe's values.
-    F32x4 m_left = F32x4::zero();
-    F32x4 d_left = F32x4::zero();
-
-    for (int q = 0; q < Q; ++q) {
-      const std::size_t off = static_cast<std::size_t>(q) * kLanes;
-      F32x4 sv = xBv;
-      sv = add_f(sv, mul_f(mpv, F32x4::load(prof_.tmm_striped() + off)));
-      sv = add_f(sv, mul_f(ipv, F32x4::load(prof_.tim_striped() + off)));
-      sv = add_f(sv, mul_f(dpv, F32x4::load(prof_.tdm_striped() + off)));
-      sv = mul_f(sv, F32x4::load(odds + off));
-      xEv = add_f(xEv, sv);
-
-      F32x4 d =
-          add_f(mul_f(m_left, F32x4::load(prof_.tmd_in_striped() + off)),
-                mul_f(d_left, F32x4::load(prof_.tdd_in_striped() + off)));
-
-      mpv = F32x4::load(stripe(mmx_, q));
-      ipv = F32x4::load(stripe(imx_, q));
-      dpv = F32x4::load(stripe(dmx_, q));
-
-      sv.store(stripe(mmx_, q));
-      d.store(stripe(dmx_, q));
-
-      F32x4 iv =
-          add_f(mul_f(mpv, F32x4::load(prof_.tmi_striped() + off)),
-                mul_f(ipv, F32x4::load(prof_.tii_striped() + off)));
-      iv.store(stripe(imx_, q));
-
-      m_left = sv;
-      d_left = d;
-    }
-
-    // Cross-lane D mass: what flows over the stripe-(Q-1) -> stripe-0
-    // lane boundary, then decays geometrically through the row.  tDD < 1
-    // guarantees convergence; stop once the circulating mass is
-    // negligible next to what is already banked.
-    F32x4 extra =
-        add_f(mul_f(shift_lanes_up(m_left),
-                    F32x4::load(prof_.tmd_in_striped())),
-              mul_f(shift_lanes_up(d_left),
-                    F32x4::load(prof_.tdd_in_striped())));
-    for (int pass = 0; pass < 4 * Q; ++pass) {
-      float circulating = 0.0f;
-      float held = 0.0f;
-      for (int q = 0; q < Q; ++q) {
-        const std::size_t off = static_cast<std::size_t>(q) * kLanes;
-        if (q > 0)
-          extra = mul_f(extra, F32x4::load(prof_.tdd_in_striped() + off));
-        F32x4 cur = F32x4::load(stripe(dmx_, q));
-        circulating += hsum_f(extra);
-        held += hsum_f(cur);
-        add_f(cur, extra).store(stripe(dmx_, q));
-      }
-      if (circulating <= kDdEpsilon * (held + kRescaleLo)) break;
-      extra = mul_f(shift_lanes_up(extra),
-                    F32x4::load(prof_.tdd_in_striped()));
-    }
-
-    float xE = hsum_f(xEv);
-    xJ = xJ * lm.loop + xE * lm.e_j;
-    xC = xC * lm.loop + xE * lm.e_c;
-    xN = xN * lm.loop;
-    xB = xN * lm.move + xJ * lm.move;
-
-    // Rescale when the row's mass drifts out of float's comfortable range.
-    if (xE > 0.0f && (xE > kRescaleHi || xE < kRescaleLo)) {
-      float inv = 1.0f / xE;
-      for (auto& v : mmx_) v *= inv;
-      for (auto& v : imx_) v *= inv;
-      for (auto& v : dmx_) v *= inv;
-      xN *= inv;
-      xB *= inv;
-      xJ *= inv;
-      xC *= inv;
-      scale_log += std::log(static_cast<double>(xE));
-    }
-  }
-
-  if (xC <= 0.0f) return kNegInf;
-  return static_cast<float>(std::log(static_cast<double>(xC) * lm.move) +
-                            scale_log);
+  if (tier_ == SimdTier::kSse2)
+    return backend::fwd_sse2(prof_, seq, L, mmx_.data(), imx_.data(),
+                             dmx_.data());
+  return simd_kernels::fwd_kernel<F32x4>(prof_, seq, L, mmx_.data(),
+                                         imx_.data(), dmx_.data());
 }
 
 float fwd_striped(const profile::FwdProfile& prof, const std::uint8_t* seq,
                   std::size_t L) {
-  FwdFilter f(prof);
-  return f.score(seq, L);
+  thread_local std::vector<float> mmx, imx, dmx;
+  const std::size_t n =
+      static_cast<std::size_t>(prof.striped_segments()) * kLanes;
+  if (mmx.size() < n) {
+    mmx.resize(n);
+    imx.resize(n);
+    dmx.resize(n);
+  }
+  if (active_simd_tier() != SimdTier::kPortable && backend::have_sse2())
+    return backend::fwd_sse2(prof, seq, L, mmx.data(), imx.data(),
+                             dmx.data());
+  return simd_kernels::fwd_kernel<F32x4>(prof, seq, L, mmx.data(),
+                                         imx.data(), dmx.data());
 }
 
 }  // namespace finehmm::cpu

@@ -12,29 +12,41 @@
 // The result tracks the exact log-space Forward within ~1e-3 nats and is
 // an order of magnitude faster than the generic implementation, fixing
 // the Forward stage's inflated share in the Fig. 1 reproduction.
+//
+// Float summation order is part of the result, so the 128-bit 4-lane
+// striping is the widest bit-exact tier for this filter: requesting AVX2
+// clamps to SSE2 here (see docs/simd_dispatch.md).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "cpu/simd_backend/simd_tier.hpp"
 #include "profile/fwd_profile.hpp"
 
 namespace finehmm::cpu {
 
 class FwdFilter {
  public:
-  explicit FwdFilter(const profile::FwdProfile& prof);
+  explicit FwdFilter(const profile::FwdProfile& prof,
+                     SimdTier tier = active_simd_tier());
 
   /// Forward score (nats).
   float score(const std::uint8_t* seq, std::size_t L);
 
+  /// The tier score() actually runs: the requested tier clamped to what
+  /// the host supports AND to SSE2, this filter's widest bit-exact tier.
+  SimdTier tier() const noexcept { return tier_; }
+
  private:
   const profile::FwdProfile& prof_;
+  SimdTier tier_;
   std::vector<float> mmx_, imx_, dmx_;  // Q stripes x 4 lanes each
 };
 
-/// One-shot convenience wrapper.
+/// One-shot convenience wrapper.  Uses thread-local scratch (grown, never
+/// shrunk) so steady-state database scans allocate nothing per call.
 float fwd_striped(const profile::FwdProfile& prof, const std::uint8_t* seq,
                   std::size_t L);
 

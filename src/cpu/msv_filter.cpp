@@ -1,72 +1,56 @@
 #include "cpu/msv_filter.hpp"
 
-#include <cstring>
-
+#include "cpu/simd_backend/backend.hpp"
+#include "cpu/simd_backend/kernels.hpp"
 #include "cpu/simd_vec.hpp"
-#include "util/error.hpp"
 
 namespace finehmm::cpu {
 
-MsvFilter::MsvFilter(const profile::MsvProfile& prof) : prof_(prof) {
-  row_.assign(static_cast<std::size_t>(prof.striped_segments()) *
-                  profile::MsvProfile::kLanes,
-              0);
+MsvFilter::MsvFilter(const profile::MsvProfile& prof, SimdTier tier)
+    : MsvFilter(prof, tier, nullptr) {}
+
+MsvFilter::MsvFilter(const profile::MsvProfile& prof, SimdTier tier,
+                     std::shared_ptr<const WideMsvStripes<32>> wide)
+    : prof_(prof), tier_(resolve_simd_tier(tier)), wide_(std::move(wide)) {
+  int lanes = profile::MsvProfile::kLanes;
+  int q = prof.striped_segments();
+  if (tier_ == SimdTier::kAvx2) {
+    if (wide_ == nullptr)
+      wide_ = std::make_shared<const WideMsvStripes<32>>(prof);
+    lanes = 32;
+    q = wide_->segments();
+  } else {
+    wide_.reset();
+  }
+  row_.assign(static_cast<std::size_t>(q) * lanes, 0);
 }
 
 FilterResult MsvFilter::score(const std::uint8_t* seq, std::size_t L) {
-  FH_REQUIRE(L >= 1, "cannot score an empty sequence");
-  const int Q = prof_.striped_segments();
-  const U8x16 biasv = U8x16::splat(prof_.bias());
-  const std::uint8_t base = prof_.base();
-  const std::uint8_t tbm = prof_.tbm();
-  const std::uint8_t tec = prof_.tec();
-  const std::uint8_t tjb = prof_.tjb_for(static_cast<int>(L));
-
-  std::memset(row_.data(), 0, row_.size());
-
-  std::uint8_t xJ = 0;
-  std::uint8_t xB = base > tjb ? std::uint8_t(base - tjb) : 0;
-
-  FilterResult out;
-  for (std::size_t i = 0; i < L; ++i) {
-    const std::uint8_t* rbv = prof_.striped_row(seq[i]);
-    const U8x16 xBv = U8x16::splat(xB > tbm ? std::uint8_t(xB - tbm) : 0);
-    U8x16 xEv = U8x16::zero();
-
-    // Diagonal: previous row's last stripe, lanes shifted up by one.
-    U8x16 mpv = shift_lanes_up(
-        U8x16::load(row_.data() + static_cast<std::size_t>(Q - 1) *
-                                      profile::MsvProfile::kLanes));
-    for (int q = 0; q < Q; ++q) {
-      std::uint8_t* cell =
-          row_.data() + static_cast<std::size_t>(q) * profile::MsvProfile::kLanes;
-      U8x16 sv = max_u8(mpv, xBv);
-      sv = adds_u8(sv, biasv);
-      sv = subs_u8(sv, U8x16::load(rbv + static_cast<std::size_t>(q) *
-                                             profile::MsvProfile::kLanes));
-      xEv = max_u8(xEv, sv);
-      mpv = U8x16::load(cell);  // previous-row value (double buffer)
-      sv.store(cell);
-    }
-    std::uint8_t xE = hmax_u8(xEv);
-    if (prof_.overflowed(xE)) {
-      out.score_nats = std::numeric_limits<float>::infinity();
-      out.overflowed = true;
-      return out;
-    }
-    xE = xE > tec ? std::uint8_t(xE - tec) : 0;
-    if (xE > xJ) xJ = xE;
-    xB = xJ > base ? xJ : base;
-    xB = xB > tjb ? std::uint8_t(xB - tjb) : 0;
+  switch (tier_) {
+    case SimdTier::kAvx2:
+      return backend::msv_avx2(prof_, wide_->row(0), wide_->segments(), seq,
+                               L, row_.data());
+    case SimdTier::kSse2:
+      return backend::msv_sse2(prof_, seq, L, row_.data());
+    case SimdTier::kPortable:
+      break;
   }
-  out.score_nats = prof_.score_from_bytes(xJ, static_cast<int>(L));
-  return out;
+  return simd_kernels::msv_kernel<U8x16>(prof_, prof_.striped_row(0),
+                                         prof_.striped_segments(), seq, L,
+                                         row_.data());
 }
 
 FilterResult msv_striped(const profile::MsvProfile& prof,
                          const std::uint8_t* seq, std::size_t L) {
-  MsvFilter f(prof);
-  return f.score(seq, L);
+  thread_local aligned_vector<std::uint8_t> row;
+  const std::size_t n = static_cast<std::size_t>(prof.striped_segments()) *
+                        profile::MsvProfile::kLanes;
+  if (row.size() < n) row.resize(n);
+  if (active_simd_tier() != SimdTier::kPortable && backend::have_sse2())
+    return backend::msv_sse2(prof, seq, L, row.data());
+  return simd_kernels::msv_kernel<U8x16>(prof, prof.striped_row(0),
+                                         prof.striped_segments(), seq, L,
+                                         row.data());
 }
 
 }  // namespace finehmm::cpu

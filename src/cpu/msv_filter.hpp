@@ -1,34 +1,62 @@
 // Striped SIMD MSV filter — the CPU baseline the paper compares against.
 //
-// Farrar striping over 16 byte lanes: model position k (1-based) lives in
+// Farrar striping over byte lanes: model position k (1-based) lives in
 // stripe q=(k-1)%Q, lane j=(k-1)/Q.  The previous row's diagonal
 // dependency is realized by shifting the last stripe's lanes up by one at
 // the start of each row.  This mirrors HMMER 3.0's SSE p7_MSVFilter and
 // returns xJ bytes bit-identical to msv_scalar.
+//
+// The filter dispatches to the widest native SIMD tier the host supports
+// (portable / SSE2 / AVX2; see cpu/simd_backend/simd_tier.hpp).  The
+// AVX2 tier runs 32 byte lanes and therefore re-stripes the emission
+// table once per (model, filter); workers scanning the same model can
+// share that table through the shared_ptr constructor.  Scores are
+// bit-identical at every tier.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 
 #include "cpu/filter_result.hpp"
+#include "cpu/msv_wide.hpp"
+#include "cpu/simd_backend/simd_tier.hpp"
 #include "profile/msv_profile.hpp"
+#include "util/aligned.hpp"
 
 namespace finehmm::cpu {
 
 /// Reusable row storage so database scans don't reallocate per sequence.
 class MsvFilter {
  public:
-  explicit MsvFilter(const profile::MsvProfile& prof);
+  explicit MsvFilter(const profile::MsvProfile& prof,
+                     SimdTier tier = active_simd_tier());
+  /// Share a prebuilt 32-lane emission table between workers (only read
+  /// when the resolved tier is AVX2; may be nullptr otherwise).
+  MsvFilter(const profile::MsvProfile& prof, SimdTier tier,
+            std::shared_ptr<const WideMsvStripes<32>> wide);
 
   FilterResult score(const std::uint8_t* seq, std::size_t L);
 
+  /// The tier score() actually runs (the requested tier clamped to what
+  /// the host supports).
+  SimdTier tier() const noexcept { return tier_; }
+  /// The 32-lane emission table, non-null iff tier() == kAvx2.
+  const std::shared_ptr<const WideMsvStripes<32>>& wide_stripes() const {
+    return wide_;
+  }
+
  private:
   const profile::MsvProfile& prof_;
-  // Q stripes x 16 lanes of the current DP row.
-  std::vector<std::uint8_t> row_;
+  SimdTier tier_;
+  std::shared_ptr<const WideMsvStripes<32>> wide_;
+  // Q stripes x lane-count bytes of the current DP row.
+  aligned_vector<std::uint8_t> row_;
 };
 
-/// One-shot convenience wrapper.
+/// One-shot convenience wrapper.  Uses thread-local scratch (grown, never
+/// shrunk) so steady-state database scans allocate nothing per call; runs
+/// the widest tier that needs no per-model re-striping (SSE2 on x86-64).
 FilterResult msv_striped(const profile::MsvProfile& prof,
                          const std::uint8_t* seq, std::size_t L);
 

@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "cpu/filter_result.hpp"
+#include "cpu/simd_backend/backend.hpp"
+#include "cpu/simd_backend/simd_tier.hpp"
 #include "profile/msv_profile.hpp"
 #include "util/aligned.hpp"
 #include "util/error.hpp"
@@ -24,6 +26,7 @@ namespace finehmm::cpu {
 template <int N>
 struct U8xN {
   static_assert(N >= 2 && (N & (N - 1)) == 0, "lane count: power of two");
+  static constexpr int kLanes = N;
   std::uint8_t v[N];
 
   static U8xN splat(std::uint8_t x) {
@@ -104,53 +107,26 @@ class WideMsvStripes {
   aligned_vector<std::uint8_t> rows_;
 };
 
-/// N-lane striped MSV; scores are byte-exact with cpu::msv_scalar.
+/// N-lane striped MSV; scores are byte-exact with cpu::msv_scalar.  The
+/// body is the shared simd_kernels::msv_kernel; the 32-lane instance is
+/// routed to the native AVX2 backend when the host supports it (the
+/// portable template remains the specification and the fallback).
+/// Scratch is thread-local and grown monotonically, so repeated scans
+/// allocate nothing per call.
 template <int N>
 FilterResult msv_striped_wide(const profile::MsvProfile& prof,
                               const WideMsvStripes<N>& stripes,
                               const std::uint8_t* seq, std::size_t L) {
-  FH_REQUIRE(L >= 1, "cannot score an empty sequence");
   const int Q = stripes.segments();
-  const U8xN<N> biasv = U8xN<N>::splat(prof.bias());
-  const std::uint8_t base = prof.base();
-  const std::uint8_t tbm = prof.tbm();
-  const std::uint8_t tec = prof.tec();
-  const std::uint8_t tjb = prof.tjb_for(static_cast<int>(L));
-
-  std::vector<std::uint8_t> row(static_cast<std::size_t>(Q) * N, 0);
-  std::uint8_t xJ = 0;
-  std::uint8_t xB = base > tjb ? std::uint8_t(base - tjb) : 0;
-
-  FilterResult out;
-  for (std::size_t i = 0; i < L; ++i) {
-    const std::uint8_t* rbv = stripes.row(seq[i]);
-    const U8xN<N> xBv =
-        U8xN<N>::splat(xB > tbm ? std::uint8_t(xB - tbm) : 0);
-    U8xN<N> xEv = U8xN<N>::splat(0);
-    U8xN<N> mpv = shift_lanes_up(
-        U8xN<N>::load(row.data() + static_cast<std::size_t>(Q - 1) * N));
-    for (int q = 0; q < Q; ++q) {
-      std::uint8_t* cell = row.data() + static_cast<std::size_t>(q) * N;
-      U8xN<N> sv = max_u8(mpv, xBv);
-      sv = adds_u8(sv, biasv);
-      sv = subs_u8(sv, U8xN<N>::load(rbv + static_cast<std::size_t>(q) * N));
-      xEv = max_u8(xEv, sv);
-      mpv = U8xN<N>::load(cell);
-      sv.store(cell);
-    }
-    std::uint8_t xE = hmax_u8(xEv);
-    if (prof.overflowed(xE)) {
-      out.score_nats = std::numeric_limits<float>::infinity();
-      out.overflowed = true;
-      return out;
-    }
-    xE = xE > tec ? std::uint8_t(xE - tec) : 0;
-    if (xE > xJ) xJ = xE;
-    xB = xJ > base ? xJ : base;
-    xB = xB > tjb ? std::uint8_t(xB - tjb) : 0;
+  thread_local std::vector<std::uint8_t> row;
+  if (row.size() < static_cast<std::size_t>(Q) * N)
+    row.resize(static_cast<std::size_t>(Q) * N);
+  if constexpr (N == 32) {
+    if (backend::have_avx2() && active_simd_tier() == SimdTier::kAvx2)
+      return backend::msv_avx2(prof, stripes.row(0), Q, seq, L, row.data());
   }
-  out.score_nats = prof.score_from_bytes(xJ, static_cast<int>(L));
-  return out;
+  return simd_kernels::msv_kernel<U8xN<N>>(prof, stripes.row(0), Q, seq, L,
+                                           row.data());
 }
 
 }  // namespace finehmm::cpu

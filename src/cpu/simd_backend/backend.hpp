@@ -1,0 +1,64 @@
+// Native filter backend entry points.
+//
+// Each function is one striped filter kernel instantiated with a native
+// vector class (vec_sse2.hpp / vec_avx2.hpp) inside an ISA-specific
+// translation unit; this header itself is plain C++ and safe to include
+// anywhere.  All entry points take caller-owned DP scratch and perform no
+// heap allocation.  Callers must not invoke a tier whose have_*() probe
+// returns false — the dispatcher (cpu::resolve_simd_tier and the filter
+// classes) guarantees that; the stubs compiled on non-x86 hosts throw.
+//
+// Layout contracts:
+//   * msv_sse2 / ssv_sse2 / vit_sse2 / fwd_sse2 read the profiles' own
+//     128-bit striped arrays (16 bytes / 8 words / 4 floats per stripe).
+//   * msv_avx2 / ssv_avx2 take a 32-lane re-striped emission table
+//     (cpu::WideMsvStripes<32> layout: residue x at rows + x*Q*32).
+//   * vit_avx2 takes a 16-lane VitStripesView (cpu::WideVitStripes<16>).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "cpu/filter_result.hpp"
+#include "cpu/simd_backend/kernels.hpp"
+#include "profile/fwd_profile.hpp"
+#include "profile/msv_profile.hpp"
+#include "profile/vit_profile.hpp"
+
+namespace finehmm::cpu::backend {
+
+/// True when the SSE2 backend is compiled in and this CPU can run it.
+bool have_sse2();
+/// True when the AVX2 backend is compiled in and this CPU can run it.
+bool have_avx2();
+
+// ---- SSE2 tier (128-bit, the profiles' native striping) ----
+FilterResult msv_sse2(const profile::MsvProfile& prof,
+                      const std::uint8_t* seq, std::size_t L,
+                      std::uint8_t* row);
+FilterResult ssv_sse2(const profile::MsvProfile& prof,
+                      const std::uint8_t* seq, std::size_t L,
+                      std::uint8_t* row);
+FilterResult vit_sse2(const profile::VitProfile& prof,
+                      const std::uint8_t* seq, std::size_t L,
+                      std::int16_t* mmx, std::int16_t* imx,
+                      std::int16_t* dmx, int* lazyf_passes = nullptr);
+float fwd_sse2(const profile::FwdProfile& prof, const std::uint8_t* seq,
+               std::size_t L, float* mmx, float* imx, float* dmx);
+
+// ---- AVX2 tier (256-bit, caller-provided re-striped parameters) ----
+FilterResult msv_avx2(const profile::MsvProfile& prof,
+                      const std::uint8_t* rows, int Q,
+                      const std::uint8_t* seq, std::size_t L,
+                      std::uint8_t* row);
+FilterResult ssv_avx2(const profile::MsvProfile& prof,
+                      const std::uint8_t* rows, int Q,
+                      const std::uint8_t* seq, std::size_t L,
+                      std::uint8_t* row);
+FilterResult vit_avx2(const profile::VitProfile& prof,
+                      const simd_kernels::VitStripesView& st,
+                      const std::uint8_t* seq, std::size_t L,
+                      std::int16_t* mmx, std::int16_t* imx,
+                      std::int16_t* dmx, int* lazyf_passes = nullptr);
+
+}  // namespace finehmm::cpu::backend

@@ -1,0 +1,74 @@
+// AVX2 instantiations of the striped filter kernels.
+//
+// This is the only TU in the library compiled with -mavx2 (set per-file
+// from src/CMakeLists.txt, which also defines FINEHMM_BACKEND_AVX2; there
+// is deliberately no global -march so the rest of the binary stays
+// runnable on any x86-64).  have_avx2() combines that compile-time
+// availability with a cpuid probe, so a binary built here still runs —
+// and correctly reports the tier unavailable — on an SSE2-only machine.
+#include "cpu/simd_backend/backend.hpp"
+
+#include "util/error.hpp"
+
+#if defined(FINEHMM_BACKEND_AVX2) && defined(__AVX2__)
+#define FINEHMM_AVX2_TU 1
+#include "cpu/simd_backend/vec_avx2.hpp"
+#endif
+
+namespace finehmm::cpu::backend {
+
+#if FINEHMM_AVX2_TU
+
+bool have_avx2() {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+FilterResult msv_avx2(const profile::MsvProfile& prof,
+                      const std::uint8_t* rows, int Q,
+                      const std::uint8_t* seq, std::size_t L,
+                      std::uint8_t* row) {
+  return simd_kernels::msv_kernel<AvxU8x32>(prof, rows, Q, seq, L, row);
+}
+
+FilterResult ssv_avx2(const profile::MsvProfile& prof,
+                      const std::uint8_t* rows, int Q,
+                      const std::uint8_t* seq, std::size_t L,
+                      std::uint8_t* row) {
+  return simd_kernels::ssv_kernel<AvxU8x32>(prof, rows, Q, seq, L, row);
+}
+
+FilterResult vit_avx2(const profile::VitProfile& prof,
+                      const simd_kernels::VitStripesView& st,
+                      const std::uint8_t* seq, std::size_t L,
+                      std::int16_t* mmx, std::int16_t* imx,
+                      std::int16_t* dmx, int* lazyf_passes) {
+  return simd_kernels::vit_kernel<AvxI16x16>(prof, st, seq, L, mmx, imx,
+                                             dmx, lazyf_passes);
+}
+
+#else  // AVX2 backend not compiled in: stubs, never dispatched to
+
+bool have_avx2() { return false; }
+
+FilterResult msv_avx2(const profile::MsvProfile&, const std::uint8_t*, int,
+                      const std::uint8_t*, std::size_t, std::uint8_t*) {
+  throw Error("AVX2 backend not compiled into this binary");
+}
+FilterResult ssv_avx2(const profile::MsvProfile&, const std::uint8_t*, int,
+                      const std::uint8_t*, std::size_t, std::uint8_t*) {
+  throw Error("AVX2 backend not compiled into this binary");
+}
+FilterResult vit_avx2(const profile::VitProfile&,
+                      const simd_kernels::VitStripesView&,
+                      const std::uint8_t*, std::size_t, std::int16_t*,
+                      std::int16_t*, std::int16_t*, int*) {
+  throw Error("AVX2 backend not compiled into this binary");
+}
+
+#endif
+
+}  // namespace finehmm::cpu::backend

@@ -1,0 +1,82 @@
+// SSE2 instantiations of the striped filter kernels.
+//
+// SSE2 is part of the x86-64 baseline ABI, so this TU needs no extra
+// compile flags; on non-x86 targets it degrades to stubs and have_sse2()
+// reports false, leaving the portable tier in charge.
+#include "cpu/simd_backend/backend.hpp"
+
+#include "util/error.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64) || defined(__SSE2__)
+#define FINEHMM_SSE2_TU 1
+#include "cpu/simd_backend/vec_sse2.hpp"
+#endif
+
+namespace finehmm::cpu::backend {
+
+#if FINEHMM_SSE2_TU
+
+bool have_sse2() { return true; }
+
+FilterResult msv_sse2(const profile::MsvProfile& prof,
+                      const std::uint8_t* seq, std::size_t L,
+                      std::uint8_t* row) {
+  return simd_kernels::msv_kernel<SseU8x16>(
+      prof, prof.striped_row(0), prof.striped_segments(), seq, L, row);
+}
+
+FilterResult ssv_sse2(const profile::MsvProfile& prof,
+                      const std::uint8_t* seq, std::size_t L,
+                      std::uint8_t* row) {
+  return simd_kernels::ssv_kernel<SseU8x16>(
+      prof, prof.striped_row(0), prof.striped_segments(), seq, L, row);
+}
+
+FilterResult vit_sse2(const profile::VitProfile& prof,
+                      const std::uint8_t* seq, std::size_t L,
+                      std::int16_t* mmx, std::int16_t* imx,
+                      std::int16_t* dmx, int* lazyf_passes) {
+  simd_kernels::VitStripesView st;
+  st.msc = prof.msc_striped(0);
+  st.tmm = prof.tmm_striped();
+  st.tim = prof.tim_striped();
+  st.tdm = prof.tdm_striped();
+  st.tmi = prof.tmi_striped();
+  st.tii = prof.tii_striped();
+  st.tmd = prof.tmd_striped();
+  st.tdd = prof.tdd_striped();
+  st.Q = prof.striped_segments();
+  return simd_kernels::vit_kernel<SseI16x8>(prof, st, seq, L, mmx, imx,
+                                            dmx, lazyf_passes);
+}
+
+float fwd_sse2(const profile::FwdProfile& prof, const std::uint8_t* seq,
+               std::size_t L, float* mmx, float* imx, float* dmx) {
+  return simd_kernels::fwd_kernel<SseF32x4>(prof, seq, L, mmx, imx, dmx);
+}
+
+#else  // non-x86 host: stubs, never dispatched to
+
+bool have_sse2() { return false; }
+
+FilterResult msv_sse2(const profile::MsvProfile&, const std::uint8_t*,
+                      std::size_t, std::uint8_t*) {
+  throw Error("SSE2 backend not available on this target");
+}
+FilterResult ssv_sse2(const profile::MsvProfile&, const std::uint8_t*,
+                      std::size_t, std::uint8_t*) {
+  throw Error("SSE2 backend not available on this target");
+}
+FilterResult vit_sse2(const profile::VitProfile&, const std::uint8_t*,
+                      std::size_t, std::int16_t*, std::int16_t*,
+                      std::int16_t*, int*) {
+  throw Error("SSE2 backend not available on this target");
+}
+float fwd_sse2(const profile::FwdProfile&, const std::uint8_t*, std::size_t,
+               float*, float*, float*) {
+  throw Error("SSE2 backend not available on this target");
+}
+
+#endif
+
+}  // namespace finehmm::cpu::backend

@@ -1,0 +1,378 @@
+// Width- and ISA-generic striped filter kernels.
+//
+// Each kernel is the single definition of its filter's inner loop,
+// templated on a vector class V that supplies the lane operations via
+// ADL-found friends (splat/load/store, max_u8/adds_u8/subs_u8/hmax_u8 for
+// bytes; max_i16/adds_w/hmax_i16/any_gt_i16 for words; add_f/mul_f/hsum_f
+// for floats; shift_lanes_up for all).  The portable classes
+// (cpu/simd_vec.hpp, cpu/msv_wide.hpp, cpu/vit_wide.hpp) and the native
+// SSE2/AVX2 wrappers (vec_sse2.hpp, vec_avx2.hpp) all satisfy the same
+// contract, so every tier executes literally the same algorithm — which
+// is what makes the bit-exactness guarantee structural rather than
+// empirical.
+//
+// Kernels take raw striped-parameter pointers (residue x's stripe row
+// lives at base + x*Q*N) and caller-owned DP row storage, so they perform
+// no allocation and no layout decisions of their own.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+#include "cpu/filter_result.hpp"
+#include "profile/fwd_profile.hpp"
+#include "profile/msv_profile.hpp"
+#include "profile/vit_profile.hpp"
+#include "util/error.hpp"
+#include "util/logspace.hpp"
+
+namespace finehmm::cpu::simd_kernels {
+
+/// Striped MSV over N = V::kLanes byte lanes.  `rows` is the striped
+/// emission table for this lane count (row of residue x at x*Q*N); `row`
+/// is caller-owned scratch of Q*N bytes.
+template <class V>
+FilterResult msv_kernel(const profile::MsvProfile& prof,
+                        const std::uint8_t* rows, int Q,
+                        const std::uint8_t* seq, std::size_t L,
+                        std::uint8_t* row) {
+  constexpr int N = V::kLanes;
+  FH_REQUIRE(L >= 1, "cannot score an empty sequence");
+  const V biasv = V::splat(prof.bias());
+  const std::uint8_t base = prof.base();
+  const std::uint8_t tbm = prof.tbm();
+  const std::uint8_t tec = prof.tec();
+  const std::uint8_t tjb = prof.tjb_for(static_cast<int>(L));
+
+  std::memset(row, 0, static_cast<std::size_t>(Q) * N);
+
+  std::uint8_t xJ = 0;
+  std::uint8_t xB = base > tjb ? std::uint8_t(base - tjb) : 0;
+
+  FilterResult out;
+  for (std::size_t i = 0; i < L; ++i) {
+    const std::uint8_t* rbv =
+        rows + static_cast<std::size_t>(seq[i]) * Q * N;
+    const V xBv = V::splat(xB > tbm ? std::uint8_t(xB - tbm) : 0);
+    V xEv = V::splat(0);
+
+    // Diagonal: previous row's last stripe, lanes shifted up by one.
+    V mpv = shift_lanes_up(
+        V::load(row + static_cast<std::size_t>(Q - 1) * N));
+    for (int q = 0; q < Q; ++q) {
+      std::uint8_t* cell = row + static_cast<std::size_t>(q) * N;
+      V sv = max_u8(mpv, xBv);
+      sv = adds_u8(sv, biasv);
+      sv = subs_u8(sv, V::load(rbv + static_cast<std::size_t>(q) * N));
+      xEv = max_u8(xEv, sv);
+      mpv = V::load(cell);  // previous-row value (double buffer)
+      sv.store(cell);
+    }
+    std::uint8_t xE = hmax_u8(xEv);
+    if (prof.overflowed(xE)) {
+      out.score_nats = std::numeric_limits<float>::infinity();
+      out.overflowed = true;
+      return out;
+    }
+    xE = xE > tec ? std::uint8_t(xE - tec) : 0;
+    if (xE > xJ) xJ = xE;
+    xB = xJ > base ? xJ : base;
+    xB = xB > tjb ? std::uint8_t(xB - tjb) : 0;
+  }
+  out.score_nats = prof.score_from_bytes(xJ, static_cast<int>(L));
+  return out;
+}
+
+/// Striped SSV (no J state) over N byte lanes; same parameter layout and
+/// scratch contract as msv_kernel.
+template <class V>
+FilterResult ssv_kernel(const profile::MsvProfile& prof,
+                        const std::uint8_t* rows, int Q,
+                        const std::uint8_t* seq, std::size_t L,
+                        std::uint8_t* row) {
+  constexpr int N = V::kLanes;
+  FH_REQUIRE(L >= 1, "cannot score an empty sequence");
+  const V biasv = V::splat(prof.bias());
+  const std::uint8_t tjb = prof.tjb_for(static_cast<int>(L));
+  const std::uint8_t base_less_tjb =
+      prof.base() > tjb ? std::uint8_t(prof.base() - tjb) : 0;
+  const V xBv = V::splat(base_less_tjb > prof.tbm()
+                             ? std::uint8_t(base_less_tjb - prof.tbm())
+                             : 0);
+
+  std::memset(row, 0, static_cast<std::size_t>(Q) * N);
+  V xEv = V::splat(0);
+
+  auto finish = [&prof, L](std::uint8_t xEmax, bool overflowed) {
+    FilterResult out;
+    if (overflowed) {
+      out.score_nats = std::numeric_limits<float>::infinity();
+      out.overflowed = true;
+      return out;
+    }
+    std::uint8_t xJ =
+        xEmax > prof.tec() ? std::uint8_t(xEmax - prof.tec()) : 0;
+    out.score_nats = prof.score_from_bytes(xJ, static_cast<int>(L));
+    return out;
+  };
+
+  for (std::size_t i = 0; i < L; ++i) {
+    const std::uint8_t* rbv =
+        rows + static_cast<std::size_t>(seq[i]) * Q * N;
+    V mpv = shift_lanes_up(
+        V::load(row + static_cast<std::size_t>(Q - 1) * N));
+    for (int q = 0; q < Q; ++q) {
+      std::uint8_t* cell = row + static_cast<std::size_t>(q) * N;
+      V sv = max_u8(mpv, xBv);
+      sv = adds_u8(sv, biasv);
+      sv = subs_u8(sv, V::load(rbv + static_cast<std::size_t>(q) * N));
+      xEv = max_u8(xEv, sv);
+      mpv = V::load(cell);
+      sv.store(cell);
+    }
+    if (prof.overflowed(hmax_u8(xEv)))
+      return finish(hmax_u8(xEv), /*overflowed=*/true);
+  }
+  return finish(hmax_u8(xEv), /*overflowed=*/false);
+}
+
+/// The eight striped parameter arrays the Viterbi kernel reads, laid out
+/// for one lane count (residue x's emission stripes at msc + x*Q*N).
+struct VitStripesView {
+  const std::int16_t* msc = nullptr;
+  const std::int16_t* tmm = nullptr;
+  const std::int16_t* tim = nullptr;
+  const std::int16_t* tdm = nullptr;
+  const std::int16_t* tmi = nullptr;
+  const std::int16_t* tii = nullptr;
+  const std::int16_t* tmd = nullptr;
+  const std::int16_t* tdd = nullptr;
+  int Q = 0;
+};
+
+/// Striped ViterbiFilter with Lazy-F over N = V::kLanes word lanes.
+/// mmx/imx/dmx are caller-owned scratch of Q*N words each; lazyf_passes
+/// (optional) receives the number of wrap passes executed.
+template <class V>
+FilterResult vit_kernel(const profile::VitProfile& prof,
+                        const VitStripesView& st, const std::uint8_t* seq,
+                        std::size_t L, std::int16_t* mmx, std::int16_t* imx,
+                        std::int16_t* dmx, int* lazyf_passes = nullptr) {
+  using profile::kWordNegInf;
+  using profile::sat_add_word;
+  constexpr int N = V::kLanes;
+  FH_REQUIRE(L >= 1, "cannot score an empty sequence");
+  const int Q = st.Q;
+  const auto lm = prof.length_model_for(static_cast<int>(L));
+  const std::size_t n = static_cast<std::size_t>(Q) * N;
+  int passes = 0;
+
+  std::fill(mmx, mmx + n, kWordNegInf);
+  std::fill(imx, imx + n, kWordNegInf);
+  std::fill(dmx, dmx + n, kWordNegInf);
+
+  auto stripe = [](std::int16_t* v, int q) {
+    return v + static_cast<std::size_t>(q) * N;
+  };
+
+  std::int16_t xN = profile::VitProfile::kBase;
+  std::int16_t xB = sat_add_word(xN, lm.move);
+  std::int16_t xJ = kWordNegInf;
+  std::int16_t xC = kWordNegInf;
+
+  for (std::size_t i = 0; i < L; ++i) {
+    const std::int16_t* msr =
+        st.msc + static_cast<std::size_t>(seq[i]) * Q * N;
+    V xEv = V::neg_inf();
+    V dcv = V::neg_inf();
+    const V xBv = V::splat(sat_add_word(xB, prof.entry()));
+
+    // Previous row's last stripe, lanes shifted up = the diagonal.
+    V mpv = shift_lanes_up(V::load(stripe(mmx, Q - 1)));
+    V ipv = shift_lanes_up(V::load(stripe(imx, Q - 1)));
+    V dpv = shift_lanes_up(V::load(stripe(dmx, Q - 1)));
+
+    for (int q = 0; q < Q; ++q) {
+      const std::size_t off = static_cast<std::size_t>(q) * N;
+      V sv = xBv;
+      sv = max_i16(sv, adds_w(mpv, V::load(st.tmm + off)));
+      sv = max_i16(sv, adds_w(ipv, V::load(st.tim + off)));
+      sv = max_i16(sv, adds_w(dpv, V::load(st.tdm + off)));
+      sv = adds_w(sv, V::load(msr + off));
+      xEv = max_i16(xEv, sv);
+
+      // Stash previous-row stripes before overwriting (double buffer).
+      mpv = V::load(stripe(mmx, q));
+      ipv = V::load(stripe(imx, q));
+      dpv = V::load(stripe(dmx, q));
+
+      sv.store(stripe(mmx, q));
+      dcv.store(stripe(dmx, q));
+
+      // Next position's D: M->D from this stripe, or D->D continuation.
+      dcv = max_i16(adds_w(sv, V::load(st.tmd + off)),
+                    adds_w(dcv, V::load(st.tdd + off)));
+
+      V iv = max_i16(adds_w(mpv, V::load(st.tmi + off)),
+                     adds_w(ipv, V::load(st.tii + off)));
+      iv.store(stripe(imx, q));
+    }
+
+    // Lazy-F: wrap the dangling D chain into the next lane and keep
+    // propagating while anything improves.
+    dcv = shift_lanes_up(dcv);
+    for (int pass = 0; pass < N; ++pass) {
+      bool improved = false;
+      for (int q = 0; q < Q; ++q) {
+        const std::size_t off = static_cast<std::size_t>(q) * N;
+        V cur = V::load(stripe(dmx, q));
+        if (any_gt_i16(dcv, cur)) {
+          improved = true;
+          cur = max_i16(cur, dcv);
+          cur.store(stripe(dmx, q));
+        }
+        dcv = adds_w(cur, V::load(st.tdd + off));
+      }
+      if (!improved) break;
+      ++passes;
+      dcv = shift_lanes_up(dcv);
+    }
+
+    std::int16_t xE = hmax_i16(xEv);
+    xJ = std::max(sat_add_word(xJ, lm.loop), sat_add_word(xE, prof.e_j()));
+    xC = std::max(sat_add_word(xC, lm.loop), sat_add_word(xE, prof.e_c()));
+    xN = sat_add_word(xN, lm.loop);
+    xB = std::max(sat_add_word(xN, lm.move), sat_add_word(xJ, lm.move));
+  }
+
+  if (lazyf_passes != nullptr) *lazyf_passes = passes;
+  FilterResult out;
+  out.score_nats = prof.score_from_words(xC, lm);
+  return out;
+}
+
+/// Striped float Forward.  The lane count is pinned to the profile's
+/// 4-float striping: float summation order is part of the result, so the
+/// 128-bit width is the widest bit-exact tier for this filter (see
+/// docs/simd_dispatch.md).  mmx/imx/dmx are Q*4 floats of caller scratch.
+template <class V>
+float fwd_kernel(const profile::FwdProfile& prof, const std::uint8_t* seq,
+                 std::size_t L, float* mmx, float* imx, float* dmx) {
+  static_assert(V::kLanes == profile::FwdProfile::kLanes,
+                "Forward striping is fixed at 4 float lanes");
+  constexpr int kLanes = profile::FwdProfile::kLanes;
+  constexpr float kRescaleHi = 1e12f;
+  constexpr float kRescaleLo = 1e-12f;
+  constexpr float kDdEpsilon = 1e-9f;  // relative wrap-mass cutoff
+  FH_REQUIRE(L >= 1, "cannot score an empty sequence");
+  const int Q = prof.striped_segments();
+  const auto lm = prof.length_model_for(static_cast<int>(L));
+  const std::size_t n = static_cast<std::size_t>(Q) * kLanes;
+
+  std::fill(mmx, mmx + n, 0.0f);
+  std::fill(imx, imx + n, 0.0f);
+  std::fill(dmx, dmx + n, 0.0f);
+
+  auto stripe = [](float* v, int q) {
+    return v + static_cast<std::size_t>(q) * kLanes;
+  };
+
+  double scale_log = 0.0;  // accumulated log of factored-out mass
+  float xN = 1.0f;
+  float xB = xN * lm.move;
+  float xJ = 0.0f;
+  float xC = 0.0f;
+
+  for (std::size_t i = 0; i < L; ++i) {
+    const float* odds = prof.odds_striped(seq[i]);
+    V xEv = V::splat(0.0f);
+    const V xBv = V::splat(xB * prof.entry());
+
+    // Previous row's last stripe, lane-shifted = the diagonal.
+    V mpv = shift_lanes_up(V::load(stripe(mmx, Q - 1)));
+    V ipv = shift_lanes_up(V::load(stripe(imx, Q - 1)));
+    V dpv = shift_lanes_up(V::load(stripe(dmx, Q - 1)));
+
+    // Same-row, same-lane left neighbours for the D recurrence; see
+    // cpu/fwd_filter.hpp for the striping notes.
+    V m_left = V::splat(0.0f);
+    V d_left = V::splat(0.0f);
+
+    for (int q = 0; q < Q; ++q) {
+      const std::size_t off = static_cast<std::size_t>(q) * kLanes;
+      V sv = xBv;
+      sv = add_f(sv, mul_f(mpv, V::load(prof.tmm_striped() + off)));
+      sv = add_f(sv, mul_f(ipv, V::load(prof.tim_striped() + off)));
+      sv = add_f(sv, mul_f(dpv, V::load(prof.tdm_striped() + off)));
+      sv = mul_f(sv, V::load(odds + off));
+      xEv = add_f(xEv, sv);
+
+      V d = add_f(mul_f(m_left, V::load(prof.tmd_in_striped() + off)),
+                  mul_f(d_left, V::load(prof.tdd_in_striped() + off)));
+
+      mpv = V::load(stripe(mmx, q));
+      ipv = V::load(stripe(imx, q));
+      dpv = V::load(stripe(dmx, q));
+
+      sv.store(stripe(mmx, q));
+      d.store(stripe(dmx, q));
+
+      V iv = add_f(mul_f(mpv, V::load(prof.tmi_striped() + off)),
+                   mul_f(ipv, V::load(prof.tii_striped() + off)));
+      iv.store(stripe(imx, q));
+
+      m_left = sv;
+      d_left = d;
+    }
+
+    // Cross-lane D mass: geometric decay through the row; stop once the
+    // circulating mass is negligible next to what is already banked.
+    V extra =
+        add_f(mul_f(shift_lanes_up(m_left), V::load(prof.tmd_in_striped())),
+              mul_f(shift_lanes_up(d_left), V::load(prof.tdd_in_striped())));
+    for (int pass = 0; pass < 4 * Q; ++pass) {
+      float circulating = 0.0f;
+      float held = 0.0f;
+      for (int q = 0; q < Q; ++q) {
+        const std::size_t off = static_cast<std::size_t>(q) * kLanes;
+        if (q > 0)
+          extra = mul_f(extra, V::load(prof.tdd_in_striped() + off));
+        V cur = V::load(stripe(dmx, q));
+        circulating += hsum_f(extra);
+        held += hsum_f(cur);
+        add_f(cur, extra).store(stripe(dmx, q));
+      }
+      if (circulating <= kDdEpsilon * (held + kRescaleLo)) break;
+      extra =
+          mul_f(shift_lanes_up(extra), V::load(prof.tdd_in_striped()));
+    }
+
+    float xE = hsum_f(xEv);
+    xJ = xJ * lm.loop + xE * lm.e_j;
+    xC = xC * lm.loop + xE * lm.e_c;
+    xN = xN * lm.loop;
+    xB = xN * lm.move + xJ * lm.move;
+
+    // Rescale when the row's mass drifts out of float's comfortable range.
+    if (xE > 0.0f && (xE > kRescaleHi || xE < kRescaleLo)) {
+      float inv = 1.0f / xE;
+      for (std::size_t j = 0; j < n; ++j) mmx[j] *= inv;
+      for (std::size_t j = 0; j < n; ++j) imx[j] *= inv;
+      for (std::size_t j = 0; j < n; ++j) dmx[j] *= inv;
+      xN *= inv;
+      xB *= inv;
+      xJ *= inv;
+      xC *= inv;
+      scale_log += std::log(static_cast<double>(xE));
+    }
+  }
+
+  if (xC <= 0.0f) return kNegInf;
+  return static_cast<float>(std::log(static_cast<double>(xC) * lm.move) +
+                            scale_log);
+}
+
+}  // namespace finehmm::cpu::simd_kernels

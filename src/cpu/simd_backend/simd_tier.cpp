@@ -1,0 +1,101 @@
+#include "cpu/simd_backend/simd_tier.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "cpu/simd_backend/backend.hpp"
+
+namespace finehmm::cpu {
+
+namespace {
+
+// -1 = no override; otherwise the int value of a SimdTier.
+std::atomic<int> g_override{-1};
+
+SimdTier env_or_auto_tier() {
+  static const SimdTier cached = [] {
+    const char* env = std::getenv("FINEHMM_SIMD");
+    if (env != nullptr && env[0] != '\0') {
+      std::string_view name(env);
+      if (name != "auto") {
+        auto parsed = parse_simd_tier(name);
+        if (parsed.has_value()) return resolve_simd_tier(*parsed);
+        std::fprintf(stderr,
+                     "finehmm: ignoring unknown FINEHMM_SIMD value '%s' "
+                     "(expected portable|sse2|avx2|auto)\n",
+                     env);
+      }
+    }
+    return max_simd_tier();
+  }();
+  return cached;
+}
+
+}  // namespace
+
+SimdTier max_simd_tier() {
+  if (backend::have_avx2()) return SimdTier::kAvx2;
+  if (backend::have_sse2()) return SimdTier::kSse2;
+  return SimdTier::kPortable;
+}
+
+bool simd_tier_supported(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kPortable:
+      return true;
+    case SimdTier::kSse2:
+      return backend::have_sse2();
+    case SimdTier::kAvx2:
+      return backend::have_avx2();
+  }
+  return false;
+}
+
+std::vector<SimdTier> supported_simd_tiers() {
+  std::vector<SimdTier> out;
+  for (SimdTier t :
+       {SimdTier::kPortable, SimdTier::kSse2, SimdTier::kAvx2})
+    if (simd_tier_supported(t)) out.push_back(t);
+  return out;
+}
+
+SimdTier active_simd_tier() {
+  int forced = g_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<SimdTier>(forced);
+  return env_or_auto_tier();
+}
+
+void set_simd_tier(SimdTier tier) {
+  g_override.store(static_cast<int>(resolve_simd_tier(tier)),
+                   std::memory_order_relaxed);
+}
+
+void reset_simd_tier() { g_override.store(-1, std::memory_order_relaxed); }
+
+SimdTier resolve_simd_tier(SimdTier requested) {
+  int t = static_cast<int>(requested);
+  while (t > 0 && !simd_tier_supported(static_cast<SimdTier>(t))) --t;
+  return static_cast<SimdTier>(t);
+}
+
+const char* simd_tier_name(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kPortable:
+      return "portable";
+    case SimdTier::kSse2:
+      return "sse2";
+    case SimdTier::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+std::optional<SimdTier> parse_simd_tier(std::string_view name) {
+  if (name == "portable" || name == "scalar") return SimdTier::kPortable;
+  if (name == "sse2" || name == "sse") return SimdTier::kSse2;
+  if (name == "avx2" || name == "avx") return SimdTier::kAvx2;
+  return std::nullopt;
+}
+
+}  // namespace finehmm::cpu

@@ -3,6 +3,9 @@
 #include <cstring>
 #include <vector>
 
+#include "cpu/simd_backend/backend.hpp"
+#include "cpu/simd_backend/kernels.hpp"
+#include "cpu/simd_backend/simd_tier.hpp"
 #include "cpu/simd_vec.hpp"
 #include "util/error.hpp"
 
@@ -67,37 +70,15 @@ FilterResult ssv_scalar(const profile::MsvProfile& prof,
 
 FilterResult ssv_striped(const profile::MsvProfile& prof,
                          const std::uint8_t* seq, std::size_t L) {
-  FH_REQUIRE(L >= 1, "cannot score an empty sequence");
-  const int Q = prof.striped_segments();
-  const U8x16 biasv = U8x16::splat(prof.bias());
-  const std::uint8_t tjb = prof.tjb_for(static_cast<int>(L));
-  const U8x16 xBv = U8x16::splat(
-      sat_sub(sat_sub(prof.base(), tjb), prof.tbm()));
-
-  std::vector<std::uint8_t> row(
-      static_cast<std::size_t>(Q) * profile::MsvProfile::kLanes, 0);
-  U8x16 xEv = U8x16::zero();
-
-  for (std::size_t i = 0; i < L; ++i) {
-    const std::uint8_t* rbv = prof.striped_row(seq[i]);
-    U8x16 mpv = shift_lanes_up(
-        U8x16::load(row.data() + static_cast<std::size_t>(Q - 1) *
-                                     profile::MsvProfile::kLanes));
-    for (int q = 0; q < Q; ++q) {
-      std::uint8_t* cell =
-          row.data() + static_cast<std::size_t>(q) * profile::MsvProfile::kLanes;
-      U8x16 sv = max_u8(mpv, xBv);
-      sv = adds_u8(sv, biasv);
-      sv = subs_u8(sv, U8x16::load(rbv + static_cast<std::size_t>(q) *
-                                             profile::MsvProfile::kLanes));
-      xEv = max_u8(xEv, sv);
-      mpv = U8x16::load(cell);
-      sv.store(cell);
-    }
-    if (prof.overflowed(hmax_u8(xEv)))
-      return finish(prof, hmax_u8(xEv), /*overflowed=*/true, L);
-  }
-  return finish(prof, hmax_u8(xEv), /*overflowed=*/false, L);
+  thread_local std::vector<std::uint8_t> row;
+  const std::size_t n = static_cast<std::size_t>(prof.striped_segments()) *
+                        profile::MsvProfile::kLanes;
+  if (row.size() < n) row.resize(n);
+  if (active_simd_tier() != SimdTier::kPortable && backend::have_sse2())
+    return backend::ssv_sse2(prof, seq, L, row.data());
+  return simd_kernels::ssv_kernel<U8x16>(prof, prof.striped_row(0),
+                                         prof.striped_segments(), seq, L,
+                                         row.data());
 }
 
 }  // namespace finehmm::cpu

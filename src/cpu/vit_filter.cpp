@@ -1,120 +1,82 @@
 #include "cpu/vit_filter.hpp"
 
-#include <algorithm>
-
+#include "cpu/simd_backend/backend.hpp"
+#include "cpu/simd_backend/kernels.hpp"
 #include "cpu/simd_vec.hpp"
-#include "util/error.hpp"
 
 namespace finehmm::cpu {
 
-using profile::kWordNegInf;
-using profile::sat_add_word;
-
 namespace {
-constexpr int kLanes = profile::VitProfile::kLanes;
+
+simd_kernels::VitStripesView profile_view(const profile::VitProfile& prof) {
+  simd_kernels::VitStripesView st;
+  st.msc = prof.msc_striped(0);
+  st.tmm = prof.tmm_striped();
+  st.tim = prof.tim_striped();
+  st.tdm = prof.tdm_striped();
+  st.tmi = prof.tmi_striped();
+  st.tii = prof.tii_striped();
+  st.tmd = prof.tmd_striped();
+  st.tdd = prof.tdd_striped();
+  st.Q = prof.striped_segments();
+  return st;
 }
 
-VitFilter::VitFilter(const profile::VitProfile& prof) : prof_(prof) {
-  std::size_t n =
-      static_cast<std::size_t>(prof.striped_segments()) * kLanes;
-  mmx_.assign(n, kWordNegInf);
-  imx_.assign(n, kWordNegInf);
-  dmx_.assign(n, kWordNegInf);
+}  // namespace
+
+VitFilter::VitFilter(const profile::VitProfile& prof, SimdTier tier)
+    : VitFilter(prof, tier, nullptr) {}
+
+VitFilter::VitFilter(const profile::VitProfile& prof, SimdTier tier,
+                     std::shared_ptr<const WideVitStripes<16>> wide)
+    : prof_(prof), tier_(resolve_simd_tier(tier)), wide_(std::move(wide)) {
+  int lanes = profile::VitProfile::kLanes;
+  int q = prof.striped_segments();
+  if (tier_ == SimdTier::kAvx2) {
+    if (wide_ == nullptr)
+      wide_ = std::make_shared<const WideVitStripes<16>>(prof);
+    lanes = 16;
+    q = wide_->segments();
+  } else {
+    wide_.reset();
+  }
+  const std::size_t n = static_cast<std::size_t>(q) * lanes;
+  mmx_.assign(n, profile::kWordNegInf);
+  imx_.assign(n, profile::kWordNegInf);
+  dmx_.assign(n, profile::kWordNegInf);
 }
 
 FilterResult VitFilter::score(const std::uint8_t* seq, std::size_t L) {
-  FH_REQUIRE(L >= 1, "cannot score an empty sequence");
-  const int Q = prof_.striped_segments();
-  const auto lm = prof_.length_model_for(static_cast<int>(L));
-  lazyf_passes_ = 0;
-
-  std::fill(mmx_.begin(), mmx_.end(), kWordNegInf);
-  std::fill(imx_.begin(), imx_.end(), kWordNegInf);
-  std::fill(dmx_.begin(), dmx_.end(), kWordNegInf);
-
-  auto stripe = [](std::vector<std::int16_t>& v, int q) {
-    return v.data() + static_cast<std::size_t>(q) * kLanes;
-  };
-
-  std::int16_t xN = profile::VitProfile::kBase;
-  std::int16_t xB = sat_add_word(xN, lm.move);
-  std::int16_t xJ = kWordNegInf;
-  std::int16_t xC = kWordNegInf;
-
-  for (std::size_t i = 0; i < L; ++i) {
-    const std::int16_t* msr = prof_.msc_striped(seq[i]);
-    I16x8 xEv = I16x8::neg_inf();
-    I16x8 dcv = I16x8::neg_inf();
-    const I16x8 xBv = I16x8::splat(sat_add_word(xB, prof_.entry()));
-
-    // Previous row's last stripe, lanes shifted up = the diagonal.
-    I16x8 mpv = shift_lanes_up(I16x8::load(stripe(mmx_, Q - 1)));
-    I16x8 ipv = shift_lanes_up(I16x8::load(stripe(imx_, Q - 1)));
-    I16x8 dpv = shift_lanes_up(I16x8::load(stripe(dmx_, Q - 1)));
-
-    for (int q = 0; q < Q; ++q) {
-      const std::size_t off = static_cast<std::size_t>(q) * kLanes;
-      I16x8 sv = xBv;
-      sv = max_i16(sv, adds_w(mpv, I16x8::load(prof_.tmm_striped() + off)));
-      sv = max_i16(sv, adds_w(ipv, I16x8::load(prof_.tim_striped() + off)));
-      sv = max_i16(sv, adds_w(dpv, I16x8::load(prof_.tdm_striped() + off)));
-      sv = adds_w(sv, I16x8::load(msr + off));
-      xEv = max_i16(xEv, sv);
-
-      // Stash previous-row stripes before overwriting (double buffer).
-      mpv = I16x8::load(stripe(mmx_, q));
-      ipv = I16x8::load(stripe(imx_, q));
-      dpv = I16x8::load(stripe(dmx_, q));
-
-      sv.store(stripe(mmx_, q));
-      dcv.store(stripe(dmx_, q));
-
-      // Next position's D: M->D from this stripe, or D->D continuation.
-      dcv = max_i16(adds_w(sv, I16x8::load(prof_.tmd_striped() + off)),
-                    adds_w(dcv, I16x8::load(prof_.tdd_striped() + off)));
-
-      I16x8 iv =
-          max_i16(adds_w(mpv, I16x8::load(prof_.tmi_striped() + off)),
-                  adds_w(ipv, I16x8::load(prof_.tii_striped() + off)));
-      iv.store(stripe(imx_, q));
-    }
-
-    // Lazy-F: wrap the dangling D chain into the next lane and keep
-    // propagating while anything improves.
-    dcv = shift_lanes_up(dcv);
-    for (int pass = 0; pass < kLanes; ++pass) {
-      bool improved = false;
-      for (int q = 0; q < Q; ++q) {
-        const std::size_t off = static_cast<std::size_t>(q) * kLanes;
-        I16x8 cur = I16x8::load(stripe(dmx_, q));
-        if (any_gt_i16(dcv, cur)) {
-          improved = true;
-          cur = max_i16(cur, dcv);
-          cur.store(stripe(dmx_, q));
-        }
-        dcv = adds_w(cur, I16x8::load(prof_.tdd_striped() + off));
-      }
-      if (!improved) break;
-      ++lazyf_passes_;
-      dcv = shift_lanes_up(dcv);
-    }
-
-    std::int16_t xE = hmax_i16(xEv);
-    xJ = std::max(sat_add_word(xJ, lm.loop), sat_add_word(xE, prof_.e_j()));
-    xC = std::max(sat_add_word(xC, lm.loop), sat_add_word(xE, prof_.e_c()));
-    xN = sat_add_word(xN, lm.loop);
-    xB = std::max(sat_add_word(xN, lm.move), sat_add_word(xJ, lm.move));
+  switch (tier_) {
+    case SimdTier::kAvx2:
+      return backend::vit_avx2(prof_, wide_->view(), seq, L, mmx_.data(),
+                               imx_.data(), dmx_.data(), &lazyf_passes_);
+    case SimdTier::kSse2:
+      return backend::vit_sse2(prof_, seq, L, mmx_.data(), imx_.data(),
+                               dmx_.data(), &lazyf_passes_);
+    case SimdTier::kPortable:
+      break;
   }
-
-  FilterResult out;
-  out.score_nats = prof_.score_from_words(xC, lm);
-  return out;
+  return simd_kernels::vit_kernel<I16x8>(prof_, profile_view(prof_), seq, L,
+                                         mmx_.data(), imx_.data(),
+                                         dmx_.data(), &lazyf_passes_);
 }
 
 FilterResult vit_striped(const profile::VitProfile& prof,
                          const std::uint8_t* seq, std::size_t L) {
-  VitFilter f(prof);
-  return f.score(seq, L);
+  thread_local std::vector<std::int16_t> mmx, imx, dmx;
+  const std::size_t n = static_cast<std::size_t>(prof.striped_segments()) *
+                        profile::VitProfile::kLanes;
+  if (mmx.size() < n) {
+    mmx.resize(n);
+    imx.resize(n);
+    dmx.resize(n);
+  }
+  if (active_simd_tier() != SimdTier::kPortable && backend::have_sse2())
+    return backend::vit_sse2(prof, seq, L, mmx.data(), imx.data(),
+                             dmx.data());
+  return simd_kernels::vit_kernel<I16x8>(prof, profile_view(prof), seq, L,
+                                         mmx.data(), imx.data(), dmx.data());
 }
 
 }  // namespace finehmm::cpu

@@ -7,20 +7,33 @@
 // Because most rows take no D->D path at all, the repeat almost never
 // fires — the "Lazy-F" insight of Farrar (2007) that HMMER 3.0 and the
 // paper's GPU kernel both rely on.  Word values match vit_scalar exactly.
+//
+// Like MsvFilter, the filter dispatches to the widest native tier the
+// host supports; the AVX2 tier runs 16 word lanes and re-stripes all
+// eight parameter arrays once per (model, filter), shareable between
+// workers through the shared_ptr constructor.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "cpu/filter_result.hpp"
+#include "cpu/simd_backend/simd_tier.hpp"
+#include "cpu/vit_wide.hpp"
 #include "profile/vit_profile.hpp"
 
 namespace finehmm::cpu {
 
 class VitFilter {
  public:
-  explicit VitFilter(const profile::VitProfile& prof);
+  explicit VitFilter(const profile::VitProfile& prof,
+                     SimdTier tier = active_simd_tier());
+  /// Share a prebuilt 16-lane parameter re-striping between workers (only
+  /// read when the resolved tier is AVX2; may be nullptr otherwise).
+  VitFilter(const profile::VitProfile& prof, SimdTier tier,
+            std::shared_ptr<const WideVitStripes<16>> wide);
 
   FilterResult score(const std::uint8_t* seq, std::size_t L);
 
@@ -28,12 +41,24 @@ class VitFilter {
   /// (diagnostic; 0 means no chain crossed a lane boundary).
   int last_lazyf_passes() const noexcept { return lazyf_passes_; }
 
+  /// The tier score() actually runs (requested clamped to supported).
+  SimdTier tier() const noexcept { return tier_; }
+  /// The 16-lane parameter stripes, non-null iff tier() == kAvx2.
+  const std::shared_ptr<const WideVitStripes<16>>& wide_stripes() const {
+    return wide_;
+  }
+
  private:
   const profile::VitProfile& prof_;
-  std::vector<std::int16_t> mmx_, imx_, dmx_;  // Q stripes x 8 lanes each
+  SimdTier tier_;
+  std::shared_ptr<const WideVitStripes<16>> wide_;
+  std::vector<std::int16_t> mmx_, imx_, dmx_;  // Q stripes x lane words
   int lazyf_passes_ = 0;
 };
 
+/// One-shot convenience wrapper.  Uses thread-local scratch (grown, never
+/// shrunk) so steady-state database scans allocate nothing per call; runs
+/// the widest tier that needs no per-model re-striping (SSE2 on x86-64).
 FilterResult vit_striped(const profile::VitProfile& prof,
                          const std::uint8_t* seq, std::size_t L);
 

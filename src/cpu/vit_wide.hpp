@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "cpu/filter_result.hpp"
+#include "cpu/simd_backend/backend.hpp"
+#include "cpu/simd_backend/simd_tier.hpp"
 #include "profile/vit_profile.hpp"
 #include "util/aligned.hpp"
 #include "util/error.hpp"
@@ -21,6 +23,7 @@ namespace finehmm::cpu {
 template <int N>
 struct I16xN {
   static_assert(N >= 2 && (N & (N - 1)) == 0, "lane count: power of two");
+  static constexpr int kLanes = N;
   std::int16_t v[N];
 
   static I16xN splat(std::int16_t x) {
@@ -40,7 +43,7 @@ struct I16xN {
 };
 
 template <int N>
-inline I16xN<N> max_w(I16xN<N> a, I16xN<N> b) {
+inline I16xN<N> max_i16(I16xN<N> a, I16xN<N> b) {
   I16xN<N> r;
   for (int i = 0; i < N; ++i) r.v[i] = a.v[i] > b.v[i] ? a.v[i] : b.v[i];
   return r;
@@ -59,14 +62,14 @@ inline I16xN<N> shift_lanes_up(I16xN<N> a) {
   return r;
 }
 template <int N>
-inline std::int16_t hmax_w(I16xN<N> a) {
+inline std::int16_t hmax_i16(I16xN<N> a) {
   std::int16_t m = profile::kWordNegInf;
   for (auto e : a.v)
     if (e > m) m = e;
   return m;
 }
 template <int N>
-inline bool any_gt_w(I16xN<N> a, I16xN<N> b) {
+inline bool any_gt_i16(I16xN<N> a, I16xN<N> b) {
   for (int i = 0; i < N; ++i)
     if (a.v[i] > b.v[i]) return true;
   return false;
@@ -113,6 +116,21 @@ class WideVitStripes {
   const std::int16_t* tmd() const { return tmd_.data(); }
   const std::int16_t* tdd() const { return tdd_.data(); }
 
+  /// The raw-pointer view the shared Viterbi kernel consumes.
+  simd_kernels::VitStripesView view() const {
+    simd_kernels::VitStripesView st;
+    st.msc = msc_.data();
+    st.tmm = tmm_.data();
+    st.tim = tim_.data();
+    st.tdm = tdm_.data();
+    st.tmi = tmi_.data();
+    st.tii = tii_.data();
+    st.tmd = tmd_.data();
+    st.tdd = tdd_.data();
+    st.Q = Q_;
+    return st;
+  }
+
  private:
   int M_;
   int Q_;
@@ -120,88 +138,31 @@ class WideVitStripes {
       tdd_;
 };
 
-/// N-lane ViterbiFilter with Lazy-F; bit-exact with cpu::vit_scalar.
+/// N-lane ViterbiFilter with Lazy-F; bit-exact with cpu::vit_scalar.  The
+/// body is the shared simd_kernels::vit_kernel; the 16-lane instance is
+/// routed to the native AVX2 backend when the host supports it.  Scratch
+/// is thread-local and grown monotonically, so repeated scans allocate
+/// nothing per call.
 template <int N>
 FilterResult vit_striped_wide(const profile::VitProfile& prof,
                               const WideVitStripes<N>& st,
                               const std::uint8_t* seq, std::size_t L) {
-  using profile::kWordNegInf;
-  using profile::sat_add_word;
-  FH_REQUIRE(L >= 1, "cannot score an empty sequence");
   const int Q = st.segments();
-  const auto lm = prof.length_model_for(static_cast<int>(L));
-
-  std::vector<std::int16_t> mmx(static_cast<std::size_t>(Q) * N,
-                                kWordNegInf);
-  std::vector<std::int16_t> imx(mmx), dmx(mmx);
-  auto at = [&](std::vector<std::int16_t>& v, int q) {
-    return v.data() + static_cast<std::size_t>(q) * N;
-  };
-
-  std::int16_t xN = profile::VitProfile::kBase;
-  std::int16_t xB = sat_add_word(xN, lm.move);
-  std::int16_t xJ = kWordNegInf;
-  std::int16_t xC = kWordNegInf;
-
-  for (std::size_t i = 0; i < L; ++i) {
-    const std::int16_t* msr = st.msc(seq[i]);
-    I16xN<N> xEv = I16xN<N>::neg_inf();
-    I16xN<N> dcv = I16xN<N>::neg_inf();
-    const I16xN<N> xBv = I16xN<N>::splat(sat_add_word(xB, prof.entry()));
-
-    I16xN<N> mpv = shift_lanes_up(I16xN<N>::load(at(mmx, Q - 1)));
-    I16xN<N> ipv = shift_lanes_up(I16xN<N>::load(at(imx, Q - 1)));
-    I16xN<N> dpv = shift_lanes_up(I16xN<N>::load(at(dmx, Q - 1)));
-
-    for (int q = 0; q < Q; ++q) {
-      const std::size_t off = static_cast<std::size_t>(q) * N;
-      I16xN<N> sv = xBv;
-      sv = max_w(sv, adds_w(mpv, I16xN<N>::load(st.tmm() + off)));
-      sv = max_w(sv, adds_w(ipv, I16xN<N>::load(st.tim() + off)));
-      sv = max_w(sv, adds_w(dpv, I16xN<N>::load(st.tdm() + off)));
-      sv = adds_w(sv, I16xN<N>::load(msr + off));
-      xEv = max_w(xEv, sv);
-
-      mpv = I16xN<N>::load(at(mmx, q));
-      ipv = I16xN<N>::load(at(imx, q));
-      dpv = I16xN<N>::load(at(dmx, q));
-
-      sv.store(at(mmx, q));
-      dcv.store(at(dmx, q));
-      dcv = max_w(adds_w(sv, I16xN<N>::load(st.tmd() + off)),
-                  adds_w(dcv, I16xN<N>::load(st.tdd() + off)));
-      I16xN<N> iv = max_w(adds_w(mpv, I16xN<N>::load(st.tmi() + off)),
-                          adds_w(ipv, I16xN<N>::load(st.tii() + off)));
-      iv.store(at(imx, q));
-    }
-
-    dcv = shift_lanes_up(dcv);
-    for (int pass = 0; pass < N; ++pass) {
-      bool improved = false;
-      for (int q = 0; q < Q; ++q) {
-        const std::size_t off = static_cast<std::size_t>(q) * N;
-        I16xN<N> cur = I16xN<N>::load(at(dmx, q));
-        if (any_gt_w(dcv, cur)) {
-          improved = true;
-          cur = max_w(cur, dcv);
-          cur.store(at(dmx, q));
-        }
-        dcv = adds_w(cur, I16xN<N>::load(st.tdd() + off));
-      }
-      if (!improved) break;
-      dcv = shift_lanes_up(dcv);
-    }
-
-    std::int16_t xE = hmax_w(xEv);
-    xJ = std::max(sat_add_word(xJ, lm.loop), sat_add_word(xE, prof.e_j()));
-    xC = std::max(sat_add_word(xC, lm.loop), sat_add_word(xE, prof.e_c()));
-    xN = sat_add_word(xN, lm.loop);
-    xB = std::max(sat_add_word(xN, lm.move), sat_add_word(xJ, lm.move));
+  const std::size_t n = static_cast<std::size_t>(Q) * N;
+  thread_local std::vector<std::int16_t> mmx, imx, dmx;
+  if (mmx.size() < n) {
+    mmx.resize(n);
+    imx.resize(n);
+    dmx.resize(n);
   }
-
-  FilterResult out;
-  out.score_nats = prof.score_from_words(xC, lm);
-  return out;
+  if constexpr (N == 16) {
+    if (backend::have_avx2() && active_simd_tier() == SimdTier::kAvx2)
+      return backend::vit_avx2(prof, st.view(), seq, L, mmx.data(),
+                               imx.data(), dmx.data());
+  }
+  return simd_kernels::vit_kernel<I16xN<N>>(prof, st.view(), seq, L,
+                                            mmx.data(), imx.data(),
+                                            dmx.data());
 }
 
 }  // namespace finehmm::cpu

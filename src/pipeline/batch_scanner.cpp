@@ -1,0 +1,80 @@
+#include "pipeline/batch_scanner.hpp"
+
+#include <memory>
+
+#include "cpu/simd_backend/backend.hpp"
+#include "cpu/simd_backend/kernels.hpp"
+#include "cpu/simd_vec.hpp"
+#include "util/error.hpp"
+
+namespace finehmm::pipeline {
+
+BatchScanner::BatchScanner(const profile::MsvProfile& msv,
+                           const profile::VitProfile& vit,
+                           const profile::FwdProfile* fwd,
+                           std::size_t workers, cpu::SimdTier tier)
+    : msv_(msv), tier_(cpu::resolve_simd_tier(tier)) {
+  FH_REQUIRE(workers >= 1, "need at least one worker");
+
+  // Immutable wide re-stripings, built once and shared by every worker.
+  std::shared_ptr<const cpu::WideMsvStripes<32>> msv_wide;
+  std::shared_ptr<const cpu::WideVitStripes<16>> vit_wide;
+  if (tier_ == cpu::SimdTier::kAvx2) {
+    msv_wide = std::make_shared<const cpu::WideMsvStripes<32>>(msv);
+    vit_wide = std::make_shared<const cpu::WideVitStripes<16>>(vit);
+  }
+
+  const std::size_t ssv_row_bytes =
+      tier_ == cpu::SimdTier::kAvx2
+          ? static_cast<std::size_t>(msv_wide->segments()) * 32
+          : static_cast<std::size_t>(msv.striped_segments()) *
+                profile::MsvProfile::kLanes;
+
+  workers_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    Worker worker{cpu::MsvFilter(msv, tier_, msv_wide),
+                  cpu::VitFilter(vit, tier_, vit_wide),
+                  std::nullopt,
+                  std::vector<std::uint8_t>(ssv_row_bytes, 0)};
+    if (fwd != nullptr) worker.fwd.emplace(*fwd, tier_);
+    workers_.push_back(std::move(worker));
+  }
+}
+
+cpu::FilterResult BatchScanner::ssv(std::size_t w, const std::uint8_t* seq,
+                                    std::size_t L) {
+  Worker& worker = workers_[w];
+  switch (tier_) {
+    case cpu::SimdTier::kAvx2: {
+      const auto& wide = *worker.msv.wide_stripes();
+      return cpu::backend::ssv_avx2(msv_, wide.row(0), wide.segments(), seq,
+                                    L, worker.ssv_row.data());
+    }
+    case cpu::SimdTier::kSse2:
+      return cpu::backend::ssv_sse2(msv_, seq, L, worker.ssv_row.data());
+    case cpu::SimdTier::kPortable:
+      break;
+  }
+  return cpu::simd_kernels::ssv_kernel<cpu::U8x16>(
+      msv_, msv_.striped_row(0), msv_.striped_segments(), seq, L,
+      worker.ssv_row.data());
+}
+
+cpu::FilterResult BatchScanner::msv(std::size_t w, const std::uint8_t* seq,
+                                    std::size_t L) {
+  return workers_[w].msv.score(seq, L);
+}
+
+cpu::FilterResult BatchScanner::vit(std::size_t w, const std::uint8_t* seq,
+                                    std::size_t L) {
+  return workers_[w].vit.score(seq, L);
+}
+
+float BatchScanner::fwd(std::size_t w, const std::uint8_t* seq,
+                        std::size_t L) {
+  FH_REQUIRE(workers_[w].fwd.has_value(),
+             "BatchScanner built without a Forward profile");
+  return workers_[w].fwd->score(seq, L);
+}
+
+}  // namespace finehmm::pipeline

@@ -1,0 +1,73 @@
+// Allocation-free batched database scanning (the CPU engines' hot loop).
+//
+// A database scan calls the filter cascade millions of times; doing any
+// heap allocation per sequence dominates short-sequence throughput and
+// serializes threads in the allocator.  BatchScanner owns, per worker,
+// every piece of mutable filter state the cascade needs — MSV/SSV byte
+// rows, Viterbi word stripes, Forward float stripes — sized once at
+// construction, so scoring a sequence is allocation-free no matter which
+// engine (serial, ThreadPool, or MultiSearch) drives it.
+//
+// The wide (AVX2) parameter re-stripings are built once and shared across
+// all workers through shared_ptr: model parameters are immutable during a
+// scan, only DP state is per-worker.  This mirrors the paper's GPU
+// decomposition — one read-only model in constant/shared memory, one DP
+// slice per warp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cpu/filter_result.hpp"
+#include "cpu/fwd_filter.hpp"
+#include "cpu/msv_filter.hpp"
+#include "cpu/simd_backend/simd_tier.hpp"
+#include "cpu/vit_filter.hpp"
+#include "profile/fwd_profile.hpp"
+#include "profile/msv_profile.hpp"
+#include "profile/vit_profile.hpp"
+
+namespace finehmm::pipeline {
+
+class BatchScanner {
+ public:
+  /// State for `workers` concurrent scanners over one model's profiles.
+  /// `fwd` may be nullptr when the caller never runs the Forward stage.
+  /// All workers score through the same resolved SIMD tier, so results
+  /// are identical regardless of which worker scored which sequence.
+  BatchScanner(const profile::MsvProfile& msv, const profile::VitProfile& vit,
+               const profile::FwdProfile* fwd = nullptr,
+               std::size_t workers = 1,
+               cpu::SimdTier tier = cpu::active_simd_tier());
+
+  std::size_t workers() const noexcept { return workers_.size(); }
+  /// The tier every worker scores with (requested clamped to supported).
+  cpu::SimdTier tier() const noexcept { return tier_; }
+
+  /// Each scorer runs on worker `w`'s private state; two calls with the
+  /// same `w` must not overlap, calls with different `w` may.
+  cpu::FilterResult ssv(std::size_t w, const std::uint8_t* seq,
+                        std::size_t L);
+  cpu::FilterResult msv(std::size_t w, const std::uint8_t* seq,
+                        std::size_t L);
+  cpu::FilterResult vit(std::size_t w, const std::uint8_t* seq,
+                        std::size_t L);
+  /// Forward score in nats; requires a FwdProfile at construction.
+  float fwd(std::size_t w, const std::uint8_t* seq, std::size_t L);
+
+ private:
+  struct Worker {
+    cpu::MsvFilter msv;
+    cpu::VitFilter vit;
+    std::optional<cpu::FwdFilter> fwd;
+    std::vector<std::uint8_t> ssv_row;
+  };
+
+  const profile::MsvProfile& msv_;
+  cpu::SimdTier tier_;
+  std::vector<Worker> workers_;
+};
+
+}  // namespace finehmm::pipeline

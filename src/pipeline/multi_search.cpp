@@ -26,6 +26,21 @@ std::vector<ModelResult> MultiSearch::run_cpu(
   return out;
 }
 
+std::vector<ModelResult> MultiSearch::run_cpu_parallel(
+    const bio::SequenceDatabase& db, std::size_t threads) const {
+  ThreadPool pool(threads);
+  std::vector<ModelResult> out;
+  out.reserve(searches_.size());
+  for (const auto& search : searches_) {
+    ModelResult r;
+    r.model_name = search.profile().name();
+    r.model_length = search.profile().length();
+    r.result = search.run_cpu_parallel(db, pool);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
 std::vector<ModelResult> MultiSearch::run_gpu(
     const simt::DeviceSpec& dev, const bio::SequenceDatabase& db,
     const bio::PackedDatabase& packed) const {

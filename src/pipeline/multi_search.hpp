@@ -32,6 +32,13 @@ class MultiSearch {
   /// Scan with the CPU engines.
   std::vector<ModelResult> run_cpu(const bio::SequenceDatabase& db) const;
 
+  /// Multithreaded CPU scan.  One ThreadPool (and its worker threads) is
+  /// shared across all models; each model's scan state is a BatchScanner
+  /// sized to the pool, so the sweep performs no per-sequence allocation.
+  /// `threads` = 0 picks hardware concurrency.  Hits match run_cpu.
+  std::vector<ModelResult> run_cpu_parallel(const bio::SequenceDatabase& db,
+                                            std::size_t threads = 0) const;
+
   /// Scan with the SIMT kernels, auto placement per model.
   std::vector<ModelResult> run_gpu(const simt::DeviceSpec& dev,
                                    const bio::SequenceDatabase& db,

@@ -8,6 +8,7 @@
 #include "cpu/msv_filter.hpp"
 #include "cpu/ssv.hpp"
 #include "cpu/vit_filter.hpp"
+#include "pipeline/batch_scanner.hpp"
 #include "pipeline/null2.hpp"
 #include "util/error.hpp"
 #include "util/threadpool.hpp"
@@ -50,6 +51,7 @@ float overflow_bits(const profile::MsvProfile& msv, int L) {
 SearchResult HmmSearch::run_cpu(const bio::SequenceDatabase& db) const {
   SearchResult out;
   Timer timer;
+  BatchScanner scanner(msv_, vit_, /*fwd=*/nullptr, /*workers=*/1);
 
   // ---- Stage 0 (optional): SSV pre-filter ----
   std::vector<std::size_t> candidates;
@@ -57,7 +59,7 @@ SearchResult HmmSearch::run_cpu(const bio::SequenceDatabase& db) const {
     out.ssv.n_in = db.size();
     for (std::size_t s = 0; s < db.size(); ++s) {
       const auto& seq = db[s];
-      auto r = cpu::ssv_striped(msv_, seq.codes.data(), seq.length());
+      auto r = scanner.ssv(0, seq.codes.data(), seq.length());
       float bits = r.overflowed
                        ? overflow_bits(msv_, static_cast<int>(seq.length()))
                        : hmm::nats_to_bits(r.score_nats,
@@ -75,13 +77,12 @@ SearchResult HmmSearch::run_cpu(const bio::SequenceDatabase& db) const {
   }
 
   // ---- Stage 1: MSV ----
-  cpu::MsvFilter msv_filter(msv_);
   std::vector<std::size_t> msv_pass;
   std::vector<float> msv_bits_pass;
   out.msv.n_in = candidates.size();
   for (std::size_t s : candidates) {
     const auto& seq = db[s];
-    auto r = msv_filter.score(seq.codes.data(), seq.length());
+    auto r = scanner.msv(0, seq.codes.data(), seq.length());
     float bits = r.overflowed
                      ? overflow_bits(msv_, static_cast<int>(seq.length()))
                      : hmm::nats_to_bits(r.score_nats,
@@ -97,13 +98,12 @@ SearchResult HmmSearch::run_cpu(const bio::SequenceDatabase& db) const {
 
   // ---- Stage 2: P7Viterbi over the MSV survivors ----
   timer.reset();
-  cpu::VitFilter vit_filter(vit_);
   std::vector<std::size_t> vit_pass;
   std::vector<float> vit_bits_pass;
   out.vit.n_in = msv_pass.size();
   for (std::size_t s : msv_pass) {
     const auto& seq = db[s];
-    auto r = vit_filter.score(seq.codes.data(), seq.length());
+    auto r = scanner.vit(0, seq.codes.data(), seq.length());
     float bits =
         hmm::nats_to_bits(r.score_nats, static_cast<int>(seq.length()));
     out.vit.cells += static_cast<double>(seq.length()) * vit_.length();
@@ -121,46 +121,59 @@ SearchResult HmmSearch::run_cpu(const bio::SequenceDatabase& db) const {
 
 SearchResult HmmSearch::run_cpu_parallel(const bio::SequenceDatabase& db,
                                          std::size_t threads) const {
+  ThreadPool pool(threads);
+  return run_cpu_parallel(db, pool);
+}
+
+SearchResult HmmSearch::run_cpu_parallel(const bio::SequenceDatabase& db,
+                                         ThreadPool& pool) const {
   SearchResult out;
   Timer timer;
-  ThreadPool pool(threads);
+
+  // All mutable filter state lives in the scanner, one slot per worker;
+  // the scan loops below allocate nothing per sequence.
+  BatchScanner scanner(msv_, vit_, /*fwd=*/nullptr, pool.workers());
+
+  // Workers grab small index ranges from a shared cursor (dynamic
+  // scheduling), so a run of long sequences cannot strand the tail of the
+  // database on one thread the way static sharding could.
+  constexpr std::size_t kMsvChunk = 16;
+  constexpr std::size_t kVitChunk = 4;
 
   // ---- Stage 0+1: (optional SSV, then) MSV, fanned out over the pool.
-  // Within a shard the stages are fused: a sequence failing SSV never
+  // Within a chunk the stages are fused: a sequence failing SSV never
   // reaches MSV, exactly like the serial engine, so hit lists agree.
   out.msv.n_in = db.size();
   std::vector<std::uint8_t> ssv_keep(db.size(), 1);
   std::vector<std::uint8_t> msv_keep(db.size(), 0);
-  {
-    // One filter (and its DP row) per worker would need thread-local
-    // state; constructing per task is costlier, so shard the database.
-    const std::size_t shards = std::max<std::size_t>(1, pool.size() * 4);
-    pool.parallel_for(shards, [&](std::size_t shard) {
-      cpu::MsvFilter filter(msv_);
-      for (std::size_t s = shard; s < db.size(); s += shards) {
-        const auto& seq = db[s];
-        if (thr_.use_ssv_prefilter) {
-          auto sr = cpu::ssv_striped(msv_, seq.codes.data(), seq.length());
-          float sbits =
-              sr.overflowed
-                  ? overflow_bits(msv_, static_cast<int>(seq.length()))
-                  : hmm::nats_to_bits(sr.score_nats,
-                                      static_cast<int>(seq.length()));
-          if (!sr.overflowed && stats_.ssv_pvalue(sbits) > thr_.ssv_p) {
-            ssv_keep[s] = 0;
-            continue;
+  pool.parallel_for_chunked(
+      db.size(), kMsvChunk,
+      [&](std::size_t worker, std::size_t begin, std::size_t end) {
+        for (std::size_t s = begin; s < end; ++s) {
+          const auto& seq = db[s];
+          if (thr_.use_ssv_prefilter) {
+            auto sr = scanner.ssv(worker, seq.codes.data(), seq.length());
+            float sbits =
+                sr.overflowed
+                    ? overflow_bits(msv_, static_cast<int>(seq.length()))
+                    : hmm::nats_to_bits(sr.score_nats,
+                                        static_cast<int>(seq.length()));
+            if (!sr.overflowed && stats_.ssv_pvalue(sbits) > thr_.ssv_p) {
+              ssv_keep[s] = 0;
+              continue;
+            }
           }
+          auto r = scanner.msv(worker, seq.codes.data(), seq.length());
+          float bits =
+              r.overflowed
+                  ? overflow_bits(msv_, static_cast<int>(seq.length()))
+                  : hmm::nats_to_bits(r.score_nats,
+                                      static_cast<int>(seq.length()));
+          msv_keep[s] =
+              (r.overflowed || stats_.msv_pvalue(bits) <= thr_.msv_p) ? 1
+                                                                      : 0;
         }
-        auto r = filter.score(seq.codes.data(), seq.length());
-        float bits = r.overflowed
-                         ? overflow_bits(msv_, static_cast<int>(seq.length()))
-                         : hmm::nats_to_bits(r.score_nats,
-                                             static_cast<int>(seq.length()));
-        msv_keep[s] =
-            (r.overflowed || stats_.msv_pvalue(bits) <= thr_.msv_p) ? 1 : 0;
-      }
-    });
-  }
+      });
   std::vector<std::size_t> msv_pass;
   for (std::size_t s = 0; s < db.size(); ++s) {
     double cells = static_cast<double>(db[s].length()) * msv_.length();
@@ -182,21 +195,18 @@ SearchResult HmmSearch::run_cpu_parallel(const bio::SequenceDatabase& db,
   out.vit.n_in = msv_pass.size();
   std::vector<float> vit_bits_all(msv_pass.size());
   std::vector<std::uint8_t> vit_keep(msv_pass.size(), 0);
-  if (!msv_pass.empty()) {
-    const std::size_t shards =
-        std::max<std::size_t>(1, std::min(pool.size() * 4, msv_pass.size()));
-    pool.parallel_for(shards, [&](std::size_t shard) {
-      cpu::VitFilter filter(vit_);
-      for (std::size_t i = shard; i < msv_pass.size(); i += shards) {
-        const auto& seq = db[msv_pass[i]];
-        auto r = filter.score(seq.codes.data(), seq.length());
-        float bits = hmm::nats_to_bits(r.score_nats,
-                                       static_cast<int>(seq.length()));
-        vit_bits_all[i] = bits;
-        vit_keep[i] = stats_.vit_pvalue(bits) <= thr_.vit_p ? 1 : 0;
-      }
-    });
-  }
+  pool.parallel_for_chunked(
+      msv_pass.size(), kVitChunk,
+      [&](std::size_t worker, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto& seq = db[msv_pass[i]];
+          auto r = scanner.vit(worker, seq.codes.data(), seq.length());
+          float bits = hmm::nats_to_bits(r.score_nats,
+                                         static_cast<int>(seq.length()));
+          vit_bits_all[i] = bits;
+          vit_keep[i] = stats_.vit_pvalue(bits) <= thr_.vit_p ? 1 : 0;
+        }
+      });
   std::vector<std::size_t> vit_pass;
   std::vector<float> vit_bits_pass;
   for (std::size_t i = 0; i < msv_pass.size(); ++i) {

@@ -30,6 +30,7 @@
 #include "profile/msv_profile.hpp"
 #include "profile/vit_profile.hpp"
 #include "stats/calibrate.hpp"
+#include "util/threadpool.hpp"
 
 namespace finehmm::pipeline {
 
@@ -116,6 +117,11 @@ class HmmSearch {
   /// hardware concurrency.  Hits are identical to run_cpu.
   SearchResult run_cpu_parallel(const bio::SequenceDatabase& db,
                                 std::size_t threads = 0) const;
+
+  /// As above but on a caller-owned pool, so repeated scans (hmmscan-style
+  /// model sweeps) reuse the worker threads instead of spawning per scan.
+  SearchResult run_cpu_parallel(const bio::SequenceDatabase& db,
+                                ThreadPool& pool) const;
 
   /// Scan with the SIMT kernels for MSV and P7Viterbi on `dev`; the
   /// Forward stage runs on the CPU.  `placement` applies to both kernels.

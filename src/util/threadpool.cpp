@@ -1,5 +1,6 @@
 #include "util/threadpool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 
@@ -36,6 +37,59 @@ void ThreadPool::worker_loop() {
     }
     task();
   }
+}
+
+void ThreadPool::parallel_for_chunked(
+    std::size_t count, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (count == 0) return;
+  if (chunk == 0) chunk = 1;
+
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<std::size_t> next_worker{0};
+  std::atomic<std::size_t> done_workers{0};
+  std::exception_ptr first_error = nullptr;
+  std::mutex error_mutex;
+
+  std::size_t n_workers = workers_.size() + 1;  // pool + calling thread
+  const std::size_t n_chunks = (count + chunk - 1) / chunk;
+  if (n_workers > n_chunks) n_workers = n_chunks;
+
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  auto body = [&] {
+    const std::size_t worker =
+        next_worker.fetch_add(1, std::memory_order_relaxed);
+    for (;;) {
+      std::size_t begin = cursor.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= count) break;
+      std::size_t end = std::min(begin + chunk, count);
+      try {
+        fn(worker, begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (done_workers.fetch_add(1) + 1 == n_workers) {
+      std::lock_guard<std::mutex> lock(done_mutex);
+      done_cv.notify_all();
+    }
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i + 1 < n_workers; ++i) tasks_.push(body);
+  }
+  cv_.notify_all();
+  body();  // caller participates
+
+  {
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&] { return done_workers.load() == n_workers; });
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 void ThreadPool::parallel_for(std::size_t count,

@@ -32,6 +32,27 @@ class ThreadPool {
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& fn);
 
+  /// Dynamic chunked scheduling: workers repeatedly grab the next `chunk`
+  /// indices from a shared atomic cursor and call
+  /// fn(worker, begin, end) for each grabbed range [begin, end).
+  ///
+  /// `worker` is a dense id in [0, workers()) stable for the duration of
+  /// the call, so callers can own per-worker state (filter DP rows,
+  /// scratch buffers) allocated once up front instead of per task — the
+  /// CPU analogue of the paper's per-warp work queue.  `chunk` == 0 is
+  /// treated as 1.  Small chunks keep long-sequence imbalance from
+  /// serializing the tail; large chunks amortize the atomic traffic.
+  /// Blocks until every index completed; exceptions propagate (first one
+  /// wins).
+  void parallel_for_chunked(
+      std::size_t count, std::size_t chunk,
+      const std::function<void(std::size_t worker, std::size_t begin,
+                               std::size_t end)>& fn);
+
+  /// Upper bound on the `worker` ids parallel_for_chunked passes to fn
+  /// (pool threads + the participating caller).
+  std::size_t workers() const noexcept { return workers_.size() + 1; }
+
  private:
   void worker_loop();
 

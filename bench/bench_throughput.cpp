@@ -1,13 +1,15 @@
 // Database-scan throughput per filter stage, per SIMD tier, per thread
-// count, on a Swissprot-like synthetic database.
+// count, on a Swissprot-like synthetic database — plus a full-pipeline
+// end-to-end sweep comparing the heap-decoded parallel engine against the
+// zero-copy streaming engine (MappedSeqDb + overlapped rescoring).
 //
 // Unlike the micro suite (one hot sequence), this drives the
 // allocation-free BatchScanner over a whole database through the
 // ThreadPool's chunked dynamic scheduler — the same path the CPU engines
 // use — so the numbers include real length imbalance and scheduling
 // overhead.  Results are written to BENCH_throughput.json (machine
-// readable; cells/sec per stage x tier x threads) for the roadmap's
-// evidence trail.
+// readable; cells/sec per stage x tier x threads, and per pipeline
+// engine x threads, with host info) for the roadmap's evidence trail.
 //
 // Usage: bench_throughput [db_scale] [model_length] [out.json]
 //   db_scale default 0.001 (~460 sequences), model_length default 400.
@@ -19,11 +21,18 @@
 #include <thread>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "bio/seq_db_io.hpp"
 #include "bio/synthetic.hpp"
 #include "cpu/simd_backend/simd_tier.hpp"
 #include "hmm/generator.hpp"
 #include "hmm/profile.hpp"
 #include "pipeline/batch_scanner.hpp"
+#include "pipeline/pipeline.hpp"
+#include "pipeline/workload.hpp"
 #include "profile/fwd_profile.hpp"
 #include "profile/msv_profile.hpp"
 #include "profile/vit_profile.hpp"
@@ -63,6 +72,111 @@ Record time_stage(const char* stage, cpu::SimdTier tier, ThreadPool& pool,
   for (std::size_t s = 0; s < n; ++s)
     r.cells += static_cast<double>(db[s].length()) * M;
   return r;
+}
+
+std::string host_name() {
+#if defined(__unix__) || defined(__APPLE__)
+  char buf[256] = {0};
+  if (::gethostname(buf, sizeof(buf) - 1) == 0 && buf[0] != '\0')
+    return buf;
+#endif
+  return "unknown";
+}
+
+struct PipelineRecord {
+  const char* engine;  // "parallel_heap" or "overlapped_mmap"
+  std::size_t threads;
+  double cells = 0;    // total DP cells across all stages, one scan
+  double seconds = 0;  // best-of-3 end-to-end (load + scan)
+  std::size_t hits = 0;
+  double cells_per_sec() const { return seconds > 0 ? cells / seconds : 0; }
+};
+
+double total_cells(const pipeline::SearchResult& r) {
+  return r.ssv.cells + r.msv.cells + r.vit.cells + r.fwd.cells;
+}
+
+void check_hits_match(const pipeline::SearchResult& a,
+                      const pipeline::SearchResult& b) {
+  if (a.hits.size() != b.hits.size()) {
+    std::cerr << "FATAL: engines disagree on hit count: " << a.hits.size()
+              << " vs " << b.hits.size() << "\n";
+    std::exit(1);
+  }
+  for (std::size_t i = 0; i < a.hits.size(); ++i) {
+    if (a.hits[i].seq_index != b.hits[i].seq_index ||
+        a.hits[i].fwd_bits != b.hits[i].fwd_bits ||
+        a.hits[i].evalue != b.hits[i].evalue) {
+      std::cerr << "FATAL: engines disagree on hit " << i << "\n";
+      std::exit(1);
+    }
+  }
+}
+
+/// End-to-end pipeline sweep: database load (from .fsqdb) + full filter
+/// cascade, heap-parallel vs. mmap-overlapped, threads in {1, N/2, N}.
+/// Each timing is best-of-3 after one warm-up; hit lists are asserted
+/// bit-identical between the engines at every thread count.
+std::vector<PipelineRecord> bench_pipeline(double scale, int M) {
+  pipeline::WorkloadSpec wspec;
+  wspec.db = bio::SyntheticDbSpec::swissprot_like(scale);
+  wspec.homolog_fraction = 0.01;
+  auto model = hmm::paper_model(M);
+  auto db = pipeline::make_workload(model, wspec);
+  const std::string path = "/tmp/finehmm_bench_pipeline.fsqdb";
+  bio::write_seq_db_file(path, db);
+
+  stats::CalibrateOptions calib;
+  calib.n_samples = 100;
+  pipeline::HmmSearch search(model, {}, calib);
+
+  std::size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  std::vector<std::size_t> thread_counts{1};
+  if (hw / 2 > 1) thread_counts.push_back(hw / 2);
+  if (hw > 1) thread_counts.push_back(hw);
+
+  std::vector<PipelineRecord> records;
+  for (std::size_t threads : thread_counts) {
+    auto run_heap = [&] {
+      auto loaded = bio::read_seq_db_file(path);
+      return search.run_cpu_parallel(loaded, threads);
+    };
+    auto run_stream = [&] {
+      bio::MappedSeqDb mapped(path);
+      return search.run_cpu_overlapped(mapped, threads);
+    };
+
+    PipelineRecord heap{"parallel_heap", threads};
+    PipelineRecord stream{"overlapped_mmap", threads};
+    pipeline::SearchResult heap_result, stream_result;
+    for (int rep = 0; rep < 4; ++rep) {  // rep 0 is the warm-up
+      Timer t;
+      heap_result = run_heap();
+      double s = t.seconds();
+      if (rep > 0 && (heap.seconds == 0 || s < heap.seconds))
+        heap.seconds = s;
+      t.reset();
+      stream_result = run_stream();
+      s = t.seconds();
+      if (rep > 0 && (stream.seconds == 0 || s < stream.seconds))
+        stream.seconds = s;
+    }
+    check_hits_match(heap_result, stream_result);
+    heap.cells = total_cells(heap_result);
+    heap.hits = heap_result.hits.size();
+    stream.cells = total_cells(stream_result);
+    stream.hits = stream_result.hits.size();
+    records.push_back(heap);
+    records.push_back(stream);
+    std::printf("pipeline threads=%zu  heap=%.4g  mmap-overlap=%.4g "
+                "cells/s  (x%.2f, %zu hits)\n",
+                threads, heap.cells_per_sec(), stream.cells_per_sec(),
+                heap.seconds > 0 ? heap.seconds / stream.seconds : 0.0,
+                stream.hits);
+  }
+  std::remove(path.c_str());
+  return records;
 }
 
 }  // namespace
@@ -138,9 +252,17 @@ int main(int argc, char** argv) {
   }
   cpu::reset_simd_tier();
 
+  // Full-pipeline end-to-end: heap-parallel vs. mmap-overlapped engines
+  // at double the stage-sweep database scale (still interactive).
+  auto pipeline_records = bench_pipeline(scale * 2, M);
+
   std::ofstream out(out_path);
   out << "{\n";
   out << "  \"bench\": \"throughput\",\n";
+  out << "  \"host\": {\"name\": \"" << host_name()
+      << "\", \"hardware_threads\": "
+      << std::thread::hardware_concurrency() << ", \"simd_tier\": \""
+      << cpu::simd_tier_name(cpu::active_simd_tier()) << "\"},\n";
   out << "  \"database\": {\"preset\": \"swissprot_like\", \"scale\": "
       << scale << ", \"n_sequences\": " << db.size()
       << ", \"n_residues\": " << total_residues << "},\n";
@@ -153,6 +275,24 @@ int main(int argc, char** argv) {
         << ", \"seconds\": " << r.seconds
         << ", \"cells_per_sec\": " << r.cells_per_sec() << "}"
         << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  // Reference point for the streaming-scan work: end-to-end cells/sec of
+  // the pre-streaming engine (heap decode + barrier-staged parallel scan)
+  // on this workload, measured on the roadmap host before the mmap /
+  // bucketed / overlapped changes landed.
+  out << "  \"pipeline_baseline\": {\"engine\": \"parallel_heap\", "
+         "\"threads\": 1, \"cells_per_sec\": 2.67178e9, "
+         "\"note\": \"pre-streaming main\"},\n";
+  out << "  \"pipeline\": [\n";
+  for (std::size_t i = 0; i < pipeline_records.size(); ++i) {
+    const auto& r = pipeline_records[i];
+    out << "    {\"engine\": \"" << r.engine
+        << "\", \"threads\": " << r.threads << ", \"cells\": " << r.cells
+        << ", \"seconds\": " << r.seconds
+        << ", \"cells_per_sec\": " << r.cells_per_sec()
+        << ", \"hits\": " << r.hits << "}"
+        << (i + 1 < pipeline_records.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   std::cout << "wrote " << out_path << "\n";

@@ -20,6 +20,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "bio/fasta.hpp"
@@ -83,6 +84,7 @@ int main(int argc, char** argv) {
   try {
     hmm::Plan7Hmm model;
     bio::SequenceDatabase db;
+    std::optional<bio::MappedSeqDb> mapped;
     std::optional<stats::ModelStats> file_stats;
     if (demo) {
       model = hmm::paper_model(200);
@@ -98,13 +100,21 @@ int main(int argc, char** argv) {
         return 2;
       }
       model = hmm::read_hmm_file(hmm_path, &file_stats);
-      // FASTA by default; packed binary databases by extension.
+      // FASTA by default; packed binary databases by extension.  The CPU
+      // engines scan a .fsqdb zero-copy through the mmap-backed reader;
+      // the simulated GPU path needs the decoded heap database.
       if (fasta_path.size() > 6 &&
-          fasta_path.substr(fasta_path.size() - 6) == ".fsqdb")
-        db = bio::read_seq_db_file(fasta_path);
-      else
+          fasta_path.substr(fasta_path.size() - 6) == ".fsqdb") {
+        if (use_gpu)
+          db = bio::read_seq_db_file(fasta_path);
+        else
+          mapped.emplace(fasta_path);
+      } else {
         db = bio::read_fasta_file(fasta_path);
+      }
     }
+    const pipeline::ScanSource src =
+        mapped ? pipeline::ScanSource(*mapped) : pipeline::ScanSource(db);
 
     std::printf("# engine:   %s\n", use_gpu ? "simulated GPU (warp kernels)"
                                             : "CPU (striped SIMD)");
@@ -125,19 +135,19 @@ int main(int argc, char** argv) {
       result = search.run_gpu(simt::DeviceSpec::tesla_k40(), db, packed,
                               placement);
     } else {
-      result = search.run_cpu(db);
+      result = search.run_cpu(src);
     }
 
     pipeline::ReportOptions ropts;
     ropts.max_hits = max_hits;
     ropts.show_alignments = show_ali;
     ropts.show_domains = show_domains;
-    pipeline::write_report(std::cout, result, search.profile(), db, ropts);
+    pipeline::write_report(std::cout, result, search.profile(), src, ropts);
 
     if (!tblout_path.empty()) {
       std::ofstream tbl(tblout_path);
       if (!tbl.good()) throw Error("cannot open tblout file: " + tblout_path);
-      pipeline::write_tblout(tbl, result, search.profile(), db);
+      pipeline::write_tblout(tbl, result, search.profile(), src);
       std::printf("# target table written to %s\n", tblout_path.c_str());
     }
   } catch (const std::exception& e) {

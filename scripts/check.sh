@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# One-command verification: configure, build, and run the full test suite
+# (tier-1 + simd-labelled) under both the default Release build and the
+# ASan+UBSan build, via the CMake presets.
+#
+# Usage: scripts/check.sh [--fast]
+#   --fast  skip the ASan pass (default build + tests only)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+run() { echo "+ $*"; "$@"; }
+
+run cmake --preset default
+run cmake --build --preset default -j "$(nproc)"
+run ctest --preset default
+
+if [[ "$fast" -eq 0 ]]; then
+  run cmake --preset asan
+  run cmake --build --preset asan -j "$(nproc)"
+  run ctest --preset asan
+fi
+
+echo "check.sh: all suites passed"

@@ -1,0 +1,55 @@
+// Zero-copy access to packed 5-bit residue streams.
+//
+// The .fsqdb on-disk format and the GPU streaming layout both store 6
+// residues per 32-bit word (bio/packing.hpp).  PackedResidues is a
+// non-owning view over such a stream that indexes like a plain code
+// array, so the striped CPU kernels (templated on the sequence accessor)
+// can consume residue words straight out of an mmap'd file with no
+// per-sequence decode buffer.  The base pointer may sit at any byte
+// offset — the words inside a .fsqdb file follow variable-length names —
+// so words are fetched with memcpy loads, which compile to single movs
+// on x86 and stay defined behaviour everywhere else.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "bio/packing.hpp"
+
+namespace finehmm::bio {
+
+class PackedResidues {
+ public:
+  PackedResidues() = default;
+  explicit PackedResidues(const void* words)
+      : bytes_(static_cast<const unsigned char*>(words)) {}
+
+  /// Residue code at position i (i < the sequence length; trailing pad
+  /// codes inside the last word are never addressed through this).
+  std::uint8_t operator[](std::size_t i) const {
+    std::uint32_t w;
+    std::memcpy(&w,
+                bytes_ + (i / kResiduesPerWord) * sizeof(std::uint32_t),
+                sizeof(w));
+    return static_cast<std::uint8_t>(
+        (w >> (static_cast<std::uint32_t>(i % kResiduesPerWord) *
+               kBitsPerResidue)) &
+        kResidueMask);
+  }
+
+  const unsigned char* data() const noexcept { return bytes_; }
+  explicit operator bool() const noexcept { return bytes_ != nullptr; }
+
+ private:
+  const unsigned char* bytes_ = nullptr;
+};
+
+/// Decode `length` residues into caller-owned storage (>= length bytes).
+/// Used for the rare pipeline survivors that reach stages without a
+/// packed-input kernel (Viterbi rescoring, Forward, traceback).
+inline void unpack_into(PackedResidues packed, std::size_t length,
+                        std::uint8_t* out) {
+  for (std::size_t i = 0; i < length; ++i) out[i] = packed[i];
+}
+
+}  // namespace finehmm::bio

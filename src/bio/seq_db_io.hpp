@@ -8,11 +8,25 @@
 // Layout: magic "FSQD" | u32 version | u64 count
 //         | per sequence: u32 name_len | name | u32 residue_count
 //         | u64 total_words | u32 packed words (concatenated, in order)
+//
+// Two readers share the format:
+//   read_seq_db / read_seq_db_file  — eager decode into a SequenceDatabase
+//                                     (heap-owned byte codes per sequence).
+//   MappedSeqDb                     — zero-copy view: the file is mmap'd
+//                                     (or slurped once on platforms without
+//                                     mmap) and residue words are consumed
+//                                     in place via bio::PackedResidues; the
+//                                     scan never copies or decodes residues
+//                                     per sequence.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
+#include <vector>
 
+#include "bio/packed_seq.hpp"
 #include "bio/sequence.hpp"
 
 namespace finehmm::bio {
@@ -22,5 +36,73 @@ void write_seq_db_file(const std::string& path, const SequenceDatabase& db);
 
 SequenceDatabase read_seq_db(std::istream& in);
 SequenceDatabase read_seq_db_file(const std::string& path);
+
+/// Memory-mapped (zero-copy) view of a .fsqdb file.
+///
+/// The whole file stays in the page cache; per-sequence access returns a
+/// PackedResidues view into it.  Opening validates the header, the index,
+/// and every residue code once, so downstream kernels can index emission
+/// tables without re-checking.  Instances are move-only and unmap on
+/// destruction.
+class MappedSeqDb {
+ public:
+  /// How to back the view.  kAuto prefers mmap and falls back to a single
+  /// buffered read of the whole file; kBuffered forces the fallback (used
+  /// by tests and non-mmap platforms).
+  enum class Backing { kAuto, kBuffered };
+
+  explicit MappedSeqDb(const std::string& path,
+                       Backing backing = Backing::kAuto);
+  ~MappedSeqDb();
+
+  MappedSeqDb(MappedSeqDb&& other) noexcept;
+  MappedSeqDb& operator=(MappedSeqDb&& other) noexcept;
+  MappedSeqDb(const MappedSeqDb&) = delete;
+  MappedSeqDb& operator=(const MappedSeqDb&) = delete;
+
+  std::size_t size() const noexcept { return index_.size(); }
+  std::uint32_t length(std::size_t i) const { return index_[i].length; }
+  std::string_view name(std::size_t i) const {
+    const Entry& e = index_[i];
+    return {reinterpret_cast<const char*>(base_) + e.name_offset, e.name_len};
+  }
+  /// Packed 5-bit residue stream of sequence i, living in the mapped file.
+  PackedResidues residues(std::size_t i) const {
+    return PackedResidues(base_ + index_[i].word_offset);
+  }
+  /// Words backing sequence i (>= 1 even for empty sequences).
+  std::size_t word_count(std::size_t i) const {
+    const std::uint32_t len = index_[i].length;
+    return len == 0 ? 1 : (len + kResiduesPerWord - 1) / kResiduesPerWord;
+  }
+
+  std::size_t total_residues() const noexcept { return total_residues_; }
+  std::uint32_t max_length() const noexcept { return max_length_; }
+  /// True when the view is served by mmap (false on the buffered fallback).
+  bool mmap_backed() const noexcept { return mmap_backed_; }
+
+  /// Eagerly decode into a heap-owned SequenceDatabase (test/tool helper;
+  /// not used on the scan path).
+  SequenceDatabase materialize() const;
+
+ private:
+  struct Entry {
+    std::uint64_t name_offset;
+    std::uint64_t word_offset;
+    std::uint32_t name_len;
+    std::uint32_t length;
+  };
+
+  void parse_and_validate(const std::string& path);
+  void release() noexcept;
+
+  const unsigned char* base_ = nullptr;
+  std::size_t file_size_ = 0;
+  bool mmap_backed_ = false;
+  std::vector<unsigned char> fallback_;  // owns bytes when !mmap_backed_
+  std::vector<Entry> index_;
+  std::size_t total_residues_ = 0;
+  std::uint32_t max_length_ = 0;
+};
 
 }  // namespace finehmm::bio

@@ -40,6 +40,21 @@ FilterResult MsvFilter::score(const std::uint8_t* seq, std::size_t L) {
                                          row_.data());
 }
 
+FilterResult MsvFilter::score(bio::PackedResidues seq, std::size_t L) {
+  switch (tier_) {
+    case SimdTier::kAvx2:
+      return backend::msv_avx2(prof_, wide_->row(0), wide_->segments(), seq,
+                               L, row_.data());
+    case SimdTier::kSse2:
+      return backend::msv_sse2(prof_, seq, L, row_.data());
+    case SimdTier::kPortable:
+      break;
+  }
+  return simd_kernels::msv_kernel<U8x16>(prof_, prof_.striped_row(0),
+                                         prof_.striped_segments(), seq, L,
+                                         row_.data());
+}
+
 FilterResult msv_striped(const profile::MsvProfile& prof,
                          const std::uint8_t* seq, std::size_t L) {
   thread_local aligned_vector<std::uint8_t> row;

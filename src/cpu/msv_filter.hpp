@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "bio/packed_seq.hpp"
 #include "cpu/filter_result.hpp"
 #include "cpu/msv_wide.hpp"
 #include "cpu/simd_backend/simd_tier.hpp"
@@ -37,6 +38,9 @@ class MsvFilter {
             std::shared_ptr<const WideMsvStripes<32>> wide);
 
   FilterResult score(const std::uint8_t* seq, std::size_t L);
+  /// Zero-copy overload: scores a packed 5-bit residue view in place
+  /// (bit-identical to the byte-code overload at every tier).
+  FilterResult score(bio::PackedResidues seq, std::size_t L);
 
   /// The tier score() actually runs (the requested tier clamped to what
   /// the host supports).

@@ -19,6 +19,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "bio/packed_seq.hpp"
 #include "cpu/filter_result.hpp"
 #include "cpu/simd_backend/kernels.hpp"
 #include "profile/fwd_profile.hpp"
@@ -46,6 +47,17 @@ FilterResult vit_sse2(const profile::VitProfile& prof,
 float fwd_sse2(const profile::FwdProfile& prof, const std::uint8_t* seq,
                std::size_t L, float* mmx, float* imx, float* dmx);
 
+// Zero-copy overloads for the database scan path: the sequence is a packed
+// 5-bit residue view (typically into an mmap'd .fsqdb), consumed in place.
+// Bit-identical to the byte-code overloads by construction — both
+// instantiate the same kernel, only the Seq accessor differs.
+FilterResult msv_sse2(const profile::MsvProfile& prof,
+                      bio::PackedResidues seq, std::size_t L,
+                      std::uint8_t* row);
+FilterResult ssv_sse2(const profile::MsvProfile& prof,
+                      bio::PackedResidues seq, std::size_t L,
+                      std::uint8_t* row);
+
 // ---- AVX2 tier (256-bit, caller-provided re-striped parameters) ----
 FilterResult msv_avx2(const profile::MsvProfile& prof,
                       const std::uint8_t* rows, int Q,
@@ -60,5 +72,15 @@ FilterResult vit_avx2(const profile::VitProfile& prof,
                       const std::uint8_t* seq, std::size_t L,
                       std::int16_t* mmx, std::int16_t* imx,
                       std::int16_t* dmx, int* lazyf_passes = nullptr);
+
+// Packed-residue (zero-copy) overloads; see the SSE2 notes above.
+FilterResult msv_avx2(const profile::MsvProfile& prof,
+                      const std::uint8_t* rows, int Q,
+                      bio::PackedResidues seq, std::size_t L,
+                      std::uint8_t* row);
+FilterResult ssv_avx2(const profile::MsvProfile& prof,
+                      const std::uint8_t* rows, int Q,
+                      bio::PackedResidues seq, std::size_t L,
+                      std::uint8_t* row);
 
 }  // namespace finehmm::cpu::backend

@@ -50,6 +50,20 @@ FilterResult vit_avx2(const profile::VitProfile& prof,
                                              dmx, lazyf_passes);
 }
 
+FilterResult msv_avx2(const profile::MsvProfile& prof,
+                      const std::uint8_t* rows, int Q,
+                      bio::PackedResidues seq, std::size_t L,
+                      std::uint8_t* row) {
+  return simd_kernels::msv_kernel<AvxU8x32>(prof, rows, Q, seq, L, row);
+}
+
+FilterResult ssv_avx2(const profile::MsvProfile& prof,
+                      const std::uint8_t* rows, int Q,
+                      bio::PackedResidues seq, std::size_t L,
+                      std::uint8_t* row) {
+  return simd_kernels::ssv_kernel<AvxU8x32>(prof, rows, Q, seq, L, row);
+}
+
 #else  // AVX2 backend not compiled in: stubs, never dispatched to
 
 bool have_avx2() { return false; }
@@ -66,6 +80,14 @@ FilterResult vit_avx2(const profile::VitProfile&,
                       const simd_kernels::VitStripesView&,
                       const std::uint8_t*, std::size_t, std::int16_t*,
                       std::int16_t*, std::int16_t*, int*) {
+  throw Error("AVX2 backend not compiled into this binary");
+}
+FilterResult msv_avx2(const profile::MsvProfile&, const std::uint8_t*, int,
+                      bio::PackedResidues, std::size_t, std::uint8_t*) {
+  throw Error("AVX2 backend not compiled into this binary");
+}
+FilterResult ssv_avx2(const profile::MsvProfile&, const std::uint8_t*, int,
+                      bio::PackedResidues, std::size_t, std::uint8_t*) {
   throw Error("AVX2 backend not compiled into this binary");
 }
 

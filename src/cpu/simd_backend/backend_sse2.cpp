@@ -55,6 +55,20 @@ float fwd_sse2(const profile::FwdProfile& prof, const std::uint8_t* seq,
   return simd_kernels::fwd_kernel<SseF32x4>(prof, seq, L, mmx, imx, dmx);
 }
 
+FilterResult msv_sse2(const profile::MsvProfile& prof,
+                      bio::PackedResidues seq, std::size_t L,
+                      std::uint8_t* row) {
+  return simd_kernels::msv_kernel<SseU8x16>(
+      prof, prof.striped_row(0), prof.striped_segments(), seq, L, row);
+}
+
+FilterResult ssv_sse2(const profile::MsvProfile& prof,
+                      bio::PackedResidues seq, std::size_t L,
+                      std::uint8_t* row) {
+  return simd_kernels::ssv_kernel<SseU8x16>(
+      prof, prof.striped_row(0), prof.striped_segments(), seq, L, row);
+}
+
 #else  // non-x86 host: stubs, never dispatched to
 
 bool have_sse2() { return false; }
@@ -74,6 +88,14 @@ FilterResult vit_sse2(const profile::VitProfile&, const std::uint8_t*,
 }
 float fwd_sse2(const profile::FwdProfile&, const std::uint8_t*, std::size_t,
                float*, float*, float*) {
+  throw Error("SSE2 backend not available on this target");
+}
+FilterResult msv_sse2(const profile::MsvProfile&, bio::PackedResidues,
+                      std::size_t, std::uint8_t*) {
+  throw Error("SSE2 backend not available on this target");
+}
+FilterResult ssv_sse2(const profile::MsvProfile&, bio::PackedResidues,
+                      std::size_t, std::uint8_t*) {
   throw Error("SSE2 backend not available on this target");
 }
 

@@ -14,6 +14,11 @@
 // Kernels take raw striped-parameter pointers (residue x's stripe row
 // lives at base + x*Q*N) and caller-owned DP row storage, so they perform
 // no allocation and no layout decisions of their own.
+//
+// The sequence parameter is a generic accessor `Seq` read exactly once per
+// row as `seq[i]`; plain `const std::uint8_t*` arrays and zero-copy
+// bio::PackedResidues views instantiate the identical loop, so the packed
+// (mmap) path scores bit-identically to the byte-code path.
 #pragma once
 
 #include <algorithm>
@@ -34,11 +39,10 @@ namespace finehmm::cpu::simd_kernels {
 /// Striped MSV over N = V::kLanes byte lanes.  `rows` is the striped
 /// emission table for this lane count (row of residue x at x*Q*N); `row`
 /// is caller-owned scratch of Q*N bytes.
-template <class V>
+template <class V, class Seq>
 FilterResult msv_kernel(const profile::MsvProfile& prof,
-                        const std::uint8_t* rows, int Q,
-                        const std::uint8_t* seq, std::size_t L,
-                        std::uint8_t* row) {
+                        const std::uint8_t* rows, int Q, Seq seq,
+                        std::size_t L, std::uint8_t* row) {
   constexpr int N = V::kLanes;
   FH_REQUIRE(L >= 1, "cannot score an empty sequence");
   const V biasv = V::splat(prof.bias());
@@ -88,11 +92,10 @@ FilterResult msv_kernel(const profile::MsvProfile& prof,
 
 /// Striped SSV (no J state) over N byte lanes; same parameter layout and
 /// scratch contract as msv_kernel.
-template <class V>
+template <class V, class Seq>
 FilterResult ssv_kernel(const profile::MsvProfile& prof,
-                        const std::uint8_t* rows, int Q,
-                        const std::uint8_t* seq, std::size_t L,
-                        std::uint8_t* row) {
+                        const std::uint8_t* rows, int Q, Seq seq,
+                        std::size_t L, std::uint8_t* row) {
   constexpr int N = V::kLanes;
   FH_REQUIRE(L >= 1, "cannot score an empty sequence");
   const V biasv = V::splat(prof.bias());
@@ -156,10 +159,10 @@ struct VitStripesView {
 /// Striped ViterbiFilter with Lazy-F over N = V::kLanes word lanes.
 /// mmx/imx/dmx are caller-owned scratch of Q*N words each; lazyf_passes
 /// (optional) receives the number of wrap passes executed.
-template <class V>
+template <class V, class Seq>
 FilterResult vit_kernel(const profile::VitProfile& prof,
-                        const VitStripesView& st, const std::uint8_t* seq,
-                        std::size_t L, std::int16_t* mmx, std::int16_t* imx,
+                        const VitStripesView& st, Seq seq, std::size_t L,
+                        std::int16_t* mmx, std::int16_t* imx,
                         std::int16_t* dmx, int* lazyf_passes = nullptr) {
   using profile::kWordNegInf;
   using profile::sat_add_word;
@@ -258,9 +261,9 @@ FilterResult vit_kernel(const profile::VitProfile& prof,
 /// 4-float striping: float summation order is part of the result, so the
 /// 128-bit width is the widest bit-exact tier for this filter (see
 /// docs/simd_dispatch.md).  mmx/imx/dmx are Q*4 floats of caller scratch.
-template <class V>
-float fwd_kernel(const profile::FwdProfile& prof, const std::uint8_t* seq,
-                 std::size_t L, float* mmx, float* imx, float* dmx) {
+template <class V, class Seq>
+float fwd_kernel(const profile::FwdProfile& prof, Seq seq, std::size_t L,
+                 float* mmx, float* imx, float* dmx) {
   static_assert(V::kLanes == profile::FwdProfile::kLanes,
                 "Forward striping is fixed at 4 float lanes");
   constexpr int kLanes = profile::FwdProfile::kLanes;

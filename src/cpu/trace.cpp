@@ -35,6 +35,104 @@ char consensus_char(const hmm::SearchProfile& prof, int k) {
                                   : static_cast<char>(std::tolower(c));
 }
 
+/// Recover the state path from the filled backpointer arrays.  `stride`
+/// is M+1; bm/bi/bd are (L+1)*stride matrices.  Only backpointers along
+/// the optimal path are read, and a finite score guarantees every one of
+/// those was written by the DP.
+ViterbiTrace backtrace(float score, std::size_t L, std::size_t stride,
+                       const std::uint8_t* bm, const std::uint8_t* bi,
+                       const std::uint8_t* bd, const int* be,
+                       const std::uint8_t* bj, const std::uint8_t* bc,
+                       const std::uint8_t* bb) {
+  ViterbiTrace trace;
+  trace.score = score;
+  if (trace.score == kNegInf) return trace;  // no path (degenerate input)
+
+  auto at = [stride](std::size_t i, int k) {
+    return i * stride + static_cast<std::size_t>(k);
+  };
+
+  // Emits steps in reverse, flipped at the end.
+  std::vector<TraceStep> rev;
+  enum class St { kC, kE, kM, kI, kD, kJ, kB, kN };
+  St st = St::kC;
+  std::size_t i = L;
+  int k = 0;
+  for (;;) {
+    switch (st) {
+      case St::kC:
+        if (bc[i] == 0) {
+          rev.push_back({TraceState::kC, 0, i});  // C emitted residue i
+          --i;
+        } else {
+          rev.push_back({TraceState::kC, 0, 0});
+          st = St::kE;
+        }
+        break;
+      case St::kE:
+        rev.push_back({TraceState::kE, 0, 0});
+        k = be[i];
+        st = St::kM;
+        break;
+      case St::kM: {
+        rev.push_back({TraceState::kM, k, i});
+        std::uint8_t p = bm[at(i, k)];
+        --i;
+        if (p == 0) {
+          st = St::kB;
+        } else if (p == 1) {
+          --k;
+          st = St::kM;
+        } else if (p == 2) {
+          --k;
+          st = St::kI;
+        } else {
+          --k;
+          st = St::kD;
+        }
+        break;
+      }
+      case St::kI: {
+        rev.push_back({TraceState::kI, k, i});
+        std::uint8_t p = bi[at(i, k)];
+        --i;
+        st = p == 0 ? St::kM : St::kI;
+        break;
+      }
+      case St::kD: {
+        rev.push_back({TraceState::kD, k, 0});
+        std::uint8_t p = bd[at(i, k)];
+        --k;
+        st = p == 0 ? St::kM : St::kD;
+        break;
+      }
+      case St::kB:
+        rev.push_back({TraceState::kB, 0, 0});
+        st = bb[i] == 0 ? St::kN : St::kJ;
+        break;
+      case St::kJ:
+        if (bj[i] == 0) {
+          rev.push_back({TraceState::kJ, 0, i});
+          --i;
+        } else {
+          rev.push_back({TraceState::kJ, 0, 0});
+          st = St::kE;
+        }
+        break;
+      case St::kN:
+        if (i == 0) {
+          rev.push_back({TraceState::kN, 0, 0});
+          std::reverse(rev.begin(), rev.end());
+          trace.steps = std::move(rev);
+          return trace;
+        }
+        rev.push_back({TraceState::kN, 0, i});
+        --i;
+        break;
+    }
+  }
+}
+
 }  // namespace
 
 ViterbiTrace viterbi_trace(const hmm::SearchProfile& prof,
@@ -128,90 +226,140 @@ ViterbiTrace viterbi_trace(const hmm::SearchProfile& prof,
     pd.swap(cd);
   }
 
-  ViterbiTrace trace;
-  trace.score = add(vC[L], xs.c_move);
-  if (trace.score == kNegInf) return trace;  // no path (degenerate input)
+  return backtrace(add(vC[L], xs.c_move), L, static_cast<std::size_t>(M + 1),
+                   bm.data(), bi_.data(), bd.data(), be.data(), bj.data(),
+                   bc.data(), bb.data());
+}
 
-  // --- backtrace (emits steps in reverse, flipped at the end) ---
-  std::vector<TraceStep> rev;
-  // We need M/I/D values only through backpointers, so no value lookups.
-  enum class St { kC, kE, kM, kI, kD, kJ, kB, kN };
-  St st = St::kC;
-  std::size_t i = L;
-  int k = 0;
-  for (;;) {
-    switch (st) {
-      case St::kC:
-        if (bc[i] == 0) {
-          rev.push_back({TraceState::kC, 0, i});  // C emitted residue i
-          --i;
-        } else {
-          rev.push_back({TraceState::kC, 0, 0});
-          st = St::kE;
-        }
-        break;
-      case St::kE:
-        rev.push_back({TraceState::kE, 0, 0});
-        k = be[i];
-        st = St::kM;
-        break;
-      case St::kM: {
-        rev.push_back({TraceState::kM, k, i});
-        std::uint8_t p = bm[at(i, k)];
-        --i;
-        if (p == 0) {
-          st = St::kB;
-        } else if (p == 1) {
-          --k;
-          st = St::kM;
-        } else if (p == 2) {
-          --k;
-          st = St::kI;
-        } else {
-          --k;
-          st = St::kD;
-        }
-        break;
-      }
-      case St::kI: {
-        rev.push_back({TraceState::kI, k, i});
-        std::uint8_t p = bi_[at(i, k)];
-        --i;
-        st = p == 0 ? St::kM : St::kI;
-        break;
-      }
-      case St::kD: {
-        rev.push_back({TraceState::kD, k, 0});
-        std::uint8_t p = bd[at(i, k)];
-        --k;
-        st = p == 0 ? St::kM : St::kD;
-        break;
-      }
-      case St::kB:
-        rev.push_back({TraceState::kB, 0, 0});
-        st = bb[i] == 0 ? St::kN : St::kJ;
-        break;
-      case St::kJ:
-        if (bj[i] == 0) {
-          rev.push_back({TraceState::kJ, 0, i});
-          --i;
-        } else {
-          rev.push_back({TraceState::kJ, 0, 0});
-          st = St::kE;
-        }
-        break;
-      case St::kN:
-        if (i == 0) {
-          rev.push_back({TraceState::kN, 0, 0});
-          std::reverse(rev.begin(), rev.end());
-          trace.steps = std::move(rev);
-          return trace;
-        }
-        rev.push_back({TraceState::kN, 0, i});
-        --i;
-        break;
-    }
+void TraceWorkspace::reserve(int M, std::size_t L) {
+  const std::size_t stride = static_cast<std::size_t>(M) + 1;
+  const std::size_t cells = (L + 1) * stride;
+  if (rows_.size() < 6 * stride) rows_.resize(6 * stride);
+  if (bm_.size() < cells) {
+    bm_.resize(cells);
+    bi_.resize(cells);
+    bd_.resize(cells);
   }
+  if (be_.size() < L + 1) {
+    be_.resize(L + 1);
+    bj_.resize(L + 1);
+    bc_.resize(L + 1);
+    bb_.resize(L + 1);
+  }
+}
+
+ViterbiTrace viterbi_trace(const hmm::SearchProfile& prof,
+                           const std::uint8_t* seq, std::size_t L,
+                           TraceWorkspace& ws) {
+  FH_REQUIRE(L >= 1, "cannot trace an empty sequence");
+  const int M = prof.length();
+  const auto xs = prof.xsc_for(static_cast<int>(L));
+  ws.reserve(M, L);
+
+  const std::size_t stride = static_cast<std::size_t>(M) + 1;
+  float* pm = ws.rows_.data();
+  float* pi = pm + stride;
+  float* pd = pi + stride;
+  float* cm = pd + stride;
+  float* ci = cm + stride;
+  float* cd = ci + stride;
+  std::uint8_t* bm = ws.bm_.data();
+  std::uint8_t* bi = ws.bi_.data();
+  std::uint8_t* bd = ws.bd_.data();
+  int* be = ws.be_.data();
+  std::uint8_t* bj = ws.bj_.data();
+  std::uint8_t* bc = ws.bc_.data();
+  std::uint8_t* bb = ws.bb_.data();
+
+  std::fill(pm, pm + stride, kNegInf);
+  std::fill(pi, pi + stride, kNegInf);
+  std::fill(pd, pd + stride, kNegInf);
+
+  // Special-state values only feed the next row, so they live in scalars;
+  // the per-row backpointers (all the backtrace reads) are kept.
+  float vN = 0.0f;
+  float vB = xs.n_move;
+  float vJ = kNegInf;
+  float vC = kNegInf;
+  bb[0] = 0;
+
+  for (std::size_t i = 1; i <= L; ++i) {
+    const std::uint8_t x = seq[i - 1];
+    std::uint8_t* bm_row = bm + i * stride;
+    std::uint8_t* bi_row = bi + i * stride;
+    std::uint8_t* bd_row = bd + i * stride;
+    float xE = kNegInf;
+    int xEk = 0;
+    cm[0] = ci[0] = cd[0] = kNegInf;
+    for (int k = 1; k <= M; ++k) {
+      // Match: B / M / I / D predecessors from row i-1.  Running strict-
+      // greater argmax == the reference's first-index-of-max scan.
+      float bv = vB + prof.tsc(k - 1, kPTBM);
+      int best = 0;
+      const float c1 = pm[k - 1] + prof.tsc(k - 1, kPTMM);
+      if (c1 > bv) {
+        bv = c1;
+        best = 1;
+      }
+      const float c2 = pi[k - 1] + prof.tsc(k - 1, kPTIM);
+      if (c2 > bv) {
+        bv = c2;
+        best = 2;
+      }
+      const float c3 = pd[k - 1] + prof.tsc(k - 1, kPTDM);
+      if (c3 > bv) {
+        bv = c3;
+        best = 3;
+      }
+      bm_row[k] = static_cast<std::uint8_t>(best);
+      cm[k] = bv + prof.msc(k, x);
+      const float exit_score = cm[k] + prof.esc(k);
+      if (exit_score > xE) {
+        xE = exit_score;
+        xEk = k;
+      }
+
+      if (k < M) {
+        const float im = pm[k] + prof.tsc(k, kPTMI);
+        const float ii = pi[k] + prof.tsc(k, kPTII);
+        bi_row[k] = im >= ii ? 0 : 1;
+        ci[k] = std::max(im, ii);
+      } else {
+        ci[k] = kNegInf;
+      }
+      if (k >= 2) {
+        const float dm = cm[k - 1] + prof.tsc(k - 1, kPTMD);
+        const float dd = cd[k - 1] + prof.tsc(k - 1, kPTDD);
+        bd_row[k] = dm >= dd ? 0 : 1;
+        cd[k] = std::max(dm, dd);
+      } else {
+        cd[k] = kNegInf;
+      }
+    }
+    be[i] = xEk;
+
+    const float j_loop = vJ + xs.j_loop;
+    const float j_new = xE + xs.e_j;
+    bj[i] = j_loop >= j_new ? 0 : 1;
+    vJ = std::max(j_loop, j_new);
+
+    const float c_loop = vC + xs.c_loop;
+    const float c_new = xE + xs.e_c;
+    bc[i] = c_loop >= c_new ? 0 : 1;
+    vC = std::max(c_loop, c_new);
+
+    vN = vN + xs.n_loop;
+    const float b_n = vN + xs.n_move;
+    const float b_j = vJ + xs.j_move;
+    bb[i] = b_n >= b_j ? 0 : 1;
+    vB = std::max(b_n, b_j);
+
+    std::swap(pm, cm);
+    std::swap(pi, ci);
+    std::swap(pd, cd);
+  }
+
+  return backtrace(vC + xs.c_move, L, stride, bm, bi, bd, be, bj, bc, bb);
 }
 
 std::vector<Alignment> trace_alignments(const ViterbiTrace& trace,

@@ -36,6 +36,41 @@ struct ViterbiTrace {
 ViterbiTrace viterbi_trace(const hmm::SearchProfile& prof,
                            const std::uint8_t* seq, std::size_t L);
 
+class TraceWorkspace;
+
+/// Scan-path variant of viterbi_trace: identical states, scores, and step
+/// sequence (equality-tested against the reference above), but all DP and
+/// backpointer storage lives in a caller-owned, grow-only workspace and
+/// the inner loop uses plain IEEE float adds — kNegInf is -infinity, so
+/// `a + b` equals the reference's guarded add bit-for-bit (no +inf ever
+/// enters the recurrence, hence no NaN).  Database engines keep one
+/// workspace per worker so rescoring a survivor allocates nothing once the
+/// workspace has grown to the largest (M, L) seen.
+ViterbiTrace viterbi_trace(const hmm::SearchProfile& prof,
+                           const std::uint8_t* seq, std::size_t L,
+                           TraceWorkspace& ws);
+
+/// Reusable storage for the workspace viterbi_trace overload.  Buffers
+/// only ever grow; a default-constructed workspace is valid and sizes
+/// itself on first use.
+class TraceWorkspace {
+ public:
+  TraceWorkspace() = default;
+
+ private:
+  friend ViterbiTrace viterbi_trace(const hmm::SearchProfile&,
+                                    const std::uint8_t*, std::size_t,
+                                    TraceWorkspace&);
+  void reserve(int M, std::size_t L);
+
+  std::vector<float> rows_;      // 6 rolling value rows of (M+1) floats
+  std::vector<std::uint8_t> bm_; // (L+1)*(M+1) match backpointers
+  std::vector<std::uint8_t> bi_; // (L+1)*(M+1) insert backpointers
+  std::vector<std::uint8_t> bd_; // (L+1)*(M+1) delete backpointers
+  std::vector<int> be_;          // best exit node per row
+  std::vector<std::uint8_t> bj_, bc_, bb_;  // special-state backpointers
+};
+
 /// One aligned core-model segment of a trace.
 struct Alignment {
   int k_start = 0, k_end = 0;          // model span

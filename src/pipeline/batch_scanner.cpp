@@ -41,8 +41,17 @@ BatchScanner::BatchScanner(const profile::MsvProfile& msv,
   }
 }
 
-cpu::FilterResult BatchScanner::ssv(std::size_t w, const std::uint8_t* seq,
-                                    std::size_t L) {
+namespace {
+
+// Kernels require L >= 1; an empty sequence cannot contain a match, so
+// every stage scores it as the default no-hit result (-inf nats).
+constexpr bool empty_no_hit(std::size_t L) { return L == 0; }
+
+}  // namespace
+
+template <class Seq>
+cpu::FilterResult BatchScanner::ssv_impl(std::size_t w, Seq seq,
+                                         std::size_t L) {
   Worker& worker = workers_[w];
   switch (tier_) {
     case cpu::SimdTier::kAvx2: {
@@ -60,13 +69,33 @@ cpu::FilterResult BatchScanner::ssv(std::size_t w, const std::uint8_t* seq,
       worker.ssv_row.data());
 }
 
+cpu::FilterResult BatchScanner::ssv(std::size_t w, const std::uint8_t* seq,
+                                    std::size_t L) {
+  if (empty_no_hit(L)) return {};
+  return ssv_impl(w, seq, L);
+}
+
+cpu::FilterResult BatchScanner::ssv(std::size_t w, bio::PackedResidues seq,
+                                    std::size_t L) {
+  if (empty_no_hit(L)) return {};
+  return ssv_impl(w, seq, L);
+}
+
 cpu::FilterResult BatchScanner::msv(std::size_t w, const std::uint8_t* seq,
                                     std::size_t L) {
+  if (empty_no_hit(L)) return {};
+  return workers_[w].msv.score(seq, L);
+}
+
+cpu::FilterResult BatchScanner::msv(std::size_t w, bio::PackedResidues seq,
+                                    std::size_t L) {
+  if (empty_no_hit(L)) return {};
   return workers_[w].msv.score(seq, L);
 }
 
 cpu::FilterResult BatchScanner::vit(std::size_t w, const std::uint8_t* seq,
                                     std::size_t L) {
+  if (empty_no_hit(L)) return {};
   return workers_[w].vit.score(seq, L);
 }
 
@@ -74,6 +103,7 @@ float BatchScanner::fwd(std::size_t w, const std::uint8_t* seq,
                         std::size_t L) {
   FH_REQUIRE(workers_[w].fwd.has_value(),
              "BatchScanner built without a Forward profile");
+  if (empty_no_hit(L)) return cpu::FilterResult{}.score_nats;
   return workers_[w].fwd->score(seq, L);
 }
 

@@ -20,6 +20,7 @@
 #include <optional>
 #include <vector>
 
+#include "bio/packed_seq.hpp"
 #include "cpu/filter_result.hpp"
 #include "cpu/fwd_filter.hpp"
 #include "cpu/msv_filter.hpp"
@@ -47,7 +48,9 @@ class BatchScanner {
   cpu::SimdTier tier() const noexcept { return tier_; }
 
   /// Each scorer runs on worker `w`'s private state; two calls with the
-  /// same `w` must not overlap, calls with different `w` may.
+  /// same `w` must not overlap, calls with different `w` may.  Zero-length
+  /// sequences are scored as a no-hit (-inf, no DP touched) rather than
+  /// handed to the kernels, which require L >= 1.
   cpu::FilterResult ssv(std::size_t w, const std::uint8_t* seq,
                         std::size_t L);
   cpu::FilterResult msv(std::size_t w, const std::uint8_t* seq,
@@ -57,7 +60,20 @@ class BatchScanner {
   /// Forward score in nats; requires a FwdProfile at construction.
   float fwd(std::size_t w, const std::uint8_t* seq, std::size_t L);
 
+  /// Zero-copy overloads for the byte-stage filters: the sequence is a
+  /// packed 5-bit view (typically straight out of an mmap'd .fsqdb) and is
+  /// consumed in place — no decode buffer, no copy, bit-identical scores.
+  /// The word stages (vit/fwd) run only on rare survivors, which engines
+  /// decode into per-worker scratch instead.
+  cpu::FilterResult ssv(std::size_t w, bio::PackedResidues seq,
+                        std::size_t L);
+  cpu::FilterResult msv(std::size_t w, bio::PackedResidues seq,
+                        std::size_t L);
+
  private:
+  template <class Seq>
+  cpu::FilterResult ssv_impl(std::size_t w, Seq seq, std::size_t L);
+
   struct Worker {
     cpu::MsvFilter msv;
     cpu::VitFilter vit;

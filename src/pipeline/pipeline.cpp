@@ -1,7 +1,9 @@
 #include "pipeline/pipeline.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <thread>
 
 #include "cpu/fwd_filter.hpp"
 #include "cpu/generic.hpp"
@@ -10,7 +12,9 @@
 #include "cpu/vit_filter.hpp"
 #include "pipeline/batch_scanner.hpp"
 #include "pipeline/null2.hpp"
+#include "pipeline/workload.hpp"
 #include "util/error.hpp"
+#include "util/mpmc_queue.hpp"
 #include "util/threadpool.hpp"
 #include "util/timer.hpp"
 
@@ -46,25 +50,43 @@ float overflow_bits(const profile::MsvProfile& msv, int L) {
       (255.0f - msv.bias() - msv.base()) / msv.scale(), L);
 }
 
+// The byte filters consume either representation without a decode: the
+// packed overloads instantiate the identical kernel loop, so the branch
+// here cannot change a score.
+cpu::FilterResult ssv_score(BatchScanner& scanner, std::size_t w,
+                            ScanSource src, std::size_t s, std::size_t L) {
+  return src.zero_copy() ? scanner.ssv(w, src.packed(s), L)
+                         : scanner.ssv(w, src.codes(s), L);
+}
+
+cpu::FilterResult msv_score(BatchScanner& scanner, std::size_t w,
+                            ScanSource src, std::size_t s, std::size_t L) {
+  return src.zero_copy() ? scanner.msv(w, src.packed(s), L)
+                         : scanner.msv(w, src.codes(s), L);
+}
+
 }  // namespace
 
-SearchResult HmmSearch::run_cpu(const bio::SequenceDatabase& db) const {
+SearchResult HmmSearch::run_cpu(ScanSource src) const {
   SearchResult out;
   Timer timer;
   BatchScanner scanner(msv_, vit_, /*fwd=*/nullptr, /*workers=*/1);
 
   // ---- Stage 0 (optional): SSV pre-filter ----
+  // Zero-length sequences cannot match; every engine counts them into the
+  // first active stage's n_in and fails them there without scoring.
   std::vector<std::size_t> candidates;
   if (thr_.use_ssv_prefilter) {
-    out.ssv.n_in = db.size();
-    for (std::size_t s = 0; s < db.size(); ++s) {
-      const auto& seq = db[s];
-      auto r = scanner.ssv(0, seq.codes.data(), seq.length());
+    out.ssv.n_in = src.size();
+    for (std::size_t s = 0; s < src.size(); ++s) {
+      const std::size_t L = src.length(s);
+      if (L == 0) continue;
+      auto r = ssv_score(scanner, 0, src, s, L);
       float bits = r.overflowed
-                       ? overflow_bits(msv_, static_cast<int>(seq.length()))
+                       ? overflow_bits(msv_, static_cast<int>(L))
                        : hmm::nats_to_bits(r.score_nats,
-                                           static_cast<int>(seq.length()));
-      out.ssv.cells += static_cast<double>(seq.length()) * msv_.length();
+                                           static_cast<int>(L));
+      out.ssv.cells += static_cast<double>(L) * msv_.length();
       if (r.overflowed || stats_.ssv_pvalue(bits) <= thr_.ssv_p)
         candidates.push_back(s);
     }
@@ -72,8 +94,8 @@ SearchResult HmmSearch::run_cpu(const bio::SequenceDatabase& db) const {
     out.ssv.seconds = timer.seconds();
     timer.reset();
   } else {
-    candidates.resize(db.size());
-    for (std::size_t s = 0; s < db.size(); ++s) candidates[s] = s;
+    candidates.resize(src.size());
+    for (std::size_t s = 0; s < src.size(); ++s) candidates[s] = s;
   }
 
   // ---- Stage 1: MSV ----
@@ -81,13 +103,14 @@ SearchResult HmmSearch::run_cpu(const bio::SequenceDatabase& db) const {
   std::vector<float> msv_bits_pass;
   out.msv.n_in = candidates.size();
   for (std::size_t s : candidates) {
-    const auto& seq = db[s];
-    auto r = scanner.msv(0, seq.codes.data(), seq.length());
+    const std::size_t L = src.length(s);
+    if (L == 0) continue;
+    auto r = msv_score(scanner, 0, src, s, L);
     float bits = r.overflowed
-                     ? overflow_bits(msv_, static_cast<int>(seq.length()))
+                     ? overflow_bits(msv_, static_cast<int>(L))
                      : hmm::nats_to_bits(r.score_nats,
-                                         static_cast<int>(seq.length()));
-    out.msv.cells += static_cast<double>(seq.length()) * msv_.length();
+                                         static_cast<int>(L));
+    out.msv.cells += static_cast<double>(L) * msv_.length();
     if (r.overflowed || stats_.msv_pvalue(bits) <= thr_.msv_p) {
       msv_pass.push_back(s);
       msv_bits_pass.push_back(bits);
@@ -101,12 +124,14 @@ SearchResult HmmSearch::run_cpu(const bio::SequenceDatabase& db) const {
   std::vector<std::size_t> vit_pass;
   std::vector<float> vit_bits_pass;
   out.vit.n_in = msv_pass.size();
+  std::vector<std::uint8_t> scratch;
+  if (src.zero_copy()) scratch.resize(src.max_length());
   for (std::size_t s : msv_pass) {
-    const auto& seq = db[s];
-    auto r = scanner.vit(0, seq.codes.data(), seq.length());
-    float bits =
-        hmm::nats_to_bits(r.score_nats, static_cast<int>(seq.length()));
-    out.vit.cells += static_cast<double>(seq.length()) * vit_.length();
+    const std::size_t L = src.length(s);
+    const std::uint8_t* codes = src.fetch_codes(s, scratch.data());
+    auto r = scanner.vit(0, codes, L);
+    float bits = hmm::nats_to_bits(r.score_nats, static_cast<int>(L));
+    out.vit.cells += static_cast<double>(L) * vit_.length();
     if (stats_.vit_pvalue(bits) <= thr_.vit_p) {
       vit_pass.push_back(s);
       vit_bits_pass.push_back(bits);
@@ -115,68 +140,80 @@ SearchResult HmmSearch::run_cpu(const bio::SequenceDatabase& db) const {
   out.vit.n_passed = vit_pass.size();
   out.vit.seconds = timer.seconds();
 
-  forward_stage(db, vit_pass, vit_bits_pass, out);
+  forward_stage(src, vit_pass, vit_bits_pass, out);
   return out;
 }
 
-SearchResult HmmSearch::run_cpu_parallel(const bio::SequenceDatabase& db,
+SearchResult HmmSearch::run_cpu_parallel(ScanSource src,
                                          std::size_t threads) const {
   ThreadPool pool(threads);
-  return run_cpu_parallel(db, pool);
+  return run_cpu_parallel(src, pool);
 }
 
-SearchResult HmmSearch::run_cpu_parallel(const bio::SequenceDatabase& db,
+SearchResult HmmSearch::run_cpu_parallel(ScanSource src,
                                          ThreadPool& pool) const {
   SearchResult out;
   Timer timer;
+  const std::size_t n = src.size();
 
   // All mutable filter state lives in the scanner, one slot per worker;
   // the scan loops below allocate nothing per sequence.
   BatchScanner scanner(msv_, vit_, /*fwd=*/nullptr, pool.workers());
 
-  // Workers grab small index ranges from a shared cursor (dynamic
-  // scheduling), so a run of long sequences cannot strand the tail of the
-  // database on one thread the way static sharding could.
+  // Workers grab small index ranges of the length-bucketed order from a
+  // shared cursor: chunks hold similar-length sequences (balanced cost,
+  // warm DP rows) and the longest buckets are issued first, so neither a
+  // run of long sequences nor the scan's tail can strand on one thread.
   constexpr std::size_t kMsvChunk = 16;
   constexpr std::size_t kVitChunk = 4;
+  const ScanSchedule sched = make_length_schedule(
+      n, [&src](std::size_t i) { return src.length(i); });
 
   // ---- Stage 0+1: (optional SSV, then) MSV, fanned out over the pool.
   // Within a chunk the stages are fused: a sequence failing SSV never
   // reaches MSV, exactly like the serial engine, so hit lists agree.
-  out.msv.n_in = db.size();
-  std::vector<std::uint8_t> ssv_keep(db.size(), 1);
-  std::vector<std::uint8_t> msv_keep(db.size(), 0);
+  out.msv.n_in = n;
+  std::vector<std::uint8_t> ssv_keep(n, 1);
+  std::vector<std::uint8_t> msv_keep(n, 0);
   pool.parallel_for_chunked(
-      db.size(), kMsvChunk,
+      n, kMsvChunk,
       [&](std::size_t worker, std::size_t begin, std::size_t end) {
-        for (std::size_t s = begin; s < end; ++s) {
-          const auto& seq = db[s];
+        for (std::size_t idx = begin; idx < end; ++idx) {
+          const std::size_t s = sched.order[idx];
+          if (idx + 1 < end) src.prefetch(sched.order[idx + 1]);
+          const std::size_t L = src.length(s);
+          if (L == 0) {
+            if (thr_.use_ssv_prefilter) ssv_keep[s] = 0;
+            continue;  // msv_keep stays 0: fails the first active stage
+          }
           if (thr_.use_ssv_prefilter) {
-            auto sr = scanner.ssv(worker, seq.codes.data(), seq.length());
+            auto sr = ssv_score(scanner, worker, src, s, L);
             float sbits =
                 sr.overflowed
-                    ? overflow_bits(msv_, static_cast<int>(seq.length()))
+                    ? overflow_bits(msv_, static_cast<int>(L))
                     : hmm::nats_to_bits(sr.score_nats,
-                                        static_cast<int>(seq.length()));
+                                        static_cast<int>(L));
             if (!sr.overflowed && stats_.ssv_pvalue(sbits) > thr_.ssv_p) {
               ssv_keep[s] = 0;
               continue;
             }
           }
-          auto r = scanner.msv(worker, seq.codes.data(), seq.length());
+          auto r = msv_score(scanner, worker, src, s, L);
           float bits =
               r.overflowed
-                  ? overflow_bits(msv_, static_cast<int>(seq.length()))
+                  ? overflow_bits(msv_, static_cast<int>(L))
                   : hmm::nats_to_bits(r.score_nats,
-                                      static_cast<int>(seq.length()));
+                                      static_cast<int>(L));
           msv_keep[s] =
               (r.overflowed || stats_.msv_pvalue(bits) <= thr_.msv_p) ? 1
                                                                       : 0;
         }
       });
+  // Serial stats replay in index order: identical to the serial engine no
+  // matter how the bucketed scan interleaved.
   std::vector<std::size_t> msv_pass;
-  for (std::size_t s = 0; s < db.size(); ++s) {
-    double cells = static_cast<double>(db[s].length()) * msv_.length();
+  for (std::size_t s = 0; s < n; ++s) {
+    double cells = static_cast<double>(src.length(s)) * msv_.length();
     if (thr_.use_ssv_prefilter) {
       out.ssv.n_in += 1;
       out.ssv.cells += cells;
@@ -195,14 +232,20 @@ SearchResult HmmSearch::run_cpu_parallel(const bio::SequenceDatabase& db,
   out.vit.n_in = msv_pass.size();
   std::vector<float> vit_bits_all(msv_pass.size());
   std::vector<std::uint8_t> vit_keep(msv_pass.size(), 0);
+  std::vector<std::vector<std::uint8_t>> scratch(pool.workers());
+  if (src.zero_copy())
+    for (auto& sc : scratch) sc.resize(src.max_length());
   pool.parallel_for_chunked(
       msv_pass.size(), kVitChunk,
       [&](std::size_t worker, std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
-          const auto& seq = db[msv_pass[i]];
-          auto r = scanner.vit(worker, seq.codes.data(), seq.length());
+          const std::size_t s = msv_pass[i];
+          const std::size_t L = src.length(s);
+          const std::uint8_t* codes =
+              src.fetch_codes(s, scratch[worker].data());
+          auto r = scanner.vit(worker, codes, L);
           float bits = hmm::nats_to_bits(r.score_nats,
-                                         static_cast<int>(seq.length()));
+                                         static_cast<int>(L));
           vit_bits_all[i] = bits;
           vit_keep[i] = stats_.vit_pvalue(bits) <= thr_.vit_p ? 1 : 0;
         }
@@ -211,7 +254,7 @@ SearchResult HmmSearch::run_cpu_parallel(const bio::SequenceDatabase& db,
   std::vector<float> vit_bits_pass;
   for (std::size_t i = 0; i < msv_pass.size(); ++i) {
     out.vit.cells +=
-        static_cast<double>(db[msv_pass[i]].length()) * vit_.length();
+        static_cast<double>(src.length(msv_pass[i])) * vit_.length();
     if (vit_keep[i]) {
       vit_pass.push_back(msv_pass[i]);
       vit_bits_pass.push_back(vit_bits_all[i]);
@@ -220,7 +263,200 @@ SearchResult HmmSearch::run_cpu_parallel(const bio::SequenceDatabase& db,
   out.vit.n_passed = vit_pass.size();
   out.vit.seconds = timer.seconds();
 
-  forward_stage(db, vit_pass, vit_bits_pass, out);
+  forward_stage(src, vit_pass, vit_bits_pass, out);
+  return out;
+}
+
+SearchResult HmmSearch::run_cpu_overlapped(ScanSource src,
+                                          std::size_t threads) const {
+  ThreadPool pool(threads);
+  return run_cpu_overlapped(src, pool);
+}
+
+SearchResult HmmSearch::run_cpu_overlapped(ScanSource src,
+                                          ThreadPool& pool) const {
+  SearchResult out;
+  Timer timer;
+  const std::size_t n = src.size();
+  const std::size_t crew = pool.workers();
+  const bool need_trace = thr_.null2_correction || thr_.compute_alignments;
+
+  // Every worker can run any stage, so the scanner carries the Forward
+  // profile too; trace workspaces and decode scratch are per worker,
+  // allocated once here — the scan itself allocates only for reported
+  // hits (names, alignments).
+  BatchScanner scanner(msv_, vit_, &fwd_, crew);
+  std::vector<cpu::TraceWorkspace> workspaces(crew);
+  std::vector<std::vector<std::uint8_t>> scratch(crew);
+  if (src.zero_copy())
+    for (auto& sc : scratch) sc.resize(src.max_length());
+
+  const ScanSchedule sched = make_length_schedule(
+      n, [&src](std::size_t i) { return src.length(i); });
+
+  // Per-index result slots: which worker rescored a survivor, and when,
+  // never shows in the output.
+  struct Rescore {
+    float vit_bits = 0.0f;
+    float fwd_bits = 0.0f;
+    float bias_bits = 0.0f;
+    double pvalue = 1.0;
+    double evalue = 1e9;
+    std::uint8_t vit_pass = 0;
+    std::uint8_t reported = 0;
+    std::vector<cpu::Alignment> alignments;
+    std::vector<cpu::Domain> domains;
+  };
+  std::vector<std::uint8_t> ssv_keep(n, 1);
+  std::vector<std::uint8_t> msv_keep(n, 0);
+  std::vector<Rescore> rescored(n);
+
+  // MSV survivors flow through a bounded queue to whichever worker goes
+  // idle first.  try_push backpressure is "help-first": a producer facing
+  // a full ring rescores one queued survivor itself, so the crew cannot
+  // deadlock and the queue stays a fixed ring.
+  BoundedMpmcQueue<std::uint32_t> queue(std::max<std::size_t>(64, 8 * crew));
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<std::size_t> producers_done{0};
+  constexpr std::size_t kChunk = 16;
+
+  auto rescore = [&](std::size_t w, std::uint32_t item) {
+    const std::size_t s = item;
+    const std::size_t L = src.length(s);
+    const std::uint8_t* codes = src.fetch_codes(s, scratch[w].data());
+    Rescore& slot = rescored[s];
+
+    auto r = scanner.vit(w, codes, L);
+    slot.vit_bits = hmm::nats_to_bits(r.score_nats, static_cast<int>(L));
+    if (!(stats_.vit_pvalue(slot.vit_bits) <= thr_.vit_p)) return;
+    slot.vit_pass = 1;
+
+    float raw = scanner.fwd(w, codes, L);
+    cpu::ViterbiTrace trace;
+    float bias_nats = 0.0f;
+    if (need_trace) trace = cpu::viterbi_trace(prof_, codes, L, workspaces[w]);
+    if (thr_.null2_correction)
+      bias_nats = null2_correction(prof_, trace, codes);
+    float bits = hmm::nats_to_bits(raw - bias_nats, static_cast<int>(L));
+    double p = stats_.fwd_pvalue(bits);
+    double e = stats::evalue(p, n);
+    if (e <= thr_.report_evalue) {
+      slot.reported = 1;
+      slot.fwd_bits = bits;
+      slot.bias_bits = bias_nats / static_cast<float>(M_LN2);
+      slot.pvalue = p;
+      slot.evalue = e;
+      if (thr_.compute_alignments)
+        slot.alignments = cpu::trace_alignments(trace, prof_, codes);
+      if (thr_.define_domains)
+        slot.domains = cpu::define_domains(prof_, codes, L);
+    }
+  };
+
+  pool.run_workers(crew, [&](std::size_t w) {
+    // Produce: bucketed SSV/MSV sweep, survivors onto the queue.
+    for (;;) {
+      const std::size_t begin =
+          cursor.fetch_add(kChunk, std::memory_order_relaxed);
+      if (begin >= n) break;
+      const std::size_t end = std::min(begin + kChunk, n);
+      for (std::size_t idx = begin; idx < end; ++idx) {
+        const std::size_t s = sched.order[idx];
+        if (idx + 1 < end) src.prefetch(sched.order[idx + 1]);
+        const std::size_t L = src.length(s);
+        if (L == 0) {
+          if (thr_.use_ssv_prefilter) ssv_keep[s] = 0;
+          continue;
+        }
+        if (thr_.use_ssv_prefilter) {
+          auto sr = ssv_score(scanner, w, src, s, L);
+          float sbits = sr.overflowed
+                            ? overflow_bits(msv_, static_cast<int>(L))
+                            : hmm::nats_to_bits(sr.score_nats,
+                                                static_cast<int>(L));
+          if (!sr.overflowed && stats_.ssv_pvalue(sbits) > thr_.ssv_p) {
+            ssv_keep[s] = 0;
+            continue;
+          }
+        }
+        auto r = msv_score(scanner, w, src, s, L);
+        float bits = r.overflowed
+                         ? overflow_bits(msv_, static_cast<int>(L))
+                         : hmm::nats_to_bits(r.score_nats,
+                                             static_cast<int>(L));
+        if (r.overflowed || stats_.msv_pvalue(bits) <= thr_.msv_p) {
+          msv_keep[s] = 1;
+          const auto item = static_cast<std::uint32_t>(s);
+          while (!queue.try_push(item)) {
+            std::uint32_t other;
+            if (queue.try_pop(other)) rescore(w, other);
+          }
+        }
+      }
+    }
+    producers_done.fetch_add(1, std::memory_order_release);
+    // Drain: rescore until the queue is empty AND no producer can still
+    // push (all done).
+    for (;;) {
+      std::uint32_t item;
+      if (queue.try_pop(item)) {
+        rescore(w, item);
+        continue;
+      }
+      if (producers_done.load(std::memory_order_acquire) == crew) break;
+      std::this_thread::yield();
+    }
+  });
+
+  // Serial stats replay and hit assembly in index order: output identical
+  // to run_cpu regardless of which worker rescored what, when.
+  out.msv.n_in = n;
+  std::vector<std::size_t> msv_pass;
+  for (std::size_t s = 0; s < n; ++s) {
+    double cells = static_cast<double>(src.length(s)) * msv_.length();
+    if (thr_.use_ssv_prefilter) {
+      out.ssv.n_in += 1;
+      out.ssv.cells += cells;
+      if (!ssv_keep[s]) continue;
+      out.ssv.n_passed += 1;
+    }
+    out.msv.cells += cells;
+    if (msv_keep[s]) msv_pass.push_back(s);
+  }
+  if (thr_.use_ssv_prefilter) out.msv.n_in = out.ssv.n_passed;
+  out.msv.n_passed = msv_pass.size();
+
+  out.vit.n_in = msv_pass.size();
+  std::vector<std::size_t> vit_pass;
+  for (std::size_t s : msv_pass) {
+    out.vit.cells += static_cast<double>(src.length(s)) * vit_.length();
+    if (rescored[s].vit_pass) vit_pass.push_back(s);
+  }
+  out.vit.n_passed = vit_pass.size();
+
+  out.fwd.n_in = vit_pass.size();
+  for (std::size_t s : vit_pass) {
+    out.fwd.cells += static_cast<double>(src.length(s)) * prof_.length();
+    Rescore& slot = rescored[s];
+    if (!slot.reported) continue;
+    Hit h;
+    h.seq_index = s;
+    h.name = std::string(src.name(s));
+    h.vit_bits = slot.vit_bits;
+    h.fwd_bits = slot.fwd_bits;
+    h.bias_bits = slot.bias_bits;
+    h.pvalue = slot.pvalue;
+    h.evalue = slot.evalue;
+    h.alignments = std::move(slot.alignments);
+    h.domains = std::move(slot.domains);
+    out.hits.push_back(std::move(h));
+    ++out.fwd.n_passed;
+  }
+  std::sort(out.hits.begin(), out.hits.end(),
+            [](const Hit& a, const Hit& b) { return a.evalue < b.evalue; });
+  // Stages overlap by design, so only the end-to-end wall clock is
+  // meaningful; it is banked on the MSV stage.
+  out.msv.seconds = timer.seconds();
   return out;
 }
 
@@ -393,7 +629,7 @@ HmmSearch::MultiGpuResult HmmSearch::run_gpu_multi(
   return out;
 }
 
-void HmmSearch::forward_stage(const bio::SequenceDatabase& db,
+void HmmSearch::forward_stage(ScanSource src,
                               const std::vector<std::size_t>& survivors,
                               const std::vector<float>& vit_bits,
                               SearchResult& out) const {
@@ -401,37 +637,37 @@ void HmmSearch::forward_stage(const bio::SequenceDatabase& db,
   out.fwd.n_in = survivors.size();
   const bool need_trace = thr_.null2_correction || thr_.compute_alignments;
   cpu::FwdFilter fwd_filter(fwd_);
+  cpu::TraceWorkspace ws;
+  std::vector<std::uint8_t> scratch;
+  if (src.zero_copy()) scratch.resize(src.max_length());
   for (std::size_t i = 0; i < survivors.size(); ++i) {
-    std::size_t s = survivors[i];
-    const auto& seq = db[s];
-    float raw = fwd_filter.score(seq.codes.data(), seq.length());
-    out.fwd.cells += static_cast<double>(seq.length()) * prof_.length();
+    const std::size_t s = survivors[i];
+    const std::size_t L = src.length(s);
+    const std::uint8_t* codes = src.fetch_codes(s, scratch.data());
+    float raw = fwd_filter.score(codes, L);
+    out.fwd.cells += static_cast<double>(L) * prof_.length();
 
     cpu::ViterbiTrace trace;
     float bias_nats = 0.0f;
-    if (need_trace)
-      trace = cpu::viterbi_trace(prof_, seq.codes.data(), seq.length());
+    if (need_trace) trace = cpu::viterbi_trace(prof_, codes, L, ws);
     if (thr_.null2_correction)
-      bias_nats = null2_correction(prof_, trace, seq.codes.data());
+      bias_nats = null2_correction(prof_, trace, codes);
 
-    float bits =
-        hmm::nats_to_bits(raw - bias_nats, static_cast<int>(seq.length()));
+    float bits = hmm::nats_to_bits(raw - bias_nats, static_cast<int>(L));
     double p = stats_.fwd_pvalue(bits);
-    double e = stats::evalue(p, db.size());
+    double e = stats::evalue(p, src.size());
     if (e <= thr_.report_evalue) {
       Hit h;
       h.seq_index = s;
-      h.name = seq.name;
+      h.name = std::string(src.name(s));
       h.vit_bits = vit_bits[i];
       h.fwd_bits = bits;
       h.bias_bits = bias_nats / static_cast<float>(M_LN2);
       h.pvalue = p;
       h.evalue = e;
       if (thr_.compute_alignments)
-        h.alignments = cpu::trace_alignments(trace, prof_, seq.codes.data());
-      if (thr_.define_domains)
-        h.domains =
-            cpu::define_domains(prof_, seq.codes.data(), seq.length());
+        h.alignments = cpu::trace_alignments(trace, prof_, codes);
+      if (thr_.define_domains) h.domains = cpu::define_domains(prof_, codes, L);
       out.hits.push_back(std::move(h));
       ++out.fwd.n_passed;
     }

@@ -26,6 +26,7 @@
 #include "gpu/search.hpp"
 #include "hmm/plan7.hpp"
 #include "hmm/profile.hpp"
+#include "pipeline/scan_source.hpp"
 #include "profile/fwd_profile.hpp"
 #include "profile/msv_profile.hpp"
 #include "profile/vit_profile.hpp"
@@ -109,19 +110,32 @@ class HmmSearch {
   const stats::ModelStats& model_stats() const noexcept { return stats_; }
   const Thresholds& thresholds() const noexcept { return thr_; }
 
-  /// Scan with the striped CPU filters (single thread).
-  SearchResult run_cpu(const bio::SequenceDatabase& db) const;
+  /// Scan with the striped CPU filters (single thread).  All CPU engines
+  /// take a ScanSource, so they accept a heap SequenceDatabase or a
+  /// zero-copy MappedSeqDb interchangeably and report identical hits.
+  SearchResult run_cpu(ScanSource src) const;
 
   /// Multithreaded CPU scan — the shape of HMMER 3.0's worker-thread
   /// parallelism on the paper's quad-core baseline.  `threads` = 0 picks
-  /// hardware concurrency.  Hits are identical to run_cpu.
-  SearchResult run_cpu_parallel(const bio::SequenceDatabase& db,
-                                std::size_t threads = 0) const;
+  /// hardware concurrency.  The database is scanned in length-bucketed
+  /// order (pipeline/workload.hpp) with per-index result slots, so hits
+  /// and stage stats are bit-identical to run_cpu.
+  SearchResult run_cpu_parallel(ScanSource src, std::size_t threads = 0) const;
 
   /// As above but on a caller-owned pool, so repeated scans (hmmscan-style
   /// model sweeps) reuse the worker threads instead of spawning per scan.
-  SearchResult run_cpu_parallel(const bio::SequenceDatabase& db,
-                                ThreadPool& pool) const;
+  SearchResult run_cpu_parallel(ScanSource src, ThreadPool& pool) const;
+
+  /// Overlapped streaming scan: workers fan the length-bucketed MSV/SSV
+  /// sweep out over the pool and push survivors onto a bounded queue that
+  /// any worker drains when idle, rescoring Viterbi -> Forward -> null2 /
+  /// posterior immediately instead of in barrier-separated stages — the
+  /// paper's third parallelism tier (global work queue) on the host.
+  /// Results land in per-index slots and the stage stats are replayed
+  /// serially, so hits and stats stay bit-identical to run_cpu.
+  SearchResult run_cpu_overlapped(ScanSource src,
+                                  std::size_t threads = 0) const;
+  SearchResult run_cpu_overlapped(ScanSource src, ThreadPool& pool) const;
 
   /// Scan with the SIMT kernels for MSV and P7Viterbi on `dev`; the
   /// Forward stage runs on the CPU.  `placement` applies to both kernels.
@@ -159,7 +173,7 @@ class HmmSearch {
                             gpu::ParamPlacement vit_placement) const;
 
   /// Shared post-filter logic: P7Viterbi survivors -> Forward -> hits.
-  void forward_stage(const bio::SequenceDatabase& db,
+  void forward_stage(ScanSource src,
                      const std::vector<std::size_t>& survivors,
                      const std::vector<float>& vit_bits,
                      SearchResult& out) const;

@@ -20,7 +20,7 @@ void print_alignment_block(std::ostream& out, const cpu::Alignment& a) {
 
 void write_report(std::ostream& out, const SearchResult& result,
                   const hmm::SearchProfile& query,
-                  const bio::SequenceDatabase& db,
+                  ScanSource db,
                   const ReportOptions& opts) {
   char line[256];
   out << "# query:    " << query.name() << " (M=" << query.length() << ")\n";
@@ -68,7 +68,7 @@ void write_report(std::ostream& out, const SearchResult& result,
 
 void write_tblout(std::ostream& out, const SearchResult& result,
                   const hmm::SearchProfile& query,
-                  const bio::SequenceDatabase& db) {
+                  ScanSource db) {
   (void)db;
   char line[256];
   out << "#target name         query name           E-value  score   bias"

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "pipeline/pipeline.hpp"
+#include "pipeline/scan_source.hpp"
 
 namespace finehmm::pipeline {
 
@@ -19,14 +20,12 @@ struct ReportOptions {
 /// Human-readable report: header, pipeline summary, hit table, optional
 /// alignment blocks and domain tables.
 void write_report(std::ostream& out, const SearchResult& result,
-                  const hmm::SearchProfile& query,
-                  const bio::SequenceDatabase& db,
+                  const hmm::SearchProfile& query, ScanSource db,
                   const ReportOptions& opts = {});
 
 /// HMMER-style target table (--tblout): one line per hit,
 /// whitespace-separated, '#' comments.
 void write_tblout(std::ostream& out, const SearchResult& result,
-                  const hmm::SearchProfile& query,
-                  const bio::SequenceDatabase& db);
+                  const hmm::SearchProfile& query, ScanSource db);
 
 }  // namespace finehmm::pipeline

@@ -1,0 +1,86 @@
+// Uniform, non-owning view over the two database representations the CPU
+// engines can scan: a heap-decoded bio::SequenceDatabase and a zero-copy
+// bio::MappedSeqDb.
+//
+// The byte filters (SSV/MSV, 100% of the database) score the packed
+// residue stream in place when the source is mapped; the word stages
+// (Viterbi/Forward/trace) run only on rare survivors, which fetch_codes
+// decodes into caller-owned per-worker scratch — so the scan performs no
+// per-sequence allocation and no per-sequence residue copy on the mmap
+// path.  ScanSource is a trivially copyable pair of pointers; it must not
+// outlive the database it views.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "bio/packed_seq.hpp"
+#include "bio/seq_db_io.hpp"
+#include "bio/sequence.hpp"
+
+namespace finehmm::pipeline {
+
+class ScanSource {
+ public:
+  ScanSource(const bio::SequenceDatabase& db) : heap_(&db) {}  // NOLINT
+  ScanSource(const bio::MappedSeqDb& db) : mapped_(&db) {}     // NOLINT
+
+  /// True when residues live packed in the mapped file (use packed());
+  /// false when they live as decoded byte codes on the heap (use codes()).
+  bool zero_copy() const noexcept { return mapped_ != nullptr; }
+
+  std::size_t size() const noexcept {
+    return mapped_ ? mapped_->size() : heap_->size();
+  }
+  std::size_t length(std::size_t i) const {
+    return mapped_ ? mapped_->length(i) : (*heap_)[i].length();
+  }
+  std::string_view name(std::size_t i) const {
+    return mapped_ ? mapped_->name(i) : std::string_view((*heap_)[i].name);
+  }
+  std::uint64_t total_residues() const noexcept {
+    return mapped_ ? mapped_->total_residues() : heap_->total_residues();
+  }
+  std::size_t max_length() const noexcept {
+    return mapped_ ? mapped_->max_length() : heap_->max_length();
+  }
+
+  /// Decoded byte codes; only valid when !zero_copy().
+  const std::uint8_t* codes(std::size_t i) const {
+    return (*heap_)[i].codes.data();
+  }
+  /// Packed residue view; only valid when zero_copy().
+  bio::PackedResidues packed(std::size_t i) const {
+    return mapped_->residues(i);
+  }
+
+  /// Byte codes of sequence i for the word stages: the heap pointer
+  /// directly, or the packed stream decoded into `scratch` (caller-owned,
+  /// >= max_length() bytes, reused across survivors).
+  const std::uint8_t* fetch_codes(std::size_t i, std::uint8_t* scratch) const {
+    if (!mapped_) return (*heap_)[i].codes.data();
+    bio::unpack_into(mapped_->residues(i), mapped_->length(i), scratch);
+    return scratch;
+  }
+
+  /// Hint the start of sequence i's residue stream into cache ahead of
+  /// scoring it (the scan is sequential in schedule order, so the next
+  /// sequence's first lines are the predictable miss).
+  void prefetch(std::size_t i) const {
+#if defined(__GNUC__) || defined(__clang__)
+    const void* p = mapped_ ? static_cast<const void*>(mapped_->residues(i).data())
+                            : static_cast<const void*>((*heap_)[i].codes.data());
+    __builtin_prefetch(p, /*rw=*/0, /*locality=*/2);
+    __builtin_prefetch(static_cast<const char*>(p) + 64, 0, 2);
+#else
+    (void)i;
+#endif
+  }
+
+ private:
+  const bio::SequenceDatabase* heap_ = nullptr;
+  const bio::MappedSeqDb* mapped_ = nullptr;
+};
+
+}  // namespace finehmm::pipeline

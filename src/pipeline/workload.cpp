@@ -1,9 +1,54 @@
 #include "pipeline/workload.hpp"
 
+#include <bit>
+
 #include "hmm/sampler.hpp"
 #include "util/error.hpp"
 
 namespace finehmm::pipeline {
+
+namespace {
+
+/// Geometric bucket index: lengths up to 32 share bucket 0, then each
+/// bucket covers a 2x range (33..64, 65..128, ...).
+int length_bucket(std::size_t length) {
+  return std::bit_width(length >> 5);
+}
+
+}  // namespace
+
+ScanSchedule make_length_schedule(
+    std::size_t n, const std::function<std::size_t(std::size_t)>& length_of) {
+  ScanSchedule sched;
+  sched.order.reserve(n);
+
+  int max_bucket = 0;
+  std::vector<int> buckets(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    buckets[i] = length_bucket(length_of(i));
+    if (buckets[i] > max_bucket) max_bucket = buckets[i];
+  }
+
+  // Two-pass counting sort, emitting buckets longest-first and indices
+  // ascending within each bucket: deterministic, O(n), no comparator.
+  std::vector<std::size_t> count(static_cast<std::size_t>(max_bucket) + 1, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    ++count[static_cast<std::size_t>(buckets[i])];
+  for (const auto c : count)
+    if (c != 0) ++sched.n_buckets;
+  std::vector<std::size_t> start(count.size(), 0);
+  std::size_t pos = 0;
+  for (std::size_t b = count.size(); b-- > 0;) {
+    start[b] = pos;
+    pos += count[b];
+  }
+  sched.order.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto b = static_cast<std::size_t>(buckets[i]);
+    sched.order[start[b]++] = static_cast<std::uint32_t>(i);
+  }
+  return sched;
+}
 
 bio::SequenceDatabase make_workload(const hmm::Plan7Hmm& model,
                                     const WorkloadSpec& spec) {

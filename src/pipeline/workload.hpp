@@ -6,6 +6,10 @@
 // P7Viterbi stage.  make_workload lets every bench control that fraction.
 #pragma once
 
+#include <cstdint>
+#include <functional>
+#include <vector>
+
 #include "bio/synthetic.hpp"
 #include "hmm/plan7.hpp"
 
@@ -22,5 +26,26 @@ struct WorkloadSpec {
 /// homologs sampled from the model, interleaved deterministically.
 bio::SequenceDatabase make_workload(const hmm::Plan7Hmm& model,
                                     const WorkloadSpec& spec);
+
+/// A deterministic scan order over database indices.
+///
+/// Sequences are grouped into geometric length buckets (each bucket spans
+/// roughly a 2x length range) and scanned longest-bucket first, ascending
+/// index within a bucket.  Chunks handed to workers therefore hold
+/// similar-length sequences — balanced chunk cost, and DP rows that stay
+/// the same temperature from one sequence to the next — while the longest
+/// (most expensive) work is issued first so it cannot strand the tail of
+/// the scan on one worker.  The order depends only on the lengths, never
+/// on timing, and engines bank results into per-index slots, so reported
+/// hits are independent of it.
+struct ScanSchedule {
+  std::vector<std::uint32_t> order;  // permutation of [0, n)
+  std::size_t n_buckets = 0;         // distinct non-empty buckets
+};
+
+/// Build the bucketed order for `n` sequences with lengths given by
+/// `length_of(i)`.
+ScanSchedule make_length_schedule(
+    std::size_t n, const std::function<std::size_t(std::size_t)>& length_of);
 
 }  // namespace finehmm::pipeline

@@ -1,0 +1,62 @@
+// Bounded multi-producer/multi-consumer queue.
+//
+// The overlapped-rescoring engine hands MSV survivors from filter workers
+// to whichever worker goes idle first (the paper's third parallelism tier:
+// a global work queue drained opportunistically).  The queue is a fixed
+// ring under one mutex — at pipeline survivor rates (a few percent of the
+// database) contention is negligible, and a bounded ring gives natural
+// backpressure: try_push fails when full and the producer rescores one
+// item itself instead of blocking ("help-first"), so the crew can never
+// deadlock.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace finehmm {
+
+template <class T>
+class BoundedMpmcQueue {
+ public:
+  explicit BoundedMpmcQueue(std::size_t capacity)
+      : ring_(capacity) {
+    FH_REQUIRE(capacity >= 1, "queue capacity must be at least 1");
+  }
+
+  std::size_t capacity() const noexcept { return ring_.size(); }
+
+  /// Non-blocking push; false when the ring is full.
+  bool try_push(const T& item) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (count_ == ring_.size()) return false;
+    ring_[(head_ + count_) % ring_.size()] = item;
+    ++count_;
+    return true;
+  }
+
+  /// Non-blocking pop; false when the ring is empty.
+  bool try_pop(T& out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (count_ == 0) return false;
+    out = ring_[head_];
+    head_ = (head_ + 1) % ring_.size();
+    --count_;
+    return true;
+  }
+
+  bool empty() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_ == 0;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<T> ring_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace finehmm

@@ -92,6 +92,47 @@ void ThreadPool::parallel_for_chunked(
   if (first_error) std::rethrow_exception(first_error);
 }
 
+void ThreadPool::run_workers(
+    std::size_t n, const std::function<void(std::size_t)>& body) {
+  if (n == 0) n = 1;
+  if (n > workers()) n = workers();
+
+  std::atomic<std::size_t> next_worker{0};
+  std::atomic<std::size_t> done_workers{0};
+  std::exception_ptr first_error = nullptr;
+  std::mutex error_mutex;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  auto task = [&] {
+    const std::size_t worker =
+        next_worker.fetch_add(1, std::memory_order_relaxed);
+    try {
+      body(worker);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+    if (done_workers.fetch_add(1) + 1 == n) {
+      std::lock_guard<std::mutex> lock(done_mutex);
+      done_cv.notify_all();
+    }
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i + 1 < n; ++i) tasks_.push(task);
+  }
+  cv_.notify_all();
+  task();  // caller participates
+
+  {
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&] { return done_workers.load() == n; });
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;

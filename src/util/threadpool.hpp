@@ -53,6 +53,15 @@ class ThreadPool {
   /// (pool threads + the participating caller).
   std::size_t workers() const noexcept { return workers_.size() + 1; }
 
+  /// Run body(worker) exactly once on each of `n` participants (the caller
+  /// plus up to n-1 pool threads), with dense worker ids in [0, n).  The
+  /// bodies coordinate among themselves (shared cursors, queues); this is
+  /// the primitive the overlapped-rescoring engine builds its
+  /// producer/consumer crew on.  n is clamped to [1, workers()].  Blocks
+  /// until every body returned; exceptions propagate (first one wins).
+  void run_workers(std::size_t n,
+                   const std::function<void(std::size_t worker)>& body);
+
  private:
   void worker_loop();
 

@@ -9,11 +9,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <new>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "bio/seq_db_io.hpp"
 #include "bio/synthetic.hpp"
 #include "cpu/simd_backend/simd_tier.hpp"
 #include "hmm/generator.hpp"
@@ -138,6 +142,85 @@ TEST(BatchScanner, EveryTierScoresLikePortable) {
       EXPECT_EQ(ref.fwd(0, codes, L), scanner.fwd(0, codes, L));
     }
   }
+}
+
+// The packed (zero-copy) overloads must reproduce the byte-code scores
+// bit-for-bit on every supported tier: both paths instantiate the same
+// kernel loop, only the residue accessor differs.
+TEST(BatchScanner, PackedOverloadsMatchByteCodesOnEveryTier) {
+  Fixture fx(131);
+  auto db = small_db(25, 17);
+  const std::string path = "/tmp/finehmm_test_scanner.fsqdb";
+  bio::write_seq_db_file(path, db);
+  bio::MappedSeqDb mapped(path);
+  ASSERT_EQ(mapped.size(), db.size());
+
+  for (cpu::SimdTier tier : cpu::supported_simd_tiers()) {
+    pipeline::BatchScanner scanner(fx.msv, fx.vit, &fx.fwd, 1, tier);
+    for (std::size_t s = 0; s < db.size(); ++s) {
+      const auto* codes = db[s].codes.data();
+      const std::size_t L = db[s].length();
+      auto sp = scanner.ssv(0, mapped.residues(s), L);
+      auto sb = scanner.ssv(0, codes, L);
+      EXPECT_EQ(sp.score_nats, sb.score_nats)
+          << cpu::simd_tier_name(tier) << " s=" << s;
+      EXPECT_EQ(sp.overflowed, sb.overflowed);
+      auto mp = scanner.msv(0, mapped.residues(s), L);
+      auto mb = scanner.msv(0, codes, L);
+      EXPECT_EQ(mp.score_nats, mb.score_nats)
+          << cpu::simd_tier_name(tier) << " s=" << s;
+      EXPECT_EQ(mp.overflowed, mb.overflowed);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+// The zero-copy contract, measured: scanning a MappedSeqDb through the
+// byte filters performs zero heap allocations and zero residue copies per
+// sequence (the packed words are consumed in place).
+TEST(BatchScanner, MappedScanPerformsZeroHeapAllocations) {
+  Fixture fx(140);
+  auto db = small_db(50, 29);
+  const std::string path = "/tmp/finehmm_test_scanner_alloc.fsqdb";
+  bio::write_seq_db_file(path, db);
+  bio::MappedSeqDb mapped(path);
+  pipeline::BatchScanner scanner(fx.msv, fx.vit, &fx.fwd, /*workers=*/1);
+
+  // Warm-up pass (lazily-grown library state).
+  for (std::size_t s = 0; s < mapped.size(); ++s) {
+    scanner.ssv(0, mapped.residues(s), mapped.length(s));
+    scanner.msv(0, mapped.residues(s), mapped.length(s));
+  }
+
+  const long before = g_allocations.load();
+  for (int rep = 0; rep < 3; ++rep) {
+    for (std::size_t s = 0; s < mapped.size(); ++s) {
+      scanner.ssv(0, mapped.residues(s), mapped.length(s));
+      scanner.msv(0, mapped.residues(s), mapped.length(s));
+    }
+  }
+  EXPECT_EQ(g_allocations.load() - before, 0)
+      << "mmap-backed byte-filter scan must not allocate";
+  std::remove(path.c_str());
+}
+
+TEST(BatchScanner, ZeroLengthSequencesScoreAsNoHit) {
+  Fixture fx(50);
+  pipeline::BatchScanner scanner(fx.msv, fx.vit, &fx.fwd, 1);
+  const std::uint8_t* none = nullptr;
+  auto s = scanner.ssv(0, none, 0);
+  auto m = scanner.msv(0, none, 0);
+  auto v = scanner.vit(0, none, 0);
+  float f = scanner.fwd(0, none, 0);
+  EXPECT_FALSE(s.overflowed);
+  EXPECT_FALSE(m.overflowed);
+  EXPECT_TRUE(std::isinf(s.score_nats) && s.score_nats < 0);
+  EXPECT_TRUE(std::isinf(m.score_nats) && m.score_nats < 0);
+  EXPECT_TRUE(std::isinf(v.score_nats) && v.score_nats < 0);
+  EXPECT_TRUE(std::isinf(f) && f < 0);
+  // Packed overloads agree.
+  EXPECT_TRUE(std::isinf(
+      scanner.msv(0, bio::PackedResidues(nullptr), 0).score_nats));
 }
 
 TEST(ThreadPoolChunked, CoversEveryIndexExactlyOnce) {

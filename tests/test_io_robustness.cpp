@@ -2,9 +2,13 @@
 // throw cleanly (finehmm::Error or derived), never crash or hang.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "bio/fasta.hpp"
+#include "bio/seq_db_io.hpp"
+#include "bio/synthetic.hpp"
 #include "hmm/generator.hpp"
 #include "hmm/hmm_io.hpp"
 #include "util/error.hpp"
@@ -96,6 +100,39 @@ TEST(IoRobustness, EmptyInputsGiveEmptyOrThrow) {
     std::istringstream in("");
     EXPECT_THROW(hmm::read_hmm(in), Error);
   }
+}
+
+TEST(IoRobustness, TruncatedSeqDbFileThrowsForBothReaders) {
+  Pcg32 rng(61);
+  bio::SequenceDatabase db;
+  for (int i = 0; i < 8; ++i)
+    db.add(bio::random_sequence(30 + rng.below(40), rng,
+                                "robust_" + std::to_string(i)));
+  std::ostringstream out(std::ios::binary);
+  bio::write_seq_db(out, db);
+  const std::string bytes = out.str();
+  const std::string path = "/tmp/finehmm_robust_trunc.fsqdb";
+
+  // Cut at a spread of offsets: inside the header, the index, and the
+  // residue words.  Both the eager reader and the zero-copy view must
+  // throw a finehmm::Error that names what came up short, never crash.
+  for (std::size_t cut : {std::size_t{0}, std::size_t{3}, std::size_t{9},
+                          bytes.size() / 4, bytes.size() / 2,
+                          bytes.size() - 5, bytes.size() - 1}) {
+    {
+      std::ofstream f(path, std::ios::binary);
+      f.write(bytes.data(), static_cast<std::streamsize>(cut));
+    }
+    EXPECT_THROW(bio::read_seq_db_file(path), Error) << "cut=" << cut;
+    EXPECT_THROW(bio::MappedSeqDb m(path), Error) << "cut=" << cut;
+    try {
+      bio::MappedSeqDb m(path);
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+          << e.what();
+    }
+  }
+  std::remove(path.c_str());
 }
 
 TEST(IoRobustness, HmmWithWrongNodeCountThrows) {

@@ -1,7 +1,11 @@
-// Binary sequence database round trip and robustness.
+// Binary sequence database round trip and robustness, for both readers:
+// the eager decoder (read_seq_db) and the zero-copy view (MappedSeqDb).
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
+#include <string>
 
 #include "bio/fasta.hpp"
 #include "bio/seq_db_io.hpp"
@@ -12,6 +16,42 @@ namespace {
 
 using namespace finehmm;
 using namespace finehmm::bio;
+
+/// Self-deleting temp file holding the given bytes.  The path embeds a
+/// process-wide counter plus the test name so concurrent ctest processes
+/// (and sequential TempDbs within one test) never collide.
+struct TempDb {
+  std::string path;
+  explicit TempDb(const std::string& bytes) {
+    static int counter = 0;
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    path = std::string("/tmp/finehmm_") +
+           (info ? info->name() : "seqdb") + "_" +
+           std::to_string(counter++) + ".fsqdb";
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  ~TempDb() { std::remove(path.c_str()); }
+};
+
+std::string serialize(const SequenceDatabase& db) {
+  std::ostringstream out(std::ios::binary);
+  write_seq_db(out, db);
+  return out.str();
+}
+
+SequenceDatabase mixed_db() {
+  Pcg32 rng(47);
+  SequenceDatabase db;
+  for (int i = 0; i < 20; ++i)
+    db.add(random_sequence(1 + rng.below(150), rng,
+                           "seq_" + std::to_string(i)));
+  db.add(Sequence::from_text("empty", ""));
+  db.add(Sequence::from_text("degen", "ACDXBZJOU"));
+  db.add(Sequence::from_text("", "ACD"));  // nameless is legal
+  return db;
+}
 
 TEST(SeqDbIo, RoundTripPreservesEverything) {
   Pcg32 rng(41);
@@ -62,6 +102,132 @@ TEST(SeqDbIo, RejectsTruncation) {
                           std::ios::binary);
     EXPECT_THROW(read_seq_db(in), Error) << frac;
   }
+}
+
+TEST(SeqDbIo, TruncationErrorNamesTheField) {
+  SequenceDatabase db;
+  db.add(Sequence::from_text("a", "ACDEF"));
+  std::string bytes = serialize(db);
+  // Cut inside the residue words (keep header + index intact).
+  std::istringstream in(bytes.substr(0, bytes.size() - 2),
+                        std::ios::binary);
+  try {
+    read_seq_db(in);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("residue words"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MappedSeqDb: the zero-copy reader must agree byte-for-byte with the
+// eager decoder on the same file, on both backings.
+
+TEST(MappedSeqDb, MatchesEagerReaderOnBothBackings) {
+  auto db = mixed_db();
+  TempDb file(serialize(db));
+  for (auto backing :
+       {MappedSeqDb::Backing::kAuto, MappedSeqDb::Backing::kBuffered}) {
+    MappedSeqDb mapped(file.path, backing);
+    ASSERT_EQ(mapped.size(), db.size());
+    EXPECT_EQ(mapped.total_residues(), db.total_residues());
+    EXPECT_EQ(mapped.max_length(), db.max_length());
+    for (std::size_t i = 0; i < db.size(); ++i) {
+      EXPECT_EQ(mapped.name(i), db[i].name) << i;
+      ASSERT_EQ(mapped.length(i), db[i].length()) << i;
+      auto packed = mapped.residues(i);
+      for (std::size_t r = 0; r < db[i].length(); ++r)
+        ASSERT_EQ(packed[r], db[i].codes[r]) << i << ":" << r;
+    }
+    auto materialized = mapped.materialize();
+    ASSERT_EQ(materialized.size(), db.size());
+    for (std::size_t i = 0; i < db.size(); ++i) {
+      EXPECT_EQ(materialized[i].name, db[i].name);
+      EXPECT_EQ(materialized[i].codes, db[i].codes);
+    }
+  }
+}
+
+TEST(MappedSeqDb, PrefersMmapWhereAvailable) {
+  auto db = mixed_db();
+  TempDb file(serialize(db));
+  MappedSeqDb mapped(file.path);
+#if defined(__unix__) || defined(__APPLE__)
+  EXPECT_TRUE(mapped.mmap_backed());
+#endif
+  MappedSeqDb buffered(file.path, MappedSeqDb::Backing::kBuffered);
+  EXPECT_FALSE(buffered.mmap_backed());
+}
+
+TEST(MappedSeqDb, MoveTransfersTheView) {
+  auto db = mixed_db();
+  TempDb file(serialize(db));
+  for (auto backing :
+       {MappedSeqDb::Backing::kAuto, MappedSeqDb::Backing::kBuffered}) {
+    MappedSeqDb a(file.path, backing);
+    MappedSeqDb b(std::move(a));
+    ASSERT_EQ(b.size(), db.size());
+    EXPECT_EQ(b.name(0), db[0].name);
+    EXPECT_EQ(b.residues(0)[0], db[0].codes[0]);
+    MappedSeqDb c(file.path, backing);
+    c = std::move(b);
+    ASSERT_EQ(c.size(), db.size());
+    EXPECT_EQ(c.name(1), db[1].name);
+  }
+}
+
+TEST(MappedSeqDb, EmptyDatabase) {
+  TempDb file(serialize(SequenceDatabase{}));
+  MappedSeqDb mapped(file.path);
+  EXPECT_EQ(mapped.size(), 0u);
+  EXPECT_EQ(mapped.total_residues(), 0u);
+  EXPECT_EQ(mapped.max_length(), 0u);
+}
+
+TEST(MappedSeqDb, RejectsTruncationAtEveryPrefix) {
+  SequenceDatabase db;
+  Pcg32 rng(51);
+  for (int i = 0; i < 3; ++i) db.add(random_sequence(20, rng));
+  std::string bytes = serialize(db);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    TempDb file(bytes.substr(0, cut));
+    EXPECT_THROW(MappedSeqDb m(file.path), Error) << "cut=" << cut;
+  }
+}
+
+TEST(MappedSeqDb, RejectsGarbageAndBadMagic) {
+  {
+    TempDb file("not a database at all, sorry");
+    EXPECT_THROW(MappedSeqDb m(file.path), Error);
+  }
+  {
+    EXPECT_THROW(MappedSeqDb m("/tmp/finehmm_test_does_not_exist.fsqdb"),
+                 Error);
+  }
+}
+
+TEST(MappedSeqDb, RejectsCorruptResidueCodes) {
+  SequenceDatabase db;
+  db.add(Sequence::from_text("a", "ACDEFG"));
+  std::string bytes = serialize(db);
+  // The packed words are the last 4 bytes; force residue 0's 5-bit slot to
+  // 31 (a pad code, invalid inside a sequence).
+  bytes[bytes.size() - 4] = static_cast<char>(
+      static_cast<unsigned char>(bytes[bytes.size() - 4]) | 0x1f);
+  TempDb file(bytes);
+  EXPECT_THROW(MappedSeqDb m(file.path), Error);
+}
+
+TEST(MappedSeqDb, RejectsWordCountMismatch) {
+  SequenceDatabase db;
+  db.add(Sequence::from_text("a", "ACDEFGH"));
+  std::string bytes = serialize(db);
+  // total_words sits 8 bytes before the (two-word) residue payload.
+  bytes[bytes.size() - 2 * 4 - 8] ^= 1;
+  TempDb file(bytes);
+  EXPECT_THROW(MappedSeqDb m(file.path), Error);
 }
 
 }  // namespace

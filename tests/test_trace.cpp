@@ -130,4 +130,44 @@ TEST(TraceAlignment, RandomSequencesStillTraceCleanly) {
   }
 }
 
+// The workspace overload must be bit-identical to the reference trace —
+// not merely close: the pipeline engines rely on it to keep hit lists
+// deterministic across serial and overlapped scans.
+TEST(TraceWorkspace, BitIdenticalToReferenceAcrossModelsAndSequences) {
+  Pcg32 rng(29);
+  cpu::TraceWorkspace ws;  // one workspace reused across all (M, L) pairs
+  for (int M : {8, 40, 120}) {
+    TraceFixture fx(M, /*seed=*/static_cast<std::uint64_t>(M));
+    for (int rep = 0; rep < 6; ++rep) {
+      auto seq = rep % 2 == 0
+                     ? hmm::sample_homolog(fx.model, rng)
+                     : bio::random_sequence(5 + rng.below(240), rng);
+      auto ref = cpu::viterbi_trace(fx.prof, seq.codes.data(), seq.length());
+      auto fast =
+          cpu::viterbi_trace(fx.prof, seq.codes.data(), seq.length(), ws);
+      EXPECT_EQ(fast.score, ref.score) << "M=" << M << " rep=" << rep;
+      ASSERT_EQ(fast.steps.size(), ref.steps.size())
+          << "M=" << M << " rep=" << rep;
+      for (std::size_t i = 0; i < ref.steps.size(); ++i) {
+        EXPECT_EQ(fast.steps[i].state, ref.steps[i].state) << i;
+        EXPECT_EQ(fast.steps[i].k, ref.steps[i].k) << i;
+        EXPECT_EQ(fast.steps[i].i, ref.steps[i].i) << i;
+      }
+    }
+  }
+}
+
+TEST(TraceWorkspace, HandlesShortestSequences) {
+  TraceFixture fx(12);
+  cpu::TraceWorkspace ws;
+  for (std::size_t L : {std::size_t{1}, std::size_t{2}, std::size_t{3}}) {
+    Pcg32 rng(31 + L);
+    auto seq = bio::random_sequence(L, rng);
+    auto ref = cpu::viterbi_trace(fx.prof, seq.codes.data(), L);
+    auto fast = cpu::viterbi_trace(fx.prof, seq.codes.data(), L, ws);
+    EXPECT_EQ(fast.score, ref.score) << L;
+    EXPECT_EQ(fast.steps.size(), ref.steps.size()) << L;
+  }
+}
+
 }  // namespace

@@ -11,6 +11,7 @@
 #include "util/aligned.hpp"
 #include "util/error.hpp"
 #include "util/logspace.hpp"
+#include "util/mpmc_queue.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/threadpool.hpp"
@@ -118,6 +119,106 @@ TEST(ThreadPool, ReusableAcrossCalls) {
   for (int round = 0; round < 5; ++round)
     pool.parallel_for(100, [&](std::size_t) { total++; });
   EXPECT_EQ(total.load(), 500);
+}
+
+TEST(ThreadPool, RunWorkersGivesDenseDistinctIds) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> seen(4);
+  for (auto& s : seen) s = 0;
+  pool.run_workers(4, [&](std::size_t w) {
+    ASSERT_LT(w, 4u);
+    seen[w]++;
+  });
+  for (auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(ThreadPool, RunWorkersClampsToPoolSize) {
+  ThreadPool pool(2);
+  const std::size_t cap = pool.workers();  // pool threads + caller
+  std::atomic<int> calls{0};
+  pool.run_workers(100, [&](std::size_t w) {
+    EXPECT_LT(w, cap);
+    calls++;
+  });
+  EXPECT_EQ(calls.load(), static_cast<int>(cap));
+  // And n = 0 still runs one body (the caller participates).
+  calls = 0;
+  pool.run_workers(0, [&](std::size_t) { calls++; });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, RunWorkersPropagatesFirstException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.run_workers(3,
+                                [](std::size_t w) {
+                                  if (w == 1) throw Error("worker boom");
+                                }),
+               Error);
+  // The pool survives for the next round.
+  std::atomic<int> calls{0};
+  pool.run_workers(3, [&](std::size_t) { calls++; });
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(MpmcQueue, PushPopRespectsCapacity) {
+  BoundedMpmcQueue<int> q(3);
+  EXPECT_EQ(q.capacity(), 3u);
+  EXPECT_TRUE(q.empty());
+  int v = -1;
+  EXPECT_FALSE(q.try_pop(v));
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_TRUE(q.try_push(3));
+  EXPECT_FALSE(q.try_push(4));  // full
+  ASSERT_TRUE(q.try_pop(v));
+  EXPECT_EQ(v, 1);  // FIFO
+  EXPECT_TRUE(q.try_push(4));
+  ASSERT_TRUE(q.try_pop(v));
+  EXPECT_EQ(v, 2);
+  ASSERT_TRUE(q.try_pop(v));
+  EXPECT_EQ(v, 3);
+  ASSERT_TRUE(q.try_pop(v));
+  EXPECT_EQ(v, 4);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(MpmcQueue, DeliversEverythingExactlyOnceUnderContention) {
+  const int kItems = 20000;
+  BoundedMpmcQueue<int> q(64);
+  std::vector<std::atomic<int>> seen(kItems);
+  for (auto& s : seen) s = 0;
+  std::atomic<int> produced{0};
+  std::atomic<int> producers_done{0};
+  const int kProducers = 2, kConsumers = 2;
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p)
+    threads.emplace_back([&] {
+      for (;;) {
+        int i = produced.fetch_add(1);
+        if (i >= kItems) break;
+        while (!q.try_push(i)) std::this_thread::yield();
+      }
+      producers_done.fetch_add(1);
+    });
+  for (int c = 0; c < kConsumers; ++c)
+    threads.emplace_back([&] {
+      for (;;) {
+        int v;
+        if (q.try_pop(v)) {
+          seen[v]++;
+          continue;
+        }
+        if (producers_done.load() == kProducers && q.empty()) break;
+        std::this_thread::yield();
+      }
+    });
+  for (auto& t : threads) t.join();
+  for (auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(MpmcQueue, RejectsZeroCapacity) {
+  EXPECT_THROW(BoundedMpmcQueue<int> q(0), Error);
 }
 
 TEST(WorkQueue, DrainsExactlyOnceUnderContention) {

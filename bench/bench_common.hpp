@@ -22,6 +22,7 @@
 #include "gpu/search.hpp"
 #include "hmm/generator.hpp"
 #include "hmm/profile.hpp"
+#include "obs/telemetry.hpp"
 #include "perf/cost_model.hpp"
 #include "pipeline/workload.hpp"
 #include "util/table.hpp"
@@ -69,8 +70,10 @@ struct StageMeasurement {
   double cpu_time = 0.0;         // modeled CPU baseline, full database
   double occupancy = 0.0;
   bool feasible = false;
+  /// Modeled CPU time over modeled GPU time; 0 when the GPU time is
+  /// zero/denormal (infeasible launch) rather than inf.
   double speedup() const {
-    return gpu_time.total_s > 0.0 ? cpu_time / gpu_time.total_s : 0.0;
+    return obs::safe_rate(cpu_time, gpu_time.total_s);
   }
 };
 

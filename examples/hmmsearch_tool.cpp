@@ -12,6 +12,16 @@
 //   --tblout <file>  also write the machine-readable target table
 //   -E <evalue>      report threshold (default 10.0)
 //   --max-hits <n>   print at most n hits (default 50)
+//   --threads <n>    scan with the barrier-parallel CPU engine on n threads
+//   --overlapped     scan with the overlapped streaming CPU engine
+//   --telemetry <f>  write the unified ScanTelemetry JSON snapshot
+//                    (docs/observability.md) to f
+//   --trace <f>      write a Chrome trace_event JSON (chrome://tracing,
+//                    Perfetto) of the scan's spans to f
+//   --stats-json <f> write per-stage filter statistics (counts, cells,
+//                    seconds, pass rates) as JSON to f
+//
+// All three output flags also accept the --flag=path spelling.
 //
 // Searches every sequence of the FASTA database against the profile HMM
 // through the calibrated MSV -> P7Viterbi -> Forward pipeline and prints
@@ -29,6 +39,8 @@
 #include "cpu/trace.hpp"
 #include "hmm/generator.hpp"
 #include "hmm/hmm_io.hpp"
+#include "obs/recorder.hpp"
+#include "obs/telemetry.hpp"
 #include "pipeline/pipeline.hpp"
 #include "pipeline/report.hpp"
 #include "pipeline/workload.hpp"
@@ -40,18 +52,76 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: hmmsearch_tool [--gpu] [--global] [-E evalue] "
-               "[--max-hits n] <model.hmm> <db.fasta>\n"
+               "[--max-hits n] [--threads n] [--overlapped]\n"
+               "                      [--telemetry f] [--trace f] "
+               "[--stats-json f] <model.hmm> <db.fasta>\n"
                "       hmmsearch_tool --demo\n");
+}
+
+/// Match `--name <value>` or `--name=<value>`; advances `i` in the first
+/// form.  Returns true and fills `value` on a match.
+bool path_opt(int argc, char** argv, int& i, const char* name,
+              std::string& value) {
+  const std::string arg = argv[i];
+  if (arg == name) {
+    if (i + 1 >= argc) return false;
+    value = argv[++i];
+    return true;
+  }
+  const std::string prefix = std::string(name) + "=";
+  if (arg.rfind(prefix, 0) == 0) {
+    value = arg.substr(prefix.size());
+    return true;
+  }
+  return false;
+}
+
+std::ofstream open_or_die(const std::string& path) {
+  std::ofstream os(path);
+  if (!os.good()) throw Error("cannot open output file: " + path);
+  return os;
+}
+
+void write_stats_json(std::ostream& os, const pipeline::SearchResult& r,
+                      bool use_ssv) {
+  os << "{\n  \"stages\": [\n";
+  struct Row {
+    const char* name;
+    const pipeline::StageStats* s;
+  };
+  std::vector<Row> rows;
+  if (use_ssv) rows.push_back({"ssv", &r.ssv});
+  rows.push_back({"msv", &r.msv});
+  rows.push_back({"vit", &r.vit});
+  rows.push_back({"fwd", &r.fwd});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& s = *rows[i].s;
+    os << "    {\"stage\": \"" << rows[i].name << "\", \"n_in\": " << s.n_in
+       << ", \"n_passed\": " << s.n_passed << ", \"cells\": " << s.cells
+       << ", \"seconds\": " << s.seconds
+       << ", \"pass_rate\": " << s.pass_rate() << ", \"cells_per_sec\": "
+       << obs::json_rate(s.cells, s.seconds) << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"hits\": " << r.hits.size();
+  if (r.telemetry) {
+    os << ",\n  \"telemetry\":\n";
+    r.telemetry->write_json(os, 2);
+  }
+  os << "\n}\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool use_gpu = false, demo = false, show_ali = false, show_domains = false;
+  bool overlapped = false;
   auto placement = gpu::ParamPlacement::kShared;
   double evalue = 10.0;
   std::size_t max_hits = 50;
+  std::size_t threads = 0;  // 0 = serial engine
   std::string hmm_path, fasta_path, tblout_path;
+  std::string telemetry_path, trace_path, stats_json_path;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -65,12 +135,20 @@ int main(int argc, char** argv) {
       show_ali = true;
     } else if (arg == "--domains") {
       show_domains = true;
+    } else if (arg == "--overlapped") {
+      overlapped = true;
     } else if (arg == "--tblout" && i + 1 < argc) {
       tblout_path = argv[++i];
     } else if (arg == "-E" && i + 1 < argc) {
       evalue = std::atof(argv[++i]);
     } else if (arg == "--max-hits" && i + 1 < argc) {
       max_hits = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (path_opt(argc, argv, i, "--telemetry", telemetry_path) ||
+               path_opt(argc, argv, i, "--trace", trace_path) ||
+               path_opt(argc, argv, i, "--stats-json", stats_json_path)) {
+      // handled by path_opt
     } else if (hmm_path.empty()) {
       hmm_path = arg;
     } else if (fasta_path.empty()) {
@@ -129,11 +207,24 @@ int main(int argc, char** argv) {
         file_stats ? pipeline::HmmSearch(model, *file_stats, thr)
                    : pipeline::HmmSearch(model, thr);
 
+    // Any observability output wants the recorder attached; span tracing
+    // is only needed for the Chrome trace.
+    const bool want_obs = !telemetry_path.empty() || !trace_path.empty() ||
+                          !stats_json_path.empty();
+    obs::RecorderConfig rcfg;
+    rcfg.tracing = !trace_path.empty();
+    obs::Recorder recorder(rcfg);
+    if (want_obs) search.set_recorder(&recorder);
+
     pipeline::SearchResult result;
     if (use_gpu) {
       bio::PackedDatabase packed(db);
       result = search.run_gpu(simt::DeviceSpec::tesla_k40(), db, packed,
                               placement);
+    } else if (overlapped) {
+      result = search.run_cpu_overlapped(src, threads);
+    } else if (threads > 0) {
+      result = search.run_cpu_parallel(src, threads);
     } else {
       result = search.run_cpu(src);
     }
@@ -149,6 +240,27 @@ int main(int argc, char** argv) {
       if (!tbl.good()) throw Error("cannot open tblout file: " + tblout_path);
       pipeline::write_tblout(tbl, result, search.profile(), src);
       std::printf("# target table written to %s\n", tblout_path.c_str());
+    }
+
+    if (!telemetry_path.empty()) {
+      auto os = open_or_die(telemetry_path);
+      if (result.telemetry) {
+        result.telemetry->write_json(os);
+        os << "\n";
+      } else {
+        os << "null\n";
+      }
+      std::printf("# telemetry written to %s\n", telemetry_path.c_str());
+    }
+    if (!trace_path.empty()) {
+      auto os = open_or_die(trace_path);
+      recorder.write_chrome_trace(os);
+      std::printf("# chrome trace written to %s\n", trace_path.c_str());
+    }
+    if (!stats_json_path.empty()) {
+      auto os = open_or_die(stats_json_path);
+      write_stats_json(os, result, search.thresholds().use_ssv_prefilter);
+      std::printf("# stage stats written to %s\n", stats_json_path.c_str());
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

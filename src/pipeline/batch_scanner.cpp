@@ -35,7 +35,8 @@ BatchScanner::BatchScanner(const profile::MsvProfile& msv,
     Worker worker{cpu::MsvFilter(msv, tier_, msv_wide),
                   cpu::VitFilter(vit, tier_, vit_wide),
                   std::nullopt,
-                  std::vector<std::uint8_t>(ssv_row_bytes, 0)};
+                  std::vector<std::uint8_t>(ssv_row_bytes, 0),
+                  WorkerLoad{}};
     if (fwd != nullptr) worker.fwd.emplace(*fwd, tier_);
     workers_.push_back(std::move(worker));
   }
@@ -72,30 +73,40 @@ cpu::FilterResult BatchScanner::ssv_impl(std::size_t w, Seq seq,
 cpu::FilterResult BatchScanner::ssv(std::size_t w, const std::uint8_t* seq,
                                     std::size_t L) {
   if (empty_no_hit(L)) return {};
+  ++workers_[w].load.ssv_calls;
+  workers_[w].load.residues += L;
   return ssv_impl(w, seq, L);
 }
 
 cpu::FilterResult BatchScanner::ssv(std::size_t w, bio::PackedResidues seq,
                                     std::size_t L) {
   if (empty_no_hit(L)) return {};
+  ++workers_[w].load.ssv_calls;
+  workers_[w].load.residues += L;
   return ssv_impl(w, seq, L);
 }
 
 cpu::FilterResult BatchScanner::msv(std::size_t w, const std::uint8_t* seq,
                                     std::size_t L) {
   if (empty_no_hit(L)) return {};
+  ++workers_[w].load.msv_calls;
+  workers_[w].load.residues += L;
   return workers_[w].msv.score(seq, L);
 }
 
 cpu::FilterResult BatchScanner::msv(std::size_t w, bio::PackedResidues seq,
                                     std::size_t L) {
   if (empty_no_hit(L)) return {};
+  ++workers_[w].load.msv_calls;
+  workers_[w].load.residues += L;
   return workers_[w].msv.score(seq, L);
 }
 
 cpu::FilterResult BatchScanner::vit(std::size_t w, const std::uint8_t* seq,
                                     std::size_t L) {
   if (empty_no_hit(L)) return {};
+  ++workers_[w].load.vit_calls;
+  workers_[w].load.residues += L;
   return workers_[w].vit.score(seq, L);
 }
 
@@ -104,6 +115,8 @@ float BatchScanner::fwd(std::size_t w, const std::uint8_t* seq,
   FH_REQUIRE(workers_[w].fwd.has_value(),
              "BatchScanner built without a Forward profile");
   if (empty_no_hit(L)) return cpu::FilterResult{}.score_nats;
+  ++workers_[w].load.fwd_calls;
+  workers_[w].load.residues += L;
   return workers_[w].fwd->score(seq, L);
 }
 

@@ -70,6 +70,19 @@ class BatchScanner {
   cpu::FilterResult msv(std::size_t w, bio::PackedResidues seq,
                         std::size_t L);
 
+  /// Per-worker scoring workload, counted unconditionally (two integer
+  /// bumps per call — each worker only ever touches its own slot, so
+  /// there is no contention and nothing to synchronize).  The obs
+  /// telemetry layer reads these at drain to attribute work to threads.
+  struct WorkerLoad {
+    std::uint64_t ssv_calls = 0, msv_calls = 0, vit_calls = 0, fwd_calls = 0;
+    std::uint64_t residues = 0;  // summed over every call, all stages
+    std::uint64_t calls() const {
+      return ssv_calls + msv_calls + vit_calls + fwd_calls;
+    }
+  };
+  const WorkerLoad& load(std::size_t w) const { return workers_[w].load; }
+
  private:
   template <class Seq>
   cpu::FilterResult ssv_impl(std::size_t w, Seq seq, std::size_t L);
@@ -79,6 +92,7 @@ class BatchScanner {
     cpu::VitFilter vit;
     std::optional<cpu::FwdFilter> fwd;
     std::vector<std::uint8_t> ssv_row;
+    WorkerLoad load;
   };
 
   const profile::MsvProfile& msv_;

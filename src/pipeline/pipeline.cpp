@@ -10,6 +10,7 @@
 #include "cpu/msv_filter.hpp"
 #include "cpu/ssv.hpp"
 #include "cpu/vit_filter.hpp"
+#include "obs/recorder.hpp"
 #include "pipeline/batch_scanner.hpp"
 #include "pipeline/null2.hpp"
 #include "pipeline/workload.hpp"
@@ -65,10 +66,132 @@ cpu::FilterResult msv_score(BatchScanner& scanner, std::size_t w,
                          : scanner.msv(w, src.codes(s), L);
 }
 
+// --- Telemetry plumbing -------------------------------------------------
+//
+// Stage busy time is accumulated into per-worker slots (cacheline-sized,
+// written only by the owning worker, merged serially after the crew
+// joins) whether or not a recorder is attached: the overlapped engine's
+// StageStats::seconds are exactly this merge, so they must not depend on
+// observability being switched on.  The recorder only adds trace spans
+// and the ScanTelemetry snapshot on top.
+
+struct alignas(64) WorkerClock {
+  double stage_s[obs::kStageCount] = {};
+  std::uint64_t rescues = 0;        // help-first rescores (full ring)
+  std::uint64_t decoded_bytes = 0;  // residues unpacked for word stages
+};
+
+std::uint64_t packed_stream_bytes(const ScanSource& src) {
+  std::uint64_t bytes = 0;
+  for (std::size_t s = 0; s < src.size(); ++s)
+    bytes += (src.length(s) + bio::kResiduesPerWord - 1) /
+             bio::kResiduesPerWord * sizeof(std::uint32_t);
+  return bytes;
+}
+
+void fill_stage(obs::ScanTelemetry& t, const char* name,
+                const StageStats& s, double wall, double busy) {
+  obs::StageTelemetry st;
+  st.stage = name;
+  st.n_in = s.n_in;
+  st.n_passed = s.n_passed;
+  st.cells = s.cells;
+  st.wall_seconds = wall;
+  st.busy_seconds = busy;
+  t.stages.push_back(std::move(st));
+}
+
+/// The shared snapshot skeleton: database shape, byte accounting, and
+/// one StageTelemetry per active stage (wall == busy by default; engines
+/// with other semantics overwrite the fields afterwards).
+obs::ScanTelemetry make_telemetry(const char* engine, const ScanSource& src,
+                                  std::size_t threads,
+                                  const SearchResult& out, double wall_s,
+                                  bool use_ssv) {
+  obs::ScanTelemetry t;
+  t.engine = engine;
+  t.threads = threads;
+  t.sequences = src.size();
+  t.residues = src.total_residues();
+  t.wall_seconds = wall_s;
+  t.zero_copy = src.zero_copy();
+  if (src.zero_copy())
+    t.mapped_bytes = packed_stream_bytes(src);
+  else
+    t.heap_bytes = src.total_residues();
+  if (use_ssv) fill_stage(t, "ssv", out.ssv, out.ssv.seconds, out.ssv.seconds);
+  fill_stage(t, "msv", out.msv, out.msv.seconds, out.msv.seconds);
+  fill_stage(t, "vit", out.vit, out.vit.seconds, out.vit.seconds);
+  fill_stage(t, "fwd", out.fwd, out.fwd.seconds, out.fwd.seconds);
+  return t;
+}
+
+void fill_buckets(obs::ScanTelemetry& t, const ScanSchedule& sched) {
+  t.buckets.reserve(sched.bucket_sequences.size());
+  for (std::size_t b = 0; b < sched.bucket_sequences.size(); ++b)
+    t.buckets.push_back(
+        obs::BucketTelemetry{sched.bucket_sequences[b],
+                             sched.bucket_residues[b]});
+}
+
+/// Per-thread rows from the engine clocks, the scanner's per-worker call
+/// counts, and (when tracing) the recorder's span tallies.
+void fill_threads(obs::ScanTelemetry& t, std::size_t crew,
+                  const WorkerClock* clocks, const BatchScanner& scanner,
+                  const obs::Recorder* rec) {
+  t.per_thread.resize(crew);
+  for (std::size_t w = 0; w < crew; ++w) {
+    obs::ThreadTelemetry& row = t.per_thread[w];
+    row.thread = static_cast<std::uint32_t>(w);
+    if (clocks != nullptr) {
+      for (int s = 0; s < obs::kStageCount; ++s)
+        row.stage_busy_seconds[s] = clocks[w].stage_s[s];
+      row.help_first_rescues = clocks[w].rescues;
+      row.decoded_bytes = clocks[w].decoded_bytes;
+    }
+    if (w < scanner.workers()) {
+      const auto& load = scanner.load(w);
+      row.sequences_scored = load.calls();
+      row.stage_items[static_cast<int>(obs::Stage::kSsv)] = load.ssv_calls;
+      row.stage_items[static_cast<int>(obs::Stage::kMsv)] = load.msv_calls;
+      row.stage_items[static_cast<int>(obs::Stage::kVit)] = load.vit_calls;
+      row.stage_items[static_cast<int>(obs::Stage::kFwd)] = load.fwd_calls;
+    }
+    if (rec != nullptr && w < rec->threads()) {
+      row.spans = rec->log_at(w).events().size();
+      row.spans_dropped =
+          rec->log_at(w).counter(obs::Counter::kSpansDropped);
+    }
+  }
+  for (const auto& row : t.per_thread) t.decoded_bytes += row.decoded_bytes;
+}
+
+/// Overwrite the snapshot's per-stage busy seconds with the per-worker
+/// merge, so "per-thread merge == global totals" holds by construction.
+void merge_busy_from_clocks(obs::ScanTelemetry& t, std::size_t crew,
+                            const WorkerClock* clocks) {
+  for (auto& st : t.stages) {
+    obs::Stage s;
+    if (st.stage == "ssv") s = obs::Stage::kSsv;
+    else if (st.stage == "msv") s = obs::Stage::kMsv;
+    else if (st.stage == "vit") s = obs::Stage::kVit;
+    else if (st.stage == "fwd") s = obs::Stage::kFwd;
+    else continue;
+    double busy = 0.0;
+    for (std::size_t w = 0; w < crew; ++w)
+      busy += clocks[w].stage_s[static_cast<int>(s)];
+    st.busy_seconds = busy;
+  }
+}
+
 }  // namespace
 
 SearchResult HmmSearch::run_cpu(ScanSource src) const {
   SearchResult out;
+  obs::Recorder* rec =
+      (recorder_ != nullptr && recorder_->enabled()) ? recorder_ : nullptr;
+  if (rec) rec->reserve_threads(1);
+  Timer total;
   Timer timer;
   BatchScanner scanner(msv_, vit_, /*fwd=*/nullptr, /*workers=*/1);
 
@@ -77,6 +200,7 @@ SearchResult HmmSearch::run_cpu(ScanSource src) const {
   // first active stage's n_in and fails them there without scoring.
   std::vector<std::size_t> candidates;
   if (thr_.use_ssv_prefilter) {
+    OBS_SPAN(rec, 0, "ssv");
     out.ssv.n_in = src.size();
     for (std::size_t s = 0; s < src.size(); ++s) {
       const std::size_t L = src.length(s);
@@ -102,18 +226,21 @@ SearchResult HmmSearch::run_cpu(ScanSource src) const {
   std::vector<std::size_t> msv_pass;
   std::vector<float> msv_bits_pass;
   out.msv.n_in = candidates.size();
-  for (std::size_t s : candidates) {
-    const std::size_t L = src.length(s);
-    if (L == 0) continue;
-    auto r = msv_score(scanner, 0, src, s, L);
-    float bits = r.overflowed
-                     ? overflow_bits(msv_, static_cast<int>(L))
-                     : hmm::nats_to_bits(r.score_nats,
-                                         static_cast<int>(L));
-    out.msv.cells += static_cast<double>(L) * msv_.length();
-    if (r.overflowed || stats_.msv_pvalue(bits) <= thr_.msv_p) {
-      msv_pass.push_back(s);
-      msv_bits_pass.push_back(bits);
+  {
+    OBS_SPAN(rec, 0, "msv");
+    for (std::size_t s : candidates) {
+      const std::size_t L = src.length(s);
+      if (L == 0) continue;
+      auto r = msv_score(scanner, 0, src, s, L);
+      float bits = r.overflowed
+                       ? overflow_bits(msv_, static_cast<int>(L))
+                       : hmm::nats_to_bits(r.score_nats,
+                                           static_cast<int>(L));
+      out.msv.cells += static_cast<double>(L) * msv_.length();
+      if (r.overflowed || stats_.msv_pvalue(bits) <= thr_.msv_p) {
+        msv_pass.push_back(s);
+        msv_bits_pass.push_back(bits);
+      }
     }
   }
   out.msv.n_passed = msv_pass.size();
@@ -126,21 +253,40 @@ SearchResult HmmSearch::run_cpu(ScanSource src) const {
   out.vit.n_in = msv_pass.size();
   std::vector<std::uint8_t> scratch;
   if (src.zero_copy()) scratch.resize(src.max_length());
-  for (std::size_t s : msv_pass) {
-    const std::size_t L = src.length(s);
-    const std::uint8_t* codes = src.fetch_codes(s, scratch.data());
-    auto r = scanner.vit(0, codes, L);
-    float bits = hmm::nats_to_bits(r.score_nats, static_cast<int>(L));
-    out.vit.cells += static_cast<double>(L) * vit_.length();
-    if (stats_.vit_pvalue(bits) <= thr_.vit_p) {
-      vit_pass.push_back(s);
-      vit_bits_pass.push_back(bits);
+  {
+    OBS_SPAN(rec, 0, "vit");
+    for (std::size_t s : msv_pass) {
+      const std::size_t L = src.length(s);
+      const std::uint8_t* codes = src.fetch_codes(s, scratch.data());
+      auto r = scanner.vit(0, codes, L);
+      float bits = hmm::nats_to_bits(r.score_nats, static_cast<int>(L));
+      out.vit.cells += static_cast<double>(L) * vit_.length();
+      if (stats_.vit_pvalue(bits) <= thr_.vit_p) {
+        vit_pass.push_back(s);
+        vit_bits_pass.push_back(bits);
+      }
     }
   }
   out.vit.n_passed = vit_pass.size();
   out.vit.seconds = timer.seconds();
 
   forward_stage(src, vit_pass, vit_bits_pass, out);
+
+  if (rec) {
+    out.telemetry = make_telemetry("cpu_serial", src, 1, out,
+                                   total.seconds(), thr_.use_ssv_prefilter);
+    fill_threads(*out.telemetry, 1, /*clocks=*/nullptr, scanner, rec);
+    // Serial engine: one thread, busy == wall per stage.
+    auto& row = out.telemetry->per_thread[0];
+    row.stage_busy_seconds[static_cast<int>(obs::Stage::kSsv)] =
+        out.ssv.seconds;
+    row.stage_busy_seconds[static_cast<int>(obs::Stage::kMsv)] =
+        out.msv.seconds;
+    row.stage_busy_seconds[static_cast<int>(obs::Stage::kVit)] =
+        out.vit.seconds;
+    row.stage_busy_seconds[static_cast<int>(obs::Stage::kFwd)] =
+        out.fwd.seconds;
+  }
   return out;
 }
 
@@ -153,6 +299,14 @@ SearchResult HmmSearch::run_cpu_parallel(ScanSource src,
 SearchResult HmmSearch::run_cpu_parallel(ScanSource src,
                                          ThreadPool& pool) const {
   SearchResult out;
+  obs::Recorder* rec =
+      (recorder_ != nullptr && recorder_->enabled()) ? recorder_ : nullptr;
+  const std::size_t crew = pool.workers();
+  if (rec) rec->reserve_threads(crew);
+  // Per-worker stage clocks, merged serially after each barrier: the
+  // busy-time accounting never crosses threads mid-flight.
+  std::vector<WorkerClock> clocks(crew);
+  Timer total;
   Timer timer;
   const std::size_t n = src.size();
 
@@ -178,6 +332,8 @@ SearchResult HmmSearch::run_cpu_parallel(ScanSource src,
   pool.parallel_for_chunked(
       n, kMsvChunk,
       [&](std::size_t worker, std::size_t begin, std::size_t end) {
+        OBS_SPAN(rec, worker, "msv.chunk");
+        Timer chunk_t;
         for (std::size_t idx = begin; idx < end; ++idx) {
           const std::size_t s = sched.order[idx];
           if (idx + 1 < end) src.prefetch(sched.order[idx + 1]);
@@ -187,7 +343,11 @@ SearchResult HmmSearch::run_cpu_parallel(ScanSource src,
             continue;  // msv_keep stays 0: fails the first active stage
           }
           if (thr_.use_ssv_prefilter) {
+            Timer ssv_t;
             auto sr = ssv_score(scanner, worker, src, s, L);
+            clocks[worker].stage_s[static_cast<int>(obs::Stage::kSsv)] +=
+                ssv_t.seconds();
+            chunk_t.reset();  // keep the SSV share out of the MSV clock
             float sbits =
                 sr.overflowed
                     ? overflow_bits(msv_, static_cast<int>(L))
@@ -199,6 +359,9 @@ SearchResult HmmSearch::run_cpu_parallel(ScanSource src,
             }
           }
           auto r = msv_score(scanner, worker, src, s, L);
+          clocks[worker].stage_s[static_cast<int>(obs::Stage::kMsv)] +=
+              chunk_t.seconds();
+          chunk_t.reset();
           float bits =
               r.overflowed
                   ? overflow_bits(msv_, static_cast<int>(L))
@@ -238,17 +401,22 @@ SearchResult HmmSearch::run_cpu_parallel(ScanSource src,
   pool.parallel_for_chunked(
       msv_pass.size(), kVitChunk,
       [&](std::size_t worker, std::size_t begin, std::size_t end) {
+        OBS_SPAN(rec, worker, "vit.chunk");
+        Timer chunk_t;
         for (std::size_t i = begin; i < end; ++i) {
           const std::size_t s = msv_pass[i];
           const std::size_t L = src.length(s);
           const std::uint8_t* codes =
               src.fetch_codes(s, scratch[worker].data());
+          if (src.zero_copy()) clocks[worker].decoded_bytes += L;
           auto r = scanner.vit(worker, codes, L);
           float bits = hmm::nats_to_bits(r.score_nats,
                                          static_cast<int>(L));
           vit_bits_all[i] = bits;
           vit_keep[i] = stats_.vit_pvalue(bits) <= thr_.vit_p ? 1 : 0;
         }
+        clocks[worker].stage_s[static_cast<int>(obs::Stage::kVit)] +=
+            chunk_t.seconds();
       });
   std::vector<std::size_t> vit_pass;
   std::vector<float> vit_bits_pass;
@@ -264,6 +432,20 @@ SearchResult HmmSearch::run_cpu_parallel(ScanSource src,
   out.vit.seconds = timer.seconds();
 
   forward_stage(src, vit_pass, vit_bits_pass, out);
+
+  if (rec) {
+    out.telemetry =
+        make_telemetry("cpu_parallel", src, crew, out, total.seconds(),
+                       thr_.use_ssv_prefilter);
+    // Stage wall clocks stay authoritative (barrier-separated stages);
+    // the merged per-worker clocks supply the busy view.
+    merge_busy_from_clocks(*out.telemetry, crew, clocks.data());
+    if (auto* fwd_stage_t = const_cast<obs::StageTelemetry*>(
+            out.telemetry->stage("fwd")))
+      fwd_stage_t->busy_seconds = out.fwd.seconds;  // serial stage
+    fill_buckets(*out.telemetry, sched);
+    fill_threads(*out.telemetry, crew, clocks.data(), scanner, rec);
+  }
   return out;
 }
 
@@ -276,9 +458,18 @@ SearchResult HmmSearch::run_cpu_overlapped(ScanSource src,
 SearchResult HmmSearch::run_cpu_overlapped(ScanSource src,
                                           ThreadPool& pool) const {
   SearchResult out;
+  obs::Recorder* rec =
+      (recorder_ != nullptr && recorder_->enabled()) ? recorder_ : nullptr;
   Timer timer;
   const std::size_t n = src.size();
   const std::size_t crew = pool.workers();
+  if (rec) rec->reserve_threads(crew);
+  // Stage busy time banks into per-worker slots during the scan and is
+  // merged serially at drain — StageStats::seconds is never written by
+  // two threads (the overlapped stages have no wall-clock identity, so
+  // the merge IS the stage time).  Always on: one Timer read per filter
+  // call, independent of whether a recorder is attached.
+  std::vector<WorkerClock> clocks(crew);
   const bool need_trace = thr_.null2_correction || thr_.compute_alignments;
 
   // Every worker can run any stage, so the scanner carries the Forward
@@ -321,16 +512,22 @@ SearchResult HmmSearch::run_cpu_overlapped(ScanSource src,
   constexpr std::size_t kChunk = 16;
 
   auto rescore = [&](std::size_t w, std::uint32_t item) {
+    OBS_SPAN(rec, w, "rescore");
     const std::size_t s = item;
     const std::size_t L = src.length(s);
     const std::uint8_t* codes = src.fetch_codes(s, scratch[w].data());
+    if (src.zero_copy()) clocks[w].decoded_bytes += L;
     Rescore& slot = rescored[s];
 
+    Timer stage_t;
     auto r = scanner.vit(w, codes, L);
+    clocks[w].stage_s[static_cast<int>(obs::Stage::kVit)] +=
+        stage_t.seconds();
     slot.vit_bits = hmm::nats_to_bits(r.score_nats, static_cast<int>(L));
     if (!(stats_.vit_pvalue(slot.vit_bits) <= thr_.vit_p)) return;
     slot.vit_pass = 1;
 
+    stage_t.reset();
     float raw = scanner.fwd(w, codes, L);
     cpu::ViterbiTrace trace;
     float bias_nats = 0.0f;
@@ -351,6 +548,8 @@ SearchResult HmmSearch::run_cpu_overlapped(ScanSource src,
       if (thr_.define_domains)
         slot.domains = cpu::define_domains(prof_, codes, L);
     }
+    clocks[w].stage_s[static_cast<int>(obs::Stage::kFwd)] +=
+        stage_t.seconds();
   };
 
   pool.run_workers(crew, [&](std::size_t w) {
@@ -360,6 +559,7 @@ SearchResult HmmSearch::run_cpu_overlapped(ScanSource src,
           cursor.fetch_add(kChunk, std::memory_order_relaxed);
       if (begin >= n) break;
       const std::size_t end = std::min(begin + kChunk, n);
+      OBS_SPAN(rec, w, "produce.chunk");
       for (std::size_t idx = begin; idx < end; ++idx) {
         const std::size_t s = sched.order[idx];
         if (idx + 1 < end) src.prefetch(sched.order[idx + 1]);
@@ -368,8 +568,12 @@ SearchResult HmmSearch::run_cpu_overlapped(ScanSource src,
           if (thr_.use_ssv_prefilter) ssv_keep[s] = 0;
           continue;
         }
+        Timer stage_t;
         if (thr_.use_ssv_prefilter) {
           auto sr = ssv_score(scanner, w, src, s, L);
+          clocks[w].stage_s[static_cast<int>(obs::Stage::kSsv)] +=
+              stage_t.seconds();
+          stage_t.reset();
           float sbits = sr.overflowed
                             ? overflow_bits(msv_, static_cast<int>(L))
                             : hmm::nats_to_bits(sr.score_nats,
@@ -380,6 +584,8 @@ SearchResult HmmSearch::run_cpu_overlapped(ScanSource src,
           }
         }
         auto r = msv_score(scanner, w, src, s, L);
+        clocks[w].stage_s[static_cast<int>(obs::Stage::kMsv)] +=
+            stage_t.seconds();
         float bits = r.overflowed
                          ? overflow_bits(msv_, static_cast<int>(L))
                          : hmm::nats_to_bits(r.score_nats,
@@ -388,8 +594,13 @@ SearchResult HmmSearch::run_cpu_overlapped(ScanSource src,
           msv_keep[s] = 1;
           const auto item = static_cast<std::uint32_t>(s);
           while (!queue.try_push(item)) {
+            // Help-first backpressure: the ring is full, so this
+            // producer rescores one queued survivor itself.
             std::uint32_t other;
-            if (queue.try_pop(other)) rescore(w, other);
+            if (queue.try_pop(other)) {
+              ++clocks[w].rescues;
+              rescore(w, other);
+            }
           }
         }
       }
@@ -397,6 +608,7 @@ SearchResult HmmSearch::run_cpu_overlapped(ScanSource src,
     producers_done.fetch_add(1, std::memory_order_release);
     // Drain: rescore until the queue is empty AND no producer can still
     // push (all done).
+    OBS_SPAN(rec, w, "drain");
     for (;;) {
       std::uint32_t item;
       if (queue.try_pop(item)) {
@@ -454,9 +666,39 @@ SearchResult HmmSearch::run_cpu_overlapped(ScanSource src,
   }
   std::sort(out.hits.begin(), out.hits.end(),
             [](const Hit& a, const Hit& b) { return a.evalue < b.evalue; });
-  // Stages overlap by design, so only the end-to-end wall clock is
-  // meaningful; it is banked on the MSV stage.
-  out.msv.seconds = timer.seconds();
+  // Stages overlap by design, so no per-stage wall clock exists.  Each
+  // worker banked its busy time per stage into its own clock slot; the
+  // serial merge here is the per-stage time (racing threads never touch
+  // StageStats::seconds directly).  End-to-end wall goes to telemetry.
+  const double wall = timer.seconds();
+  for (const WorkerClock& c : clocks) {
+    out.ssv.seconds += c.stage_s[static_cast<int>(obs::Stage::kSsv)];
+    out.msv.seconds += c.stage_s[static_cast<int>(obs::Stage::kMsv)];
+    out.vit.seconds += c.stage_s[static_cast<int>(obs::Stage::kVit)];
+    out.fwd.seconds += c.stage_s[static_cast<int>(obs::Stage::kFwd)];
+  }
+
+  if (rec) {
+    out.telemetry = make_telemetry("cpu_overlapped", src, crew, out, wall,
+                                   thr_.use_ssv_prefilter);
+    // StageStats::seconds already hold the per-thread merge; the stages
+    // have no individual wall clock, so zero those out.
+    for (auto& st : out.telemetry->stages) st.wall_seconds = 0.0;
+    merge_busy_from_clocks(*out.telemetry, crew, clocks.data());
+
+    const auto qs = queue.stats();
+    obs::QueueTelemetry qt;
+    qt.capacity = queue.capacity();
+    qt.enqueued = qs.pushes;
+    qt.dequeued = qs.pops;
+    qt.enqueue_stalls = qs.push_failures;
+    qt.max_depth = qs.max_depth;
+    for (const WorkerClock& c : clocks) qt.help_first_rescues += c.rescues;
+    out.telemetry->queue = qt;
+
+    fill_buckets(*out.telemetry, sched);
+    fill_threads(*out.telemetry, crew, clocks.data(), scanner, rec);
+  }
   return out;
 }
 
@@ -485,6 +727,11 @@ SearchResult HmmSearch::run_gpu_impl(const simt::DeviceSpec& dev,
                                      gpu::ParamPlacement vit_placement) const {
   FH_REQUIRE(packed.size() == db.size(), "packed database mismatch");
   SearchResult out;
+  obs::Recorder* rec =
+      (recorder_ != nullptr && recorder_->enabled()) ? recorder_ : nullptr;
+  if (rec) rec->reserve_threads(1);
+  obs::ScanTelemetry gpu_t;  // per-stage SIMT counters, collected as we go
+  Timer total;
   Timer timer;
   gpu::GpuSearch search(dev);
 
@@ -492,8 +739,15 @@ SearchResult HmmSearch::run_gpu_impl(const simt::DeviceSpec& dev,
   std::vector<std::size_t> candidates;
   const std::vector<std::size_t>* msv_items = nullptr;
   if (thr_.use_ssv_prefilter) {
+    OBS_SPAN(rec, 0, "gpu.ssv");
     out.ssv.n_in = db.size();
     auto ssv_run = search.run_ssv(msv_, packed, msv_placement);
+    if (rec) {
+      obs::StageTelemetry st;
+      st.stage = "ssv";
+      st.counters = obs::counters_kv(ssv_run.counters);
+      gpu_t.stages.push_back(std::move(st));
+    }
     for (std::size_t s = 0; s < db.size(); ++s) {
       int L = static_cast<int>(db[s].length());
       bool overflowed = ssv_run.overflow[s] != 0;
@@ -511,7 +765,16 @@ SearchResult HmmSearch::run_gpu_impl(const simt::DeviceSpec& dev,
 
   // ---- Stage 1: warp-synchronous MSV ----
   out.msv.n_in = msv_items ? candidates.size() : db.size();
-  auto msv_run = search.run_msv(msv_, packed, msv_placement, msv_items);
+  auto msv_run = [&] {
+    OBS_SPAN(rec, 0, "gpu.msv");
+    return search.run_msv(msv_, packed, msv_placement, msv_items);
+  }();
+  if (rec) {
+    obs::StageTelemetry st;
+    st.stage = "msv";
+    st.counters = obs::counters_kv(msv_run.counters);
+    gpu_t.stages.push_back(std::move(st));
+  }
   std::vector<std::size_t> msv_pass;
   for (std::size_t i = 0; i < msv_run.scores.size(); ++i) {
     std::size_t s = msv_items ? candidates[i] : i;
@@ -533,7 +796,16 @@ SearchResult HmmSearch::run_gpu_impl(const simt::DeviceSpec& dev,
   std::vector<std::size_t> vit_pass;
   std::vector<float> vit_bits_pass;
   if (!msv_pass.empty()) {
-    auto vit_run = search.run_vit(vit_, packed, vit_placement, &msv_pass);
+    auto vit_run = [&] {
+      OBS_SPAN(rec, 0, "gpu.vit");
+      return search.run_vit(vit_, packed, vit_placement, &msv_pass);
+    }();
+    if (rec) {
+      obs::StageTelemetry st;
+      st.stage = "vit";
+      st.counters = obs::counters_kv(vit_run.counters);
+      gpu_t.stages.push_back(std::move(st));
+    }
     for (std::size_t i = 0; i < msv_pass.size(); ++i) {
       std::size_t s = msv_pass[i];
       int L = static_cast<int>(db[s].length());
@@ -550,6 +822,17 @@ SearchResult HmmSearch::run_gpu_impl(const simt::DeviceSpec& dev,
   out.vit.seconds = timer.seconds();
 
   forward_stage(db, vit_pass, vit_bits_pass, out);
+
+  if (rec) {
+    out.telemetry = make_telemetry("gpu_sim", db, 1, out, total.seconds(),
+                                   thr_.use_ssv_prefilter);
+    // Graft the per-stage SIMT counters collected above onto the shared
+    // stage rows, so device runs read through the same schema.
+    for (auto& st : out.telemetry->stages)
+      for (auto& collected : gpu_t.stages)
+        if (collected.stage == st.stage)
+          st.counters = std::move(collected.counters);
+  }
   return out;
 }
 
@@ -633,6 +916,10 @@ void HmmSearch::forward_stage(ScanSource src,
                               const std::vector<std::size_t>& survivors,
                               const std::vector<float>& vit_bits,
                               SearchResult& out) const {
+  obs::Recorder* rec =
+      (recorder_ != nullptr && recorder_->enabled()) ? recorder_ : nullptr;
+  if (rec) rec->reserve_threads(1);  // run_gpu_multi skips engine setup
+  OBS_SPAN(rec, 0, "fwd");
   Timer timer;
   out.fwd.n_in = survivors.size();
   const bool need_trace = thr_.null2_correction || thr_.compute_alignments;

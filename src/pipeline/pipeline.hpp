@@ -26,6 +26,7 @@
 #include "gpu/search.hpp"
 #include "hmm/plan7.hpp"
 #include "hmm/profile.hpp"
+#include "obs/telemetry.hpp"
 #include "pipeline/scan_source.hpp"
 #include "profile/fwd_profile.hpp"
 #include "profile/msv_profile.hpp"
@@ -77,7 +78,12 @@ struct StageStats {
   std::size_t n_in = 0;       // sequences entering the stage
   std::size_t n_passed = 0;   // sequences surviving
   double cells = 0.0;         // DP cells evaluated
-  double seconds = 0.0;       // measured host wall-clock of this stage
+  /// Measured host time of this stage.  For the serial and
+  /// barrier-parallel engines this is the stage's wall clock; for the
+  /// overlapped engine (where stages have no wall-clock identity) it is
+  /// the per-worker busy time, accumulated into per-thread slots during
+  /// the scan and merged serially at drain — never written concurrently.
+  double seconds = 0.0;
   double pass_rate() const {
     return n_in ? static_cast<double>(n_passed) / n_in : 0.0;
   }
@@ -90,6 +96,10 @@ struct SearchResult {
   /// GPU runs also expose the per-stage counters and launch plans.
   std::optional<gpu::StageResult> gpu_msv;
   std::optional<gpu::StageResult> gpu_vit;
+  /// Unified performance snapshot (docs/observability.md), filled when a
+  /// recorder is attached to the HmmSearch (set_recorder); every engine
+  /// reports through the same schema.
+  std::optional<obs::ScanTelemetry> telemetry;
 };
 
 /// A configured, calibrated search: one query model, ready to scan
@@ -103,6 +113,14 @@ class HmmSearch {
   /// .hmm file), skipping the random-sequence simulation.
   HmmSearch(const hmm::Plan7Hmm& model, const stats::ModelStats& model_stats,
             Thresholds thresholds = {});
+
+  /// Attach a telemetry recorder: subsequent runs trace spans into it
+  /// and attach a ScanTelemetry snapshot to their SearchResult.  Null
+  /// (the default) or a disabled recorder reduces every instrumentation
+  /// site to one pointer test.  The recorder must outlive the runs and
+  /// must not be shared by concurrent scans.
+  void set_recorder(obs::Recorder* rec) noexcept { recorder_ = rec; }
+  obs::Recorder* recorder() const noexcept { return recorder_; }
 
   const hmm::SearchProfile& profile() const noexcept { return prof_; }
   const profile::MsvProfile& msv_profile() const noexcept { return msv_; }
@@ -132,7 +150,11 @@ class HmmSearch {
   /// posterior immediately instead of in barrier-separated stages — the
   /// paper's third parallelism tier (global work queue) on the host.
   /// Results land in per-index slots and the stage stats are replayed
-  /// serially, so hits and stats stay bit-identical to run_cpu.
+  /// serially, so hits and stage counts/cells stay bit-identical to
+  /// run_cpu.  Stage `seconds` are each worker's busy time per stage,
+  /// banked into per-thread slots and merged at drain (stages overlap,
+  /// so no per-stage wall clock exists; the end-to-end wall clock lands
+  /// in SearchResult::telemetry when a recorder is attached).
   SearchResult run_cpu_overlapped(ScanSource src,
                                   std::size_t threads = 0) const;
   SearchResult run_cpu_overlapped(ScanSource src, ThreadPool& pool) const;
@@ -178,6 +200,7 @@ class HmmSearch {
                      const std::vector<float>& vit_bits,
                      SearchResult& out) const;
 
+  obs::Recorder* recorder_ = nullptr;
   hmm::Plan7Hmm model_;
   hmm::SearchProfile prof_;
   profile::MsvProfile msv_;

@@ -32,8 +32,11 @@ ScanSchedule make_length_schedule(
   // Two-pass counting sort, emitting buckets longest-first and indices
   // ascending within each bucket: deterministic, O(n), no comparator.
   std::vector<std::size_t> count(static_cast<std::size_t>(max_bucket) + 1, 0);
-  for (std::size_t i = 0; i < n; ++i)
+  std::vector<std::uint64_t> residues(count.size(), 0);
+  for (std::size_t i = 0; i < n; ++i) {
     ++count[static_cast<std::size_t>(buckets[i])];
+    residues[static_cast<std::size_t>(buckets[i])] += length_of(i);
+  }
   for (const auto c : count)
     if (c != 0) ++sched.n_buckets;
   std::vector<std::size_t> start(count.size(), 0);
@@ -41,6 +44,10 @@ ScanSchedule make_length_schedule(
   for (std::size_t b = count.size(); b-- > 0;) {
     start[b] = pos;
     pos += count[b];
+    if (count[b] != 0) {
+      sched.bucket_sequences.push_back(count[b]);
+      sched.bucket_residues.push_back(residues[b]);
+    }
   }
   sched.order.resize(n);
   for (std::size_t i = 0; i < n; ++i) {

@@ -41,6 +41,12 @@ bio::SequenceDatabase make_workload(const hmm::Plan7Hmm& model,
 struct ScanSchedule {
   std::vector<std::uint32_t> order;  // permutation of [0, n)
   std::size_t n_buckets = 0;         // distinct non-empty buckets
+  /// Per non-empty bucket, in emission order (longest bucket first):
+  /// how many sequences / residues it holds.  The telemetry layer
+  /// reports these as the scan's length-bucket utilization; entries sum
+  /// to n and to the database residue count respectively.
+  std::vector<std::uint64_t> bucket_sequences;
+  std::vector<std::uint64_t> bucket_residues;
 };
 
 /// Build the bucketed order for `n` sequences with lengths given by

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <vector>
 
@@ -21,6 +22,17 @@ namespace finehmm {
 template <class T>
 class BoundedMpmcQueue {
  public:
+  /// End-of-run telemetry, maintained under the ring mutex (a few
+  /// integer bumps on operations that already pay the lock).  Invariants
+  /// a drained run must satisfy: pops == pushes, push_failures counts
+  /// rejected attempts only, max_depth <= capacity.
+  struct Stats {
+    std::uint64_t pushes = 0;         // items accepted
+    std::uint64_t pops = 0;           // items handed out
+    std::uint64_t push_failures = 0;  // try_push calls rejected (ring full)
+    std::uint64_t max_depth = 0;      // high-water occupancy
+  };
+
   explicit BoundedMpmcQueue(std::size_t capacity)
       : ring_(capacity) {
     FH_REQUIRE(capacity >= 1, "queue capacity must be at least 1");
@@ -31,9 +43,14 @@ class BoundedMpmcQueue {
   /// Non-blocking push; false when the ring is full.
   bool try_push(const T& item) {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (count_ == ring_.size()) return false;
+    if (count_ == ring_.size()) {
+      ++stats_.push_failures;
+      return false;
+    }
     ring_[(head_ + count_) % ring_.size()] = item;
     ++count_;
+    ++stats_.pushes;
+    if (count_ > stats_.max_depth) stats_.max_depth = count_;
     return true;
   }
 
@@ -44,6 +61,7 @@ class BoundedMpmcQueue {
     out = ring_[head_];
     head_ = (head_ + 1) % ring_.size();
     --count_;
+    ++stats_.pops;
     return true;
   }
 
@@ -52,11 +70,18 @@ class BoundedMpmcQueue {
     return count_ == 0;
   }
 
+  /// Snapshot of the lifetime counters.
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+
  private:
   mutable std::mutex mutex_;
   std::vector<T> ring_;
   std::size_t head_ = 0;
   std::size_t count_ = 0;
+  Stats stats_;
 };
 
 }  // namespace finehmm

@@ -1,0 +1,388 @@
+// The obs telemetry subsystem: span recording and nesting, disabled-mode
+// zero-allocation, Chrome trace schema, rate guards, and the overlapped
+// engine's telemetry invariants (queue accounting, per-thread merge).
+//
+// This file lives in its own test binary (finehmm_obs_tests): it replaces
+// the global operator new/delete to count allocations, which must not
+// leak into the other binaries.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <sstream>
+#include <string>
+
+#include "hmm/generator.hpp"
+#include "obs/recorder.hpp"
+#include "obs/telemetry.hpp"
+#include "pipeline/pipeline.hpp"
+#include "pipeline/workload.hpp"
+
+namespace {
+std::atomic<std::size_t> g_allocations{0};
+}
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+// The nothrow forms must be replaced too (std::stable_sort's temporary
+// buffer uses them); otherwise their allocations would be freed by the
+// replaced operator delete below — an alloc/dealloc mismatch under ASan.
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace finehmm;
+
+// ---------------------------------------------------------------- spans
+
+TEST(Recorder, NestedSpansStayWithinParent) {
+  obs::Recorder rec;
+  rec.reserve_threads(1);
+  {
+    obs::ScopedSpan outer(&rec, 0, "outer");
+    {
+      obs::ScopedSpan inner(&rec, 0, "inner");
+      OBS_SPAN(&rec, 0, "leaf");
+    }
+  }
+  auto events = rec.merged_events();
+  ASSERT_EQ(events.size(), 3u);
+  // merged_events sorts by start time: outer opened first.
+  EXPECT_STREQ(events[0].name, "outer");
+  EXPECT_STREQ(events[1].name, "inner");
+  EXPECT_STREQ(events[2].name, "leaf");
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].start_ns, events[0].start_ns);
+    EXPECT_LE(events[i].start_ns + events[i].dur_ns,
+              events[0].start_ns + events[0].dur_ns);
+  }
+}
+
+TEST(Recorder, SpanBanksStageTimeAndItems) {
+  obs::Recorder rec;
+  rec.reserve_threads(2);
+  {
+    obs::ScopedSpan s(&rec, 1, "msv.chunk", obs::Stage::kMsv);
+    s.set_items(17);
+  }
+  EXPECT_GT(rec.stage_seconds(obs::Stage::kMsv), 0.0);
+  EXPECT_EQ(rec.stage_items(obs::Stage::kMsv), 17u);
+  EXPECT_EQ(rec.stage_items(obs::Stage::kVit), 0u);
+}
+
+TEST(Recorder, SpanBudgetDropsAreCounted) {
+  obs::RecorderConfig cfg;
+  cfg.max_events_per_thread = 4;
+  obs::Recorder rec(cfg);
+  rec.reserve_threads(1);
+  for (int i = 0; i < 10; ++i) OBS_SPAN(&rec, 0, "tick");
+  EXPECT_EQ(rec.merged_events().size(), 4u);
+  EXPECT_EQ(rec.counter(obs::Counter::kSpansDropped), 6u);
+}
+
+TEST(Recorder, MergeIsDeterministicAcrossThreadSlots) {
+  // Identical per-thread logs must merge to the same totals regardless
+  // of how work was spread over slots.
+  auto fill = [](obs::Recorder& rec, std::uint32_t threads) {
+    rec.reserve_threads(threads);
+    for (std::uint32_t w = 0; w < threads; ++w) {
+      rec.log(w)->add_stage(obs::Stage::kVit, 0.25, 3);
+      rec.log(w)->add(obs::Counter::kHelpFirstRescues, 2);
+    }
+  };
+  obs::Recorder one, four;
+  fill(one, 1);
+  fill(four, 4);
+  EXPECT_DOUBLE_EQ(one.stage_seconds(obs::Stage::kVit), 0.25);
+  EXPECT_DOUBLE_EQ(four.stage_seconds(obs::Stage::kVit), 1.0);
+  EXPECT_EQ(four.stage_items(obs::Stage::kVit), 12u);
+  EXPECT_EQ(four.counter(obs::Counter::kHelpFirstRescues), 8u);
+  // And a second identical merge reads back the exact same doubles.
+  EXPECT_DOUBLE_EQ(four.stage_seconds(obs::Stage::kVit),
+                   four.stage_seconds(obs::Stage::kVit));
+}
+
+// ------------------------------------------- disabled mode: truly free
+
+TEST(Recorder, DisabledModeAllocatesNothing) {
+  obs::RecorderConfig cfg;
+  cfg.enabled = false;
+  obs::Recorder rec(cfg);
+  obs::Recorder* null_rec = nullptr;
+
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    rec.reserve_threads(8);             // no-op when disabled
+    EXPECT_EQ(rec.log(0), nullptr);     // callers see "no log"
+    OBS_SPAN(&rec, 0, "hot");           // RAII span: no-op
+    OBS_SPAN(null_rec, 0, "hot");       // null recorder: no-op
+    obs::ScopedSpan s(null_rec, 0, "hot", obs::Stage::kMsv);
+    s.set_items(1);
+  }
+  EXPECT_EQ(g_allocations.load(std::memory_order_relaxed), before);
+}
+
+// --------------------------------------------------- exporters / rates
+
+TEST(Telemetry, RateGuardsNeverEmitInf) {
+  EXPECT_EQ(obs::json_rate(10.0, 0.0), "null");
+  EXPECT_EQ(obs::json_rate(10.0, 1e-300), "null");  // denormal-ish elapsed
+  EXPECT_EQ(obs::json_rate(std::nan(""), 1.0), "null");
+  EXPECT_NE(obs::json_rate(10.0, 2.0), "null");
+  EXPECT_DOUBLE_EQ(obs::safe_rate(10.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(obs::safe_rate(10.0, 2.0), 5.0);
+  EXPECT_FALSE(obs::valid_rate(10.0, -1.0));
+}
+
+TEST(Telemetry, JsonSnapshotHasNoInfOrNan) {
+  obs::ScanTelemetry t;
+  t.engine = "cpu_serial";
+  obs::StageTelemetry st;
+  st.stage = "msv";
+  st.cells = 1e9;
+  st.wall_seconds = 0.0;  // a rate denominator of zero
+  t.stages.push_back(st);
+  std::ostringstream os;
+  t.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"schema\": \"finehmm.scan_telemetry.v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("null"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+}
+
+/// Minimal structural JSON check: braces/brackets balance outside of
+/// string literals and the text is non-empty.  Not a parser, but enough
+/// to catch the classic trailing-comma / unterminated-string bugs.
+bool json_balanced(const std::string& s) {
+  int brace = 0, bracket = 0;
+  bool in_string = false, escaped = false;
+  for (char c : s) {
+    if (in_string) {
+      if (escaped)
+        escaped = false;
+      else if (c == '\\')
+        escaped = true;
+      else if (c == '"')
+        in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{') ++brace;
+    if (c == '}') --brace;
+    if (c == '[') ++bracket;
+    if (c == ']') --bracket;
+    if (brace < 0 || bracket < 0) return false;
+  }
+  return !s.empty() && brace == 0 && bracket == 0 && !in_string;
+}
+
+TEST(Telemetry, ChromeTraceRoundTrip) {
+  obs::Recorder rec;
+  rec.reserve_threads(2);
+  {
+    obs::ScopedSpan a(&rec, 0, "produce.chunk");
+    obs::ScopedSpan b(&rec, 1, "rescore");
+  }
+  std::ostringstream os;
+  rec.write_chrome_trace(os);
+  const std::string json = os.str();
+  ASSERT_TRUE(json_balanced(json));
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"produce.chunk\""), std::string::npos);
+  EXPECT_NE(json.find("\"rescore\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  // One complete "X" event per recorded span.
+  std::size_t x_events = 0;
+  for (std::size_t pos = 0;
+       (pos = json.find("\"ph\": \"X\"", pos)) != std::string::npos; ++pos)
+    ++x_events;
+  EXPECT_EQ(x_events, rec.merged_events().size());
+}
+
+TEST(Telemetry, PrometheusExportCoversTheFamilies) {
+  obs::ScanTelemetry t;
+  t.engine = "cpu_overlapped";
+  t.wall_seconds = 1.5;
+  obs::StageTelemetry st;
+  st.stage = "vit";
+  st.busy_seconds = 0.5;
+  t.stages.push_back(st);
+  obs::QueueTelemetry q;
+  q.capacity = 64;
+  t.queue = q;
+  std::ostringstream os;
+  t.write_prometheus(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("finehmm_scan_wall_seconds"), std::string::npos);
+  EXPECT_NE(text.find("finehmm_stage_seconds"), std::string::npos);
+  EXPECT_NE(text.find("finehmm_queue_enqueued_total"), std::string::npos);
+  EXPECT_NE(text.find("engine=\"cpu_overlapped\""), std::string::npos);
+}
+
+// ------------------------------------- engine wiring: the real invariants
+
+struct TelemetryFixture {
+  hmm::Plan7Hmm model;
+  bio::SequenceDatabase db;
+
+  explicit TelemetryFixture(int M = 80, std::size_t n = 500)
+      : model(hmm::paper_model(M)) {
+    pipeline::WorkloadSpec spec;
+    spec.db.name = "obs-test";
+    spec.db.n_sequences = n;
+    spec.db.log_length_mu = 5.0;
+    spec.db.log_length_sigma = 0.4;
+    spec.db.seed = 4242;
+    spec.homolog_fraction = 0.03;
+    db = pipeline::make_workload(model, spec);
+  }
+};
+
+TEST(EngineTelemetry, OverlappedQueueInvariantsHold) {
+  TelemetryFixture fx;
+  pipeline::HmmSearch search(fx.model);
+  obs::Recorder rec;
+  search.set_recorder(&rec);
+  auto result = search.run_cpu_overlapped(fx.db, 3);
+
+  ASSERT_TRUE(result.telemetry.has_value());
+  const auto& t = *result.telemetry;
+  ASSERT_TRUE(t.queue.has_value());
+  const auto& q = *t.queue;
+  // Every produced survivor is drained, stalls only ever reject (the
+  // item is retried, not lost), rescues are stall responses, and the
+  // ring never exceeds its capacity.
+  EXPECT_EQ(q.dequeued, q.enqueued);
+  EXPECT_EQ(q.enqueued, result.vit.n_in);
+  EXPECT_LE(q.help_first_rescues, q.enqueue_stalls);
+  EXPECT_LE(q.max_depth, q.capacity);
+  if (q.enqueued > 0) {
+    EXPECT_GE(q.max_depth, 1u);
+  }
+}
+
+TEST(EngineTelemetry, PerThreadMergeMatchesGlobalTotals) {
+  TelemetryFixture fx;
+  pipeline::HmmSearch search(fx.model);
+  obs::Recorder rec;
+  search.set_recorder(&rec);
+  auto result = search.run_cpu_overlapped(fx.db, 3);
+
+  ASSERT_TRUE(result.telemetry.has_value());
+  const auto& t = *result.telemetry;
+  ASSERT_EQ(t.per_thread.size(), t.threads);
+
+  // The stage rows and StageStats::seconds are both serial merges of the
+  // same per-worker clocks, so they agree exactly — and re-summing the
+  // per-thread rows reproduces them.
+  struct Want {
+    const char* name;
+    obs::Stage stage;
+    const pipeline::StageStats* stats;
+  };
+  const Want wants[] = {{"msv", obs::Stage::kMsv, &result.msv},
+                        {"vit", obs::Stage::kVit, &result.vit},
+                        {"fwd", obs::Stage::kFwd, &result.fwd}};
+  for (const auto& w : wants) {
+    const auto* row = t.stage(w.name);
+    ASSERT_NE(row, nullptr) << w.name;
+    EXPECT_DOUBLE_EQ(row->busy_seconds, w.stats->seconds) << w.name;
+    double per_thread_sum = 0.0;
+    for (const auto& th : t.per_thread)
+      per_thread_sum += th.stage_busy_seconds[static_cast<int>(w.stage)];
+    EXPECT_NEAR(per_thread_sum, row->busy_seconds,
+                1e-9 * (1.0 + row->busy_seconds))
+        << w.name;
+    EXPECT_EQ(row->n_in, w.stats->n_in) << w.name;
+    EXPECT_EQ(row->n_passed, w.stats->n_passed) << w.name;
+  }
+
+  // Bucket utilization sums back to the database.
+  std::uint64_t bucket_seqs = 0, bucket_residues = 0;
+  for (const auto& b : t.buckets) {
+    bucket_seqs += b.sequences;
+    bucket_residues += b.residues;
+  }
+  EXPECT_EQ(bucket_seqs, t.sequences);
+  EXPECT_EQ(bucket_residues, t.residues);
+  EXPECT_GT(t.wall_seconds, 0.0);
+}
+
+TEST(EngineTelemetry, OverlappedHitsMatchSerialWithRecorderAttached) {
+  TelemetryFixture fx;
+  pipeline::HmmSearch search(fx.model);
+  auto serial = search.run_cpu(fx.db);
+  EXPECT_FALSE(serial.telemetry.has_value());  // no recorder attached
+
+  obs::Recorder rec;
+  search.set_recorder(&rec);
+  auto overlapped = search.run_cpu_overlapped(fx.db, 2);
+  ASSERT_EQ(overlapped.hits.size(), serial.hits.size());
+  for (std::size_t i = 0; i < serial.hits.size(); ++i) {
+    EXPECT_EQ(overlapped.hits[i].seq_index, serial.hits[i].seq_index);
+    EXPECT_EQ(overlapped.hits[i].fwd_bits, serial.hits[i].fwd_bits);
+  }
+  EXPECT_EQ(overlapped.msv.n_passed, serial.msv.n_passed);
+  EXPECT_EQ(overlapped.fwd.n_in, serial.fwd.n_in);
+  EXPECT_DOUBLE_EQ(overlapped.msv.cells, serial.msv.cells);
+}
+
+TEST(EngineTelemetry, SerialAndParallelEnginesReportTheSameSchema) {
+  TelemetryFixture fx(60, 300);
+  pipeline::HmmSearch search(fx.model);
+  obs::Recorder rec;
+  search.set_recorder(&rec);
+
+  auto serial = search.run_cpu(fx.db);
+  ASSERT_TRUE(serial.telemetry.has_value());
+  EXPECT_EQ(serial.telemetry->engine, "cpu_serial");
+  EXPECT_EQ(serial.telemetry->threads, 1u);
+  EXPECT_FALSE(serial.telemetry->queue.has_value());
+
+  rec.clear();
+  auto parallel = search.run_cpu_parallel(fx.db, 2);
+  ASSERT_TRUE(parallel.telemetry.has_value());
+  EXPECT_EQ(parallel.telemetry->engine, "cpu_parallel");
+  EXPECT_FALSE(parallel.telemetry->buckets.empty());
+  // Parallel stages are barrier-separated: wall clocks are meaningful
+  // and each stage's busy time cannot exceed crew * wall.
+  for (const auto& st : parallel.telemetry->stages) {
+    EXPECT_GE(st.wall_seconds, 0.0);
+    EXPECT_LE(st.busy_seconds,
+              static_cast<double>(parallel.telemetry->threads) *
+                      parallel.telemetry->wall_seconds +
+                  1e-6);
+  }
+  // Both engines agree on what was scanned.
+  EXPECT_EQ(parallel.telemetry->sequences, serial.telemetry->sequences);
+  EXPECT_EQ(parallel.telemetry->residues, serial.telemetry->residues);
+  EXPECT_DOUBLE_EQ(parallel.telemetry->total_cells(),
+                   serial.telemetry->total_cells());
+}
+
+}  // namespace

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "obs/telemetry.hpp"
 
 using namespace finehmm;
 using namespace finehmm::bench;
@@ -72,7 +73,7 @@ int main() {
                                 best.cfg.warps_per_block),
         kEnvnrResidues /
             static_cast<double>(packed.total_residues()));
-    double pp_speedup = in_place.cpu_time / pp_time.total_s;
+    double pp_speedup = obs::safe_rate(in_place.cpu_time, pp_time.total_s);
     table.add_row(
         {std::to_string(M), TextTable::pct(in_place.occupancy, 0),
          TextTable::pct(best.occ.fraction, 0),

@@ -125,6 +125,7 @@ struct TelemetryReport {
   /// guard is < 2%.  Negative values are measurement noise.
   double disabled_overhead() const {
     return obs::valid_rate(disabled_seconds, baseline_seconds)
+               // finehmm-lint: allow(unguarded-rate) -- valid_rate-guarded
                ? disabled_seconds / baseline_seconds - 1.0
                : 0.0;
   }

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "obs/telemetry.hpp"
 #include "pipeline/pipeline.hpp"
 
 using namespace finehmm;
@@ -75,7 +76,7 @@ MultiResult multi_overall(int n_dev, int M, const DbPreset& preset,
 
   MultiResult out;
   double gpu_time = (best_msv + best_vit) * share;
-  out.speedup = (cpu_msv + cpu_vit) / gpu_time;
+  out.speedup = obs::safe_rate(cpu_msv + cpu_vit, gpu_time);
   return out;
 }
 

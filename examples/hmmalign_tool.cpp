@@ -36,7 +36,9 @@ std::string a2m_row(const cpu::ViterbiTrace& trace, int M,
   // Collect per-column content from the highest-scoring pass: we simply
   // take the first B->E segment covering the most match states.
   std::vector<std::string> column(M + 1);  // column[k] = match char + inserts
-  for (int k = 1; k <= M; ++k) column[k] = "-";
+  // operator=(char) sidesteps GCC 12's -Wrestrict false positive (bug
+  // 105651) on the operator=(const char*) inline expansion.
+  for (int k = 1; k <= M; ++k) column[k] = '-';
   int covered_best = -1;
   std::vector<std::string> best = column;
 
@@ -56,7 +58,7 @@ std::string a2m_row(const cpu::ViterbiTrace& trace, int M,
         ++covered;
         break;
       case cpu::TraceState::kD:
-        cur[step.k] = "-";
+        cur[step.k] = '-';
         last_k = step.k;
         break;
       case cpu::TraceState::kI:

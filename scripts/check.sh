@@ -1,27 +1,61 @@
 #!/usr/bin/env bash
-# One-command verification: configure, build, and run the full test suite
-# (tier-1 + simd-labelled) under both the default Release build and the
-# ASan+UBSan build, via the CMake presets.
+# One-command verification: configure, build, and test via the CMake
+# presets, plus the repo-invariant linter (tools/finehmm_lint).
 #
-# Usage: scripts/check.sh [--fast]
-#   --fast  skip the ASan pass (default build + tests only)
+# Usage: scripts/check.sh [MODE]
+#   (none)        default Release build + tests, then the asan preset
+#   --fast        default build + tests only
+#   --lint        repo-invariant linter only (self-test + tree pass);
+#                 needs no build tree, so CI can gate on it in seconds
+#   --preset P    one named preset only (default|asan|ubsan|tsan)
+#   --all         everything: lint, then default + asan + ubsan + tsan
+#
+# Every sanitizer preset builds into its own tree (build-asan/,
+# build-ubsan/, build-tsan/) with FINEHMM_CHECKS=ON, so the DP/queue
+# invariants are armed exactly where the sanitizers are watching.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-fast=0
-[[ "${1:-}" == "--fast" ]] && fast=1
-
 run() { echo "+ $*"; "$@"; }
 
-run cmake --preset default
-run cmake --build --preset default -j "$(nproc)"
-run ctest --preset default
+lint() {
+  run python3 tools/finehmm_lint --self-test
+  run python3 tools/finehmm_lint
+}
 
-if [[ "$fast" -eq 0 ]]; then
-  run cmake --preset asan
-  run cmake --build --preset asan -j "$(nproc)"
-  run ctest --preset asan
-fi
+preset() {
+  run cmake --preset "$1"
+  run cmake --build --preset "$1" -j "$(nproc)"
+  run ctest --preset "$1"
+}
+
+case "${1:-}" in
+  --fast)
+    preset default
+    ;;
+  --lint)
+    lint
+    ;;
+  --preset)
+    [[ -n "${2:-}" ]] || { echo "check.sh: --preset needs a name" >&2; exit 2; }
+    preset "$2"
+    ;;
+  --all)
+    lint
+    preset default
+    preset asan
+    preset ubsan
+    preset tsan
+    ;;
+  "")
+    preset default
+    preset asan
+    ;;
+  *)
+    echo "check.sh: unknown mode '$1' (--fast|--lint|--preset P|--all)" >&2
+    exit 2
+    ;;
+esac
 
 echo "check.sh: all suites passed"

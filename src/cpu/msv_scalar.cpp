@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "util/check.hpp"
 #include "util/error.hpp"
 #include "util/logspace.hpp"
 
@@ -55,7 +56,11 @@ FilterResult msv_scalar(const profile::MsvProfile& prof,
       return out;
     }
     xE = sat_sub(xE, tec);
+    FINEHMM_IF_CHECKS(const std::uint8_t prev_xJ = xJ;)
     if (xE > xJ) xJ = xE;
+    // Saturation monotonicity: the running max never decreases, so byte
+    // saturation can only ever round scores down, never oscillate.
+    FINEHMM_DCHECK(xJ >= prev_xJ, "MSV xJ must be monotone non-decreasing");
     xB = xJ > base ? xJ : base;
     xB = sat_sub(xB, tjb);
   }

@@ -31,7 +31,7 @@
 #include "profile/fwd_profile.hpp"
 #include "profile/msv_profile.hpp"
 #include "profile/vit_profile.hpp"
-#include "util/error.hpp"
+#include "util/check.hpp"
 #include "util/logspace.hpp"
 
 namespace finehmm::cpu::simd_kernels {
@@ -44,7 +44,7 @@ FilterResult msv_kernel(const profile::MsvProfile& prof,
                         const std::uint8_t* rows, int Q, Seq seq,
                         std::size_t L, std::uint8_t* row) {
   constexpr int N = V::kLanes;
-  FH_REQUIRE(L >= 1, "cannot score an empty sequence");
+  FINEHMM_CHECK(L >= 1, "cannot score an empty sequence");
   const V biasv = V::splat(prof.bias());
   const std::uint8_t base = prof.base();
   const std::uint8_t tbm = prof.tbm();
@@ -82,7 +82,11 @@ FilterResult msv_kernel(const profile::MsvProfile& prof,
       return out;
     }
     xE = xE > tec ? std::uint8_t(xE - tec) : 0;
+    FINEHMM_IF_CHECKS(const std::uint8_t prev_xJ = xJ;)
     if (xE > xJ) xJ = xE;
+    // Saturation monotonicity: xJ is a running max under saturating byte
+    // arithmetic, so it can never decrease across rows.
+    FINEHMM_DCHECK(xJ >= prev_xJ, "MSV xJ must be monotone non-decreasing");
     xB = xJ > base ? xJ : base;
     xB = xB > tjb ? std::uint8_t(xB - tjb) : 0;
   }
@@ -97,7 +101,7 @@ FilterResult ssv_kernel(const profile::MsvProfile& prof,
                         const std::uint8_t* rows, int Q, Seq seq,
                         std::size_t L, std::uint8_t* row) {
   constexpr int N = V::kLanes;
-  FH_REQUIRE(L >= 1, "cannot score an empty sequence");
+  FINEHMM_CHECK(L >= 1, "cannot score an empty sequence");
   const V biasv = V::splat(prof.bias());
   const std::uint8_t tjb = prof.tjb_for(static_cast<int>(L));
   const std::uint8_t base_less_tjb =
@@ -167,9 +171,13 @@ FilterResult vit_kernel(const profile::VitProfile& prof,
   using profile::kWordNegInf;
   using profile::sat_add_word;
   constexpr int N = V::kLanes;
-  FH_REQUIRE(L >= 1, "cannot score an empty sequence");
+  FINEHMM_CHECK(L >= 1, "cannot score an empty sequence");
   const int Q = st.Q;
   const auto lm = prof.length_model_for(static_cast<int>(L));
+  // Length-model moves are log-probability costs; a positive cost would
+  // let xN grow without bound and defeat the 16-bit saturation bounds.
+  FINEHMM_CHECK(lm.loop <= 0 && lm.move <= 0,
+                "length-model costs must be non-positive log-probs");
   const std::size_t n = static_cast<std::size_t>(Q) * N;
   int passes = 0;
 
@@ -244,6 +252,27 @@ FilterResult vit_kernel(const profile::VitProfile& prof,
       dcv = shift_lanes_up(dcv);
     }
 
+#if FINEHMM_CHECKS_ENABLED
+    // Lazy-F convergence: one more full wrap pass must leave every D cell
+    // unchanged, i.e. the delete chain has reached its fixpoint.  This is
+    // what licenses skipping the serial D recurrence in the striped
+    // kernel (the paper's Lazy-F condition); if the N-pass cap above ever
+    // exits before convergence, scores silently go wrong — so the
+    // sanitizer/debug builds sweep the whole row here.
+    {
+      V carry = adds_w(V::load(stripe(dmx, Q - 1)),
+                       V::load(st.tdd + static_cast<std::size_t>(Q - 1) * N));
+      carry = shift_lanes_up(carry);
+      bool would_improve = false;
+      for (int q = 0; q < Q && !would_improve; ++q) {
+        const V cur = V::load(stripe(dmx, q));
+        if (any_gt_i16(carry, cur)) would_improve = true;
+        carry = adds_w(cur, V::load(st.tdd + static_cast<std::size_t>(q) * N));
+      }
+      FINEHMM_DCHECK(!would_improve, "Lazy-F did not reach its fixpoint");
+    }
+#endif
+
     std::int16_t xE = hmax_i16(xEv);
     xJ = std::max(sat_add_word(xJ, lm.loop), sat_add_word(xE, prof.e_j()));
     xC = std::max(sat_add_word(xC, lm.loop), sat_add_word(xE, prof.e_c()));
@@ -270,7 +299,7 @@ float fwd_kernel(const profile::FwdProfile& prof, Seq seq, std::size_t L,
   constexpr float kRescaleHi = 1e12f;
   constexpr float kRescaleLo = 1e-12f;
   constexpr float kDdEpsilon = 1e-9f;  // relative wrap-mass cutoff
-  FH_REQUIRE(L >= 1, "cannot score an empty sequence");
+  FINEHMM_CHECK(L >= 1, "cannot score an empty sequence");
   const int Q = prof.striped_segments();
   const auto lm = prof.length_model_for(static_cast<int>(L));
   const std::size_t n = static_cast<std::size_t>(Q) * kLanes;

@@ -7,6 +7,7 @@
 #include "cpu/simd_backend/kernels.hpp"
 #include "cpu/simd_backend/simd_tier.hpp"
 #include "cpu/simd_vec.hpp"
+#include "util/check.hpp"
 #include "util/error.hpp"
 
 namespace finehmm::cpu {
@@ -60,7 +61,10 @@ FilterResult ssv_scalar(const profile::MsvProfile& prof,
       sv = sat_sub(sv, rbv[k - 1]);
       diag = mmx[k];
       mmx[k] = sv;
+      FINEHMM_IF_CHECKS(const std::uint8_t prev_xE = xEmax;)
       if (sv > xEmax) xEmax = sv;
+      FINEHMM_DCHECK(xEmax >= prev_xE,
+                     "SSV xEmax must be monotone non-decreasing");
     }
     if (prof.overflowed(xEmax))
       return finish(prof, xEmax, /*overflowed=*/true, L);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "util/check.hpp"
 #include "util/error.hpp"
 
 namespace finehmm::cpu {
@@ -15,6 +16,8 @@ FilterResult vit_scalar(const profile::VitProfile& prof,
   FH_REQUIRE(L >= 1, "cannot score an empty sequence");
   const int M = prof.length();
   const auto lm = prof.length_model_for(static_cast<int>(L));
+  FINEHMM_CHECK(lm.loop <= 0 && lm.move <= 0,
+                "length-model costs must be non-positive log-probs");
   const std::int16_t entry = prof.entry();
 
   // Two-row DP in absolute word scores; index 0 is the -inf floor column.

@@ -113,8 +113,8 @@ struct ModelDbReader::Impl {
   std::mutex mutex;  // load() seeks the shared stream; serialize callers
 };
 
-ModelDbReader::ModelDbReader(const std::string& path)
-    : impl_(new Impl{std::ifstream(path, std::ios::binary)}) {
+ModelDbReader::ModelDbReader(const std::string& path) : impl_(new Impl) {
+  impl_->in.open(path, std::ios::binary);
   FH_REQUIRE(impl_->in.good(), "cannot open model library: " + path);
   offsets_ = read_header(impl_->in);
 }

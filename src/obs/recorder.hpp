@@ -26,6 +26,8 @@
 #include <memory>
 #include <vector>
 
+#include "util/check.hpp"
+
 #ifndef FINEHMM_OBS_ENABLED
 #define FINEHMM_OBS_ENABLED 1
 #endif
@@ -145,7 +147,10 @@ class Recorder {
   /// Worker w's log, or null when disabled (every instrumentation site
   /// must tolerate null).  reserve_threads(w + 1) must have happened.
   ThreadLog* log(std::size_t w) {
-    return enabled_ ? logs_[w].get() : nullptr;
+    if (!enabled_) return nullptr;
+    FINEHMM_CHECK(w < logs_.size(),
+                  "worker log requested before reserve_threads covered it");
+    return logs_[w].get();
   }
   const ThreadLog& log_at(std::size_t w) const { return *logs_[w]; }
 

@@ -5,6 +5,7 @@
 #include "cpu/simd_backend/backend.hpp"
 #include "cpu/simd_backend/kernels.hpp"
 #include "cpu/simd_vec.hpp"
+#include "util/check.hpp"
 #include "util/error.hpp"
 
 namespace finehmm::pipeline {
@@ -72,6 +73,7 @@ cpu::FilterResult BatchScanner::ssv_impl(std::size_t w, Seq seq,
 
 cpu::FilterResult BatchScanner::ssv(std::size_t w, const std::uint8_t* seq,
                                     std::size_t L) {
+  FINEHMM_CHECK(w < workers_.size(), "worker id out of range");
   if (empty_no_hit(L)) return {};
   ++workers_[w].load.ssv_calls;
   workers_[w].load.residues += L;
@@ -80,6 +82,7 @@ cpu::FilterResult BatchScanner::ssv(std::size_t w, const std::uint8_t* seq,
 
 cpu::FilterResult BatchScanner::ssv(std::size_t w, bio::PackedResidues seq,
                                     std::size_t L) {
+  FINEHMM_CHECK(w < workers_.size(), "worker id out of range");
   if (empty_no_hit(L)) return {};
   ++workers_[w].load.ssv_calls;
   workers_[w].load.residues += L;
@@ -88,6 +91,7 @@ cpu::FilterResult BatchScanner::ssv(std::size_t w, bio::PackedResidues seq,
 
 cpu::FilterResult BatchScanner::msv(std::size_t w, const std::uint8_t* seq,
                                     std::size_t L) {
+  FINEHMM_CHECK(w < workers_.size(), "worker id out of range");
   if (empty_no_hit(L)) return {};
   ++workers_[w].load.msv_calls;
   workers_[w].load.residues += L;
@@ -96,6 +100,7 @@ cpu::FilterResult BatchScanner::msv(std::size_t w, const std::uint8_t* seq,
 
 cpu::FilterResult BatchScanner::msv(std::size_t w, bio::PackedResidues seq,
                                     std::size_t L) {
+  FINEHMM_CHECK(w < workers_.size(), "worker id out of range");
   if (empty_no_hit(L)) return {};
   ++workers_[w].load.msv_calls;
   workers_[w].load.residues += L;
@@ -104,6 +109,7 @@ cpu::FilterResult BatchScanner::msv(std::size_t w, bio::PackedResidues seq,
 
 cpu::FilterResult BatchScanner::vit(std::size_t w, const std::uint8_t* seq,
                                     std::size_t L) {
+  FINEHMM_CHECK(w < workers_.size(), "worker id out of range");
   if (empty_no_hit(L)) return {};
   ++workers_[w].load.vit_calls;
   workers_[w].load.residues += L;
@@ -112,6 +118,7 @@ cpu::FilterResult BatchScanner::vit(std::size_t w, const std::uint8_t* seq,
 
 float BatchScanner::fwd(std::size_t w, const std::uint8_t* seq,
                         std::size_t L) {
+  FINEHMM_CHECK(w < workers_.size(), "worker id out of range");
   FH_REQUIRE(workers_[w].fwd.has_value(),
              "BatchScanner built without a Forward profile");
   if (empty_no_hit(L)) return cpu::FilterResult{}.score_nats;

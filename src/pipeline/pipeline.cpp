@@ -14,6 +14,7 @@
 #include "pipeline/batch_scanner.hpp"
 #include "pipeline/null2.hpp"
 #include "pipeline/workload.hpp"
+#include "util/check.hpp"
 #include "util/error.hpp"
 #include "util/mpmc_queue.hpp"
 #include "util/threadpool.hpp"
@@ -495,6 +496,7 @@ SearchResult HmmSearch::run_cpu_overlapped(ScanSource src,
     double evalue = 1e9;
     std::uint8_t vit_pass = 0;
     std::uint8_t reported = 0;
+    std::uint8_t scored = 0;  // a rescore consumed this survivor
     std::vector<cpu::Alignment> alignments;
     std::vector<cpu::Domain> domains;
   };
@@ -518,6 +520,10 @@ SearchResult HmmSearch::run_cpu_overlapped(ScanSource src,
     const std::uint8_t* codes = src.fetch_codes(s, scratch[w].data());
     if (src.zero_copy()) clocks[w].decoded_bytes += L;
     Rescore& slot = rescored[s];
+    // Each survivor is pushed once and popped once; a second rescore of
+    // the same slot would mean the queue duplicated an item.
+    FINEHMM_CHECK(!slot.scored, "survivor rescored twice");
+    slot.scored = 1;
 
     Timer stage_t;
     auto r = scanner.vit(w, codes, L);
@@ -619,6 +625,22 @@ SearchResult HmmSearch::run_cpu_overlapped(ScanSource src,
       std::this_thread::yield();
     }
   });
+
+  // The crew has joined: the ring must be drained (pops == pushes) and
+  // every MSV survivor must have been rescored by exactly one worker.
+  FINEHMM_CHECK(queue.empty(), "overlapped scan left survivors queued");
+#if FINEHMM_CHECKS_ENABLED
+  {
+    const auto qs = queue.stats();
+    FINEHMM_CHECK(qs.pops == qs.pushes,
+                  "drained queue must have pops == pushes");
+    FINEHMM_CHECK(qs.max_depth <= queue.capacity(),
+                  "queue depth exceeded its capacity");
+    for (std::size_t s = 0; s < n; ++s)
+      FINEHMM_DCHECK(rescored[s].scored == msv_keep[s],
+                     "every MSV survivor is rescored exactly once");
+  }
+#endif
 
   // Serial stats replay and hit assembly in index order: output identical
   // to run_cpu regardless of which worker rescored what, when.

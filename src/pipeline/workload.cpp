@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "hmm/sampler.hpp"
+#include "util/check.hpp"
 #include "util/error.hpp"
 
 namespace finehmm::pipeline {
@@ -54,6 +55,19 @@ ScanSchedule make_length_schedule(
     auto b = static_cast<std::size_t>(buckets[i]);
     sched.order[start[b]++] = static_cast<std::uint32_t>(i);
   }
+#if FINEHMM_CHECKS_ENABLED
+  // Every engine scans sched.order instead of 0..n-1, so a bucketing bug
+  // here silently drops or double-scores sequences.  Verify the order is
+  // a permutation: each index appears exactly once.
+  {
+    std::vector<std::uint8_t> seen(n, 0);
+    for (const std::uint32_t idx : sched.order) {
+      FINEHMM_DCHECK(idx < n, "schedule emitted an out-of-range index");
+      FINEHMM_DCHECK(!seen[idx], "schedule emitted an index twice");
+      seen[idx] = 1;
+    }
+  }
+#endif
   return sched;
 }
 

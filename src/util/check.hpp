@@ -1,0 +1,75 @@
+// Debug invariant checks for the DP kernels and concurrency layers.
+//
+// FINEHMM_CHECK asserts cheap boundary conditions (queue counters in
+// range, worker ids in bounds); FINEHMM_DCHECK asserts expensive whole-
+// structure invariants (Lazy-F fixpoint sweeps, schedule permutation
+// scans).  Both follow the recorder's cost discipline
+// (docs/observability.md): when disabled they expand to `((void)0)` —
+// the condition is never evaluated, so release builds carry zero cost —
+// and the gate is a compile-time switch, FINEHMM_CHECKS_ENABLED,
+// defaulting to on in debug builds and off under NDEBUG.  The sanitizer
+// presets (tsan/ubsan/asan, see CMakePresets.json) force it on so the
+// stress tests exercise the invariants with race and UB detection
+// active.
+//
+// Failures abort() after printing the expression, message, and location:
+// the checks guard scientific invariants inside hot kernels where the
+// repo linter (tools/finehmm_lint) forbids throwing, and an abort stops
+// the process at the exact broken state — which is what the sanitizers
+// and a debugger want.  For recoverable API misuse keep using
+// FH_REQUIRE/FH_ASSERT from util/error.hpp.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#ifndef FINEHMM_CHECKS_ENABLED
+#ifdef NDEBUG
+#define FINEHMM_CHECKS_ENABLED 0
+#else
+#define FINEHMM_CHECKS_ENABLED 1
+#endif
+#endif
+
+namespace finehmm::detail {
+
+[[noreturn]] inline void check_fail(const char* kind, const char* expr,
+                                    const char* msg, const char* file,
+                                    int line) {
+  std::fprintf(stderr, "%s failed: %s — %s (%s:%d)\n", kind, expr, msg, file,
+               line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace finehmm::detail
+
+#if FINEHMM_CHECKS_ENABLED
+
+/// Cheap invariant at a kernel or queue boundary; aborts on failure.
+#define FINEHMM_CHECK(expr, msg)                                          \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::finehmm::detail::check_fail("FINEHMM_CHECK", #expr, (msg),        \
+                                    __FILE__, __LINE__);                  \
+  } while (0)
+
+/// Expensive invariant (full-row/full-schedule sweeps); aborts on failure.
+#define FINEHMM_DCHECK(expr, msg)                                         \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::finehmm::detail::check_fail("FINEHMM_DCHECK", #expr, (msg),       \
+                                    __FILE__, __LINE__);                  \
+  } while (0)
+
+/// Statement(s) that exist only when the checks are compiled in — for
+/// tracking state (tickets, high-water marks) that the checks consume.
+#define FINEHMM_IF_CHECKS(...) __VA_ARGS__
+
+#else
+
+#define FINEHMM_CHECK(expr, msg) ((void)0)
+#define FINEHMM_DCHECK(expr, msg) ((void)0)
+#define FINEHMM_IF_CHECKS(...)
+
+#endif

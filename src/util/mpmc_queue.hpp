@@ -8,6 +8,11 @@
 // backpressure: try_push fails when full and the producer rescores one
 // item itself instead of blocking ("help-first"), so the crew can never
 // deadlock.
+//
+// Checked-build invariants (util/check.hpp, on under the sanitizer
+// presets): occupancy never exceeds capacity, pops never outrun pushes,
+// and every pop hands out the oldest queued item (global FIFO order,
+// verified with per-item tickets).
 #pragma once
 
 #include <cstddef>
@@ -15,6 +20,7 @@
 #include <mutex>
 #include <vector>
 
+#include "util/check.hpp"
 #include "util/error.hpp"
 
 namespace finehmm {
@@ -36,6 +42,7 @@ class BoundedMpmcQueue {
   explicit BoundedMpmcQueue(std::size_t capacity)
       : ring_(capacity) {
     FH_REQUIRE(capacity >= 1, "queue capacity must be at least 1");
+    FINEHMM_IF_CHECKS(tickets_.resize(capacity);)
   }
 
   std::size_t capacity() const noexcept { return ring_.size(); }
@@ -47,10 +54,14 @@ class BoundedMpmcQueue {
       ++stats_.push_failures;
       return false;
     }
-    ring_[(head_ + count_) % ring_.size()] = item;
+    const std::size_t slot = (head_ + count_) % ring_.size();
+    ring_[slot] = item;
+    FINEHMM_IF_CHECKS(tickets_[slot] = next_push_ticket_++;)
     ++count_;
     ++stats_.pushes;
     if (count_ > stats_.max_depth) stats_.max_depth = count_;
+    FINEHMM_CHECK(count_ <= ring_.size(),
+                  "queue occupancy exceeded its capacity");
     return true;
   }
 
@@ -59,9 +70,16 @@ class BoundedMpmcQueue {
     std::lock_guard<std::mutex> lock(mutex_);
     if (count_ == 0) return false;
     out = ring_[head_];
+    // FIFO visibility: the item handed out must be the oldest accepted
+    // one — its push ticket is exactly the number of pops so far.
+    FINEHMM_CHECK(tickets_[head_] == next_pop_ticket_,
+                  "queue FIFO order violated");
+    FINEHMM_IF_CHECKS(++next_pop_ticket_;)
     head_ = (head_ + 1) % ring_.size();
     --count_;
     ++stats_.pops;
+    FINEHMM_CHECK(stats_.pops <= stats_.pushes,
+                  "queue handed out more items than it accepted");
     return true;
   }
 
@@ -73,6 +91,8 @@ class BoundedMpmcQueue {
   /// Snapshot of the lifetime counters.
   Stats stats() const {
     std::lock_guard<std::mutex> lock(mutex_);
+    FINEHMM_CHECK(stats_.max_depth <= ring_.size(),
+                  "queue high-water mark exceeded its capacity");
     return stats_;
   }
 
@@ -82,6 +102,11 @@ class BoundedMpmcQueue {
   std::size_t head_ = 0;
   std::size_t count_ = 0;
   Stats stats_;
+#if FINEHMM_CHECKS_ENABLED
+  std::vector<std::uint64_t> tickets_;  // push serial per occupied slot
+  std::uint64_t next_push_ticket_ = 0;
+  std::uint64_t next_pop_ticket_ = 0;
+#endif
 };
 
 }  // namespace finehmm

@@ -6,6 +6,45 @@
 
 namespace finehmm {
 
+namespace {
+
+// Completion latch for the blocking entry points below.  The counter is
+// a plain integer mutated ONLY under the mutex (not an atomic read by
+// the waiter): the waiting thread can therefore observe completion only
+// after the final worker has released the lock, so every local in the
+// caller's frame (cursor, the latch itself, the task lambda) strictly
+// outlives all worker accesses.  An atomic counter checked from the
+// wait predicate races here — the waiter can see the final count, return,
+// and pop the frame while the last worker is still between its
+// fetch_add and the notify, touching freed stack.  ThreadSanitizer
+// caught exactly that (stack-reuse write from the next call racing a
+// read of the dead frame).  The mutex also carries the release/acquire
+// edge that makes all worker writes visible to post-join readers.
+class CompletionLatch {
+ public:
+  explicit CompletionLatch(std::size_t expected) : remaining_(expected) {}
+
+  void count_down() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Notify while still holding the lock: a notify after unlock would
+    // touch the condition variable after the waiter may have destroyed
+    // this latch.
+    if (--remaining_ == 0) cv_.notify_all();
+  }
+
+  void wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return remaining_ == 0; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t remaining_;
+};
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::thread::hardware_concurrency();
@@ -47,7 +86,6 @@ void ThreadPool::parallel_for_chunked(
 
   std::atomic<std::size_t> cursor{0};
   std::atomic<std::size_t> next_worker{0};
-  std::atomic<std::size_t> done_workers{0};
   std::exception_ptr first_error = nullptr;
   std::mutex error_mutex;
 
@@ -55,8 +93,7 @@ void ThreadPool::parallel_for_chunked(
   const std::size_t n_chunks = (count + chunk - 1) / chunk;
   if (n_workers > n_chunks) n_workers = n_chunks;
 
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  CompletionLatch done(n_workers);
 
   auto body = [&] {
     const std::size_t worker =
@@ -72,10 +109,7 @@ void ThreadPool::parallel_for_chunked(
         if (!first_error) first_error = std::current_exception();
       }
     }
-    if (done_workers.fetch_add(1) + 1 == n_workers) {
-      std::lock_guard<std::mutex> lock(done_mutex);
-      done_cv.notify_all();
-    }
+    done.count_down();
   };
 
   {
@@ -85,10 +119,7 @@ void ThreadPool::parallel_for_chunked(
   cv_.notify_all();
   body();  // caller participates
 
-  {
-    std::unique_lock<std::mutex> lock(done_mutex);
-    done_cv.wait(lock, [&] { return done_workers.load() == n_workers; });
-  }
+  done.wait();
   if (first_error) std::rethrow_exception(first_error);
 }
 
@@ -98,11 +129,9 @@ void ThreadPool::run_workers(
   if (n > workers()) n = workers();
 
   std::atomic<std::size_t> next_worker{0};
-  std::atomic<std::size_t> done_workers{0};
   std::exception_ptr first_error = nullptr;
   std::mutex error_mutex;
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  CompletionLatch done(n);
 
   auto task = [&] {
     const std::size_t worker =
@@ -113,10 +142,7 @@ void ThreadPool::run_workers(
       std::lock_guard<std::mutex> lock(error_mutex);
       if (!first_error) first_error = std::current_exception();
     }
-    if (done_workers.fetch_add(1) + 1 == n) {
-      std::lock_guard<std::mutex> lock(done_mutex);
-      done_cv.notify_all();
-    }
+    done.count_down();
   };
 
   {
@@ -126,10 +152,7 @@ void ThreadPool::run_workers(
   cv_.notify_all();
   task();  // caller participates
 
-  {
-    std::unique_lock<std::mutex> lock(done_mutex);
-    done_cv.wait(lock, [&] { return done_workers.load() == n; });
-  }
+  done.wait();
   if (first_error) std::rethrow_exception(first_error);
 }
 
@@ -140,15 +163,13 @@ void ThreadPool::parallel_for(std::size_t count,
   // atomic counter, so uneven per-item cost (sequence-length imbalance)
   // still balances.
   std::atomic<std::size_t> next{0};
-  std::atomic<std::size_t> done_workers{0};
   std::exception_ptr first_error = nullptr;
   std::mutex error_mutex;
 
   std::size_t n_workers = workers_.size();
   if (n_workers > count) n_workers = count;
 
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  CompletionLatch done(n_workers);
 
   auto body = [&] {
     for (;;) {
@@ -161,10 +182,7 @@ void ThreadPool::parallel_for(std::size_t count,
         if (!first_error) first_error = std::current_exception();
       }
     }
-    if (done_workers.fetch_add(1) + 1 == n_workers) {
-      std::lock_guard<std::mutex> lock(done_mutex);
-      done_cv.notify_all();
-    }
+    done.count_down();
   };
 
   {
@@ -175,10 +193,7 @@ void ThreadPool::parallel_for(std::size_t count,
   cv_.notify_all();
   body();  // caller participates
 
-  {
-    std::unique_lock<std::mutex> lock(done_mutex);
-    done_cv.wait(lock, [&] { return done_workers.load() == n_workers; });
-  }
+  done.wait();
   if (first_error) std::rethrow_exception(first_error);
 }
 

@@ -1,0 +1,14 @@
+// Lint fixture: rate computations dividing by a raw elapsed time
+// instead of going through obs::valid_rate/safe_rate.  Expected:
+// 3 x [unguarded-rate].
+struct Timer {
+  double seconds() { return 0.0; }
+};
+
+double bad_rates(double cells, double gpu_time, double elapsed) {
+  Timer t;
+  double a = cells / gpu_time;
+  double b = cells / elapsed;
+  double c = cells / t.seconds();
+  return a + b + c;
+}

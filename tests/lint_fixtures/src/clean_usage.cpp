@@ -1,0 +1,19 @@
+// Lint fixture: the idiomatic way to do everything the bad_* fixtures
+// get wrong.  Must produce ZERO findings (the self-test fails if any
+// clean fixture is flagged).
+#include <atomic>
+
+namespace obs {
+double safe_rate(double num, double den);
+}
+
+static std::atomic<int> flag{0};
+
+double clean_usage(double cells, double elapsed_s, long* counter) {
+  // Rates go through the guarded helper, never a raw division.
+  double rate = obs::safe_rate(cells, elapsed_s);
+  // Cross-thread state uses std::atomic with explicit memory order.
+  flag.fetch_add(1, std::memory_order_relaxed);
+  std::atomic_ref<long>(*counter).fetch_add(1, std::memory_order_relaxed);
+  return rate;
+}

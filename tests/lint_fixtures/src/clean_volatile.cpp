@@ -1,0 +1,11 @@
+// Lint fixture: a legitimate volatile (signal flag semantics, not
+// inter-thread synchronization) excused for the whole file.  Must
+// produce ZERO findings, proving allow-file() works.
+// finehmm-lint: allow-file(raw-atomics)
+#include <csignal>
+
+static volatile std::sig_atomic_t g_interrupted = 0;
+
+extern "C" void clean_signal_handler(int) { g_interrupted = 1; }
+
+bool clean_was_interrupted() { return g_interrupted != 0; }

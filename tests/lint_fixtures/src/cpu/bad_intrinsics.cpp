@@ -1,0 +1,9 @@
+// Lint fixture: raw intrinsics OUTSIDE src/cpu/simd_backend/.
+// Every line below must be flagged [simd-intrinsics].
+#include <emmintrin.h>
+
+void leak_intrinsics() {
+  __m128i acc{};
+  acc = _mm_adds_epu8(acc, acc);
+  (void)acc;
+}

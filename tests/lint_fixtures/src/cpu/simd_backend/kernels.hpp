@@ -1,0 +1,23 @@
+// Lint fixture: a kernel file (path matches KERNEL_FILES) that breaks
+// the no-heap / no-throw contract.  Expected: 4 x [kernel-heap],
+// 3 x [kernel-throw], and one heap line excused by a suppression.
+#pragma once
+#include <vector>
+
+inline void bad_kernel(int n) {
+  int* scratch = new int[static_cast<unsigned>(n)];
+  void* raw = malloc(static_cast<unsigned>(n));
+  std::vector<int> buf;
+  buf.resize(static_cast<unsigned>(n));
+
+  if (n < 0) throw 42;
+  FH_REQUIRE(n > 0, "n must be positive");
+  FH_ASSERT(scratch != nullptr);
+
+  // finehmm-lint: allow(kernel-heap) -- demo: suppressed scratch buffer
+  std::vector<int> allowed_scratch;
+
+  (void)raw;
+  (void)allowed_scratch;
+  delete[] scratch;
+}

@@ -1,0 +1,9 @@
+// Lint fixture: legacy __sync/__atomic builtins and volatile used as a
+// synchronization primitive.  Expected: 3 x [raw-atomics].
+static volatile int flag = 0;
+
+long bad_atomics(long* counter) {
+  __sync_fetch_and_add(counter, 1);
+  long v = __atomic_load_n(counter, 2);
+  return v + flag;
+}

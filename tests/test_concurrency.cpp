@@ -1,0 +1,238 @@
+// Concurrency stress tests, written for the sanitizer presets.
+//
+// Under the tsan preset these drive the lock-free-adjacent machinery —
+// BoundedMpmcQueue under full producer/consumer contention, concurrent
+// obs::Recorder span emission, the thread pool's chunked cursor — hard
+// enough that any missing happens-before edge shows up as a data-race
+// report.  Under the asan/ubsan presets (FINEHMM_CHECKS on) the same
+// runs exercise the queue's ticket-FIFO and accounting invariants.
+// They also pass (quickly) in plain builds, where they still verify the
+// functional contracts: every item delivered exactly once, dense stable
+// worker ids, deterministic post-join merges.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/recorder.hpp"
+#include "util/mpmc_queue.hpp"
+#include "util/threadpool.hpp"
+
+namespace {
+
+using namespace finehmm;
+
+// ------------------------------------------------------- BoundedMpmcQueue
+
+// Encode (producer, sequence) into one queue item so consumers can check
+// per-producer FIFO order without any side channel.
+constexpr std::uint64_t kSeqBits = 32;
+std::uint64_t encode(std::uint64_t producer, std::uint64_t seq) {
+  return (producer << kSeqBits) | seq;
+}
+
+TEST(MpmcQueueStress, EveryItemDeliveredExactlyOnceInFifoOrder) {
+  constexpr std::size_t kProducers = 4;
+  constexpr std::size_t kConsumers = 4;
+  constexpr std::uint64_t kItems = 1500;  // per producer
+  BoundedMpmcQueue<std::uint64_t> queue(32);
+
+  std::atomic<std::size_t> producers_done{0};
+  std::vector<std::atomic<int>> delivered(kProducers * kItems);
+  for (auto& d : delivered) d.store(0, std::memory_order_relaxed);
+
+  std::vector<std::thread> crew;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    crew.emplace_back([&, p] {
+      for (std::uint64_t i = 0; i < kItems; ++i) {
+        while (!queue.try_push(encode(p, i))) std::this_thread::yield();
+      }
+      producers_done.fetch_add(1, std::memory_order_release);
+    });
+  }
+  // Each consumer records the last sequence number it saw per producer:
+  // the queue is globally FIFO, so the subsequence any single consumer
+  // observes from one producer must be strictly increasing.
+  std::vector<std::vector<std::int64_t>> last_seen(
+      kConsumers, std::vector<std::int64_t>(kProducers, -1));
+  std::atomic<bool> order_ok{true};
+  for (std::size_t c = 0; c < kConsumers; ++c) {
+    crew.emplace_back([&, c] {
+      std::uint64_t item = 0;
+      while (true) {
+        if (queue.try_pop(item)) {
+          const std::size_t p = item >> kSeqBits;
+          const auto seq =
+              static_cast<std::int64_t>(item & ((1ull << kSeqBits) - 1));
+          if (seq <= last_seen[c][p]) {
+            order_ok.store(false, std::memory_order_relaxed);
+          }
+          last_seen[c][p] = seq;
+          delivered[p * kItems + static_cast<std::size_t>(seq)].fetch_add(
+              1, std::memory_order_relaxed);
+        } else if (producers_done.load(std::memory_order_acquire) ==
+                       kProducers &&
+                   queue.empty()) {
+          break;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : crew) t.join();
+
+  EXPECT_TRUE(order_ok.load());
+  for (std::size_t i = 0; i < delivered.size(); ++i) {
+    ASSERT_EQ(delivered[i].load(), 1) << "item " << i;
+  }
+  const auto stats = queue.stats();
+  EXPECT_EQ(stats.pushes, kProducers * kItems);
+  EXPECT_EQ(stats.pops, kProducers * kItems);
+  EXPECT_LE(stats.max_depth, queue.capacity());
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(MpmcQueueStress, HelpFirstBackpressureNeverLosesWork) {
+  // The overlapped engine's discipline: when the ring is full the
+  // producer processes the item itself instead of blocking.  With a
+  // deliberately tiny ring this path fires constantly; nothing may be
+  // lost or processed twice.
+  constexpr std::size_t kProducers = 4;
+  constexpr std::uint64_t kItems = 2000;
+  BoundedMpmcQueue<std::uint64_t> queue(4);
+
+  std::vector<std::atomic<int>> processed(kProducers * kItems);
+  for (auto& d : processed) d.store(0, std::memory_order_relaxed);
+  std::atomic<std::size_t> producers_done{0};
+  std::atomic<std::uint64_t> helped{0};
+
+  std::vector<std::thread> crew;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    crew.emplace_back([&, p] {
+      for (std::uint64_t i = 0; i < kItems; ++i) {
+        const std::uint64_t item = encode(p, i);
+        if (!queue.try_push(item)) {
+          processed[p * kItems + i].fetch_add(1, std::memory_order_relaxed);
+          helped.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      producers_done.fetch_add(1, std::memory_order_release);
+    });
+  }
+  for (std::size_t c = 0; c < 2; ++c) {
+    crew.emplace_back([&] {
+      std::uint64_t item = 0;
+      while (true) {
+        if (queue.try_pop(item)) {
+          const std::size_t p = item >> kSeqBits;
+          const std::size_t seq = item & ((1ull << kSeqBits) - 1);
+          processed[p * kItems + seq].fetch_add(1, std::memory_order_relaxed);
+        } else if (producers_done.load(std::memory_order_acquire) ==
+                       kProducers &&
+                   queue.empty()) {
+          break;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : crew) t.join();
+
+  for (std::size_t i = 0; i < processed.size(); ++i) {
+    ASSERT_EQ(processed[i].load(), 1) << "item " << i;
+  }
+  const auto stats = queue.stats();
+  EXPECT_EQ(stats.pops, stats.pushes);
+  EXPECT_EQ(stats.pushes + helped.load(), kProducers * kItems);
+  EXPECT_EQ(stats.push_failures, helped.load());
+}
+
+// --------------------------------------------------------- obs::Recorder
+
+TEST(RecorderStress, ConcurrentSpanEmissionMergesDeterministically) {
+  // Every worker hammers its own ThreadLog while the others do the same;
+  // the Recorder's contract (distinct workers touch distinct logs, merges
+  // only after the join) must hold without any locking on the hot path.
+  obs::RecorderConfig cfg;
+  cfg.tracing = true;
+  obs::Recorder rec(cfg);
+  if (!rec.enabled()) GTEST_SKIP() << "FINEHMM_OBS=0 set in environment";
+
+  ThreadPool pool(4);
+  const std::size_t n = pool.workers();
+  constexpr std::uint64_t kSpansPerWorker = 200;
+  rec.reserve_threads(n);
+
+  pool.run_workers(n, [&](std::size_t w) {
+    obs::ThreadLog* log = rec.log(w);
+    ASSERT_NE(log, nullptr);
+    for (std::uint64_t i = 0; i < kSpansPerWorker; ++i) {
+      {
+        OBS_SPAN(&rec, w, "stress", obs::Stage::kMsv);
+      }
+      log->add(obs::Counter::kSequencesScored);
+      log->add_stage(obs::Stage::kVit, 1e-6, /*items=*/1);
+    }
+  });
+
+  // Post-join merges see every worker's writes (run_workers' join is the
+  // happens-before edge) and are deterministic sums.
+  EXPECT_EQ(rec.counter(obs::Counter::kSequencesScored), n * kSpansPerWorker);
+  EXPECT_EQ(rec.stage_items(obs::Stage::kVit), n * kSpansPerWorker);
+  EXPECT_NEAR(rec.stage_seconds(obs::Stage::kVit),
+              static_cast<double>(n * kSpansPerWorker) * 1e-6, 1e-9);
+  const auto events = rec.merged_events();
+  EXPECT_EQ(events.size() + rec.counter(obs::Counter::kSpansDropped),
+            n * kSpansPerWorker);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].start_ns, events[i].start_ns);
+  }
+}
+
+// ------------------------------------------------------------ ThreadPool
+
+TEST(ThreadPoolStress, ChunkedScheduleCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (std::size_t chunk : {std::size_t{1}, std::size_t{7}, std::size_t{64}}) {
+    constexpr std::size_t kCount = 5000;
+    std::vector<std::atomic<int>> hit(kCount);
+    for (auto& h : hit) h.store(0, std::memory_order_relaxed);
+    std::atomic<bool> ids_ok{true};
+    pool.parallel_for_chunked(
+        kCount, chunk,
+        [&](std::size_t worker, std::size_t begin, std::size_t end) {
+          if (worker >= pool.workers()) {
+            ids_ok.store(false, std::memory_order_relaxed);
+          }
+          for (std::size_t i = begin; i < end; ++i) {
+            hit[i].fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+    EXPECT_TRUE(ids_ok.load()) << "chunk " << chunk;
+    for (std::size_t i = 0; i < kCount; ++i) {
+      ASSERT_EQ(hit[i].load(), 1) << "chunk " << chunk << " index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolStress, RunWorkersHandsOutDenseUniqueIds) {
+  ThreadPool pool(4);
+  const std::size_t n = pool.workers();
+  for (int round = 0; round < 25; ++round) {
+    std::vector<std::atomic<int>> seen(n);
+    for (auto& s : seen) s.store(0, std::memory_order_relaxed);
+    pool.run_workers(n, [&](std::size_t w) {
+      ASSERT_LT(w, n);
+      seen[w].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t w = 0; w < n; ++w) {
+      ASSERT_EQ(seen[w].load(), 1) << "round " << round << " worker " << w;
+    }
+  }
+}
+
+}  // namespace

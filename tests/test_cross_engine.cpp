@@ -86,8 +86,9 @@ TEST_P(CrossEngine, EveryEngineAgrees) {
 
     // SSV <= MSV.
     auto ss = cpu::ssv_scalar(fx.msv, seq.codes.data(), seq.length());
-    if (!ss.overflowed && !m.overflowed)
+    if (!ss.overflowed && !m.overflowed) {
       EXPECT_LE(ss.score_nats, ref_msv[s] + 1e-4f);
+    }
     auto ssp = cpu::ssv_striped(fx.msv, seq.codes.data(), seq.length());
     EXPECT_FLOAT_EQ(ssp.score_nats, ss.score_nats);
 

@@ -48,7 +48,9 @@ TEST(Glocal, ExitScoresAreProperProbabilities) {
   for (int k = 1; k < 50; ++k) {
     EXPECT_LE(fx.glocal.esc(k), 0.0f) << "k=" << k;
     // Exit from deep inside the model requires a long delete chain.
-    if (k < 40) EXPECT_LT(fx.glocal.esc(k), fx.glocal.esc(k + 5));
+    if (k < 40) {
+      EXPECT_LT(fx.glocal.esc(k), fx.glocal.esc(k + 5));
+    }
   }
   // Local mode: free exit everywhere.
   for (int k = 1; k <= 50; ++k) EXPECT_FLOAT_EQ(fx.local.esc(k), 0.0f);

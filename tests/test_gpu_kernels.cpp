@@ -205,8 +205,9 @@ TEST(LaunchPlan, MsvSharedOccupancyDropsForLargeModels) {
                                      gpu::ParamPlacement::kGlobal, 2405, dev);
   ASSERT_TRUE(global_big.feasible);
   // Global placement must beat shared for the largest paper model.
-  if (too_big.feasible)
+  if (too_big.feasible) {
     EXPECT_GT(global_big.occ.fraction, too_big.occ.fraction);
+  }
 }
 
 TEST(LaunchPlan, ViterbiOccupancyCapsAt50PercentOnKepler) {

@@ -19,8 +19,9 @@ TEST(SmemLayout, MsvRegionsAreDisjoint) {
   EXPECT_EQ(l.param_row_offset(bio::kKp - 1) + l.mpad, l.param_bytes());
   for (int w = 0; w < l.warps; ++w) {
     EXPECT_GE(l.row_offset(w), l.param_bytes());
-    if (w > 0)
+    if (w > 0) {
       EXPECT_EQ(l.row_offset(w), l.row_offset(w - 1) + l.row_elems());
+    }
   }
   EXPECT_LE(l.row_offset(l.warps - 1) + l.row_elems(), l.total_bytes());
 }

@@ -46,8 +46,9 @@ TEST(ModelDb, StreamRoundTrip) {
     EXPECT_EQ(back[i].model.length(), entries[i].model.length());
     EXPECT_EQ(back[i].model_stats.has_value(),
               entries[i].model_stats.has_value());
-    if (back[i].model_stats)
+    if (back[i].model_stats) {
       EXPECT_EQ(back[i].model_stats->msv.mu, entries[i].model_stats->msv.mu);
+    }
     // Spot-check a probability for bit exactness.
     EXPECT_EQ(back[i].model.mat(1, 3), entries[i].model.mat(1, 3));
   }

@@ -100,8 +100,9 @@ TEST(Ssv, SingleSegmentSequencesScoreLikeMsv) {
   auto seq = hmm::sample_homolog(fx.model, rng, opts);
   auto ssv = cpu::ssv_scalar(fx.msv, seq.codes.data(), seq.length());
   auto msv = cpu::msv_scalar(fx.msv, seq.codes.data(), seq.length());
-  if (!ssv.overflowed && !msv.overflowed)
+  if (!ssv.overflowed && !msv.overflowed) {
     EXPECT_NEAR(ssv.score_nats, msv.score_nats, 0.5f);
+  }
 }
 
 }  // namespace

@@ -25,6 +25,7 @@
 #include "hmm/hmm_io.hpp"
 #include "hmm/profile.hpp"
 #include "hmm/sampler.hpp"
+#include "tool_exit.hpp"
 
 using namespace finehmm;
 
@@ -151,8 +152,7 @@ int main(int argc, char** argv) {
       std::printf("# wrote %s\n", out_path.c_str());
     }
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return tools::report_exception(e);
   }
   return 0;
 }

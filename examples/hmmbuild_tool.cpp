@@ -19,6 +19,7 @@
 #include "profile/msv_profile.hpp"
 #include "profile/vit_profile.hpp"
 #include "stats/calibrate.hpp"
+#include "tool_exit.hpp"
 
 using namespace finehmm;
 
@@ -97,8 +98,7 @@ int main(int argc, char** argv) {
     hmm::write_hmm_file(out_path, model, &st);
     std::printf("wrote %s (with STATS lines)\n", out_path.c_str());
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return tools::report_exception(e);
   }
   return 0;
 }

@@ -18,6 +18,7 @@
 #include "hmm/generator.hpp"
 #include "hmm/hmm_io.hpp"
 #include "hmm/sampler.hpp"
+#include "tool_exit.hpp"
 
 using namespace finehmm;
 
@@ -71,8 +72,7 @@ int main(int argc, char** argv) {
       std::printf("wrote %d sequences to %s\n", n, out_path.c_str());
     }
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return tools::report_exception(e);
   }
   return 0;
 }

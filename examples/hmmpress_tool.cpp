@@ -17,6 +17,7 @@
 #include "profile/msv_profile.hpp"
 #include "profile/vit_profile.hpp"
 #include "stats/calibrate.hpp"
+#include "tool_exit.hpp"
 
 using namespace finehmm;
 
@@ -75,8 +76,7 @@ int main(int argc, char** argv) {
     std::printf("pressed %zu models into %s\n", entries.size(),
                 out_path.c_str());
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return tools::report_exception(e);
   }
   return 0;
 }

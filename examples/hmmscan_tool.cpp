@@ -16,6 +16,7 @@
 #include "bio/packing.hpp"
 #include "hmm/model_db.hpp"
 #include "pipeline/pipeline.hpp"
+#include "tool_exit.hpp"
 
 using namespace finehmm;
 
@@ -89,8 +90,7 @@ int main(int argc, char** argv) {
     }
     if (annots.empty()) std::printf("# no significant annotations\n");
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return tools::report_exception(e);
   }
   return 0;
 }

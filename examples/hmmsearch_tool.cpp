@@ -23,6 +23,17 @@
 //
 // All three output flags also accept the --flag=path spelling.
 //
+// Remote mode (docs/server.md):
+//   hmmsearch_tool --connect HOST:PORT [--db-index n] <model.hmm>
+// sends the query to a running finehmmd instead of scanning locally; the
+// daemon's resident database replaces <db.fasta>, and the report/tblout
+// output is rendered from the wire result (bit-identical scores).  The
+// local-engine flags (--gpu, --threads, --overlapped, --ali, --domains,
+// observability outputs) do not apply remotely and are rejected.
+//
+// Exit codes follow examples/tool_exit.hpp: 0 ok, 1 failure, 2 bad
+// arguments, 3 I/O error.
+//
 // Searches every sequence of the FASTA database against the profile HMM
 // through the calibrated MSV -> P7Viterbi -> Forward pipeline and prints
 // a hit table, hmmsearch-style.
@@ -44,6 +55,9 @@
 #include "pipeline/pipeline.hpp"
 #include "pipeline/report.hpp"
 #include "pipeline/workload.hpp"
+#include "server/client.hpp"
+#include "server/tcp.hpp"
+#include "tool_exit.hpp"
 
 using namespace finehmm;
 
@@ -55,7 +69,88 @@ void usage() {
                "[--max-hits n] [--threads n] [--overlapped]\n"
                "                      [--telemetry f] [--trace f] "
                "[--stats-json f] <model.hmm> <db.fasta>\n"
+               "       hmmsearch_tool --connect HOST:PORT [--db-index n] "
+               "[-E evalue] [--tblout f] <model.hmm>\n"
                "       hmmsearch_tool --demo\n");
+}
+
+/// Split "HOST:PORT"; false when the port part is missing or not a
+/// number in [1, 65535].
+bool parse_hostport(const std::string& arg, std::string& host,
+                    std::uint16_t& port) {
+  const std::size_t colon = arg.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= arg.size())
+    return false;
+  host = arg.substr(0, colon);
+  const long p = std::atol(arg.c_str() + colon + 1);
+  if (p < 1 || p > 65535) return false;
+  port = static_cast<std::uint16_t>(p);
+  return true;
+}
+
+/// Remote search against a running finehmmd.  The report renders from
+/// the wire result (db summary + stage stats + hits) through the same
+/// formatter the local path uses.
+int run_remote(const std::string& hostport, std::uint32_t db_index,
+               const std::string& hmm_path, double evalue,
+               std::size_t max_hits, const std::string& tblout_path) {
+  std::string host;
+  std::uint16_t port = 0;
+  if (!parse_hostport(hostport, host, port)) {
+    std::fprintf(stderr, "error: --connect wants HOST:PORT, got '%s'\n",
+                 hostport.c_str());
+    usage();
+    return tools::kBadArgs;
+  }
+
+  std::optional<stats::ModelStats> file_stats;
+  hmm::Plan7Hmm model = hmm::read_hmm_file(hmm_path, &file_stats);
+
+  server::BlockingClient client(server::tcp_connect(host, port));
+  std::printf("# engine:   remote (finehmmd at %s)\n", hostport.c_str());
+  const server::RemoteResult rr = client.search(
+      db_index, model, file_stats ? &*file_stats : nullptr, evalue);
+
+  switch (rr.status) {
+    case server::ClientStatus::kOk:
+      break;
+    case server::ClientStatus::kError:
+      std::fprintf(stderr, "error: daemon refused the search: %s\n",
+                   rr.error.message.c_str());
+      return tools::kFailure;
+    case server::ClientStatus::kOverloaded:
+      std::fprintf(stderr,
+                   "error: daemon overloaded (admission queue of %u full); "
+                   "retry later\n",
+                   rr.overload.queue_capacity);
+      return tools::kFailure;
+    case server::ClientStatus::kDisconnected:
+      throw IoError("connection to " + hostport + " died mid-request");
+  }
+
+  pipeline::SearchResult result;
+  result.hits = rr.result.hits;
+  result.ssv = rr.result.ssv;
+  result.msv = rr.result.msv;
+  result.vit = rr.result.vit;
+  result.fwd = rr.result.fwd;
+  // The report only needs the query's name and length; the full search
+  // profile is cheap to configure (no calibration).
+  const hmm::SearchProfile prof(model, hmm::AlignMode::kLocalMultihit, 400);
+  const pipeline::DbSummary summary{rr.result.db_sequences,
+                                    rr.result.db_residues};
+
+  pipeline::ReportOptions ropts;
+  ropts.max_hits = max_hits;
+  pipeline::write_report(std::cout, result, prof, summary, ropts);
+
+  if (!tblout_path.empty()) {
+    std::ofstream tbl(tblout_path);
+    if (!tbl.good()) throw IoError("cannot open tblout file: " + tblout_path);
+    pipeline::write_tblout(tbl, result, prof, summary);
+    std::printf("# target table written to %s\n", tblout_path.c_str());
+  }
+  return tools::kOk;
 }
 
 /// Match `--name <value>` or `--name=<value>`; advances `i` in the first
@@ -78,7 +173,7 @@ bool path_opt(int argc, char** argv, int& i, const char* name,
 
 std::ofstream open_or_die(const std::string& path) {
   std::ofstream os(path);
-  if (!os.good()) throw Error("cannot open output file: " + path);
+  if (!os.good()) throw IoError("cannot open output file: " + path);
   return os;
 }
 
@@ -122,10 +217,16 @@ int main(int argc, char** argv) {
   std::size_t threads = 0;  // 0 = serial engine
   std::string hmm_path, fasta_path, tblout_path;
   std::string telemetry_path, trace_path, stats_json_path;
+  std::string connect_hostport;
+  std::uint32_t db_index = 0;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg == "--gpu") {
+    if (arg == "--connect" && i + 1 < argc) {
+      connect_hostport = argv[++i];
+    } else if (arg == "--db-index" && i + 1 < argc) {
+      db_index = static_cast<std::uint32_t>(std::atoll(argv[++i]));
+    } else if (arg == "--gpu") {
       use_gpu = true;
     } else if (arg == "--global") {
       placement = gpu::ParamPlacement::kGlobal;
@@ -155,7 +256,27 @@ int main(int argc, char** argv) {
       fasta_path = arg;
     } else {
       usage();
-      return 2;
+      return tools::kBadArgs;
+    }
+  }
+
+  if (!connect_hostport.empty()) {
+    // Remote mode: the daemon runs the scan — every local-engine and
+    // observability flag is meaningless there, and a second positional
+    // argument (a database path) contradicts "the daemon's database".
+    const bool incompatible = use_gpu || demo || overlapped || threads > 0 ||
+                              show_ali || show_domains ||
+                              !telemetry_path.empty() || !trace_path.empty() ||
+                              !stats_json_path.empty() || !fasta_path.empty();
+    if (incompatible || hmm_path.empty()) {
+      usage();
+      return tools::kBadArgs;
+    }
+    try {
+      return run_remote(connect_hostport, db_index, hmm_path, evalue,
+                        max_hits, tblout_path);
+    } catch (const std::exception& e) {
+      return tools::report_exception(e);
     }
   }
 
@@ -175,7 +296,7 @@ int main(int argc, char** argv) {
     } else {
       if (hmm_path.empty() || fasta_path.empty()) {
         usage();
-        return 2;
+        return tools::kBadArgs;
       }
       model = hmm::read_hmm_file(hmm_path, &file_stats);
       // FASTA by default; packed binary databases by extension.  The CPU
@@ -237,7 +358,7 @@ int main(int argc, char** argv) {
 
     if (!tblout_path.empty()) {
       std::ofstream tbl(tblout_path);
-      if (!tbl.good()) throw Error("cannot open tblout file: " + tblout_path);
+      if (!tbl.good()) throw IoError("cannot open tblout file: " + tblout_path);
       pipeline::write_tblout(tbl, result, search.profile(), src);
       std::printf("# target table written to %s\n", tblout_path.c_str());
     }
@@ -263,8 +384,7 @@ int main(int argc, char** argv) {
       std::printf("# stage stats written to %s\n", stats_json_path.c_str());
     }
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return tools::report_exception(e);
   }
-  return 0;
+  return tools::kOk;
 }

@@ -19,6 +19,7 @@
 #include "hmm/generator.hpp"
 #include "hmm/hmm_io.hpp"
 #include "stats/distributions.hpp"
+#include "tool_exit.hpp"
 
 using namespace finehmm;
 
@@ -84,7 +85,6 @@ int main(int argc, char** argv) {
     // Exit nonzero if the Gumbel hypothesis is strongly rejected.
     return (p1 < 0.001 || p2 < 0.001) ? 1 : 0;
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return tools::report_exception(e);
   }
 }

@@ -17,6 +17,7 @@
 #include "gpu/placement_policy.hpp"
 #include "hmm/generator.hpp"
 #include "hmm/hmm_io.hpp"
+#include "tool_exit.hpp"
 
 using namespace finehmm;
 
@@ -91,8 +92,7 @@ int main(int argc, char** argv) {
                   c.plan.occ.limiter_name());
     }
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return tools::report_exception(e);
   }
   return 0;
 }

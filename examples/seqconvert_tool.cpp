@@ -10,6 +10,7 @@
 
 #include "bio/fasta.hpp"
 #include "bio/seq_db_io.hpp"
+#include "tool_exit.hpp"
 
 using namespace finehmm;
 
@@ -43,8 +44,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(db.total_residues()),
                 in_path.c_str(), out_path.c_str());
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return tools::report_exception(e);
   }
   return 0;
 }

@@ -1,0 +1,32 @@
+// Shared exit-code convention for the command-line tools (examples/ and
+// tools/), asserted by scripts/smoke_tools.sh:
+//
+//   0  success
+//   1  domain failure (scan raised, daemon refused, results wrong)
+//   2  bad arguments  (usage error; nothing was attempted)
+//   3  I/O failure    (file missing/unreadable/unwritable, connect failed)
+//
+// Scripts branch on these: a 2 means fix the invocation, a 3 means fix
+// the environment, a 1 means investigate the run.
+#pragma once
+
+#include <cstdio>
+#include <exception>
+
+#include "util/error.hpp"
+
+namespace finehmm::tools {
+
+inline constexpr int kOk = 0;
+inline constexpr int kFailure = 1;
+inline constexpr int kBadArgs = 2;
+inline constexpr int kIoError = 3;
+
+/// Map a caught exception to the convention: IoError -> kIoError,
+/// everything else -> kFailure.  Prints the message to stderr.
+inline int report_exception(const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return dynamic_cast<const IoError*>(&e) != nullptr ? kIoError : kFailure;
+}
+
+}  // namespace finehmm::tools

@@ -8,6 +8,8 @@
 #   --lint        repo-invariant linter only (self-test + tree pass);
 #                 needs no build tree, so CI can gate on it in seconds
 #   --preset P    one named preset only (default|asan|ubsan|tsan)
+#   --server-smoke  build the default preset, then run only the daemon's
+#                 TCP end-to-end smoke (scripts/server_smoke.sh)
 #   --all         everything: lint, then default + asan + ubsan + tsan
 #
 # Every sanitizer preset builds into its own tree (build-asan/,
@@ -41,6 +43,11 @@ case "${1:-}" in
     [[ -n "${2:-}" ]] || { echo "check.sh: --preset needs a name" >&2; exit 2; }
     preset "$2"
     ;;
+  --server-smoke)
+    run cmake --preset default
+    run cmake --build --preset default -j "$(nproc)"
+    run bash scripts/server_smoke.sh build/tools build/examples
+    ;;
   --all)
     lint
     preset default
@@ -53,7 +60,8 @@ case "${1:-}" in
     preset asan
     ;;
   *)
-    echo "check.sh: unknown mode '$1' (--fast|--lint|--preset P|--all)" >&2
+    echo "check.sh: unknown mode '$1'" \
+         "(--fast|--lint|--preset P|--server-smoke|--all)" >&2
     exit 2
     ;;
 esac

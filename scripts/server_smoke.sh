@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the resident search daemon over real TCP, wired
+# into ctest and scripts/check.sh --server-smoke (docs/server.md).
+#
+# Builds a demo model and a packed database with the example tools,
+# starts finehmmd on an ephemeral port, then proves the full client
+# surface: PING, a remote search whose tblout is BIT-IDENTICAL to a
+# direct hmmsearch_tool run on the same database, hmmsearch_tool
+# --connect against the daemon, the STATS verb, the tools' exit-code
+# contract, and a clean SIGTERM drain (stats flushed, pid file removed,
+# exit 0).
+set -euo pipefail
+
+TOOLS_DIR=${1:?usage: server_smoke.sh <tools-bin-dir> <examples-bin-dir>}
+EXAMPLES_DIR=${2:?usage: server_smoke.sh <tools-bin-dir> <examples-bin-dir>}
+WORK=$(mktemp -d)
+DAEMON_PID=""
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== stage a model and a packed database =="
+"$EXAMPLES_DIR/hmmbuild_tool" --demo "$WORK/model.hmm" > /dev/null
+"$EXAMPLES_DIR/hmmemit_tool" "$WORK/model.hmm" 12 "$WORK/homologs.fasta"
+"$EXAMPLES_DIR/seqconvert_tool" "$WORK/homologs.fasta" "$WORK/db.fsqdb"
+
+echo "== start finehmmd on an ephemeral port =="
+"$TOOLS_DIR/finehmmd" --port 0 --threads 2 --pid-file "$WORK/d.pid" \
+  "$WORK/db.fsqdb" > "$WORK/daemon.log" 2>&1 &
+DAEMON_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$WORK/daemon.log" 2>/dev/null && break
+  kill -0 "$DAEMON_PID" 2>/dev/null || {
+    echo "daemon died during startup"; cat "$WORK/daemon.log"; exit 1; }
+  sleep 0.1
+done
+PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' \
+  "$WORK/daemon.log")
+[ -n "$PORT" ] || { echo "no port in daemon log"; cat "$WORK/daemon.log"; exit 1; }
+ADDR="127.0.0.1:$PORT"
+echo "daemon at $ADDR (pid $DAEMON_PID)"
+grep -qx "$DAEMON_PID" "$WORK/d.pid"
+
+echo "== ping =="
+"$TOOLS_DIR/finehmm_client" "$ADDR" --ping | grep -qx pong
+
+echo "== remote search is bit-identical to a direct scan =="
+"$EXAMPLES_DIR/hmmsearch_tool" --tblout "$WORK/local.tbl" \
+  "$WORK/model.hmm" "$WORK/db.fsqdb" > /dev/null
+"$TOOLS_DIR/finehmm_client" "$ADDR" --tblout "$WORK/remote.tbl" \
+  "$WORK/model.hmm" > /dev/null
+cmp "$WORK/local.tbl" "$WORK/remote.tbl" || {
+  echo "finehmm_client tblout differs from the direct scan"; exit 1; }
+
+echo "== hmmsearch_tool --connect routes through the daemon =="
+"$EXAMPLES_DIR/hmmsearch_tool" --connect "$ADDR" \
+  --tblout "$WORK/remote2.tbl" "$WORK/model.hmm" > /dev/null
+cmp "$WORK/local.tbl" "$WORK/remote2.tbl" || {
+  echo "hmmsearch_tool --connect tblout differs from the direct scan"; exit 1; }
+
+echo "== STATS verb =="
+"$TOOLS_DIR/finehmm_client" "$ADDR" --stats > "$WORK/stats.json"
+grep -q "finehmm.server_stats.v1" "$WORK/stats.json"
+grep -q '"db_sweeps"' "$WORK/stats.json"
+
+echo "== closed-loop bench smoke =="
+"$TOOLS_DIR/finehmm_client" "$ADDR" --bench 3 --clients 2 \
+  "$WORK/model.hmm" | grep -q '"requests_per_sec"'
+
+echo "== exit-code contract (0 ok / 2 bad args / 3 I/O failure) =="
+rc=0; "$TOOLS_DIR/finehmm_client" --no-such-flag > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 2 ] || { echo "bad args gave exit $rc, want 2"; exit 1; }
+rc=0; "$TOOLS_DIR/finehmm_client" "$ADDR" "$WORK/missing.hmm" \
+  > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 3 ] || { echo "missing model file gave exit $rc, want 3"; exit 1; }
+# Port 1 is never a finehmmd: connection refused is an I/O failure.
+rc=0; "$TOOLS_DIR/finehmm_client" 127.0.0.1:1 --ping > /dev/null 2>&1 || rc=$?
+[ "$rc" -eq 3 ] || { echo "refused connection gave exit $rc, want 3"; exit 1; }
+
+echo "== SIGTERM drain =="
+kill -TERM "$DAEMON_PID"
+rc=0; wait "$DAEMON_PID" || rc=$?
+DAEMON_PID=""
+[ "$rc" -eq 0 ] || { echo "daemon exited $rc after SIGTERM, want 0";
+  cat "$WORK/daemon.log"; exit 1; }
+grep -q "finehmm.server_stats.v1" "$WORK/daemon.log" || {
+  echo "drained daemon did not flush its stats"; cat "$WORK/daemon.log"; exit 1; }
+grep -q "drained, bye" "$WORK/daemon.log"
+[ ! -f "$WORK/d.pid" ] || { echo "pid file survived the drain"; exit 1; }
+
+echo "ALL SERVER SMOKE TESTS PASSED"

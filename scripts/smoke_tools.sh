@@ -74,4 +74,29 @@ echo "== quickstart / pfam_scan / gpu_speedup_demo =="
 "$BIN_DIR/pfam_scan" 3 120 > /dev/null
 "$BIN_DIR/gpu_speedup_demo" 100 > /dev/null
 
+echo "== exit-code contract: 2 = bad arguments, 3 = I/O failure =="
+# The tools share examples/tool_exit.hpp: argument mistakes and I/O
+# failures must be distinguishable to scripts without parsing stderr.
+expect_rc() {
+  local want=$1; shift
+  local rc=0
+  "$@" > /dev/null 2>&1 || rc=$?
+  [ "$rc" -eq "$want" ] || {
+    echo "FAIL: '$*' exited $rc, want $want"; exit 1; }
+}
+expect_rc 2 "$BIN_DIR/hmmsearch_tool"                       # no arguments
+expect_rc 2 "$BIN_DIR/hmmsearch_tool" --no-such-flag x y    # unknown flag
+expect_rc 2 "$BIN_DIR/hmmbuild_tool"                        # no arguments
+expect_rc 2 "$BIN_DIR/hmmemit_tool"                         # no arguments
+expect_rc 2 "$BIN_DIR/hmmscan_tool" --bogus a b             # unknown flag
+expect_rc 3 "$BIN_DIR/hmmsearch_tool" "$WORK/absent.hmm" \
+  "$WORK/homologs.fasta"                                    # missing model
+expect_rc 3 "$BIN_DIR/hmmsearch_tool" "$WORK/model.hmm" \
+  "$WORK/absent.fasta"                                      # missing database
+expect_rc 3 "$BIN_DIR/hmmstat_tool" "$WORK/absent.hmm"      # missing model
+expect_rc 3 "$BIN_DIR/hmmalign_tool" "$WORK/model.hmm" \
+  "$WORK/absent.fasta" "$WORK/out.afa"                      # missing input
+expect_rc 3 "$BIN_DIR/seqconvert_tool" "$WORK/absent.fasta" \
+  "$WORK/out.fsqdb"                                         # missing input
+
 echo "ALL TOOL SMOKE TESTS PASSED"

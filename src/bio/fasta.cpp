@@ -54,7 +54,7 @@ SequenceDatabase read_fasta(std::istream& in) {
 
 SequenceDatabase read_fasta_file(const std::string& path) {
   std::ifstream in(path);
-  FH_REQUIRE(in.good(), "cannot open FASTA file: " + path);
+  FH_REQUIRE_IO(in.good(), "cannot open FASTA file: " + path);
   return read_fasta(in);
 }
 
@@ -74,7 +74,7 @@ void write_fasta(std::ostream& out, const SequenceDatabase& db,
 void write_fasta_file(const std::string& path, const SequenceDatabase& db,
                       std::size_t width) {
   std::ofstream out(path);
-  FH_REQUIRE(out.good(), "cannot open FASTA file for writing: " + path);
+  FH_REQUIRE_IO(out.good(), "cannot open FASTA file for writing: " + path);
   write_fasta(out, db, width);
 }
 

@@ -82,7 +82,7 @@ void write_seq_db(std::ostream& out, const SequenceDatabase& db) {
 
 void write_seq_db_file(const std::string& path, const SequenceDatabase& db) {
   std::ofstream out(path, std::ios::binary);
-  FH_REQUIRE(out.good(), "cannot open sequence database for writing: " + path);
+  FH_REQUIRE_IO(out.good(), "cannot open sequence database for writing: " + path);
   write_seq_db(out, db);
 }
 
@@ -131,7 +131,7 @@ SequenceDatabase read_seq_db(std::istream& in) {
 
 SequenceDatabase read_seq_db_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  FH_REQUIRE(in.good(), "cannot open sequence database: " + path);
+  FH_REQUIRE_IO(in.good(), "cannot open sequence database: " + path);
   return read_seq_db(in);
 }
 
@@ -142,7 +142,7 @@ MappedSeqDb::MappedSeqDb(const std::string& path, Backing backing) {
 #if FINEHMM_HAVE_MMAP
   if (backing == Backing::kAuto) {
     int fd = ::open(path.c_str(), O_RDONLY);
-    FH_REQUIRE(fd >= 0, "cannot open sequence database: " + path);
+    FH_REQUIRE_IO(fd >= 0, "cannot open sequence database: " + path);
     struct stat st;
     if (::fstat(fd, &st) == 0 && st.st_size > 0) {
       void* addr = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
@@ -166,7 +166,7 @@ MappedSeqDb::MappedSeqDb(const std::string& path, Backing backing) {
 #endif
   if (!mmap_backed_) {
     std::ifstream in(path, std::ios::binary | std::ios::ate);
-    FH_REQUIRE(in.good(), "cannot open sequence database: " + path);
+    FH_REQUIRE_IO(in.good(), "cannot open sequence database: " + path);
     auto end = in.tellg();
     FH_REQUIRE(end >= 0, "cannot size sequence database: " + path);
     fallback_.resize(static_cast<std::size_t>(end));

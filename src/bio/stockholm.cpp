@@ -83,7 +83,7 @@ StockholmAlignment read_stockholm(std::istream& in) {
 
 StockholmAlignment read_stockholm_file(const std::string& path) {
   std::ifstream in(path);
-  FH_REQUIRE(in.good(), "cannot open Stockholm file: " + path);
+  FH_REQUIRE_IO(in.good(), "cannot open Stockholm file: " + path);
   return read_stockholm(in);
 }
 
@@ -111,7 +111,7 @@ void write_stockholm(std::ostream& out, const StockholmAlignment& aln) {
 void write_stockholm_file(const std::string& path,
                           const StockholmAlignment& aln) {
   std::ofstream out(path);
-  FH_REQUIRE(out.good(), "cannot open Stockholm file for writing: " + path);
+  FH_REQUIRE_IO(out.good(), "cannot open Stockholm file for writing: " + path);
   write_stockholm(out, aln);
 }
 

@@ -75,7 +75,7 @@ void write_hmm_binary(std::ostream& out, const Plan7Hmm& hmm,
 void write_hmm_binary_file(const std::string& path, const Plan7Hmm& hmm,
                            const stats::ModelStats* model_stats) {
   std::ofstream out(path, std::ios::binary);
-  FH_REQUIRE(out.good(), "cannot open binary profile for writing: " + path);
+  FH_REQUIRE_IO(out.good(), "cannot open binary profile for writing: " + path);
   write_hmm_binary(out, hmm, model_stats);
 }
 
@@ -123,7 +123,7 @@ Plan7Hmm read_hmm_binary(std::istream& in,
 Plan7Hmm read_hmm_binary_file(const std::string& path,
                               std::optional<stats::ModelStats>* out_stats) {
   std::ifstream in(path, std::ios::binary);
-  FH_REQUIRE(in.good(), "cannot open binary profile: " + path);
+  FH_REQUIRE_IO(in.good(), "cannot open binary profile: " + path);
   return read_hmm_binary(in, out_stats);
 }
 

@@ -108,7 +108,7 @@ void write_hmm(std::ostream& out, const Plan7Hmm& hmm,
 void write_hmm_file(const std::string& path, const Plan7Hmm& hmm,
                     const stats::ModelStats* model_stats) {
   std::ofstream out(path);
-  FH_REQUIRE(out.good(), "cannot open hmm file for writing: " + path);
+  FH_REQUIRE_IO(out.good(), "cannot open hmm file for writing: " + path);
   write_hmm(out, hmm, model_stats);
 }
 
@@ -254,7 +254,7 @@ Plan7Hmm read_hmm(std::istream& in,
 Plan7Hmm read_hmm_file(const std::string& path,
                        std::optional<stats::ModelStats>* out_stats) {
   std::ifstream in(path);
-  FH_REQUIRE(in.good(), "cannot open hmm file: " + path);
+  FH_REQUIRE_IO(in.good(), "cannot open hmm file: " + path);
   return read_hmm(in, out_stats);
 }
 

@@ -64,7 +64,7 @@ void write_model_db(std::ostream& out,
 void write_model_db_file(const std::string& path,
                          const std::vector<ModelEntry>& models) {
   std::ofstream out(path, std::ios::binary);
-  FH_REQUIRE(out.good(), "cannot open model library for writing: " + path);
+  FH_REQUIRE_IO(out.good(), "cannot open model library for writing: " + path);
   write_model_db(out, models);
 }
 
@@ -104,7 +104,7 @@ std::vector<ModelEntry> read_model_db(std::istream& in) {
 
 std::vector<ModelEntry> read_model_db_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  FH_REQUIRE(in.good(), "cannot open model library: " + path);
+  FH_REQUIRE_IO(in.good(), "cannot open model library: " + path);
   return read_model_db(in);
 }
 
@@ -115,7 +115,7 @@ struct ModelDbReader::Impl {
 
 ModelDbReader::ModelDbReader(const std::string& path) : impl_(new Impl) {
   impl_->in.open(path, std::ios::binary);
-  FH_REQUIRE(impl_->in.good(), "cannot open model library: " + path);
+  FH_REQUIRE_IO(impl_->in.good(), "cannot open model library: " + path);
   offsets_ = read_header(impl_->in);
 }
 

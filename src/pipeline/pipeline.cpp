@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <memory>
 #include <thread>
 
 #include "cpu/fwd_filter.hpp"
@@ -720,6 +721,227 @@ SearchResult HmmSearch::run_cpu_overlapped(ScanSource src,
 
     fill_buckets(*out.telemetry, sched);
     fill_threads(*out.telemetry, crew, clocks.data(), scanner, rec);
+  }
+  return out;
+}
+
+HmmSearch::CoalescedScan HmmSearch::run_cpu_coalesced(
+    const std::vector<const HmmSearch*>& searches, ScanSource src,
+    ThreadPool& pool, const ScanSchedule* schedule, obs::Recorder* rec) {
+  FH_REQUIRE(!searches.empty(), "coalesced scan needs at least one query");
+  for (const HmmSearch* hs : searches)
+    FH_REQUIRE(hs != nullptr, "coalesced scan given a null query");
+  CoalescedScan out;
+  const std::size_t k = searches.size();
+  const std::size_t n = src.size();
+  const std::size_t crew = pool.workers();
+  out.per_model.resize(k);
+  if (rec != nullptr && rec->enabled())
+    rec->reserve_threads(crew);
+  else
+    rec = nullptr;
+  Timer total;
+
+  ScanSchedule local;
+  if (schedule == nullptr) {
+    local = make_length_schedule(
+        n, [&src](std::size_t i) { return src.length(i); });
+    schedule = &local;
+  }
+
+  // Per-query scanners: model parameters are immutable and shared across
+  // the crew; only DP state is per worker.  The sweep below allocates
+  // nothing per sequence.
+  std::vector<std::unique_ptr<BatchScanner>> scanners;
+  scanners.reserve(k);
+  for (const HmmSearch* hs : searches)
+    scanners.push_back(
+        std::make_unique<BatchScanner>(hs->msv_, hs->vit_, nullptr, crew));
+
+  constexpr std::size_t kMsvChunk = 16;
+  constexpr std::size_t kVitChunk = 4;
+  std::vector<std::vector<std::uint8_t>> ssv_keep(
+      k, std::vector<std::uint8_t>(n, 1));
+  std::vector<std::vector<std::uint8_t>> msv_keep(
+      k, std::vector<std::uint8_t>(n, 0));
+
+  // ---- The shared sweep: one pass over the residue stream, every query
+  // scored against each sequence while it is hot in cache.  Per query the
+  // fused SSV/MSV decisions are exactly run_cpu's, so the replay below
+  // reproduces its hit lists bit for bit.
+  Timer stage_timer;
+  pool.parallel_for_chunked(
+      n, kMsvChunk,
+      [&](std::size_t worker, std::size_t begin, std::size_t end) {
+        OBS_SPAN(rec, worker, "coalesced.msv.chunk");
+        for (std::size_t idx = begin; idx < end; ++idx) {
+          const std::size_t s = schedule->order[idx];
+          if (idx + 1 < end) src.prefetch(schedule->order[idx + 1]);
+          const std::size_t L = src.length(s);
+          if (L == 0) {
+            for (std::size_t m = 0; m < k; ++m)
+              if (searches[m]->thr_.use_ssv_prefilter) ssv_keep[m][s] = 0;
+            continue;  // msv_keep stays 0: fails the first active stage
+          }
+          for (std::size_t m = 0; m < k; ++m) {
+            const HmmSearch& hs = *searches[m];
+            BatchScanner& scanner = *scanners[m];
+            if (hs.thr_.use_ssv_prefilter) {
+              auto sr = ssv_score(scanner, worker, src, s, L);
+              float sbits =
+                  sr.overflowed
+                      ? overflow_bits(hs.msv_, static_cast<int>(L))
+                      : hmm::nats_to_bits(sr.score_nats,
+                                          static_cast<int>(L));
+              if (!sr.overflowed &&
+                  hs.stats_.ssv_pvalue(sbits) > hs.thr_.ssv_p) {
+                ssv_keep[m][s] = 0;
+                continue;
+              }
+            }
+            auto r = msv_score(scanner, worker, src, s, L);
+            float bits = r.overflowed
+                             ? overflow_bits(hs.msv_, static_cast<int>(L))
+                             : hmm::nats_to_bits(r.score_nats,
+                                                 static_cast<int>(L));
+            msv_keep[m][s] =
+                (r.overflowed || hs.stats_.msv_pvalue(bits) <= hs.thr_.msv_p)
+                    ? 1
+                    : 0;
+          }
+        }
+      });
+  const double msv_wall = stage_timer.seconds();
+
+  // ---- Per-query tail: serial replay in index order, then the word
+  // stages over the rare survivors (identical to run_cpu_parallel).
+  std::vector<std::vector<std::uint8_t>> scratch(crew);
+  if (src.zero_copy())
+    for (auto& sc : scratch) sc.resize(src.max_length());
+  double vit_wall_sum = 0.0;
+  for (std::size_t m = 0; m < k; ++m) {
+    const HmmSearch& hs = *searches[m];
+    BatchScanner& scanner = *scanners[m];
+    SearchResult& res = out.per_model[m];
+
+    res.msv.n_in = n;
+    std::vector<std::size_t> msv_pass;
+    for (std::size_t s = 0; s < n; ++s) {
+      double cells = static_cast<double>(src.length(s)) * hs.msv_.length();
+      if (hs.thr_.use_ssv_prefilter) {
+        res.ssv.n_in += 1;
+        res.ssv.cells += cells;
+        if (!ssv_keep[m][s]) continue;
+        res.ssv.n_passed += 1;
+      }
+      res.msv.cells += cells;
+      if (msv_keep[m][s]) msv_pass.push_back(s);
+    }
+    if (hs.thr_.use_ssv_prefilter) res.msv.n_in = res.ssv.n_passed;
+    res.msv.n_passed = msv_pass.size();
+    // One pass served every query: the sweep wall clock is shared, not
+    // additive across queries.
+    res.msv.seconds = msv_wall;
+
+    Timer vit_timer;
+    res.vit.n_in = msv_pass.size();
+    std::vector<float> vit_bits_all(msv_pass.size());
+    std::vector<std::uint8_t> vit_keep(msv_pass.size(), 0);
+    pool.parallel_for_chunked(
+        msv_pass.size(), kVitChunk,
+        [&](std::size_t worker, std::size_t begin, std::size_t end) {
+          OBS_SPAN(rec, worker, "coalesced.vit.chunk");
+          for (std::size_t i = begin; i < end; ++i) {
+            const std::size_t s = msv_pass[i];
+            const std::size_t L = src.length(s);
+            const std::uint8_t* codes =
+                src.fetch_codes(s, scratch[worker].data());
+            auto r = scanner.vit(worker, codes, L);
+            float bits = hmm::nats_to_bits(r.score_nats,
+                                           static_cast<int>(L));
+            vit_bits_all[i] = bits;
+            vit_keep[i] =
+                hs.stats_.vit_pvalue(bits) <= hs.thr_.vit_p ? 1 : 0;
+          }
+        });
+    std::vector<std::size_t> vit_pass;
+    std::vector<float> vit_bits_pass;
+    for (std::size_t i = 0; i < msv_pass.size(); ++i) {
+      res.vit.cells +=
+          static_cast<double>(src.length(msv_pass[i])) * hs.vit_.length();
+      if (vit_keep[i]) {
+        vit_pass.push_back(msv_pass[i]);
+        vit_bits_pass.push_back(vit_bits_all[i]);
+      }
+    }
+    res.vit.n_passed = vit_pass.size();
+    res.vit.seconds = vit_timer.seconds();
+    vit_wall_sum += res.vit.seconds;
+
+    hs.forward_stage(src, vit_pass, vit_bits_pass, res);
+  }
+
+  // ---- Batch-level telemetry: aggregated stage totals plus the
+  // coalescing counters the daemon's STATS verb surfaces.
+  obs::ScanTelemetry& t = out.telemetry;
+  t.engine = "cpu_coalesced";
+  t.threads = crew;
+  t.sequences = n;
+  t.residues = src.total_residues();
+  t.wall_seconds = total.seconds();
+  t.zero_copy = src.zero_copy();
+  if (src.zero_copy())
+    t.mapped_bytes = packed_stream_bytes(src);
+  else
+    t.heap_bytes = src.total_residues();
+  bool any_ssv = false;
+  for (const HmmSearch* hs : searches)
+    any_ssv = any_ssv || hs->thr_.use_ssv_prefilter;
+  auto aggregate = [&](const char* name, auto pick, double wall) {
+    obs::StageTelemetry st;
+    st.stage = name;
+    for (const SearchResult& r : out.per_model) {
+      const StageStats& s = pick(r);
+      st.n_in += s.n_in;
+      st.n_passed += s.n_passed;
+      st.cells += s.cells;
+    }
+    st.wall_seconds = wall;
+    st.busy_seconds = wall;
+    t.stages.push_back(std::move(st));
+  };
+  if (any_ssv)
+    aggregate("ssv", [](const SearchResult& r) -> const StageStats& {
+      return r.ssv;
+    }, msv_wall);
+  aggregate("msv", [](const SearchResult& r) -> const StageStats& {
+    return r.msv;
+  }, msv_wall);
+  aggregate("vit", [](const SearchResult& r) -> const StageStats& {
+    return r.vit;
+  }, vit_wall_sum);
+  double fwd_wall = 0.0;
+  for (const SearchResult& r : out.per_model) fwd_wall += r.fwd.seconds;
+  aggregate("fwd", [](const SearchResult& r) -> const StageStats& {
+    return r.fwd;
+  }, fwd_wall);
+  for (auto& st : t.stages)
+    if (st.stage == "msv") {
+      st.counters.emplace_back("batch.queries", static_cast<double>(k));
+      st.counters.emplace_back("batch.sweeps", 1.0);
+    }
+  fill_buckets(t, *schedule);
+  t.per_thread.resize(crew);
+  for (std::size_t w = 0; w < crew; ++w) {
+    obs::ThreadTelemetry& row = t.per_thread[w];
+    row.thread = static_cast<std::uint32_t>(w);
+    for (const auto& scanner : scanners) {
+      const auto& load = scanner->load(w);
+      row.sequences_scored += load.calls();
+      row.stage_items[static_cast<int>(obs::Stage::kSsv)] += load.ssv_calls;
+      row.stage_items[static_cast<int>(obs::Stage::kMsv)] += load.msv_calls;
+      row.stage_items[static_cast<int>(obs::Stage::kVit)] += load.vit_calls;
+    }
   }
   return out;
 }

@@ -102,6 +102,8 @@ struct SearchResult {
   std::optional<obs::ScanTelemetry> telemetry;
 };
 
+struct ScanSchedule;  // pipeline/workload.hpp
+
 /// A configured, calibrated search: one query model, ready to scan
 /// databases with either engine.
 class HmmSearch {
@@ -158,6 +160,36 @@ class HmmSearch {
   SearchResult run_cpu_overlapped(ScanSource src,
                                   std::size_t threads = 0) const;
   SearchResult run_cpu_overlapped(ScanSource src, ThreadPool& pool) const;
+
+  /// One coalesced sweep: several queries scanned in a SINGLE pass over
+  /// the database.  The byte-filter stage walks the residue stream once,
+  /// scoring every query against each sequence while it is hot in cache;
+  /// the rare word-stage survivors then rescore per query.  Hits and
+  /// stage counts for query i are bit-identical to
+  /// `searches[i]->run_cpu(src)` — the same kernels score through
+  /// per-query BatchScanner state, and results replay serially in index
+  /// order.  This is the search daemon's batching primitive: N queued
+  /// client requests against the same database cost one database pass
+  /// instead of N (docs/server.md).
+  struct CoalescedScan {
+    /// Index-aligned with `searches`.  Stage `seconds` of the fused
+    /// SSV/MSV sweep are the shared sweep wall clock (one pass serves
+    /// every query), not additive per-query times.
+    std::vector<SearchResult> per_model;
+    /// One batch-level snapshot (engine "cpu_coalesced"): aggregated
+    /// stage totals plus `batch.queries` / `batch.sweeps` counters on
+    /// the msv stage, so coalescing is observable downstream.
+    obs::ScanTelemetry telemetry;
+  };
+
+  /// `schedule` may pass a precomputed length-bucketed order for `src`
+  /// (the daemon caches one per resident database); null builds it on
+  /// the fly.  `rec` attaches span tracing; the telemetry snapshot is
+  /// filled either way.
+  static CoalescedScan run_cpu_coalesced(
+      const std::vector<const HmmSearch*>& searches, ScanSource src,
+      ThreadPool& pool, const ScanSchedule* schedule = nullptr,
+      obs::Recorder* rec = nullptr);
 
   /// Scan with the SIMT kernels for MSV and P7Viterbi on `dev`; the
   /// Forward stage runs on the CPU.  `placement` applies to both kernels.

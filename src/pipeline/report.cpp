@@ -22,10 +22,18 @@ void write_report(std::ostream& out, const SearchResult& result,
                   const hmm::SearchProfile& query,
                   ScanSource db,
                   const ReportOptions& opts) {
+  write_report(out, result, query,
+               DbSummary{db.size(), db.total_residues()}, opts);
+}
+
+void write_report(std::ostream& out, const SearchResult& result,
+                  const hmm::SearchProfile& query,
+                  DbSummary db,
+                  const ReportOptions& opts) {
   char line[256];
   out << "# query:    " << query.name() << " (M=" << query.length() << ")\n";
-  out << "# database: " << db.size() << " sequences, "
-      << db.total_residues() << " residues\n";
+  out << "# database: " << db.sequences << " sequences, "
+      << db.residues << " residues\n";
   out << "# pipeline:";
   if (result.ssv.n_in > 0)
     out << " SSV " << result.ssv.n_passed << '/' << result.ssv.n_in << " ->";
@@ -69,6 +77,12 @@ void write_report(std::ostream& out, const SearchResult& result,
 void write_tblout(std::ostream& out, const SearchResult& result,
                   const hmm::SearchProfile& query,
                   ScanSource db) {
+  write_tblout(out, result, query, DbSummary{db.size(), db.total_residues()});
+}
+
+void write_tblout(std::ostream& out, const SearchResult& result,
+                  const hmm::SearchProfile& query,
+                  DbSummary db) {
   (void)db;
   char line[256];
   out << "#target name         query name           E-value  score   bias"

@@ -17,14 +17,28 @@ struct ReportOptions {
   bool show_domains = false;     // needs Thresholds::define_domains
 };
 
+/// The database facts the report header needs.  A local scan derives
+/// these from its ScanSource; a remote scan (hmmsearch_tool --connect)
+/// receives them in the daemon's result frame, so both paths render
+/// byte-identical reports (docs/server.md).
+struct DbSummary {
+  std::uint64_t sequences = 0;
+  std::uint64_t residues = 0;
+};
+
 /// Human-readable report: header, pipeline summary, hit table, optional
 /// alignment blocks and domain tables.
+void write_report(std::ostream& out, const SearchResult& result,
+                  const hmm::SearchProfile& query, DbSummary db,
+                  const ReportOptions& opts = {});
 void write_report(std::ostream& out, const SearchResult& result,
                   const hmm::SearchProfile& query, ScanSource db,
                   const ReportOptions& opts = {});
 
 /// HMMER-style target table (--tblout): one line per hit,
 /// whitespace-separated, '#' comments.
+void write_tblout(std::ostream& out, const SearchResult& result,
+                  const hmm::SearchProfile& query, DbSummary db);
 void write_tblout(std::ostream& out, const SearchResult& result,
                   const hmm::SearchProfile& query, ScanSource db);
 

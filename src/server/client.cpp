@@ -1,0 +1,105 @@
+#include "server/client.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "hmm/binary_io.hpp"
+
+namespace finehmm::server {
+
+BlockingClient::BlockingClient(std::unique_ptr<Connection> conn)
+    : conn_(std::move(conn)) {
+  FH_REQUIRE(conn_ != nullptr, "client needs a live connection");
+}
+
+BlockingClient::~BlockingClient() { conn_->shutdown(); }
+
+RemoteResult BlockingClient::search(std::uint32_t db_id,
+                                    const hmm::Plan7Hmm& model,
+                                    const stats::ModelStats* model_stats,
+                                    double evalue, std::uint32_t deadline_ms) {
+  std::ostringstream blob;
+  hmm::write_hmm_binary(blob, model, model_stats);
+  const std::string bytes = blob.str();
+  return search_blob(db_id,
+                     std::vector<std::uint8_t>(bytes.begin(), bytes.end()),
+                     evalue, deadline_ms);
+}
+
+RemoteResult BlockingClient::search_pressed(std::uint32_t db_id,
+                                            const std::string& model_name,
+                                            double evalue,
+                                            std::uint32_t deadline_ms) {
+  SearchRequest req;
+  req.db_id = db_id;
+  req.model_kind = ModelRefKind::kPressed;
+  req.model_name = model_name;
+  req.evalue = evalue;
+  req.deadline_ms = deadline_ms;
+  return roundtrip(req);
+}
+
+RemoteResult BlockingClient::search_blob(std::uint32_t db_id,
+                                         std::vector<std::uint8_t> blob,
+                                         double evalue,
+                                         std::uint32_t deadline_ms) {
+  SearchRequest req;
+  req.db_id = db_id;
+  req.model_kind = ModelRefKind::kInline;
+  req.model_blob = std::move(blob);
+  req.evalue = evalue;
+  req.deadline_ms = deadline_ms;
+  return roundtrip(req);
+}
+
+RemoteResult BlockingClient::roundtrip(const SearchRequest& req) {
+  RemoteResult out;
+  const std::uint32_t id = next_id_++;
+  if (!send_frame(*conn_, MsgType::kSearch, id, encode_search_request(req)))
+    return out;  // kDisconnected
+
+  Frame reply;
+  if (recv_frame(*conn_, reply) != RecvStatus::kFrame) return out;
+  try {
+    switch (reply.type()) {
+      case MsgType::kResult:
+        out.result = decode_search_result(reply.payload);
+        out.status = ClientStatus::kOk;
+        break;
+      case MsgType::kError:
+        out.error = decode_error(reply.payload);
+        out.status = ClientStatus::kError;
+        break;
+      case MsgType::kOverload:
+        out.overload = decode_overload(reply.payload);
+        out.status = ClientStatus::kOverloaded;
+        break;
+      default:
+        out.status = ClientStatus::kDisconnected;
+        break;
+    }
+  } catch (const ProtocolError&) {
+    out.status = ClientStatus::kDisconnected;
+  }
+  return out;
+}
+
+bool BlockingClient::ping() {
+  const std::uint32_t id = next_id_++;
+  if (!send_frame(*conn_, MsgType::kPing, id, {})) return false;
+  Frame reply;
+  return recv_frame(*conn_, reply) == RecvStatus::kFrame &&
+         reply.type() == MsgType::kPong;
+}
+
+std::optional<std::string> BlockingClient::stats_json() {
+  const std::uint32_t id = next_id_++;
+  if (!send_frame(*conn_, MsgType::kStats, id, {})) return std::nullopt;
+  Frame reply;
+  if (recv_frame(*conn_, reply) != RecvStatus::kFrame ||
+      reply.type() != MsgType::kStatsResult)
+    return std::nullopt;
+  return std::string(reply.payload.begin(), reply.payload.end());
+}
+
+}  // namespace finehmm::server

@@ -1,0 +1,80 @@
+// Blocking client for the finehmmd protocol.
+//
+// One request in flight at a time, over any Connection (loopback in
+// tests, TCP in tools/finehmm_client and hmmsearch_tool --connect).
+// Floats arrive as the exact bit patterns the daemon computed, so a
+// RemoteResult renders the same report a local run_cpu would.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "hmm/plan7.hpp"
+#include "server/protocol.hpp"
+#include "server/transport.hpp"
+#include "stats/calibrate.hpp"
+
+namespace finehmm::server {
+
+enum class ClientStatus {
+  kOk,            // result holds the hits
+  kError,         // daemon answered with an ErrorInfo (see error)
+  kOverloaded,    // daemon shed the request at admission (see overload)
+  kDisconnected,  // stream died or answered with unframeable bytes
+};
+
+struct RemoteResult {
+  ClientStatus status = ClientStatus::kDisconnected;
+  SearchResultWire result;  // kOk only
+  ErrorInfo error;          // kError only
+  OverloadInfo overload;    // kOverloaded only
+};
+
+class BlockingClient {
+ public:
+  explicit BlockingClient(std::unique_ptr<Connection> conn);
+  ~BlockingClient();
+
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+
+  /// Search with an inline model: the profile (and its calibration, when
+  /// given — strongly recommended, it spares the daemon a deterministic
+  /// recalibration) is serialized losslessly into the request.
+  RemoteResult search(std::uint32_t db_id, const hmm::Plan7Hmm& model,
+                      const stats::ModelStats* model_stats,
+                      double evalue = 10.0, std::uint32_t deadline_ms = 0);
+
+  /// Search referencing a model pressed into the daemon's libraries.
+  RemoteResult search_pressed(std::uint32_t db_id,
+                              const std::string& model_name,
+                              double evalue = 10.0,
+                              std::uint32_t deadline_ms = 0);
+
+  /// Raw variant: a pre-serialized hmm/binary_io blob.
+  RemoteResult search_blob(std::uint32_t db_id,
+                           std::vector<std::uint8_t> blob,
+                           double evalue = 10.0,
+                           std::uint32_t deadline_ms = 0);
+
+  /// PING/PONG health check.
+  bool ping();
+
+  /// The STATS verb: the daemon's "finehmm.server_stats.v1" JSON, or
+  /// nullopt when the stream died.
+  std::optional<std::string> stats_json();
+
+  /// The underlying stream (tests use it to inject malformed bytes and
+  /// to sever mid-request).
+  Connection& connection() { return *conn_; }
+
+ private:
+  RemoteResult roundtrip(const SearchRequest& req);
+
+  std::unique_ptr<Connection> conn_;
+  std::uint32_t next_id_ = 1;
+};
+
+}  // namespace finehmm::server

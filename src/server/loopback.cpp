@@ -1,0 +1,145 @@
+#include "server/loopback.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+namespace finehmm::server {
+
+namespace detail {
+
+bool ByteChannel::write(const void* data, std::size_t n) {
+  const std::uint8_t* src = static_cast<const std::uint8_t*>(data);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) return false;
+  bytes_.insert(bytes_.end(), src, src + n);
+  cv_.notify_all();
+  return true;
+}
+
+std::size_t ByteChannel::read(void* buf, std::size_t n) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return !bytes_.empty() || closed_; });
+  if (bytes_.empty()) return 0;  // closed and drained
+  const std::size_t take = std::min(n, bytes_.size());
+  std::uint8_t* dst = static_cast<std::uint8_t*>(buf);
+  for (std::size_t i = 0; i < take; ++i) {
+    dst[i] = bytes_.front();
+    bytes_.pop_front();
+  }
+  return take;
+}
+
+void ByteChannel::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+}  // namespace detail
+
+namespace {
+
+/// One endpoint of a duplex loopback pipe: reads from one channel,
+/// writes the other.  Both endpoints share the channels; shutdown()
+/// closes both so the peer sees EOF too (like a socket reset).
+class LoopbackConnection final : public Connection {
+ public:
+  LoopbackConnection(std::shared_ptr<detail::ByteChannel> in,
+                     std::shared_ptr<detail::ByteChannel> out)
+      : in_(std::move(in)), out_(std::move(out)) {}
+
+  ~LoopbackConnection() override { shutdown(); }
+
+  bool send_all(const void* data, std::size_t n) override {
+    return out_->write(data, n);
+  }
+
+  std::size_t recv_some(void* buf, std::size_t n) override {
+    return in_->read(buf, n);
+  }
+
+  void shutdown() override {
+    in_->close();
+    out_->close();
+  }
+
+ private:
+  std::shared_ptr<detail::ByteChannel> in_;
+  std::shared_ptr<detail::ByteChannel> out_;
+};
+
+}  // namespace
+
+struct LoopbackHub::State {
+  std::mutex mu;
+  std::condition_variable cv;
+  // Fully-wired server endpoints waiting for accept().
+  std::deque<std::unique_ptr<Connection>> pending;
+  bool closed = false;
+  bool listener_taken = false;
+};
+
+namespace {
+
+class LoopbackListener final : public Listener {
+ public:
+  explicit LoopbackListener(std::shared_ptr<LoopbackHub::State> state)
+      : state_(std::move(state)) {}
+
+  ~LoopbackListener() override { close(); }
+
+  std::unique_ptr<Connection> accept() override {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock,
+                    [&] { return !state_->pending.empty() || state_->closed; });
+    if (state_->pending.empty()) return nullptr;
+    std::unique_ptr<Connection> conn = std::move(state_->pending.front());
+    state_->pending.pop_front();
+    return conn;
+  }
+
+  void close() override {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->closed = true;
+    state_->cv.notify_all();
+  }
+
+ private:
+  std::shared_ptr<LoopbackHub::State> state_;
+};
+
+}  // namespace
+
+LoopbackHub::LoopbackHub() : state_(std::make_shared<State>()) {}
+
+LoopbackHub::~LoopbackHub() {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  state_->closed = true;
+  state_->cv.notify_all();
+}
+
+std::unique_ptr<Listener> LoopbackHub::listener() {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    FH_REQUIRE(!state_->listener_taken, "loopback listener already taken");
+    state_->listener_taken = true;
+  }
+  return std::make_unique<LoopbackListener>(state_);
+}
+
+std::unique_ptr<Connection> LoopbackHub::connect() {
+  auto c2s = std::make_shared<detail::ByteChannel>();  // client -> server
+  auto s2c = std::make_shared<detail::ByteChannel>();  // server -> client
+  auto server_end = std::make_unique<LoopbackConnection>(c2s, s2c);
+  auto client_end = std::make_unique<LoopbackConnection>(s2c, c2s);
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->closed) return nullptr;
+    state_->pending.push_back(std::move(server_end));
+    state_->cv.notify_one();
+  }
+  return client_end;
+}
+
+}  // namespace finehmm::server

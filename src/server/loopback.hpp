@@ -1,0 +1,63 @@
+// In-process loopback transport: the Connection/Listener contract over
+// mutex+condvar byte channels instead of sockets.
+//
+// This is what makes the daemon unit-testable: tests/test_server.cpp
+// stands up a full SearchServer, connects N clients, and exercises
+// coalescing, overload shedding, deadlines and drain — all inside one
+// process, deterministic, and clean under tsan (which cannot follow
+// bytes through a kernel socket but follows these channels natively).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "server/transport.hpp"
+
+namespace finehmm::server {
+
+namespace detail {
+
+/// One direction of a duplex pipe: an unbounded byte queue with
+/// blocking reads.  Closing either end wakes blocked readers.
+class ByteChannel {
+ public:
+  bool write(const void* data, std::size_t n);
+  std::size_t read(void* buf, std::size_t n);
+  void close();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::uint8_t> bytes_;
+  bool closed_ = false;
+};
+
+}  // namespace detail
+
+/// Rendezvous point for loopback connections.  The server side calls
+/// listener() once and blocks in accept(); clients call connect().
+class LoopbackHub {
+ public:
+  LoopbackHub();
+  ~LoopbackHub();
+
+  /// The server-side listener.  Call at most once.
+  std::unique_ptr<Listener> listener();
+
+  /// Dial the hub: blocks until the listener accepts (or returns null if
+  /// the listener is closed).
+  std::unique_ptr<Connection> connect();
+
+  /// Shared rendezvous state (public so the .cpp-local listener class
+  /// can hold it; not part of the API).
+  struct State;
+
+ private:
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace finehmm::server

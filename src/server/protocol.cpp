@@ -1,0 +1,300 @@
+#include "server/protocol.hpp"
+
+#include <cstring>
+
+namespace finehmm::server {
+
+namespace {
+
+// --- Little-endian cursor writers/readers -------------------------------
+//
+// The writer appends to a byte vector; the reader walks a span and
+// refuses to read past its end (ProtocolError), so no peer-controlled
+// length can overrun.
+
+struct Writer {
+  std::vector<std::uint8_t>& out;
+
+  void u8(std::uint8_t v) { out.push_back(v); }
+  void u16(std::uint16_t v) {
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void f32(float v) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u32(bits);
+  }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void str(const std::string& s) {
+    FH_REQUIRE(s.size() <= kMaxPayload, "string too large for the wire");
+    u32(static_cast<std::uint32_t>(s.size()));
+    out.insert(out.end(), s.begin(), s.end());
+  }
+  void bytes(const std::vector<std::uint8_t>& b) {
+    out.insert(out.end(), b.begin(), b.end());
+  }
+};
+
+struct Reader {
+  const std::uint8_t* p;
+  std::size_t remaining;
+
+  void need(std::size_t n) const {
+    if (remaining < n)
+      throw ProtocolError("truncated payload: need " + std::to_string(n) +
+                          " bytes, have " + std::to_string(remaining));
+  }
+  std::uint8_t u8() {
+    need(1);
+    std::uint8_t v = *p;
+    ++p;
+    --remaining;
+    return v;
+  }
+  std::uint16_t u16() {
+    need(2);
+    std::uint16_t v = static_cast<std::uint16_t>(p[0]) |
+                      static_cast<std::uint16_t>(p[1]) << 8;
+    p += 2;
+    remaining -= 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    p += 4;
+    remaining -= 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    p += 8;
+    remaining -= 8;
+    return v;
+  }
+  float f32() {
+    std::uint32_t bits = u32();
+    float v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  double f64() {
+    std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t len = u32();
+    need(len);
+    std::string s(reinterpret_cast<const char*>(p), len);
+    p += len;
+    remaining -= len;
+    return s;
+  }
+  std::vector<std::uint8_t> rest() {
+    std::vector<std::uint8_t> b(p, p + remaining);
+    p += remaining;
+    remaining = 0;
+    return b;
+  }
+  void done() const {
+    if (remaining != 0)
+      throw ProtocolError("payload has " + std::to_string(remaining) +
+                          " trailing bytes");
+  }
+};
+
+Reader reader(const std::vector<std::uint8_t>& payload) {
+  return Reader{payload.data(), payload.size()};
+}
+
+void write_stage(Writer& w, const pipeline::StageStats& s) {
+  w.u64(s.n_in);
+  w.u64(s.n_passed);
+  w.f64(s.cells);
+}
+
+pipeline::StageStats read_stage(Reader& r) {
+  pipeline::StageStats s;
+  s.n_in = static_cast<std::size_t>(r.u64());
+  s.n_passed = static_cast<std::size_t>(r.u64());
+  s.cells = r.f64();
+  return s;
+}
+
+}  // namespace
+
+void encode_header(const FrameHeader& h, std::uint8_t out[kFrameHeaderSize]) {
+  out[0] = h.version;
+  out[1] = h.type;
+  for (int i = 0; i < 4; ++i)
+    out[2 + i] = static_cast<std::uint8_t>(h.request_id >> (8 * i));
+  for (int i = 0; i < 4; ++i)
+    out[6 + i] = static_cast<std::uint8_t>(h.payload_len >> (8 * i));
+}
+
+FrameHeader decode_header(const std::uint8_t in[kFrameHeaderSize]) {
+  FrameHeader h;
+  h.version = in[0];
+  h.type = in[1];
+  h.request_id = 0;
+  h.payload_len = 0;
+  for (int i = 0; i < 4; ++i)
+    h.request_id |= static_cast<std::uint32_t>(in[2 + i]) << (8 * i);
+  for (int i = 0; i < 4; ++i)
+    h.payload_len |= static_cast<std::uint32_t>(in[6 + i]) << (8 * i);
+  if (h.version != kProtocolVersion)
+    throw ProtocolError("unsupported protocol version " +
+                        std::to_string(h.version) + " (expected " +
+                        std::to_string(kProtocolVersion) + ")");
+  if (h.payload_len > kMaxPayload)
+    throw ProtocolError("frame payload of " + std::to_string(h.payload_len) +
+                        " bytes exceeds the " + std::to_string(kMaxPayload) +
+                        "-byte bound");
+  return h;
+}
+
+std::vector<std::uint8_t> encode_search_request(const SearchRequest& req) {
+  std::vector<std::uint8_t> out;
+  Writer w{out};
+  w.u32(req.db_id);
+  w.u8(static_cast<std::uint8_t>(req.model_kind));
+  w.u8(0);  // reserved flags
+  w.u16(0);
+  w.f64(req.evalue);
+  w.u32(req.deadline_ms);
+  if (req.model_kind == ModelRefKind::kPressed) {
+    w.str(req.model_name);
+  } else {
+    w.bytes(req.model_blob);
+  }
+  return out;
+}
+
+SearchRequest decode_search_request(const std::vector<std::uint8_t>& payload) {
+  Reader r = reader(payload);
+  SearchRequest req;
+  req.db_id = r.u32();
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(ModelRefKind::kPressed))
+    throw ProtocolError("unknown model reference kind " + std::to_string(kind));
+  req.model_kind = static_cast<ModelRefKind>(kind);
+  r.u8();   // reserved flags
+  r.u16();  // reserved
+  req.evalue = r.f64();
+  req.deadline_ms = r.u32();
+  if (req.model_kind == ModelRefKind::kPressed) {
+    req.model_name = r.str();
+    r.done();
+    if (req.model_name.empty())
+      throw ProtocolError("pressed-model reference has an empty name");
+  } else {
+    req.model_blob = r.rest();
+    if (req.model_blob.empty())
+      throw ProtocolError("inline model reference has an empty blob");
+  }
+  return req;
+}
+
+std::vector<std::uint8_t> encode_search_result(const SearchResultWire& res) {
+  std::vector<std::uint8_t> out;
+  Writer w{out};
+  w.u64(res.db_sequences);
+  w.u64(res.db_residues);
+  write_stage(w, res.ssv);
+  write_stage(w, res.msv);
+  write_stage(w, res.vit);
+  write_stage(w, res.fwd);
+  FH_REQUIRE(res.hits.size() <= 0xffffffffu, "too many hits for the wire");
+  w.u32(static_cast<std::uint32_t>(res.hits.size()));
+  for (const pipeline::Hit& h : res.hits) {
+    w.u64(h.seq_index);
+    w.str(h.name);
+    w.f32(h.msv_bits);
+    w.f32(h.vit_bits);
+    w.f32(h.fwd_bits);
+    w.f32(h.bias_bits);
+    w.f64(h.pvalue);
+    w.f64(h.evalue);
+  }
+  return out;
+}
+
+SearchResultWire decode_search_result(
+    const std::vector<std::uint8_t>& payload) {
+  Reader r = reader(payload);
+  SearchResultWire res;
+  res.db_sequences = r.u64();
+  res.db_residues = r.u64();
+  res.ssv = read_stage(r);
+  res.msv = read_stage(r);
+  res.vit = read_stage(r);
+  res.fwd = read_stage(r);
+  const std::uint32_t n_hits = r.u32();
+  res.hits.reserve(std::min<std::size_t>(n_hits, 1024));
+  for (std::uint32_t i = 0; i < n_hits; ++i) {
+    pipeline::Hit h;
+    h.seq_index = static_cast<std::size_t>(r.u64());
+    h.name = r.str();
+    h.msv_bits = r.f32();
+    h.vit_bits = r.f32();
+    h.fwd_bits = r.f32();
+    h.bias_bits = r.f32();
+    h.pvalue = r.f64();
+    h.evalue = r.f64();
+    res.hits.push_back(std::move(h));
+  }
+  r.done();
+  return res;
+}
+
+std::vector<std::uint8_t> encode_error(const ErrorInfo& err) {
+  std::vector<std::uint8_t> out;
+  Writer w{out};
+  w.u16(static_cast<std::uint16_t>(err.code));
+  w.str(err.message);
+  return out;
+}
+
+ErrorInfo decode_error(const std::vector<std::uint8_t>& payload) {
+  Reader r = reader(payload);
+  ErrorInfo err;
+  err.code = static_cast<ErrorCode>(r.u16());
+  err.message = r.str();
+  r.done();
+  return err;
+}
+
+std::vector<std::uint8_t> encode_overload(const OverloadInfo& info) {
+  std::vector<std::uint8_t> out;
+  Writer w{out};
+  w.u32(info.queue_capacity);
+  return out;
+}
+
+OverloadInfo decode_overload(const std::vector<std::uint8_t>& payload) {
+  Reader r = reader(payload);
+  OverloadInfo info;
+  info.queue_capacity = r.u32();
+  r.done();
+  return info;
+}
+
+}  // namespace finehmm::server

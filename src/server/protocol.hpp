@@ -1,0 +1,131 @@
+// finehmmd wire protocol: framed, length-prefixed, little-endian binary.
+//
+// The daemon's analog of HMMER's hmmpgmd protocol, specified in
+// docs/server.md.  Every message is one frame:
+//
+//   u8 version | u8 type | u32 request_id | u32 payload_len | payload
+//
+// The 10-byte header is fixed; payload_len is bounded by kMaxPayload so
+// a malformed or hostile length can never drive an allocation.  Floats
+// and doubles travel as IEEE-754 bit patterns (u32/u64), never as text,
+// so hits round-trip bit-identically — the loopback integration test
+// asserts remote == local scores with operator==, not a tolerance.
+//
+// Encoding/decoding never trusts the peer: every read is bounds-checked
+// and a malformed payload raises ProtocolError, which the server answers
+// with an ERROR frame (kBadRequest) instead of tearing down.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pipeline/pipeline.hpp"
+#include "util/error.hpp"
+
+namespace finehmm::server {
+
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kFrameHeaderSize = 10;
+/// Hard payload bound: a model blob is a few MB at most; anything larger
+/// is a corrupt or hostile frame.
+inline constexpr std::size_t kMaxPayload = std::size_t{64} << 20;
+
+/// Raised when a peer's bytes do not parse; the connection survives (the
+/// framing layer already consumed the whole payload).
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what) : Error(what) {}
+};
+
+enum class MsgType : std::uint8_t {
+  kPing = 1,         // client -> server, empty payload
+  kPong = 2,         // server -> client, empty payload
+  kSearch = 3,       // client -> server, SearchRequest payload
+  kResult = 4,       // server -> client, SearchResultWire payload
+  kError = 5,        // server -> client, ErrorInfo payload
+  kOverload = 6,     // server -> client, OverloadInfo payload (shed)
+  kStats = 7,        // client -> server, empty payload
+  kStatsResult = 8,  // server -> client, JSON text payload
+};
+
+/// Machine-readable reason codes carried by kError frames.
+enum class ErrorCode : std::uint16_t {
+  kBadRequest = 1,       // payload failed to decode
+  kUnknownDatabase = 2,  // db_id names no resident database
+  kUnknownModel = 3,     // pressed-model reference not in any library
+  kDeadlineExpired = 4,  // request sat queued past its deadline
+  kShuttingDown = 5,     // daemon is draining; retry elsewhere
+  kInternal = 6,         // scan failed server-side
+};
+
+struct FrameHeader {
+  std::uint8_t version = kProtocolVersion;
+  std::uint8_t type = 0;
+  std::uint32_t request_id = 0;
+  std::uint32_t payload_len = 0;
+};
+
+/// One decoded frame (header + owned payload bytes).
+struct Frame {
+  FrameHeader header;
+  std::vector<std::uint8_t> payload;
+  MsgType type() const { return static_cast<MsgType>(header.type); }
+};
+
+void encode_header(const FrameHeader& h, std::uint8_t out[kFrameHeaderSize]);
+/// Parses and validates a header; throws ProtocolError on a bad version
+/// or an oversized payload length.
+FrameHeader decode_header(const std::uint8_t in[kFrameHeaderSize]);
+
+/// How the request names its query model.
+enum class ModelRefKind : std::uint8_t {
+  kInline = 0,   // payload carries a binary profile blob (hmm/binary_io)
+  kPressed = 1,  // payload carries a model name resolved in the daemon's
+                 // loaded .fhpdb libraries
+};
+
+struct SearchRequest {
+  std::uint32_t db_id = 0;
+  ModelRefKind model_kind = ModelRefKind::kInline;
+  double evalue = 10.0;          // report threshold
+  std::uint32_t deadline_ms = 0; // 0 = no deadline
+  std::string model_name;        // kPressed only
+  std::vector<std::uint8_t> model_blob;  // kInline only
+};
+
+std::vector<std::uint8_t> encode_search_request(const SearchRequest& req);
+SearchRequest decode_search_request(const std::vector<std::uint8_t>& payload);
+
+/// The result frame: enough to reproduce hmmsearch_tool's report and
+/// tblout output byte for byte on the client (pipeline/report.hpp takes
+/// the db summary + stage stats + hits; alignments/domains are not
+/// carried — docs/server.md).
+struct SearchResultWire {
+  std::uint64_t db_sequences = 0;
+  std::uint64_t db_residues = 0;
+  pipeline::StageStats ssv, msv, vit, fwd;  // seconds not carried (= 0)
+  std::vector<pipeline::Hit> hits;          // alignments/domains empty
+};
+
+std::vector<std::uint8_t> encode_search_result(const SearchResultWire& res);
+SearchResultWire decode_search_result(const std::vector<std::uint8_t>& payload);
+
+struct ErrorInfo {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+};
+
+std::vector<std::uint8_t> encode_error(const ErrorInfo& err);
+ErrorInfo decode_error(const std::vector<std::uint8_t>& payload);
+
+/// Carried by kOverload so clients can size their backoff.
+struct OverloadInfo {
+  std::uint32_t queue_capacity = 0;
+};
+
+std::vector<std::uint8_t> encode_overload(const OverloadInfo& info);
+OverloadInfo decode_overload(const std::vector<std::uint8_t>& payload);
+
+}  // namespace finehmm::server

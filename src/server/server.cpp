@@ -1,0 +1,501 @@
+#include "server/server.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace finehmm::server {
+
+namespace {
+
+/// Reconstruct a search from an inline binary profile blob.  Stored
+/// calibration is used when present; otherwise the model is calibrated
+/// here with the default deterministic options — identical to what a
+/// local HmmSearch construction would compute, so remote hits stay
+/// bit-identical to local ones either way.
+std::shared_ptr<pipeline::HmmSearch> search_from_blob(
+    const std::vector<std::uint8_t>& blob, const pipeline::Thresholds& thr) {
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(blob.data()), blob.size()));
+  std::optional<stats::ModelStats> model_stats;
+  hmm::Plan7Hmm model = hmm::read_hmm_binary(in, &model_stats);
+  if (model_stats)
+    return std::make_shared<pipeline::HmmSearch>(model, *model_stats, thr);
+  return std::make_shared<pipeline::HmmSearch>(model, thr);
+}
+
+}  // namespace
+
+SearchServer::SearchServer(ServerConfig cfg)
+    : cfg_(cfg),
+      pool_(cfg.scan_threads),
+      recorder_(obs::RecorderConfig{/*tracing=*/cfg.tracing,
+                                    /*max_events_per_thread=*/1 << 15,
+                                    /*enabled=*/true}),
+      queue_(cfg.admission_capacity == 0 ? 1 : cfg.admission_capacity) {
+  paused_ = cfg.start_paused;
+  telemetry_.engine = "server";
+  telemetry_.threads = pool_.workers();
+}
+
+SearchServer::~SearchServer() {
+  // serve() joins everything before returning; nothing to reap here
+  // unless it was never called.
+  queue_.close();
+}
+
+std::uint32_t SearchServer::add_database(const std::string& fsqdb_path) {
+  Db db;
+  db.mapped = std::make_unique<bio::MappedSeqDb>(fsqdb_path);
+  db.sequences = db.mapped->size();
+  db.residues = db.mapped->total_residues();
+  const bio::MappedSeqDb& m = *db.mapped;
+  db.schedule = pipeline::make_length_schedule(
+      m.size(), [&m](std::size_t i) { return std::size_t{m.length(i)}; });
+  dbs_.push_back(std::move(db));
+  return static_cast<std::uint32_t>(dbs_.size() - 1);
+}
+
+std::uint32_t SearchServer::add_database(bio::SequenceDatabase heap_db) {
+  Db db;
+  db.heap = std::make_unique<bio::SequenceDatabase>(std::move(heap_db));
+  db.sequences = db.heap->size();
+  db.residues = db.heap->total_residues();
+  const bio::SequenceDatabase& h = *db.heap;
+  db.schedule = pipeline::make_length_schedule(
+      h.size(), [&h](std::size_t i) { return h[i].length(); });
+  dbs_.push_back(std::move(db));
+  return static_cast<std::uint32_t>(dbs_.size() - 1);
+}
+
+std::size_t SearchServer::add_model_library(const std::string& fhpdb_path) {
+  std::vector<hmm::ModelEntry> entries = hmm::read_model_db_file(fhpdb_path);
+  const std::size_t n = entries.size();
+  for (hmm::ModelEntry& e : entries) {
+    if (!e.model_stats) {
+      // Calibrate once at load (deterministic), not per request.
+      pipeline::HmmSearch calibrated(e.model);
+      e.model_stats = calibrated.model_stats();
+    }
+    std::string name = e.model.name();
+    models_[std::move(name)] = std::move(e);
+  }
+  return n;
+}
+
+void SearchServer::serve(Listener& listener) {
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    FH_REQUIRE(listener_ == nullptr, "serve() is already running");
+    listener_ = &listener;
+    if (draining_) listener.close();  // drained before we even started
+  }
+
+  std::thread scheduler([this] { scheduler_loop(); });
+
+  for (;;) {
+    std::unique_ptr<Connection> conn = listener.accept();
+    if (!conn) break;  // listener closed: drain has begun
+    auto session = std::make_shared<Session>();
+    session->conn = std::move(conn);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.connections_accepted;
+    }
+    std::lock_guard<std::mutex> lock(state_mu_);
+    sessions_.push_back(session);
+    conn_threads_.emplace_back(
+        [this, session] { handle_connection(session); });
+  }
+
+  // No new clients.  Close the admission queue: items already accepted
+  // keep flowing to the scheduler, which exits once the ring is empty —
+  // that IS "finish in-flight".
+  queue_.close();
+  scheduler.join();
+
+  // Unblock every connection reader (clients may be idle, not sending)
+  // and join the per-connection threads.
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    for (const std::weak_ptr<Session>& weak : sessions_)
+      if (std::shared_ptr<Session> s = weak.lock()) s->conn->shutdown();
+    threads.swap(conn_threads_);
+    sessions_.clear();
+  }
+  for (std::thread& t : threads) t.join();
+
+  std::lock_guard<std::mutex> lock(state_mu_);
+  listener_ = nullptr;
+}
+
+void SearchServer::begin_drain() {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  draining_ = true;
+  paused_ = false;  // a paused scheduler must wake to drain
+  pause_cv_.notify_all();
+  if (listener_ != nullptr) listener_->close();
+}
+
+bool SearchServer::draining() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return draining_;
+}
+
+void SearchServer::set_paused(bool paused) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (draining_) return;  // drain overrides: never re-freeze a drain
+  paused_ = paused;
+  pause_cv_.notify_all();
+}
+
+// --- Connection tier ---------------------------------------------------
+
+bool SearchServer::send_reply(Session& session, MsgType type,
+                              std::uint32_t request_id,
+                              const std::vector<std::uint8_t>& payload) {
+  std::lock_guard<std::mutex> lock(session.write_mu);
+  return send_frame(*session.conn, type, request_id, payload);
+}
+
+void SearchServer::send_error(Session& session, std::uint32_t request_id,
+                              ErrorCode code, const std::string& message) {
+  send_reply(session, MsgType::kError, request_id,
+             encode_error(ErrorInfo{code, message}));
+}
+
+void SearchServer::handle_connection(const std::shared_ptr<Session>& session) {
+  Frame frame;
+  for (;;) {
+    const RecvStatus st = recv_frame(*session->conn, frame);
+    if (st == RecvStatus::kEof) break;
+    if (st == RecvStatus::kMalformed) {
+      // Unframeable bytes: this connection cannot be re-synchronized, so
+      // it closes — the server itself keeps running (tested).
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.frames_malformed;
+      break;
+    }
+    switch (frame.type()) {
+      case MsgType::kPing:
+        send_reply(*session, MsgType::kPong, frame.header.request_id, {});
+        break;
+      case MsgType::kStats: {
+        const std::string json = stats_json();
+        send_reply(*session, MsgType::kStatsResult, frame.header.request_id,
+                   std::vector<std::uint8_t>(json.begin(), json.end()));
+        break;
+      }
+      case MsgType::kSearch:
+        handle_search(session, frame);
+        break;
+      default:
+        send_error(*session, frame.header.request_id, ErrorCode::kBadRequest,
+                   "unexpected message type " +
+                       std::to_string(frame.header.type));
+        break;
+    }
+  }
+  session->conn->shutdown();
+}
+
+void SearchServer::handle_search(const std::shared_ptr<Session>& session,
+                                 const Frame& frame) {
+  const std::uint32_t id = frame.header.request_id;
+
+  SearchRequest req;
+  try {
+    req = decode_search_request(frame.payload);
+  } catch (const ProtocolError& e) {
+    // The framing layer consumed the whole payload, so the connection is
+    // still in sync — answer with an error and keep serving it.
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.requests_bad;
+    }
+    send_error(*session, id, ErrorCode::kBadRequest, e.what());
+    return;
+  }
+
+  if (draining()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.requests_rejected_draining;
+    }
+    send_error(*session, id, ErrorCode::kShuttingDown,
+               "daemon is draining; no new searches accepted");
+    return;
+  }
+
+  if (req.db_id >= dbs_.size()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.requests_bad;
+    }
+    send_error(*session, id, ErrorCode::kUnknownDatabase,
+               "no resident database with id " + std::to_string(req.db_id));
+    return;
+  }
+
+  pipeline::Thresholds thr;
+  thr.report_evalue = req.evalue;
+
+  auto pending = std::make_shared<Pending>();
+  pending->request_id = id;
+  pending->db_id = req.db_id;
+  pending->session = session;
+  if (req.deadline_ms > 0) {
+    pending->has_deadline = true;
+    pending->deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(req.deadline_ms);
+  }
+
+  try {
+    if (req.model_kind == ModelRefKind::kPressed) {
+      auto it = models_.find(req.model_name);
+      if (it == models_.end()) {
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.requests_bad;
+        }
+        send_error(*session, id, ErrorCode::kUnknownModel,
+                   "no pressed model named '" + req.model_name + "'");
+        return;
+      }
+      // add_model_library guaranteed stats are present.
+      pending->search = std::make_shared<pipeline::HmmSearch>(
+          it->second.model, *it->second.model_stats, thr);
+    } else {
+      pending->search = search_from_blob(req.model_blob, thr);
+    }
+  } catch (const Error& e) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.requests_bad;
+    }
+    send_error(*session, id, ErrorCode::kBadRequest,
+               std::string("model rejected: ") + e.what());
+    return;
+  }
+
+  if (!queue_.try_push(pending)) {
+    // Admission bound hit (or drain closed the queue between the check
+    // above and here): shed explicitly, never block the client.
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.requests_overloaded;
+    }
+    send_reply(*session, MsgType::kOverload, id,
+               encode_overload(OverloadInfo{
+                   static_cast<std::uint32_t>(queue_.capacity())}));
+    return;
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.requests_admitted;
+}
+
+// --- Scheduler tier ----------------------------------------------------
+
+void SearchServer::scheduler_loop() {
+  std::vector<std::shared_ptr<Pending>> batch;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(state_mu_);
+      pause_cv_.wait(lock, [&] { return !paused_; });
+    }
+
+    std::shared_ptr<Pending> first;
+    const PopStatus st = queue_.pop_wait(first, std::chrono::milliseconds(50));
+    if (st == PopStatus::kClosed) break;  // drained: every admitted item done
+    if (st == PopStatus::kTimeout) continue;
+
+    batch.clear();
+    batch.push_back(std::move(first));
+
+    // Coalesce window: companions that arrive within it share the sweep.
+    const auto window_end =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(cfg_.coalesce_window_ms);
+    while (batch.size() < cfg_.max_batch) {
+      std::shared_ptr<Pending> more;
+      if (queue_.try_pop(more)) {
+        batch.push_back(std::move(more));
+        continue;
+      }
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= window_end) break;
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(window_end -
+                                                                now);
+      if (queue_.pop_wait(more, std::max(remaining,
+                                         std::chrono::milliseconds(1))) !=
+          PopStatus::kItem)
+        break;
+      batch.push_back(std::move(more));
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.batches;
+      stats_.max_batch_size =
+          std::max<std::uint64_t>(stats_.max_batch_size, batch.size());
+    }
+    run_batch(batch);
+    batch.clear();
+  }
+}
+
+void SearchServer::run_batch(std::vector<std::shared_ptr<Pending>>& batch) {
+  // Group by database: one coalesced sweep per distinct resident db.
+  std::map<std::uint32_t, std::vector<std::shared_ptr<Pending>>> by_db;
+  const auto now = std::chrono::steady_clock::now();
+  for (std::shared_ptr<Pending>& p : batch) {
+    if (p->has_deadline && now > p->deadline) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.requests_deadline_expired;
+      }
+      send_error(*p->session, p->request_id, ErrorCode::kDeadlineExpired,
+                 "request expired while queued");
+      continue;
+    }
+    by_db[p->db_id].push_back(std::move(p));
+  }
+
+  for (auto& [db_id, group] : by_db) {
+    const Db& db = dbs_[db_id];
+    std::vector<const pipeline::HmmSearch*> searches;
+    searches.reserve(group.size());
+    for (const auto& p : group) searches.push_back(p->search.get());
+
+    pipeline::HmmSearch::CoalescedScan scan;
+    try {
+      scan = pipeline::HmmSearch::run_cpu_coalesced(
+          searches, db.view(), pool_, &db.schedule, &recorder_);
+    } catch (const Error& e) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        stats_.requests_failed += group.size();
+      }
+      for (const auto& p : group)
+        send_error(*p->session, p->request_id, ErrorCode::kInternal,
+                   std::string("scan failed: ") + e.what());
+      continue;
+    }
+
+    // Sweep-level accounting lands BEFORE any reply goes out, so a
+    // client that reads STATS right after its result already sees the
+    // sweep it rode in (test_server leans on this ordering too).
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.db_sweeps;
+    }
+    merge_batch_telemetry(scan.telemetry);
+
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      const pipeline::SearchResult& r = scan.per_model[i];
+      SearchResultWire wire;
+      wire.db_sequences = db.sequences;
+      wire.db_residues = db.residues;
+      wire.ssv = r.ssv;
+      wire.msv = r.msv;
+      wire.vit = r.vit;
+      wire.fwd = r.fwd;
+      wire.hits = r.hits;
+      // Completion is accounted before the reply leaves, for the same
+      // reason; only responses_dropped (needs the send outcome) lags.
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.requests_completed;
+      }
+      const bool sent =
+          send_reply(*group[i]->session, MsgType::kResult,
+                     group[i]->request_id, encode_search_result(wire));
+      if (!sent) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.responses_dropped;
+      }
+    }
+  }
+}
+
+// --- Observability -----------------------------------------------------
+
+void SearchServer::merge_batch_telemetry(const obs::ScanTelemetry& t) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  telemetry_.sequences += t.sequences;
+  telemetry_.residues += t.residues;
+  telemetry_.wall_seconds += t.wall_seconds;
+  telemetry_.zero_copy = t.zero_copy;
+  telemetry_.mapped_bytes += t.mapped_bytes;
+  telemetry_.heap_bytes += t.heap_bytes;
+  telemetry_.decoded_bytes += t.decoded_bytes;
+  for (const obs::StageTelemetry& st : t.stages) {
+    auto it = std::find_if(
+        telemetry_.stages.begin(), telemetry_.stages.end(),
+        [&](const obs::StageTelemetry& have) { return have.stage == st.stage; });
+    if (it == telemetry_.stages.end()) {
+      telemetry_.stages.push_back(st);
+      continue;
+    }
+    it->n_in += st.n_in;
+    it->n_passed += st.n_passed;
+    it->cells += st.cells;
+    it->wall_seconds += st.wall_seconds;
+    it->busy_seconds += st.busy_seconds;
+    for (const auto& [key, value] : st.counters) {
+      auto kv = std::find_if(
+          it->counters.begin(), it->counters.end(),
+          [&](const auto& have) { return have.first == key; });
+      if (kv == it->counters.end())
+        it->counters.emplace_back(key, value);
+      else
+        kv->second += value;
+    }
+  }
+}
+
+ServerStats SearchServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+obs::ScanTelemetry SearchServer::telemetry() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return telemetry_;
+}
+
+std::string SearchServer::stats_json() const {
+  ServerStats s;
+  obs::ScanTelemetry t;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    s = stats_;
+    t = telemetry_;
+  }
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema\": \"finehmm.server_stats.v1\",\n";
+  os << "  \"connections_accepted\": " << s.connections_accepted << ",\n";
+  os << "  \"requests_admitted\": " << s.requests_admitted << ",\n";
+  os << "  \"requests_completed\": " << s.requests_completed << ",\n";
+  os << "  \"requests_overloaded\": " << s.requests_overloaded << ",\n";
+  os << "  \"requests_rejected_draining\": " << s.requests_rejected_draining
+     << ",\n";
+  os << "  \"requests_deadline_expired\": " << s.requests_deadline_expired
+     << ",\n";
+  os << "  \"requests_bad\": " << s.requests_bad << ",\n";
+  os << "  \"requests_failed\": " << s.requests_failed << ",\n";
+  os << "  \"batches\": " << s.batches << ",\n";
+  os << "  \"db_sweeps\": " << s.db_sweeps << ",\n";
+  os << "  \"max_batch_size\": " << s.max_batch_size << ",\n";
+  os << "  \"responses_dropped\": " << s.responses_dropped << ",\n";
+  os << "  \"frames_malformed\": " << s.frames_malformed << ",\n";
+  os << "  \"telemetry\":\n";
+  t.write_json(os, 2);
+  os << "\n}\n";
+  return os.str();
+}
+
+}  // namespace finehmm::server

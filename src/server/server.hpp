@@ -1,0 +1,204 @@
+// The resident search daemon's core: databases stay mmap-resident and
+// concurrently queued client requests coalesce into shared database
+// sweeps.
+//
+// hmmsearch amortizes nothing across invocations — every query pays the
+// full cost of loading and walking the target database.  SearchServer is
+// the repo's hmmpgmd analog: it holds .fsqdb databases open (zero-copy,
+// page-cache warm), accepts requests over any Transport, and batches the
+// requests queued at any instant into ONE HmmSearch::run_cpu_coalesced
+// pass per database — N clients cost one sweep, not N (docs/server.md).
+//
+// Threading model (three tiers):
+//   * accept loop     — serve()'s calling thread; exits when the
+//                       listener closes (begin_drain).
+//   * connection threads — one per client: parse frames, construct the
+//                       per-request HmmSearch (profile build +
+//                       calibration happen off the scan path), answer
+//                       PING/STATS inline, and push searches onto the
+//                       admission queue.  try_push failure = immediate
+//                       OVERLOAD reply: the daemon sheds, never stalls.
+//   * scheduler thread — pops the admission queue, gathers up to
+//                       max_batch requests inside coalesce_window_ms,
+//                       groups them by database, drops expired
+//                       deadlines, runs the coalesced scan on the shared
+//                       ThreadPool, and writes each client its result.
+//
+// Drain (SIGTERM): begin_drain() stops the accept loop and flags new
+// SEARCH frames for rejection (kShuttingDown); everything already
+// admitted still completes because the closed queue keeps delivering
+// accepted items.  serve() returns once the scheduler has drained and
+// every connection thread has joined — telemetry is complete at that
+// point, ready to flush.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bio/seq_db_io.hpp"
+#include "hmm/model_db.hpp"
+#include "obs/recorder.hpp"
+#include "obs/telemetry.hpp"
+#include "pipeline/pipeline.hpp"
+#include "pipeline/workload.hpp"
+#include "server/transport.hpp"
+#include "util/mpmc_queue.hpp"
+#include "util/threadpool.hpp"
+
+namespace finehmm::server {
+
+struct ServerConfig {
+  /// Workers in the shared scan pool (0 = hardware concurrency).
+  std::size_t scan_threads = 0;
+  /// Admission queue capacity: requests queued beyond this are shed with
+  /// an OVERLOAD reply instead of blocking the client.
+  std::size_t admission_capacity = 64;
+  /// Most requests one coalesced sweep will carry.
+  std::size_t max_batch = 16;
+  /// How long the scheduler waits for companions after the first request
+  /// of a batch arrives.  The window is the coalescing opportunity: a
+  /// lone client pays it once per request; concurrent clients share it.
+  std::uint32_t coalesce_window_ms = 2;
+  /// Test hook: start with the scheduler paused (set_paused(false) to
+  /// release), so tests can deterministically fill the admission queue.
+  bool start_paused = false;
+  /// Collect span traces in the server recorder (stage clocks and the
+  /// telemetry snapshot are collected regardless).
+  bool tracing = false;
+};
+
+/// Monotonic request/connection accounting ("finehmm.server_stats.v1").
+struct ServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t requests_admitted = 0;
+  std::uint64_t requests_completed = 0;
+  std::uint64_t requests_overloaded = 0;         // shed at admission
+  std::uint64_t requests_rejected_draining = 0;  // arrived after drain began
+  std::uint64_t requests_deadline_expired = 0;   // queued past their deadline
+  std::uint64_t requests_bad = 0;      // undecodable / unknown db or model
+  std::uint64_t requests_failed = 0;   // scan raised server-side
+  std::uint64_t batches = 0;           // scheduler gathers
+  std::uint64_t db_sweeps = 0;         // coalesced database passes
+  std::uint64_t max_batch_size = 0;    // largest single coalesced group
+  std::uint64_t responses_dropped = 0; // client gone before its reply
+  std::uint64_t frames_malformed = 0;  // connections torn down on bad bytes
+};
+
+class SearchServer {
+ public:
+  explicit SearchServer(ServerConfig cfg = {});
+  ~SearchServer();
+
+  SearchServer(const SearchServer&) = delete;
+  SearchServer& operator=(const SearchServer&) = delete;
+
+  // --- Resident data (load before serve(); not thread-safe against it) --
+  /// mmap a .fsqdb and keep it resident; returns the db_id clients name.
+  std::uint32_t add_database(const std::string& fsqdb_path);
+  /// Adopt a heap database (tests and benches).
+  std::uint32_t add_database(bio::SequenceDatabase db);
+  /// Load a pressed model library (.fhpdb); models become addressable by
+  /// name via ModelRefKind::kPressed.  Models without stored calibration
+  /// are calibrated once here (deterministic), not per request.  Returns
+  /// the number of models loaded.
+  std::size_t add_model_library(const std::string& fhpdb_path);
+
+  std::size_t database_count() const { return dbs_.size(); }
+  std::size_t model_count() const { return models_.size(); }
+
+  // --- Lifecycle ------------------------------------------------------
+  /// Run the accept loop on the calling thread; returns after
+  /// begin_drain() once every in-flight request finished and every
+  /// connection thread joined.
+  void serve(Listener& listener);
+
+  /// Initiate graceful shutdown: stop accepting, reject new SEARCH
+  /// frames with kShuttingDown, finish everything already admitted.
+  /// Idempotent; safe from any thread (finehmmd calls it from its
+  /// signal-watcher thread).
+  void begin_drain();
+  bool draining() const;
+
+  /// Test hook: freeze/release the scheduler so tests can stage the
+  /// admission queue deterministically.  begin_drain() releases a pause.
+  void set_paused(bool paused);
+
+  // --- Observability --------------------------------------------------
+  ServerStats stats() const;
+  /// Batch telemetry aggregated across every coalesced sweep so far
+  /// (engine "server"; the `batch.sweeps` / `batch.queries` counters on
+  /// the msv stage make coalescing observable).
+  obs::ScanTelemetry telemetry() const;
+  /// The STATS verb's payload: ServerStats + embedded telemetry JSON.
+  std::string stats_json() const;
+
+ private:
+  struct Db {
+    std::unique_ptr<bio::MappedSeqDb> mapped;
+    std::unique_ptr<bio::SequenceDatabase> heap;
+    pipeline::ScanSchedule schedule;  // cached length-bucketed order
+    std::uint64_t sequences = 0;
+    std::uint64_t residues = 0;
+    pipeline::ScanSource view() const {
+      return mapped ? pipeline::ScanSource(*mapped)
+                    : pipeline::ScanSource(*heap);
+    }
+  };
+
+  /// One client connection.  The connection thread is the only reader;
+  /// replies (from it or the scheduler) serialize on write_mu.
+  struct Session {
+    std::unique_ptr<Connection> conn;
+    std::mutex write_mu;
+  };
+
+  /// An admitted search waiting for (or riding in) a coalesced sweep.
+  struct Pending {
+    std::uint32_t request_id = 0;
+    std::uint32_t db_id = 0;
+    std::shared_ptr<pipeline::HmmSearch> search;
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline;
+    std::shared_ptr<Session> session;
+  };
+
+  void handle_connection(const std::shared_ptr<Session>& session);
+  void handle_search(const std::shared_ptr<Session>& session,
+                     const Frame& frame);
+  void scheduler_loop();
+  void run_batch(std::vector<std::shared_ptr<Pending>>& batch);
+  bool send_reply(Session& session, MsgType type, std::uint32_t request_id,
+                  const std::vector<std::uint8_t>& payload);
+  void send_error(Session& session, std::uint32_t request_id, ErrorCode code,
+                  const std::string& message);
+  void merge_batch_telemetry(const obs::ScanTelemetry& t);
+
+  ServerConfig cfg_;
+  ThreadPool pool_;
+  obs::Recorder recorder_;
+  BoundedMpmcQueue<std::shared_ptr<Pending>> queue_;
+
+  std::vector<Db> dbs_;
+  std::map<std::string, hmm::ModelEntry> models_;
+
+  mutable std::mutex state_mu_;  // draining_, paused_, listener_, sessions_
+  std::condition_variable pause_cv_;
+  bool draining_ = false;
+  bool paused_ = false;
+  Listener* listener_ = nullptr;
+  std::vector<std::weak_ptr<Session>> sessions_;
+  std::vector<std::thread> conn_threads_;
+
+  mutable std::mutex stats_mu_;  // stats_ and telemetry_
+  ServerStats stats_;
+  obs::ScanTelemetry telemetry_;
+};
+
+}  // namespace finehmm::server

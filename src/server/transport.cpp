@@ -1,0 +1,64 @@
+#include "server/transport.hpp"
+
+#include <cstring>
+
+namespace finehmm::server {
+
+namespace {
+
+/// Read exactly `n` bytes.  Returns n on success, the short count at
+/// EOF, so the caller can tell "closed between frames" (0 read at the
+/// header) from "closed mid-frame" (partial read = malformed).
+std::size_t recv_exact(Connection& conn, void* buf, std::size_t n) {
+  std::uint8_t* dst = static_cast<std::uint8_t*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    const std::size_t r = conn.recv_some(dst + got, n - got);
+    if (r == 0) break;
+    got += r;
+  }
+  return got;
+}
+
+}  // namespace
+
+bool send_frame(Connection& conn, MsgType type, std::uint32_t request_id,
+                const std::vector<std::uint8_t>& payload) {
+  FH_REQUIRE(payload.size() <= kMaxPayload, "frame payload exceeds bound");
+  FrameHeader h;
+  h.type = static_cast<std::uint8_t>(type);
+  h.request_id = request_id;
+  h.payload_len = static_cast<std::uint32_t>(payload.size());
+
+  // One contiguous buffer so header+payload hit the stream as a single
+  // write: no interleaving risk even if a caller bypasses the server's
+  // per-connection write mutex.
+  std::vector<std::uint8_t> wire(kFrameHeaderSize + payload.size());
+  encode_header(h, wire.data());
+  if (!payload.empty())
+    std::memcpy(wire.data() + kFrameHeaderSize, payload.data(),
+                payload.size());
+  return conn.send_all(wire.data(), wire.size());
+}
+
+RecvStatus recv_frame(Connection& conn, Frame& out) {
+  std::uint8_t hdr[kFrameHeaderSize];
+  const std::size_t got = recv_exact(conn, hdr, kFrameHeaderSize);
+  if (got == 0) return RecvStatus::kEof;          // clean close between frames
+  if (got < kFrameHeaderSize) return RecvStatus::kMalformed;  // torn header
+
+  try {
+    out.header = decode_header(hdr);
+  } catch (const ProtocolError&) {
+    return RecvStatus::kMalformed;  // bad version or oversized length
+  }
+
+  out.payload.resize(out.header.payload_len);
+  if (out.header.payload_len > 0 &&
+      recv_exact(conn, out.payload.data(), out.payload.size()) !=
+          out.payload.size())
+    return RecvStatus::kMalformed;  // stream died mid-payload
+  return RecvStatus::kFrame;
+}
+
+}  // namespace finehmm::server

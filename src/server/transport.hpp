@@ -1,0 +1,72 @@
+// Byte-stream transport abstraction the daemon and clients speak over.
+//
+// Two implementations share these interfaces: an in-process loopback
+// (server/loopback.hpp — deterministic unit tests, no sockets, runs
+// clean under tsan) and POSIX TCP (server/tcp.hpp — the production
+// path).  The protocol layer above sees only ordered bytes, so every
+// integration test written against the loopback proves the TCP daemon's
+// logic too.
+//
+// Contract notes:
+//   * send_all / recv_some may be called concurrently with shutdown()
+//     from another thread; shutdown() unblocks both and is idempotent.
+//   * A Connection is used by at most one reader thread and one writer
+//     thread at a time (the server serializes writers with a per-
+//     connection mutex above this layer).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "server/protocol.hpp"
+
+namespace finehmm::server {
+
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  /// Write exactly `n` bytes; false when the peer is gone (the bytes may
+  /// have been partially written — the stream is dead either way).
+  virtual bool send_all(const void* data, std::size_t n) = 0;
+
+  /// Blocking read of up to `n` bytes; returns the count actually read,
+  /// or 0 on orderly close / shutdown().
+  virtual std::size_t recv_some(void* buf, std::size_t n) = 0;
+
+  /// Unblock any in-flight send/recv and fail all future ones.
+  /// Idempotent; safe from any thread.
+  virtual void shutdown() = 0;
+};
+
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  /// Block until a client connects; null once close() was called (or the
+  /// listener otherwise died) — the server's accept loop exits on null.
+  virtual std::unique_ptr<Connection> accept() = 0;
+
+  /// Stop accepting and unblock a blocked accept().  Idempotent.
+  virtual void close() = 0;
+};
+
+/// Outcome of reading one frame off a connection.
+enum class RecvStatus {
+  kFrame,      // `out` holds a complete, header-valid frame
+  kEof,        // orderly close (or shutdown) at a frame boundary
+  kMalformed,  // bad version / oversized length / truncated mid-frame:
+               // the stream cannot be re-synchronized, close it
+};
+
+/// Frame a message onto the stream: header then payload, one logical
+/// write.  False when the peer is gone.
+bool send_frame(Connection& conn, MsgType type, std::uint32_t request_id,
+                const std::vector<std::uint8_t>& payload);
+
+/// Read one complete frame (header validated, payload fully received).
+RecvStatus recv_frame(Connection& conn, Frame& out);
+
+}  // namespace finehmm::server

@@ -17,6 +17,14 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Thrown when a file cannot be opened, read, written or mapped.  Tools
+/// map this to a distinct exit code (examples/tool_exit.hpp) so scripts
+/// can tell "file missing/unwritable" from a domain failure.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
 /// Thrown when parsing a file (FASTA, .hmm) fails.
 class ParseError : public Error {
  public:
@@ -49,4 +57,11 @@ namespace detail {
 #define FH_REQUIRE(expr, msg)                                \
   do {                                                       \
     if (!(expr)) throw ::finehmm::Error(msg);                \
+  } while (0)
+
+/// As FH_REQUIRE, but failures surface as IoError (file open/read/write
+/// problems — anything a retry with a fixed path could cure).
+#define FH_REQUIRE_IO(expr, msg)                             \
+  do {                                                       \
+    if (!(expr)) throw ::finehmm::IoError(msg);              \
   } while (0)

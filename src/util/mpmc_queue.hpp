@@ -9,12 +9,23 @@
 // item itself instead of blocking ("help-first"), so the crew can never
 // deadlock.
 //
+// The search daemon reuses the same ring as its admission queue, which
+// needs two extra capabilities the overlapped engine does not: close()
+// (producers are gone for good, not merely idle) and a timed blocking pop
+// (consumers sleep on a condition variable instead of spinning).  A
+// closed queue rejects pushes but keeps handing out the items already
+// accepted, so "drain then stop" is one natural loop:
+//
+//   while (q.pop_wait(item, 50ms) != PopStatus::kClosed) { ... }
+//
 // Checked-build invariants (util/check.hpp, on under the sanitizer
 // presets): occupancy never exceeds capacity, pops never outrun pushes,
 // and every pop hands out the oldest queued item (global FIFO order,
 // verified with per-item tickets).
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
@@ -25,17 +36,25 @@
 
 namespace finehmm {
 
+/// Outcome of a timed blocking pop.
+enum class PopStatus {
+  kItem,     // an item was handed out
+  kTimeout,  // queue stayed empty past the deadline (and is still open)
+  kClosed,   // queue is closed AND fully drained: no item will ever come
+};
+
 template <class T>
 class BoundedMpmcQueue {
  public:
   /// End-of-run telemetry, maintained under the ring mutex (a few
   /// integer bumps on operations that already pay the lock).  Invariants
   /// a drained run must satisfy: pops == pushes, push_failures counts
-  /// rejected attempts only, max_depth <= capacity.
+  /// rejected attempts only (ring full or queue closed), max_depth <=
+  /// capacity.
   struct Stats {
     std::uint64_t pushes = 0;         // items accepted
     std::uint64_t pops = 0;           // items handed out
-    std::uint64_t push_failures = 0;  // try_push calls rejected (ring full)
+    std::uint64_t push_failures = 0;  // try_push calls rejected
     std::uint64_t max_depth = 0;      // high-water occupancy
   };
 
@@ -47,21 +66,24 @@ class BoundedMpmcQueue {
 
   std::size_t capacity() const noexcept { return ring_.size(); }
 
-  /// Non-blocking push; false when the ring is full.
+  /// Non-blocking push; false when the ring is full or the queue closed.
   bool try_push(const T& item) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (count_ == ring_.size()) {
-      ++stats_.push_failures;
-      return false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || count_ == ring_.size()) {
+        ++stats_.push_failures;
+        return false;
+      }
+      const std::size_t slot = (head_ + count_) % ring_.size();
+      ring_[slot] = item;
+      FINEHMM_IF_CHECKS(tickets_[slot] = next_push_ticket_++;)
+      ++count_;
+      ++stats_.pushes;
+      if (count_ > stats_.max_depth) stats_.max_depth = count_;
+      FINEHMM_CHECK(count_ <= ring_.size(),
+                    "queue occupancy exceeded its capacity");
     }
-    const std::size_t slot = (head_ + count_) % ring_.size();
-    ring_[slot] = item;
-    FINEHMM_IF_CHECKS(tickets_[slot] = next_push_ticket_++;)
-    ++count_;
-    ++stats_.pushes;
-    if (count_ > stats_.max_depth) stats_.max_depth = count_;
-    FINEHMM_CHECK(count_ <= ring_.size(),
-                  "queue occupancy exceeded its capacity");
+    cv_.notify_one();
     return true;
   }
 
@@ -69,18 +91,42 @@ class BoundedMpmcQueue {
   bool try_pop(T& out) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (count_ == 0) return false;
-    out = ring_[head_];
-    // FIFO visibility: the item handed out must be the oldest accepted
-    // one — its push ticket is exactly the number of pops so far.
-    FINEHMM_CHECK(tickets_[head_] == next_pop_ticket_,
-                  "queue FIFO order violated");
-    FINEHMM_IF_CHECKS(++next_pop_ticket_;)
-    head_ = (head_ + 1) % ring_.size();
-    --count_;
-    ++stats_.pops;
-    FINEHMM_CHECK(stats_.pops <= stats_.pushes,
-                  "queue handed out more items than it accepted");
+    pop_locked(out);
     return true;
+  }
+
+  /// Blocking pop with a deadline.  Returns kItem with `out` filled,
+  /// kTimeout when the queue stayed empty past `timeout` (still open),
+  /// or kClosed once the queue is closed and every accepted item has
+  /// been handed out.  Items queued before close() are still delivered.
+  PopStatus pop_wait(T& out, std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (count_ == 0) {
+      if (closed_) return PopStatus::kClosed;
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        if (count_ != 0) break;  // raced with a push at the deadline
+        return closed_ ? PopStatus::kClosed : PopStatus::kTimeout;
+      }
+    }
+    pop_locked(out);
+    return PopStatus::kItem;
+  }
+
+  /// Close the queue: all future try_push calls fail, and once the ring
+  /// drains, pop_wait returns kClosed instead of blocking.  Idempotent;
+  /// wakes every waiting consumer.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
   }
 
   bool empty() const {
@@ -97,10 +143,28 @@ class BoundedMpmcQueue {
   }
 
  private:
+  /// Hand out the oldest item.  Caller holds the mutex; count_ > 0.
+  void pop_locked(T& out) {
+    out = ring_[head_];
+    ring_[head_] = T();  // release owning payloads (e.g. shared_ptr) eagerly
+    // FIFO visibility: the item handed out must be the oldest accepted
+    // one — its push ticket is exactly the number of pops so far.
+    FINEHMM_CHECK(tickets_[head_] == next_pop_ticket_,
+                  "queue FIFO order violated");
+    FINEHMM_IF_CHECKS(++next_pop_ticket_;)
+    head_ = (head_ + 1) % ring_.size();
+    --count_;
+    ++stats_.pops;
+    FINEHMM_CHECK(stats_.pops <= stats_.pushes,
+                  "queue handed out more items than it accepted");
+  }
+
   mutable std::mutex mutex_;
+  std::condition_variable cv_;
   std::vector<T> ring_;
   std::size_t head_ = 0;
   std::size_t count_ = 0;
+  bool closed_ = false;
   Stats stats_;
 #if FINEHMM_CHECKS_ENABLED
   std::vector<std::uint64_t> tickets_;  // push serial per occupied slot

@@ -151,6 +151,125 @@ TEST(MpmcQueueStress, HelpFirstBackpressureNeverLosesWork) {
   EXPECT_EQ(stats.push_failures, helped.load());
 }
 
+// The daemon-facing half of the queue contract (docs/server.md): close()
+// plus the timed blocking pop.  These are the semantics the search
+// server's drain leans on — a closed queue still hands out everything it
+// accepted, and only then reports kClosed.
+
+TEST(MpmcQueueLifecycle, CloseRejectsPushesButDeliversAcceptedItems) {
+  BoundedMpmcQueue<int> queue(8);
+  ASSERT_TRUE(queue.try_push(1));
+  ASSERT_TRUE(queue.try_push(2));
+  queue.close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_FALSE(queue.try_push(3)) << "closed queue must reject pushes";
+
+  // Drain-then-stop as one loop: items first, kClosed only when empty.
+  int out = 0;
+  EXPECT_EQ(queue.pop_wait(out, std::chrono::milliseconds(100)),
+            PopStatus::kItem);
+  EXPECT_EQ(out, 1);
+  EXPECT_EQ(queue.pop_wait(out, std::chrono::milliseconds(100)),
+            PopStatus::kItem);
+  EXPECT_EQ(out, 2);
+  EXPECT_EQ(queue.pop_wait(out, std::chrono::milliseconds(100)),
+            PopStatus::kClosed);
+  // kClosed is terminal and idempotent.
+  EXPECT_EQ(queue.pop_wait(out, std::chrono::milliseconds(1)),
+            PopStatus::kClosed);
+  queue.close();  // idempotent
+  EXPECT_EQ(queue.stats().push_failures, 1u);
+}
+
+TEST(MpmcQueueLifecycle, PopWaitTimesOutOnAnOpenEmptyQueue) {
+  BoundedMpmcQueue<int> queue(4);
+  int out = 0;
+  EXPECT_EQ(queue.pop_wait(out, std::chrono::milliseconds(5)),
+            PopStatus::kTimeout);
+  // A push after the timeout is delivered by the next wait.
+  ASSERT_TRUE(queue.try_push(7));
+  EXPECT_EQ(queue.pop_wait(out, std::chrono::milliseconds(5)),
+            PopStatus::kItem);
+  EXPECT_EQ(out, 7);
+}
+
+TEST(MpmcQueueLifecycle, CloseWakesEveryBlockedConsumer) {
+  BoundedMpmcQueue<int> queue(4);
+  constexpr std::size_t kConsumers = 3;
+  std::atomic<std::size_t> saw_closed{0};
+  std::vector<std::thread> crew;
+  for (std::size_t c = 0; c < kConsumers; ++c) {
+    crew.emplace_back([&] {
+      int out = 0;
+      // Far longer than the test: only close() can end these waits.
+      if (queue.pop_wait(out, std::chrono::milliseconds(60000)) ==
+          PopStatus::kClosed)
+        saw_closed.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  // Give the consumers a moment to block, then close.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue.close();
+  for (auto& t : crew) t.join();
+  EXPECT_EQ(saw_closed.load(), kConsumers);
+}
+
+TEST(MpmcQueueLifecycle, DrainUnderContentionDeliversEverythingThenCloses) {
+  // The server's exact drain shape: producers race try_push against a
+  // closing queue; consumers pop_wait until kClosed.  Every ACCEPTED
+  // item must be delivered exactly once — acceptance is the try_push
+  // return value, nothing else.
+  constexpr std::size_t kProducers = 3;
+  constexpr std::size_t kConsumers = 3;
+  constexpr std::uint64_t kItems = 800;
+  BoundedMpmcQueue<std::uint64_t> queue(16);
+
+  std::vector<std::atomic<int>> delivered(kProducers * kItems);
+  for (auto& d : delivered) d.store(0, std::memory_order_relaxed);
+  std::atomic<std::uint64_t> accepted{0};
+
+  std::vector<std::thread> crew;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    crew.emplace_back([&, p] {
+      for (std::uint64_t i = 0; i < kItems; ++i) {
+        if (queue.try_push(encode(p, i)))
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        if (i % 64 == 0) std::this_thread::yield();
+      }
+    });
+  }
+  std::atomic<std::uint64_t> popped{0};
+  for (std::size_t c = 0; c < kConsumers; ++c) {
+    crew.emplace_back([&] {
+      std::uint64_t item = 0;
+      PopStatus st;
+      while ((st = queue.pop_wait(item, std::chrono::milliseconds(20))) !=
+             PopStatus::kClosed) {
+        if (st != PopStatus::kItem) continue;  // kTimeout: producers slow
+        const std::size_t p = item >> kSeqBits;
+        const std::size_t seq = item & ((1ull << kSeqBits) - 1);
+        delivered[p * kItems + seq].fetch_add(1, std::memory_order_relaxed);
+        popped.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Close mid-stream: some pushes land before, some are rejected after.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  queue.close();
+  for (auto& t : crew) t.join();
+
+  EXPECT_EQ(popped.load(), accepted.load());
+  std::uint64_t delivered_total = 0;
+  for (auto& d : delivered) {
+    ASSERT_LE(d.load(), 1);
+    delivered_total += static_cast<std::uint64_t>(d.load());
+  }
+  EXPECT_EQ(delivered_total, accepted.load());
+  const auto stats = queue.stats();
+  EXPECT_EQ(stats.pushes, accepted.load());
+  EXPECT_EQ(stats.pops, accepted.load());
+}
+
 // --------------------------------------------------------- obs::Recorder
 
 TEST(RecorderStress, ConcurrentSpanEmissionMergesDeterministically) {

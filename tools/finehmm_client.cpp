@@ -1,0 +1,248 @@
+// finehmm_client — query and probe a running finehmmd (docs/server.md).
+//
+// Usage:
+//   finehmm_client HOST:PORT [options] [<model.hmm>]
+//
+// Options:
+//   --db <n>         resident database id to search (default 0)
+//   -E <evalue>      report threshold (default 10.0)
+//   --deadline <ms>  per-request deadline; the daemon sheds the request
+//                    with an error if it sits queued past it (default:
+//                    none)
+//   --tblout <f>     write the machine-readable target table to f
+//   --ping           health-check the daemon and exit
+//   --stats          fetch the daemon's STATS JSON and print it
+//   --bench <n>      closed-loop benchmark: each client sends n requests
+//                    back to back; prints throughput and latency
+//                    percentiles instead of a report
+//   --clients <k>    concurrent connections for --bench (default 1)
+//
+// A model is required for searches and --bench; --ping/--stats need none.
+// Exit codes follow examples/tool_exit.hpp.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hmm/hmm_io.hpp"
+#include "obs/telemetry.hpp"
+#include "pipeline/report.hpp"
+#include "server/client.hpp"
+#include "server/tcp.hpp"
+#include "tool_exit.hpp"
+#include "util/timer.hpp"
+
+using namespace finehmm;
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: finehmm_client HOST:PORT [--db n] [-E evalue] "
+               "[--deadline ms] [--tblout f]\n"
+               "                      [--ping] [--stats] [--bench n "
+               "[--clients k]] [<model.hmm>]\n");
+}
+
+bool parse_hostport(const std::string& arg, std::string& host,
+                    std::uint16_t& port) {
+  const std::size_t colon = arg.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= arg.size())
+    return false;
+  host = arg.substr(0, colon);
+  const long p = std::atol(arg.c_str() + colon + 1);
+  if (p < 1 || p > 65535) return false;
+  port = static_cast<std::uint16_t>(p);
+  return true;
+}
+
+double percentile(std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  const double rank = p / 100.0 * static_cast<double>(sorted_ms.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_ms.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_ms[lo] + (sorted_ms[hi] - sorted_ms[lo]) * frac;
+}
+
+/// Closed-loop bench: k clients, each its own connection, each firing
+/// `per_client` requests back to back.  Reports aggregate throughput
+/// (guarded by obs::safe_rate) and the latency distribution.
+int run_bench(const std::string& host, std::uint16_t port,
+              std::uint32_t db_id, const hmm::Plan7Hmm& model,
+              const stats::ModelStats* model_stats, double evalue,
+              std::uint32_t deadline_ms, std::size_t per_client,
+              std::size_t clients) {
+  std::vector<std::vector<double>> lat_ms(clients);
+  std::vector<std::size_t> failures(clients, 0);
+  std::vector<std::thread> threads;
+  Timer wall;
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        server::BlockingClient client(server::tcp_connect(host, port));
+        lat_ms[c].reserve(per_client);
+        for (std::size_t i = 0; i < per_client; ++i) {
+          Timer t;
+          const server::RemoteResult rr =
+              client.search(db_id, model, model_stats, evalue, deadline_ms);
+          if (rr.status == server::ClientStatus::kOk)
+            lat_ms[c].push_back(t.seconds() * 1e3);
+          else
+            ++failures[c];
+        }
+      } catch (const std::exception&) {
+        failures[c] += per_client - lat_ms[c].size();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_s = wall.seconds();
+
+  std::vector<double> all;
+  std::size_t failed = 0;
+  for (std::size_t c = 0; c < clients; ++c) {
+    all.insert(all.end(), lat_ms[c].begin(), lat_ms[c].end());
+    failed += failures[c];
+  }
+  std::sort(all.begin(), all.end());
+
+  std::printf("{\n");
+  std::printf("  \"clients\": %zu,\n", clients);
+  std::printf("  \"requests_per_client\": %zu,\n", per_client);
+  std::printf("  \"completed\": %zu,\n", all.size());
+  std::printf("  \"failed\": %zu,\n", failed);
+  std::printf("  \"wall_seconds\": %.6f,\n", wall_s);
+  std::printf("  \"requests_per_sec\": %.3f,\n",
+              obs::safe_rate(static_cast<double>(all.size()), wall_s));
+  std::printf("  \"latency_ms\": {\"p50\": %.3f, \"p95\": %.3f, "
+              "\"p99\": %.3f, \"max\": %.3f}\n",
+              percentile(all, 50), percentile(all, 95), percentile(all, 99),
+              all.empty() ? 0.0 : all.back());
+  std::printf("}\n");
+  return failed == 0 ? tools::kOk : tools::kFailure;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string hostport, hmm_path, tblout_path;
+  std::uint32_t db_id = 0;
+  double evalue = 10.0;
+  std::uint32_t deadline_ms = 0;
+  bool do_ping = false, do_stats = false;
+  std::size_t bench_n = 0, bench_clients = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--db" && i + 1 < argc) {
+      db_id = static_cast<std::uint32_t>(std::atoll(argv[++i]));
+    } else if (arg == "-E" && i + 1 < argc) {
+      evalue = std::atof(argv[++i]);
+    } else if (arg == "--deadline" && i + 1 < argc) {
+      deadline_ms = static_cast<std::uint32_t>(std::atoll(argv[++i]));
+    } else if (arg == "--tblout" && i + 1 < argc) {
+      tblout_path = argv[++i];
+    } else if (arg == "--ping") {
+      do_ping = true;
+    } else if (arg == "--stats") {
+      do_stats = true;
+    } else if (arg == "--bench" && i + 1 < argc) {
+      bench_n = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--clients" && i + 1 < argc) {
+      bench_clients = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage();
+      return tools::kBadArgs;
+    } else if (hostport.empty()) {
+      hostport = arg;
+    } else if (hmm_path.empty()) {
+      hmm_path = arg;
+    } else {
+      usage();
+      return tools::kBadArgs;
+    }
+  }
+
+  std::string host;
+  std::uint16_t port = 0;
+  if (hostport.empty() || !parse_hostport(hostport, host, port)) {
+    usage();
+    return tools::kBadArgs;
+  }
+  const bool needs_model = bench_n > 0 || (!do_ping && !do_stats);
+  if (needs_model && hmm_path.empty()) {
+    usage();
+    return tools::kBadArgs;
+  }
+  if (bench_clients == 0) bench_clients = 1;
+
+  try {
+    std::optional<stats::ModelStats> file_stats;
+    hmm::Plan7Hmm model;
+    if (needs_model) model = hmm::read_hmm_file(hmm_path, &file_stats);
+
+    if (bench_n > 0)
+      return run_bench(host, port, db_id, model,
+                       file_stats ? &*file_stats : nullptr, evalue,
+                       deadline_ms, bench_n, bench_clients);
+
+    server::BlockingClient client(server::tcp_connect(host, port));
+
+    if (do_ping) {
+      if (!client.ping()) throw IoError("daemon did not answer PING");
+      std::printf("pong\n");
+    }
+    if (do_stats) {
+      const std::optional<std::string> json = client.stats_json();
+      if (!json) throw IoError("daemon did not answer STATS");
+      std::fputs(json->c_str(), stdout);
+    }
+    if (do_ping || do_stats) return tools::kOk;
+
+    const server::RemoteResult rr = client.search(
+        db_id, model, file_stats ? &*file_stats : nullptr, evalue,
+        deadline_ms);
+    switch (rr.status) {
+      case server::ClientStatus::kOk:
+        break;
+      case server::ClientStatus::kError:
+        std::fprintf(stderr, "error: daemon refused the search: %s\n",
+                     rr.error.message.c_str());
+        return tools::kFailure;
+      case server::ClientStatus::kOverloaded:
+        std::fprintf(stderr,
+                     "error: daemon overloaded (admission queue of %u "
+                     "full); retry later\n",
+                     rr.overload.queue_capacity);
+        return tools::kFailure;
+      case server::ClientStatus::kDisconnected:
+        throw IoError("connection to " + hostport + " died mid-request");
+    }
+
+    pipeline::SearchResult result;
+    result.hits = rr.result.hits;
+    result.ssv = rr.result.ssv;
+    result.msv = rr.result.msv;
+    result.vit = rr.result.vit;
+    result.fwd = rr.result.fwd;
+    const hmm::SearchProfile prof(model, hmm::AlignMode::kLocalMultihit, 400);
+    const pipeline::DbSummary summary{rr.result.db_sequences,
+                                      rr.result.db_residues};
+    pipeline::write_report(std::cout, result, prof, summary);
+    if (!tblout_path.empty()) {
+      std::ofstream tbl(tblout_path);
+      if (!tbl.good())
+        throw IoError("cannot open tblout file: " + tblout_path);
+      pipeline::write_tblout(tbl, result, prof, summary);
+    }
+  } catch (const std::exception& e) {
+    return tools::report_exception(e);
+  }
+  return tools::kOk;
+}

@@ -1,0 +1,145 @@
+// finehmmd — the resident search daemon (docs/server.md).
+//
+// Usage:
+//   finehmmd [options] <db.fsqdb> [<db2.fsqdb> ...]
+//
+// Options:
+//   --host <addr>    IPv4 address to bind (default 127.0.0.1)
+//   --port <n>       TCP port; 0 lets the kernel pick (default 0).  The
+//                    bound port is printed as "finehmmd: listening on
+//                    HOST:PORT" either way, so scripts can scrape it.
+//   --threads <n>    scan-pool workers (default: hardware concurrency)
+//   --queue <n>      admission queue capacity (default 64)
+//   --max-batch <n>  most requests per coalesced sweep (default 16)
+//   --window-ms <n>  coalesce gather window in milliseconds (default 2)
+//   --models <f>     load a pressed model library (.fhpdb); repeatable
+//   --pid-file <f>   write the daemon pid to f (removed on clean exit)
+//
+// Databases are mmap-resident for the process lifetime; clients name
+// them by load order (db_id 0, 1, ...).  SIGTERM or SIGINT starts a
+// graceful drain: stop accepting, finish every admitted request, then
+// exit 0 after printing the final server stats JSON to stdout.
+//
+// Exit codes follow examples/tool_exit.hpp.
+#include <pthread.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/server.hpp"
+#include "server/tcp.hpp"
+#include "tool_exit.hpp"
+
+using namespace finehmm;
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: finehmmd [--host addr] [--port n] [--threads n] "
+               "[--queue n] [--max-batch n]\n"
+               "                [--window-ms n] [--models lib.fhpdb]... "
+               "[--pid-file f] <db.fsqdb>...\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string pid_file;
+  std::vector<std::string> db_paths;
+  std::vector<std::string> model_paths;
+  server::ServerConfig cfg;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    } else if (arg == "--threads" && i + 1 < argc) {
+      cfg.scan_threads = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--queue" && i + 1 < argc) {
+      cfg.admission_capacity = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--max-batch" && i + 1 < argc) {
+      cfg.max_batch = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--window-ms" && i + 1 < argc) {
+      cfg.coalesce_window_ms = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "--models" && i + 1 < argc) {
+      model_paths.push_back(argv[++i]);
+    } else if (arg == "--pid-file" && i + 1 < argc) {
+      pid_file = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage();
+      return tools::kBadArgs;
+    } else {
+      db_paths.push_back(arg);
+    }
+  }
+  if (db_paths.empty()) {
+    usage();
+    return tools::kBadArgs;
+  }
+
+  // Block the shutdown signals in EVERY thread before ANY thread exists
+  // (the scan pool spawns inside the SearchServer constructor; the mask
+  // inherits), so only the dedicated watcher ever sees them —
+  // begin_drain then runs in normal thread context, no
+  // async-signal-safety contortions.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGTERM);
+  sigaddset(&sigs, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  try {
+    server::SearchServer srv(cfg);
+    for (const std::string& path : db_paths) {
+      const std::uint32_t id = srv.add_database(path);
+      std::printf("finehmmd: db %u = %s\n", id, path.c_str());
+    }
+    for (const std::string& path : model_paths) {
+      const std::size_t n = srv.add_model_library(path);
+      std::printf("finehmmd: loaded %zu pressed models from %s\n", n,
+                  path.c_str());
+    }
+
+    server::TcpListener listener(host, port);
+    std::printf("finehmmd: listening on %s:%u\n", host.c_str(),
+                listener.port());
+    std::fflush(stdout);  // scripts scrape the line while we serve
+
+    if (!pid_file.empty()) {
+      std::ofstream pf(pid_file);
+      if (!pf.good()) throw IoError("cannot open pid file: " + pid_file);
+      pf << ::getpid() << "\n";
+    }
+
+    std::thread watcher([&sigs, &srv] {
+      int sig = 0;
+      sigwait(&sigs, &sig);
+      std::fprintf(stderr, "finehmmd: signal %d, draining\n", sig);
+      srv.begin_drain();
+    });
+
+    srv.serve(listener);  // returns once drained and joined
+    watcher.join();
+
+    // Flush telemetry: the final stats snapshot is the daemon's last
+    // stdout output, so a supervisor's log ends with the full accounting.
+    std::cout << srv.stats_json();
+    if (!pid_file.empty()) std::remove(pid_file.c_str());
+    std::printf("finehmmd: drained, bye\n");
+  } catch (const std::exception& e) {
+    return tools::report_exception(e);
+  }
+  return tools::kOk;
+}

@@ -95,7 +95,7 @@ struct PipelineRecord {
 };
 
 double total_cells(const pipeline::SearchResult& r) {
-  return r.ssv.cells + r.msv.cells + r.vit.cells + r.fwd.cells;
+  return r.ssv.cells + r.msv.cells + r.vit.cells + r.fwd.cells + r.bwd.cells;
 }
 
 void check_hits_match(const pipeline::SearchResult& a,
@@ -267,9 +267,12 @@ int main(int argc, char** argv) {
     for (std::size_t threads : thread_counts) {
       ThreadPool pool(threads);
       pipeline::BatchScanner scanner(msv, vit, &fwd, pool.workers(), tier);
+      std::vector<std::vector<float>> moccs(scanner.workers());
       // Warm-up: fault in the scanner state before the timed loops.
-      for (std::size_t w = 0; w < scanner.workers(); ++w)
+      for (std::size_t w = 0; w < scanner.workers(); ++w) {
         scanner.msv(w, db[0].codes.data(), db[0].length());
+        scanner.decode(w, db[0].codes.data(), db[0].length(), moccs[w]);
+      }
 
       records.push_back(time_stage(
           "ssv", tier, pool, threads, db, n_byte, M,
@@ -291,11 +294,17 @@ int main(int argc, char** argv) {
           [&](std::size_t w, const std::uint8_t* s, std::size_t L) {
             scanner.fwd(w, s, L);
           }));
+      records.push_back(time_stage(
+          "bwd", tier, pool, threads, db, n_word, M,
+          [&](std::size_t w, const std::uint8_t* s, std::size_t L) {
+            scanner.decode(w, s, L, moccs[w]);
+          }));
 
       const auto& r = records;
       std::printf("tier=%-8s threads=%zu  ssv=%.3g msv=%.3g vit=%.3g "
-                  "fwd=%.3g cells/s\n",
+                  "fwd=%.3g bwd=%.3g cells/s\n",
                   cpu::simd_tier_name(tier), threads,
+                  r[r.size() - 5].cells_per_sec(),
                   r[r.size() - 4].cells_per_sec(),
                   r[r.size() - 3].cells_per_sec(),
                   r[r.size() - 2].cells_per_sec(),
@@ -337,6 +346,14 @@ int main(int argc, char** argv) {
   out << "  \"pipeline_baseline\": {\"engine\": \"parallel_heap\", "
          "\"threads\": 1, \"cells_per_sec\": 2.67178e9, "
          "\"note\": \"pre-streaming main\"},\n";
+  // Reference point for the widened Forward/Backward work: single-thread
+  // Forward cells/sec on this workload before the vector ladder was
+  // widened past 128 bits (fwd_tier() clamped every request to SSE2).
+  // The CI bench smoke guard asserts the best current fwd rate is
+  // >= 3x this on AVX2-capable hosts.
+  out << "  \"fwd_baseline\": {\"stage\": \"fwd\", \"tier\": \"sse2\", "
+         "\"threads\": 1, \"cells_per_sec\": 1.9322e8, "
+         "\"note\": \"pre-widening main, SSE2-clamped\"},\n";
   out << "  \"pipeline\": [\n";
   for (std::size_t i = 0; i < pipeline_records.size(); ++i) {
     const auto& r = pipeline_records[i];

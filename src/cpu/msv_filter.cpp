@@ -1,58 +1,60 @@
 #include "cpu/msv_filter.hpp"
 
-#include "cpu/simd_backend/backend.hpp"
-#include "cpu/simd_backend/kernels.hpp"
+#include "cpu/msv_wide.hpp"
 #include "cpu/simd_vec.hpp"
+#include "util/error.hpp"
 
 namespace finehmm::cpu {
 
+SharedMsvRows make_shared_msv_rows(const profile::MsvProfile& prof,
+                                   int lanes) {
+  SharedMsvRows out;
+  out.lanes = lanes;
+  switch (lanes) {
+    case 16:
+      out.rows = prof.striped_row(0);
+      out.Q = prof.striped_segments();
+      return out;
+    case 32: {
+      auto wide = std::make_shared<const WideMsvStripes<32>>(prof);
+      out.rows = wide->row(0);
+      out.Q = wide->segments();
+      out.owner = std::move(wide);
+      return out;
+    }
+    case 64: {
+      auto wide = std::make_shared<const WideMsvStripes<64>>(prof);
+      out.rows = wide->row(0);
+      out.Q = wide->segments();
+      out.owner = std::move(wide);
+      return out;
+    }
+    default:
+      throw Error("unsupported MSV byte lane count");
+  }
+}
+
 MsvFilter::MsvFilter(const profile::MsvProfile& prof, SimdTier tier)
-    : MsvFilter(prof, tier, nullptr) {}
+    : MsvFilter(prof, tier, SharedMsvRows{}) {}
 
 MsvFilter::MsvFilter(const profile::MsvProfile& prof, SimdTier tier,
-                     std::shared_ptr<const WideMsvStripes<32>> wide)
-    : prof_(prof), tier_(resolve_simd_tier(tier)), wide_(std::move(wide)) {
-  int lanes = profile::MsvProfile::kLanes;
-  int q = prof.striped_segments();
-  if (tier_ == SimdTier::kAvx2) {
-    if (wide_ == nullptr)
-      wide_ = std::make_shared<const WideMsvStripes<32>>(prof);
-    lanes = 32;
-    q = wide_->segments();
-  } else {
-    wide_.reset();
-  }
-  row_.assign(static_cast<std::size_t>(q) * lanes, 0);
+                     SharedMsvRows wide)
+    : prof_(prof),
+      ops_(&backend::tier_kernels(resolve_simd_tier(tier))),
+      wide_(std::move(wide)) {
+  if (wide_.rows == nullptr)
+    wide_ = make_shared_msv_rows(prof, ops_->u8_lanes);
+  FH_REQUIRE(wide_.lanes == ops_->u8_lanes,
+             "shared MSV rows built for a different lane count");
+  row_.assign(static_cast<std::size_t>(wide_.Q) * wide_.lanes, 0);
 }
 
 FilterResult MsvFilter::score(const std::uint8_t* seq, std::size_t L) {
-  switch (tier_) {
-    case SimdTier::kAvx2:
-      return backend::msv_avx2(prof_, wide_->row(0), wide_->segments(), seq,
-                               L, row_.data());
-    case SimdTier::kSse2:
-      return backend::msv_sse2(prof_, seq, L, row_.data());
-    case SimdTier::kPortable:
-      break;
-  }
-  return simd_kernels::msv_kernel<U8x16>(prof_, prof_.striped_row(0),
-                                         prof_.striped_segments(), seq, L,
-                                         row_.data());
+  return ops_->msv(prof_, wide_.rows, wide_.Q, seq, L, row_.data());
 }
 
 FilterResult MsvFilter::score(bio::PackedResidues seq, std::size_t L) {
-  switch (tier_) {
-    case SimdTier::kAvx2:
-      return backend::msv_avx2(prof_, wide_->row(0), wide_->segments(), seq,
-                               L, row_.data());
-    case SimdTier::kSse2:
-      return backend::msv_sse2(prof_, seq, L, row_.data());
-    case SimdTier::kPortable:
-      break;
-  }
-  return simd_kernels::msv_kernel<U8x16>(prof_, prof_.striped_row(0),
-                                         prof_.striped_segments(), seq, L,
-                                         row_.data());
+  return ops_->msv_packed(prof_, wide_.rows, wide_.Q, seq, L, row_.data());
 }
 
 FilterResult msv_striped(const profile::MsvProfile& prof,
@@ -62,7 +64,8 @@ FilterResult msv_striped(const profile::MsvProfile& prof,
                         profile::MsvProfile::kLanes;
   if (row.size() < n) row.resize(n);
   if (active_simd_tier() != SimdTier::kPortable && backend::have_sse2())
-    return backend::msv_sse2(prof, seq, L, row.data());
+    return backend::msv_sse2(prof, prof.striped_row(0),
+                             prof.striped_segments(), seq, L, row.data());
   return simd_kernels::msv_kernel<U8x16>(prof, prof.striped_row(0),
                                          prof.striped_segments(), seq, L,
                                          row.data());

@@ -125,6 +125,11 @@ FilterResult msv_striped_wide(const profile::MsvProfile& prof,
     if (backend::have_avx2() && active_simd_tier() == SimdTier::kAvx2)
       return backend::msv_avx2(prof, stripes.row(0), Q, seq, L, row.data());
   }
+  if constexpr (N == 64) {
+    if (backend::have_avx512() && active_simd_tier() == SimdTier::kAvx512)
+      return backend::msv_avx512(prof, stripes.row(0), Q, seq, L,
+                                 row.data());
+  }
   return simd_kernels::msv_kernel<U8xN<N>>(prof, stripes.row(0), Q, seq, L,
                                            row.data());
 }

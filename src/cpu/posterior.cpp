@@ -165,14 +165,10 @@ std::vector<float> model_occupancy(const PosteriorMatrices& pm) {
   return mocc;
 }
 
-std::vector<Domain> define_domains(const hmm::SearchProfile& prof,
-                                   const std::uint8_t* seq, std::size_t L,
-                                   const DomainDefOptions& opts) {
-  // The checkpointed decoder (O(M*sqrt(L)) memory) produces the same
-  // occupancies as the full matrices; domain definition only needs mocc.
-  auto ck = model_occupancy_checkpointed(prof, seq, L);
-  const auto& mocc = ck.mocc;
-
+std::vector<Domain> domains_from_occupancy(const hmm::SearchProfile& prof,
+                                           const std::uint8_t* seq,
+                                           std::size_t L, const float* mocc,
+                                           const DomainDefOptions& opts) {
   std::vector<Domain> out;
   std::size_t i = 0;
   while (i < L) {
@@ -206,6 +202,15 @@ std::vector<Domain> define_domains(const hmm::SearchProfile& prof,
     i = hi + 1;
   }
   return out;
+}
+
+std::vector<Domain> define_domains(const hmm::SearchProfile& prof,
+                                   const std::uint8_t* seq, std::size_t L,
+                                   const DomainDefOptions& opts) {
+  // The checkpointed decoder (O(M*sqrt(L)) memory) produces the same
+  // occupancies as the full matrices; domain definition only needs mocc.
+  auto ck = model_occupancy_checkpointed(prof, seq, L);
+  return domains_from_occupancy(prof, seq, L, ck.mocc.data(), opts);
 }
 
 }  // namespace finehmm::cpu

@@ -60,7 +60,18 @@ struct Domain {
   std::vector<Alignment> alignments;   // Viterbi alignment of the envelope
 };
 
-/// Define and score domains for one sequence.
+/// Define and score domains from a precomputed occupancy track (mocc[i]
+/// = P(residue i+1 emitted by the core model), L entries).  This is the
+/// common tail of every decode path: the scalar checkpointed decoder and
+/// the vectorized fwd/bwd filters (FwdFilter::decode) both produce mocc
+/// and delegate envelope definition, rescoring and alignment here.
+std::vector<Domain> domains_from_occupancy(const hmm::SearchProfile& prof,
+                                           const std::uint8_t* seq,
+                                           std::size_t L, const float* mocc,
+                                           const DomainDefOptions& opts = {});
+
+/// Define and score domains for one sequence (computes the occupancy
+/// track with the scalar checkpointed decoder, then delegates).
 std::vector<Domain> define_domains(const hmm::SearchProfile& prof,
                                    const std::uint8_t* seq, std::size_t L,
                                    const DomainDefOptions& opts = {});

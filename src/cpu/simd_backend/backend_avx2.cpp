@@ -50,6 +50,22 @@ FilterResult vit_avx2(const profile::VitProfile& prof,
                                              dmx, lazyf_passes);
 }
 
+float fwd_avx2(const profile::FwdProfile& prof,
+               const simd_kernels::FwdStripesView& st,
+               const std::uint8_t* seq, std::size_t L, float* mmx,
+               float* imx, float* dmx) {
+  return simd_kernels::fwd_kernel<AvxF32x8>(prof, st, seq, L, mmx, imx,
+                                            dmx);
+}
+
+float fwd_bwd_avx2(const profile::FwdProfile& prof,
+                   const simd_kernels::FwdStripesView& st,
+                   const std::uint8_t* seq, std::size_t L,
+                   const simd_kernels::FwdBwdScratch& ws, float* mocc) {
+  return simd_kernels::fwd_bwd_kernel<AvxF32x8>(prof, st, seq, L, ws,
+                                                mocc);
+}
+
 FilterResult msv_avx2(const profile::MsvProfile& prof,
                       const std::uint8_t* rows, int Q,
                       bio::PackedResidues seq, std::size_t L,
@@ -80,6 +96,17 @@ FilterResult vit_avx2(const profile::VitProfile&,
                       const simd_kernels::VitStripesView&,
                       const std::uint8_t*, std::size_t, std::int16_t*,
                       std::int16_t*, std::int16_t*, int*) {
+  throw Error("AVX2 backend not compiled into this binary");
+}
+float fwd_avx2(const profile::FwdProfile&,
+               const simd_kernels::FwdStripesView&, const std::uint8_t*,
+               std::size_t, float*, float*, float*) {
+  throw Error("AVX2 backend not compiled into this binary");
+}
+float fwd_bwd_avx2(const profile::FwdProfile&,
+                   const simd_kernels::FwdStripesView&,
+                   const std::uint8_t*, std::size_t,
+                   const simd_kernels::FwdBwdScratch&, float*) {
   throw Error("AVX2 backend not compiled into this binary");
 }
 FilterResult msv_avx2(const profile::MsvProfile&, const std::uint8_t*, int,

@@ -19,83 +19,93 @@ namespace finehmm::cpu::backend {
 bool have_sse2() { return true; }
 
 FilterResult msv_sse2(const profile::MsvProfile& prof,
+                      const std::uint8_t* rows, int Q,
                       const std::uint8_t* seq, std::size_t L,
                       std::uint8_t* row) {
-  return simd_kernels::msv_kernel<SseU8x16>(
-      prof, prof.striped_row(0), prof.striped_segments(), seq, L, row);
+  return simd_kernels::msv_kernel<SseU8x16>(prof, rows, Q, seq, L, row);
 }
 
 FilterResult ssv_sse2(const profile::MsvProfile& prof,
+                      const std::uint8_t* rows, int Q,
                       const std::uint8_t* seq, std::size_t L,
                       std::uint8_t* row) {
-  return simd_kernels::ssv_kernel<SseU8x16>(
-      prof, prof.striped_row(0), prof.striped_segments(), seq, L, row);
+  return simd_kernels::ssv_kernel<SseU8x16>(prof, rows, Q, seq, L, row);
 }
 
 FilterResult vit_sse2(const profile::VitProfile& prof,
+                      const simd_kernels::VitStripesView& st,
                       const std::uint8_t* seq, std::size_t L,
                       std::int16_t* mmx, std::int16_t* imx,
                       std::int16_t* dmx, int* lazyf_passes) {
-  simd_kernels::VitStripesView st;
-  st.msc = prof.msc_striped(0);
-  st.tmm = prof.tmm_striped();
-  st.tim = prof.tim_striped();
-  st.tdm = prof.tdm_striped();
-  st.tmi = prof.tmi_striped();
-  st.tii = prof.tii_striped();
-  st.tmd = prof.tmd_striped();
-  st.tdd = prof.tdd_striped();
-  st.Q = prof.striped_segments();
   return simd_kernels::vit_kernel<SseI16x8>(prof, st, seq, L, mmx, imx,
                                             dmx, lazyf_passes);
 }
 
-float fwd_sse2(const profile::FwdProfile& prof, const std::uint8_t* seq,
-               std::size_t L, float* mmx, float* imx, float* dmx) {
-  return simd_kernels::fwd_kernel<SseF32x4>(prof, seq, L, mmx, imx, dmx);
+float fwd_sse2(const profile::FwdProfile& prof,
+               const simd_kernels::FwdStripesView& st,
+               const std::uint8_t* seq, std::size_t L, float* mmx,
+               float* imx, float* dmx) {
+  return simd_kernels::fwd_kernel<SseF32x4>(prof, st, seq, L, mmx, imx,
+                                            dmx);
+}
+
+float fwd_bwd_sse2(const profile::FwdProfile& prof,
+                   const simd_kernels::FwdStripesView& st,
+                   const std::uint8_t* seq, std::size_t L,
+                   const simd_kernels::FwdBwdScratch& ws, float* mocc) {
+  return simd_kernels::fwd_bwd_kernel<SseF32x4>(prof, st, seq, L, ws,
+                                                mocc);
 }
 
 FilterResult msv_sse2(const profile::MsvProfile& prof,
+                      const std::uint8_t* rows, int Q,
                       bio::PackedResidues seq, std::size_t L,
                       std::uint8_t* row) {
-  return simd_kernels::msv_kernel<SseU8x16>(
-      prof, prof.striped_row(0), prof.striped_segments(), seq, L, row);
+  return simd_kernels::msv_kernel<SseU8x16>(prof, rows, Q, seq, L, row);
 }
 
 FilterResult ssv_sse2(const profile::MsvProfile& prof,
+                      const std::uint8_t* rows, int Q,
                       bio::PackedResidues seq, std::size_t L,
                       std::uint8_t* row) {
-  return simd_kernels::ssv_kernel<SseU8x16>(
-      prof, prof.striped_row(0), prof.striped_segments(), seq, L, row);
+  return simd_kernels::ssv_kernel<SseU8x16>(prof, rows, Q, seq, L, row);
 }
 
 #else  // non-x86 host: stubs, never dispatched to
 
 bool have_sse2() { return false; }
 
-FilterResult msv_sse2(const profile::MsvProfile&, const std::uint8_t*,
-                      std::size_t, std::uint8_t*) {
+FilterResult msv_sse2(const profile::MsvProfile&, const std::uint8_t*, int,
+                      const std::uint8_t*, std::size_t, std::uint8_t*) {
   throw Error("SSE2 backend not available on this target");
 }
-FilterResult ssv_sse2(const profile::MsvProfile&, const std::uint8_t*,
-                      std::size_t, std::uint8_t*) {
+FilterResult ssv_sse2(const profile::MsvProfile&, const std::uint8_t*, int,
+                      const std::uint8_t*, std::size_t, std::uint8_t*) {
   throw Error("SSE2 backend not available on this target");
 }
-FilterResult vit_sse2(const profile::VitProfile&, const std::uint8_t*,
-                      std::size_t, std::int16_t*, std::int16_t*,
-                      std::int16_t*, int*) {
+FilterResult vit_sse2(const profile::VitProfile&,
+                      const simd_kernels::VitStripesView&,
+                      const std::uint8_t*, std::size_t, std::int16_t*,
+                      std::int16_t*, std::int16_t*, int*) {
   throw Error("SSE2 backend not available on this target");
 }
-float fwd_sse2(const profile::FwdProfile&, const std::uint8_t*, std::size_t,
-               float*, float*, float*) {
+float fwd_sse2(const profile::FwdProfile&,
+               const simd_kernels::FwdStripesView&, const std::uint8_t*,
+               std::size_t, float*, float*, float*) {
   throw Error("SSE2 backend not available on this target");
 }
-FilterResult msv_sse2(const profile::MsvProfile&, bio::PackedResidues,
-                      std::size_t, std::uint8_t*) {
+float fwd_bwd_sse2(const profile::FwdProfile&,
+                   const simd_kernels::FwdStripesView&,
+                   const std::uint8_t*, std::size_t,
+                   const simd_kernels::FwdBwdScratch&, float*) {
   throw Error("SSE2 backend not available on this target");
 }
-FilterResult ssv_sse2(const profile::MsvProfile&, bio::PackedResidues,
-                      std::size_t, std::uint8_t*) {
+FilterResult msv_sse2(const profile::MsvProfile&, const std::uint8_t*, int,
+                      bio::PackedResidues, std::size_t, std::uint8_t*) {
+  throw Error("SSE2 backend not available on this target");
+}
+FilterResult ssv_sse2(const profile::MsvProfile&, const std::uint8_t*, int,
+                      bio::PackedResidues, std::size_t, std::uint8_t*) {
   throw Error("SSE2 backend not available on this target");
 }
 

@@ -3,12 +3,13 @@
 // Each kernel is the single definition of its filter's inner loop,
 // templated on a vector class V that supplies the lane operations via
 // ADL-found friends (splat/load/store, max_u8/adds_u8/subs_u8/hmax_u8 for
-// bytes; max_i16/adds_w/hmax_i16/any_gt_i16 for words; add_f/mul_f/hsum_f
-// for floats; shift_lanes_up for all).  The portable classes
-// (cpu/simd_vec.hpp, cpu/msv_wide.hpp, cpu/vit_wide.hpp) and the native
-// SSE2/AVX2 wrappers (vec_sse2.hpp, vec_avx2.hpp) all satisfy the same
-// contract, so every tier executes literally the same algorithm — which
-// is what makes the bit-exactness guarantee structural rather than
+// bytes; max_i16/adds_w/hmax_i16/any_gt_i16 for words;
+// add_f/mul_f/hsum_f/shift_lanes_down for floats; shift_lanes_up for
+// all).  The portable classes (cpu/simd_vec.hpp, cpu/msv_wide.hpp,
+// cpu/vit_wide.hpp, cpu/fwd_wide.hpp) and the native SSE2/AVX2/AVX-512
+// wrappers (vec_sse2.hpp, vec_avx2.hpp, vec_avx512.hpp) all satisfy the
+// same contract, so every tier executes literally the same algorithm —
+// which is what makes the bit-exactness guarantee structural rather than
 // empirical.
 //
 // Kernels take raw striped-parameter pointers (residue x's stripe row
@@ -286,125 +287,476 @@ FilterResult vit_kernel(const profile::VitProfile& prof,
   return out;
 }
 
-/// Striped float Forward.  The lane count is pinned to the profile's
-/// 4-float striping: float summation order is part of the result, so the
-/// 128-bit width is the widest bit-exact tier for this filter (see
-/// docs/simd_dispatch.md).  mmx/imx/dmx are Q*4 floats of caller scratch.
+// ---------------------------------------------------------------------
+// Striped float Forward / Backward (probability space, per-row rescaled).
+//
+// The lane count is a tier parameter: the same kernel instantiates at 4
+// (portable/SSE2), 8 (AVX2) and 16 (AVX-512) float lanes over a
+// FwdStripesView built for that width.  Float summation order is part of
+// the result, so different widths agree only within the documented
+// log-sum tolerance; portable and native runs of the SAME width are
+// bit-identical (in-order hsum_f is part of the vector contract).
+// ---------------------------------------------------------------------
+
+inline constexpr float kFwdRescaleHi = 1e12f;
+inline constexpr float kFwdRescaleLo = 1e-12f;
+inline constexpr float kFwdDdEpsilon = 1e-9f;  // relative wrap-mass cutoff
+
+/// The striped parameter arrays the Forward/Backward kernels read, laid
+/// out for one lane count N (slot(k) = ((k-1)%Q)*N + (k-1)/Q; residue x's
+/// emission-odds stripes live at odds + x*Q*N).  The in-indexed arrays
+/// hold the k-1 -> k transition probability at slot(k) (what Forward
+/// consumes); the out-indexed arrays hold k -> k+1 at slot(k), zero at
+/// k = M (what Backward consumes) and may be null when only Forward runs.
+struct FwdStripesView {
+  const float* odds = nullptr;
+  const float* tmm = nullptr;     // in: P(M_{k-1} -> M_k)
+  const float* tim = nullptr;     // in: P(I_{k-1} -> M_k)
+  const float* tdm = nullptr;     // in: P(D_{k-1} -> M_k)
+  const float* tmi = nullptr;     // at k: P(M_k -> I_k)
+  const float* tii = nullptr;     // at k: P(I_k -> I_k)
+  const float* tmd = nullptr;     // in: P(M_{k-1} -> D_k)
+  const float* tdd = nullptr;     // in: P(D_{k-1} -> D_k)
+  const float* tmm_out = nullptr; // out: P(M_k -> M_{k+1})
+  const float* tim_out = nullptr; // out: P(I_k -> M_{k+1})
+  const float* tdm_out = nullptr; // out: P(D_k -> M_{k+1})
+  const float* tmd_out = nullptr; // out: P(M_k -> D_{k+1})
+  const float* tdd_out = nullptr; // out: P(D_k -> D_{k+1})
+  float entry = 0.0f;             // uniform local B -> M_k probability
+  int Q = 0;
+};
+
+/// Special-state accumulators threaded through a Forward sweep; the row
+/// loop, the specials update and the rescale step are factored out so the
+/// plain score and the checkpointed decode execute literally the same
+/// float operations (the decode's replay DCHECK depends on it).
+struct FwdSweepState {
+  double scale_log = 0.0;  // accumulated log of factored-out mass
+  float xN = 1.0f;
+  float xB = 0.0f;
+  float xJ = 0.0f;
+  float xC = 0.0f;
+};
+
+/// One striped Forward row: consumes the previous row in mmx/imx/dmx and
+/// replaces it, returning this row's xE mass.  `odds` is the residue's
+/// stripe row; `xb_entry` is xB(previous row) * entry.
+template <class V>
+inline float fwd_row(const FwdStripesView& st, const float* odds,
+                     float xb_entry, float* mmx, float* imx, float* dmx) {
+  constexpr int N = V::kLanes;
+  const int Q = st.Q;
+  auto stripe = [](float* v, int q) {
+    return v + static_cast<std::size_t>(q) * N;
+  };
+
+  V xEv = V::splat(0.0f);
+  const V xBv = V::splat(xb_entry);
+
+  // Previous row's last stripe, lane-shifted = the diagonal.
+  V mpv = shift_lanes_up(V::load(stripe(mmx, Q - 1)));
+  V ipv = shift_lanes_up(V::load(stripe(imx, Q - 1)));
+  V dpv = shift_lanes_up(V::load(stripe(dmx, Q - 1)));
+
+  // Same-row, same-lane left neighbours for the D recurrence; see
+  // cpu/fwd_filter.hpp for the striping notes.
+  V m_left = V::splat(0.0f);
+  V d_left = V::splat(0.0f);
+
+  for (int q = 0; q < Q; ++q) {
+    const std::size_t off = static_cast<std::size_t>(q) * N;
+    V sv = xBv;
+    sv = add_f(sv, mul_f(mpv, V::load(st.tmm + off)));
+    sv = add_f(sv, mul_f(ipv, V::load(st.tim + off)));
+    sv = add_f(sv, mul_f(dpv, V::load(st.tdm + off)));
+    sv = mul_f(sv, V::load(odds + off));
+    xEv = add_f(xEv, sv);
+
+    V d = add_f(mul_f(m_left, V::load(st.tmd + off)),
+                mul_f(d_left, V::load(st.tdd + off)));
+
+    mpv = V::load(stripe(mmx, q));
+    ipv = V::load(stripe(imx, q));
+    dpv = V::load(stripe(dmx, q));
+
+    sv.store(stripe(mmx, q));
+    d.store(stripe(dmx, q));
+
+    V iv = add_f(mul_f(mpv, V::load(st.tmi + off)),
+                 mul_f(ipv, V::load(st.tii + off)));
+    iv.store(stripe(imx, q));
+
+    m_left = sv;
+    d_left = d;
+  }
+
+  // Cross-lane D mass: geometric decay through the row; stop once the
+  // circulating mass is negligible next to what is already banked.  The
+  // monitoring sums accumulate in vector registers (one hsum per pass,
+  // not two per stripe) — that is most of the kernel's speedup over the
+  // old 128-bit implementation.
+  V extra = add_f(mul_f(shift_lanes_up(m_left), V::load(st.tmd)),
+                  mul_f(shift_lanes_up(d_left), V::load(st.tdd)));
+  for (int pass = 0; pass < N * Q; ++pass) {
+    V circv = V::splat(0.0f);
+    V heldv = V::splat(0.0f);
+    for (int q = 0; q < Q; ++q) {
+      const std::size_t off = static_cast<std::size_t>(q) * N;
+      if (q > 0) extra = mul_f(extra, V::load(st.tdd + off));
+      V cur = V::load(stripe(dmx, q));
+      circv = add_f(circv, extra);
+      heldv = add_f(heldv, cur);
+      add_f(cur, extra).store(stripe(dmx, q));
+    }
+    if (hsum_f(circv) <= kFwdDdEpsilon * (hsum_f(heldv) + kFwdRescaleLo))
+      break;
+    extra = mul_f(shift_lanes_up(extra), V::load(st.tdd));
+  }
+
+  return hsum_f(xEv);
+}
+
+/// Special-state update after a Forward row with mass xE.
+template <class LM>
+inline void fwd_row_specials(FwdSweepState& s, const LM& lm, float xE) {
+  s.xJ = s.xJ * lm.loop + xE * lm.e_j;
+  s.xC = s.xC * lm.loop + xE * lm.e_c;
+  s.xN = s.xN * lm.loop;
+  s.xB = s.xN * lm.move + s.xJ * lm.move;
+}
+
+/// Rescale when the row's mass drifts out of float's comfortable range;
+/// returns the factor applied to the DP rows (1.0f when none).
+inline float fwd_row_rescale(FwdSweepState& s, float xE, float* mmx,
+                             float* imx, float* dmx, std::size_t n) {
+  if (!(xE > 0.0f && (xE > kFwdRescaleHi || xE < kFwdRescaleLo)))
+    return 1.0f;
+  const float inv = 1.0f / xE;
+  for (std::size_t j = 0; j < n; ++j) mmx[j] *= inv;
+  for (std::size_t j = 0; j < n; ++j) imx[j] *= inv;
+  for (std::size_t j = 0; j < n; ++j) dmx[j] *= inv;
+  s.xN *= inv;
+  s.xB *= inv;
+  s.xJ *= inv;
+  s.xC *= inv;
+  s.scale_log += std::log(static_cast<double>(xE));
+  return inv;
+}
+
+/// Striped float Forward over N = V::kLanes lanes.  mmx/imx/dmx are Q*N
+/// floats of caller scratch; `prof` supplies the length model only.
 template <class V, class Seq>
-float fwd_kernel(const profile::FwdProfile& prof, Seq seq, std::size_t L,
-                 float* mmx, float* imx, float* dmx) {
-  static_assert(V::kLanes == profile::FwdProfile::kLanes,
-                "Forward striping is fixed at 4 float lanes");
-  constexpr int kLanes = profile::FwdProfile::kLanes;
-  constexpr float kRescaleHi = 1e12f;
-  constexpr float kRescaleLo = 1e-12f;
-  constexpr float kDdEpsilon = 1e-9f;  // relative wrap-mass cutoff
+float fwd_kernel(const profile::FwdProfile& prof, const FwdStripesView& st,
+                 Seq seq, std::size_t L, float* mmx, float* imx,
+                 float* dmx) {
+  constexpr int N = V::kLanes;
   FINEHMM_CHECK(L >= 1, "cannot score an empty sequence");
-  const int Q = prof.striped_segments();
+  const int Q = st.Q;
   const auto lm = prof.length_model_for(static_cast<int>(L));
-  const std::size_t n = static_cast<std::size_t>(Q) * kLanes;
+  const std::size_t n = static_cast<std::size_t>(Q) * N;
 
   std::fill(mmx, mmx + n, 0.0f);
   std::fill(imx, imx + n, 0.0f);
   std::fill(dmx, dmx + n, 0.0f);
 
-  auto stripe = [](float* v, int q) {
-    return v + static_cast<std::size_t>(q) * kLanes;
-  };
-
-  double scale_log = 0.0;  // accumulated log of factored-out mass
-  float xN = 1.0f;
-  float xB = xN * lm.move;
-  float xJ = 0.0f;
-  float xC = 0.0f;
+  FwdSweepState s;
+  s.xB = s.xN * lm.move;
 
   for (std::size_t i = 0; i < L; ++i) {
-    const float* odds = prof.odds_striped(seq[i]);
-    V xEv = V::splat(0.0f);
-    const V xBv = V::splat(xB * prof.entry());
+    const float* odds = st.odds + static_cast<std::size_t>(seq[i]) * n;
+    const float xE = fwd_row<V>(st, odds, s.xB * st.entry, mmx, imx, dmx);
+    fwd_row_specials(s, lm, xE);
+    fwd_row_rescale(s, xE, mmx, imx, dmx, n);
+  }
 
-    // Previous row's last stripe, lane-shifted = the diagonal.
-    V mpv = shift_lanes_up(V::load(stripe(mmx, Q - 1)));
-    V ipv = shift_lanes_up(V::load(stripe(imx, Q - 1)));
-    V dpv = shift_lanes_up(V::load(stripe(dmx, Q - 1)));
+  if (s.xC <= 0.0f) return kNegInf;
+  return static_cast<float>(std::log(static_cast<double>(s.xC) * lm.move) +
+                            s.scale_log);
+}
 
-    // Same-row, same-lane left neighbours for the D recurrence; see
-    // cpu/fwd_filter.hpp for the striping notes.
-    V m_left = V::splat(0.0f);
-    V d_left = V::splat(0.0f);
+/// Caller-owned workspace for the checkpointed Forward/Backward decode.
+/// All pointers are raw caller storage (the kernel allocates nothing):
+///   mmx/imx/dmx      Q*N floats each — forward DP rows;
+///   snap             n_blocks * 3*Q*N — (M,I,D) state after row b*block;
+///   blk_m/blk_i      block * Q*N each — replayed forward rows;
+///   row_xb/row_inv   L+1 floats — per-row post-rescale xB / rescale inv;
+///   row_scale        L+1 doubles — cumulative scale_log after each row;
+///   bwd_m/bwd_i/bwd_d/bwd_on  Q*N floats each — backward DP rows.
+/// block is the checkpoint spacing (ceil(sqrt(L)) from the driver) and
+/// n_blocks = ceil(L / block); memory is O(M * sqrt(L)).
+struct FwdBwdScratch {
+  float* mmx = nullptr;
+  float* imx = nullptr;
+  float* dmx = nullptr;
+  float* snap = nullptr;
+  float* blk_m = nullptr;
+  float* blk_i = nullptr;
+  float* row_xb = nullptr;
+  float* row_inv = nullptr;
+  double* row_scale = nullptr;
+  float* bwd_m = nullptr;
+  float* bwd_i = nullptr;
+  float* bwd_d = nullptr;
+  float* bwd_on = nullptr;
+  int block = 0;
+  int n_blocks = 0;
+};
 
-    for (int q = 0; q < Q; ++q) {
-      const std::size_t off = static_cast<std::size_t>(q) * kLanes;
-      V sv = xBv;
-      sv = add_f(sv, mul_f(mpv, V::load(prof.tmm_striped() + off)));
-      sv = add_f(sv, mul_f(ipv, V::load(prof.tim_striped() + off)));
-      sv = add_f(sv, mul_f(dpv, V::load(prof.tdm_striped() + off)));
-      sv = mul_f(sv, V::load(odds + off));
-      xEv = add_f(xEv, sv);
+/// Checkpointed Forward + Backward with posterior model occupancy.
+///
+/// Pass 1 is the plain Forward sweep (bit-identical to fwd_kernel: same
+/// row/specials/rescale helpers in the same order) recording per-row xB,
+/// rescale factors and sqrt(L)-spaced (M,I,D) snapshots.  Pass 2 walks
+/// blocks last-to-first: replaying each block's forward rows from its
+/// snapshot (bitwise reconstruction — checked against the next snapshot
+/// under FINEHMM_CHECKS), then sweeping the Backward recurrence over the
+/// replayed rows and emitting mocc[i-1] = P(residue i emitted by the
+/// core model | sequence) for i = 1..L.  Returns the Forward score in
+/// nats (identical to fwd_kernel's).
+///
+/// The Backward recurrence mirrors the Forward's striping: the in-stripe
+/// D chain runs top-down per lane, and the lane-crossing D mass wraps
+/// through shift_lanes_down with the same epsilon cutoff the Forward
+/// wrap uses.  Backward rows rescale on the row's bxB mass with the log
+/// factor accumulated separately (bscale), so the posterior combines as
+/// exp(log(rowsum) + row_scale[i] + bscale - total).
+template <class V, class Seq>
+float fwd_bwd_kernel(const profile::FwdProfile& prof,
+                     const FwdStripesView& st, Seq seq, std::size_t L,
+                     const FwdBwdScratch& ws, float* mocc) {
+  constexpr int N = V::kLanes;
+  FINEHMM_CHECK(L >= 1, "cannot score an empty sequence");
+  FINEHMM_CHECK(st.tdd_out != nullptr,
+                "fwd_bwd_kernel needs the out-indexed transition stripes");
+  FINEHMM_CHECK(ws.block >= 1 && ws.n_blocks >= 1 &&
+                    static_cast<std::size_t>(ws.block) *
+                            static_cast<std::size_t>(ws.n_blocks) >=
+                        L,
+                "checkpoint geometry must cover the sequence");
+  const int Q = st.Q;
+  const auto lm = prof.length_model_for(static_cast<int>(L));
+  const std::size_t n = static_cast<std::size_t>(Q) * N;
+  const std::size_t row_bytes = n * sizeof(float);
 
-      V d = add_f(mul_f(m_left, V::load(prof.tmd_in_striped() + off)),
-                  mul_f(d_left, V::load(prof.tdd_in_striped() + off)));
+  float* mmx = ws.mmx;
+  float* imx = ws.imx;
+  float* dmx = ws.dmx;
+  auto snap_at = [&](int b) { return ws.snap + static_cast<std::size_t>(b) * 3 * n; };
 
-      mpv = V::load(stripe(mmx, q));
-      ipv = V::load(stripe(imx, q));
-      dpv = V::load(stripe(dmx, q));
+  // ---- Pass 1: Forward, recording checkpoints ----
+  std::fill(mmx, mmx + n, 0.0f);
+  std::fill(imx, imx + n, 0.0f);
+  std::fill(dmx, dmx + n, 0.0f);
 
-      sv.store(stripe(mmx, q));
-      d.store(stripe(dmx, q));
+  FwdSweepState s;
+  s.xB = s.xN * lm.move;
+  ws.row_xb[0] = s.xB;
+  ws.row_inv[0] = 1.0f;
+  ws.row_scale[0] = 0.0;
+  std::memcpy(snap_at(0), mmx, row_bytes);
+  std::memcpy(snap_at(0) + n, imx, row_bytes);
+  std::memcpy(snap_at(0) + 2 * n, dmx, row_bytes);
 
-      V iv = add_f(mul_f(mpv, V::load(prof.tmi_striped() + off)),
-                   mul_f(ipv, V::load(prof.tii_striped() + off)));
-      iv.store(stripe(imx, q));
-
-      m_left = sv;
-      d_left = d;
-    }
-
-    // Cross-lane D mass: geometric decay through the row; stop once the
-    // circulating mass is negligible next to what is already banked.
-    V extra =
-        add_f(mul_f(shift_lanes_up(m_left), V::load(prof.tmd_in_striped())),
-              mul_f(shift_lanes_up(d_left), V::load(prof.tdd_in_striped())));
-    for (int pass = 0; pass < 4 * Q; ++pass) {
-      float circulating = 0.0f;
-      float held = 0.0f;
-      for (int q = 0; q < Q; ++q) {
-        const std::size_t off = static_cast<std::size_t>(q) * kLanes;
-        if (q > 0)
-          extra = mul_f(extra, V::load(prof.tdd_in_striped() + off));
-        V cur = V::load(stripe(dmx, q));
-        circulating += hsum_f(extra);
-        held += hsum_f(cur);
-        add_f(cur, extra).store(stripe(dmx, q));
-      }
-      if (circulating <= kDdEpsilon * (held + kRescaleLo)) break;
-      extra =
-          mul_f(shift_lanes_up(extra), V::load(prof.tdd_in_striped()));
-    }
-
-    float xE = hsum_f(xEv);
-    xJ = xJ * lm.loop + xE * lm.e_j;
-    xC = xC * lm.loop + xE * lm.e_c;
-    xN = xN * lm.loop;
-    xB = xN * lm.move + xJ * lm.move;
-
-    // Rescale when the row's mass drifts out of float's comfortable range.
-    if (xE > 0.0f && (xE > kRescaleHi || xE < kRescaleLo)) {
-      float inv = 1.0f / xE;
-      for (std::size_t j = 0; j < n; ++j) mmx[j] *= inv;
-      for (std::size_t j = 0; j < n; ++j) imx[j] *= inv;
-      for (std::size_t j = 0; j < n; ++j) dmx[j] *= inv;
-      xN *= inv;
-      xB *= inv;
-      xJ *= inv;
-      xC *= inv;
-      scale_log += std::log(static_cast<double>(xE));
+  for (std::size_t i = 1; i <= L; ++i) {
+    const float* odds =
+        st.odds + static_cast<std::size_t>(seq[i - 1]) * n;
+    const float xE = fwd_row<V>(st, odds, s.xB * st.entry, mmx, imx, dmx);
+    fwd_row_specials(s, lm, xE);
+    ws.row_inv[i] = fwd_row_rescale(s, xE, mmx, imx, dmx, n);
+    ws.row_xb[i] = s.xB;
+    ws.row_scale[i] = s.scale_log;
+    const std::size_t b = i / static_cast<std::size_t>(ws.block);
+    if (i % static_cast<std::size_t>(ws.block) == 0 &&
+        b < static_cast<std::size_t>(ws.n_blocks)) {
+      std::memcpy(snap_at(static_cast<int>(b)), mmx, row_bytes);
+      std::memcpy(snap_at(static_cast<int>(b)) + n, imx, row_bytes);
+      std::memcpy(snap_at(static_cast<int>(b)) + 2 * n, dmx, row_bytes);
     }
   }
 
-  if (xC <= 0.0f) return kNegInf;
-  return static_cast<float>(std::log(static_cast<double>(xC) * lm.move) +
-                            scale_log);
+  if (s.xC <= 0.0f) {
+    std::fill(mocc, mocc + L, 0.0f);
+    return kNegInf;
+  }
+  const double total =
+      std::log(static_cast<double>(s.xC) * lm.move) + s.scale_log;
+
+  // ---- Pass 2: blocks last-to-first, Backward over replayed rows ----
+  float* bm = ws.bwd_m;
+  float* bi = ws.bwd_i;
+  float* bd = ws.bwd_d;
+  float* bon = ws.bwd_on;
+  auto stripe = [](float* v, int q) {
+    return v + static_cast<std::size_t>(q) * N;
+  };
+
+  // Row L init: only C -> T move survives; M states exit through E.
+  float bN = 0.0f;
+  float bJ = 0.0f;
+  float bC = lm.move;
+  double bscale = 0.0;
+  std::fill(bm, bm + n, lm.e_c * bC + lm.e_j * bJ);
+  std::fill(bi, bi + n, 0.0f);
+  std::fill(bd, bd + n, 0.0f);
+
+  for (int b = ws.n_blocks - 1; b >= 0; --b) {
+    const std::size_t lo =
+        static_cast<std::size_t>(b) * static_cast<std::size_t>(ws.block) + 1;
+    const std::size_t hi = std::min<std::size_t>(
+        L, lo + static_cast<std::size_t>(ws.block) - 1);
+
+    // Replay forward rows lo..hi from snapshot b (bitwise: same fwd_row,
+    // same stored xB products, same stored rescale factors).
+    std::memcpy(mmx, snap_at(b), row_bytes);
+    std::memcpy(imx, snap_at(b) + n, row_bytes);
+    std::memcpy(dmx, snap_at(b) + 2 * n, row_bytes);
+    for (std::size_t i = lo; i <= hi; ++i) {
+      const float* odds =
+          st.odds + static_cast<std::size_t>(seq[i - 1]) * n;
+      fwd_row<V>(st, odds, ws.row_xb[i - 1] * st.entry, mmx, imx, dmx);
+      const float inv = ws.row_inv[i];
+      if (inv != 1.0f) {
+        for (std::size_t j = 0; j < n; ++j) mmx[j] *= inv;
+        for (std::size_t j = 0; j < n; ++j) imx[j] *= inv;
+        for (std::size_t j = 0; j < n; ++j) dmx[j] *= inv;
+      }
+      std::memcpy(ws.blk_m + (i - lo) * n, mmx, row_bytes);
+      std::memcpy(ws.blk_i + (i - lo) * n, imx, row_bytes);
+    }
+#if FINEHMM_CHECKS_ENABLED
+    if (b + 1 < ws.n_blocks) {
+      const float* nxt = snap_at(b + 1);
+      FINEHMM_DCHECK(std::memcmp(nxt, mmx, row_bytes) == 0 &&
+                         std::memcmp(nxt + n, imx, row_bytes) == 0 &&
+                         std::memcmp(nxt + 2 * n, dmx, row_bytes) == 0,
+                     "checkpoint replay must reconstruct the next "
+                     "snapshot bitwise");
+    }
+#endif
+
+    // Backward sweep rows hi..lo.  Entering the block, bm/bi/bd hold row
+    // hi+1 (or the row-L init); each iteration steps to row i, combines
+    // with the replayed forward row, then rescales if needed.
+    for (std::size_t i = hi;; --i) {
+      if (i < L) {
+        // Step row i+1 -> i; consumes residue i+1 (seq[i], 0-based).
+        const float* odds =
+            st.odds + static_cast<std::size_t>(seq[i]) * n;
+
+        // on(k) = odds(x_{i+1}, k) * bM(i+1, k), plus its total.
+        V sum_on_v = V::splat(0.0f);
+        for (int q = 0; q < Q; ++q) {
+          const std::size_t off = static_cast<std::size_t>(q) * N;
+          const V on = mul_f(V::load(odds + off), V::load(stripe(bm, q)));
+          on.store(stripe(bon, q));
+          sum_on_v = add_f(sum_on_v, on);
+        }
+        const float sum_on = hsum_f(sum_on_v);
+
+        // Special states (adjoints of the forward specials).
+        const float bxB = st.entry * sum_on;
+        bJ = bJ * lm.loop + bxB * lm.move;
+        bN = bN * lm.loop + bxB * lm.move;
+        bC = bC * lm.loop;
+        const float bxE = lm.e_c * bC + lm.e_j * bJ;
+
+        // In-stripe D chain, top-down per lane; the lane-crossing link
+        // at the last stripe starts at zero and is filled by the wrap.
+        V dnext = V::splat(0.0f);
+        for (int q = Q - 1; q >= 0; --q) {
+          const std::size_t off = static_cast<std::size_t>(q) * N;
+          const V onp = q == Q - 1 ? shift_lanes_down(V::load(bon))
+                                   : V::load(stripe(bon, q + 1));
+          const V d = add_f(mul_f(V::load(st.tdm_out + off), onp),
+                            mul_f(V::load(st.tdd_out + off), dnext));
+          d.store(stripe(bd, q));
+          dnext = d;
+        }
+        // Lane-crossing D mass, mirroring the Forward wrap: the delta
+        // entering stripe Q-1 of lane j is the (partial) bd of stripe 0,
+        // lane j+1, scaled by tdd_out; propagate until negligible.
+        V extra = mul_f(V::load(st.tdd_out + (Q - 1) * N),
+                        shift_lanes_down(V::load(bd)));
+        for (int pass = 0; pass < N * Q; ++pass) {
+          V circv = V::splat(0.0f);
+          V heldv = V::splat(0.0f);
+          for (int q = Q - 1; q >= 0; --q) {
+            const std::size_t off = static_cast<std::size_t>(q) * N;
+            if (q < Q - 1) extra = mul_f(extra, V::load(st.tdd_out + off));
+            V cur = V::load(stripe(bd, q));
+            circv = add_f(circv, extra);
+            heldv = add_f(heldv, cur);
+            add_f(cur, extra).store(stripe(bd, q));
+          }
+          if (hsum_f(circv) <=
+              kFwdDdEpsilon * (hsum_f(heldv) + kFwdRescaleLo))
+            break;
+          extra = mul_f(shift_lanes_down(extra),
+                        V::load(st.tdd_out + (Q - 1) * N));
+        }
+
+        // bM / bI rows in place (bM reads old bI, so it goes first).
+        const V bxEv = V::splat(bxE);
+        for (int q = 0; q < Q; ++q) {
+          const std::size_t off = static_cast<std::size_t>(q) * N;
+          const V onp = q == Q - 1 ? shift_lanes_down(V::load(bon))
+                                   : V::load(stripe(bon, q + 1));
+          const V bdp = q == Q - 1 ? shift_lanes_down(V::load(bd))
+                                   : V::load(stripe(bd, q + 1));
+          const V bip = V::load(stripe(bi, q));
+          V bmv = bxEv;
+          bmv = add_f(bmv, mul_f(V::load(st.tmm_out + off), onp));
+          bmv = add_f(bmv, mul_f(V::load(st.tmi + off), bip));
+          bmv = add_f(bmv, mul_f(V::load(st.tmd_out + off), bdp));
+          const V biv = add_f(mul_f(V::load(st.tim_out + off), onp),
+                              mul_f(V::load(st.tii + off), bip));
+          bmv.store(stripe(bm, q));
+          biv.store(stripe(bi, q));
+        }
+      }
+
+      // Combine: posterior mass of residue i in the core model.
+      {
+        const float* fm = ws.blk_m + (i - lo) * n;
+        const float* fi = ws.blk_i + (i - lo) * n;
+        V rsv = V::splat(0.0f);
+        for (int q = 0; q < Q; ++q) {
+          const std::size_t off = static_cast<std::size_t>(q) * N;
+          rsv = add_f(rsv, add_f(mul_f(V::load(fm + off), V::load(bm + off)),
+                                 mul_f(V::load(fi + off), V::load(bi + off))));
+        }
+        const float rowsum = hsum_f(rsv);
+        if (rowsum > 0.0f) {
+          const double lp = std::log(static_cast<double>(rowsum)) +
+                            ws.row_scale[i] + bscale - total;
+          const float p = static_cast<float>(std::exp(lp));
+          mocc[i - 1] = p < 1.0f ? p : 1.0f;
+        } else {
+          mocc[i - 1] = 0.0f;
+        }
+      }
+
+      // Rescale the backward rows on the same trigger the forward uses;
+      // bN tracks the total suffix mass (zero only at the row-L init,
+      // which never needs rescaling).
+      const float brow = bN;
+      if (brow > 0.0f &&
+          (brow > kFwdRescaleHi || brow < kFwdRescaleLo)) {
+        const float inv = 1.0f / brow;
+        for (std::size_t j = 0; j < n; ++j) bm[j] *= inv;
+        for (std::size_t j = 0; j < n; ++j) bi[j] *= inv;
+        for (std::size_t j = 0; j < n; ++j) bd[j] *= inv;
+        bN *= inv;
+        bJ *= inv;
+        bC *= inv;
+        bscale += std::log(static_cast<double>(brow));
+      }
+
+      if (i == lo) break;
+    }
+  }
+
+  return static_cast<float>(total);
 }
 
 }  // namespace finehmm::cpu::simd_kernels

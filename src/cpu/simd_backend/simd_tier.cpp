@@ -23,7 +23,7 @@ SimdTier env_or_auto_tier() {
         if (parsed.has_value()) return resolve_simd_tier(*parsed);
         std::fprintf(stderr,
                      "finehmm: ignoring unknown FINEHMM_SIMD value '%s' "
-                     "(expected portable|sse2|avx2|auto)\n",
+                     "(expected portable|sse2|avx2|avx512|auto)\n",
                      env);
       }
     }
@@ -35,6 +35,7 @@ SimdTier env_or_auto_tier() {
 }  // namespace
 
 SimdTier max_simd_tier() {
+  if (backend::have_avx512()) return SimdTier::kAvx512;
   if (backend::have_avx2()) return SimdTier::kAvx2;
   if (backend::have_sse2()) return SimdTier::kSse2;
   return SimdTier::kPortable;
@@ -48,14 +49,16 @@ bool simd_tier_supported(SimdTier tier) {
       return backend::have_sse2();
     case SimdTier::kAvx2:
       return backend::have_avx2();
+    case SimdTier::kAvx512:
+      return backend::have_avx512();
   }
   return false;
 }
 
 std::vector<SimdTier> supported_simd_tiers() {
   std::vector<SimdTier> out;
-  for (SimdTier t :
-       {SimdTier::kPortable, SimdTier::kSse2, SimdTier::kAvx2})
+  for (SimdTier t : {SimdTier::kPortable, SimdTier::kSse2, SimdTier::kAvx2,
+                     SimdTier::kAvx512})
     if (simd_tier_supported(t)) out.push_back(t);
   return out;
 }
@@ -87,6 +90,8 @@ const char* simd_tier_name(SimdTier tier) {
       return "sse2";
     case SimdTier::kAvx2:
       return "avx2";
+    case SimdTier::kAvx512:
+      return "avx512";
   }
   return "unknown";
 }
@@ -95,6 +100,7 @@ std::optional<SimdTier> parse_simd_tier(std::string_view name) {
   if (name == "portable" || name == "scalar") return SimdTier::kPortable;
   if (name == "sse2" || name == "sse") return SimdTier::kSse2;
   if (name == "avx2" || name == "avx") return SimdTier::kAvx2;
+  if (name == "avx512" || name == "avx512bw") return SimdTier::kAvx512;
   return std::nullopt;
 }
 

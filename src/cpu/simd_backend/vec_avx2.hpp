@@ -1,7 +1,8 @@
 // Native AVX2 lane classes satisfying the simd_kernels vector contract.
 //
-// 32 byte lanes for MSV/SSV and 16 word lanes for the ViterbiFilter —
-// the same re-striping HMMER shipped when it grew AVX2 support.  The only
+// 32 byte lanes for MSV/SSV, 16 word lanes for the ViterbiFilter and 8
+// float lanes for Forward/Backward — the same re-striping HMMER shipped
+// when it grew AVX2 support.  The only
 // genuinely AVX2-specific wrinkle is shift_lanes_up: VPALIGNR operates
 // within each 128-bit half, so the byte that crosses the half boundary
 // has to be carried over with a VPERM2I128 first (the standard idiom).
@@ -103,6 +104,47 @@ struct AvxI16x16 {
   }
   friend bool any_gt_i16(AvxI16x16 a, AvxI16x16 b) {
     return _mm256_movemask_epi8(_mm256_cmpgt_epi16(a.v, b.v)) != 0;
+  }
+};
+
+/// 8 floats in one YMM register (Forward/Backward lane type, AVX2 tier).
+struct AvxF32x8 {
+  static constexpr int kLanes = 8;
+  __m256 v;
+
+  static AvxF32x8 splat(float x) { return {_mm256_set1_ps(x)}; }
+  static AvxF32x8 load(const float* p) { return {_mm256_loadu_ps(p)}; }
+  void store(float* p) const { _mm256_storeu_ps(p, v); }
+
+  friend AvxF32x8 add_f(AvxF32x8 a, AvxF32x8 b) {
+    return {_mm256_add_ps(a.v, b.v)};
+  }
+  friend AvxF32x8 mul_f(AvxF32x8 a, AvxF32x8 b) {
+    return {_mm256_mul_ps(a.v, b.v)};
+  }
+  /// Lane j <- lane j-1 across all 8 lanes, lane 0 <- 0.0f: same
+  /// VPERM2I128 carry idiom as the byte shift, four bytes at a time.
+  friend AvxF32x8 shift_lanes_up(AvxF32x8 a) {
+    const __m256i ai = _mm256_castps_si256(a.v);
+    __m256i carry = _mm256_permute2x128_si256(ai, ai, 0x08);
+    return {_mm256_castsi256_ps(_mm256_alignr_epi8(ai, carry, 12))};
+  }
+  /// Lane j <- lane j+1, lane 7 <- 0.0f: the carry copy holds [hi, 0] so
+  /// lane 3 pulls from lane 4 and the top lane drains to zero.
+  friend AvxF32x8 shift_lanes_down(AvxF32x8 a) {
+    const __m256i ai = _mm256_castps_si256(a.v);
+    __m256i carry = _mm256_permute2x128_si256(ai, ai, 0x81);
+    return {_mm256_castsi256_ps(_mm256_alignr_epi8(carry, ai, 4))};
+  }
+  /// In-order lane sum starting from 0.0f: bit-identical to the portable
+  /// 8-lane F32xN::hsum_f (portable and native runs of the same width
+  /// must agree exactly; see docs/simd_dispatch.md).
+  friend float hsum_f(AvxF32x8 a) {
+    alignas(32) float t[8];
+    _mm256_store_ps(t, a.v);
+    float s = 0.0f;
+    for (int i = 0; i < 8; ++i) s += t[i];
+    return s;
   }
 };
 

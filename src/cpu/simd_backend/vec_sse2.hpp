@@ -119,6 +119,10 @@ struct SseF32x4 {
   friend SseF32x4 shift_lanes_up(SseF32x4 a) {
     return {_mm_castsi128_ps(_mm_slli_si128(_mm_castps_si128(a.v), 4))};
   }
+  /// Lane j <- lane j+1, lane 3 <- 0.0f.
+  friend SseF32x4 shift_lanes_down(SseF32x4 a) {
+    return {_mm_castsi128_ps(_mm_srli_si128(_mm_castps_si128(a.v), 4))};
+  }
   /// In-order lane sum starting from 0.0f: bit-identical to the portable
   /// F32x4::hsum_f, which the Forward score contract depends on.
   friend float hsum_f(SseF32x4 a) {

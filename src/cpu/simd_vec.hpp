@@ -159,6 +159,13 @@ struct F32x4 {
     for (int i = 1; i < kLanes; ++i) r.v[i] = a.v[i - 1];
     return r;
   }
+  /// Shift lanes down by one (lane j <- lane j+1), top lane <- 0.0f.
+  friend F32x4 shift_lanes_down(F32x4 a) {
+    F32x4 r;
+    for (int i = 0; i + 1 < kLanes; ++i) r.v[i] = a.v[i + 1];
+    r.v[kLanes - 1] = 0.0f;
+    return r;
+  }
   friend float hsum_f(F32x4 a) {
     float s = 0.0f;
     for (auto e : a.v) s += e;

@@ -79,7 +79,8 @@ FilterResult ssv_striped(const profile::MsvProfile& prof,
                         profile::MsvProfile::kLanes;
   if (row.size() < n) row.resize(n);
   if (active_simd_tier() != SimdTier::kPortable && backend::have_sse2())
-    return backend::ssv_sse2(prof, seq, L, row.data());
+    return backend::ssv_sse2(prof, prof.striped_row(0),
+                             prof.striped_segments(), seq, L, row.data());
   return simd_kernels::ssv_kernel<U8x16>(prof, prof.striped_row(0),
                                          prof.striped_segments(), seq, L,
                                          row.data());

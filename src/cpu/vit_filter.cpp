@@ -1,65 +1,58 @@
 #include "cpu/vit_filter.hpp"
 
-#include "cpu/simd_backend/backend.hpp"
-#include "cpu/simd_backend/kernels.hpp"
 #include "cpu/simd_vec.hpp"
+#include "cpu/vit_wide.hpp"
+#include "util/error.hpp"
 
 namespace finehmm::cpu {
 
-namespace {
-
-simd_kernels::VitStripesView profile_view(const profile::VitProfile& prof) {
-  simd_kernels::VitStripesView st;
-  st.msc = prof.msc_striped(0);
-  st.tmm = prof.tmm_striped();
-  st.tim = prof.tim_striped();
-  st.tdm = prof.tdm_striped();
-  st.tmi = prof.tmi_striped();
-  st.tii = prof.tii_striped();
-  st.tmd = prof.tmd_striped();
-  st.tdd = prof.tdd_striped();
-  st.Q = prof.striped_segments();
-  return st;
+SharedVitStripes make_shared_vit_stripes(const profile::VitProfile& prof,
+                                         int lanes) {
+  SharedVitStripes out;
+  out.lanes = lanes;
+  switch (lanes) {
+    case 8:
+      out.view = backend::vit_native_view(prof);
+      return out;
+    case 16: {
+      auto wide = std::make_shared<const WideVitStripes<16>>(prof);
+      out.view = wide->view();
+      out.owner = std::move(wide);
+      return out;
+    }
+    case 32: {
+      auto wide = std::make_shared<const WideVitStripes<32>>(prof);
+      out.view = wide->view();
+      out.owner = std::move(wide);
+      return out;
+    }
+    default:
+      throw Error("unsupported Viterbi word lane count");
+  }
 }
 
-}  // namespace
-
 VitFilter::VitFilter(const profile::VitProfile& prof, SimdTier tier)
-    : VitFilter(prof, tier, nullptr) {}
+    : VitFilter(prof, tier, SharedVitStripes{}) {}
 
 VitFilter::VitFilter(const profile::VitProfile& prof, SimdTier tier,
-                     std::shared_ptr<const WideVitStripes<16>> wide)
-    : prof_(prof), tier_(resolve_simd_tier(tier)), wide_(std::move(wide)) {
-  int lanes = profile::VitProfile::kLanes;
-  int q = prof.striped_segments();
-  if (tier_ == SimdTier::kAvx2) {
-    if (wide_ == nullptr)
-      wide_ = std::make_shared<const WideVitStripes<16>>(prof);
-    lanes = 16;
-    q = wide_->segments();
-  } else {
-    wide_.reset();
-  }
-  const std::size_t n = static_cast<std::size_t>(q) * lanes;
+                     SharedVitStripes wide)
+    : prof_(prof),
+      ops_(&backend::tier_kernels(resolve_simd_tier(tier))),
+      wide_(std::move(wide)) {
+  if (wide_.view.msc == nullptr)
+    wide_ = make_shared_vit_stripes(prof, ops_->i16_lanes);
+  FH_REQUIRE(wide_.lanes == ops_->i16_lanes,
+             "shared Viterbi stripes built for a different lane count");
+  const std::size_t n =
+      static_cast<std::size_t>(wide_.view.Q) * wide_.lanes;
   mmx_.assign(n, profile::kWordNegInf);
   imx_.assign(n, profile::kWordNegInf);
   dmx_.assign(n, profile::kWordNegInf);
 }
 
 FilterResult VitFilter::score(const std::uint8_t* seq, std::size_t L) {
-  switch (tier_) {
-    case SimdTier::kAvx2:
-      return backend::vit_avx2(prof_, wide_->view(), seq, L, mmx_.data(),
-                               imx_.data(), dmx_.data(), &lazyf_passes_);
-    case SimdTier::kSse2:
-      return backend::vit_sse2(prof_, seq, L, mmx_.data(), imx_.data(),
-                               dmx_.data(), &lazyf_passes_);
-    case SimdTier::kPortable:
-      break;
-  }
-  return simd_kernels::vit_kernel<I16x8>(prof_, profile_view(prof_), seq, L,
-                                         mmx_.data(), imx_.data(),
-                                         dmx_.data(), &lazyf_passes_);
+  return ops_->vit(prof_, wide_.view, seq, L, mmx_.data(), imx_.data(),
+                   dmx_.data(), &lazyf_passes_);
 }
 
 FilterResult vit_striped(const profile::VitProfile& prof,
@@ -73,10 +66,11 @@ FilterResult vit_striped(const profile::VitProfile& prof,
     dmx.resize(n);
   }
   if (active_simd_tier() != SimdTier::kPortable && backend::have_sse2())
-    return backend::vit_sse2(prof, seq, L, mmx.data(), imx.data(),
-                             dmx.data());
-  return simd_kernels::vit_kernel<I16x8>(prof, profile_view(prof), seq, L,
-                                         mmx.data(), imx.data(), dmx.data());
+    return backend::vit_sse2(prof, backend::vit_native_view(prof), seq, L,
+                             mmx.data(), imx.data(), dmx.data());
+  return simd_kernels::vit_kernel<I16x8>(prof, backend::vit_native_view(prof),
+                                         seq, L, mmx.data(), imx.data(),
+                                         dmx.data());
 }
 
 }  // namespace finehmm::cpu

@@ -8,10 +8,10 @@
 // fires — the "Lazy-F" insight of Farrar (2007) that HMMER 3.0 and the
 // paper's GPU kernel both rely on.  Word values match vit_scalar exactly.
 //
-// Like MsvFilter, the filter dispatches to the widest native tier the
-// host supports; the AVX2 tier runs 16 word lanes and re-stripes all
-// eight parameter arrays once per (model, filter), shareable between
-// workers through the shared_ptr constructor.
+// Like MsvFilter, the filter resolves its tier through the backend's
+// kernel table; tiers wider than the profile's native 8-word layout
+// re-stripe all eight parameter arrays once per (model, lane count),
+// shareable between workers through SharedVitStripes.
 #pragma once
 
 #include <cstddef>
@@ -20,20 +20,34 @@
 #include <vector>
 
 #include "cpu/filter_result.hpp"
+#include "cpu/simd_backend/backend.hpp"
 #include "cpu/simd_backend/simd_tier.hpp"
-#include "cpu/vit_wide.hpp"
 #include "profile/vit_profile.hpp"
 
 namespace finehmm::cpu {
+
+/// A tier's striped Viterbi parameters, type-erased like SharedMsvRows:
+/// the 8-lane view aliases the VitProfile's own arrays (owner empty); the
+/// wide re-stripings keep their WideVitStripes<N> alive via owner.
+struct SharedVitStripes {
+  std::shared_ptr<const void> owner;
+  simd_kernels::VitStripesView view;
+  int lanes = 0;
+};
+
+/// Build (or alias) the parameter stripes for one word lane count: 8
+/// reads the VitProfile's own striping zero-copy; 16/32 re-stripe once.
+SharedVitStripes make_shared_vit_stripes(const profile::VitProfile& prof,
+                                         int lanes);
 
 class VitFilter {
  public:
   explicit VitFilter(const profile::VitProfile& prof,
                      SimdTier tier = active_simd_tier());
-  /// Share a prebuilt 16-lane parameter re-striping between workers (only
-  /// read when the resolved tier is AVX2; may be nullptr otherwise).
+  /// Share a prebuilt parameter re-striping between workers; its lane
+  /// count must match the resolved tier's.
   VitFilter(const profile::VitProfile& prof, SimdTier tier,
-            std::shared_ptr<const WideVitStripes<16>> wide);
+            SharedVitStripes wide);
 
   FilterResult score(const std::uint8_t* seq, std::size_t L);
 
@@ -42,16 +56,14 @@ class VitFilter {
   int last_lazyf_passes() const noexcept { return lazyf_passes_; }
 
   /// The tier score() actually runs (requested clamped to supported).
-  SimdTier tier() const noexcept { return tier_; }
-  /// The 16-lane parameter stripes, non-null iff tier() == kAvx2.
-  const std::shared_ptr<const WideVitStripes<16>>& wide_stripes() const {
-    return wide_;
-  }
+  SimdTier tier() const noexcept { return ops_->tier; }
+  /// The parameter stripes score() reads (shareable with other workers).
+  const SharedVitStripes& wide_stripes() const { return wide_; }
 
  private:
   const profile::VitProfile& prof_;
-  SimdTier tier_;
-  std::shared_ptr<const WideVitStripes<16>> wide_;
+  const backend::TierKernels* ops_;
+  SharedVitStripes wide_;
   std::vector<std::int16_t> mmx_, imx_, dmx_;  // Q stripes x lane words
   int lazyf_passes_ = 0;
 };

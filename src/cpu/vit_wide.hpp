@@ -160,6 +160,11 @@ FilterResult vit_striped_wide(const profile::VitProfile& prof,
       return backend::vit_avx2(prof, st.view(), seq, L, mmx.data(),
                                imx.data(), dmx.data());
   }
+  if constexpr (N == 32) {
+    if (backend::have_avx512() && active_simd_tier() == SimdTier::kAvx512)
+      return backend::vit_avx512(prof, st.view(), seq, L, mmx.data(),
+                                 imx.data(), dmx.data());
+  }
   return simd_kernels::vit_kernel<I16xN<N>>(prof, st.view(), seq, L,
                                             mmx.data(), imx.data(),
                                             dmx.data());

@@ -12,6 +12,7 @@ const char* stage_name(Stage s) {
     case Stage::kMsv: return "msv";
     case Stage::kVit: return "vit";
     case Stage::kFwd: return "fwd";
+    case Stage::kBwd: return "bwd";
     case Stage::kOther: return "other";
   }
   return "?";

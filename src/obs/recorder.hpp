@@ -34,10 +34,18 @@
 
 namespace finehmm::obs {
 
-/// Pipeline stages a worker can bank busy time against.  kOther covers
-/// non-cascade work (traceback, decode, report assembly).
-enum class Stage : int { kSsv = 0, kMsv = 1, kVit = 2, kFwd = 3, kOther = 4 };
-inline constexpr int kStageCount = 5;
+/// Pipeline stages a worker can bank busy time against.  kBwd is the
+/// checkpointed Backward + posterior decode over Forward survivors;
+/// kOther covers non-cascade work (traceback, report assembly).
+enum class Stage : int {
+  kSsv = 0,
+  kMsv = 1,
+  kVit = 2,
+  kFwd = 3,
+  kBwd = 4,
+  kOther = 5
+};
+inline constexpr int kStageCount = 6;
 const char* stage_name(Stage s);
 
 /// Free-running per-thread counters merged alongside the stage clocks.

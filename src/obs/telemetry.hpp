@@ -43,7 +43,7 @@ std::string json_rate(double units, double seconds);
 
 /// One pipeline stage as every engine reports it.
 struct StageTelemetry {
-  std::string stage;            // "ssv" | "msv" | "vit" | "fwd"
+  std::string stage;            // "ssv" | "msv" | "vit" | "fwd" | "bwd"
   std::uint64_t n_in = 0;       // sequences entering
   std::uint64_t n_passed = 0;   // sequences surviving
   double cells = 0.0;           // DP cells evaluated

@@ -1,10 +1,9 @@
 #include "pipeline/batch_scanner.hpp"
 
 #include <memory>
+#include <type_traits>
 
 #include "cpu/simd_backend/backend.hpp"
-#include "cpu/simd_backend/kernels.hpp"
-#include "cpu/simd_vec.hpp"
 #include "util/check.hpp"
 #include "util/error.hpp"
 
@@ -14,31 +13,33 @@ BatchScanner::BatchScanner(const profile::MsvProfile& msv,
                            const profile::VitProfile& vit,
                            const profile::FwdProfile* fwd,
                            std::size_t workers, cpu::SimdTier tier)
-    : msv_(msv), tier_(cpu::resolve_simd_tier(tier)) {
+    : msv_(msv),
+      tier_(cpu::resolve_simd_tier(tier)),
+      ops_(&cpu::backend::tier_kernels(tier_)) {
   FH_REQUIRE(workers >= 1, "need at least one worker");
 
-  // Immutable wide re-stripings, built once and shared by every worker.
-  std::shared_ptr<const cpu::WideMsvStripes<32>> msv_wide;
-  std::shared_ptr<const cpu::WideVitStripes<16>> vit_wide;
-  if (tier_ == cpu::SimdTier::kAvx2) {
-    msv_wide = std::make_shared<const cpu::WideMsvStripes<32>>(msv);
-    vit_wide = std::make_shared<const cpu::WideVitStripes<16>>(vit);
-  }
+  // Immutable re-stripings for the resolved tier, built once and shared
+  // by every worker (zero-copy aliases of the profiles' own arrays for
+  // the 128-bit tiers).
+  ssv_rows_ = cpu::make_shared_msv_rows(msv, ops_->u8_lanes);
+  cpu::SharedVitStripes vit_wide =
+      cpu::make_shared_vit_stripes(vit, ops_->i16_lanes);
+  std::shared_ptr<const cpu::WideFwdStripes> fwd_wide;
+  if (fwd != nullptr)
+    fwd_wide = std::make_shared<const cpu::WideFwdStripes>(
+        *fwd, ops_->f32_lanes);
 
   const std::size_t ssv_row_bytes =
-      tier_ == cpu::SimdTier::kAvx2
-          ? static_cast<std::size_t>(msv_wide->segments()) * 32
-          : static_cast<std::size_t>(msv.striped_segments()) *
-                profile::MsvProfile::kLanes;
+      static_cast<std::size_t>(ssv_rows_.Q) * ssv_rows_.lanes;
 
   workers_.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) {
-    Worker worker{cpu::MsvFilter(msv, tier_, msv_wide),
+    Worker worker{cpu::MsvFilter(msv, tier_, ssv_rows_),
                   cpu::VitFilter(vit, tier_, vit_wide),
                   std::nullopt,
                   std::vector<std::uint8_t>(ssv_row_bytes, 0),
                   WorkerLoad{}};
-    if (fwd != nullptr) worker.fwd.emplace(*fwd, tier_);
+    if (fwd != nullptr) worker.fwd.emplace(*fwd, tier_, fwd_wide);
     workers_.push_back(std::move(worker));
   }
 }
@@ -55,20 +56,12 @@ template <class Seq>
 cpu::FilterResult BatchScanner::ssv_impl(std::size_t w, Seq seq,
                                          std::size_t L) {
   Worker& worker = workers_[w];
-  switch (tier_) {
-    case cpu::SimdTier::kAvx2: {
-      const auto& wide = *worker.msv.wide_stripes();
-      return cpu::backend::ssv_avx2(msv_, wide.row(0), wide.segments(), seq,
-                                    L, worker.ssv_row.data());
-    }
-    case cpu::SimdTier::kSse2:
-      return cpu::backend::ssv_sse2(msv_, seq, L, worker.ssv_row.data());
-    case cpu::SimdTier::kPortable:
-      break;
-  }
-  return cpu::simd_kernels::ssv_kernel<cpu::U8x16>(
-      msv_, msv_.striped_row(0), msv_.striped_segments(), seq, L,
-      worker.ssv_row.data());
+  if constexpr (std::is_same_v<Seq, bio::PackedResidues>)
+    return ops_->ssv_packed(msv_, ssv_rows_.rows, ssv_rows_.Q, seq, L,
+                            worker.ssv_row.data());
+  else
+    return ops_->ssv(msv_, ssv_rows_.rows, ssv_rows_.Q, seq, L,
+                     worker.ssv_row.data());
 }
 
 cpu::FilterResult BatchScanner::ssv(std::size_t w, const std::uint8_t* seq,
@@ -125,6 +118,20 @@ float BatchScanner::fwd(std::size_t w, const std::uint8_t* seq,
   ++workers_[w].load.fwd_calls;
   workers_[w].load.residues += L;
   return workers_[w].fwd->score(seq, L);
+}
+
+float BatchScanner::decode(std::size_t w, const std::uint8_t* seq,
+                           std::size_t L, std::vector<float>& mocc) {
+  FINEHMM_CHECK(w < workers_.size(), "worker id out of range");
+  FH_REQUIRE(workers_[w].fwd.has_value(),
+             "BatchScanner built without a Forward profile");
+  if (empty_no_hit(L)) {
+    mocc.clear();
+    return cpu::FilterResult{}.score_nats;
+  }
+  ++workers_[w].load.bwd_calls;
+  workers_[w].load.residues += L;
+  return workers_[w].fwd->decode(seq, L, mocc);
 }
 
 }  // namespace finehmm::pipeline

@@ -4,15 +4,16 @@
 // heap allocation per sequence dominates short-sequence throughput and
 // serializes threads in the allocator.  BatchScanner owns, per worker,
 // every piece of mutable filter state the cascade needs — MSV/SSV byte
-// rows, Viterbi word stripes, Forward float stripes — sized once at
-// construction, so scoring a sequence is allocation-free no matter which
-// engine (serial, ThreadPool, or MultiSearch) drives it.
+// rows, Viterbi word stripes, Forward float stripes and the checkpointed
+// Backward workspace — sized once at construction (decode workspace grown
+// monotonically), so scoring a sequence is allocation-free no matter
+// which engine (serial, ThreadPool, or MultiSearch) drives it.
 //
-// The wide (AVX2) parameter re-stripings are built once and shared across
-// all workers through shared_ptr: model parameters are immutable during a
-// scan, only DP state is per-worker.  This mirrors the paper's GPU
-// decomposition — one read-only model in constant/shared memory, one DP
-// slice per warp.
+// The wide parameter re-stripings for the resolved tier are built once
+// and shared across all workers (SharedMsvRows / SharedVitStripes /
+// WideFwdStripes): model parameters are immutable during a scan, only DP
+// state is per-worker.  This mirrors the paper's GPU decomposition — one
+// read-only model in constant/shared memory, one DP slice per warp.
 #pragma once
 
 #include <cstddef>
@@ -59,6 +60,12 @@ class BatchScanner {
                         std::size_t L);
   /// Forward score in nats; requires a FwdProfile at construction.
   float fwd(std::size_t w, const std::uint8_t* seq, std::size_t L);
+  /// Checkpointed Forward + Backward: fills mocc (resized to L) with the
+  /// per-residue model occupancy and returns the Forward score (equal to
+  /// fwd()'s).  Requires a FwdProfile at construction; the caller reuses
+  /// mocc across calls so the steady state allocates nothing.
+  float decode(std::size_t w, const std::uint8_t* seq, std::size_t L,
+               std::vector<float>& mocc);
 
   /// Zero-copy overloads for the byte-stage filters: the sequence is a
   /// packed 5-bit view (typically straight out of an mmap'd .fsqdb) and is
@@ -76,9 +83,10 @@ class BatchScanner {
   /// telemetry layer reads these at drain to attribute work to threads.
   struct WorkerLoad {
     std::uint64_t ssv_calls = 0, msv_calls = 0, vit_calls = 0, fwd_calls = 0;
-    std::uint64_t residues = 0;  // summed over every call, all stages
+    std::uint64_t bwd_calls = 0;  // checkpointed decode() invocations
+    std::uint64_t residues = 0;   // summed over every call, all stages
     std::uint64_t calls() const {
-      return ssv_calls + msv_calls + vit_calls + fwd_calls;
+      return ssv_calls + msv_calls + vit_calls + fwd_calls + bwd_calls;
     }
   };
   const WorkerLoad& load(std::size_t w) const { return workers_[w].load; }
@@ -97,6 +105,8 @@ class BatchScanner {
 
   const profile::MsvProfile& msv_;
   cpu::SimdTier tier_;
+  const cpu::backend::TierKernels* ops_;
+  cpu::SharedMsvRows ssv_rows_;  // shared emission table the SSV path reads
   std::vector<Worker> workers_;
 };
 

@@ -109,7 +109,7 @@ void fill_stage(obs::ScanTelemetry& t, const char* name,
 obs::ScanTelemetry make_telemetry(const char* engine, const ScanSource& src,
                                   std::size_t threads,
                                   const SearchResult& out, double wall_s,
-                                  bool use_ssv) {
+                                  bool use_ssv, bool use_bwd = false) {
   obs::ScanTelemetry t;
   t.engine = engine;
   t.threads = threads;
@@ -125,6 +125,7 @@ obs::ScanTelemetry make_telemetry(const char* engine, const ScanSource& src,
   fill_stage(t, "msv", out.msv, out.msv.seconds, out.msv.seconds);
   fill_stage(t, "vit", out.vit, out.vit.seconds, out.vit.seconds);
   fill_stage(t, "fwd", out.fwd, out.fwd.seconds, out.fwd.seconds);
+  if (use_bwd) fill_stage(t, "bwd", out.bwd, out.bwd.seconds, out.bwd.seconds);
   return t;
 }
 
@@ -158,6 +159,7 @@ void fill_threads(obs::ScanTelemetry& t, std::size_t crew,
       row.stage_items[static_cast<int>(obs::Stage::kMsv)] = load.msv_calls;
       row.stage_items[static_cast<int>(obs::Stage::kVit)] = load.vit_calls;
       row.stage_items[static_cast<int>(obs::Stage::kFwd)] = load.fwd_calls;
+      row.stage_items[static_cast<int>(obs::Stage::kBwd)] = load.bwd_calls;
     }
     if (rec != nullptr && w < rec->threads()) {
       row.spans = rec->log_at(w).events().size();
@@ -178,6 +180,7 @@ void merge_busy_from_clocks(obs::ScanTelemetry& t, std::size_t crew,
     else if (st.stage == "msv") s = obs::Stage::kMsv;
     else if (st.stage == "vit") s = obs::Stage::kVit;
     else if (st.stage == "fwd") s = obs::Stage::kFwd;
+    else if (st.stage == "bwd") s = obs::Stage::kBwd;
     else continue;
     double busy = 0.0;
     for (std::size_t w = 0; w < crew; ++w)
@@ -276,7 +279,8 @@ SearchResult HmmSearch::run_cpu(ScanSource src) const {
 
   if (rec) {
     out.telemetry = make_telemetry("cpu_serial", src, 1, out,
-                                   total.seconds(), thr_.use_ssv_prefilter);
+                                   total.seconds(), thr_.use_ssv_prefilter,
+                                   thr_.define_domains);
     fill_threads(*out.telemetry, 1, /*clocks=*/nullptr, scanner, rec);
     // Serial engine: one thread, busy == wall per stage.
     auto& row = out.telemetry->per_thread[0];
@@ -288,6 +292,8 @@ SearchResult HmmSearch::run_cpu(ScanSource src) const {
         out.vit.seconds;
     row.stage_busy_seconds[static_cast<int>(obs::Stage::kFwd)] =
         out.fwd.seconds;
+    row.stage_busy_seconds[static_cast<int>(obs::Stage::kBwd)] =
+        out.bwd.seconds;
   }
   return out;
 }
@@ -438,13 +444,16 @@ SearchResult HmmSearch::run_cpu_parallel(ScanSource src,
   if (rec) {
     out.telemetry =
         make_telemetry("cpu_parallel", src, crew, out, total.seconds(),
-                       thr_.use_ssv_prefilter);
+                       thr_.use_ssv_prefilter, thr_.define_domains);
     // Stage wall clocks stay authoritative (barrier-separated stages);
     // the merged per-worker clocks supply the busy view.
     merge_busy_from_clocks(*out.telemetry, crew, clocks.data());
     if (auto* fwd_stage_t = const_cast<obs::StageTelemetry*>(
             out.telemetry->stage("fwd")))
       fwd_stage_t->busy_seconds = out.fwd.seconds;  // serial stage
+    if (auto* bwd_stage_t = const_cast<obs::StageTelemetry*>(
+            out.telemetry->stage("bwd")))
+      bwd_stage_t->busy_seconds = out.bwd.seconds;  // serial stage
     fill_buckets(*out.telemetry, sched);
     fill_threads(*out.telemetry, crew, clocks.data(), scanner, rec);
   }
@@ -483,6 +492,9 @@ SearchResult HmmSearch::run_cpu_overlapped(ScanSource src,
   std::vector<std::vector<std::uint8_t>> scratch(crew);
   if (src.zero_copy())
     for (auto& sc : scratch) sc.resize(src.max_length());
+  // Per-worker occupancy tracks for the checkpointed decode; reused
+  // across hits so the steady state allocates nothing.
+  std::vector<std::vector<float>> moccs(crew);
 
   const ScanSchedule sched = make_length_schedule(
       n, [&src](std::size_t i) { return src.length(i); });
@@ -552,11 +564,21 @@ SearchResult HmmSearch::run_cpu_overlapped(ScanSource src,
       slot.evalue = e;
       if (thr_.compute_alignments)
         slot.alignments = cpu::trace_alignments(trace, prof_, codes);
-      if (thr_.define_domains)
-        slot.domains = cpu::define_domains(prof_, codes, L);
     }
     clocks[w].stage_s[static_cast<int>(obs::Stage::kFwd)] +=
         stage_t.seconds();
+    if (slot.reported && thr_.define_domains) {
+      // Checkpointed Forward/Backward on the scanner's vectorized tier:
+      // decode fills the occupancy track, envelope definition and
+      // rescoring run on it directly.  Banked as its own stage (kBwd).
+      OBS_SPAN(rec, w, "bwd");
+      Timer bwd_t;
+      scanner.decode(w, codes, L, moccs[w]);
+      slot.domains =
+          cpu::domains_from_occupancy(prof_, codes, L, moccs[w].data());
+      clocks[w].stage_s[static_cast<int>(obs::Stage::kBwd)] +=
+          bwd_t.seconds();
+    }
   };
 
   pool.run_workers(crew, [&](std::size_t w) {
@@ -674,6 +696,11 @@ SearchResult HmmSearch::run_cpu_overlapped(ScanSource src,
     out.fwd.cells += static_cast<double>(src.length(s)) * prof_.length();
     Rescore& slot = rescored[s];
     if (!slot.reported) continue;
+    if (thr_.define_domains) {
+      out.bwd.n_in += 1;
+      out.bwd.n_passed += 1;
+      out.bwd.cells += static_cast<double>(src.length(s)) * prof_.length();
+    }
     Hit h;
     h.seq_index = s;
     h.name = std::string(src.name(s));
@@ -699,11 +726,13 @@ SearchResult HmmSearch::run_cpu_overlapped(ScanSource src,
     out.msv.seconds += c.stage_s[static_cast<int>(obs::Stage::kMsv)];
     out.vit.seconds += c.stage_s[static_cast<int>(obs::Stage::kVit)];
     out.fwd.seconds += c.stage_s[static_cast<int>(obs::Stage::kFwd)];
+    out.bwd.seconds += c.stage_s[static_cast<int>(obs::Stage::kBwd)];
   }
 
   if (rec) {
     out.telemetry = make_telemetry("cpu_overlapped", src, crew, out, wall,
-                                   thr_.use_ssv_prefilter);
+                                   thr_.use_ssv_prefilter,
+                                   thr_.define_domains);
     // StageStats::seconds already hold the per-thread merge; the stages
     // have no individual wall clock, so zero those out.
     for (auto& st : out.telemetry->stages) st.wall_seconds = 0.0;
@@ -925,6 +954,16 @@ HmmSearch::CoalescedScan HmmSearch::run_cpu_coalesced(
   aggregate("fwd", [](const SearchResult& r) -> const StageStats& {
     return r.fwd;
   }, fwd_wall);
+  bool any_domains = false;
+  for (const HmmSearch* hs : searches)
+    any_domains = any_domains || hs->thr_.define_domains;
+  if (any_domains) {
+    double bwd_wall = 0.0;
+    for (const SearchResult& r : out.per_model) bwd_wall += r.bwd.seconds;
+    aggregate("bwd", [](const SearchResult& r) -> const StageStats& {
+      return r.bwd;
+    }, bwd_wall);
+  }
   for (auto& st : t.stages)
     if (st.stage == "msv") {
       st.counters.emplace_back("batch.queries", static_cast<double>(k));
@@ -1170,6 +1209,8 @@ void HmmSearch::forward_stage(ScanSource src,
   cpu::FwdFilter fwd_filter(fwd_);
   cpu::TraceWorkspace ws;
   std::vector<std::uint8_t> scratch;
+  std::vector<float> mocc;  // decode occupancy track, reused across hits
+  double bwd_seconds = 0.0;
   if (src.zero_copy()) scratch.resize(src.max_length());
   for (std::size_t i = 0; i < survivors.size(); ++i) {
     const std::size_t s = survivors[i];
@@ -1198,12 +1239,24 @@ void HmmSearch::forward_stage(ScanSource src,
       h.evalue = e;
       if (thr_.compute_alignments)
         h.alignments = cpu::trace_alignments(trace, prof_, codes);
-      if (thr_.define_domains) h.domains = cpu::define_domains(prof_, codes, L);
+      if (thr_.define_domains) {
+        // Checkpointed Forward/Backward on the active vector tier fills
+        // mocc; envelope definition and rescoring run on it directly.
+        Timer bwd_t;
+        fwd_filter.decode(codes, L, mocc);
+        h.domains = cpu::domains_from_occupancy(prof_, codes, L, mocc.data());
+        out.bwd.n_in += 1;
+        out.bwd.n_passed += 1;
+        out.bwd.cells += static_cast<double>(L) * prof_.length();
+        bwd_seconds += bwd_t.seconds();
+      }
       out.hits.push_back(std::move(h));
       ++out.fwd.n_passed;
     }
   }
-  out.fwd.seconds = timer.seconds();
+  // The decode share of the loop belongs to the bwd stage, not fwd.
+  out.bwd.seconds = bwd_seconds;
+  out.fwd.seconds = timer.seconds() - bwd_seconds;
   std::sort(out.hits.begin(), out.hits.end(),
             [](const Hit& a, const Hit& b) { return a.evalue < b.evalue; });
 }

@@ -93,6 +93,12 @@ struct SearchResult {
   std::vector<Hit> hits;            // sorted by E-value
   StageStats ssv;  // only populated when the SSV pre-filter is enabled
   StageStats msv, vit, fwd;
+  /// Checkpointed Backward + posterior decode over reported hits; only
+  /// populated when Thresholds::define_domains is set.  `cells` counts
+  /// the backward matrix (L*M per decode); the decode also replays the
+  /// checkpointed Forward internally, so its time is banked here, not
+  /// under fwd.
+  StageStats bwd;
   /// GPU runs also expose the per-stage counters and launch plans.
   std::optional<gpu::StageResult> gpu_msv;
   std::optional<gpu::StageResult> gpu_vit;

@@ -27,12 +27,7 @@ FwdProfile::FwdProfile(const hmm::SearchProfile& prof)
   tmd_in_.assign(row, 0.0f);
   tdd_in_.assign(row, 0.0f);
 
-  auto slot = [this](int k) {  // 1-based position -> striped index
-    int q = (k - 1) % Q_;
-    int j = (k - 1) / Q_;
-    return static_cast<std::size_t>(q) * kLanes + j;
-  };
-
+  // slot(k) is the private 1-based position -> striped index helper.
   for (int x = 0; x < bio::kKp; ++x)
     for (int k = 1; k <= M_; ++k)
       odds_[static_cast<std::size_t>(x) * row + slot(k)] =

@@ -6,6 +6,9 @@
 // over long targets is handled by the filter's per-row rescaling (the
 // profile just supplies the numbers).  Layout mirrors VitProfile's
 // striping with 4 float lanes; "in"-indexed D arrays target position k.
+// The 4-lane arrays are the narrow-tier base layout; wider tiers
+// re-stripe them per lane count through the per-position accessors (see
+// cpu/fwd_wide.hpp).
 #pragma once
 
 #include <cmath>
@@ -40,6 +43,20 @@ class FwdProfile {
   /// Uniform local entry probability 2/(M(M+1)).
   float entry() const noexcept { return entry_; }
 
+  // Per-position (1-based k, 1 <= k <= length()) parameter reads that
+  // de-stripe the 4-lane base layout; cpu::WideFwdStripes uses these to
+  // re-stripe the profile for any tier lane count.
+  float odds_at(int x, int k) const {
+    return odds_[static_cast<std::size_t>(x) * Q_ * kLanes + slot(k)];
+  }
+  float tmm_at(int k) const { return tmm_[slot(k)]; }
+  float tim_at(int k) const { return tim_[slot(k)]; }
+  float tdm_at(int k) const { return tdm_[slot(k)]; }
+  float tmi_at(int k) const { return tmi_[slot(k)]; }
+  float tii_at(int k) const { return tii_[slot(k)]; }
+  float tmd_in_at(int k) const { return tmd_in_[slot(k)]; }
+  float tdd_in_at(int k) const { return tdd_in_[slot(k)]; }
+
   /// Length-model probabilities for one target length.
   struct LengthModel {
     float loop;    // N/C/J self loop
@@ -50,6 +67,12 @@ class FwdProfile {
   LengthModel length_model_for(int L) const;
 
  private:
+  std::size_t slot(int k) const {  // 1-based position -> striped index
+    const int q = (k - 1) % Q_;
+    const int j = (k - 1) / Q_;
+    return static_cast<std::size_t>(q) * kLanes + j;
+  }
+
   int M_ = 0;
   int Q_ = 0;
   float entry_ = 0.0f;
@@ -58,9 +81,14 @@ class FwdProfile {
   aligned_vector<float> tmd_in_, tdd_in_;              // striped, Q*4
 };
 
-/// Number of 4-lane stripes for model length M.
+/// Number of `lanes`-float stripes for model length M.
+inline int fwd_segments_for(int M, int lanes) {
+  return (M + lanes - 1) / lanes;
+}
+
+/// Number of 4-lane stripes for model length M (the base layout).
 inline int fwd_segments(int M) {
-  return (M + FwdProfile::kLanes - 1) / FwdProfile::kLanes;
+  return fwd_segments_for(M, FwdProfile::kLanes);
 }
 
 }  // namespace finehmm::profile

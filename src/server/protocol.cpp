@@ -222,6 +222,7 @@ std::vector<std::uint8_t> encode_search_result(const SearchResultWire& res) {
   write_stage(w, res.msv);
   write_stage(w, res.vit);
   write_stage(w, res.fwd);
+  write_stage(w, res.bwd);
   FH_REQUIRE(res.hits.size() <= 0xffffffffu, "too many hits for the wire");
   w.u32(static_cast<std::uint32_t>(res.hits.size()));
   for (const pipeline::Hit& h : res.hits) {
@@ -247,6 +248,7 @@ SearchResultWire decode_search_result(
   res.msv = read_stage(r);
   res.vit = read_stage(r);
   res.fwd = read_stage(r);
+  res.bwd = read_stage(r);
   const std::uint32_t n_hits = r.u32();
   res.hits.reserve(std::min<std::size_t>(n_hits, 1024));
   for (std::uint32_t i = 0; i < n_hits; ++i) {

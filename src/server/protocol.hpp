@@ -105,7 +105,7 @@ SearchRequest decode_search_request(const std::vector<std::uint8_t>& payload);
 struct SearchResultWire {
   std::uint64_t db_sequences = 0;
   std::uint64_t db_residues = 0;
-  pipeline::StageStats ssv, msv, vit, fwd;  // seconds not carried (= 0)
+  pipeline::StageStats ssv, msv, vit, fwd, bwd;  // seconds not carried (= 0)
   std::vector<pipeline::Hit> hits;          // alignments/domains empty
 };
 

@@ -402,6 +402,7 @@ void SearchServer::run_batch(std::vector<std::shared_ptr<Pending>>& batch) {
       wire.msv = r.msv;
       wire.vit = r.vit;
       wire.fwd = r.fwd;
+      wire.bwd = r.bwd;
       wire.hits = r.hits;
       // Completion is accounted before the reply leaves, for the same
       // reason; only responses_dropped (needs the send outcome) lags.

@@ -108,6 +108,31 @@ TEST(BatchScanner, ScanHotLoopPerformsZeroHeapAllocations) {
       << "scan hot loop must not allocate";
 }
 
+// The checkpointed Forward/Backward decode reuses its workspace: after a
+// warm-up pass grew it to the longest sequence (and mocc to match),
+// repeat decodes perform zero heap allocations on any tier.
+TEST(BatchScanner, DecodeHotLoopPerformsZeroHeapAllocations) {
+  Fixture fx(173);
+  auto db = small_db(30);
+  for (cpu::SimdTier tier : cpu::supported_simd_tiers()) {
+    pipeline::BatchScanner scanner(fx.msv, fx.vit, &fx.fwd, 1, tier);
+    std::vector<float> mocc;
+
+    // Warm-up: grows the checkpoint workspace monotonically to the
+    // longest sequence and sizes the caller's mocc buffer.
+    for (std::size_t s = 0; s < db.size(); ++s)
+      scanner.decode(0, db[s].codes.data(), db[s].length(), mocc);
+
+    const long before = g_allocations.load();
+    for (int rep = 0; rep < 3; ++rep)
+      for (std::size_t s = 0; s < db.size(); ++s)
+        scanner.decode(0, db[s].codes.data(), db[s].length(), mocc);
+    EXPECT_EQ(g_allocations.load() - before, 0)
+        << "decode hot loop must not allocate (tier="
+        << cpu::simd_tier_name(tier) << ")";
+  }
+}
+
 TEST(BatchScanner, WorkersScoreIdentically) {
   Fixture fx(210);
   auto db = small_db(20);
@@ -145,7 +170,17 @@ TEST(BatchScanner, EveryTierScoresLikePortable) {
                 scanner.msv(0, codes, L).score_nats);
       EXPECT_EQ(ref.vit(0, codes, L).score_nats,
                 scanner.vit(0, codes, L).score_nats);
-      EXPECT_EQ(ref.fwd(0, codes, L), scanner.fwd(0, codes, L));
+      // Forward runs natively at the tier's width: 4-lane tiers are
+      // bit-exact against each other, wider tiers reassociate the
+      // probability-space sums and carry the documented log-sum
+      // tolerance (docs/simd_dispatch.md, "Numerical contract").
+      const float fr = ref.fwd(0, codes, L);
+      const float fg = scanner.fwd(0, codes, L);
+      if (tier <= cpu::SimdTier::kSse2)
+        EXPECT_EQ(fr, fg) << cpu::simd_tier_name(tier) << " L=" << L;
+      else
+        EXPECT_NEAR(fr, fg, 0.02f + 1e-4f * static_cast<float>(L))
+            << cpu::simd_tier_name(tier) << " L=" << L;
     }
   }
 }
@@ -264,7 +299,10 @@ TEST(ThreadPoolChunked, PropagatesExceptions) {
 }
 
 // Whole-pipeline invariance: the hit list must not depend on the tier or
-// on serial vs. pooled execution.
+// on serial vs. pooled execution.  Viterbi-class scores are bit-exact at
+// every width; Forward bit scores carry the documented log-sum tolerance
+// across tier widths (docs/simd_dispatch.md) but must be bit-identical
+// between engines running the same tier.
 TEST(PipelineTiers, HitsIdenticalAcrossTiersAndEngines) {
   hmm::RandomHmmSpec spec;
   spec.length = 120;
@@ -289,10 +327,15 @@ TEST(PipelineTiers, HitsIdenticalAcrossTiersAndEngines) {
           << "tier=" << cpu::simd_tier_name(tier);
       for (std::size_t i = 0; i < ref.hits.size(); ++i) {
         EXPECT_EQ(got->hits[i].seq_index, ref.hits[i].seq_index);
-        EXPECT_EQ(got->hits[i].fwd_bits, ref.hits[i].fwd_bits);
+        EXPECT_NEAR(got->hits[i].fwd_bits, ref.hits[i].fwd_bits, 0.2f)
+            << "tier=" << cpu::simd_tier_name(tier);
         EXPECT_EQ(got->hits[i].vit_bits, ref.hits[i].vit_bits);
       }
     }
+    // Same tier, different engines: bit-identical, including Forward.
+    ASSERT_EQ(pooled.hits.size(), serial.hits.size());
+    for (std::size_t i = 0; i < serial.hits.size(); ++i)
+      EXPECT_EQ(pooled.hits[i].fwd_bits, serial.hits[i].fwd_bits);
   }
   cpu::reset_simd_tier();
 }

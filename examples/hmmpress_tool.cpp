@@ -5,6 +5,11 @@
 // Usage:
 //   hmmpress_tool <out.fhpdb> <model1.hmm> [model2.hmm ...]
 //   hmmpress_tool --demo <out.fhpdb> [n_models]
+//   hmmpress_tool --stat <lib.fhpdb>
+//
+// --stat prints the library's model-length histogram and the fused-scan
+// group shapes the auto-tuner (hmm/model_group.hpp) would pick at each
+// SIMD lane width — the planning view behind hmmscan_tool's fused sweep.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -13,6 +18,7 @@
 #include "hmm/generator.hpp"
 #include "hmm/hmm_io.hpp"
 #include "hmm/model_db.hpp"
+#include "hmm/model_group.hpp"
 #include "hmm/profile.hpp"
 #include "profile/msv_profile.hpp"
 #include "profile/vit_profile.hpp"
@@ -30,16 +36,68 @@ stats::ModelStats calibrate_model(const hmm::Plan7Hmm& model) {
   return stats::calibrate(prof, msv, vit);
 }
 
+int stat_library(const std::string& path) {
+  hmm::ModelDbReader library(path);
+  std::vector<int> lengths;
+  std::uint64_t total = 0;
+  lengths.reserve(library.size());
+  for (std::size_t m = 0; m < library.size(); ++m) {
+    const int M = library.load(m).model.length();
+    lengths.push_back(M);
+    total += static_cast<std::uint64_t>(M);
+  }
+  std::printf("# library: %s\n", path.c_str());
+  std::printf("# models:  %zu (%llu positions total)\n", lengths.size(),
+              static_cast<unsigned long long>(total));
+
+  std::printf("#\n# model length histogram:\n");
+  for (const auto& b : hmm::length_histogram(lengths)) {
+    std::printf("#   [%5d, %5d)  %6zu  ", b.lo, b.hi, b.count);
+    const int bar = static_cast<int>(
+        60.0 * static_cast<double>(b.count) /
+        static_cast<double>(lengths.size()));
+    for (int i = 0; i < bar; ++i) std::putchar('*');
+    std::putchar('\n');
+  }
+
+  std::printf("#\n# fused group shapes (hmm::plan_model_groups):\n");
+  for (int lanes : {16, 32, 64}) {
+    auto plan = hmm::plan_model_groups(lengths, lanes);
+    std::printf(
+        "#   %2d lanes: %zu groups, %zu/%zu models fused "
+        "(%.1f models/group, %.1f%% lane occupancy), %zu unfused\n",
+        lanes, plan.groups.size(), plan.fused_models(), lengths.size(),
+        plan.models_per_group(), 100.0 * plan.lane_occupancy(),
+        plan.unfused.size());
+    for (std::size_t g = 0; g < plan.groups.size(); ++g) {
+      const auto& shape = plan.groups[g];
+      int min_len = 0, max_len = 0;
+      for (std::size_t m : shape.members) {
+        if (min_len == 0 || lengths[m] < min_len) min_len = lengths[m];
+        if (lengths[m] > max_len) max_len = lengths[m];
+      }
+      std::printf(
+          "#     group %zu: %zu models (M %d..%d), Q=%d, lanes %d/%d, "
+          "occupancy %.1f%%\n",
+          g, shape.members.size(), min_len, max_len, shape.Q,
+          shape.lanes_used, lanes, 100.0 * shape.occupancy);
+    }
+  }
+  return tools::kOk;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: hmmpress_tool <out.fhpdb> <model.hmm> [...]\n"
-                 "       hmmpress_tool --demo <out.fhpdb> [n_models]\n");
+                 "       hmmpress_tool --demo <out.fhpdb> [n_models]\n"
+                 "       hmmpress_tool --stat <lib.fhpdb>\n");
     return 2;
   }
   try {
+    if (std::string(argv[1]) == "--stat") return stat_library(argv[2]);
     std::vector<hmm::ModelEntry> entries;
     std::string out_path;
 

@@ -3,12 +3,17 @@
 // models = database), which is how Pfam annotation actually runs.
 //
 // Usage:
-//   hmmscan_tool [--gpu] <library.fhpdb> <queries.fasta>
+//   hmmscan_tool [--gpu | --sequential] [--threads n]
+//                <library.fhpdb> <queries.fasta>
 //
 // For each query sequence, every library model's calibrated pipeline is
-// applied and significant models are reported best-first.
+// applied and significant models are reported best-first.  The default
+// CPU path lane-packs short models into fused groups (docs/multi_model.md)
+// so one MSV/SSV sweep scores a whole group per sequence; --sequential
+// scans one model at a time (the pre-fusion behaviour, same hits).
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -21,19 +26,24 @@
 using namespace finehmm;
 
 int main(int argc, char** argv) {
-  bool use_gpu = false;
+  bool use_gpu = false, sequential = false;
+  std::size_t threads = 0;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
     if (a == "--gpu")
       use_gpu = true;
+    else if (a == "--sequential")
+      sequential = true;
+    else if (a == "--threads" && i + 1 < argc)
+      threads = static_cast<std::size_t>(std::atoll(argv[++i]));
     else
       paths.push_back(a);
   }
   if (paths.size() != 2) {
     std::fprintf(stderr,
-                 "usage: hmmscan_tool [--gpu] <library.fhpdb> "
-                 "<queries.fasta>\n");
+                 "usage: hmmscan_tool [--gpu | --sequential] [--threads n] "
+                 "<library.fhpdb> <queries.fasta>\n");
     return 2;
   }
 
@@ -57,7 +67,6 @@ int main(int argc, char** argv) {
       }
     }
 
-    bio::PackedDatabase packed(queries);
     struct Annot {
       std::size_t query;
       std::string model;
@@ -65,13 +74,44 @@ int main(int argc, char** argv) {
       float bits;
     };
     std::vector<Annot> annots;
-    for (std::size_t m = 0; m < searches.size(); ++m) {
-      pipeline::SearchResult r =
-          use_gpu ? searches[m].run_gpu_auto(simt::DeviceSpec::tesla_k40(),
-                                             queries, packed)
-                  : searches[m].run_cpu(queries);
+    auto collect = [&](std::size_t m, const pipeline::SearchResult& r) {
       for (const auto& hit : r.hits)
         annots.push_back({hit.seq_index, names[m], hit.evalue, hit.fwd_bits});
+    };
+
+    if (use_gpu) {
+      bio::PackedDatabase packed(queries);
+      for (std::size_t m = 0; m < searches.size(); ++m)
+        collect(m, searches[m].run_gpu_auto(simt::DeviceSpec::tesla_k40(),
+                                            queries, packed));
+    } else if (sequential) {
+      for (std::size_t m = 0; m < searches.size(); ++m)
+        collect(m, searches[m].run_cpu(queries));
+    } else {
+      // Fused many-model sweep: the auto-tuner lane-packs short models
+      // into shared group tables; hits match the sequential path bit for
+      // bit (tests/test_fused_scan.cpp).
+      ThreadPool pool(threads);
+      std::vector<const pipeline::HmmSearch*> ptrs;
+      ptrs.reserve(searches.size());
+      for (const auto& s : searches) ptrs.push_back(&s);
+      auto scan = pipeline::HmmSearch::run_cpu_fused(
+          ptrs, pipeline::ScanSource(queries), pool);
+      double groups = 0, fused = 0, occupancy = 0;
+      for (const auto& st : scan.telemetry.stages) {
+        if (st.stage != "msv") continue;
+        for (const auto& [key, value] : st.counters) {
+          if (key == "fuse.groups") groups = value;
+          if (key == "fuse.fused_models") fused = value;
+          if (key == "fuse.lane_occupancy") occupancy = value;
+        }
+      }
+      std::printf(
+          "# fused scan: %.0f of %zu models in %.0f groups "
+          "(%.1f%% lane occupancy)\n",
+          fused, searches.size(), groups, 100.0 * occupancy);
+      for (std::size_t m = 0; m < searches.size(); ++m)
+        collect(m, scan.per_model[m]);
     }
 
     std::sort(annots.begin(), annots.end(), [](const Annot& a,

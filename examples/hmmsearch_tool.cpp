@@ -42,9 +42,11 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <stdexcept>
 #include <string>
 
 #include "bio/fasta.hpp"
+#include "hmm/model_db.hpp"
 #include "bio/packing.hpp"
 #include "bio/seq_db_io.hpp"
 #include "cpu/trace.hpp"
@@ -72,6 +74,36 @@ void usage() {
                "       hmmsearch_tool --connect HOST:PORT [--db-index n] "
                "[-E evalue] [--tblout f] <model.hmm>\n"
                "       hmmsearch_tool --demo\n");
+}
+
+/// Thrown when the query argument is a multi-model pressed library:
+/// hmmsearch has exactly one query, so this is a usage error (exit 2),
+/// not a scan failure.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Load the query model from an ASCII .hmm file or a single-model pressed
+/// .fhpdb library (whose stored calibration is used like STATS lines).
+/// A library with several models throws UsageError — point the user at
+/// the tools built for many-model scans.
+hmm::Plan7Hmm load_query_model(const std::string& path,
+                               std::optional<stats::ModelStats>& file_stats) {
+  if (!ends_with(path, ".fhpdb")) return hmm::read_hmm_file(path, &file_stats);
+  hmm::ModelDbReader library(path);
+  if (library.size() != 1)
+    throw UsageError(
+        path + " holds " + std::to_string(library.size()) +
+        " models, but hmmsearch_tool takes a single query model; use "
+        "hmmscan_tool (fused many-model scan) or finehmmd for libraries");
+  auto entry = library.load(0);
+  file_stats = entry.model_stats;
+  return std::move(entry.model);
 }
 
 /// Split "HOST:PORT"; false when the port part is missing or not a
@@ -104,7 +136,7 @@ int run_remote(const std::string& hostport, std::uint32_t db_index,
   }
 
   std::optional<stats::ModelStats> file_stats;
-  hmm::Plan7Hmm model = hmm::read_hmm_file(hmm_path, &file_stats);
+  hmm::Plan7Hmm model = load_query_model(hmm_path, file_stats);
 
   server::BlockingClient client(server::tcp_connect(host, port));
   std::printf("# engine:   remote (finehmmd at %s)\n", hostport.c_str());
@@ -275,6 +307,9 @@ int main(int argc, char** argv) {
     try {
       return run_remote(connect_hostport, db_index, hmm_path, evalue,
                         max_hits, tblout_path);
+    } catch (const UsageError& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return tools::kBadArgs;
     } catch (const std::exception& e) {
       return tools::report_exception(e);
     }
@@ -298,7 +333,7 @@ int main(int argc, char** argv) {
         usage();
         return tools::kBadArgs;
       }
-      model = hmm::read_hmm_file(hmm_path, &file_stats);
+      model = load_query_model(hmm_path, file_stats);
       // FASTA by default; packed binary databases by extension.  The CPU
       // engines scan a .fsqdb zero-copy through the mmap-backed reader;
       // the simulated GPU path needs the decoded heap database.
@@ -323,7 +358,8 @@ int main(int argc, char** argv) {
     thr.define_domains = show_domains;
     thr.compute_alignments = show_ali;
     if (file_stats)
-      std::printf("# stats:    from STATS lines in %s\n", hmm_path.c_str());
+      std::printf("# stats:    precomputed calibration from %s\n",
+                  hmm_path.c_str());
     pipeline::HmmSearch search =
         file_stats ? pipeline::HmmSearch(model, *file_stats, thr)
                    : pipeline::HmmSearch(model, thr);
@@ -383,6 +419,9 @@ int main(int argc, char** argv) {
       write_stats_json(os, result, search.thresholds().use_ssv_prefilter);
       std::printf("# stage stats written to %s\n", stats_json_path.c_str());
     }
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return tools::kBadArgs;
   } catch (const std::exception& e) {
     return tools::report_exception(e);
   }

@@ -118,6 +118,25 @@ FilterResult ssv_sse2(const profile::MsvProfile& prof,
                       bio::PackedResidues seq, std::size_t L,
                       std::uint8_t* row);
 
+// Fused multi-model group sweeps (cpu::FusedMsvGroup packing; see
+// simd_kernels::msv_group_kernel).
+void msv_group_sse2(const simd_kernels::MsvGroupView& g,
+                    const simd_kernels::MsvGroupState& st,
+                    const std::uint8_t* seq, std::size_t L,
+                    std::uint8_t* row);
+void ssv_group_sse2(const simd_kernels::MsvGroupView& g,
+                    const simd_kernels::MsvGroupState& st,
+                    const std::uint8_t* seq, std::size_t L,
+                    std::uint8_t* row);
+void msv_group_sse2(const simd_kernels::MsvGroupView& g,
+                    const simd_kernels::MsvGroupState& st,
+                    bio::PackedResidues seq, std::size_t L,
+                    std::uint8_t* row);
+void ssv_group_sse2(const simd_kernels::MsvGroupView& g,
+                    const simd_kernels::MsvGroupState& st,
+                    bio::PackedResidues seq, std::size_t L,
+                    std::uint8_t* row);
+
 // ---- AVX2 tier (256-bit: 32 bytes / 16 words / 8 floats) ----
 FilterResult msv_avx2(const profile::MsvProfile& prof,
                       const std::uint8_t* rows, int Q,
@@ -151,6 +170,23 @@ FilterResult ssv_avx2(const profile::MsvProfile& prof,
                       bio::PackedResidues seq, std::size_t L,
                       std::uint8_t* row);
 
+void msv_group_avx2(const simd_kernels::MsvGroupView& g,
+                    const simd_kernels::MsvGroupState& st,
+                    const std::uint8_t* seq, std::size_t L,
+                    std::uint8_t* row);
+void ssv_group_avx2(const simd_kernels::MsvGroupView& g,
+                    const simd_kernels::MsvGroupState& st,
+                    const std::uint8_t* seq, std::size_t L,
+                    std::uint8_t* row);
+void msv_group_avx2(const simd_kernels::MsvGroupView& g,
+                    const simd_kernels::MsvGroupState& st,
+                    bio::PackedResidues seq, std::size_t L,
+                    std::uint8_t* row);
+void ssv_group_avx2(const simd_kernels::MsvGroupView& g,
+                    const simd_kernels::MsvGroupState& st,
+                    bio::PackedResidues seq, std::size_t L,
+                    std::uint8_t* row);
+
 // ---- AVX-512 tier (512-bit: 64 bytes / 32 words / 16 floats) ----
 FilterResult msv_avx512(const profile::MsvProfile& prof,
                         const std::uint8_t* rows, int Q,
@@ -182,6 +218,23 @@ FilterResult ssv_avx512(const profile::MsvProfile& prof,
                         const std::uint8_t* rows, int Q,
                         bio::PackedResidues seq, std::size_t L,
                         std::uint8_t* row);
+
+void msv_group_avx512(const simd_kernels::MsvGroupView& g,
+                      const simd_kernels::MsvGroupState& st,
+                      const std::uint8_t* seq, std::size_t L,
+                      std::uint8_t* row);
+void ssv_group_avx512(const simd_kernels::MsvGroupView& g,
+                      const simd_kernels::MsvGroupState& st,
+                      const std::uint8_t* seq, std::size_t L,
+                      std::uint8_t* row);
+void msv_group_avx512(const simd_kernels::MsvGroupView& g,
+                      const simd_kernels::MsvGroupState& st,
+                      bio::PackedResidues seq, std::size_t L,
+                      std::uint8_t* row);
+void ssv_group_avx512(const simd_kernels::MsvGroupView& g,
+                      const simd_kernels::MsvGroupState& st,
+                      bio::PackedResidues seq, std::size_t L,
+                      std::uint8_t* row);
 
 // ---- Per-tier dispatch table ----
 
@@ -220,6 +273,23 @@ struct TierKernels {
                    const simd_kernels::FwdStripesView&,
                    const std::uint8_t*, std::size_t,
                    const simd_kernels::FwdBwdScratch&, float*) = nullptr;
+
+  // Fused multi-model sweeps: one call scores every member of a packed
+  // group (results come back through MsvGroupState's xj/overflowed).
+  void (*msv_group)(const simd_kernels::MsvGroupView&,
+                    const simd_kernels::MsvGroupState&, const std::uint8_t*,
+                    std::size_t, std::uint8_t*) = nullptr;
+  void (*msv_group_packed)(const simd_kernels::MsvGroupView&,
+                           const simd_kernels::MsvGroupState&,
+                           bio::PackedResidues, std::size_t,
+                           std::uint8_t*) = nullptr;
+  void (*ssv_group)(const simd_kernels::MsvGroupView&,
+                    const simd_kernels::MsvGroupState&, const std::uint8_t*,
+                    std::size_t, std::uint8_t*) = nullptr;
+  void (*ssv_group_packed)(const simd_kernels::MsvGroupView&,
+                           const simd_kernels::MsvGroupState&,
+                           bio::PackedResidues, std::size_t,
+                           std::uint8_t*) = nullptr;
 };
 
 /// The dispatch row for one tier.  The caller is responsible for only

@@ -80,6 +80,34 @@ FilterResult ssv_avx2(const profile::MsvProfile& prof,
   return simd_kernels::ssv_kernel<AvxU8x32>(prof, rows, Q, seq, L, row);
 }
 
+void msv_group_avx2(const simd_kernels::MsvGroupView& g,
+                    const simd_kernels::MsvGroupState& st,
+                    const std::uint8_t* seq, std::size_t L,
+                    std::uint8_t* row) {
+  simd_kernels::msv_group_kernel<AvxU8x32>(g, st, seq, L, row);
+}
+
+void ssv_group_avx2(const simd_kernels::MsvGroupView& g,
+                    const simd_kernels::MsvGroupState& st,
+                    const std::uint8_t* seq, std::size_t L,
+                    std::uint8_t* row) {
+  simd_kernels::ssv_group_kernel<AvxU8x32>(g, st, seq, L, row);
+}
+
+void msv_group_avx2(const simd_kernels::MsvGroupView& g,
+                    const simd_kernels::MsvGroupState& st,
+                    bio::PackedResidues seq, std::size_t L,
+                    std::uint8_t* row) {
+  simd_kernels::msv_group_kernel<AvxU8x32>(g, st, seq, L, row);
+}
+
+void ssv_group_avx2(const simd_kernels::MsvGroupView& g,
+                    const simd_kernels::MsvGroupState& st,
+                    bio::PackedResidues seq, std::size_t L,
+                    std::uint8_t* row) {
+  simd_kernels::ssv_group_kernel<AvxU8x32>(g, st, seq, L, row);
+}
+
 #else  // AVX2 backend not compiled in: stubs, never dispatched to
 
 bool have_avx2() { return false; }
@@ -115,6 +143,26 @@ FilterResult msv_avx2(const profile::MsvProfile&, const std::uint8_t*, int,
 }
 FilterResult ssv_avx2(const profile::MsvProfile&, const std::uint8_t*, int,
                       bio::PackedResidues, std::size_t, std::uint8_t*) {
+  throw Error("AVX2 backend not compiled into this binary");
+}
+void msv_group_avx2(const simd_kernels::MsvGroupView&,
+                    const simd_kernels::MsvGroupState&, const std::uint8_t*,
+                    std::size_t, std::uint8_t*) {
+  throw Error("AVX2 backend not compiled into this binary");
+}
+void ssv_group_avx2(const simd_kernels::MsvGroupView&,
+                    const simd_kernels::MsvGroupState&, const std::uint8_t*,
+                    std::size_t, std::uint8_t*) {
+  throw Error("AVX2 backend not compiled into this binary");
+}
+void msv_group_avx2(const simd_kernels::MsvGroupView&,
+                    const simd_kernels::MsvGroupState&, bio::PackedResidues,
+                    std::size_t, std::uint8_t*) {
+  throw Error("AVX2 backend not compiled into this binary");
+}
+void ssv_group_avx2(const simd_kernels::MsvGroupView&,
+                    const simd_kernels::MsvGroupState&, bio::PackedResidues,
+                    std::size_t, std::uint8_t*) {
   throw Error("AVX2 backend not compiled into this binary");
 }
 

@@ -71,6 +71,34 @@ FilterResult ssv_sse2(const profile::MsvProfile& prof,
   return simd_kernels::ssv_kernel<SseU8x16>(prof, rows, Q, seq, L, row);
 }
 
+void msv_group_sse2(const simd_kernels::MsvGroupView& g,
+                    const simd_kernels::MsvGroupState& st,
+                    const std::uint8_t* seq, std::size_t L,
+                    std::uint8_t* row) {
+  simd_kernels::msv_group_kernel<SseU8x16>(g, st, seq, L, row);
+}
+
+void ssv_group_sse2(const simd_kernels::MsvGroupView& g,
+                    const simd_kernels::MsvGroupState& st,
+                    const std::uint8_t* seq, std::size_t L,
+                    std::uint8_t* row) {
+  simd_kernels::ssv_group_kernel<SseU8x16>(g, st, seq, L, row);
+}
+
+void msv_group_sse2(const simd_kernels::MsvGroupView& g,
+                    const simd_kernels::MsvGroupState& st,
+                    bio::PackedResidues seq, std::size_t L,
+                    std::uint8_t* row) {
+  simd_kernels::msv_group_kernel<SseU8x16>(g, st, seq, L, row);
+}
+
+void ssv_group_sse2(const simd_kernels::MsvGroupView& g,
+                    const simd_kernels::MsvGroupState& st,
+                    bio::PackedResidues seq, std::size_t L,
+                    std::uint8_t* row) {
+  simd_kernels::ssv_group_kernel<SseU8x16>(g, st, seq, L, row);
+}
+
 #else  // non-x86 host: stubs, never dispatched to
 
 bool have_sse2() { return false; }
@@ -106,6 +134,26 @@ FilterResult msv_sse2(const profile::MsvProfile&, const std::uint8_t*, int,
 }
 FilterResult ssv_sse2(const profile::MsvProfile&, const std::uint8_t*, int,
                       bio::PackedResidues, std::size_t, std::uint8_t*) {
+  throw Error("SSE2 backend not available on this target");
+}
+void msv_group_sse2(const simd_kernels::MsvGroupView&,
+                    const simd_kernels::MsvGroupState&, const std::uint8_t*,
+                    std::size_t, std::uint8_t*) {
+  throw Error("SSE2 backend not available on this target");
+}
+void ssv_group_sse2(const simd_kernels::MsvGroupView&,
+                    const simd_kernels::MsvGroupState&, const std::uint8_t*,
+                    std::size_t, std::uint8_t*) {
+  throw Error("SSE2 backend not available on this target");
+}
+void msv_group_sse2(const simd_kernels::MsvGroupView&,
+                    const simd_kernels::MsvGroupState&, bio::PackedResidues,
+                    std::size_t, std::uint8_t*) {
+  throw Error("SSE2 backend not available on this target");
+}
+void ssv_group_sse2(const simd_kernels::MsvGroupView&,
+                    const simd_kernels::MsvGroupState&, bio::PackedResidues,
+                    std::size_t, std::uint8_t*) {
   throw Error("SSE2 backend not available on this target");
 }
 

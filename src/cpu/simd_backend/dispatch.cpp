@@ -70,11 +70,40 @@ float fwd_bwd_portable(const profile::FwdProfile& prof,
   return simd_kernels::fwd_bwd_kernel<F32x4>(prof, st, seq, L, ws, mocc);
 }
 
+void msv_group_portable(const simd_kernels::MsvGroupView& g,
+                        const simd_kernels::MsvGroupState& st,
+                        const std::uint8_t* seq, std::size_t L,
+                        std::uint8_t* row) {
+  simd_kernels::msv_group_kernel<U8x16>(g, st, seq, L, row);
+}
+
+void msv_group_portable_packed(const simd_kernels::MsvGroupView& g,
+                               const simd_kernels::MsvGroupState& st,
+                               bio::PackedResidues seq, std::size_t L,
+                               std::uint8_t* row) {
+  simd_kernels::msv_group_kernel<U8x16>(g, st, seq, L, row);
+}
+
+void ssv_group_portable(const simd_kernels::MsvGroupView& g,
+                        const simd_kernels::MsvGroupState& st,
+                        const std::uint8_t* seq, std::size_t L,
+                        std::uint8_t* row) {
+  simd_kernels::ssv_group_kernel<U8x16>(g, st, seq, L, row);
+}
+
+void ssv_group_portable_packed(const simd_kernels::MsvGroupView& g,
+                               const simd_kernels::MsvGroupState& st,
+                               bio::PackedResidues seq, std::size_t L,
+                               std::uint8_t* row) {
+  simd_kernels::ssv_group_kernel<U8x16>(g, st, seq, L, row);
+}
+
 constexpr TierKernels kTable[] = {
     {SimdTier::kPortable, 16, 8, 4,
      &msv_portable, &msv_portable_packed, &ssv_portable,
      &ssv_portable_packed, &vit_portable, &fwd_portable,
-     &fwd_bwd_portable},
+     &fwd_bwd_portable, &msv_group_portable, &msv_group_portable_packed,
+     &ssv_group_portable, &ssv_group_portable_packed},
     {SimdTier::kSse2, 16, 8, 4,
      [](const profile::MsvProfile& p, const std::uint8_t* r, int q,
         const std::uint8_t* s, std::size_t l, std::uint8_t* w) {
@@ -92,7 +121,19 @@ constexpr TierKernels kTable[] = {
         bio::PackedResidues s, std::size_t l, std::uint8_t* w) {
        return ssv_sse2(p, r, q, s, l, w);
      },
-     &vit_sse2, &fwd_sse2, &fwd_bwd_sse2},
+     &vit_sse2, &fwd_sse2, &fwd_bwd_sse2,
+     [](const simd_kernels::MsvGroupView& g,
+        const simd_kernels::MsvGroupState& st, const std::uint8_t* s,
+        std::size_t l, std::uint8_t* w) { msv_group_sse2(g, st, s, l, w); },
+     [](const simd_kernels::MsvGroupView& g,
+        const simd_kernels::MsvGroupState& st, bio::PackedResidues s,
+        std::size_t l, std::uint8_t* w) { msv_group_sse2(g, st, s, l, w); },
+     [](const simd_kernels::MsvGroupView& g,
+        const simd_kernels::MsvGroupState& st, const std::uint8_t* s,
+        std::size_t l, std::uint8_t* w) { ssv_group_sse2(g, st, s, l, w); },
+     [](const simd_kernels::MsvGroupView& g,
+        const simd_kernels::MsvGroupState& st, bio::PackedResidues s,
+        std::size_t l, std::uint8_t* w) { ssv_group_sse2(g, st, s, l, w); }},
     {SimdTier::kAvx2, 32, 16, 8,
      [](const profile::MsvProfile& p, const std::uint8_t* r, int q,
         const std::uint8_t* s, std::size_t l, std::uint8_t* w) {
@@ -110,7 +151,19 @@ constexpr TierKernels kTable[] = {
         bio::PackedResidues s, std::size_t l, std::uint8_t* w) {
        return ssv_avx2(p, r, q, s, l, w);
      },
-     &vit_avx2, &fwd_avx2, &fwd_bwd_avx2},
+     &vit_avx2, &fwd_avx2, &fwd_bwd_avx2,
+     [](const simd_kernels::MsvGroupView& g,
+        const simd_kernels::MsvGroupState& st, const std::uint8_t* s,
+        std::size_t l, std::uint8_t* w) { msv_group_avx2(g, st, s, l, w); },
+     [](const simd_kernels::MsvGroupView& g,
+        const simd_kernels::MsvGroupState& st, bio::PackedResidues s,
+        std::size_t l, std::uint8_t* w) { msv_group_avx2(g, st, s, l, w); },
+     [](const simd_kernels::MsvGroupView& g,
+        const simd_kernels::MsvGroupState& st, const std::uint8_t* s,
+        std::size_t l, std::uint8_t* w) { ssv_group_avx2(g, st, s, l, w); },
+     [](const simd_kernels::MsvGroupView& g,
+        const simd_kernels::MsvGroupState& st, bio::PackedResidues s,
+        std::size_t l, std::uint8_t* w) { ssv_group_avx2(g, st, s, l, w); }},
     {SimdTier::kAvx512, 64, 32, 16,
      [](const profile::MsvProfile& p, const std::uint8_t* r, int q,
         const std::uint8_t* s, std::size_t l, std::uint8_t* w) {
@@ -128,7 +181,27 @@ constexpr TierKernels kTable[] = {
         bio::PackedResidues s, std::size_t l, std::uint8_t* w) {
        return ssv_avx512(p, r, q, s, l, w);
      },
-     &vit_avx512, &fwd_avx512, &fwd_bwd_avx512},
+     &vit_avx512, &fwd_avx512, &fwd_bwd_avx512,
+     [](const simd_kernels::MsvGroupView& g,
+        const simd_kernels::MsvGroupState& st, const std::uint8_t* s,
+        std::size_t l, std::uint8_t* w) {
+       msv_group_avx512(g, st, s, l, w);
+     },
+     [](const simd_kernels::MsvGroupView& g,
+        const simd_kernels::MsvGroupState& st, bio::PackedResidues s,
+        std::size_t l, std::uint8_t* w) {
+       msv_group_avx512(g, st, s, l, w);
+     },
+     [](const simd_kernels::MsvGroupView& g,
+        const simd_kernels::MsvGroupState& st, const std::uint8_t* s,
+        std::size_t l, std::uint8_t* w) {
+       ssv_group_avx512(g, st, s, l, w);
+     },
+     [](const simd_kernels::MsvGroupView& g,
+        const simd_kernels::MsvGroupState& st, bio::PackedResidues s,
+        std::size_t l, std::uint8_t* w) {
+       ssv_group_avx512(g, st, s, l, w);
+     }},
 };
 
 }  // namespace

@@ -147,6 +147,217 @@ FilterResult ssv_kernel(const profile::MsvProfile& prof,
   return finish(hmax_u8(xEv), /*overflowed=*/false);
 }
 
+// ---- Fused multi-model MSV/SSV (lane-partitioned groups) ---------------
+//
+// Several short models share one N-lane sweep: model m owns the
+// contiguous lane span [lane_lo, lane_lo + lanes) and its position k
+// (1-based) lives in stripe (k-1)%Q, lane lane_lo + (k-1)/Q, where Q is
+// the group's shared stripe count.  Every cell not owned by a model
+// carries emission cost 255, which forces it to zero each row
+// (sat_sub(sat_add(x, bias), 255) == 0 for any byte x), so the lane shift
+// at stripe 0 hands the next span exactly the zero a single-model run
+// injects at its first lane — cell values, and therefore scores, are
+// bit-identical to N independent runs (docs/multi_model.md).
+
+/// One member of a fused group: its lane span plus the per-model byte
+/// constants the scalar epilogue needs.
+struct MsvGroupModel {
+  std::uint8_t lane_lo = 0;  // first lane of this model's span
+  std::uint8_t lanes = 0;    // lanes in the span (>= 1, includes padding)
+  std::uint8_t bias = 0;
+  std::uint8_t tbm = 0;
+  std::uint8_t tec = 0;
+  std::uint8_t base = 0;
+  std::uint8_t sat = 0;  // overflow threshold: 255 - bias
+};
+
+/// Read-only view of one packed group (built by cpu::FusedMsvGroup):
+/// the shared striped emission table (residue x at rows + x*Q*N), the
+/// per-lane bias bytes, and the member table.
+struct MsvGroupView {
+  const std::uint8_t* rows = nullptr;
+  const std::uint8_t* bias = nullptr;  // N per-lane bias bytes
+  const MsvGroupModel* models = nullptr;
+  int n_models = 0;
+  int Q = 0;
+};
+
+/// Caller-owned per-sequence scratch for the group kernels.  xb/trigger/xe
+/// hold N bytes each (per lane); xj/tjb/overflowed hold n_models bytes.
+/// tjb must carry each member's tjb_for(L) before the call; xj and
+/// overflowed are outputs the caller converts to scores.
+struct MsvGroupState {
+  std::uint8_t* xb = nullptr;          // per lane: sat_sub(xB_m - tbm_m)
+  std::uint8_t* trigger = nullptr;     // per lane: slow-path threshold
+  std::uint8_t* xe = nullptr;          // per lane: xEv spill buffer
+  std::uint8_t* xj = nullptr;          // per model: running xJ byte (out)
+  const std::uint8_t* tjb = nullptr;   // per model: tjb_for(L)
+  std::uint8_t* overflowed = nullptr;  // per model: overflow flag (out)
+};
+
+/// Fused multi-model MSV: one N-lane sweep scores every member of the
+/// group.  Each model's xJ/xB feedback is exact — a per-lane trigger byte
+/// (min of the xJ-update threshold xJ+tec and the overflow threshold
+/// sat-1) lets the common no-change row skip the scalar epilogue with one
+/// vector compare, and the rare firing row replays the per-model updates
+/// exactly as msv_kernel would.  `row` is Q*N bytes of caller scratch.
+template <class V, class Seq>
+void msv_group_kernel(const MsvGroupView& g, const MsvGroupState& st,
+                      Seq seq, std::size_t L, std::uint8_t* row) {
+  constexpr int N = V::kLanes;
+  FINEHMM_CHECK(L >= 1, "cannot score an empty sequence");
+  const int Q = g.Q;
+
+  // Per-lane init.  Lanes owned by no model keep xb=0 / trigger=255: their
+  // cells are forced to zero by the 255 pad cost and can never fire.
+  for (int j = 0; j < N; ++j) {
+    st.xb[j] = 0;
+    st.trigger[j] = 255;
+  }
+  for (int m = 0; m < g.n_models; ++m) {
+    const MsvGroupModel& md = g.models[m];
+    st.xj[m] = 0;
+    // sat == 0 (bias 255) overflows a single-model run on row 1 for any
+    // L >= 1; a byte trigger cannot express "always fire", so mark it now.
+    st.overflowed[m] = md.sat == 0 ? 1 : 0;
+    std::uint8_t xB =
+        md.base > st.tjb[m] ? std::uint8_t(md.base - st.tjb[m]) : 0;
+    const std::uint8_t xb = xB > md.tbm ? std::uint8_t(xB - md.tbm) : 0;
+    std::uint8_t trig = 255;
+    if (!st.overflowed[m]) {
+      const unsigned up = md.tec;  // xJ + tec at xJ = 0
+      const std::uint8_t cap = std::uint8_t(md.sat - 1);
+      trig = up > cap ? cap : std::uint8_t(up);
+    }
+    for (int j = 0; j < md.lanes; ++j) {
+      st.xb[md.lane_lo + j] = xb;
+      st.trigger[md.lane_lo + j] = trig;
+    }
+  }
+
+  std::memset(row, 0, static_cast<std::size_t>(Q) * N);
+  const V biasv = V::load(g.bias);
+  V xBv = V::load(st.xb);
+  V trigv = V::load(st.trigger);
+
+  for (std::size_t i = 0; i < L; ++i) {
+    const std::uint8_t* rbv =
+        g.rows + static_cast<std::size_t>(seq[i]) * Q * N;
+    V xEv = V::splat(0);
+    V mpv = shift_lanes_up(
+        V::load(row + static_cast<std::size_t>(Q - 1) * N));
+    for (int q = 0; q < Q; ++q) {
+      std::uint8_t* cell = row + static_cast<std::size_t>(q) * N;
+      V sv = max_u8(mpv, xBv);
+      sv = adds_u8(sv, biasv);
+      sv = subs_u8(sv, V::load(rbv + static_cast<std::size_t>(q) * N));
+      xEv = max_u8(xEv, sv);
+      mpv = V::load(cell);
+      sv.store(cell);
+    }
+    // Fast path: no lane beats its model's trigger, so no member can
+    // improve xJ and none overflowed — every epilogue is a no-op.
+    if (hmax_u8(subs_u8(xEv, trigv)) == 0) continue;
+
+    xEv.store(st.xe);
+    for (int m = 0; m < g.n_models; ++m) {
+      const MsvGroupModel& md = g.models[m];
+      if (st.overflowed[m]) continue;
+      std::uint8_t xE = 0;
+      for (int j = 0; j < md.lanes; ++j) {
+        const std::uint8_t e = st.xe[md.lane_lo + j];
+        if (e > xE) xE = e;
+      }
+      if (xE <= st.trigger[md.lane_lo]) continue;
+      if (xE >= md.sat) {
+        // Frozen: trigger 255 keeps the fast path quiet for this span,
+        // and saturated cells cannot cross the forced-zero padding into
+        // the next span's first lane.
+        st.overflowed[m] = 1;
+        for (int j = 0; j < md.lanes; ++j)
+          st.trigger[md.lane_lo + j] = 255;
+        continue;
+      }
+      xE = xE > md.tec ? std::uint8_t(xE - md.tec) : 0;
+      FINEHMM_DCHECK(xE > st.xj[m],
+                     "fused MSV trigger fired without an xJ improvement");
+      st.xj[m] = xE;
+      std::uint8_t xB = st.xj[m] > md.base ? st.xj[m] : md.base;
+      xB = xB > st.tjb[m] ? std::uint8_t(xB - st.tjb[m]) : 0;
+      const std::uint8_t xb = xB > md.tbm ? std::uint8_t(xB - md.tbm) : 0;
+      const unsigned up = unsigned(st.xj[m]) + md.tec;
+      const std::uint8_t cap = std::uint8_t(md.sat - 1);
+      const std::uint8_t trig = up > cap ? cap : std::uint8_t(up);
+      for (int j = 0; j < md.lanes; ++j) {
+        st.xb[md.lane_lo + j] = xb;
+        st.trigger[md.lane_lo + j] = trig;
+      }
+    }
+    xBv = V::load(st.xb);
+    trigv = V::load(st.trigger);
+  }
+}
+
+/// Fused multi-model SSV: like msv_group_kernel but with the constant
+/// per-model xB of the SSV recurrence and no per-row scalar work at all —
+/// xEv accumulates a running per-lane max across the whole sequence, and
+/// because that accumulation is monotone, the end-of-sequence segmented
+/// max and overflow test are equivalent to ssv_kernel's per-row checks.
+template <class V, class Seq>
+void ssv_group_kernel(const MsvGroupView& g, const MsvGroupState& st,
+                      Seq seq, std::size_t L, std::uint8_t* row) {
+  constexpr int N = V::kLanes;
+  FINEHMM_CHECK(L >= 1, "cannot score an empty sequence");
+  const int Q = g.Q;
+
+  for (int j = 0; j < N; ++j) st.xb[j] = 0;
+  for (int m = 0; m < g.n_models; ++m) {
+    const MsvGroupModel& md = g.models[m];
+    const std::uint8_t blt =
+        md.base > st.tjb[m] ? std::uint8_t(md.base - st.tjb[m]) : 0;
+    const std::uint8_t xb = blt > md.tbm ? std::uint8_t(blt - md.tbm) : 0;
+    for (int j = 0; j < md.lanes; ++j) st.xb[md.lane_lo + j] = xb;
+  }
+
+  std::memset(row, 0, static_cast<std::size_t>(Q) * N);
+  const V biasv = V::load(g.bias);
+  const V xBv = V::load(st.xb);
+  V xEv = V::splat(0);
+
+  for (std::size_t i = 0; i < L; ++i) {
+    const std::uint8_t* rbv =
+        g.rows + static_cast<std::size_t>(seq[i]) * Q * N;
+    V mpv = shift_lanes_up(
+        V::load(row + static_cast<std::size_t>(Q - 1) * N));
+    for (int q = 0; q < Q; ++q) {
+      std::uint8_t* cell = row + static_cast<std::size_t>(q) * N;
+      V sv = max_u8(mpv, xBv);
+      sv = adds_u8(sv, biasv);
+      sv = subs_u8(sv, V::load(rbv + static_cast<std::size_t>(q) * N));
+      xEv = max_u8(xEv, sv);
+      mpv = V::load(cell);
+      sv.store(cell);
+    }
+  }
+
+  xEv.store(st.xe);
+  for (int m = 0; m < g.n_models; ++m) {
+    const MsvGroupModel& md = g.models[m];
+    std::uint8_t xE = 0;
+    for (int j = 0; j < md.lanes; ++j) {
+      const std::uint8_t e = st.xe[md.lane_lo + j];
+      if (e > xE) xE = e;
+    }
+    if (xE >= md.sat) {
+      st.overflowed[m] = 1;
+      st.xj[m] = 0;
+    } else {
+      st.overflowed[m] = 0;
+      st.xj[m] = xE > md.tec ? std::uint8_t(xE - md.tec) : 0;
+    }
+  }
+}
+
 /// The eight striped parameter arrays the Viterbi kernel reads, laid out
 /// for one lane count (residue x's emission stripes at msc + x*Q*N).
 struct VitStripesView {

@@ -41,6 +41,35 @@ std::vector<ModelResult> MultiSearch::run_cpu_parallel(
   return out;
 }
 
+std::vector<int> MultiSearch::model_lengths() const {
+  std::vector<int> out;
+  out.reserve(searches_.size());
+  for (const auto& search : searches_)
+    out.push_back(search.profile().length());
+  return out;
+}
+
+std::vector<ModelResult> MultiSearch::run_cpu_fused(
+    const bio::SequenceDatabase& db, std::size_t threads,
+    const hmm::FusePlan* plan, obs::ScanTelemetry* telemetry) const {
+  ThreadPool pool(threads);
+  std::vector<const HmmSearch*> ptrs;
+  ptrs.reserve(searches_.size());
+  for (const auto& search : searches_) ptrs.push_back(&search);
+  auto scan = HmmSearch::run_cpu_fused(ptrs, ScanSource(db), pool, plan);
+  std::vector<ModelResult> out;
+  out.reserve(searches_.size());
+  for (std::size_t i = 0; i < searches_.size(); ++i) {
+    ModelResult r;
+    r.model_name = searches_[i].profile().name();
+    r.model_length = searches_[i].profile().length();
+    r.result = std::move(scan.per_model[i]);
+    out.push_back(std::move(r));
+  }
+  if (telemetry != nullptr) *telemetry = std::move(scan.telemetry);
+  return out;
+}
+
 std::vector<ModelResult> MultiSearch::run_gpu(
     const simt::DeviceSpec& dev, const bio::SequenceDatabase& db,
     const bio::PackedDatabase& packed) const {

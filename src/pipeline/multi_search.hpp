@@ -39,6 +39,20 @@ class MultiSearch {
   std::vector<ModelResult> run_cpu_parallel(const bio::SequenceDatabase& db,
                                             std::size_t threads = 0) const;
 
+  /// Model lengths in index order — the input to hmm::plan_model_groups.
+  std::vector<int> model_lengths() const;
+
+  /// Fused many-model scan: short models lane-packed into shared striped
+  /// group tables so one MSV/SSV sweep scores a whole group per sequence
+  /// (HmmSearch::run_cpu_fused).  Hits are bit-identical to run_cpu per
+  /// model.  `plan` may pass a cached group shape (null auto-tunes from
+  /// the length histogram + FINEHMM_FUSE); `telemetry`, when non-null,
+  /// receives the batch snapshot with the fuse.* counters.
+  std::vector<ModelResult> run_cpu_fused(
+      const bio::SequenceDatabase& db, std::size_t threads = 0,
+      const hmm::FusePlan* plan = nullptr,
+      obs::ScanTelemetry* telemetry = nullptr) const;
+
   /// Scan with the SIMT kernels, auto placement per model.
   std::vector<ModelResult> run_gpu(const simt::DeviceSpec& dev,
                                    const bio::SequenceDatabase& db,

@@ -9,6 +9,7 @@
 #include "cpu/fwd_filter.hpp"
 #include "cpu/generic.hpp"
 #include "cpu/msv_filter.hpp"
+#include "cpu/msv_group.hpp"
 #include "cpu/ssv.hpp"
 #include "cpu/vit_filter.hpp"
 #include "obs/recorder.hpp"
@@ -968,6 +969,357 @@ HmmSearch::CoalescedScan HmmSearch::run_cpu_coalesced(
     if (st.stage == "msv") {
       st.counters.emplace_back("batch.queries", static_cast<double>(k));
       st.counters.emplace_back("batch.sweeps", 1.0);
+    }
+  fill_buckets(t, *schedule);
+  t.per_thread.resize(crew);
+  for (std::size_t w = 0; w < crew; ++w) {
+    obs::ThreadTelemetry& row = t.per_thread[w];
+    row.thread = static_cast<std::uint32_t>(w);
+    for (const auto& scanner : scanners) {
+      const auto& load = scanner->load(w);
+      row.sequences_scored += load.calls();
+      row.stage_items[static_cast<int>(obs::Stage::kSsv)] += load.ssv_calls;
+      row.stage_items[static_cast<int>(obs::Stage::kMsv)] += load.msv_calls;
+      row.stage_items[static_cast<int>(obs::Stage::kVit)] += load.vit_calls;
+    }
+  }
+  return out;
+}
+
+HmmSearch::CoalescedScan HmmSearch::run_cpu_fused(
+    const std::vector<const HmmSearch*>& searches, ScanSource src,
+    ThreadPool& pool, const hmm::FusePlan* plan, obs::Recorder* rec) {
+  FH_REQUIRE(!searches.empty(), "fused scan needs at least one model");
+  for (const HmmSearch* hs : searches)
+    FH_REQUIRE(hs != nullptr, "fused scan given a null model");
+  CoalescedScan out;
+  const std::size_t k = searches.size();
+  const std::size_t n = src.size();
+  const std::size_t crew = pool.workers();
+  out.per_model.resize(k);
+  if (rec != nullptr && rec->enabled())
+    rec->reserve_threads(crew);
+  else
+    rec = nullptr;
+  Timer total;
+
+  // Resolve the group plan at the tier the byte filters will actually run.
+  const cpu::SimdTier tier = cpu::resolve_simd_tier(cpu::active_simd_tier());
+  const int lane_width = cpu::backend::tier_kernels(tier).u8_lanes;
+  hmm::FusePlan local_plan;
+  if (plan == nullptr) {
+    std::vector<int> lengths(k);
+    for (std::size_t m = 0; m < k; ++m)
+      lengths[m] = searches[m]->msv_.length();
+    local_plan = hmm::plan_model_groups(lengths, lane_width,
+                                        hmm::fuse_options_from_env());
+    plan = &local_plan;
+  }
+  FH_REQUIRE(plan->lane_width == lane_width,
+             "fuse plan built for a different lane width");
+  {
+    // Every model index must appear exactly once across groups + unfused.
+    std::vector<std::uint8_t> seen(k, 0);
+    auto mark = [&](std::size_t idx) {
+      FH_REQUIRE(idx < k && !seen[idx],
+                 "fuse plan does not cover the model list exactly once");
+      seen[idx] = 1;
+    };
+    for (const hmm::GroupShape& g : plan->groups)
+      for (std::size_t idx : g.members) mark(idx);
+    for (std::size_t idx : plan->unfused) mark(idx);
+    for (std::size_t m = 0; m < k; ++m)
+      FH_REQUIRE(seen[m], "fuse plan misses a model");
+  }
+
+  ScanSchedule local = make_length_schedule(
+      n, [&src](std::size_t i) { return src.length(i); });
+  const ScanSchedule* schedule = &local;
+
+  // Per-model scanners still exist for every model: the word stages and
+  // the unfused byte filters run through them exactly as in the
+  // coalesced engine; only grouped models' SSV/MSV route through the
+  // shared fused tables below.
+  std::vector<std::unique_ptr<BatchScanner>> scanners;
+  scanners.reserve(k);
+  for (const HmmSearch* hs : searches)
+    scanners.push_back(
+        std::make_unique<BatchScanner>(hs->msv_, hs->vit_, nullptr, crew));
+
+  // Shared group tables (read-only across the crew) + per-worker filters.
+  std::vector<std::unique_ptr<cpu::FusedMsvGroup>> groups;
+  std::vector<std::vector<std::unique_ptr<cpu::FusedMsvFilter>>> gworkers;
+  std::vector<std::uint8_t> group_has_ssv;
+  std::size_t max_group = 0;
+  groups.reserve(plan->groups.size());
+  gworkers.reserve(plan->groups.size());
+  for (const hmm::GroupShape& shape : plan->groups) {
+    std::vector<const profile::MsvProfile*> members;
+    members.reserve(shape.members.size());
+    bool has_ssv = false;
+    for (std::size_t idx : shape.members) {
+      members.push_back(&searches[idx]->msv_);
+      has_ssv = has_ssv || searches[idx]->thr_.use_ssv_prefilter;
+    }
+    max_group = std::max(max_group, shape.members.size());
+    groups.push_back(std::make_unique<cpu::FusedMsvGroup>(
+        std::move(members), lane_width, shape.Q));
+    group_has_ssv.push_back(has_ssv ? 1 : 0);
+    std::vector<std::unique_ptr<cpu::FusedMsvFilter>> ws;
+    ws.reserve(crew);
+    for (std::size_t w = 0; w < crew; ++w)
+      ws.push_back(std::make_unique<cpu::FusedMsvFilter>(*groups.back(),
+                                                         tier));
+    gworkers.push_back(std::move(ws));
+  }
+  std::vector<std::vector<cpu::FilterResult>> ssv_buf(crew);
+  std::vector<std::vector<cpu::FilterResult>> msv_buf(crew);
+  for (std::size_t w = 0; w < crew; ++w) {
+    ssv_buf[w].resize(max_group);
+    msv_buf[w].resize(max_group);
+  }
+
+  constexpr std::size_t kMsvChunk = 16;
+  constexpr std::size_t kVitChunk = 4;
+  std::vector<std::vector<std::uint8_t>> ssv_keep(
+      k, std::vector<std::uint8_t>(n, 1));
+  std::vector<std::vector<std::uint8_t>> msv_keep(
+      k, std::vector<std::uint8_t>(n, 0));
+
+  // ---- The fused sweep: one pass over the residue stream; each group's
+  // members are scored together by one sweep per sequence, unfused models
+  // fall back to their own scanners.  The gate formulas are exactly
+  // run_cpu's, so the replay below reproduces its hit lists bit for bit.
+  Timer stage_timer;
+  pool.parallel_for_chunked(
+      n, kMsvChunk,
+      [&](std::size_t worker, std::size_t begin, std::size_t end) {
+        OBS_SPAN(rec, worker, "fused.msv.chunk");
+        for (std::size_t idx = begin; idx < end; ++idx) {
+          const std::size_t s = schedule->order[idx];
+          if (idx + 1 < end) src.prefetch(schedule->order[idx + 1]);
+          const std::size_t L = src.length(s);
+          if (L == 0) {
+            for (std::size_t m = 0; m < k; ++m)
+              if (searches[m]->thr_.use_ssv_prefilter) ssv_keep[m][s] = 0;
+            continue;  // msv_keep stays 0: fails the first active stage
+          }
+          for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+            const hmm::GroupShape& shape = plan->groups[gi];
+            cpu::FusedMsvFilter& gf = *gworkers[gi][worker];
+            bool need_msv = !group_has_ssv[gi];
+            if (group_has_ssv[gi]) {
+              cpu::FilterResult* sres = ssv_buf[worker].data();
+              if (src.zero_copy())
+                gf.ssv(src.packed(s), L, sres);
+              else
+                gf.ssv(src.codes(s), L, sres);
+              for (std::size_t mi = 0; mi < shape.members.size(); ++mi) {
+                const std::size_t m = shape.members[mi];
+                const HmmSearch& hs = *searches[m];
+                if (!hs.thr_.use_ssv_prefilter) {
+                  need_msv = true;
+                  continue;
+                }
+                const cpu::FilterResult sr = sres[mi];
+                float sbits =
+                    sr.overflowed
+                        ? overflow_bits(hs.msv_, static_cast<int>(L))
+                        : hmm::nats_to_bits(sr.score_nats,
+                                            static_cast<int>(L));
+                if (!sr.overflowed &&
+                    hs.stats_.ssv_pvalue(sbits) > hs.thr_.ssv_p) {
+                  ssv_keep[m][s] = 0;
+                } else {
+                  need_msv = true;
+                }
+              }
+            }
+            if (!need_msv) continue;  // every member shed by SSV
+            cpu::FilterResult* mres = msv_buf[worker].data();
+            if (src.zero_copy())
+              gf.msv(src.packed(s), L, mres);
+            else
+              gf.msv(src.codes(s), L, mres);
+            for (std::size_t mi = 0; mi < shape.members.size(); ++mi) {
+              const std::size_t m = shape.members[mi];
+              const HmmSearch& hs = *searches[m];
+              if (hs.thr_.use_ssv_prefilter && !ssv_keep[m][s]) continue;
+              const cpu::FilterResult r = mres[mi];
+              float bits = r.overflowed
+                               ? overflow_bits(hs.msv_, static_cast<int>(L))
+                               : hmm::nats_to_bits(r.score_nats,
+                                                   static_cast<int>(L));
+              msv_keep[m][s] = (r.overflowed ||
+                                hs.stats_.msv_pvalue(bits) <= hs.thr_.msv_p)
+                                   ? 1
+                                   : 0;
+            }
+          }
+          for (std::size_t m : plan->unfused) {
+            const HmmSearch& hs = *searches[m];
+            BatchScanner& scanner = *scanners[m];
+            if (hs.thr_.use_ssv_prefilter) {
+              auto sr = ssv_score(scanner, worker, src, s, L);
+              float sbits =
+                  sr.overflowed
+                      ? overflow_bits(hs.msv_, static_cast<int>(L))
+                      : hmm::nats_to_bits(sr.score_nats,
+                                          static_cast<int>(L));
+              if (!sr.overflowed &&
+                  hs.stats_.ssv_pvalue(sbits) > hs.thr_.ssv_p) {
+                ssv_keep[m][s] = 0;
+                continue;
+              }
+            }
+            auto r = msv_score(scanner, worker, src, s, L);
+            float bits = r.overflowed
+                             ? overflow_bits(hs.msv_, static_cast<int>(L))
+                             : hmm::nats_to_bits(r.score_nats,
+                                                 static_cast<int>(L));
+            msv_keep[m][s] =
+                (r.overflowed || hs.stats_.msv_pvalue(bits) <= hs.thr_.msv_p)
+                    ? 1
+                    : 0;
+          }
+        }
+      });
+  const double msv_wall = stage_timer.seconds();
+
+  // ---- Per-model tail: serial replay in index order, then the word
+  // stages over the rare survivors (identical to run_cpu_coalesced).
+  std::vector<std::vector<std::uint8_t>> scratch(crew);
+  if (src.zero_copy())
+    for (auto& sc : scratch) sc.resize(src.max_length());
+  double vit_wall_sum = 0.0;
+  for (std::size_t m = 0; m < k; ++m) {
+    const HmmSearch& hs = *searches[m];
+    BatchScanner& scanner = *scanners[m];
+    SearchResult& res = out.per_model[m];
+
+    res.msv.n_in = n;
+    std::vector<std::size_t> msv_pass;
+    for (std::size_t s = 0; s < n; ++s) {
+      double cells = static_cast<double>(src.length(s)) * hs.msv_.length();
+      if (hs.thr_.use_ssv_prefilter) {
+        res.ssv.n_in += 1;
+        res.ssv.cells += cells;
+        if (!ssv_keep[m][s]) continue;
+        res.ssv.n_passed += 1;
+      }
+      res.msv.cells += cells;
+      if (msv_keep[m][s]) msv_pass.push_back(s);
+    }
+    if (hs.thr_.use_ssv_prefilter) res.msv.n_in = res.ssv.n_passed;
+    res.msv.n_passed = msv_pass.size();
+    // One sweep served every model: the wall clock is shared, not
+    // additive across models.
+    res.msv.seconds = msv_wall;
+
+    Timer vit_timer;
+    res.vit.n_in = msv_pass.size();
+    std::vector<float> vit_bits_all(msv_pass.size());
+    std::vector<std::uint8_t> vit_keep(msv_pass.size(), 0);
+    pool.parallel_for_chunked(
+        msv_pass.size(), kVitChunk,
+        [&](std::size_t worker, std::size_t begin, std::size_t end) {
+          OBS_SPAN(rec, worker, "fused.vit.chunk");
+          for (std::size_t i = begin; i < end; ++i) {
+            const std::size_t s = msv_pass[i];
+            const std::size_t L = src.length(s);
+            const std::uint8_t* codes =
+                src.fetch_codes(s, scratch[worker].data());
+            auto r = scanner.vit(worker, codes, L);
+            float bits = hmm::nats_to_bits(r.score_nats,
+                                           static_cast<int>(L));
+            vit_bits_all[i] = bits;
+            vit_keep[i] =
+                hs.stats_.vit_pvalue(bits) <= hs.thr_.vit_p ? 1 : 0;
+          }
+        });
+    std::vector<std::size_t> vit_pass;
+    std::vector<float> vit_bits_pass;
+    for (std::size_t i = 0; i < msv_pass.size(); ++i) {
+      res.vit.cells +=
+          static_cast<double>(src.length(msv_pass[i])) * hs.vit_.length();
+      if (vit_keep[i]) {
+        vit_pass.push_back(msv_pass[i]);
+        vit_bits_pass.push_back(vit_bits_all[i]);
+      }
+    }
+    res.vit.n_passed = vit_pass.size();
+    res.vit.seconds = vit_timer.seconds();
+    vit_wall_sum += res.vit.seconds;
+
+    hs.forward_stage(src, vit_pass, vit_bits_pass, res);
+  }
+
+  // ---- Batch-level telemetry: aggregated stage totals plus the lane
+  // occupancy counters the daemon's STATS verb surfaces.
+  obs::ScanTelemetry& t = out.telemetry;
+  t.engine = "cpu_fused";
+  t.threads = crew;
+  t.sequences = n;
+  t.residues = src.total_residues();
+  t.wall_seconds = total.seconds();
+  t.zero_copy = src.zero_copy();
+  if (src.zero_copy())
+    t.mapped_bytes = packed_stream_bytes(src);
+  else
+    t.heap_bytes = src.total_residues();
+  bool any_ssv = false;
+  for (const HmmSearch* hs : searches)
+    any_ssv = any_ssv || hs->thr_.use_ssv_prefilter;
+  auto aggregate = [&](const char* name, auto pick, double wall) {
+    obs::StageTelemetry st;
+    st.stage = name;
+    for (const SearchResult& r : out.per_model) {
+      const StageStats& s = pick(r);
+      st.n_in += s.n_in;
+      st.n_passed += s.n_passed;
+      st.cells += s.cells;
+    }
+    st.wall_seconds = wall;
+    st.busy_seconds = wall;
+    t.stages.push_back(std::move(st));
+  };
+  if (any_ssv)
+    aggregate("ssv", [](const SearchResult& r) -> const StageStats& {
+      return r.ssv;
+    }, msv_wall);
+  aggregate("msv", [](const SearchResult& r) -> const StageStats& {
+    return r.msv;
+  }, msv_wall);
+  aggregate("vit", [](const SearchResult& r) -> const StageStats& {
+    return r.vit;
+  }, vit_wall_sum);
+  double fwd_wall = 0.0;
+  for (const SearchResult& r : out.per_model) fwd_wall += r.fwd.seconds;
+  aggregate("fwd", [](const SearchResult& r) -> const StageStats& {
+    return r.fwd;
+  }, fwd_wall);
+  bool any_domains = false;
+  for (const HmmSearch* hs : searches)
+    any_domains = any_domains || hs->thr_.define_domains;
+  if (any_domains) {
+    double bwd_wall = 0.0;
+    for (const SearchResult& r : out.per_model) bwd_wall += r.bwd.seconds;
+    aggregate("bwd", [](const SearchResult& r) -> const StageStats& {
+      return r.bwd;
+    }, bwd_wall);
+  }
+  for (auto& st : t.stages)
+    if (st.stage == "msv") {
+      st.counters.emplace_back("batch.queries", static_cast<double>(k));
+      st.counters.emplace_back("batch.sweeps", 1.0);
+      st.counters.emplace_back("fuse.groups",
+                               static_cast<double>(plan->groups.size()));
+      st.counters.emplace_back("fuse.fused_models",
+                               static_cast<double>(plan->fused_models()));
+      st.counters.emplace_back("fuse.models_per_group",
+                               plan->models_per_group());
+      st.counters.emplace_back("fuse.lane_occupancy",
+                               plan->lane_occupancy());
     }
   fill_buckets(t, *schedule);
   t.per_thread.resize(crew);

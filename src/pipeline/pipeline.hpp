@@ -24,6 +24,7 @@
 #include "cpu/trace.hpp"
 #include "gpu/placement_policy.hpp"
 #include "gpu/search.hpp"
+#include "hmm/model_group.hpp"
 #include "hmm/plan7.hpp"
 #include "hmm/profile.hpp"
 #include "obs/telemetry.hpp"
@@ -195,6 +196,24 @@ class HmmSearch {
   static CoalescedScan run_cpu_coalesced(
       const std::vector<const HmmSearch*>& searches, ScanSource src,
       ThreadPool& pool, const ScanSchedule* schedule = nullptr,
+      obs::Recorder* rec = nullptr);
+
+  /// The hmmscan dual of run_cpu_coalesced: many *models* against one
+  /// database, with short models lane-packed into shared group tables
+  /// (cpu::FusedMsvGroup) so one MSV/SSV sweep scores a whole group per
+  /// sequence block instead of one model.  Hits and stage counts for
+  /// model i are bit-identical to `searches[i]->run_cpu(src)`; survivors
+  /// demux into the unchanged per-model Viterbi/Forward rescoring.
+  /// `plan` may pass a pregrouped shape (the daemon caches one per
+  /// resident library); null plans on the fly from the model-length
+  /// histogram, the resolved tier's lane width, and FINEHMM_FUSE
+  /// (hmm::plan_model_groups).  The telemetry snapshot (engine
+  /// "cpu_fused") adds `fuse.groups` / `fuse.fused_models` /
+  /// `fuse.models_per_group` / `fuse.lane_occupancy` counters on the msv
+  /// stage (docs/multi_model.md).
+  static CoalescedScan run_cpu_fused(
+      const std::vector<const HmmSearch*>& searches, ScanSource src,
+      ThreadPool& pool, const hmm::FusePlan* plan = nullptr,
       obs::Recorder* rec = nullptr);
 
   /// Scan with the SIMT kernels for MSV and P7Viterbi on `dev`; the

@@ -84,6 +84,44 @@ RemoteResult BlockingClient::roundtrip(const SearchRequest& req) {
   return out;
 }
 
+RemoteScanResult BlockingClient::scan(std::uint32_t db_id, double evalue,
+                                      std::uint32_t deadline_ms) {
+  ScanRequest req;
+  req.db_id = db_id;
+  req.evalue = evalue;
+  req.deadline_ms = deadline_ms;
+
+  RemoteScanResult out;
+  const std::uint32_t id = next_id_++;
+  if (!send_frame(*conn_, MsgType::kScan, id, encode_scan_request(req)))
+    return out;  // kDisconnected
+
+  Frame reply;
+  if (recv_frame(*conn_, reply) != RecvStatus::kFrame) return out;
+  try {
+    switch (reply.type()) {
+      case MsgType::kScanResult:
+        out.result = decode_scan_result(reply.payload);
+        out.status = ClientStatus::kOk;
+        break;
+      case MsgType::kError:
+        out.error = decode_error(reply.payload);
+        out.status = ClientStatus::kError;
+        break;
+      case MsgType::kOverload:
+        out.overload = decode_overload(reply.payload);
+        out.status = ClientStatus::kOverloaded;
+        break;
+      default:
+        out.status = ClientStatus::kDisconnected;
+        break;
+    }
+  } catch (const ProtocolError&) {
+    out.status = ClientStatus::kDisconnected;
+  }
+  return out;
+}
+
 bool BlockingClient::ping() {
   const std::uint32_t id = next_id_++;
   if (!send_frame(*conn_, MsgType::kPing, id, {})) return false;

@@ -32,6 +32,13 @@ struct RemoteResult {
   OverloadInfo overload;    // kOverloaded only
 };
 
+struct RemoteScanResult {
+  ClientStatus status = ClientStatus::kDisconnected;
+  ScanResultWire result;  // kOk only
+  ErrorInfo error;        // kError only
+  OverloadInfo overload;  // kOverloaded only
+};
+
 class BlockingClient {
  public:
   explicit BlockingClient(std::unique_ptr<Connection> conn);
@@ -58,6 +65,13 @@ class BlockingClient {
                            std::vector<std::uint8_t> blob,
                            double evalue = 10.0,
                            std::uint32_t deadline_ms = 0);
+
+  /// The SCAN verb: score resident database db_id against every model in
+  /// the daemon's loaded .fhpdb libraries (one fused many-model sweep
+  /// server-side; hits bit-identical to per-model SEARCHes).  The evalue
+  /// can only tighten the daemon's resident E <= 10 threshold.
+  RemoteScanResult scan(std::uint32_t db_id, double evalue = 10.0,
+                        std::uint32_t deadline_ms = 0);
 
   /// PING/PONG health check.
   bool ping();

@@ -267,6 +267,96 @@ SearchResultWire decode_search_result(
   return res;
 }
 
+std::vector<std::uint8_t> encode_scan_request(const ScanRequest& req) {
+  std::vector<std::uint8_t> out;
+  Writer w{out};
+  w.u32(req.db_id);
+  w.u32(0);  // reserved flags
+  w.f64(req.evalue);
+  w.u32(req.deadline_ms);
+  return out;
+}
+
+ScanRequest decode_scan_request(const std::vector<std::uint8_t>& payload) {
+  Reader r = reader(payload);
+  ScanRequest req;
+  req.db_id = r.u32();
+  r.u32();  // reserved flags
+  req.evalue = r.f64();
+  req.deadline_ms = r.u32();
+  r.done();
+  return req;
+}
+
+namespace {
+
+void write_hit(Writer& w, const pipeline::Hit& h) {
+  w.u64(h.seq_index);
+  w.str(h.name);
+  w.f32(h.msv_bits);
+  w.f32(h.vit_bits);
+  w.f32(h.fwd_bits);
+  w.f32(h.bias_bits);
+  w.f64(h.pvalue);
+  w.f64(h.evalue);
+}
+
+pipeline::Hit read_hit(Reader& r) {
+  pipeline::Hit h;
+  h.seq_index = static_cast<std::size_t>(r.u64());
+  h.name = r.str();
+  h.msv_bits = r.f32();
+  h.vit_bits = r.f32();
+  h.fwd_bits = r.f32();
+  h.bias_bits = r.f32();
+  h.pvalue = r.f64();
+  h.evalue = r.f64();
+  return h;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_scan_result(const ScanResultWire& res) {
+  std::vector<std::uint8_t> out;
+  Writer w{out};
+  w.u64(res.db_sequences);
+  w.u64(res.db_residues);
+  w.u64(res.fuse_groups);
+  w.u64(res.fused_models);
+  w.f64(res.lane_occupancy);
+  FH_REQUIRE(res.models.size() <= 0xffffffffu, "too many models for the wire");
+  w.u32(static_cast<std::uint32_t>(res.models.size()));
+  for (const ScanModelHits& m : res.models) {
+    w.str(m.model_name);
+    FH_REQUIRE(m.hits.size() <= 0xffffffffu, "too many hits for the wire");
+    w.u32(static_cast<std::uint32_t>(m.hits.size()));
+    for (const pipeline::Hit& h : m.hits) write_hit(w, h);
+  }
+  return out;
+}
+
+ScanResultWire decode_scan_result(const std::vector<std::uint8_t>& payload) {
+  Reader r = reader(payload);
+  ScanResultWire res;
+  res.db_sequences = r.u64();
+  res.db_residues = r.u64();
+  res.fuse_groups = r.u64();
+  res.fused_models = r.u64();
+  res.lane_occupancy = r.f64();
+  const std::uint32_t n_models = r.u32();
+  res.models.reserve(std::min<std::size_t>(n_models, 1024));
+  for (std::uint32_t m = 0; m < n_models; ++m) {
+    ScanModelHits mh;
+    mh.model_name = r.str();
+    const std::uint32_t n_hits = r.u32();
+    mh.hits.reserve(std::min<std::size_t>(n_hits, 1024));
+    for (std::uint32_t i = 0; i < n_hits; ++i) mh.hits.push_back(read_hit(r));
+    res.models.push_back(std::move(mh));
+  }
+  r.done();
+  return res;
+}
+
 std::vector<std::uint8_t> encode_error(const ErrorInfo& err) {
   std::vector<std::uint8_t> out;
   Writer w{out};

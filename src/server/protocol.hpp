@@ -48,6 +48,8 @@ enum class MsgType : std::uint8_t {
   kOverload = 6,     // server -> client, OverloadInfo payload (shed)
   kStats = 7,        // client -> server, empty payload
   kStatsResult = 8,  // server -> client, JSON text payload
+  kScan = 9,         // client -> server, ScanRequest payload
+  kScanResult = 10,  // server -> client, ScanResultWire payload
 };
 
 /// Machine-readable reason codes carried by kError frames.
@@ -111,6 +113,39 @@ struct SearchResultWire {
 
 std::vector<std::uint8_t> encode_search_result(const SearchResultWire& res);
 SearchResultWire decode_search_result(const std::vector<std::uint8_t>& payload);
+
+/// The SCAN verb: score one resident database against EVERY model in the
+/// daemon's loaded .fhpdb libraries in a single fused many-model sweep
+/// (HmmSearch::run_cpu_fused; docs/multi_model.md).  Concurrent SCANs of
+/// the same database coalesce into one sweep, like SEARCHes do.  The
+/// resident library scans at the default report threshold (E = 10), so a
+/// request's evalue can only tighten the hit lists, never widen them.
+struct ScanRequest {
+  std::uint32_t db_id = 0;
+  double evalue = 10.0;          // report threshold (<= the resident 10.0)
+  std::uint32_t deadline_ms = 0; // 0 = no deadline
+};
+
+std::vector<std::uint8_t> encode_scan_request(const ScanRequest& req);
+ScanRequest decode_scan_request(const std::vector<std::uint8_t>& payload);
+
+/// Per-model slice of a SCAN result, in library load order.
+struct ScanModelHits {
+  std::string model_name;
+  std::vector<pipeline::Hit> hits;  // sorted by E-value, like a SEARCH
+};
+
+struct ScanResultWire {
+  std::uint64_t db_sequences = 0;
+  std::uint64_t db_residues = 0;
+  std::uint64_t fuse_groups = 0;   // fused groups in the sweep's plan
+  std::uint64_t fused_models = 0;  // models scored via fused groups
+  double lane_occupancy = 0.0;     // cell-weighted mean, 0..1
+  std::vector<ScanModelHits> models;
+};
+
+std::vector<std::uint8_t> encode_scan_result(const ScanResultWire& res);
+ScanResultWire decode_scan_result(const std::vector<std::uint8_t>& payload);
 
 struct ErrorInfo {
   ErrorCode code = ErrorCode::kInternal;

@@ -4,6 +4,9 @@
 #include <sstream>
 #include <utility>
 
+#include "cpu/simd_backend/backend.hpp"
+#include "cpu/simd_backend/simd_tier.hpp"
+
 namespace finehmm::server {
 
 namespace {
@@ -77,9 +80,15 @@ std::size_t SearchServer::add_model_library(const std::string& fhpdb_path) {
       pipeline::HmmSearch calibrated(e.model);
       e.model_stats = calibrated.model_stats();
     }
+    // The SCAN verb's resident search, built once here so a sweep pays
+    // zero per-request profile/calibration cost.  Library order.
+    scan_searches_.push_back(std::make_unique<pipeline::HmmSearch>(
+        e.model, *e.model_stats));
+    scan_names_.push_back(e.model.name());
     std::string name = e.model.name();
     models_[std::move(name)] = std::move(e);
   }
+  scan_plan_.reset();  // the library changed; re-tune on the next scan
   return n;
 }
 
@@ -190,6 +199,9 @@ void SearchServer::handle_connection(const std::shared_ptr<Session>& session) {
       case MsgType::kSearch:
         handle_search(session, frame);
         break;
+      case MsgType::kScan:
+        handle_scan(session, frame);
+        break;
       default:
         send_error(*session, frame.header.request_id, ErrorCode::kBadRequest,
                    "unexpected message type " +
@@ -295,6 +307,79 @@ void SearchServer::handle_search(const std::shared_ptr<Session>& session,
   ++stats_.requests_admitted;
 }
 
+void SearchServer::handle_scan(const std::shared_ptr<Session>& session,
+                               const Frame& frame) {
+  const std::uint32_t id = frame.header.request_id;
+
+  ScanRequest req;
+  try {
+    req = decode_scan_request(frame.payload);
+  } catch (const ProtocolError& e) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.requests_bad;
+    }
+    send_error(*session, id, ErrorCode::kBadRequest, e.what());
+    return;
+  }
+
+  if (draining()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.requests_rejected_draining;
+    }
+    send_error(*session, id, ErrorCode::kShuttingDown,
+               "daemon is draining; no new scans accepted");
+    return;
+  }
+
+  if (req.db_id >= dbs_.size()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.requests_bad;
+    }
+    send_error(*session, id, ErrorCode::kUnknownDatabase,
+               "no resident database with id " + std::to_string(req.db_id));
+    return;
+  }
+
+  if (scan_searches_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.requests_bad;
+    }
+    send_error(*session, id, ErrorCode::kUnknownModel,
+               "no model libraries loaded; SCAN has nothing to score");
+    return;
+  }
+
+  auto pending = std::make_shared<Pending>();
+  pending->request_id = id;
+  pending->db_id = req.db_id;
+  pending->is_scan = true;
+  pending->scan_evalue = req.evalue;
+  pending->session = session;
+  if (req.deadline_ms > 0) {
+    pending->has_deadline = true;
+    pending->deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(req.deadline_ms);
+  }
+
+  if (!queue_.try_push(pending)) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.requests_overloaded;
+    }
+    send_reply(*session, MsgType::kOverload, id,
+               encode_overload(OverloadInfo{
+                   static_cast<std::uint32_t>(queue_.capacity())}));
+    return;
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.requests_admitted;
+  ++stats_.scan_requests;
+}
+
 // --- Scheduler tier ----------------------------------------------------
 
 void SearchServer::scheduler_loop() {
@@ -347,8 +432,11 @@ void SearchServer::scheduler_loop() {
 }
 
 void SearchServer::run_batch(std::vector<std::shared_ptr<Pending>>& batch) {
-  // Group by database: one coalesced sweep per distinct resident db.
+  // Group by database: one coalesced sweep per distinct resident db for
+  // SEARCHes, plus one fused library sweep per db with queued SCANs —
+  // concurrent SCANs of the same database share that single sweep.
   std::map<std::uint32_t, std::vector<std::shared_ptr<Pending>>> by_db;
+  std::map<std::uint32_t, std::vector<std::shared_ptr<Pending>>> scans_by_db;
   const auto now = std::chrono::steady_clock::now();
   for (std::shared_ptr<Pending>& p : batch) {
     if (p->has_deadline && now > p->deadline) {
@@ -360,8 +448,11 @@ void SearchServer::run_batch(std::vector<std::shared_ptr<Pending>>& batch) {
                  "request expired while queued");
       continue;
     }
-    by_db[p->db_id].push_back(std::move(p));
+    auto& dest = p->is_scan ? scans_by_db : by_db;
+    dest[p->db_id].push_back(std::move(p));
   }
+
+  for (auto& [db_id, group] : scans_by_db) run_scans(db_id, group);
 
   for (auto& [db_id, group] : by_db) {
     const Db& db = dbs_[db_id];
@@ -417,6 +508,82 @@ void SearchServer::run_batch(std::vector<std::shared_ptr<Pending>>& batch) {
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.responses_dropped;
       }
+    }
+  }
+}
+
+void SearchServer::run_scans(
+    std::uint32_t db_id,
+    const std::vector<std::shared_ptr<Pending>>& group) {
+  const Db& db = dbs_[db_id];
+  std::vector<const pipeline::HmmSearch*> searches;
+  searches.reserve(scan_searches_.size());
+  for (const auto& s : scan_searches_) searches.push_back(s.get());
+
+  if (!scan_plan_) {
+    // Tune once per library: the plan depends only on the model lengths
+    // and the lane width of the active SIMD tier, both fixed from here.
+    std::vector<int> lengths;
+    lengths.reserve(searches.size());
+    for (const auto* s : searches) lengths.push_back(s->profile().length());
+    const int lane_width =
+        cpu::backend::tier_kernels(
+            cpu::resolve_simd_tier(cpu::active_simd_tier()))
+            .u8_lanes;
+    scan_plan_ = hmm::plan_model_groups(lengths, lane_width,
+                                        hmm::fuse_options_from_env());
+  }
+
+  pipeline::HmmSearch::CoalescedScan scan;
+  try {
+    scan = pipeline::HmmSearch::run_cpu_fused(searches, db.view(), pool_,
+                                              &*scan_plan_, &recorder_);
+  } catch (const Error& e) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.requests_failed += group.size();
+    }
+    for (const auto& p : group)
+      send_error(*p->session, p->request_id, ErrorCode::kInternal,
+                 std::string("scan failed: ") + e.what());
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.scan_sweeps;
+    stats_.scan_models_scored += searches.size();
+  }
+  merge_batch_telemetry(scan.telemetry);
+
+  for (const auto& p : group) {
+    ScanResultWire wire;
+    wire.db_sequences = db.sequences;
+    wire.db_residues = db.residues;
+    wire.fuse_groups = scan_plan_->groups.size();
+    wire.fused_models = scan_plan_->fused_models();
+    wire.lane_occupancy = scan_plan_->lane_occupancy();
+    wire.models.reserve(searches.size());
+    for (std::size_t m = 0; m < searches.size(); ++m) {
+      ScanModelHits mh;
+      mh.model_name = scan_names_[m];
+      // The resident library reports at E <= 10; a request's threshold
+      // can only tighten.  Hits are E-value sorted, so this is a prefix.
+      for (const pipeline::Hit& h : scan.per_model[m].hits) {
+        if (h.evalue > p->scan_evalue) break;
+        mh.hits.push_back(h);
+      }
+      wire.models.push_back(std::move(mh));
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.requests_completed;
+    }
+    const bool sent = send_reply(*p->session, MsgType::kScanResult,
+                                 p->request_id, encode_scan_result(wire));
+    if (!sent) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.responses_dropped;
     }
   }
 }
@@ -493,6 +660,9 @@ std::string SearchServer::stats_json() const {
   os << "  \"max_batch_size\": " << s.max_batch_size << ",\n";
   os << "  \"responses_dropped\": " << s.responses_dropped << ",\n";
   os << "  \"frames_malformed\": " << s.frames_malformed << ",\n";
+  os << "  \"scan_requests\": " << s.scan_requests << ",\n";
+  os << "  \"scan_sweeps\": " << s.scan_sweeps << ",\n";
+  os << "  \"scan_models_scored\": " << s.scan_models_scored << ",\n";
   os << "  \"telemetry\":\n";
   t.write_json(os, 2);
   os << "\n}\n";

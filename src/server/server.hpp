@@ -38,6 +38,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -89,6 +90,10 @@ struct ServerStats {
   std::uint64_t max_batch_size = 0;    // largest single coalesced group
   std::uint64_t responses_dropped = 0; // client gone before its reply
   std::uint64_t frames_malformed = 0;  // connections torn down on bad bytes
+  // SCAN verb (fused many-model sweeps over the resident libraries):
+  std::uint64_t scan_requests = 0;       // admitted SCAN requests
+  std::uint64_t scan_sweeps = 0;         // fused library sweeps run
+  std::uint64_t scan_models_scored = 0;  // sum of library size per sweep
 };
 
 class SearchServer {
@@ -160,10 +165,14 @@ class SearchServer {
   };
 
   /// An admitted search waiting for (or riding in) a coalesced sweep.
+  /// A SCAN request (is_scan) carries no model of its own: it rides the
+  /// fused sweep of the whole resident library instead.
   struct Pending {
     std::uint32_t request_id = 0;
     std::uint32_t db_id = 0;
     std::shared_ptr<pipeline::HmmSearch> search;
+    bool is_scan = false;
+    double scan_evalue = 10.0;
     bool has_deadline = false;
     std::chrono::steady_clock::time_point deadline;
     std::shared_ptr<Session> session;
@@ -172,8 +181,12 @@ class SearchServer {
   void handle_connection(const std::shared_ptr<Session>& session);
   void handle_search(const std::shared_ptr<Session>& session,
                      const Frame& frame);
+  void handle_scan(const std::shared_ptr<Session>& session,
+                   const Frame& frame);
   void scheduler_loop();
   void run_batch(std::vector<std::shared_ptr<Pending>>& batch);
+  void run_scans(std::uint32_t db_id,
+                 const std::vector<std::shared_ptr<Pending>>& group);
   bool send_reply(Session& session, MsgType type, std::uint32_t request_id,
                   const std::vector<std::uint8_t>& payload);
   void send_error(Session& session, std::uint32_t request_id, ErrorCode code,
@@ -187,6 +200,13 @@ class SearchServer {
 
   std::vector<Db> dbs_;
   std::map<std::string, hmm::ModelEntry> models_;
+  /// The SCAN verb's resident library: one calibrated HmmSearch per
+  /// loaded model (library load order) plus the cached fuse plan.  Built
+  /// by add_model_library; the plan is tuned lazily on the first scan
+  /// (when the SIMD tier is settled) and reused by every later sweep.
+  std::vector<std::unique_ptr<pipeline::HmmSearch>> scan_searches_;
+  std::vector<std::string> scan_names_;
+  std::optional<hmm::FusePlan> scan_plan_;
 
   mutable std::mutex state_mu_;  // draining_, paused_, listener_, sessions_
   std::condition_variable pause_cv_;

@@ -633,6 +633,158 @@ TEST(SearchServer, StatsVerbReportsSchemaAndCounts) {
   EXPECT_NE(json->find("\"engine\": \"server\""), std::string::npos);
 }
 
+// -------------------------------------------------------- SCAN verb
+
+/// A small pressed library with stored calibration, written to a temp
+/// file so add_model_library pays no calibration at load.
+std::string write_scan_library(std::vector<hmm::Plan7Hmm>& models_out,
+                               int n_models) {
+  std::vector<hmm::ModelEntry> entries;
+  for (int i = 0; i < n_models; ++i) {
+    hmm::RandomHmmSpec spec;
+    spec.length = 40 + 17 * i;
+    spec.seed = 900 + static_cast<std::uint64_t>(i);
+    hmm::ModelEntry e;
+    e.model = hmm::generate_hmm(spec);
+    e.model.set_name("SCAN" + std::to_string(i));
+    e.model_stats = pipeline::HmmSearch(e.model).model_stats();
+    models_out.push_back(e.model);
+    entries.push_back(std::move(e));
+  }
+  const std::string path = "/tmp/finehmm_test_server_scanlib.fhpdb";
+  hmm::write_model_db_file(path, entries);
+  return path;
+}
+
+TEST(SearchServer, ScanVerbMatchesPerModelSearchesBitForBit) {
+  ServerFixture fx;
+  std::vector<hmm::Plan7Hmm> models;
+  const std::string lib = write_scan_library(models, 5);
+  EXPECT_EQ(fx.srv->add_model_library(lib), 5u);
+  std::remove(lib.c_str());
+  fx.start();
+
+  BlockingClient client = fx.connect();
+  const RemoteScanResult rr = client.scan(0);
+  ASSERT_EQ(rr.status, ClientStatus::kOk);
+  EXPECT_EQ(rr.result.db_sequences, fx.db.size());
+  ASSERT_EQ(rr.result.models.size(), models.size());
+  EXPECT_GE(rr.result.fuse_groups, 1u);
+  EXPECT_EQ(rr.result.fused_models, models.size());
+  EXPECT_GT(rr.result.lane_occupancy, 0.0);
+  EXPECT_LE(rr.result.lane_occupancy, 1.0);
+
+  // Ground truth: one local run_cpu per model with the library's stats.
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    const auto& mh = rr.result.models[m];
+    EXPECT_EQ(mh.model_name, models[m].name());
+    const pipeline::HmmSearch local(
+        models[m], pipeline::HmmSearch(models[m]).model_stats());
+    const pipeline::SearchResult ref = local.run_cpu(fx.db);
+    ASSERT_EQ(mh.hits.size(), ref.hits.size()) << "model=" << m;
+    for (std::size_t i = 0; i < ref.hits.size(); ++i) {
+      EXPECT_EQ(mh.hits[i].seq_index, ref.hits[i].seq_index);
+      EXPECT_EQ(mh.hits[i].name, ref.hits[i].name);
+      EXPECT_EQ(mh.hits[i].msv_bits, ref.hits[i].msv_bits);
+      EXPECT_EQ(mh.hits[i].vit_bits, ref.hits[i].vit_bits);
+      EXPECT_EQ(mh.hits[i].fwd_bits, ref.hits[i].fwd_bits);
+      EXPECT_EQ(mh.hits[i].pvalue, ref.hits[i].pvalue);
+      EXPECT_EQ(mh.hits[i].evalue, ref.hits[i].evalue);
+    }
+  }
+
+  // A tighter request threshold prunes each model's hit list to the
+  // E-value-sorted prefix.
+  const RemoteScanResult tight = client.scan(0, 1e-3);
+  ASSERT_EQ(tight.status, ClientStatus::kOk);
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    const auto& all = rr.result.models[m].hits;
+    const auto& few = tight.result.models[m].hits;
+    EXPECT_LE(few.size(), all.size());
+    for (std::size_t i = 0; i < few.size(); ++i) {
+      EXPECT_LE(few[i].evalue, 1e-3);
+      EXPECT_EQ(few[i].seq_index, all[i].seq_index);
+    }
+  }
+
+  // The STATS verb exposes the scan counters and (via the embedded
+  // telemetry) the fuse.* lane-occupancy counters.
+  const std::optional<std::string> json = client.stats_json();
+  ASSERT_TRUE(json.has_value());
+  EXPECT_NE(json->find("\"scan_requests\": 2"), std::string::npos);
+  EXPECT_NE(json->find("\"scan_sweeps\": 2"), std::string::npos);
+  EXPECT_NE(json->find("fuse.lane_occupancy"), std::string::npos);
+  EXPECT_NE(json->find("fuse.models_per_group"), std::string::npos);
+}
+
+TEST(SearchServer, ScanWithoutLibraryOrDatabaseIsAnError) {
+  ServerFixture fx;
+  fx.start();
+  BlockingClient client = fx.connect();
+
+  // No library loaded: nothing to score.
+  const RemoteScanResult none = client.scan(0);
+  ASSERT_EQ(none.status, ClientStatus::kError);
+  EXPECT_EQ(none.error.code, ErrorCode::kUnknownModel);
+
+  // Unknown database id.
+  const RemoteScanResult bad_db = client.scan(7);
+  ASSERT_EQ(bad_db.status, ClientStatus::kError);
+  EXPECT_EQ(bad_db.error.code, ErrorCode::kUnknownDatabase);
+}
+
+TEST(ServerProtocol, ScanRequestAndResultRoundTrip) {
+  ScanRequest req;
+  req.db_id = 3;
+  req.evalue = 0.125;
+  req.deadline_ms = 900;
+  const ScanRequest back = decode_scan_request(encode_scan_request(req));
+  EXPECT_EQ(back.db_id, req.db_id);
+  EXPECT_EQ(back.evalue, req.evalue);
+  EXPECT_EQ(back.deadline_ms, req.deadline_ms);
+
+  ScanResultWire res;
+  res.db_sequences = 11;
+  res.db_residues = 4242;
+  res.fuse_groups = 2;
+  res.fused_models = 9;
+  res.lane_occupancy = 0.875;
+  ScanModelHits mh;
+  mh.model_name = "PF0001";
+  pipeline::Hit h;
+  h.seq_index = 5;
+  h.name = "seq5";
+  h.msv_bits = 12.5f;
+  h.vit_bits = 11.25f;
+  h.fwd_bits = 13.75f;
+  h.bias_bits = 0.5f;
+  h.pvalue = 1e-7;
+  h.evalue = 1e-4;
+  mh.hits.push_back(h);
+  res.models.push_back(mh);
+  res.models.push_back(ScanModelHits{"PF0002", {}});
+
+  const ScanResultWire out = decode_scan_result(encode_scan_result(res));
+  EXPECT_EQ(out.db_sequences, res.db_sequences);
+  EXPECT_EQ(out.db_residues, res.db_residues);
+  EXPECT_EQ(out.fuse_groups, res.fuse_groups);
+  EXPECT_EQ(out.fused_models, res.fused_models);
+  EXPECT_EQ(out.lane_occupancy, res.lane_occupancy);
+  ASSERT_EQ(out.models.size(), 2u);
+  EXPECT_EQ(out.models[0].model_name, "PF0001");
+  ASSERT_EQ(out.models[0].hits.size(), 1u);
+  EXPECT_EQ(out.models[0].hits[0].seq_index, h.seq_index);
+  EXPECT_EQ(out.models[0].hits[0].name, h.name);
+  EXPECT_EQ(out.models[0].hits[0].fwd_bits, h.fwd_bits);
+  EXPECT_EQ(out.models[0].hits[0].evalue, h.evalue);
+  EXPECT_TRUE(out.models[1].hits.empty());
+
+  // Truncation must raise, not overrun.
+  auto bytes = encode_scan_result(res);
+  bytes.resize(bytes.size() - 3);
+  EXPECT_THROW(decode_scan_result(bytes), ProtocolError);
+}
+
 // ------------------------------------------- multi-client stress (tsan)
 
 // Written for the tsan preset: searches, pings, STATS, disconnects and

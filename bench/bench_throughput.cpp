@@ -14,6 +14,7 @@
 // Usage: bench_throughput [db_scale] [model_length] [out.json]
 //   db_scale default 0.001 (~460 sequences), model_length default 400.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -33,7 +34,9 @@
 #include "hmm/generator.hpp"
 #include "hmm/model_group.hpp"
 #include "hmm/profile.hpp"
+#include "obs/histogram.hpp"
 #include "obs/recorder.hpp"
+#include "obs/request_trace.hpp"
 #include "obs/telemetry.hpp"
 #include "pipeline/batch_scanner.hpp"
 #include "pipeline/pipeline.hpp"
@@ -134,12 +137,30 @@ struct TelemetryReport {
   }
 };
 
+/// The always-on per-request observability cost: the daemon records
+/// every completed request into three ConcurrentHistograms and a
+/// TraceRing (server.cpp finish_request_trace) — instrumentation that
+/// is never compiled out or gated.  Replay exactly that bookkeeping
+/// around each scan and compare against the bare scan.  The roadmap
+/// guard (mirrored by tools/bench_diff and CI) is < 2%.
+struct HistogramReport {
+  double baseline_seconds = 0;      // bare overlapped scan (best-of-3)
+  double instrumented_seconds = 0;  // scan + per-request records
+  double overhead() const {
+    return obs::valid_rate(instrumented_seconds, baseline_seconds)
+               // finehmm-lint: allow(unguarded-rate) -- valid_rate-guarded
+               ? instrumented_seconds / baseline_seconds - 1.0
+               : 0.0;
+  }
+};
+
 /// End-to-end pipeline sweep: database load (from .fsqdb) + full filter
 /// cascade, heap-parallel vs. mmap-overlapped, threads in {1, N/2, N}.
 /// Each timing is best-of-3 after one warm-up; hit lists are asserted
 /// bit-identical between the engines at every thread count.
 std::vector<PipelineRecord> bench_pipeline(double scale, int M,
-                                           TelemetryReport& tel) {
+                                           TelemetryReport& tel,
+                                           HistogramReport& hist) {
   pipeline::WorkloadSpec wspec;
   wspec.db = bio::SyntheticDbSpec::swissprot_like(scale);
   wspec.homolog_fraction = 0.01;
@@ -204,23 +225,31 @@ std::vector<PipelineRecord> bench_pipeline(double scale, int M,
   {
     const std::size_t threads = thread_counts.back();
     bio::MappedSeqDb mapped(path);
-    auto best_of = [&](int reps) {
-      double best = 0;
-      for (int rep = 0; rep < reps; ++rep) {
-        Timer t;
-        auto r = search.run_cpu_overlapped(mapped, threads);
-        double s = t.seconds();
-        if (rep > 0 && (best == 0 || s < best)) best = s;
-        (void)r;
-      }
-      return best;
-    };
-    tel.baseline_seconds = best_of(4);
     obs::RecorderConfig rcfg;
     rcfg.enabled = false;
     obs::Recorder disabled(rcfg);
-    search.set_recorder(&disabled);
-    tel.disabled_seconds = best_of(4);
+    auto timed_run = [&](obs::Recorder* rec) {
+      search.set_recorder(rec);
+      Timer t;
+      auto r = search.run_cpu_overlapped(mapped, threads);
+      const double s = t.seconds();
+      search.set_recorder(nullptr);
+      (void)r;
+      return s;
+    };
+    // Interleaved pairs (first is warm-up): clock ramp and cache drift
+    // hit both arms equally, so the smoke-scale comparison isn't
+    // dominated by which arm happened to run first.
+    double base_best = 0, dis_best = 0;
+    for (int rep = 0; rep < 6; ++rep) {
+      const double b = timed_run(nullptr);
+      const double d = timed_run(&disabled);
+      if (rep == 0) continue;
+      if (base_best == 0 || b < base_best) base_best = b;
+      if (dis_best == 0 || d < dis_best) dis_best = d;
+    }
+    tel.baseline_seconds = base_best;
+    tel.disabled_seconds = dis_best;
 
     obs::Recorder enabled;
     search.set_recorder(&enabled);
@@ -229,6 +258,55 @@ std::vector<PipelineRecord> bench_pipeline(double scale, int M,
     search.set_recorder(nullptr);
     std::printf("telemetry overhead (disabled recorder): %+.2f%%\n",
                 tel.disabled_overhead() * 100.0);
+  }
+
+  // Always-on histogram guard: the same overlapped scan, with and
+  // without the daemon's per-completed-request bookkeeping (three
+  // ConcurrentHistogram records, the steady_clock reads that feed them,
+  // and a TraceRing push).  A request's sweep costs milliseconds; the
+  // records cost a few relaxed atomic adds, so this should be noise.
+  {
+    const std::size_t threads = thread_counts.back();
+    bio::MappedSeqDb mapped(path);
+    obs::ConcurrentHistogram e2e_hist, queue_hist, sweep_hist;
+    obs::TraceRing ring(64);
+    auto timed_run = [&](bool instrumented) {
+      Timer t;
+      const auto admitted = std::chrono::steady_clock::now();
+      auto r = search.run_cpu_overlapped(mapped, threads);
+      if (instrumented) {
+        const auto done = std::chrono::steady_clock::now();
+        const double total =
+            std::chrono::duration<double>(done - admitted).count();
+        const auto ns = static_cast<std::uint64_t>(total * 1e9);
+        e2e_hist.record(ns);
+        queue_hist.record(0);
+        sweep_hist.record(ns);
+        obs::RequestTrace trace;
+        trace.trace_id = obs::next_trace_id();
+        trace.verb = "BENCH";
+        trace.sweep_seconds = total;
+        trace.total_seconds = total;
+        ring.push(trace);
+      }
+      (void)r;
+      return t.seconds();
+    };
+    // Interleave the arms pair-by-pair (first pair is warm-up) so clock
+    // ramp and cache drift hit both equally; the smoke-scale scan is
+    // ~10 ms, where a sequential A-then-B comparison is noise-bound.
+    double base_best = 0, inst_best = 0;
+    for (int rep = 0; rep < 6; ++rep) {
+      const double b = timed_run(false);
+      const double i = timed_run(true);
+      if (rep == 0) continue;
+      if (base_best == 0 || b < base_best) base_best = b;
+      if (inst_best == 0 || i < inst_best) inst_best = i;
+    }
+    hist.baseline_seconds = base_best;
+    hist.instrumented_seconds = inst_best;
+    std::printf("histogram overhead (per-request records): %+.2f%%\n",
+                hist.overhead() * 100.0);
   }
   std::remove(path.c_str());
   return records;
@@ -415,7 +493,8 @@ int main(int argc, char** argv) {
   // Full-pipeline end-to-end: heap-parallel vs. mmap-overlapped engines
   // at double the stage-sweep database scale (still interactive).
   TelemetryReport tel;
-  auto pipeline_records = bench_pipeline(scale * 2, M, tel);
+  HistogramReport hist;
+  auto pipeline_records = bench_pipeline(scale * 2, M, tel, hist);
 
   // Many-model fused sweep: 32 short models, sequential vs lane-packed.
   auto multi = bench_multi_model(scale);
@@ -501,6 +580,12 @@ int main(int argc, char** argv) {
       << tel.baseline_seconds
       << ", \"disabled_recorder_seconds\": " << tel.disabled_seconds
       << ", \"overhead_fraction\": " << tel.disabled_overhead() << "},\n";
+  // Per-request histogram + trace-ring bookkeeping (always on in the
+  // daemon; roadmap guard: < 2%).
+  out << "  \"histogram_overhead\": {\"baseline_seconds\": "
+      << hist.baseline_seconds
+      << ", \"instrumented_seconds\": " << hist.instrumented_seconds
+      << ", \"overhead_fraction\": " << hist.overhead() << "},\n";
   out << "  \"telemetry\":";
   if (tel.snapshot) {
     out << "\n";

@@ -1,0 +1,183 @@
+#include "obs/log.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+
+namespace finehmm::obs {
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  return LogLevel::kOff;
+}
+
+namespace {
+
+/// FINEHMM_LOG, parsed once per process; kOff doubles as "not set"
+/// (setting FINEHMM_LOG=off genuinely silences everything either way).
+LogLevel env_level() {
+  static const LogLevel lvl = [] {
+    const char* env = std::getenv("FINEHMM_LOG");
+    return env != nullptr ? parse_log_level(env) : LogLevel::kOff;
+  }();
+  return lvl;
+}
+
+bool env_level_set() {
+  static const bool set = std::getenv("FINEHMM_LOG") != nullptr;
+  return set;
+}
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kOff)};
+std::ostream* g_sink = nullptr;  // null = stderr
+std::mutex g_sink_mu;            // serializes whole lines across threads
+
+using Clock = std::chrono::steady_clock;
+const Clock::time_point g_epoch = Clock::now();
+
+void write_field(std::ostream& os, const LogField& f) {
+  os << "\"" << json_escape(f.key) << "\": ";
+  switch (f.kind) {
+    case LogField::Kind::kString:
+      os << "\"" << json_escape(f.str) << "\"";
+      break;
+    case LogField::Kind::kU64:
+      os << f.u64;
+      break;
+    case LogField::Kind::kI64:
+      os << f.i64;
+      break;
+    case LogField::Kind::kF64:
+      // JSON has no inf/nan — same rule as the telemetry writer.
+      if (std::isfinite(f.f64))
+        os << f.f64;
+      else
+        os << "null";
+      break;
+    case LogField::Kind::kBool:
+      os << (f.b ? "true" : "false");
+      break;
+  }
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  if (env_level_set()) return env_level();
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void set_log_sink(std::ostream* sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  g_sink = sink;
+}
+
+void log(LogLevel level, const char* event,
+         std::initializer_list<LogField> fields) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  if (level == LogLevel::kOff) return;
+
+  const double ts =
+      std::chrono::duration_cast<std::chrono::duration<double>>(Clock::now() -
+                                                                g_epoch)
+          .count();
+  // Build the whole line first so one sink write = one line even when
+  // threads race.
+  std::ostringstream line;
+  line << "{\"ts\": " << ts << ", \"level\": \"" << log_level_name(level)
+       << "\", \"event\": \"" << json_escape(event) << "\"";
+  for (const LogField& f : fields) {
+    line << ", ";
+    write_field(line, f);
+  }
+  line << "}\n";
+
+  std::lock_guard<std::mutex> lock(g_sink_mu);
+  std::ostream& os = g_sink != nullptr ? *g_sink : std::cerr;
+  os << line.str();
+  os.flush();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+bool LogRateLimit::allow(std::uint64_t* suppressed_out) {
+  const std::uint64_t now_s = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(Clock::now() - g_epoch)
+          .count());
+  // state = window << 32 | count-in-window.  A CAS loop keeps the pair
+  // consistent without a lock; contention is bounded by the log rate.
+  std::uint64_t state = state_.load(std::memory_order_relaxed);
+  for (;;) {
+    const std::uint64_t window = state >> 32;
+    const std::uint64_t count = state & 0xffffffffu;
+    std::uint64_t next;
+    bool allowed;
+    if (window != now_s) {
+      next = (now_s << 32) | 1;  // fresh window, this event opens it
+      allowed = true;
+    } else if (count < max_per_second_) {
+      next = state + 1;
+      allowed = true;
+    } else {
+      next = state;
+      allowed = false;
+    }
+    if (!allowed) {
+      suppressed_.fetch_add(1, std::memory_order_relaxed);
+      if (suppressed_out != nullptr) *suppressed_out = 0;
+      return false;
+    }
+    if (state_.compare_exchange_weak(state, next,
+                                     std::memory_order_relaxed)) {
+      if (suppressed_out != nullptr)
+        *suppressed_out = suppressed_.exchange(0, std::memory_order_relaxed);
+      return true;
+    }
+  }
+}
+
+}  // namespace finehmm::obs

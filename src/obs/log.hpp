@@ -1,0 +1,120 @@
+// Structured JSON logging for long-running services (finehmmd).
+//
+// One event per line, machine-parseable, human-greppable:
+//
+//   {"ts": 12.345678, "level": "warn", "event": "server.slow_request",
+//    "trace_id": "0x9f3a5c...", "total_ms": 1840.2, "queue_ms": 3.1, ...}
+//
+// Design rules:
+//   * Leveled (debug < info < warn < error), default OFF so the library
+//     stays silent in tests and embedders; finehmmd turns it on at
+//     startup and FINEHMM_LOG=debug|info|warn|error|off overrides both.
+//   * Fields are typed key/value pairs; string values are JSON-escaped
+//     (so a hostile model name cannot break the log stream), doubles go
+//     through the same finite-or-null guard as the telemetry JSON.
+//   * `ts` is seconds since process start (monotonic, not wall clock):
+//     log lines order and diff cleanly, and no syscall to a realtime
+//     clock sits on the logging path.
+//   * Rate-limitable per site: a static obs::LogRateLimit caps a noisy
+//     site (e.g. one overload warning per second under a shed storm)
+//     and reports how many events the cap swallowed when it re-opens.
+//
+// The logger is for control-plane events (startup, drain, overload,
+// slow requests) — per-request latency belongs in the histograms
+// (obs/histogram.hpp) and per-request timing in the trace ring
+// (obs/request_trace.hpp); see docs/observability.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+
+namespace finehmm::obs {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+const char* log_level_name(LogLevel level);
+/// Parse "debug" | "info" | "warn" | "error" | "off"; kOff on unknown.
+LogLevel parse_log_level(const std::string& name);
+
+/// Minimum level that gets emitted.  The process default is kOff
+/// (libraries stay silent); FINEHMM_LOG in the environment, when set,
+/// overrides every set_log_level call (checked once per process).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Where log lines go (default: stderr).  Pass nullptr to restore the
+/// default.  Not synchronized against in-flight log() calls — install
+/// sinks at startup or at serial points (tests).
+void set_log_sink(std::ostream* sink);
+
+/// One typed field of a log event.
+struct LogField {
+  enum class Kind { kString, kU64, kI64, kF64, kBool };
+
+  LogField(const char* k, const char* v)
+      : key(k), kind(Kind::kString), str(v) {}
+  LogField(const char* k, const std::string& v)
+      : key(k), kind(Kind::kString), str(v) {}
+  LogField(const char* k, std::uint64_t v) : key(k), kind(Kind::kU64), u64(v) {}
+  LogField(const char* k, std::uint32_t v)
+      : key(k), kind(Kind::kU64), u64(v) {}
+  LogField(const char* k, std::int64_t v) : key(k), kind(Kind::kI64), i64(v) {}
+  LogField(const char* k, int v)
+      : key(k), kind(Kind::kI64), i64(v) {}
+  LogField(const char* k, double v) : key(k), kind(Kind::kF64), f64(v) {}
+  LogField(const char* k, bool v) : key(k), kind(Kind::kBool), b(v) {}
+
+  const char* key;
+  Kind kind;
+  std::string str;
+  std::uint64_t u64 = 0;
+  std::int64_t i64 = 0;
+  double f64 = 0.0;
+  bool b = false;
+};
+
+/// Emit one structured event (a single '\n'-terminated JSON line) when
+/// `level` clears the process threshold.  `event` should be a stable
+/// dotted name ("server.start", "server.slow_request").
+void log(LogLevel level, const char* event,
+         std::initializer_list<LogField> fields = {});
+
+/// JSON string escaping (\\, \", control characters) shared by the
+/// logger and anything else that embeds untrusted text in JSON.
+std::string json_escape(const std::string& s);
+
+/// Token-window rate limiter for one logging site.  Typical use:
+///
+///   static obs::LogRateLimit limit(1);  // one event per second
+///   std::uint64_t dropped = 0;
+///   if (limit.allow(&dropped))
+///     obs::log(obs::LogLevel::kWarn, "server.overload",
+///              {{"suppressed", dropped}, ...});
+///
+/// allow() is thread-safe and allocation-free; `suppressed_out` reports
+/// how many events the cap swallowed since the last allowed one.
+class LogRateLimit {
+ public:
+  explicit LogRateLimit(std::uint32_t max_per_second)
+      : max_per_second_(max_per_second == 0 ? 1 : max_per_second) {}
+
+  bool allow(std::uint64_t* suppressed_out = nullptr);
+
+ private:
+  std::uint32_t max_per_second_;
+  // One word of state under no lock: the window index in the high bits
+  // is compared-and-swapped together with the count in the low bits.
+  std::atomic<std::uint64_t> state_{0};
+  std::atomic<std::uint64_t> suppressed_{0};
+};
+
+}  // namespace finehmm::obs

@@ -12,6 +12,20 @@ std::string json_rate(double units, double seconds) {
   return os.str();
 }
 
+std::string prometheus_escape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size() + 4);
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 const StageTelemetry* ScanTelemetry::stage(const std::string& name) const {
   for (const auto& s : stages)
     if (s.stage == name) return &s;
@@ -137,72 +151,108 @@ void ScanTelemetry::write_json(std::ostream& os, int indent) const {
   os << pad << "}";
 }
 
+namespace {
+
+// `# HELP` + `# TYPE` header for one metric family.  Every exported
+// series goes through here so no family ships without metadata.
+void family(std::ostream& os, const char* name, const char* type,
+            const char* help) {
+  os << "# HELP " << name << " " << help << "\n";
+  os << "# TYPE " << name << " " << type << "\n";
+}
+
+}  // namespace
+
 void ScanTelemetry::write_prometheus(std::ostream& os) const {
-  const std::string eng = "engine=\"" + engine + "\"";
-  os << "# TYPE finehmm_scan_wall_seconds gauge\n";
+  // All free-form label values (engine, stage, counter keys) are
+  // escaped; a hostile name cannot break the exposition.
+  const std::string eng = "engine=\"" + prometheus_escape_label(engine) + "\"";
+  family(os, "finehmm_scan_wall_seconds", "gauge",
+         "End-to-end scan wall clock in seconds.");
   os << "finehmm_scan_wall_seconds{" << eng << "} ";
   num(os, wall_seconds);
   os << "\n";
-  os << "# TYPE finehmm_scan_sequences gauge\n";
+  family(os, "finehmm_scan_sequences", "gauge",
+         "Database sequences covered by the scan.");
   os << "finehmm_scan_sequences{" << eng << "} " << sequences << "\n";
-  os << "# TYPE finehmm_scan_cells_total counter\n";
+  family(os, "finehmm_scan_cells_total", "counter",
+         "DP cells evaluated across all stages.");
   os << "finehmm_scan_cells_total{" << eng << "} ";
   num(os, total_cells());
   os << "\n";
 
-  os << "# TYPE finehmm_stage_seconds gauge\n";
+  family(os, "finehmm_stage_seconds", "gauge",
+         "Per-stage wall and merged busy seconds.");
   for (const auto& s : stages) {
-    os << "finehmm_stage_seconds{" << eng << ",stage=\"" << s.stage
+    const std::string stg = prometheus_escape_label(s.stage);
+    os << "finehmm_stage_seconds{" << eng << ",stage=\"" << stg
        << "\",kind=\"wall\"} ";
     num(os, s.wall_seconds);
     os << "\n";
-    os << "finehmm_stage_seconds{" << eng << ",stage=\"" << s.stage
+    os << "finehmm_stage_seconds{" << eng << ",stage=\"" << stg
        << "\",kind=\"busy\"} ";
     num(os, s.busy_seconds);
     os << "\n";
   }
-  os << "# TYPE finehmm_stage_sequences gauge\n";
+  family(os, "finehmm_stage_sequences", "gauge",
+         "Sequences entering and surviving each filter stage.");
   for (const auto& s : stages) {
-    os << "finehmm_stage_sequences{" << eng << ",stage=\"" << s.stage
+    const std::string stg = prometheus_escape_label(s.stage);
+    os << "finehmm_stage_sequences{" << eng << ",stage=\"" << stg
        << "\",dir=\"in\"} " << s.n_in << "\n";
-    os << "finehmm_stage_sequences{" << eng << ",stage=\"" << s.stage
+    os << "finehmm_stage_sequences{" << eng << ",stage=\"" << stg
        << "\",dir=\"passed\"} " << s.n_passed << "\n";
   }
-  os << "# TYPE finehmm_stage_cells_total counter\n";
+  family(os, "finehmm_stage_cells_total", "counter",
+         "DP cells evaluated per stage.");
   for (const auto& s : stages) {
-    os << "finehmm_stage_cells_total{" << eng << ",stage=\"" << s.stage
-       << "\"} ";
+    os << "finehmm_stage_cells_total{" << eng << ",stage=\""
+       << prometheus_escape_label(s.stage) << "\"} ";
     num(os, s.cells);
     os << "\n";
   }
-  for (const auto& s : stages) {
-    for (const auto& [key, value] : s.counters) {
-      os << "finehmm_stage_counter{" << eng << ",stage=\"" << s.stage
-         << "\",counter=\"" << key << "\"} ";
-      num(os, value);
-      os << "\n";
+  {
+    bool any = false;
+    for (const auto& s : stages) any = any || !s.counters.empty();
+    if (any)
+      family(os, "finehmm_stage_counter", "gauge",
+             "Engine-specific per-stage counters (SIMT PerfCounters).");
+    for (const auto& s : stages) {
+      for (const auto& [key, value] : s.counters) {
+        os << "finehmm_stage_counter{" << eng << ",stage=\""
+           << prometheus_escape_label(s.stage) << "\",counter=\""
+           << prometheus_escape_label(key) << "\"} ";
+        num(os, value);
+        os << "\n";
+      }
     }
   }
 
   if (queue) {
-    os << "# TYPE finehmm_queue_enqueued_total counter\n";
+    family(os, "finehmm_queue_enqueued_total", "counter",
+           "Survivors pushed into the overlapped queue.");
     os << "finehmm_queue_enqueued_total{" << eng << "} " << queue->enqueued
        << "\n";
-    os << "# TYPE finehmm_queue_dequeued_total counter\n";
+    family(os, "finehmm_queue_dequeued_total", "counter",
+           "Survivors drained from the overlapped queue.");
     os << "finehmm_queue_dequeued_total{" << eng << "} " << queue->dequeued
        << "\n";
-    os << "# TYPE finehmm_queue_enqueue_stalls_total counter\n";
+    family(os, "finehmm_queue_enqueue_stalls_total", "counter",
+           "try_push rejections (ring full).");
     os << "finehmm_queue_enqueue_stalls_total{" << eng << "} "
        << queue->enqueue_stalls << "\n";
-    os << "# TYPE finehmm_queue_help_first_rescues_total counter\n";
+    family(os, "finehmm_queue_help_first_rescues_total", "counter",
+           "Producers that drained one survivor themselves.");
     os << "finehmm_queue_help_first_rescues_total{" << eng << "} "
        << queue->help_first_rescues << "\n";
-    os << "# TYPE finehmm_queue_max_depth gauge\n";
+    family(os, "finehmm_queue_max_depth", "gauge",
+           "High-water occupancy of the overlapped queue.");
     os << "finehmm_queue_max_depth{" << eng << "} " << queue->max_depth
        << "\n";
   }
 
-  os << "# TYPE finehmm_thread_busy_seconds gauge\n";
+  family(os, "finehmm_thread_busy_seconds", "gauge",
+         "Per-worker busy seconds by stage.");
   for (const auto& t : per_thread) {
     for (int s = 0; s < kStageCount; ++s) {
       if (t.stage_busy_seconds[s] == 0.0) continue;
@@ -213,7 +263,8 @@ void ScanTelemetry::write_prometheus(std::ostream& os) const {
     }
   }
 
-  os << "# TYPE finehmm_bucket_sequences gauge\n";
+  family(os, "finehmm_bucket_sequences", "gauge",
+         "Sequences per geometric length bucket of the scan schedule.");
   for (std::size_t b = 0; b < buckets.size(); ++b) {
     os << "finehmm_bucket_sequences{" << eng << ",bucket=\"" << b << "\"} "
        << buckets[b].sequences << "\n";

@@ -41,6 +41,12 @@ inline double safe_rate(double units, double seconds) {
 /// time is zero/denormal — never `inf` or `nan`, which are not JSON.
 std::string json_rate(double units, double seconds);
 
+/// Prometheus label-value escaping: backslash, double quote, and
+/// newline must be escaped inside `label="value"` or the exposition
+/// breaks (a model named `pf"oo` would otherwise truncate the series).
+/// Shared by every exporter that embeds free-form text in a label.
+std::string prometheus_escape_label(const std::string& value);
+
 /// One pipeline stage as every engine reports it.
 struct StageTelemetry {
   std::string stage;            // "ssv" | "msv" | "vit" | "fwd" | "bwd"

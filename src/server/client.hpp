@@ -76,8 +76,9 @@ class BlockingClient {
   /// PING/PONG health check.
   bool ping();
 
-  /// The STATS verb: the daemon's "finehmm.server_stats.v1" JSON, or
-  /// nullopt when the stream died.
+  /// The STATS verb: the daemon's "finehmm.server_stats.v2" JSON
+  /// (counters + latency histogram quantiles + recent request traces),
+  /// or nullopt when the stream died.
   std::optional<std::string> stats_json();
 
   /// The underlying stream (tests use it to inject malformed bytes and

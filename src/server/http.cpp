@@ -1,0 +1,93 @@
+#include "server/http.hpp"
+
+#include <sstream>
+
+namespace finehmm::server {
+
+namespace {
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Error";
+  }
+}
+
+// Read until the end of the request head (CRLFCRLF) or a sane cap.
+// Request bodies are ignored — every route is a GET.
+bool read_request_head(Connection& conn, std::string& head) {
+  static constexpr std::size_t kMaxHead = 8 * 1024;
+  char buf[512];
+  while (head.size() < kMaxHead) {
+    if (head.find("\r\n\r\n") != std::string::npos ||
+        head.find("\n\n") != std::string::npos)
+      return true;
+    const std::size_t n = conn.recv_some(buf, sizeof buf);
+    if (n == 0) return head.find('\n') != std::string::npos;
+    head.append(buf, n);
+  }
+  return true;
+}
+
+}  // namespace
+
+void http_serve_connection(Connection& conn, const HttpHandler& handler) {
+  std::string head;
+  if (!read_request_head(conn, head)) return;
+
+  // Request line: METHOD SP path SP version.
+  std::istringstream line(head.substr(0, head.find('\n')));
+  std::string method, target;
+  line >> method >> target;
+
+  HttpResponse resp;
+  if (method != "GET") {
+    resp.status = 405;
+    resp.body = "only GET is served here\n";
+  } else {
+    // Strip any query string; routes don't take parameters.
+    const std::size_t q = target.find('?');
+    if (q != std::string::npos) target.resize(q);
+    if (target.empty()) target.push_back('/');
+    resp = handler(target);
+  }
+
+  std::ostringstream out;
+  out << "HTTP/1.1 " << resp.status << " " << status_text(resp.status)
+      << "\r\n"
+      << "Content-Type: " << resp.content_type << "\r\n"
+      << "Content-Length: " << resp.body.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << resp.body;
+  const std::string bytes = out.str();
+  conn.send_all(bytes.data(), bytes.size());
+  conn.shutdown();
+}
+
+HttpEndpoint::HttpEndpoint(std::unique_ptr<Listener> listener,
+                           HttpHandler handler)
+    : listener_(std::move(listener)), handler_(std::move(handler)) {
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+HttpEndpoint::~HttpEndpoint() { stop(); }
+
+void HttpEndpoint::stop() {
+  if (listener_) listener_->close();
+  if (thread_.joinable()) thread_.join();
+}
+
+void HttpEndpoint::serve_loop() {
+  // Serial: one scrape at a time.  accept() returns null once close()
+  // ran, which is the only exit.
+  for (;;) {
+    std::unique_ptr<Connection> conn = listener_->accept();
+    if (!conn) return;
+    http_serve_connection(*conn, handler_);
+  }
+}
+
+}  // namespace finehmm::server

@@ -1,0 +1,68 @@
+// Minimal embedded HTTP endpoint for observability scrapes.
+//
+// finehmmd serves its binary framed protocol on one port and — when
+// --metrics-port is given — plain HTTP GET on a second one, so a
+// Prometheus scraper or a human with curl never has to speak the frame
+// protocol.  Three routes (docs/observability.md):
+//
+//   /metrics   Prometheus text exposition (latency histograms, server
+//              counters, last sweep's ScanTelemetry)
+//   /healthz   200 "ok" while serving, 503 "draining" during drain —
+//              load balancers stop routing before the listener closes
+//   /statusz   human-readable live snapshot
+//
+// This is deliberately not a web server: GET only, one connection at a
+// time handled serially on the endpoint's own thread, response always
+// `Connection: close`.  A scrape every few seconds costs nothing; a
+// misbehaving client can at worst slow other scrapes, never the search
+// data plane.  Reuses the transport Listener/Connection contract, so
+// the endpoint itself is unit-testable over the in-process loopback.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "server/transport.hpp"
+
+namespace finehmm::server {
+
+struct HttpResponse {
+  int status = 200;               // 200 | 404 | 503 (405 for non-GET)
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Route a GET path ("/metrics") to a response.  Called on the
+/// endpoint's serving thread; must be safe against the data plane.
+using HttpHandler = std::function<HttpResponse(const std::string& path)>;
+
+/// Serve GET requests off `listener` on a dedicated thread until
+/// stop().  Owns the listener.
+class HttpEndpoint {
+ public:
+  HttpEndpoint(std::unique_ptr<Listener> listener, HttpHandler handler);
+  ~HttpEndpoint();
+
+  HttpEndpoint(const HttpEndpoint&) = delete;
+  HttpEndpoint& operator=(const HttpEndpoint&) = delete;
+
+  /// Close the listener and join the serving thread.  Idempotent.
+  void stop();
+
+ private:
+  void serve_loop();
+
+  std::unique_ptr<Listener> listener_;
+  HttpHandler handler_;
+  std::thread thread_;
+};
+
+/// Handle one already-accepted connection: parse the request line, call
+/// `handler` for GET (405 otherwise), write the response, close.
+/// Exposed separately so tests can drive it over a loopback connection.
+void http_serve_connection(Connection& conn, const HttpHandler& handler);
+
+}  // namespace finehmm::server

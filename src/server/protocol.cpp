@@ -216,6 +216,7 @@ SearchRequest decode_search_request(const std::vector<std::uint8_t>& payload) {
 std::vector<std::uint8_t> encode_search_result(const SearchResultWire& res) {
   std::vector<std::uint8_t> out;
   Writer w{out};
+  w.u64(res.trace_id);
   w.u64(res.db_sequences);
   w.u64(res.db_residues);
   write_stage(w, res.ssv);
@@ -242,6 +243,7 @@ SearchResultWire decode_search_result(
     const std::vector<std::uint8_t>& payload) {
   Reader r = reader(payload);
   SearchResultWire res;
+  res.trace_id = r.u64();
   res.db_sequences = r.u64();
   res.db_residues = r.u64();
   res.ssv = read_stage(r);
@@ -319,6 +321,7 @@ pipeline::Hit read_hit(Reader& r) {
 std::vector<std::uint8_t> encode_scan_result(const ScanResultWire& res) {
   std::vector<std::uint8_t> out;
   Writer w{out};
+  w.u64(res.trace_id);
   w.u64(res.db_sequences);
   w.u64(res.db_residues);
   w.u64(res.fuse_groups);
@@ -338,6 +341,7 @@ std::vector<std::uint8_t> encode_scan_result(const ScanResultWire& res) {
 ScanResultWire decode_scan_result(const std::vector<std::uint8_t>& payload) {
   Reader r = reader(payload);
   ScanResultWire res;
+  res.trace_id = r.u64();
   res.db_sequences = r.u64();
   res.db_residues = r.u64();
   res.fuse_groups = r.u64();

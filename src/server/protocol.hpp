@@ -105,6 +105,10 @@ SearchRequest decode_search_request(const std::vector<std::uint8_t>& payload);
 /// the db summary + stage stats + hits; alignments/domains are not
 /// carried — docs/server.md).
 struct SearchResultWire {
+  /// Server-assigned 64-bit trace id (nonzero once admitted): quote it
+  /// when asking the operator "where did my request's time go" — STATS
+  /// v2's recent_traces and the slow-request log both key on it.
+  std::uint64_t trace_id = 0;
   std::uint64_t db_sequences = 0;
   std::uint64_t db_residues = 0;
   pipeline::StageStats ssv, msv, vit, fwd, bwd;  // seconds not carried (= 0)
@@ -136,6 +140,7 @@ struct ScanModelHits {
 };
 
 struct ScanResultWire {
+  std::uint64_t trace_id = 0;      // server-assigned (see SearchResultWire)
   std::uint64_t db_sequences = 0;
   std::uint64_t db_residues = 0;
   std::uint64_t fuse_groups = 0;   // fused groups in the sweep's plan

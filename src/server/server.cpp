@@ -6,10 +6,24 @@
 
 #include "cpu/simd_backend/backend.hpp"
 #include "cpu/simd_backend/simd_tier.hpp"
+#include "obs/log.hpp"
 
 namespace finehmm::server {
 
 namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double seconds_between(SteadyClock::time_point a, SteadyClock::time_point b) {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(b - a)
+      .count();
+}
+
+std::uint64_t ns_between(SteadyClock::time_point a, SteadyClock::time_point b) {
+  if (b <= a) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
 
 /// Reconstruct a search from an inline binary profile blob.  Stored
 /// calibration is used when present; otherwise the model is calibrated
@@ -35,7 +49,8 @@ SearchServer::SearchServer(ServerConfig cfg)
       recorder_(obs::RecorderConfig{/*tracing=*/cfg.tracing,
                                     /*max_events_per_thread=*/1 << 15,
                                     /*enabled=*/true}),
-      queue_(cfg.admission_capacity == 0 ? 1 : cfg.admission_capacity) {
+      queue_(cfg.admission_capacity == 0 ? 1 : cfg.admission_capacity),
+      trace_ring_(cfg.trace_ring_capacity) {
   paused_ = cfg.start_paused;
   telemetry_.engine = "server";
   telemetry_.threads = pool_.workers();
@@ -141,6 +156,9 @@ void SearchServer::serve(Listener& listener) {
 
 void SearchServer::begin_drain() {
   std::lock_guard<std::mutex> lock(state_mu_);
+  if (!draining_)
+    obs::log(obs::LogLevel::kInfo, "server.drain_begin",
+             {{"queue_depth", static_cast<std::uint64_t>(queue_.size())}});
   draining_ = true;
   paused_ = false;  // a paused scheduler must wake to drain
   pause_cv_.notify_all();
@@ -291,6 +309,8 @@ void SearchServer::handle_search(const std::shared_ptr<Session>& session,
     return;
   }
 
+  pending->trace_id = obs::next_trace_id();
+  pending->admitted_at = SteadyClock::now();
   if (!queue_.try_push(pending)) {
     // Admission bound hit (or drain closed the queue between the check
     // above and here): shed explicitly, never block the client.
@@ -298,6 +318,15 @@ void SearchServer::handle_search(const std::shared_ptr<Session>& session,
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.requests_overloaded;
     }
+    // A shed storm is one warn per second, not one per shed request.
+    static obs::LogRateLimit overload_limit(1);
+    std::uint64_t suppressed = 0;
+    if (overload_limit.allow(&suppressed))
+      obs::log(obs::LogLevel::kWarn, "server.overload",
+               {{"verb", "SEARCH"},
+                {"queue_capacity", static_cast<std::uint64_t>(
+                                       queue_.capacity())},
+                {"suppressed", suppressed}});
     send_reply(*session, MsgType::kOverload, id,
                encode_overload(OverloadInfo{
                    static_cast<std::uint32_t>(queue_.capacity())}));
@@ -365,11 +394,21 @@ void SearchServer::handle_scan(const std::shared_ptr<Session>& session,
                         std::chrono::milliseconds(req.deadline_ms);
   }
 
+  pending->trace_id = obs::next_trace_id();
+  pending->admitted_at = SteadyClock::now();
   if (!queue_.try_push(pending)) {
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.requests_overloaded;
     }
+    static obs::LogRateLimit overload_limit(1);
+    std::uint64_t suppressed = 0;
+    if (overload_limit.allow(&suppressed))
+      obs::log(obs::LogLevel::kWarn, "server.overload",
+               {{"verb", "SCAN"},
+                {"queue_capacity", static_cast<std::uint64_t>(
+                                       queue_.capacity())},
+                {"suppressed", suppressed}});
     send_reply(*session, MsgType::kOverload, id,
                encode_overload(OverloadInfo{
                    static_cast<std::uint32_t>(queue_.capacity())}));
@@ -396,6 +435,7 @@ void SearchServer::scheduler_loop() {
     if (st == PopStatus::kTimeout) continue;
 
     batch.clear();
+    first->popped_at = SteadyClock::now();  // ends the queue-wait span
     batch.push_back(std::move(first));
 
     // Coalesce window: companions that arrive within it share the sweep.
@@ -405,6 +445,7 @@ void SearchServer::scheduler_loop() {
     while (batch.size() < cfg_.max_batch) {
       std::shared_ptr<Pending> more;
       if (queue_.try_pop(more)) {
+        more->popped_at = SteadyClock::now();
         batch.push_back(std::move(more));
         continue;
       }
@@ -417,6 +458,7 @@ void SearchServer::scheduler_loop() {
                                          std::chrono::milliseconds(1))) !=
           PopStatus::kItem)
         break;
+      more->popped_at = SteadyClock::now();
       batch.push_back(std::move(more));
     }
 
@@ -461,6 +503,7 @@ void SearchServer::run_batch(std::vector<std::shared_ptr<Pending>>& batch) {
     for (const auto& p : group) searches.push_back(p->search.get());
 
     pipeline::HmmSearch::CoalescedScan scan;
+    const auto sweep_start = SteadyClock::now();
     try {
       scan = pipeline::HmmSearch::run_cpu_coalesced(
           searches, db.view(), pool_, &db.schedule, &recorder_);
@@ -475,6 +518,8 @@ void SearchServer::run_batch(std::vector<std::shared_ptr<Pending>>& batch) {
       continue;
     }
 
+    const auto sweep_end = SteadyClock::now();
+
     // Sweep-level accounting lands BEFORE any reply goes out, so a
     // client that reads STATS right after its result already sees the
     // sweep it rode in (test_server leans on this ordering too).
@@ -487,6 +532,7 @@ void SearchServer::run_batch(std::vector<std::shared_ptr<Pending>>& batch) {
     for (std::size_t i = 0; i < group.size(); ++i) {
       const pipeline::SearchResult& r = scan.per_model[i];
       SearchResultWire wire;
+      wire.trace_id = group[i]->trace_id;
       wire.db_sequences = db.sequences;
       wire.db_residues = db.residues;
       wire.ssv = r.ssv;
@@ -501,6 +547,7 @@ void SearchServer::run_batch(std::vector<std::shared_ptr<Pending>>& batch) {
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.requests_completed;
       }
+      const auto serialize_start = SteadyClock::now();
       const bool sent =
           send_reply(*group[i]->session, MsgType::kResult,
                      group[i]->request_id, encode_search_result(wire));
@@ -508,6 +555,10 @@ void SearchServer::run_batch(std::vector<std::shared_ptr<Pending>>& batch) {
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++stats_.responses_dropped;
       }
+      finish_request_trace(*group[i], "SEARCH", sweep_start, sweep_end,
+                           seconds_between(serialize_start,
+                                           SteadyClock::now()),
+                           scan.telemetry, group.size());
     }
   }
 }
@@ -535,6 +586,7 @@ void SearchServer::run_scans(
   }
 
   pipeline::HmmSearch::CoalescedScan scan;
+  const auto sweep_start = SteadyClock::now();
   try {
     scan = pipeline::HmmSearch::run_cpu_fused(searches, db.view(), pool_,
                                               &*scan_plan_, &recorder_);
@@ -549,15 +601,22 @@ void SearchServer::run_scans(
     return;
   }
 
+  const auto sweep_end = SteadyClock::now();
+
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.scan_sweeps;
     stats_.scan_models_scored += searches.size();
+    // Mirror the (scheduler-owned) plan into stats so /statusz and
+    // /metrics can read fuse shape without racing the lazy tuner.
+    stats_.scan_fuse_groups = scan_plan_->groups.size();
+    stats_.scan_lane_occupancy = scan_plan_->lane_occupancy();
   }
   merge_batch_telemetry(scan.telemetry);
 
   for (const auto& p : group) {
     ScanResultWire wire;
+    wire.trace_id = p->trace_id;
     wire.db_sequences = db.sequences;
     wire.db_residues = db.residues;
     wire.fuse_groups = scan_plan_->groups.size();
@@ -579,12 +638,16 @@ void SearchServer::run_scans(
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.requests_completed;
     }
+    const auto serialize_start = SteadyClock::now();
     const bool sent = send_reply(*p->session, MsgType::kScanResult,
                                  p->request_id, encode_scan_result(wire));
     if (!sent) {
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++stats_.responses_dropped;
     }
+    finish_request_trace(*p, "SCAN", sweep_start, sweep_end,
+                         seconds_between(serialize_start, SteadyClock::now()),
+                         scan.telemetry, group.size());
   }
 }
 
@@ -634,6 +697,112 @@ obs::ScanTelemetry SearchServer::telemetry() const {
   return telemetry_;
 }
 
+void SearchServer::finish_request_trace(
+    const Pending& p, const char* verb, SteadyClock::time_point sweep_start,
+    SteadyClock::time_point sweep_end, double serialize_seconds,
+    const obs::ScanTelemetry& sweep_telemetry, std::size_t batch_size) {
+  const auto done = SteadyClock::now();
+
+  obs::RequestTrace t;
+  t.trace_id = p.trace_id;
+  t.request_id = p.request_id;
+  t.verb = verb;
+  t.start_ns = ns_between(start_time_, p.admitted_at);
+  t.queue_seconds = seconds_between(p.admitted_at, p.popped_at);
+  t.coalesce_seconds = seconds_between(p.popped_at, sweep_start);
+  t.sweep_seconds = seconds_between(sweep_start, sweep_end);
+  t.serialize_seconds = serialize_seconds;
+  t.total_seconds = seconds_between(p.admitted_at, done);
+  t.batch_size = static_cast<std::uint32_t>(batch_size == 0 ? 1 : batch_size);
+  // The sweep scored the whole batch at once; attribute each request an
+  // equal share of the per-stage busy time (requests in one coalesced
+  // sweep walk the same database, so shares are genuinely symmetric).
+  const double share = 1.0 / static_cast<double>(t.batch_size);
+  for (const obs::StageTelemetry& st : sweep_telemetry.stages) {
+    for (int s = 0; s < obs::kStageCount; ++s) {
+      if (st.stage == obs::stage_name(static_cast<obs::Stage>(s))) {
+        t.stage_seconds[s] += st.busy_seconds * share;
+        break;
+      }
+    }
+  }
+
+  // Always-on histograms: three relaxed atomic adds per request.
+  e2e_hist_.record(ns_between(p.admitted_at, done));
+  queue_hist_.record(ns_between(p.admitted_at, p.popped_at));
+  sweep_hist_.record(ns_between(sweep_start, sweep_end));
+  trace_ring_.push(t);
+
+  if (cfg_.slow_request_seconds > 0.0 &&
+      t.total_seconds >= cfg_.slow_request_seconds) {
+    static obs::LogRateLimit slow_limit(10);
+    std::uint64_t suppressed = 0;
+    if (slow_limit.allow(&suppressed))
+      obs::log(
+          obs::LogLevel::kWarn, "server.slow_request",
+          {{"trace_id", obs::trace_id_hex(t.trace_id)},
+           {"verb", verb},
+           {"total_ms", t.total_seconds * 1e3},
+           {"queue_ms", t.queue_seconds * 1e3},
+           {"coalesce_ms", t.coalesce_seconds * 1e3},
+           {"sweep_ms", t.sweep_seconds * 1e3},
+           {"serialize_ms", t.serialize_seconds * 1e3},
+           {"ssv_ms",
+            t.stage_seconds[static_cast<int>(obs::Stage::kSsv)] * 1e3},
+           {"msv_ms",
+            t.stage_seconds[static_cast<int>(obs::Stage::kMsv)] * 1e3},
+           {"vit_ms",
+            t.stage_seconds[static_cast<int>(obs::Stage::kVit)] * 1e3},
+           {"fwd_ms",
+            t.stage_seconds[static_cast<int>(obs::Stage::kFwd)] * 1e3},
+           {"bwd_ms",
+            t.stage_seconds[static_cast<int>(obs::Stage::kBwd)] * 1e3},
+           {"batch_size", t.batch_size},
+           {"suppressed", suppressed}});
+  }
+}
+
+double SearchServer::uptime_seconds() const {
+  return seconds_between(start_time_, SteadyClock::now());
+}
+
+namespace {
+
+/// One latency surface as JSON, seconds.  The SAME quantile math
+/// (obs::latency_quantiles over one snapshot) and the same double
+/// formatting feed /metrics, so the two surfaces agree on p99.
+void write_hist_json(std::ostream& os, const obs::Histogram& h, int indent) {
+  const obs::LatencyQuantiles q = obs::latency_quantiles(h);
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  os << pad << "{\"count\": " << q.count
+     << ", \"sum_seconds\": " << static_cast<double>(q.sum) * 1e-9
+     << ", \"p50_seconds\": " << static_cast<double>(q.p50) * 1e-9
+     << ", \"p90_seconds\": " << static_cast<double>(q.p90) * 1e-9
+     << ", \"p99_seconds\": " << static_cast<double>(q.p99) * 1e-9
+     << ", \"p999_seconds\": " << static_cast<double>(q.p999) * 1e-9
+     << ", \"max_seconds\": " << static_cast<double>(h.max()) * 1e-9 << "}";
+}
+
+/// One latency surface as a Prometheus summary family.
+void write_hist_prometheus(std::ostream& os, const char* name,
+                           const char* help, const obs::Histogram& h) {
+  const obs::LatencyQuantiles q = obs::latency_quantiles(h);
+  os << "# HELP " << name << " " << help << "\n";
+  os << "# TYPE " << name << " summary\n";
+  os << name << "{quantile=\"0.5\"} " << static_cast<double>(q.p50) * 1e-9
+     << "\n";
+  os << name << "{quantile=\"0.9\"} " << static_cast<double>(q.p90) * 1e-9
+     << "\n";
+  os << name << "{quantile=\"0.99\"} " << static_cast<double>(q.p99) * 1e-9
+     << "\n";
+  os << name << "{quantile=\"0.999\"} " << static_cast<double>(q.p999) * 1e-9
+     << "\n";
+  os << name << "_sum " << static_cast<double>(q.sum) * 1e-9 << "\n";
+  os << name << "_count " << q.count << "\n";
+}
+
+}  // namespace
+
 std::string SearchServer::stats_json() const {
   ServerStats s;
   obs::ScanTelemetry t;
@@ -642,9 +811,17 @@ std::string SearchServer::stats_json() const {
     s = stats_;
     t = telemetry_;
   }
+  const obs::Histogram e2e = e2e_hist_.snapshot();
+  const obs::Histogram queue_wait = queue_hist_.snapshot();
+  const obs::Histogram sweep = sweep_hist_.snapshot();
+  const std::vector<obs::RequestTrace> traces = trace_ring_.snapshot();
+
   std::ostringstream os;
   os << "{\n";
-  os << "  \"schema\": \"finehmm.server_stats.v1\",\n";
+  os << "  \"schema\": \"finehmm.server_stats.v2\",\n";
+  os << "  \"uptime_seconds\": " << uptime_seconds() << ",\n";
+  os << "  \"queue_depth\": " << queue_.size() << ",\n";
+  os << "  \"draining\": " << (draining() ? "true" : "false") << ",\n";
   os << "  \"connections_accepted\": " << s.connections_accepted << ",\n";
   os << "  \"requests_admitted\": " << s.requests_admitted << ",\n";
   os << "  \"requests_completed\": " << s.requests_completed << ",\n";
@@ -663,10 +840,194 @@ std::string SearchServer::stats_json() const {
   os << "  \"scan_requests\": " << s.scan_requests << ",\n";
   os << "  \"scan_sweeps\": " << s.scan_sweeps << ",\n";
   os << "  \"scan_models_scored\": " << s.scan_models_scored << ",\n";
+  os << "  \"scan_fuse_groups\": " << s.scan_fuse_groups << ",\n";
+  os << "  \"scan_lane_occupancy\": " << s.scan_lane_occupancy << ",\n";
+  os << "  \"latency\": {\n";
+  os << "    \"e2e\": ";
+  write_hist_json(os, e2e, 0);
+  os << ",\n    \"queue_wait\": ";
+  write_hist_json(os, queue_wait, 0);
+  os << ",\n    \"sweep\": ";
+  write_hist_json(os, sweep, 0);
+  os << "\n  },\n";
+  os << "  \"recent_traces\": [";
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n");
+    obs::write_trace_json(os, traces[i], 4);
+  }
+  os << (traces.empty() ? "" : "\n  ") << "],\n";
   os << "  \"telemetry\":\n";
   t.write_json(os, 2);
   os << "\n}\n";
   return os.str();
+}
+
+std::string SearchServer::metrics_text() const {
+  ServerStats s;
+  obs::ScanTelemetry t;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    s = stats_;
+    t = telemetry_;
+  }
+
+  std::ostringstream os;
+  os << "# HELP finehmm_up Whether finehmmd is serving (drain flips to 0).\n";
+  os << "# TYPE finehmm_up gauge\n";
+  os << "finehmm_up " << (draining() ? 0 : 1) << "\n";
+  os << "# HELP finehmm_uptime_seconds Seconds since the server started.\n";
+  os << "# TYPE finehmm_uptime_seconds gauge\n";
+  os << "finehmm_uptime_seconds " << uptime_seconds() << "\n";
+  os << "# HELP finehmm_queue_depth Admission queue occupancy right now.\n";
+  os << "# TYPE finehmm_queue_depth gauge\n";
+  os << "finehmm_queue_depth " << queue_.size() << "\n";
+  os << "# HELP finehmm_queue_capacity Admission queue bound (shed above).\n";
+  os << "# TYPE finehmm_queue_capacity gauge\n";
+  os << "finehmm_queue_capacity " << queue_.capacity() << "\n";
+  os << "# HELP finehmm_resident_databases Databases held mmap-resident.\n";
+  os << "# TYPE finehmm_resident_databases gauge\n";
+  os << "finehmm_resident_databases " << dbs_.size() << "\n";
+  os << "# HELP finehmm_resident_models Models loaded from .fhpdb "
+        "libraries.\n";
+  os << "# TYPE finehmm_resident_models gauge\n";
+  os << "finehmm_resident_models " << models_.size() << "\n";
+
+  os << "# HELP finehmm_server_events_total Monotonic server request and "
+        "connection counters by event.\n";
+  os << "# TYPE finehmm_server_events_total counter\n";
+  const std::pair<const char*, std::uint64_t> events[] = {
+      {"connections_accepted", s.connections_accepted},
+      {"requests_admitted", s.requests_admitted},
+      {"requests_completed", s.requests_completed},
+      {"requests_overloaded", s.requests_overloaded},
+      {"requests_rejected_draining", s.requests_rejected_draining},
+      {"requests_deadline_expired", s.requests_deadline_expired},
+      {"requests_bad", s.requests_bad},
+      {"requests_failed", s.requests_failed},
+      {"batches", s.batches},
+      {"db_sweeps", s.db_sweeps},
+      {"responses_dropped", s.responses_dropped},
+      {"frames_malformed", s.frames_malformed},
+      {"scan_requests", s.scan_requests},
+      {"scan_sweeps", s.scan_sweeps},
+      {"scan_models_scored", s.scan_models_scored},
+  };
+  for (const auto& [name, value] : events)
+    os << "finehmm_server_events_total{event=\"" << name << "\"} " << value
+       << "\n";
+
+  os << "# HELP finehmm_max_batch_size Largest coalesced batch so far.\n";
+  os << "# TYPE finehmm_max_batch_size gauge\n";
+  os << "finehmm_max_batch_size " << s.max_batch_size << "\n";
+  os << "# HELP finehmm_scan_fuse_groups Groups in the current fuse plan.\n";
+  os << "# TYPE finehmm_scan_fuse_groups gauge\n";
+  os << "finehmm_scan_fuse_groups " << s.scan_fuse_groups << "\n";
+  os << "# HELP finehmm_scan_lane_occupancy Cell-weighted SIMD lane "
+        "occupancy of fused sweeps (0..1).\n";
+  os << "# TYPE finehmm_scan_lane_occupancy gauge\n";
+  os << "finehmm_scan_lane_occupancy " << s.scan_lane_occupancy << "\n";
+
+  write_hist_prometheus(os, "finehmm_request_latency_seconds",
+                        "End-to-end request latency (admission to reply "
+                        "written).",
+                        e2e_hist_.snapshot());
+  write_hist_prometheus(os, "finehmm_queue_wait_seconds",
+                        "Time requests spent in the admission queue.",
+                        queue_hist_.snapshot());
+  write_hist_prometheus(os, "finehmm_sweep_seconds",
+                        "Wall time of the database sweep each request rode "
+                        "in.",
+                        sweep_hist_.snapshot());
+
+  t.write_prometheus(os);
+  return os.str();
+}
+
+std::string SearchServer::statusz_text() const {
+  ServerStats s;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    s = stats_;
+  }
+  std::uint64_t db_seqs = 0, db_residues = 0;
+  for (const Db& db : dbs_) {
+    db_seqs += db.sequences;
+    db_residues += db.residues;
+  }
+  const std::uint64_t sweeps = s.db_sweeps + s.scan_sweeps;
+
+  std::ostringstream os;
+  os << "finehmmd status\n";
+  os << "===============\n";
+  os << "uptime_seconds:     " << uptime_seconds() << "\n";
+  os << "state:              " << (draining() ? "draining" : "serving")
+     << "\n";
+  os << "resident databases: " << dbs_.size() << " (" << db_seqs
+     << " sequences, " << db_residues << " residues)\n";
+  os << "resident models:    " << models_.size() << "\n";
+  os << "queue depth:        " << queue_.size() << " / " << queue_.capacity()
+     << "\n";
+  os << "requests:           admitted " << s.requests_admitted
+     << ", completed " << s.requests_completed << ", shed "
+     << s.requests_overloaded << ", failed " << s.requests_failed << "\n";
+  os << "coalescing:         " << sweeps << " sweeps for "
+     << s.requests_completed << " requests ("
+     << obs::safe_rate(static_cast<double>(s.requests_completed),
+                       static_cast<double>(sweeps))
+     << " requests/sweep, max batch " << s.max_batch_size << ")\n";
+  os << "fuse plan:          " << s.scan_fuse_groups << " groups, lane "
+     << "occupancy " << s.scan_lane_occupancy << "\n";
+
+  const char* names[] = {"e2e", "queue_wait", "sweep"};
+  const obs::Histogram hists[] = {e2e_hist_.snapshot(),
+                                  queue_hist_.snapshot(),
+                                  sweep_hist_.snapshot()};
+  for (int i = 0; i < 3; ++i) {
+    const obs::LatencyQuantiles q = obs::latency_quantiles(hists[i]);
+    os << "latency " << names[i] << " (ms):";
+    for (int pad = static_cast<int>(std::string(names[i]).size()); pad < 11;
+         ++pad)
+      os << ' ';
+    os << "p50 " << static_cast<double>(q.p50) * 1e-6 << ", p90 "
+       << static_cast<double>(q.p90) * 1e-6 << ", p99 "
+       << static_cast<double>(q.p99) * 1e-6 << ", p99.9 "
+       << static_cast<double>(q.p999) * 1e-6 << " (n=" << q.count << ")\n";
+  }
+
+  const std::vector<obs::RequestTrace> traces = trace_ring_.snapshot();
+  os << "recent requests:    " << traces.size() << " (newest last)\n";
+  const std::size_t show = traces.size() > 8 ? traces.size() - 8 : 0;
+  for (std::size_t i = show; i < traces.size(); ++i) {
+    const obs::RequestTrace& tr = traces[i];
+    os << "  " << obs::trace_id_hex(tr.trace_id) << " " << tr.verb
+       << " total " << tr.total_seconds * 1e3 << " ms (queue "
+       << tr.queue_seconds * 1e3 << ", sweep " << tr.sweep_seconds * 1e3
+       << ", batch " << tr.batch_size << ")\n";
+  }
+  return os.str();
+}
+
+HttpResponse SearchServer::handle_http(const std::string& path) const {
+  HttpResponse r;
+  if (path == "/metrics") {
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    r.body = metrics_text();
+  } else if (path == "/healthz") {
+    // Drain-aware: flip unhealthy the moment drain begins, so a load
+    // balancer stops routing before the listener actually closes.
+    if (draining()) {
+      r.status = 503;
+      r.body = "draining\n";
+    } else {
+      r.body = "ok\n";
+    }
+  } else if (path == "/statusz") {
+    r.body = statusz_text();
+  } else {
+    r.status = 404;
+    r.body = "not found; routes: /metrics /healthz /statusz\n";
+  }
+  return r;
 }
 
 }  // namespace finehmm::server

@@ -45,10 +45,13 @@
 
 #include "bio/seq_db_io.hpp"
 #include "hmm/model_db.hpp"
+#include "obs/histogram.hpp"
 #include "obs/recorder.hpp"
+#include "obs/request_trace.hpp"
 #include "obs/telemetry.hpp"
 #include "pipeline/pipeline.hpp"
 #include "pipeline/workload.hpp"
+#include "server/http.hpp"
 #include "server/transport.hpp"
 #include "util/mpmc_queue.hpp"
 #include "util/threadpool.hpp"
@@ -73,9 +76,18 @@ struct ServerConfig {
   /// Collect span traces in the server recorder (stage clocks and the
   /// telemetry snapshot are collected regardless).
   bool tracing = false;
+  /// Completed requests kept in the trace ring (STATS v2
+  /// `recent_traces`, /statusz).  Request-scoped tracing itself is
+  /// always on — ids, stage attribution, and histograms cost one clock
+  /// read per stage boundary, cheap enough for every request.
+  std::size_t trace_ring_capacity = 64;
+  /// Requests slower than this (end to end) dump their per-stage
+  /// breakdown through the structured log at warn level, rate-limited.
+  /// 0 disables the slow-request log.
+  double slow_request_seconds = 0.0;
 };
 
-/// Monotonic request/connection accounting ("finehmm.server_stats.v1").
+/// Monotonic request/connection accounting ("finehmm.server_stats.v2").
 struct ServerStats {
   std::uint64_t connections_accepted = 0;
   std::uint64_t requests_admitted = 0;
@@ -94,6 +106,8 @@ struct ServerStats {
   std::uint64_t scan_requests = 0;       // admitted SCAN requests
   std::uint64_t scan_sweeps = 0;         // fused library sweeps run
   std::uint64_t scan_models_scored = 0;  // sum of library size per sweep
+  std::uint64_t scan_fuse_groups = 0;    // groups in the current fuse plan
+  double scan_lane_occupancy = 0.0;      // cell-weighted mean, 0..1
 };
 
 class SearchServer {
@@ -141,8 +155,33 @@ class SearchServer {
   /// (engine "server"; the `batch.sweeps` / `batch.queries` counters on
   /// the msv stage make coalescing observable).
   obs::ScanTelemetry telemetry() const;
-  /// The STATS verb's payload: ServerStats + embedded telemetry JSON.
+  /// The STATS verb's payload ("finehmm.server_stats.v2"): ServerStats +
+  /// latency histogram quantiles + recent request traces + telemetry.
   std::string stats_json() const;
+
+  /// Always-on latency snapshots in nanoseconds: end-to-end
+  /// (admission -> reply written), queue wait, and sweep time.
+  obs::Histogram latency_histogram() const { return e2e_hist_.snapshot(); }
+  obs::Histogram queue_wait_histogram() const {
+    return queue_hist_.snapshot();
+  }
+  obs::Histogram sweep_histogram() const { return sweep_hist_.snapshot(); }
+
+  /// The most recent completed request traces, oldest first.
+  std::vector<obs::RequestTrace> recent_traces() const {
+    return trace_ring_.snapshot();
+  }
+
+  /// Seconds since construction (monotonic).
+  double uptime_seconds() const;
+
+  /// The embedded HTTP endpoint's router: /metrics (Prometheus text),
+  /// /healthz (drain-aware), /statusz (human-readable snapshot).
+  /// finehmmd wires this into an HttpEndpoint on --metrics-port; safe
+  /// from any thread, any time between construction and destruction.
+  HttpResponse handle_http(const std::string& path) const;
+  std::string metrics_text() const;
+  std::string statusz_text() const;
 
  private:
   struct Db {
@@ -176,6 +215,12 @@ class SearchServer {
     bool has_deadline = false;
     std::chrono::steady_clock::time_point deadline;
     std::shared_ptr<Session> session;
+    // Request-scoped tracing: the id travels with the request from
+    // admission through the sweep to the reply; the timestamps become
+    // the queue-wait / coalesce-wait spans of its RequestTrace.
+    std::uint64_t trace_id = 0;
+    std::chrono::steady_clock::time_point admitted_at;
+    std::chrono::steady_clock::time_point popped_at;
   };
 
   void handle_connection(const std::shared_ptr<Session>& session);
@@ -192,6 +237,15 @@ class SearchServer {
   void send_error(Session& session, std::uint32_t request_id, ErrorCode code,
                   const std::string& message);
   void merge_batch_telemetry(const obs::ScanTelemetry& t);
+  /// Complete one request's trace: compute its spans from the sweep
+  /// timing + its share of the batch's stage busy time, record the
+  /// latency histograms, push the ring, and emit the slow-request log.
+  void finish_request_trace(const Pending& p, const char* verb,
+                            std::chrono::steady_clock::time_point sweep_start,
+                            std::chrono::steady_clock::time_point sweep_end,
+                            double serialize_seconds,
+                            const obs::ScanTelemetry& sweep_telemetry,
+                            std::size_t batch_size);
 
   ServerConfig cfg_;
   ThreadPool pool_;
@@ -219,6 +273,16 @@ class SearchServer {
   mutable std::mutex stats_mu_;  // stats_ and telemetry_
   ServerStats stats_;
   obs::ScanTelemetry telemetry_;
+
+  // Always-on observability.  Histograms record in nanoseconds via
+  // relaxed atomic adds (lock-free, zero allocation); the trace ring is
+  // mutex-guarded but touched once per completed request.
+  const std::chrono::steady_clock::time_point start_time_ =
+      std::chrono::steady_clock::now();
+  obs::ConcurrentHistogram e2e_hist_;
+  obs::ConcurrentHistogram queue_hist_;
+  obs::ConcurrentHistogram sweep_hist_;
+  obs::TraceRing trace_ring_;
 };
 
 }  // namespace finehmm::server

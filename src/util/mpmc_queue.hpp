@@ -134,6 +134,13 @@ class BoundedMpmcQueue {
     return count_ == 0;
   }
 
+  /// Instantaneous occupancy (items accepted and not yet popped) — the
+  /// server's /statusz queue-depth gauge.
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+  }
+
   /// Snapshot of the lifetime counters.
   Stats stats() const {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <functional>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -27,9 +28,11 @@
 #include "bio/seq_db_io.hpp"
 #include "hmm/generator.hpp"
 #include "hmm/model_db.hpp"
+#include "obs/request_trace.hpp"
 #include "pipeline/pipeline.hpp"
 #include "pipeline/workload.hpp"
 #include "server/client.hpp"
+#include "server/http.hpp"
 #include "server/loopback.hpp"
 #include "server/protocol.hpp"
 #include "server/server.hpp"
@@ -125,6 +128,7 @@ TEST(ServerProtocol, SearchRequestRejectsTruncation) {
 
 TEST(ServerProtocol, SearchResultRoundTripBitExact) {
   SearchResultWire res;
+  res.trace_id = 0x9f3a5c0011223344ull;
   res.db_sequences = 1000;
   res.db_residues = 123456789;
   res.ssv = {1000, 60, 1.5e6, 0.0};
@@ -143,6 +147,7 @@ TEST(ServerProtocol, SearchResultRoundTripBitExact) {
   res.hits.push_back(h);
   const SearchResultWire back =
       decode_search_result(encode_search_result(res));
+  EXPECT_EQ(back.trace_id, res.trace_id);
   EXPECT_EQ(back.db_sequences, res.db_sequences);
   EXPECT_EQ(back.db_residues, res.db_residues);
   EXPECT_EQ(back.msv.n_in, res.msv.n_in);
@@ -624,13 +629,273 @@ TEST(SearchServer, StatsVerbReportsSchemaAndCounts) {
   fx.start();
   const stats::ModelStats cal = fx.calibration();
   BlockingClient client = fx.connect();
-  ASSERT_EQ(client.search(0, fx.model, &cal).status, ClientStatus::kOk);
+  const RemoteResult rr = client.search(0, fx.model, &cal);
+  ASSERT_EQ(rr.status, ClientStatus::kOk);
 
-  const std::optional<std::string> json = client.stats_json();
-  ASSERT_TRUE(json.has_value());
-  EXPECT_NE(json->find("finehmm.server_stats.v1"), std::string::npos);
-  EXPECT_NE(json->find("\"requests_completed\": 1"), std::string::npos);
-  EXPECT_NE(json->find("\"engine\": \"server\""), std::string::npos);
+  // The reply leaves before the scheduler finishes the request's trace
+  // (serialize time is part of it), so poll until the ring has it.
+  ASSERT_NE(rr.result.trace_id, 0u);
+  const std::string id_hex = obs::trace_id_hex(rr.result.trace_id);
+  std::string json;
+  ASSERT_TRUE(eventually([&] {
+    const std::optional<std::string> s = client.stats_json();
+    if (!s.has_value()) return false;
+    json = *s;
+    return json.find(id_hex) != std::string::npos;
+  }));
+  EXPECT_NE(json.find("finehmm.server_stats.v2"), std::string::npos);
+  EXPECT_NE(json.find("\"requests_completed\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"engine\": \"server\""), std::string::npos);
+
+  // v2 additions: the latency histograms saw the request, and its trace
+  // landed in the ring, findable by the id the reply carried.
+  EXPECT_NE(json.find("\"latency\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"e2e\": {\"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"queue_wait\": {\"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"sweep\": {\"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"p99_seconds\": "), std::string::npos);
+  EXPECT_NE(json.find("\"recent_traces\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"verb\": \"SEARCH\""), std::string::npos);
+}
+
+// --------------------------------------------------- request tracing
+
+TEST(SearchServer, EveryReplyCarriesADistinctTraceId) {
+  ServerFixture fx;
+  fx.start();
+  const stats::ModelStats cal = fx.calibration();
+  BlockingClient client = fx.connect();
+
+  const RemoteResult a = client.search(0, fx.model, &cal);
+  const RemoteResult b = client.search(0, fx.model, &cal);
+  ASSERT_EQ(a.status, ClientStatus::kOk);
+  ASSERT_EQ(b.status, ClientStatus::kOk);
+  EXPECT_NE(a.result.trace_id, 0u);
+  EXPECT_NE(b.result.trace_id, 0u);
+  EXPECT_NE(a.result.trace_id, b.result.trace_id);
+
+  // Both ids are queryable over the wire once their traces complete,
+  // with the span breakdown summing (approximately) to the total.
+  ASSERT_TRUE(eventually([&] {
+    const std::optional<std::string> s = client.stats_json();
+    return s.has_value() &&
+           s->find(obs::trace_id_hex(a.result.trace_id)) !=
+               std::string::npos &&
+           s->find(obs::trace_id_hex(b.result.trace_id)) !=
+               std::string::npos;
+  }));
+  const std::vector<obs::RequestTrace> traces =
+      fx.srv->recent_traces();
+  ASSERT_GE(traces.size(), 2u);
+  for (const obs::RequestTrace& t : traces) {
+    EXPECT_GT(t.total_seconds, 0.0);
+    EXPECT_GE(t.sweep_seconds, 0.0);
+    EXPECT_LE(t.queue_seconds + t.coalesce_seconds + t.sweep_seconds,
+              t.total_seconds + 1e-6);
+    EXPECT_GE(t.batch_size, 1u);
+    EXPECT_STREQ(t.verb, "SEARCH");
+  }
+}
+
+TEST(RequestTrace, ChromeTraceExportRoundTrips) {
+  // The server-side trace ring renders in the same trace_event JSON the
+  // in-process Recorder emits, one tid per request.
+  obs::RequestTrace t;
+  t.trace_id = obs::next_trace_id();
+  t.request_id = 7;
+  t.verb = "SEARCH";
+  t.start_ns = 1500000;  // 1.5 ms after server start
+  t.queue_seconds = 0.001;
+  t.coalesce_seconds = 0.002;
+  t.sweep_seconds = 0.010;
+  t.serialize_seconds = 0.0005;
+  t.total_seconds = 0.0135;
+  t.stage_seconds[static_cast<int>(obs::Stage::kMsv)] = 0.004;
+  t.stage_seconds[static_cast<int>(obs::Stage::kVit)] = 0.003;
+  t.batch_size = 3;
+
+  obs::RequestTrace u = t;
+  u.trace_id = obs::next_trace_id();
+  u.verb = "SCAN";
+  u.queue_seconds = 0.0;  // zero-length spans are omitted, not emitted
+
+  std::ostringstream os;
+  obs::write_chrome_trace(os, {t, u});
+  const std::string json = os.str();
+
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+  // One thread-name metadata event per request, labelled verb + id.
+  EXPECT_NE(json.find("\"SEARCH " + obs::trace_id_hex(t.trace_id) + "\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"SCAN " + obs::trace_id_hex(u.trace_id) + "\""),
+            std::string::npos);
+  // Complete spans for every nonzero phase, stage shares included.
+  for (const char* name : {"queue", "coalesce", "sweep", "msv", "vit",
+                           "serialize"}) {
+    EXPECT_NE(json.find("\"name\": \"" + std::string(name) + "\""),
+              std::string::npos)
+        << name;
+  }
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"batch_size\": 3"), std::string::npos);
+  // Request t emits 6 spans (4 phases + 2 stage shares); u omits its
+  // zero-length queue span: 5.  Count the "X" events.
+  std::size_t x_events = 0;
+  for (std::size_t pos = 0;
+       (pos = json.find("\"ph\": \"X\"", pos)) != std::string::npos; ++pos)
+    ++x_events;
+  EXPECT_EQ(x_events, 11u);
+
+  // The STATS-verb JSON rendering of the same trace carries the stage
+  // breakdown under schema-stable keys.
+  std::ostringstream ts;
+  obs::write_trace_json(ts, t);
+  const std::string tj = ts.str();
+  EXPECT_NE(tj.find("\"trace_id\": \"" + obs::trace_id_hex(t.trace_id)),
+            std::string::npos);
+  EXPECT_NE(tj.find("\"stage_seconds\": {"), std::string::npos);
+  EXPECT_NE(tj.find("\"msv\": 0.004"), std::string::npos);
+  EXPECT_NE(tj.find("\"total_seconds\": 0.0135"), std::string::npos);
+}
+
+// ------------------------------------------------------ HTTP endpoint
+
+/// One GET over the in-process loopback, served by the same
+/// http_serve_connection the TCP endpoint thread uses.
+std::string http_get(SearchServer& srv, const std::string& target) {
+  LoopbackHub hub;
+  auto listener = hub.listener();
+  std::thread server([&] {
+    std::unique_ptr<Connection> conn = listener->accept();
+    if (conn)
+      http_serve_connection(
+          *conn, [&srv](const std::string& p) { return srv.handle_http(p); });
+  });
+  std::unique_ptr<Connection> client = hub.connect();
+  const std::string req = "GET " + target + " HTTP/1.1\r\nHost: t\r\n\r\n";
+  EXPECT_TRUE(client->send_all(req.data(), req.size()));
+  std::string resp;
+  char buf[1024];
+  for (;;) {
+    const std::size_t n = client->recv_some(buf, sizeof buf);
+    if (n == 0) break;
+    resp.append(buf, n);
+  }
+  server.join();
+  return resp;
+}
+
+TEST(HttpEndpoint, MetricsHealthzAndStatuszRoutes) {
+  ServerFixture fx;
+  fx.start();
+  const stats::ModelStats cal = fx.calibration();
+  BlockingClient client = fx.connect();
+  const RemoteResult rr = client.search(0, fx.model, &cal);
+  ASSERT_EQ(rr.status, ClientStatus::kOk);
+  // Histograms record before the ring push; waiting on the ring
+  // guarantees both surfaces have seen the request.
+  ASSERT_TRUE(eventually([&] { return !fx.srv->recent_traces().empty(); }));
+  EXPECT_GE(fx.srv->latency_histogram().count(), 1u);
+
+  const std::string metrics = http_get(*fx.srv, "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  // The server families, each declared before its samples.
+  for (const char* family :
+       {"finehmm_up", "finehmm_uptime_seconds", "finehmm_queue_depth",
+        "finehmm_server_events_total", "finehmm_request_latency_seconds",
+        "finehmm_queue_wait_seconds", "finehmm_sweep_seconds"}) {
+    EXPECT_NE(metrics.find("# TYPE " + std::string(family) + " "),
+              std::string::npos)
+        << family;
+  }
+  EXPECT_NE(metrics.find("finehmm_up 1"), std::string::npos);
+  EXPECT_NE(metrics.find(
+                "finehmm_server_events_total{event=\"requests_completed\"} "
+                "1"),
+            std::string::npos);
+  EXPECT_NE(metrics.find(
+                "finehmm_request_latency_seconds{quantile=\"0.99\"} "),
+            std::string::npos);
+  EXPECT_NE(metrics.find("finehmm_request_latency_seconds_count 1"),
+            std::string::npos);
+
+  // The acceptance contract: /metrics p99 and the STATS-verb p99 are the
+  // SAME number (one quantile implementation, one formatting).
+  const std::optional<std::string> stats = client.stats_json();
+  ASSERT_TRUE(stats.has_value());
+  const std::string needle =
+      "finehmm_request_latency_seconds{quantile=\"0.99\"} ";
+  std::size_t at = metrics.find(needle);
+  ASSERT_NE(at, std::string::npos);
+  at += needle.size();
+  const std::string p99_metrics =
+      metrics.substr(at, metrics.find('\n', at) - at);
+  EXPECT_NE(stats->find("\"p99_seconds\": " + p99_metrics),
+            std::string::npos)
+      << "/metrics p99 " << p99_metrics << " not found in STATS JSON";
+
+  // /healthz says ok while serving, /statusz is the human surface.
+  const std::string health = http_get(*fx.srv, "/healthz");
+  EXPECT_NE(health.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(health.find("ok"), std::string::npos);
+
+  const std::string statusz = http_get(*fx.srv, "/statusz");
+  EXPECT_NE(statusz.find("finehmmd status"), std::string::npos);
+  EXPECT_NE(statusz.find("latency e2e (ms):"), std::string::npos);
+  EXPECT_NE(statusz.find(obs::trace_id_hex(rr.result.trace_id)),
+            std::string::npos);
+
+  const std::string missing = http_get(*fx.srv, "/nope");
+  EXPECT_NE(missing.find("HTTP/1.1 404"), std::string::npos);
+
+  // Query strings are stripped; non-GET methods are refused politely.
+  const std::string with_query = http_get(*fx.srv, "/healthz?verbose=1");
+  EXPECT_NE(with_query.find("HTTP/1.1 200 OK"), std::string::npos);
+}
+
+TEST(HttpEndpoint, HealthzFlipsTo503WhenDraining) {
+  ServerFixture fx;
+  fx.start();
+  EXPECT_NE(http_get(*fx.srv, "/healthz").find("200 OK"),
+            std::string::npos);
+  fx.srv->begin_drain();
+  const std::string resp = http_get(*fx.srv, "/healthz");
+  EXPECT_NE(resp.find("HTTP/1.1 503"), std::string::npos);
+  EXPECT_NE(resp.find("draining"), std::string::npos);
+  EXPECT_NE(http_get(*fx.srv, "/metrics").find("finehmm_up 0"),
+            std::string::npos);
+  fx.stop();
+}
+
+TEST(HttpEndpoint, EndpointThreadServesAndStopsCleanly) {
+  // The real HttpEndpoint wrapper: accept loop on its own thread over a
+  // loopback listener, stopped by close() + join, exactly as finehmmd
+  // drives it over TCP.
+  ServerFixture fx;
+  fx.start();
+  LoopbackHub http_hub;
+  SearchServer& srv = *fx.srv;
+  HttpEndpoint endpoint(
+      http_hub.listener(),
+      [&srv](const std::string& p) { return srv.handle_http(p); });
+
+  for (int i = 0; i < 3; ++i) {
+    std::unique_ptr<Connection> conn = http_hub.connect();
+    const std::string req = "GET /healthz HTTP/1.1\r\n\r\n";
+    ASSERT_TRUE(conn->send_all(req.data(), req.size()));
+    std::string resp;
+    char buf[512];
+    for (;;) {
+      const std::size_t n = conn->recv_some(buf, sizeof buf);
+      if (n == 0) break;
+      resp.append(buf, n);
+    }
+    EXPECT_NE(resp.find("200 OK"), std::string::npos) << i;
+  }
+  endpoint.stop();  // idempotent; the destructor would also do this
 }
 
 // -------------------------------------------------------- SCAN verb
@@ -744,6 +1009,7 @@ TEST(ServerProtocol, ScanRequestAndResultRoundTrip) {
   EXPECT_EQ(back.deadline_ms, req.deadline_ms);
 
   ScanResultWire res;
+  res.trace_id = 0x0123456789abcdefull;
   res.db_sequences = 11;
   res.db_residues = 4242;
   res.fuse_groups = 2;
@@ -765,6 +1031,7 @@ TEST(ServerProtocol, ScanRequestAndResultRoundTrip) {
   res.models.push_back(ScanModelHits{"PF0002", {}});
 
   const ScanResultWire out = decode_scan_result(encode_scan_result(res));
+  EXPECT_EQ(out.trace_id, res.trace_id);
   EXPECT_EQ(out.db_sequences, res.db_sequences);
   EXPECT_EQ(out.db_residues, res.db_residues);
   EXPECT_EQ(out.fuse_groups, res.fuse_groups);

@@ -1,19 +1,26 @@
 // The obs telemetry subsystem: span recording and nesting, disabled-mode
-// zero-allocation, Chrome trace schema, rate guards, and the overlapped
-// engine's telemetry invariants (queue accounting, per-thread merge).
+// zero-allocation, Chrome trace schema, rate guards, the structured JSON
+// logger, Prometheus exposition hygiene, and the overlapped engine's
+// telemetry invariants (queue accounting, per-thread merge).
 //
 // This file lives in its own test binary (finehmm_obs_tests): it replaces
 // the global operator new/delete to count allocations, which must not
 // leak into the other binaries.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <new>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "hmm/generator.hpp"
+#include "obs/histogram.hpp"
+#include "obs/log.hpp"
 #include "obs/recorder.hpp"
 #include "obs/telemetry.hpp"
 #include "pipeline/pipeline.hpp"
@@ -248,6 +255,161 @@ TEST(Telemetry, PrometheusExportCoversTheFamilies) {
   EXPECT_NE(text.find("finehmm_stage_seconds"), std::string::npos);
   EXPECT_NE(text.find("finehmm_queue_enqueued_total"), std::string::npos);
   EXPECT_NE(text.find("engine=\"cpu_overlapped\""), std::string::npos);
+}
+
+// ----------------------------------------- always-on histograms: free
+
+TEST(Histogram, RecordingPathAllocatesNothing) {
+  // The daemon records EVERY request into these — the path must never
+  // touch the heap.  Construction, recording, snapshot, and quantile
+  // math all run on inline storage.
+  static obs::ConcurrentHistogram concurrent;  // ~30 KB, static storage
+  static obs::Histogram plain;
+
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    concurrent.record(i * 977 + 13);
+    plain.record(i * 977 + 13);
+  }
+  const obs::Histogram snap = concurrent.snapshot();
+  const auto q = obs::latency_quantiles(snap);
+  (void)plain.quantile(0.99);
+  EXPECT_EQ(g_allocations.load(std::memory_order_relaxed), before);
+  EXPECT_EQ(q.count, 10000u);
+}
+
+// --------------------------------------------- prometheus exposition
+
+TEST(Telemetry, PrometheusLabelEscaping) {
+  // The exposition-format escapes for label values: backslash, double
+  // quote, and newline.  Everything else passes through untouched.
+  EXPECT_EQ(obs::prometheus_escape_label("plain-0.9"), "plain-0.9");
+  EXPECT_EQ(obs::prometheus_escape_label("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::prometheus_escape_label("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::prometheus_escape_label("a\nb"), "a\\nb");
+  EXPECT_EQ(obs::prometheus_escape_label("\\\"\n"), "\\\\\\\"\\n");
+  EXPECT_EQ(obs::prometheus_escape_label(""), "");
+}
+
+TEST(Telemetry, PrometheusEveryFamilyHasTypeAndHelp) {
+  obs::ScanTelemetry t;
+  t.engine = "cpu\"over\nlapped\\x";  // hostile label value
+  t.wall_seconds = 1.5;
+  obs::StageTelemetry st;
+  st.stage = "vit";
+  st.busy_seconds = 0.5;
+  st.counters.push_back({"warp\\div\"ergence", 3.0});
+  t.stages.push_back(st);
+  obs::QueueTelemetry q;
+  q.capacity = 64;
+  t.queue = q;
+  std::ostringstream os;
+  t.write_prometheus(os);
+  const std::string text = os.str();
+
+  // Hostile engine name arrives escaped, never raw.
+  EXPECT_NE(text.find("cpu\\\"over\\nlapped\\\\x"), std::string::npos);
+  EXPECT_EQ(text.find("over\nlapped"), std::string::npos);
+
+  // Every sample line's family must have been declared with # TYPE and
+  // # HELP before any sample appears.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t name_end = line.find_first_of("{ ");
+    ASSERT_NE(name_end, std::string::npos) << line;
+    const std::string family = line.substr(0, name_end);
+    EXPECT_NE(text.find("# TYPE " + family + " "), std::string::npos)
+        << "undeclared family: " << family;
+    EXPECT_NE(text.find("# HELP " + family + " "), std::string::npos)
+        << "family without help: " << family;
+  }
+  // The previously undeclared counter family is covered too, with its
+  // counter key escaped.
+  EXPECT_NE(text.find("# TYPE finehmm_stage_counter gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("counter=\"warp\\\\div\\\"ergence\""),
+            std::string::npos);
+}
+
+// ------------------------------------------------- structured logging
+
+TEST(Log, LevelNamesRoundTrip) {
+  using L = obs::LogLevel;
+  for (L level : {L::kDebug, L::kInfo, L::kWarn, L::kError, L::kOff})
+    EXPECT_EQ(obs::parse_log_level(obs::log_level_name(level)), level);
+  EXPECT_EQ(obs::parse_log_level("nonsense"), L::kOff);
+}
+
+TEST(Log, JsonEscapeCoversControlCharacters) {
+  EXPECT_EQ(obs::json_escape("plain"), "plain");
+  EXPECT_EQ(obs::json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(obs::json_escape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(obs::json_escape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(Log, EmitsOneJsonLinePerEventAndFiltersByLevel) {
+  std::ostringstream sink;
+  obs::set_log_sink(&sink);
+  obs::set_log_level(obs::LogLevel::kInfo);
+  obs::log(obs::LogLevel::kDebug, "test.hidden");  // below threshold
+  obs::log(obs::LogLevel::kWarn, "test.event",
+           {{"name", std::string("a\"b\nc")},
+            {"count", std::uint64_t{42}},
+            {"delta", -7},
+            {"ratio", 0.25},
+            {"flag", true},
+            {"broken", std::nan("")}});
+  obs::set_log_level(obs::LogLevel::kOff);
+  obs::set_log_sink(nullptr);
+
+  const std::string text = sink.str();
+  EXPECT_EQ(text.find("test.hidden"), std::string::npos);
+  ASSERT_NE(text.find("test.event"), std::string::npos);
+  EXPECT_NE(text.find("\"level\": \"warn\""), std::string::npos);
+  EXPECT_NE(text.find("\"ts\": "), std::string::npos);
+  EXPECT_NE(text.find("\"name\": \"a\\\"b\\nc\""), std::string::npos);
+  EXPECT_NE(text.find("\"count\": 42"), std::string::npos);
+  EXPECT_NE(text.find("\"delta\": -7"), std::string::npos);
+  EXPECT_NE(text.find("\"flag\": true"), std::string::npos);
+  EXPECT_NE(text.find("\"broken\": null"), std::string::npos);
+  // Exactly one line, '\n'-terminated, structurally sound JSON.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 1);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(Log, RateLimitCapsASiteAndAccountsEverySuppressedEvent) {
+  obs::LogRateLimit limit(1);  // one event per second
+  constexpr int kCalls = 1000;
+  std::uint64_t reported = 0;
+  int allowed = 0;
+  for (int i = 0; i < kCalls; ++i) {
+    std::uint64_t suppressed = 0;
+    if (limit.allow(&suppressed)) {
+      ++allowed;
+      reported += suppressed;
+    }
+  }
+  // The burst spans at most two one-second windows, so at most two
+  // events clear the cap — the limiter held under a 1000-call storm.
+  EXPECT_GE(allowed, 1);
+  EXPECT_LE(allowed, 2);
+
+  // After the window rolls over, the site re-opens and reports exactly
+  // how many events the cap swallowed: every call — including the
+  // failed polls below — was either allowed or reported as suppressed
+  // precisely once.
+  std::uint64_t final_suppressed = 0;
+  std::uint64_t polls = 1;
+  while (!limit.allow(&final_suppressed)) {
+    ++polls;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  ++allowed;
+  reported += final_suppressed;
+  EXPECT_EQ(reported + static_cast<std::uint64_t>(allowed),
+            static_cast<std::uint64_t>(kCalls) + polls);
 }
 
 // ------------------------------------- engine wiring: the real invariants

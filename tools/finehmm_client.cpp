@@ -11,7 +11,11 @@
 //                    none)
 //   --tblout <f>     write the machine-readable target table to f
 //   --ping           health-check the daemon and exit
-//   --stats          fetch the daemon's STATS JSON and print it
+//   --stats          fetch the daemon's STATS and pretty-print the
+//                    latency histogram quantiles and coalescing/fuse
+//                    counters
+//   --stats-json     fetch the daemon's STATS and print the raw
+//                    machine-readable JSON ("finehmm.server_stats.v2")
 //   --bench <n>      closed-loop benchmark: each client sends n requests
 //                    back to back; prints throughput and latency
 //                    percentiles instead of a report
@@ -20,6 +24,7 @@
 // A model is required for searches and --bench; --ping/--stats need none.
 // Exit codes follow examples/tool_exit.hpp.
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -30,6 +35,7 @@
 #include <vector>
 
 #include "hmm/hmm_io.hpp"
+#include "obs/request_trace.hpp"
 #include "obs/telemetry.hpp"
 #include "pipeline/report.hpp"
 #include "server/client.hpp"
@@ -45,8 +51,9 @@ void usage() {
   std::fprintf(stderr,
                "usage: finehmm_client HOST:PORT [--db n] [-E evalue] "
                "[--deadline ms] [--tblout f]\n"
-               "                      [--ping] [--stats] [--bench n "
-               "[--clients k]] [<model.hmm>]\n");
+               "                      [--ping] [--stats] [--stats-json] "
+               "[--bench n [--clients k]]\n"
+               "                      [<model.hmm>]\n");
 }
 
 bool parse_hostport(const std::string& arg, std::string& host,
@@ -128,6 +135,77 @@ int run_bench(const std::string& host, std::uint16_t port,
   return failed == 0 ? tools::kOk : tools::kFailure;
 }
 
+// --- Tiny extractors for the daemon's stats JSON ------------------------
+// The v2 schema is machine-first; the pretty printer only needs a few
+// scalar fields, so a string scan beats hauling in a JSON parser.
+
+/// First `"key": <number>` at or after `from`; NaN when absent.
+double find_number(const std::string& json, const std::string& key,
+                   std::size_t from = 0) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = json.find(needle, from);
+  if (at == std::string::npos) return std::nan("");
+  return std::atof(json.c_str() + at + needle.size());
+}
+
+/// The `{...}` object following `"key":`, or empty when absent.  Good
+/// enough for the latency objects, which nest no further braces.
+std::string find_object(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  std::size_t at = json.find(needle);
+  if (at == std::string::npos) return {};
+  at = json.find('{', at + needle.size());
+  if (at == std::string::npos) return {};
+  const std::size_t end = json.find('}', at);
+  if (end == std::string::npos) return {};
+  return json.substr(at, end - at + 1);
+}
+
+void print_latency_line(const std::string& stats, const char* key,
+                        const char* label) {
+  const std::string h = find_object(stats, key);
+  std::printf("  latency %-11s p50 %8.3f  p90 %8.3f  p99 %8.3f  "
+              "p99.9 %8.3f ms  (n=%.0f)\n",
+              label, find_number(h, "p50_seconds") * 1e3,
+              find_number(h, "p90_seconds") * 1e3,
+              find_number(h, "p99_seconds") * 1e3,
+              find_number(h, "p999_seconds") * 1e3,
+              find_number(h, "count"));
+}
+
+void print_stats_pretty(const std::string& stats) {
+  std::printf("finehmmd stats (schema finehmm.server_stats.v2)\n");
+  std::printf("  uptime:             %.1f s\n",
+              find_number(stats, "uptime_seconds"));
+  std::printf("  queue depth:        %.0f\n",
+              find_number(stats, "queue_depth"));
+  std::printf("  requests:           admitted %.0f, completed %.0f, "
+              "shed %.0f, failed %.0f\n",
+              find_number(stats, "requests_admitted"),
+              find_number(stats, "requests_completed"),
+              find_number(stats, "requests_overloaded"),
+              find_number(stats, "requests_failed"));
+  const double completed = find_number(stats, "requests_completed");
+  const double sweeps = find_number(stats, "db_sweeps") +
+                        find_number(stats, "scan_sweeps");
+  std::printf("  coalescing:         %.0f batches, %.0f sweeps, "
+              "%.2f requests/sweep, max batch %.0f\n",
+              find_number(stats, "batches"), sweeps,
+              obs::safe_rate(completed, sweeps),
+              find_number(stats, "max_batch_size"));
+  std::printf("  scan (fused):       %.0f requests, %.0f sweeps, "
+              "%.0f models scored, %.0f fuse groups, lane occupancy "
+              "%.3f\n",
+              find_number(stats, "scan_requests"),
+              find_number(stats, "scan_sweeps"),
+              find_number(stats, "scan_models_scored"),
+              find_number(stats, "scan_fuse_groups"),
+              find_number(stats, "scan_lane_occupancy"));
+  print_latency_line(stats, "e2e", "e2e:");
+  print_latency_line(stats, "queue_wait", "queue:");
+  print_latency_line(stats, "sweep", "sweep:");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -135,7 +213,7 @@ int main(int argc, char** argv) {
   std::uint32_t db_id = 0;
   double evalue = 10.0;
   std::uint32_t deadline_ms = 0;
-  bool do_ping = false, do_stats = false;
+  bool do_ping = false, do_stats = false, do_stats_json = false;
   std::size_t bench_n = 0, bench_clients = 1;
 
   for (int i = 1; i < argc; ++i) {
@@ -152,6 +230,8 @@ int main(int argc, char** argv) {
       do_ping = true;
     } else if (arg == "--stats") {
       do_stats = true;
+    } else if (arg == "--stats-json") {
+      do_stats_json = true;
     } else if (arg == "--bench" && i + 1 < argc) {
       bench_n = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (arg == "--clients" && i + 1 < argc) {
@@ -175,7 +255,8 @@ int main(int argc, char** argv) {
     usage();
     return tools::kBadArgs;
   }
-  const bool needs_model = bench_n > 0 || (!do_ping && !do_stats);
+  const bool needs_model =
+      bench_n > 0 || (!do_ping && !do_stats && !do_stats_json);
   if (needs_model && hmm_path.empty()) {
     usage();
     return tools::kBadArgs;
@@ -198,12 +279,15 @@ int main(int argc, char** argv) {
       if (!client.ping()) throw IoError("daemon did not answer PING");
       std::printf("pong\n");
     }
-    if (do_stats) {
+    if (do_stats || do_stats_json) {
       const std::optional<std::string> json = client.stats_json();
       if (!json) throw IoError("daemon did not answer STATS");
-      std::fputs(json->c_str(), stdout);
+      if (do_stats_json)
+        std::fputs(json->c_str(), stdout);
+      else
+        print_stats_pretty(*json);
     }
-    if (do_ping || do_stats) return tools::kOk;
+    if (do_ping || do_stats || do_stats_json) return tools::kOk;
 
     const server::RemoteResult rr = client.search(
         db_id, model, file_stats ? &*file_stats : nullptr, evalue,
@@ -224,6 +308,12 @@ int main(int argc, char** argv) {
       case server::ClientStatus::kDisconnected:
         throw IoError("connection to " + hostport + " died mid-request");
     }
+
+    // The daemon's trace id for this request, on stderr so report/tblout
+    // stay byte-identical to a local run; quote it when asking the
+    // operator where the time went (STATS recent_traces keys on it).
+    std::fprintf(stderr, "trace_id %s\n",
+                 obs::trace_id_hex(rr.result.trace_id).c_str());
 
     pipeline::SearchResult result;
     result.hits = rr.result.hits;

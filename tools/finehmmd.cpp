@@ -14,6 +14,14 @@
 //   --window-ms <n>  coalesce gather window in milliseconds (default 2)
 //   --models <f>     load a pressed model library (.fhpdb); repeatable
 //   --pid-file <f>   write the daemon pid to f (removed on clean exit)
+//   --metrics-port <n>  serve HTTP /metrics, /healthz, /statusz on this
+//                    port (0 = ephemeral; printed as "finehmmd: metrics
+//                    on HOST:PORT").  Omit to disable the endpoint.
+//   --slow-ms <n>    log a per-stage breakdown (warn, rate-limited) for
+//                    any request slower than n milliseconds end to end
+//   --log <level>    structured JSON log level on stderr:
+//                    debug|info|warn|error|off (default info;
+//                    FINEHMM_LOG overrides)
 //
 // Databases are mmap-resident for the process lifetime; clients name
 // them by load order (db_id 0, 1, ...).  SIGTERM or SIGINT starts a
@@ -33,6 +41,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/log.hpp"
+#include "server/http.hpp"
 #include "server/server.hpp"
 #include "server/tcp.hpp"
 #include "tool_exit.hpp"
@@ -46,7 +56,9 @@ void usage() {
                "usage: finehmmd [--host addr] [--port n] [--threads n] "
                "[--queue n] [--max-batch n]\n"
                "                [--window-ms n] [--models lib.fhpdb]... "
-               "[--pid-file f] <db.fsqdb>...\n");
+               "[--pid-file f]\n"
+               "                [--metrics-port n] [--slow-ms n] "
+               "[--log level] <db.fsqdb>...\n");
 }
 
 }  // namespace
@@ -54,6 +66,9 @@ void usage() {
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
+  bool metrics = false;
+  std::uint16_t metrics_port = 0;
+  std::string log_level = "info";
   std::string pid_file;
   std::vector<std::string> db_paths;
   std::vector<std::string> model_paths;
@@ -77,6 +92,13 @@ int main(int argc, char** argv) {
       model_paths.push_back(argv[++i]);
     } else if (arg == "--pid-file" && i + 1 < argc) {
       pid_file = argv[++i];
+    } else if (arg == "--metrics-port" && i + 1 < argc) {
+      metrics = true;
+      metrics_port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    } else if (arg == "--slow-ms" && i + 1 < argc) {
+      cfg.slow_request_seconds = std::atof(argv[++i]) * 1e-3;
+    } else if (arg == "--log" && i + 1 < argc) {
+      log_level = argv[++i];
     } else if (!arg.empty() && arg[0] == '-') {
       usage();
       return tools::kBadArgs;
@@ -100,6 +122,10 @@ int main(int argc, char** argv) {
   sigaddset(&sigs, SIGINT);
   pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
 
+  // The library defaults to silent; the daemon is a long-running service
+  // and speaks structured JSON on stderr (FINEHMM_LOG still overrides).
+  obs::set_log_level(obs::parse_log_level(log_level));
+
   try {
     server::SearchServer srv(cfg);
     for (const std::string& path : db_paths) {
@@ -115,7 +141,26 @@ int main(int argc, char** argv) {
     server::TcpListener listener(host, port);
     std::printf("finehmmd: listening on %s:%u\n", host.c_str(),
                 listener.port());
-    std::fflush(stdout);  // scripts scrape the line while we serve
+
+    // The observability endpoint rides a second listener + its own
+    // thread; scrapes never touch the search data plane.
+    std::unique_ptr<server::HttpEndpoint> endpoint;
+    if (metrics) {
+      auto http_listener =
+          std::make_unique<server::TcpListener>(host, metrics_port);
+      std::printf("finehmmd: metrics on %s:%u\n", host.c_str(),
+                  http_listener->port());
+      endpoint = std::make_unique<server::HttpEndpoint>(
+          std::move(http_listener),
+          [&srv](const std::string& path) { return srv.handle_http(path); });
+    }
+    std::fflush(stdout);  // scripts scrape the lines while we serve
+
+    obs::log(obs::LogLevel::kInfo, "server.start",
+             {{"host", host},
+              {"port", static_cast<std::uint64_t>(listener.port())},
+              {"databases", static_cast<std::uint64_t>(srv.database_count())},
+              {"models", static_cast<std::uint64_t>(srv.model_count())}});
 
     if (!pid_file.empty()) {
       std::ofstream pf(pid_file);
@@ -132,6 +177,11 @@ int main(int argc, char** argv) {
 
     srv.serve(listener);  // returns once drained and joined
     watcher.join();
+    // Keep /healthz answering 503 "draining" while in-flight requests
+    // finish; stop only after the data plane has fully drained.
+    if (endpoint) endpoint->stop();
+    obs::log(obs::LogLevel::kInfo, "server.stop",
+             {{"uptime_seconds", srv.uptime_seconds()}});
 
     // Flush telemetry: the final stats snapshot is the daemon's last
     // stdout output, so a supervisor's log ends with the full accounting.

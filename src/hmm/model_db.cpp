@@ -3,11 +3,12 @@
 #include <cstring>
 #include <fstream>
 #include <istream>
-#include <mutex>
 #include <ostream>
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace finehmm::hmm {
 
@@ -109,8 +110,11 @@ std::vector<ModelEntry> read_model_db_file(const std::string& path) {
 }
 
 struct ModelDbReader::Impl {
-  std::ifstream in;
-  std::mutex mutex;  // load() seeks the shared stream; serialize callers
+  /// load() seeks the shared stream; serialize callers.  (Constructor
+  /// access in ModelDbReader's ctor is lock-free by design: the analysis
+  /// exempts ctors, and no other thread can hold a reference yet.)
+  Mutex mutex;
+  std::ifstream in FINEHMM_GUARDED_BY(mutex);
 };
 
 ModelDbReader::ModelDbReader(const std::string& path) : impl_(new Impl) {
@@ -123,7 +127,7 @@ ModelDbReader::~ModelDbReader() { delete impl_; }
 
 ModelEntry ModelDbReader::load(std::size_t index) const {
   FH_REQUIRE(index < offsets_.size(), "model index out of range");
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  MutexLock lock(impl_->mutex);
   impl_->in.clear();
   impl_->in.seekg(static_cast<std::streamoff>(offsets_[index]));
   FH_REQUIRE(impl_->in.good(), "bad record offset in model library");

@@ -22,6 +22,13 @@
 // merge-of-per-thread == global, quantile monotonicity, and the
 // zero-allocation recording path under a counting operator new;
 // tests/test_concurrency.cpp hammers ConcurrentHistogram under TSan.
+//
+// Concurrency contract: this file is deliberately lock-free, so it
+// carries NO capability annotations (docs/static_analysis.md
+// §lock-free).  Histogram is single-writer by contract; in
+// ConcurrentHistogram the relaxed atomics themselves are the
+// synchronization — there is no mutex whose acquisition the
+// thread-safety analysis could check.
 #pragma once
 
 #include <atomic>

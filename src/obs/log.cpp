@@ -5,8 +5,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
-#include <mutex>
 #include <sstream>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace finehmm::obs {
 
@@ -47,8 +49,9 @@ bool env_level_set() {
 }
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kOff)};
-std::ostream* g_sink = nullptr;  // null = stderr
-std::mutex g_sink_mu;            // serializes whole lines across threads
+
+Mutex g_sink_mu;  // serializes whole lines across threads
+std::ostream* g_sink FINEHMM_GUARDED_BY(g_sink_mu) = nullptr;  // null = stderr
 
 using Clock = std::chrono::steady_clock;
 const Clock::time_point g_epoch = Clock::now();
@@ -90,7 +93,7 @@ LogLevel log_level() {
 }
 
 void set_log_sink(std::ostream* sink) {
-  std::lock_guard<std::mutex> lock(g_sink_mu);
+  MutexLock lock(g_sink_mu);
   g_sink = sink;
 }
 
@@ -114,7 +117,7 @@ void log(LogLevel level, const char* event,
   }
   line << "}\n";
 
-  std::lock_guard<std::mutex> lock(g_sink_mu);
+  MutexLock lock(g_sink_mu);
   std::ostream& os = g_sink != nullptr ? *g_sink : std::cerr;
   os << line.str();
   os.flush();

@@ -17,6 +17,13 @@
 //     returns null and every instrumentation site reduces to one
 //     pointer test.  The disabled path performs no heap allocation,
 //     which tests/test_telemetry.cpp measures rather than asserts.
+//
+// Concurrency contract: thread-compatible by partitioning, not by
+// locking — each ThreadLog has exactly one writer (its dense worker id)
+// and is read only after the crew joins, so there is no shared mutable
+// state for a mutex to guard and no capability annotations here
+// (docs/static_analysis.md §lock-free).  The single-writer rule is the
+// invariant; TSan enforces it dynamically in the tsan preset.
 #pragma once
 
 #include <chrono>

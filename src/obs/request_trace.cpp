@@ -49,7 +49,7 @@ std::string trace_id_hex(std::uint64_t trace_id) {
 }
 
 void TraceRing::push(const RequestTrace& trace) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (ring_.size() < capacity_) {
     ring_.push_back(trace);
   } else {
@@ -59,7 +59,7 @@ void TraceRing::push(const RequestTrace& trace) {
 }
 
 std::vector<RequestTrace> TraceRing::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<RequestTrace> out;
   out.reserve(ring_.size());
   // Once full, next_ points at the oldest entry.

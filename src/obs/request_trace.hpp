@@ -25,11 +25,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/recorder.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace finehmm::obs {
 
@@ -65,15 +66,17 @@ class TraceRing {
   explicit TraceRing(std::size_t capacity)
       : capacity_(capacity == 0 ? 1 : capacity) {}
 
-  void push(const RequestTrace& trace);
-  std::vector<RequestTrace> snapshot() const;
+  void push(const RequestTrace& trace) FINEHMM_EXCLUDES(mu_);
+  std::vector<RequestTrace> snapshot() const FINEHMM_EXCLUDES(mu_);
   std::size_t capacity() const { return capacity_; }
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::vector<RequestTrace> ring_;  // grows to capacity_, then wraps
-  std::size_t next_ = 0;            // overwrite cursor once full
+
+  mutable Mutex mu_;
+  /// Grows to capacity_, then wraps (next_ is the overwrite cursor).
+  std::vector<RequestTrace> ring_ FINEHMM_GUARDED_BY(mu_);
+  std::size_t next_ FINEHMM_GUARDED_BY(mu_) = 0;
 };
 
 /// Render traces in the Chrome trace_event format (same shape as

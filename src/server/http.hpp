@@ -55,6 +55,10 @@ class HttpEndpoint {
  private:
   void serve_loop();
 
+  // No mutex: listener_ and handler_ are set once in the constructor and
+  // never mutated; stop() tears down via Listener::close(), which is
+  // itself safe from any thread (transport contract).  Nothing here for
+  // a capability annotation to guard (docs/static_analysis.md).
   std::unique_ptr<Listener> listener_;
   HttpHandler handler_;
   std::thread thread_;

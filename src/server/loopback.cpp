@@ -10,7 +10,7 @@ namespace detail {
 
 bool ByteChannel::write(const void* data, std::size_t n) {
   const std::uint8_t* src = static_cast<const std::uint8_t*>(data);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (closed_) return false;
   bytes_.insert(bytes_.end(), src, src + n);
   cv_.notify_all();
@@ -18,8 +18,8 @@ bool ByteChannel::write(const void* data, std::size_t n) {
 }
 
 std::size_t ByteChannel::read(void* buf, std::size_t n) {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return !bytes_.empty() || closed_; });
+  MutexLock lock(mu_);
+  while (bytes_.empty() && !closed_) cv_.wait(mu_);
   if (bytes_.empty()) return 0;  // closed and drained
   const std::size_t take = std::min(n, bytes_.size());
   std::uint8_t* dst = static_cast<std::uint8_t*>(buf);
@@ -31,7 +31,7 @@ std::size_t ByteChannel::read(void* buf, std::size_t n) {
 }
 
 void ByteChannel::close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   closed_ = true;
   cv_.notify_all();
 }
@@ -72,12 +72,13 @@ class LoopbackConnection final : public Connection {
 }  // namespace
 
 struct LoopbackHub::State {
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
   // Fully-wired server endpoints waiting for accept().
-  std::deque<std::unique_ptr<Connection>> pending;
-  bool closed = false;
-  bool listener_taken = false;
+  std::deque<std::unique_ptr<Connection>> pending FINEHMM_GUARDED_BY(mu);
+  bool closed FINEHMM_GUARDED_BY(mu) = false;
+  bool listener_taken FINEHMM_GUARDED_BY(mu) = false;
+
+  CondVar cv;
 };
 
 namespace {
@@ -90,9 +91,9 @@ class LoopbackListener final : public Listener {
   ~LoopbackListener() override { close(); }
 
   std::unique_ptr<Connection> accept() override {
-    std::unique_lock<std::mutex> lock(state_->mu);
-    state_->cv.wait(lock,
-                    [&] { return !state_->pending.empty() || state_->closed; });
+    MutexLock lock(state_->mu);
+    while (state_->pending.empty() && !state_->closed)
+      state_->cv.wait(state_->mu);
     if (state_->pending.empty()) return nullptr;
     std::unique_ptr<Connection> conn = std::move(state_->pending.front());
     state_->pending.pop_front();
@@ -100,7 +101,7 @@ class LoopbackListener final : public Listener {
   }
 
   void close() override {
-    std::lock_guard<std::mutex> lock(state_->mu);
+    MutexLock lock(state_->mu);
     state_->closed = true;
     state_->cv.notify_all();
   }
@@ -114,14 +115,14 @@ class LoopbackListener final : public Listener {
 LoopbackHub::LoopbackHub() : state_(std::make_shared<State>()) {}
 
 LoopbackHub::~LoopbackHub() {
-  std::lock_guard<std::mutex> lock(state_->mu);
+  MutexLock lock(state_->mu);
   state_->closed = true;
   state_->cv.notify_all();
 }
 
 std::unique_ptr<Listener> LoopbackHub::listener() {
   {
-    std::lock_guard<std::mutex> lock(state_->mu);
+    MutexLock lock(state_->mu);
     FH_REQUIRE(!state_->listener_taken, "loopback listener already taken");
     state_->listener_taken = true;
   }
@@ -134,7 +135,7 @@ std::unique_ptr<Connection> LoopbackHub::connect() {
   auto server_end = std::make_unique<LoopbackConnection>(c2s, s2c);
   auto client_end = std::make_unique<LoopbackConnection>(s2c, c2s);
   {
-    std::lock_guard<std::mutex> lock(state_->mu);
+    MutexLock lock(state_->mu);
     if (state_->closed) return nullptr;
     state_->pending.push_back(std::move(server_end));
     state_->cv.notify_one();

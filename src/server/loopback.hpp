@@ -8,14 +8,14 @@
 // bytes through a kernel socket but follows these channels natively).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "server/transport.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace finehmm::server {
 
@@ -25,15 +25,16 @@ namespace detail {
 /// blocking reads.  Closing either end wakes blocked readers.
 class ByteChannel {
  public:
-  bool write(const void* data, std::size_t n);
-  std::size_t read(void* buf, std::size_t n);
-  void close();
+  bool write(const void* data, std::size_t n) FINEHMM_EXCLUDES(mu_);
+  std::size_t read(void* buf, std::size_t n) FINEHMM_EXCLUDES(mu_);
+  void close() FINEHMM_EXCLUDES(mu_);
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::uint8_t> bytes_;
-  bool closed_ = false;
+  Mutex mu_;
+  std::deque<std::uint8_t> bytes_ FINEHMM_GUARDED_BY(mu_);
+  bool closed_ FINEHMM_GUARDED_BY(mu_) = false;
+
+  CondVar cv_;
 };
 
 }  // namespace detail

@@ -109,7 +109,7 @@ std::size_t SearchServer::add_model_library(const std::string& fhpdb_path) {
 
 void SearchServer::serve(Listener& listener) {
   {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(state_mu_);
     FH_REQUIRE(listener_ == nullptr, "serve() is already running");
     listener_ = &listener;
     if (draining_) listener.close();  // drained before we even started
@@ -123,10 +123,10 @@ void SearchServer::serve(Listener& listener) {
     auto session = std::make_shared<Session>();
     session->conn = std::move(conn);
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++stats_.connections_accepted;
     }
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(state_mu_);
     sessions_.push_back(session);
     conn_threads_.emplace_back(
         [this, session] { handle_connection(session); });
@@ -142,7 +142,7 @@ void SearchServer::serve(Listener& listener) {
   // and join the per-connection threads.
   std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(state_mu_);
     for (const std::weak_ptr<Session>& weak : sessions_)
       if (std::shared_ptr<Session> s = weak.lock()) s->conn->shutdown();
     threads.swap(conn_threads_);
@@ -150,12 +150,12 @@ void SearchServer::serve(Listener& listener) {
   }
   for (std::thread& t : threads) t.join();
 
-  std::lock_guard<std::mutex> lock(state_mu_);
+  MutexLock lock(state_mu_);
   listener_ = nullptr;
 }
 
 void SearchServer::begin_drain() {
-  std::lock_guard<std::mutex> lock(state_mu_);
+  MutexLock lock(state_mu_);
   if (!draining_)
     obs::log(obs::LogLevel::kInfo, "server.drain_begin",
              {{"queue_depth", static_cast<std::uint64_t>(queue_.size())}});
@@ -166,12 +166,12 @@ void SearchServer::begin_drain() {
 }
 
 bool SearchServer::draining() const {
-  std::lock_guard<std::mutex> lock(state_mu_);
+  MutexLock lock(state_mu_);
   return draining_;
 }
 
 void SearchServer::set_paused(bool paused) {
-  std::lock_guard<std::mutex> lock(state_mu_);
+  MutexLock lock(state_mu_);
   if (draining_) return;  // drain overrides: never re-freeze a drain
   paused_ = paused;
   pause_cv_.notify_all();
@@ -182,7 +182,7 @@ void SearchServer::set_paused(bool paused) {
 bool SearchServer::send_reply(Session& session, MsgType type,
                               std::uint32_t request_id,
                               const std::vector<std::uint8_t>& payload) {
-  std::lock_guard<std::mutex> lock(session.write_mu);
+  MutexLock lock(session.write_mu);
   return send_frame(*session.conn, type, request_id, payload);
 }
 
@@ -200,7 +200,7 @@ void SearchServer::handle_connection(const std::shared_ptr<Session>& session) {
     if (st == RecvStatus::kMalformed) {
       // Unframeable bytes: this connection cannot be re-synchronized, so
       // it closes — the server itself keeps running (tested).
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++stats_.frames_malformed;
       break;
     }
@@ -241,7 +241,7 @@ void SearchServer::handle_search(const std::shared_ptr<Session>& session,
     // The framing layer consumed the whole payload, so the connection is
     // still in sync — answer with an error and keep serving it.
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++stats_.requests_bad;
     }
     send_error(*session, id, ErrorCode::kBadRequest, e.what());
@@ -250,7 +250,7 @@ void SearchServer::handle_search(const std::shared_ptr<Session>& session,
 
   if (draining()) {
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++stats_.requests_rejected_draining;
     }
     send_error(*session, id, ErrorCode::kShuttingDown,
@@ -260,7 +260,7 @@ void SearchServer::handle_search(const std::shared_ptr<Session>& session,
 
   if (req.db_id >= dbs_.size()) {
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++stats_.requests_bad;
     }
     send_error(*session, id, ErrorCode::kUnknownDatabase,
@@ -286,7 +286,7 @@ void SearchServer::handle_search(const std::shared_ptr<Session>& session,
       auto it = models_.find(req.model_name);
       if (it == models_.end()) {
         {
-          std::lock_guard<std::mutex> lock(stats_mu_);
+          MutexLock lock(stats_mu_);
           ++stats_.requests_bad;
         }
         send_error(*session, id, ErrorCode::kUnknownModel,
@@ -301,7 +301,7 @@ void SearchServer::handle_search(const std::shared_ptr<Session>& session,
     }
   } catch (const Error& e) {
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++stats_.requests_bad;
     }
     send_error(*session, id, ErrorCode::kBadRequest,
@@ -315,7 +315,7 @@ void SearchServer::handle_search(const std::shared_ptr<Session>& session,
     // Admission bound hit (or drain closed the queue between the check
     // above and here): shed explicitly, never block the client.
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++stats_.requests_overloaded;
     }
     // A shed storm is one warn per second, not one per shed request.
@@ -332,7 +332,7 @@ void SearchServer::handle_search(const std::shared_ptr<Session>& session,
                    static_cast<std::uint32_t>(queue_.capacity())}));
     return;
   }
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   ++stats_.requests_admitted;
 }
 
@@ -345,7 +345,7 @@ void SearchServer::handle_scan(const std::shared_ptr<Session>& session,
     req = decode_scan_request(frame.payload);
   } catch (const ProtocolError& e) {
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++stats_.requests_bad;
     }
     send_error(*session, id, ErrorCode::kBadRequest, e.what());
@@ -354,7 +354,7 @@ void SearchServer::handle_scan(const std::shared_ptr<Session>& session,
 
   if (draining()) {
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++stats_.requests_rejected_draining;
     }
     send_error(*session, id, ErrorCode::kShuttingDown,
@@ -364,7 +364,7 @@ void SearchServer::handle_scan(const std::shared_ptr<Session>& session,
 
   if (req.db_id >= dbs_.size()) {
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++stats_.requests_bad;
     }
     send_error(*session, id, ErrorCode::kUnknownDatabase,
@@ -374,7 +374,7 @@ void SearchServer::handle_scan(const std::shared_ptr<Session>& session,
 
   if (scan_searches_.empty()) {
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++stats_.requests_bad;
     }
     send_error(*session, id, ErrorCode::kUnknownModel,
@@ -398,7 +398,7 @@ void SearchServer::handle_scan(const std::shared_ptr<Session>& session,
   pending->admitted_at = SteadyClock::now();
   if (!queue_.try_push(pending)) {
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++stats_.requests_overloaded;
     }
     static obs::LogRateLimit overload_limit(1);
@@ -414,7 +414,7 @@ void SearchServer::handle_scan(const std::shared_ptr<Session>& session,
                    static_cast<std::uint32_t>(queue_.capacity())}));
     return;
   }
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   ++stats_.requests_admitted;
   ++stats_.scan_requests;
 }
@@ -425,8 +425,10 @@ void SearchServer::scheduler_loop() {
   std::vector<std::shared_ptr<Pending>> batch;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(state_mu_);
-      pause_cv_.wait(lock, [&] { return !paused_; });
+      // Explicit wait loop (not a lambda predicate) so the guarded
+      // paused_ read stays inside this annotated function.
+      MutexLock lock(state_mu_);
+      while (paused_) pause_cv_.wait(state_mu_);
     }
 
     std::shared_ptr<Pending> first;
@@ -463,7 +465,7 @@ void SearchServer::scheduler_loop() {
     }
 
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++stats_.batches;
       stats_.max_batch_size =
           std::max<std::uint64_t>(stats_.max_batch_size, batch.size());
@@ -483,7 +485,7 @@ void SearchServer::run_batch(std::vector<std::shared_ptr<Pending>>& batch) {
   for (std::shared_ptr<Pending>& p : batch) {
     if (p->has_deadline && now > p->deadline) {
       {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        MutexLock lock(stats_mu_);
         ++stats_.requests_deadline_expired;
       }
       send_error(*p->session, p->request_id, ErrorCode::kDeadlineExpired,
@@ -509,7 +511,7 @@ void SearchServer::run_batch(std::vector<std::shared_ptr<Pending>>& batch) {
           searches, db.view(), pool_, &db.schedule, &recorder_);
     } catch (const Error& e) {
       {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        MutexLock lock(stats_mu_);
         stats_.requests_failed += group.size();
       }
       for (const auto& p : group)
@@ -524,7 +526,7 @@ void SearchServer::run_batch(std::vector<std::shared_ptr<Pending>>& batch) {
     // client that reads STATS right after its result already sees the
     // sweep it rode in (test_server leans on this ordering too).
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++stats_.db_sweeps;
     }
     merge_batch_telemetry(scan.telemetry);
@@ -544,7 +546,7 @@ void SearchServer::run_batch(std::vector<std::shared_ptr<Pending>>& batch) {
       // Completion is accounted before the reply leaves, for the same
       // reason; only responses_dropped (needs the send outcome) lags.
       {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        MutexLock lock(stats_mu_);
         ++stats_.requests_completed;
       }
       const auto serialize_start = SteadyClock::now();
@@ -552,7 +554,7 @@ void SearchServer::run_batch(std::vector<std::shared_ptr<Pending>>& batch) {
           send_reply(*group[i]->session, MsgType::kResult,
                      group[i]->request_id, encode_search_result(wire));
       if (!sent) {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        MutexLock lock(stats_mu_);
         ++stats_.responses_dropped;
       }
       finish_request_trace(*group[i], "SEARCH", sweep_start, sweep_end,
@@ -592,7 +594,7 @@ void SearchServer::run_scans(
                                               &*scan_plan_, &recorder_);
   } catch (const Error& e) {
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       stats_.requests_failed += group.size();
     }
     for (const auto& p : group)
@@ -604,7 +606,7 @@ void SearchServer::run_scans(
   const auto sweep_end = SteadyClock::now();
 
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     ++stats_.scan_sweeps;
     stats_.scan_models_scored += searches.size();
     // Mirror the (scheduler-owned) plan into stats so /statusz and
@@ -635,14 +637,14 @@ void SearchServer::run_scans(
       wire.models.push_back(std::move(mh));
     }
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++stats_.requests_completed;
     }
     const auto serialize_start = SteadyClock::now();
     const bool sent = send_reply(*p->session, MsgType::kScanResult,
                                  p->request_id, encode_scan_result(wire));
     if (!sent) {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++stats_.responses_dropped;
     }
     finish_request_trace(*p, "SCAN", sweep_start, sweep_end,
@@ -654,7 +656,7 @@ void SearchServer::run_scans(
 // --- Observability -----------------------------------------------------
 
 void SearchServer::merge_batch_telemetry(const obs::ScanTelemetry& t) {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   telemetry_.sequences += t.sequences;
   telemetry_.residues += t.residues;
   telemetry_.wall_seconds += t.wall_seconds;
@@ -688,12 +690,12 @@ void SearchServer::merge_batch_telemetry(const obs::ScanTelemetry& t) {
 }
 
 ServerStats SearchServer::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   return stats_;
 }
 
 obs::ScanTelemetry SearchServer::telemetry() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   return telemetry_;
 }
 
@@ -807,7 +809,7 @@ std::string SearchServer::stats_json() const {
   ServerStats s;
   obs::ScanTelemetry t;
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     s = stats_;
     t = telemetry_;
   }
@@ -866,7 +868,7 @@ std::string SearchServer::metrics_text() const {
   ServerStats s;
   obs::ScanTelemetry t;
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     s = stats_;
     t = telemetry_;
   }
@@ -946,7 +948,7 @@ std::string SearchServer::metrics_text() const {
 std::string SearchServer::statusz_text() const {
   ServerStats s;
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     s = stats_;
   }
   std::uint64_t db_seqs = 0, db_residues = 0;

@@ -33,11 +33,9 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -54,6 +52,8 @@
 #include "server/http.hpp"
 #include "server/transport.hpp"
 #include "util/mpmc_queue.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/threadpool.hpp"
 
 namespace finehmm::server {
@@ -142,22 +142,22 @@ class SearchServer {
   /// frames with kShuttingDown, finish everything already admitted.
   /// Idempotent; safe from any thread (finehmmd calls it from its
   /// signal-watcher thread).
-  void begin_drain();
-  bool draining() const;
+  void begin_drain() FINEHMM_EXCLUDES(state_mu_);
+  bool draining() const FINEHMM_EXCLUDES(state_mu_);
 
   /// Test hook: freeze/release the scheduler so tests can stage the
   /// admission queue deterministically.  begin_drain() releases a pause.
-  void set_paused(bool paused);
+  void set_paused(bool paused) FINEHMM_EXCLUDES(state_mu_);
 
   // --- Observability --------------------------------------------------
-  ServerStats stats() const;
+  ServerStats stats() const FINEHMM_EXCLUDES(stats_mu_);
   /// Batch telemetry aggregated across every coalesced sweep so far
   /// (engine "server"; the `batch.sweeps` / `batch.queries` counters on
   /// the msv stage make coalescing observable).
-  obs::ScanTelemetry telemetry() const;
+  obs::ScanTelemetry telemetry() const FINEHMM_EXCLUDES(stats_mu_);
   /// The STATS verb's payload ("finehmm.server_stats.v2"): ServerStats +
   /// latency histogram quantiles + recent request traces + telemetry.
-  std::string stats_json() const;
+  std::string stats_json() const FINEHMM_EXCLUDES(stats_mu_);
 
   /// Always-on latency snapshots in nanoseconds: end-to-end
   /// (admission -> reply written), queue wait, and sweep time.
@@ -196,11 +196,16 @@ class SearchServer {
     }
   };
 
-  /// One client connection.  The connection thread is the only reader;
-  /// replies (from it or the scheduler) serialize on write_mu.
+  /// One client connection.  The connection thread is the only reader
+  /// of conn (so conn itself needs no guard — a contract, not a lock);
+  /// replies (from it or the scheduler) serialize on write_mu.  On the
+  /// registered lock order (docs/static_analysis.md) write_mu sits
+  /// below state_mu_: serve() holds state_mu_ while calling
+  /// conn->shutdown(), which never takes write_mu.
   struct Session {
     std::unique_ptr<Connection> conn;
-    std::mutex write_mu;
+
+    Mutex write_mu;
   };
 
   /// An admitted search waiting for (or riding in) a coalesced sweep.
@@ -223,20 +228,32 @@ class SearchServer {
     std::chrono::steady_clock::time_point popped_at;
   };
 
-  void handle_connection(const std::shared_ptr<Session>& session);
+  void handle_connection(const std::shared_ptr<Session>& session)
+      FINEHMM_EXCLUDES(stats_mu_);
   void handle_search(const std::shared_ptr<Session>& session,
-                     const Frame& frame);
+                     const Frame& frame)
+      FINEHMM_EXCLUDES(state_mu_, stats_mu_);
   void handle_scan(const std::shared_ptr<Session>& session,
-                   const Frame& frame);
-  void scheduler_loop();
-  void run_batch(std::vector<std::shared_ptr<Pending>>& batch);
+                   const Frame& frame)
+      FINEHMM_EXCLUDES(state_mu_, stats_mu_);
+  void scheduler_loop() FINEHMM_EXCLUDES(state_mu_, stats_mu_);
+  /// The coalescer's sweep path: runs with NO server lock held — the
+  /// sweep blocks for milliseconds and replies re-enter per-session
+  /// write_mu; holding state_mu_ or stats_mu_ across it would stall
+  /// drain and every observability read.
+  void run_batch(std::vector<std::shared_ptr<Pending>>& batch)
+      FINEHMM_EXCLUDES(state_mu_, stats_mu_);
   void run_scans(std::uint32_t db_id,
-                 const std::vector<std::shared_ptr<Pending>>& group);
+                 const std::vector<std::shared_ptr<Pending>>& group)
+      FINEHMM_EXCLUDES(state_mu_, stats_mu_);
   bool send_reply(Session& session, MsgType type, std::uint32_t request_id,
-                  const std::vector<std::uint8_t>& payload);
+                  const std::vector<std::uint8_t>& payload)
+      FINEHMM_EXCLUDES(session.write_mu);
   void send_error(Session& session, std::uint32_t request_id, ErrorCode code,
-                  const std::string& message);
-  void merge_batch_telemetry(const obs::ScanTelemetry& t);
+                  const std::string& message)
+      FINEHMM_EXCLUDES(session.write_mu);
+  void merge_batch_telemetry(const obs::ScanTelemetry& t)
+      FINEHMM_EXCLUDES(stats_mu_);
   /// Complete one request's trace: compute its spans from the sweep
   /// timing + its share of the batch's stage busy time, record the
   /// latency histograms, push the ring, and emit the slow-request log.
@@ -262,17 +279,20 @@ class SearchServer {
   std::vector<std::string> scan_names_;
   std::optional<hmm::FusePlan> scan_plan_;
 
-  mutable std::mutex state_mu_;  // draining_, paused_, listener_, sessions_
-  std::condition_variable pause_cv_;
-  bool draining_ = false;
-  bool paused_ = false;
-  Listener* listener_ = nullptr;
-  std::vector<std::weak_ptr<Session>> sessions_;
-  std::vector<std::thread> conn_threads_;
+  /// Lifecycle lock (order 1 of the registry in docs/static_analysis.md:
+  /// acquired before every other server lock).
+  mutable Mutex state_mu_;
+  bool draining_ FINEHMM_GUARDED_BY(state_mu_) = false;
+  bool paused_ FINEHMM_GUARDED_BY(state_mu_) = false;
+  Listener* listener_ FINEHMM_GUARDED_BY(state_mu_) = nullptr;
+  std::vector<std::weak_ptr<Session>> sessions_ FINEHMM_GUARDED_BY(state_mu_);
+  std::vector<std::thread> conn_threads_ FINEHMM_GUARDED_BY(state_mu_);
 
-  mutable std::mutex stats_mu_;  // stats_ and telemetry_
-  ServerStats stats_;
-  obs::ScanTelemetry telemetry_;
+  CondVar pause_cv_;  // signals paused_ edges; waited on under state_mu_
+
+  mutable Mutex stats_mu_;
+  ServerStats stats_ FINEHMM_GUARDED_BY(stats_mu_);
+  obs::ScanTelemetry telemetry_ FINEHMM_GUARDED_BY(stats_mu_);
 
   // Always-on observability.  Histograms record in nanoseconds via
   // relaxed atomic adds (lock-free, zero allocation); the trace ring is

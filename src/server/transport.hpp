@@ -11,8 +11,10 @@
 //   * send_all / recv_some may be called concurrently with shutdown()
 //     from another thread; shutdown() unblocks both and is idempotent.
 //   * A Connection is used by at most one reader thread and one writer
-//     thread at a time (the server serializes writers with a per-
-//     connection mutex above this layer).
+//     thread at a time (the server serializes writers with the per-
+//     connection Session::write_mu capability above this layer — see
+//     docs/static_analysis.md for the capability model; this interface
+//     itself is lock-free and carries no capability annotations).
 #pragma once
 
 #include <cstddef>

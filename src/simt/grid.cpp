@@ -1,8 +1,8 @@
 #include "simt/grid.hpp"
 
-#include <mutex>
-
 #include "util/error.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/threadpool.hpp"
 
 namespace finehmm::simt {
@@ -17,7 +17,7 @@ PerfCounters launch_grid(const DeviceSpec& dev, const LaunchConfig& cfg,
 
   WorkQueue queue(0, n_items);
   PerfCounters total;
-  std::mutex merge_mutex;
+  Mutex merge_mutex;  // guards total (locals can't carry GUARDED_BY)
 
   // Shared pool across launches would be nicer; a per-launch pool keeps the
   // API free of global state and costs microseconds.
@@ -42,7 +42,7 @@ PerfCounters launch_grid(const DeviceSpec& dev, const LaunchConfig& cfg,
         block_counters.sequences += 1;
       }
     }
-    std::lock_guard<std::mutex> lock(merge_mutex);
+    MutexLock lock(merge_mutex);
     total.merge(block_counters);
   };
 

@@ -18,6 +18,13 @@
 //
 //   while (q.pop_wait(item, 50ms) != PopStatus::kClosed) { ... }
 //
+// Concurrency contract (compiler-enforced on Clang, see
+// docs/static_analysis.md): every piece of ring state is GUARDED_BY
+// mutex_; pop_locked REQUIRES it; the public entry points are EXCLUDES —
+// calling them with mutex_ already held would self-deadlock, and on the
+// registered lock order (docs/static_analysis.md §registry) this queue's
+// mutex nests INSIDE SearchServer::state_mu_ and never the other way.
+//
 // Checked-build invariants (util/check.hpp, on under the sanitizer
 // presets): occupancy never exceeds capacity, pops never outrun pushes,
 // and every pop hands out the oldest queued item (global FIFO order,
@@ -25,14 +32,14 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "util/check.hpp"
 #include "util/error.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace finehmm {
 
@@ -59,28 +66,28 @@ class BoundedMpmcQueue {
   };
 
   explicit BoundedMpmcQueue(std::size_t capacity)
-      : ring_(capacity) {
+      : capacity_(capacity), ring_(capacity) {
     FH_REQUIRE(capacity >= 1, "queue capacity must be at least 1");
     FINEHMM_IF_CHECKS(tickets_.resize(capacity);)
   }
 
-  std::size_t capacity() const noexcept { return ring_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
 
   /// Non-blocking push; false when the ring is full or the queue closed.
-  bool try_push(const T& item) {
+  bool try_push(const T& item) FINEHMM_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (closed_ || count_ == ring_.size()) {
+      MutexLock lock(mutex_);
+      if (closed_ || count_ == capacity_) {
         ++stats_.push_failures;
         return false;
       }
-      const std::size_t slot = (head_ + count_) % ring_.size();
+      const std::size_t slot = (head_ + count_) % capacity_;
       ring_[slot] = item;
       FINEHMM_IF_CHECKS(tickets_[slot] = next_push_ticket_++;)
       ++count_;
       ++stats_.pushes;
       if (count_ > stats_.max_depth) stats_.max_depth = count_;
-      FINEHMM_CHECK(count_ <= ring_.size(),
+      FINEHMM_CHECK(count_ <= capacity_,
                     "queue occupancy exceeded its capacity");
     }
     cv_.notify_one();
@@ -88,8 +95,8 @@ class BoundedMpmcQueue {
   }
 
   /// Non-blocking pop; false when the ring is empty.
-  bool try_pop(T& out) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool try_pop(T& out) FINEHMM_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     if (count_ == 0) return false;
     pop_locked(out);
     return true;
@@ -99,12 +106,13 @@ class BoundedMpmcQueue {
   /// kTimeout when the queue stayed empty past `timeout` (still open),
   /// or kClosed once the queue is closed and every accepted item has
   /// been handed out.  Items queued before close() are still delivered.
-  PopStatus pop_wait(T& out, std::chrono::milliseconds timeout) {
-    std::unique_lock<std::mutex> lock(mutex_);
+  PopStatus pop_wait(T& out, std::chrono::milliseconds timeout)
+      FINEHMM_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     const auto deadline = std::chrono::steady_clock::now() + timeout;
     while (count_ == 0) {
       if (closed_) return PopStatus::kClosed;
-      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      if (cv_.wait_until(mutex_, deadline) == std::cv_status::timeout) {
         if (count_ != 0) break;  // raced with a push at the deadline
         return closed_ ? PopStatus::kClosed : PopStatus::kTimeout;
       }
@@ -116,42 +124,42 @@ class BoundedMpmcQueue {
   /// Close the queue: all future try_push calls fail, and once the ring
   /// drains, pop_wait returns kClosed instead of blocking.  Idempotent;
   /// wakes every waiting consumer.
-  void close() {
+  void close() FINEHMM_EXCLUDES(mutex_) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
     cv_.notify_all();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool closed() const FINEHMM_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return closed_;
   }
 
-  bool empty() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool empty() const FINEHMM_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return count_ == 0;
   }
 
   /// Instantaneous occupancy (items accepted and not yet popped) — the
   /// server's /statusz queue-depth gauge.
-  std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t size() const FINEHMM_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return count_;
   }
 
   /// Snapshot of the lifetime counters.
-  Stats stats() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    FINEHMM_CHECK(stats_.max_depth <= ring_.size(),
+  Stats stats() const FINEHMM_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    FINEHMM_CHECK(stats_.max_depth <= capacity_,
                   "queue high-water mark exceeded its capacity");
     return stats_;
   }
 
  private:
   /// Hand out the oldest item.  Caller holds the mutex; count_ > 0.
-  void pop_locked(T& out) {
+  void pop_locked(T& out) FINEHMM_REQUIRES(mutex_) {
     out = ring_[head_];
     ring_[head_] = T();  // release owning payloads (e.g. shared_ptr) eagerly
     // FIFO visibility: the item handed out must be the oldest accepted
@@ -159,25 +167,29 @@ class BoundedMpmcQueue {
     FINEHMM_CHECK(tickets_[head_] == next_pop_ticket_,
                   "queue FIFO order violated");
     FINEHMM_IF_CHECKS(++next_pop_ticket_;)
-    head_ = (head_ + 1) % ring_.size();
+    head_ = (head_ + 1) % capacity_;
     --count_;
     ++stats_.pops;
     FINEHMM_CHECK(stats_.pops <= stats_.pushes,
                   "queue handed out more items than it accepted");
   }
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::vector<T> ring_;
-  std::size_t head_ = 0;
-  std::size_t count_ = 0;
-  bool closed_ = false;
-  Stats stats_;
+  /// Fixed at construction; readable without the lock (capacity()).
+  const std::size_t capacity_;
+
+  mutable Mutex mutex_;
+  std::vector<T> ring_ FINEHMM_GUARDED_BY(mutex_);
+  std::size_t head_ FINEHMM_GUARDED_BY(mutex_) = 0;
+  std::size_t count_ FINEHMM_GUARDED_BY(mutex_) = 0;
+  bool closed_ FINEHMM_GUARDED_BY(mutex_) = false;
+  Stats stats_ FINEHMM_GUARDED_BY(mutex_);
 #if FINEHMM_CHECKS_ENABLED
-  std::vector<std::uint64_t> tickets_;  // push serial per occupied slot
-  std::uint64_t next_push_ticket_ = 0;
-  std::uint64_t next_pop_ticket_ = 0;
+  std::vector<std::uint64_t> tickets_ FINEHMM_GUARDED_BY(mutex_);
+  std::uint64_t next_push_ticket_ FINEHMM_GUARDED_BY(mutex_) = 0;
+  std::uint64_t next_pop_ticket_ FINEHMM_GUARDED_BY(mutex_) = 0;
 #endif
+
+  CondVar cv_;
 };
 
 }  // namespace finehmm

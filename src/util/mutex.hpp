@@ -1,0 +1,118 @@
+// The annotated mutex wrapper every lock-bearing component uses.
+//
+// std::mutex carries no capability metadata, so Clang's thread-safety
+// analysis cannot reason about it.  util::Mutex is a zero-cost wrapper
+// (one std::mutex member, all methods inline forwards) whose lock/unlock
+// surface is annotated with the capability attributes from
+// util/thread_annotations.hpp; util::MutexLock is the RAII holder the
+// codebase uses instead of std::lock_guard, and util::CondVar replaces
+// std::condition_variable with waits that are REQUIRES-annotated against
+// the wrapped mutex (the wait releases and reacquires internally; the
+// capability is held at entry and at exit, which is exactly what the
+// analysis needs to keep checking guarded accesses around the wait).
+//
+// Raw std::mutex / std::lock_guard / std::condition_variable are banned
+// everywhere else under src/ by the `raw-mutex` lint rule
+// (tools/finehmm_lint, docs/static_analysis.md) — this file is the one
+// sanctioned exception.
+//
+// Style (docs/static_analysis.md has the full guide):
+//   * every member a mutex guards is declared directly after it and
+//     carries FINEHMM_GUARDED_BY(that_mutex) — the `guarded-by` lint
+//     rule enforces the adjacency;
+//   * private helpers called with the lock held are FINEHMM_REQUIRES;
+//   * public methods that take the lock themselves are FINEHMM_EXCLUDES
+//     where self-deadlock is plausible (re-entry, callbacks);
+//   * condition waits are explicit `while (!pred) cv.wait(mu);` loops so
+//     the guarded predicate reads stay inside the annotated function
+//     (lambda predicates are analyzed as separate unannotated functions
+//     and would escape the contract).
+#pragma once
+
+// finehmm-lint: allow-file(raw-mutex) -- this IS the sanctioned wrapper
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace finehmm {
+
+/// A std::mutex with a capability the analysis can track.  Same cost,
+/// same semantics; BasicLockable, so it still composes with std library
+/// helpers where needed (inside this file only).
+class FINEHMM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() FINEHMM_ACQUIRE() { raw_.lock(); }
+  void unlock() FINEHMM_RELEASE() { raw_.unlock(); }
+  bool try_lock() FINEHMM_TRY_ACQUIRE(true) { return raw_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex raw_;
+};
+
+/// RAII holder: the std::lock_guard replacement.  Scoped-capability
+/// annotated, so the analysis knows the capability is held from
+/// construction to end of scope (including early returns).
+class FINEHMM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) FINEHMM_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() FINEHMM_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to util::Mutex.  wait()/wait_until() carry
+/// FINEHMM_REQUIRES(mu): the caller holds mu at entry, the wait
+/// atomically releases it while blocking and reacquires before
+/// returning, so the caller's guarded accesses on both sides of the
+/// call remain valid under the same capability.  notify_one/notify_all
+/// need no capability (notifying without the lock is legal and the
+/// codebase does it deliberately after dropping write scopes).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) FINEHMM_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.raw_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();  // ownership stays with the caller's MutexLock
+  }
+
+  template <class Clock, class Duration>
+  std::cv_status wait_until(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      FINEHMM_REQUIRES(mu) {
+    std::unique_lock<std::mutex> native(mu.raw_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(native, deadline);
+    native.release();
+    return status;
+  }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(Mutex& mu,
+                          const std::chrono::duration<Rep, Period>& timeout)
+      FINEHMM_REQUIRES(mu) {
+    return wait_until(mu, std::chrono::steady_clock::now() + timeout);
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace finehmm

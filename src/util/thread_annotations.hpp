@@ -1,0 +1,105 @@
+// Clang thread-safety capability annotations (compiler-enforced
+// concurrency contracts).
+//
+// The daemon's locking discipline — which mutex guards which state,
+// which functions may/must hold which locks, where a lock is dropped to
+// run a callback — used to live in comments ("// stats_ and telemetry_")
+// that TSan could only falsify when a test happened to schedule the bad
+// interleaving.  These macros turn that discipline into declarations the
+// compiler checks on EVERY build: Clang's -Wthread-safety analysis
+// (enabled automatically in all Clang configurations, promoted to an
+// error under FINEHMM_WERROR) rejects a guarded read without the lock,
+// an unbalanced acquire/release, or a callback invoked with a lock the
+// contract excludes.  See docs/static_analysis.md for the capability
+// model and the annotation style guide.
+//
+// On non-Clang compilers every macro expands to nothing, so GCC builds
+// are byte-identical to before the rollout (tests/test_thread_annotations
+// compile-asserts this).  The annotated util::Mutex / util::MutexLock /
+// util::CondVar wrappers live in util/mutex.hpp; raw std::mutex is
+// banned outside that wrapper by the `raw-mutex` lint rule.
+#pragma once
+
+// Attribute spelling gate: Clang defines the thread-safety attributes;
+// everything else gets an empty expansion.  SWIG and other tooling that
+// chokes on GNU attributes is excluded the same way abseil does it.
+#if defined(__clang__) && !defined(SWIG)
+#define FINEHMM_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define FINEHMM_THREAD_ANNOTATION_(x)
+#endif
+
+// --- Data annotations ---------------------------------------------------
+
+/// The declared variable is protected by capability `x`: reads require
+/// `x` held (shared or exclusive), writes require it exclusively.
+#define FINEHMM_GUARDED_BY(x) FINEHMM_THREAD_ANNOTATION_(guarded_by(x))
+
+/// The data POINTED TO by the declared pointer is protected by `x` (the
+/// pointer itself may be read freely).
+#define FINEHMM_PT_GUARDED_BY(x) FINEHMM_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Declared lock-order edges between capability members; the registry
+/// table in docs/static_analysis.md is the authoritative total order
+/// (machine-checked by the `lock-order` lint rule).
+#define FINEHMM_ACQUIRED_BEFORE(...) \
+  FINEHMM_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define FINEHMM_ACQUIRED_AFTER(...) \
+  FINEHMM_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+// --- Type annotations ---------------------------------------------------
+
+/// The annotated class is a capability (a lock).  `x` names the kind in
+/// diagnostics, conventionally "mutex".
+#define FINEHMM_CAPABILITY(x) FINEHMM_THREAD_ANNOTATION_(capability(x))
+
+/// The annotated class is an RAII holder of a capability (its
+/// constructor acquires, its destructor releases).
+#define FINEHMM_SCOPED_CAPABILITY FINEHMM_THREAD_ANNOTATION_(scoped_lockable)
+
+// --- Function annotations -----------------------------------------------
+
+/// Caller must hold the named capabilities (exclusively) at entry, and
+/// still holds them at exit.  This is also the contract for a
+/// condition-variable wait: the wait releases and reacquires internally,
+/// but from the caller's (and the analysis') point of view the lock is
+/// held across the call.
+#define FINEHMM_REQUIRES(...) \
+  FINEHMM_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define FINEHMM_REQUIRES_SHARED(...) \
+  FINEHMM_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability (must not be held at entry,
+/// held at exit).  No-argument form on a member: acquires `this`.
+#define FINEHMM_ACQUIRE(...) \
+  FINEHMM_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// The function releases the capability (held at entry, not at exit).
+#define FINEHMM_RELEASE(...) \
+  FINEHMM_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `b`.
+#define FINEHMM_TRY_ACQUIRE(...) \
+  FINEHMM_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the named capabilities: the function acquires
+/// them itself (self-deadlock fence), or invokes callbacks/blocking
+/// work that must run lock-free — e.g. the coalescer's sweep path,
+/// which must never be entered with the server's state lock held.
+#define FINEHMM_EXCLUDES(...) \
+  FINEHMM_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Assert (at runtime, for the analysis' benefit) that the capability
+/// is held — for code reachable only from holders the analysis can't
+/// see through (e.g. a callback contractually invoked under the lock).
+#define FINEHMM_ASSERT_CAPABILITY(x) \
+  FINEHMM_THREAD_ANNOTATION_(assert_capability(x))
+
+/// The function returns a reference to the named capability.
+#define FINEHMM_RETURN_CAPABILITY(x) \
+  FINEHMM_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disable the analysis for one function.  Every use must
+/// carry a comment saying why the contract cannot be expressed.
+#define FINEHMM_NO_THREAD_SAFETY_ANALYSIS \
+  FINEHMM_THREAD_ANNOTATION_(no_thread_safety_analysis)

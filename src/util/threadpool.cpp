@@ -4,6 +4,9 @@
 #include <atomic>
 #include <exception>
 
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
 namespace finehmm {
 
 namespace {
@@ -24,23 +27,24 @@ class CompletionLatch {
  public:
   explicit CompletionLatch(std::size_t expected) : remaining_(expected) {}
 
-  void count_down() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void count_down() FINEHMM_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     // Notify while still holding the lock: a notify after unlock would
     // touch the condition variable after the waiter may have destroyed
     // this latch.
     if (--remaining_ == 0) cv_.notify_all();
   }
 
-  void wait() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this] { return remaining_ == 0; });
+  void wait() FINEHMM_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    while (remaining_ != 0) cv_.wait(mutex_);
   }
 
  private:
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::size_t remaining_;
+  Mutex mutex_;
+  std::size_t remaining_ FINEHMM_GUARDED_BY(mutex_);
+
+  CondVar cv_;
 };
 
 }  // namespace
@@ -57,7 +61,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -68,8 +72,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stop_ && tasks_.empty()) cv_.wait(mutex_);
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -87,7 +91,7 @@ void ThreadPool::parallel_for_chunked(
   std::atomic<std::size_t> cursor{0};
   std::atomic<std::size_t> next_worker{0};
   std::exception_ptr first_error = nullptr;
-  std::mutex error_mutex;
+  Mutex error_mutex;  // guards first_error (locals can't carry GUARDED_BY)
 
   std::size_t n_workers = workers_.size() + 1;  // pool + calling thread
   const std::size_t n_chunks = (count + chunk - 1) / chunk;
@@ -105,7 +109,7 @@ void ThreadPool::parallel_for_chunked(
       try {
         fn(worker, begin, end);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
+        MutexLock lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
     }
@@ -113,7 +117,7 @@ void ThreadPool::parallel_for_chunked(
   };
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (std::size_t i = 0; i + 1 < n_workers; ++i) tasks_.push(body);
   }
   cv_.notify_all();
@@ -130,7 +134,7 @@ void ThreadPool::run_workers(
 
   std::atomic<std::size_t> next_worker{0};
   std::exception_ptr first_error = nullptr;
-  std::mutex error_mutex;
+  Mutex error_mutex;  // guards first_error (locals can't carry GUARDED_BY)
   CompletionLatch done(n);
 
   auto task = [&] {
@@ -139,14 +143,14 @@ void ThreadPool::run_workers(
     try {
       body(worker);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(error_mutex);
+      MutexLock lock(error_mutex);
       if (!first_error) first_error = std::current_exception();
     }
     done.count_down();
   };
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (std::size_t i = 0; i + 1 < n; ++i) tasks_.push(task);
   }
   cv_.notify_all();
@@ -164,7 +168,7 @@ void ThreadPool::parallel_for(std::size_t count,
   // still balances.
   std::atomic<std::size_t> next{0};
   std::exception_ptr first_error = nullptr;
-  std::mutex error_mutex;
+  Mutex error_mutex;  // guards first_error (locals can't carry GUARDED_BY)
 
   std::size_t n_workers = workers_.size();
   if (n_workers > count) n_workers = count;
@@ -178,7 +182,7 @@ void ThreadPool::parallel_for(std::size_t count,
       try {
         fn(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
+        MutexLock lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
     }
@@ -186,7 +190,7 @@ void ThreadPool::parallel_for(std::size_t count,
   };
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     // n_workers - 1 tasks for the pool; the calling thread also works.
     for (std::size_t i = 0; i + 1 < n_workers; ++i) tasks_.push(body);
   }

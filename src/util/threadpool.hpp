@@ -3,15 +3,22 @@
 // The SIMT grid launcher uses this to execute thread-blocks concurrently on
 // the host.  On a single-core machine it degrades gracefully to serial
 // execution (the pool still provides correct semantics).
+//
+// Concurrency contract: mutex_ guards the task queue and the stop flag;
+// the blocking entry points are EXCLUDES(mutex_) — they enqueue under the
+// lock, then participate in the work themselves, and must never be
+// entered with the pool lock already held (the enqueued bodies would
+// deadlock against it).  See docs/static_analysis.md.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace finehmm {
 
@@ -30,7 +37,8 @@ class ThreadPool {
   /// Blocks until every index completed.  Exceptions from fn propagate to
   /// the caller (first one wins).
   void parallel_for(std::size_t count,
-                    const std::function<void(std::size_t)>& fn);
+                    const std::function<void(std::size_t)>& fn)
+      FINEHMM_EXCLUDES(mutex_);
 
   /// Dynamic chunked scheduling: workers repeatedly grab the next `chunk`
   /// indices from a shared atomic cursor and call
@@ -47,7 +55,8 @@ class ThreadPool {
   void parallel_for_chunked(
       std::size_t count, std::size_t chunk,
       const std::function<void(std::size_t worker, std::size_t begin,
-                               std::size_t end)>& fn);
+                               std::size_t end)>& fn)
+      FINEHMM_EXCLUDES(mutex_);
 
   /// Upper bound on the `worker` ids parallel_for_chunked passes to fn
   /// (pool threads + the participating caller).
@@ -60,16 +69,21 @@ class ThreadPool {
   /// producer/consumer crew on.  n is clamped to [1, workers()].  Blocks
   /// until every body returned; exceptions propagate (first one wins).
   void run_workers(std::size_t n,
-                   const std::function<void(std::size_t worker)>& body);
+                   const std::function<void(std::size_t worker)>& body)
+      FINEHMM_EXCLUDES(mutex_);
 
  private:
   void worker_loop();
 
+  /// Worker threads: written only by the constructor, joined by the
+  /// destructor; size() reads are safe once construction completes.
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+
+  Mutex mutex_;
+  std::queue<std::function<void()>> tasks_ FINEHMM_GUARDED_BY(mutex_);
+  bool stop_ FINEHMM_GUARDED_BY(mutex_) = false;
+
+  CondVar cv_;
 };
 
 }  // namespace finehmm

@@ -1,0 +1,33 @@
+// Positive control for tests/compile_fail/thread_safety_violation.cpp:
+// the same Account shape with the locking done correctly.  This TU MUST
+// compile cleanly under
+//   clang++ -fsyntax-only -Wthread-safety -Werror=thread-safety
+// (the test_thread_safety_control ctest), proving the negative test
+// fails because the analysis caught the violations — not because the
+// include paths, the wrapper, or the flags are broken.
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+class Account {
+ public:
+  void deposit(int v) FINEHMM_EXCLUDES(mu_) {
+    finehmm::MutexLock lock(mu_);
+    balance_ += v;
+  }
+
+  int audit() FINEHMM_REQUIRES(mu_) { return balance_; }
+  int audit_locked() FINEHMM_EXCLUDES(mu_) {
+    finehmm::MutexLock lock(mu_);
+    return audit();
+  }
+
+ private:
+  finehmm::Mutex mu_;
+  int balance_ FINEHMM_GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Account a;
+  a.deposit(1);
+  return a.audit_locked();
+}

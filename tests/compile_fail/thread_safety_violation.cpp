@@ -1,0 +1,38 @@
+// Negative compile test: this TU MUST FAIL to compile under
+//   clang++ -fsyntax-only -Wthread-safety -Werror=thread-safety
+// (the test_thread_safety_violations ctest runs exactly that and is
+// registered WILL_FAIL).  If it ever compiles on Clang, the capability
+// annotations have stopped being enforced — the macros expand to
+// nothing, the wrapper lost its attributes, or the warning flag was
+// dropped.  tests/compile_fail/thread_safety_control.cpp is the
+// positive control: the same shape with correct locking, which must
+// compile, so the pair distinguishes "analysis caught the bug" from
+// "the TU is broken for an unrelated reason".
+//
+// Never add this directory to a build target: the files are compiled
+// only by the dedicated ctest entries in tests/CMakeLists.txt.
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+class Account {
+ public:
+  // VIOLATION 1: writes the guarded balance without holding mu_.
+  void deposit_unlocked(int v) { balance_ += v; }
+
+  // VIOLATION 2: claims to need mu_ but the caller below never takes it.
+  int audit() FINEHMM_REQUIRES(mu_) { return balance_; }
+  int audit_caller() { return audit(); }
+
+  // VIOLATION 3: acquires mu_ and returns without releasing it.
+  void leak_lock() FINEHMM_EXCLUDES(mu_) { mu_.lock(); }
+
+ private:
+  finehmm::Mutex mu_;
+  int balance_ FINEHMM_GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Account a;
+  a.deposit_unlocked(1);
+  return a.audit_caller();
+}

@@ -1,0 +1,14 @@
+// Lint fixture: suppressions that no longer suppress anything.  Both
+// the allow-file() below (this is not a kernel file, so kernel-heap can
+// never fire here) and the allow() further down (the volatile it once
+// covered is gone) must be reported STALE by --list-suppressions and
+// the stale-suppression warning; the self-test asserts exactly these
+// two and nothing else.  Must produce ZERO findings.
+// finehmm-lint: allow-file(kernel-heap) -- stale on purpose
+#include <atomic>
+
+int tidy_counter() {
+  static std::atomic<int> n{0};
+  // finehmm-lint: allow(raw-atomics) -- stale on purpose
+  return n.fetch_add(1, std::memory_order_relaxed);
+}

@@ -1,0 +1,7 @@
+// Lint fixture: the tokenizer must resynchronize after a raw string
+// literal — the mentions of banned constructs INSIDE the literal are
+// not findings, but the real violation AFTER it still is.  Expected:
+// 1 x [raw-atomics].
+const char* kDecoy =
+    R"({"note": "volatile std::mutex _mm_add_epi8( cells / elapsed_s"})";
+volatile int racy_flag = 0;

@@ -1,0 +1,15 @@
+// Lint fixture: raw string literals — plain, custom-delimiter,
+// multi-line, and prefixed — whose CONTENTS mention banned constructs.
+// A per-line scanner without raw-string support would flag all of
+// these; the tokenizer must produce ZERO findings here.
+const char* plain = R"(volatile __sync_fetch_and_add std::mutex)";
+const char* custom = R"delim(
+  _mm_add_epi8(x, y); __m256i v; std::lock_guard<std::mutex> g(m);
+  double r = cells / elapsed_s;  throw;
+)delim";
+const char* prefixed = u8R"(std::condition_variable cv; volatile int x;)";
+// An ordinary identifier ending in R followed by a string is NOT a raw
+// string; the quote below must terminate normally.
+const char* not_raw = "plain string with ) quote stays balanced";
+
+int after_all_literals() { return 0; }

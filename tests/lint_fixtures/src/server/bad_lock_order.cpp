@@ -1,0 +1,34 @@
+// Lint fixture: lexically nested MutexLock acquisitions that break the
+// declared lock-order registry (the fixture registry lives in
+// tests/lint_fixtures/docs/static_analysis.md: alpha_mu_ = rank 1,
+// beta_mu_ = rank 2).  Expected: 2 x [lock-order].
+
+// Correct order (rank 1 before rank 2): must NOT be flagged.
+void good_nesting(Mutex& alpha_mu_, Mutex& beta_mu_) {
+  MutexLock outer(alpha_mu_);
+  {
+    MutexLock inner(beta_mu_);
+  }
+}
+
+// Inversion: beta (rank 2) held while taking alpha (rank 1).
+void bad_inversion(Mutex& alpha_mu_, Mutex& beta_mu_) {
+  MutexLock outer(beta_mu_);
+  MutexLock inner(alpha_mu_);
+}
+
+// Nesting a mutex the registry does not even name.
+void bad_unregistered(Mutex& alpha_mu_, Mutex& rogue_mu_) {
+  MutexLock outer(alpha_mu_);
+  MutexLock inner(rogue_mu_);
+}
+
+// Sequential (non-nested) acquisitions in any order are fine.
+void good_sequential(Mutex& alpha_mu_, Mutex& beta_mu_) {
+  {
+    MutexLock only(beta_mu_);
+  }
+  {
+    MutexLock only(alpha_mu_);
+  }
+}

@@ -1,0 +1,24 @@
+// Lint fixture: raw standard-library mutex primitives outside the
+// annotated util::Mutex capability wrapper.  The thread-safety
+// analysis cannot see locks taken through std::mutex directly, so the
+// whole family is banned (docs/static_analysis.md).  Expected:
+// 4 x [raw-mutex].
+#include <condition_variable>
+#include <mutex>
+
+class BadRawMutex {
+ public:
+  void touch() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++value_;
+  }
+  void wait_ready() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock);
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int value_ = 0;
+};

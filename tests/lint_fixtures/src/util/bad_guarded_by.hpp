@@ -1,0 +1,31 @@
+// Lint fixture: members declared directly after a `Mutex m;` member
+// (its adjacency group) without a FINEHMM_GUARDED_BY annotation.  The
+// group ends at a blank line or access specifier; CondVar and function
+// declarations are exempt.  Expected: 2 x [guarded-by].
+#pragma once
+
+class BadGuarded {
+ public:
+  void tick();
+  int peek() const;
+
+ private:
+  Mutex mu_;
+  int guarded_ok_ FINEHMM_GUARDED_BY(mu_) = 0;
+  // A comment between members does not end the adjacency group.
+  int missing_annotation_ = 0;
+  CondVar cv_;
+  long also_missing_;
+  void helper_decl_is_exempt() const;
+
+  int after_blank_line_ok_ = 0;
+};
+
+namespace fixture_ns {
+
+Mutex g_fixture_mu;
+int g_guarded FINEHMM_GUARDED_BY(g_fixture_mu) = 0;
+
+int g_unrelated_after_blank = 0;
+
+}  // namespace fixture_ns

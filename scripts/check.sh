@@ -17,6 +17,10 @@
 #   --preset P    one named preset only (default|asan|ubsan|tsan)
 #   --server-smoke  build the default preset, then run only the daemon's
 #                 TCP end-to-end smoke (scripts/server_smoke.sh)
+#   --cluster-smoke  build the default preset, then run only the sharded
+#                 cluster's TCP end-to-end smoke (scripts/cluster_smoke.sh:
+#                 fsqdb_shard + 2 workers + finehmm_clusterd, merged tblout
+#                 byte-identical to an unsharded scan)
 #   --bench-diff  build the default preset, regenerate BENCH_throughput
 #                 into the build tree, and diff it against the committed
 #                 one (tools/bench_diff; BENCH_DIFF_THRESHOLD overrides
@@ -87,6 +91,11 @@ case "${1:-}" in
     run cmake --build --preset default -j "$(nproc)"
     run bash scripts/server_smoke.sh build/tools build/examples
     ;;
+  --cluster-smoke)
+    run cmake --preset default
+    run cmake --build --preset default -j "$(nproc)"
+    run bash scripts/cluster_smoke.sh build/tools build/examples
+    ;;
   --bench-diff)
     run cmake --preset default
     run cmake --build --preset default -j "$(nproc)"
@@ -107,7 +116,7 @@ case "${1:-}" in
     ;;
   *)
     echo "check.sh: unknown mode '$1'" \
-         "(--fast|--lint|--static|--preset P|--server-smoke|--bench-diff|--all)" >&2
+         "(--fast|--lint|--static|--preset P|--server-smoke|--cluster-smoke|--bench-diff|--all)" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,176 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the sharded finehmmd cluster over real TCP, wired
+# into ctest and scripts/check.sh --cluster-smoke (docs/cluster.md).
+#
+# Builds a demo model and a packed database with the example tools,
+# splits the database into two residue-balanced shards with fsqdb_shard,
+# starts one finehmmd shard worker per shard file (announcing its shard
+# role in the PONG handshake) and finehmm_clusterd in front of them,
+# then proves the cluster contract: the coordinator's merged tblout is
+# BYTE-IDENTICAL to a direct unsharded hmmsearch_tool scan of the source
+# database, the STATS verb answers the finehmm.cluster_stats.v1 schema,
+# /metrics exports the per-shard cluster families, and a SIGTERM drains
+# coordinator and workers cleanly (stats flushed, pid files removed,
+# exit 0 everywhere).
+set -euo pipefail
+
+TOOLS_DIR=${1:?usage: cluster_smoke.sh <tools-bin-dir> <examples-bin-dir>}
+EXAMPLES_DIR=${2:?usage: cluster_smoke.sh <tools-bin-dir> <examples-bin-dir>}
+WORK=$(mktemp -d)
+WORKER0_PID=""
+WORKER1_PID=""
+COORD_PID=""
+cleanup() {
+  for pid in "$COORD_PID" "$WORKER0_PID" "$WORKER1_PID"; do
+    [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+  done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Scrape "<name>: listening on 127.0.0.1:PORT" from a daemon log once it
+# appears (the daemons print the kernel-picked port before serving).
+wait_port() { # <log> <pid> <pattern> -> port
+  local log=$1 pid=$2 pattern=$3
+  for _ in $(seq 1 100); do
+    grep -q "$pattern" "$log" 2>/dev/null && break
+    kill -0 "$pid" 2>/dev/null || {
+      echo "daemon died during startup" >&2; cat "$log" >&2; exit 1; }
+    sleep 0.1
+  done
+  sed -n "s/.*$pattern 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p" "$log" | head -n1
+}
+
+echo "== stage a model and a packed database =="
+"$EXAMPLES_DIR/hmmbuild_tool" --demo "$WORK/model.hmm" > /dev/null
+"$EXAMPLES_DIR/hmmemit_tool" "$WORK/model.hmm" 24 "$WORK/homologs.fasta"
+"$EXAMPLES_DIR/seqconvert_tool" "$WORK/homologs.fasta" "$WORK/db.fsqdb"
+
+echo "== shard the database (2 residue-balanced shards + manifest) =="
+mkdir "$WORK/shards"
+"$TOOLS_DIR/fsqdb_shard" --shards 2 --out "$WORK/shards" "$WORK/db.fsqdb" \
+  > "$WORK/shard.log"
+grep -q "wrote 2 shards" "$WORK/shard.log"
+[ -f "$WORK/shards/shard.0.fsqdb" ]
+[ -f "$WORK/shards/shard.1.fsqdb" ]
+grep -q "finehmm.shard_manifest.v1" "$WORK/shards/shard.manifest.json"
+
+echo "== start one finehmmd shard worker per shard file =="
+"$TOOLS_DIR/finehmmd" --port 0 --threads 2 --shard-id 0 \
+  "$WORK/shards/shard.0.fsqdb" > "$WORK/worker0.log" 2>&1 &
+WORKER0_PID=$!
+"$TOOLS_DIR/finehmmd" --port 0 --threads 2 --shard-id 1 \
+  "$WORK/shards/shard.1.fsqdb" > "$WORK/worker1.log" 2>&1 &
+WORKER1_PID=$!
+PORT0=$(wait_port "$WORK/worker0.log" "$WORKER0_PID" "listening on")
+PORT1=$(wait_port "$WORK/worker1.log" "$WORKER1_PID" "listening on")
+[ -n "$PORT0" ] && [ -n "$PORT1" ] || {
+  echo "no worker port scraped"; cat "$WORK"/worker*.log; exit 1; }
+echo "shard workers at 127.0.0.1:$PORT0 and 127.0.0.1:$PORT1"
+
+echo "== start finehmm_clusterd in front of them =="
+"$TOOLS_DIR/finehmm_clusterd" --manifest "$WORK/shards/shard.manifest.json" \
+  --shard "127.0.0.1:$PORT0" --shard "127.0.0.1:$PORT1" \
+  --port 0 --metrics-port 0 --pid-file "$WORK/c.pid" \
+  > "$WORK/coord.log" 2>&1 &
+COORD_PID=$!
+CPORT=$(wait_port "$WORK/coord.log" "$COORD_PID" "listening on")
+[ -n "$CPORT" ] || { echo "no coordinator port"; cat "$WORK/coord.log"; exit 1; }
+METRICS_PORT=$(wait_port "$WORK/coord.log" "$COORD_PID" "metrics on")
+[ -n "$METRICS_PORT" ] || {
+  echo "no metrics port"; cat "$WORK/coord.log"; exit 1; }
+ADDR="127.0.0.1:$CPORT"
+grep -q "2/2 shards answered the probe" "$WORK/coord.log" || {
+  echo "coordinator probe did not reach both shards"
+  cat "$WORK/coord.log"; exit 1; }
+echo "coordinator at $ADDR, metrics at 127.0.0.1:$METRICS_PORT"
+grep -qx "$COORD_PID" "$WORK/c.pid"
+
+# Plain-python HTTP GET (no curl dependency in CI containers).
+http_get() {
+  python3 -c 'import sys, urllib.request
+print(urllib.request.urlopen(sys.argv[1], timeout=10).read().decode(), end="")' \
+    "http://127.0.0.1:$METRICS_PORT$1"
+}
+
+echo "== ping (coordinator answers the shared wire protocol) =="
+"$TOOLS_DIR/finehmm_client" "$ADDR" --ping | grep -qx pong
+
+echo "== merged scatter-gather search is byte-identical to unsharded =="
+"$EXAMPLES_DIR/hmmsearch_tool" --tblout "$WORK/local.tbl" \
+  "$WORK/model.hmm" "$WORK/db.fsqdb" > /dev/null
+"$TOOLS_DIR/finehmm_client" "$ADDR" --tblout "$WORK/cluster.tbl" \
+  "$WORK/model.hmm" > /dev/null 2> "$WORK/client.err"
+cmp "$WORK/local.tbl" "$WORK/cluster.tbl" || {
+  echo "coordinator tblout differs from the direct unsharded scan"
+  diff "$WORK/local.tbl" "$WORK/cluster.tbl" || true; exit 1; }
+grep -q "trace_id 0x" "$WORK/client.err" || {
+  echo "coordinator reply carried no trace id"; cat "$WORK/client.err"; exit 1; }
+
+echo "== hmmsearch_tool --connect routes through the coordinator =="
+"$EXAMPLES_DIR/hmmsearch_tool" --connect "$ADDR" \
+  --tblout "$WORK/cluster2.tbl" "$WORK/model.hmm" > /dev/null
+cmp "$WORK/local.tbl" "$WORK/cluster2.tbl" || {
+  echo "hmmsearch_tool --connect tblout differs from the direct scan"
+  exit 1; }
+
+echo "== STATS answers the cluster schema =="
+"$TOOLS_DIR/finehmm_client" "$ADDR" --stats-json > "$WORK/stats.json"
+grep -q "finehmm.cluster_stats.v1" "$WORK/stats.json"
+grep -q '"merged_ok"' "$WORK/stats.json"
+grep -q '"straggler"' "$WORK/stats.json"
+grep -q '"shards"' "$WORK/stats.json"
+python3 - "$WORK/stats.json" <<'PY'
+import json, sys
+s = json.load(open(sys.argv[1]))
+assert s["schema"] == "finehmm.cluster_stats.v1", s.get("schema")
+assert s["shard_count"] == 2, s["shard_count"]
+assert s["merged_ok"] >= 2, s["merged_ok"]
+assert len(s["shards"]) == 2, s["shards"]
+for shard in s["shards"]:
+    assert shard["healthy"], shard
+    assert shard["ok"] >= 2, shard
+print("cluster stats: merged_ok", s["merged_ok"],
+      "across", len(s["shards"]), "healthy shards")
+PY
+
+echo "== /metrics exports the cluster families =="
+http_get /metrics > "$WORK/metrics.txt"
+for want in "finehmm_cluster_up 1" \
+            "finehmm_cluster_shards 2" \
+            "finehmm_cluster_shards_healthy 2" \
+            "finehmm_cluster_straggler_seconds" \
+            'finehmm_cluster_shard_latency_seconds{shard="1"' \
+            'finehmm_cluster_events_total{event="merged_ok"}'; do
+  grep -qF "$want" "$WORK/metrics.txt" || {
+    echo "missing from /metrics: $want"; cat "$WORK/metrics.txt"; exit 1; }
+done
+http_get /healthz | grep -qx "ok"
+http_get /statusz | grep -q "finehmm_clusterd status"
+
+echo "== SIGTERM drains the coordinator cleanly =="
+kill -TERM "$COORD_PID"
+rc=0; wait "$COORD_PID" || rc=$?
+COORD_PID=""
+[ "$rc" -eq 0 ] || { echo "coordinator exited $rc after SIGTERM, want 0"
+  cat "$WORK/coord.log"; exit 1; }
+grep -q "finehmm.cluster_stats.v1" "$WORK/coord.log" || {
+  echo "drained coordinator did not flush its stats"
+  cat "$WORK/coord.log"; exit 1; }
+grep -q "drained, bye" "$WORK/coord.log"
+[ ! -f "$WORK/c.pid" ] || { echo "pid file survived the drain"; exit 1; }
+
+echo "== SIGTERM drains both shard workers cleanly =="
+for pid_var in WORKER0_PID WORKER1_PID; do
+  pid=${!pid_var}
+  kill -TERM "$pid"
+  rc=0; wait "$pid" || rc=$?
+  [ "$rc" -eq 0 ] || { echo "worker exited $rc after SIGTERM, want 0"
+    cat "$WORK"/worker*.log; exit 1; }
+done
+WORKER0_PID=""
+WORKER1_PID=""
+grep -q "drained, bye" "$WORK/worker0.log"
+grep -q "drained, bye" "$WORK/worker1.log"
+
+echo "ALL CLUSTER SMOKE TESTS PASSED"

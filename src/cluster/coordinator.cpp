@@ -1,0 +1,483 @@
+#include "cluster/coordinator.hpp"
+
+#include <chrono>
+#include <sstream>
+
+#include "obs/log.hpp"
+#include "obs/request_trace.hpp"
+#include "util/error.hpp"
+
+namespace finehmm::cluster {
+
+using server::decode_ping;
+using server::decode_scan_request;
+using server::decode_search_request;
+using server::ErrorCode;
+using server::ErrorInfo;
+using server::Frame;
+using server::MsgType;
+using server::PingInfo;
+using server::ProtocolError;
+using server::RecvStatus;
+
+namespace {
+
+std::uint64_t elapsed_ns(std::chrono::steady_clock::time_point since) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+/// One latency surface as JSON, seconds — the same quantile math as
+/// /metrics so the two surfaces agree on p99 (pattern from server.cpp).
+void write_hist_json(std::ostream& os, const obs::Histogram& h) {
+  const obs::LatencyQuantiles q = obs::latency_quantiles(h);
+  os << "{\"count\": " << q.count
+     << ", \"sum_seconds\": " << static_cast<double>(q.sum) * 1e-9
+     << ", \"p50_seconds\": " << static_cast<double>(q.p50) * 1e-9
+     << ", \"p90_seconds\": " << static_cast<double>(q.p90) * 1e-9
+     << ", \"p99_seconds\": " << static_cast<double>(q.p99) * 1e-9
+     << ", \"p999_seconds\": " << static_cast<double>(q.p999) * 1e-9
+     << ", \"max_seconds\": " << static_cast<double>(h.max()) * 1e-9 << "}";
+}
+
+/// One latency surface as a Prometheus summary family; `labels` is the
+/// pre-rendered label set ("" or "shard=\"3\"").
+void write_hist_prometheus(std::ostream& os, const char* name,
+                           const std::string& labels,
+                           const obs::Histogram& h) {
+  const obs::LatencyQuantiles q = obs::latency_quantiles(h);
+  const std::string sep = labels.empty() ? "" : ",";
+  const std::pair<const char*, std::uint64_t> quantiles[] = {
+      {"0.5", q.p50}, {"0.9", q.p90}, {"0.99", q.p99}, {"0.999", q.p999}};
+  for (const auto& [quantile, value] : quantiles)
+    os << name << "{" << labels << sep << "quantile=\"" << quantile << "\"} "
+       << static_cast<double>(value) * 1e-9 << "\n";
+  os << name << "_sum" << (labels.empty() ? "" : "{" + labels + "}") << " "
+     << static_cast<double>(q.sum) * 1e-9 << "\n";
+  os << name << "_count" << (labels.empty() ? "" : "{" + labels + "}") << " "
+     << q.count << "\n";
+}
+
+}  // namespace
+
+ClusterCoordinator::ClusterCoordinator(ClusterConfig cfg, ConnectFn connect)
+    : client_(std::move(cfg), std::move(connect)) {}
+
+ClusterCoordinator::~ClusterCoordinator() { begin_drain(); }
+
+void ClusterCoordinator::serve(server::Listener& listener) {
+  {
+    MutexLock lock(state_mu_);
+    FH_REQUIRE(listener_ == nullptr, "serve() is already running");
+    listener_ = &listener;
+    if (draining_) listener.close();  // drained before we even started
+  }
+
+  for (;;) {
+    std::unique_ptr<server::Connection> conn = listener.accept();
+    if (!conn) break;  // listener closed: drain has begun
+    auto session = std::make_shared<Session>();
+    session->conn = std::move(conn);
+    {
+      MutexLock lock(stats_mu_);
+      ++stats_.connections_accepted;
+    }
+    MutexLock lock(state_mu_);
+    sessions_.push_back(session);
+    conn_threads_.emplace_back(
+        [this, session] { handle_connection(session); });
+  }
+
+  // Unblock idle connections and join.  In-flight scatters finish on
+  // their own (shard legs carry deadlines); shutdown() only fails the
+  // next recv/send on this side.
+  std::vector<std::thread> threads;
+  {
+    MutexLock lock(state_mu_);
+    for (const std::weak_ptr<Session>& weak : sessions_)
+      if (std::shared_ptr<Session> s = weak.lock()) s->conn->shutdown();
+    threads.swap(conn_threads_);
+    sessions_.clear();
+  }
+  for (std::thread& t : threads) t.join();
+
+  MutexLock lock(state_mu_);
+  listener_ = nullptr;
+}
+
+void ClusterCoordinator::begin_drain() {
+  MutexLock lock(state_mu_);
+  if (!draining_)
+    obs::log(obs::LogLevel::kInfo, "cluster.drain_begin",
+             {{"shards", static_cast<std::uint64_t>(client_.shard_count())}});
+  draining_ = true;
+  if (listener_ != nullptr) listener_->close();
+}
+
+bool ClusterCoordinator::draining() const {
+  MutexLock lock(state_mu_);
+  return draining_;
+}
+
+double ClusterCoordinator::uptime_seconds() const {
+  return static_cast<double>(elapsed_ns(start_time_)) * 1e-9;
+}
+
+CoordinatorStats ClusterCoordinator::stats() const {
+  MutexLock lock(stats_mu_);
+  return stats_;
+}
+
+void ClusterCoordinator::send_error(Session& session,
+                                    std::uint32_t request_id, ErrorCode code,
+                                    const std::string& message) {
+  send_frame(*session.conn, MsgType::kError, request_id,
+             encode_error(ErrorInfo{code, message}));
+}
+
+void ClusterCoordinator::handle_connection(
+    const std::shared_ptr<Session>& session) {
+  Frame frame;
+  for (;;) {
+    const RecvStatus st = recv_frame(*session->conn, frame);
+    if (st == RecvStatus::kEof) break;
+    if (st == RecvStatus::kMalformed) {
+      MutexLock lock(stats_mu_);
+      ++stats_.frames_malformed;
+      break;
+    }
+    switch (frame.type()) {
+      case MsgType::kPing: {
+        PingInfo peer;
+        try {
+          peer = decode_ping(frame.payload);
+        } catch (const ProtocolError& e) {
+          send_error(*session, frame.header.request_id,
+                     ErrorCode::kBadRequest, e.what());
+          break;
+        }
+        if (peer.wire_revision != server::kWireRevision) {
+          send_error(*session, frame.header.request_id,
+                     ErrorCode::kVersionMismatch,
+                     "peer wire revision " +
+                         std::to_string(peer.wire_revision) +
+                         " incompatible with " +
+                         std::to_string(server::kWireRevision));
+          break;
+        }
+        PingInfo self;
+        self.role = server::NodeRole::kCoordinator;
+        send_frame(*session->conn, MsgType::kPong, frame.header.request_id,
+                   encode_ping(self));
+        break;
+      }
+      case MsgType::kStats: {
+        const std::string json = stats_json();
+        send_frame(*session->conn, MsgType::kStatsResult,
+                   frame.header.request_id,
+                   std::vector<std::uint8_t>(json.begin(), json.end()));
+        break;
+      }
+      case MsgType::kSearch:
+        handle_search(*session, frame);
+        break;
+      case MsgType::kScan:
+        handle_scan(*session, frame);
+        break;
+      default:
+        send_error(*session, frame.header.request_id, ErrorCode::kBadRequest,
+                   "unexpected message type " +
+                       std::to_string(frame.header.type));
+        break;
+    }
+  }
+  session->conn->shutdown();
+}
+
+void ClusterCoordinator::handle_search(Session& session, const Frame& frame) {
+  const std::uint32_t id = frame.header.request_id;
+  const auto started = std::chrono::steady_clock::now();
+
+  server::SearchRequest req;
+  try {
+    req = decode_search_request(frame.payload);
+  } catch (const ProtocolError& e) {
+    {
+      MutexLock lock(stats_mu_);
+      ++stats_.requests_bad;
+    }
+    send_error(session, id, ErrorCode::kBadRequest, e.what());
+    return;
+  }
+
+  if (draining()) {
+    {
+      MutexLock lock(stats_mu_);
+      ++stats_.requests_rejected_draining;
+    }
+    send_error(session, id, ErrorCode::kShuttingDown,
+               "coordinator is draining; no new searches accepted");
+    return;
+  }
+
+  ClusterSearchResult res = client_.search(req);
+  switch (res.status) {
+    case server::ClientStatus::kOk:
+      res.result.trace_id = obs::next_trace_id();
+      send_frame(*session.conn, MsgType::kResult, id,
+                 encode_search_result(res.result));
+      break;
+    case server::ClientStatus::kOverloaded:
+      send_frame(*session.conn, MsgType::kOverload, id,
+                 encode_overload(res.overload));
+      break;
+    case server::ClientStatus::kError:
+      send_error(session, id, res.error.code, res.error.message);
+      break;
+    case server::ClientStatus::kDisconnected:
+      send_error(session, id, ErrorCode::kInternal,
+                 "no shard answered the scatter");
+      break;
+  }
+  e2e_hist_.record(elapsed_ns(started));
+}
+
+void ClusterCoordinator::handle_scan(Session& session, const Frame& frame) {
+  const std::uint32_t id = frame.header.request_id;
+  const auto started = std::chrono::steady_clock::now();
+
+  server::ScanRequest req;
+  try {
+    req = decode_scan_request(frame.payload);
+  } catch (const ProtocolError& e) {
+    {
+      MutexLock lock(stats_mu_);
+      ++stats_.requests_bad;
+    }
+    send_error(session, id, ErrorCode::kBadRequest, e.what());
+    return;
+  }
+
+  if (draining()) {
+    {
+      MutexLock lock(stats_mu_);
+      ++stats_.requests_rejected_draining;
+    }
+    send_error(session, id, ErrorCode::kShuttingDown,
+               "coordinator is draining; no new scans accepted");
+    return;
+  }
+
+  ClusterScanResult res = client_.scan(req);
+  switch (res.status) {
+    case server::ClientStatus::kOk:
+      res.result.trace_id = obs::next_trace_id();
+      send_frame(*session.conn, MsgType::kScanResult, id,
+                 encode_scan_result(res.result));
+      break;
+    case server::ClientStatus::kOverloaded:
+      send_frame(*session.conn, MsgType::kOverload, id,
+                 encode_overload(res.overload));
+      break;
+    case server::ClientStatus::kError:
+      send_error(session, id, res.error.code, res.error.message);
+      break;
+    case server::ClientStatus::kDisconnected:
+      send_error(session, id, ErrorCode::kInternal,
+                 "no shard answered the scatter");
+      break;
+  }
+  e2e_hist_.record(elapsed_ns(started));
+}
+
+// --- Observability -------------------------------------------------------
+
+std::string ClusterCoordinator::stats_json() const {
+  const CoordinatorStats c = stats();
+  const ClusterStats s = client_.stats();
+  const ShardManifest& m = client_.manifest();
+
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema\": \"finehmm.cluster_stats.v1\",\n";
+  os << "  \"uptime_seconds\": " << uptime_seconds() << ",\n";
+  os << "  \"draining\": " << (draining() ? "true" : "false") << ",\n";
+  os << "  \"shard_count\": " << m.shards.size() << ",\n";
+  os << "  \"total_sequences\": " << m.total_sequences << ",\n";
+  os << "  \"total_residues\": " << m.total_residues << ",\n";
+  os << "  \"connections_accepted\": " << c.connections_accepted << ",\n";
+  os << "  \"requests_bad\": " << c.requests_bad << ",\n";
+  os << "  \"requests_rejected_draining\": " << c.requests_rejected_draining
+     << ",\n";
+  os << "  \"frames_malformed\": " << c.frames_malformed << ",\n";
+  os << "  \"requests\": " << s.requests << ",\n";
+  os << "  \"merged_ok\": " << s.merged_ok << ",\n";
+  os << "  \"coordinator_sheds\": " << s.coordinator_sheds << ",\n";
+  os << "  \"degraded_results\": " << s.degraded_results << ",\n";
+  os << "  \"deadline_expired\": " << s.deadline_expired << ",\n";
+  os << "  \"failures\": " << s.failures << ",\n";
+  os << "  \"latency\": {\n    \"e2e\": ";
+  write_hist_json(os, e2e_hist_.snapshot());
+  os << ",\n    \"straggler\": ";
+  write_hist_json(os, client_.straggler_histogram());
+  os << "\n  },\n";
+  os << "  \"shards\": [";
+  for (std::size_t i = 0; i < s.shards.size(); ++i) {
+    const ShardCounters& sc = s.shards[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"shard\": " << i << ", \"path\": \""
+       << obs::json_escape(m.shards[i].path) << "\", \"seq_base\": "
+       << m.shards[i].seq_base << ", \"sequences\": " << m.shards[i].sequences
+       << ", \"healthy\": " << (sc.healthy ? "true" : "false")
+       << ", \"requests\": " << sc.requests << ", \"ok\": " << sc.ok
+       << ", \"overloaded\": " << sc.overloaded
+       << ", \"errors\": " << sc.errors << ", \"deaths\": " << sc.deaths
+       << ", \"deadline\": " << sc.deadline << ", \"latency\": ";
+    write_hist_json(os, client_.shard_histogram(i));
+    os << "}";
+  }
+  os << (s.shards.empty() ? "" : "\n  ") << "]\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::string ClusterCoordinator::metrics_text() const {
+  const CoordinatorStats c = stats();
+  const ClusterStats s = client_.stats();
+
+  std::size_t healthy = 0;
+  for (const ShardCounters& sc : s.shards)
+    if (sc.healthy) ++healthy;
+
+  std::ostringstream os;
+  os << "# HELP finehmm_cluster_up Whether the coordinator is serving "
+        "(drain flips to 0).\n";
+  os << "# TYPE finehmm_cluster_up gauge\n";
+  os << "finehmm_cluster_up " << (draining() ? 0 : 1) << "\n";
+  os << "# HELP finehmm_cluster_uptime_seconds Seconds since the "
+        "coordinator started.\n";
+  os << "# TYPE finehmm_cluster_uptime_seconds gauge\n";
+  os << "finehmm_cluster_uptime_seconds " << uptime_seconds() << "\n";
+  os << "# HELP finehmm_cluster_shards Shards in the manifest.\n";
+  os << "# TYPE finehmm_cluster_shards gauge\n";
+  os << "finehmm_cluster_shards " << s.shards.size() << "\n";
+  os << "# HELP finehmm_cluster_shards_healthy Shards whose last contact "
+        "succeeded.\n";
+  os << "# TYPE finehmm_cluster_shards_healthy gauge\n";
+  os << "finehmm_cluster_shards_healthy " << healthy << "\n";
+
+  os << "# HELP finehmm_cluster_events_total Monotonic coordinator "
+        "counters by event.\n";
+  os << "# TYPE finehmm_cluster_events_total counter\n";
+  const std::pair<const char*, std::uint64_t> events[] = {
+      {"connections_accepted", c.connections_accepted},
+      {"requests_bad", c.requests_bad},
+      {"requests_rejected_draining", c.requests_rejected_draining},
+      {"frames_malformed", c.frames_malformed},
+      {"requests", s.requests},
+      {"merged_ok", s.merged_ok},
+      {"coordinator_sheds", s.coordinator_sheds},
+      {"degraded_results", s.degraded_results},
+      {"deadline_expired", s.deadline_expired},
+      {"failures", s.failures},
+  };
+  for (const auto& [name, value] : events)
+    os << "finehmm_cluster_events_total{event=\"" << name << "\"} " << value
+       << "\n";
+
+  os << "# HELP finehmm_cluster_shard_events_total Monotonic per-shard "
+        "scatter-leg counters by event.\n";
+  os << "# TYPE finehmm_cluster_shard_events_total counter\n";
+  for (std::size_t i = 0; i < s.shards.size(); ++i) {
+    const ShardCounters& sc = s.shards[i];
+    const std::pair<const char*, std::uint64_t> shard_events[] = {
+        {"requests", sc.requests}, {"ok", sc.ok},
+        {"overloaded", sc.overloaded}, {"errors", sc.errors},
+        {"deaths", sc.deaths}, {"deadline", sc.deadline},
+    };
+    for (const auto& [name, value] : shard_events)
+      os << "finehmm_cluster_shard_events_total{shard=\"" << i
+         << "\",event=\"" << name << "\"} " << value << "\n";
+  }
+
+  os << "# HELP finehmm_cluster_shard_healthy Whether the shard's last "
+        "contact succeeded.\n";
+  os << "# TYPE finehmm_cluster_shard_healthy gauge\n";
+  for (std::size_t i = 0; i < s.shards.size(); ++i)
+    os << "finehmm_cluster_shard_healthy{shard=\"" << i << "\"} "
+       << (s.shards[i].healthy ? 1 : 0) << "\n";
+
+  os << "# HELP finehmm_cluster_request_latency_seconds End-to-end "
+        "coordinator latency (decode to reply written).\n";
+  os << "# TYPE finehmm_cluster_request_latency_seconds summary\n";
+  write_hist_prometheus(os, "finehmm_cluster_request_latency_seconds", "",
+                        e2e_hist_.snapshot());
+  os << "# HELP finehmm_cluster_shard_latency_seconds Per-shard scatter "
+        "leg roundtrip.\n";
+  os << "# TYPE finehmm_cluster_shard_latency_seconds summary\n";
+  for (std::size_t i = 0; i < s.shards.size(); ++i)
+    write_hist_prometheus(os, "finehmm_cluster_shard_latency_seconds",
+                          "shard=\"" + std::to_string(i) + "\"",
+                          client_.shard_histogram(i));
+  os << "# HELP finehmm_cluster_straggler_seconds Max minus min shard "
+        "time per fully-answered request.\n";
+  os << "# TYPE finehmm_cluster_straggler_seconds summary\n";
+  write_hist_prometheus(os, "finehmm_cluster_straggler_seconds", "",
+                        client_.straggler_histogram());
+  return os.str();
+}
+
+std::string ClusterCoordinator::statusz_text() const {
+  const ClusterStats s = client_.stats();
+  const ShardManifest& m = client_.manifest();
+
+  std::ostringstream os;
+  os << "finehmm_clusterd status\n";
+  os << "=======================\n";
+  os << "uptime_seconds:   " << uptime_seconds() << "\n";
+  os << "state:            " << (draining() ? "draining" : "serving") << "\n";
+  os << "database:         " << m.source << " (" << m.total_sequences
+     << " sequences, " << m.total_residues << " residues, "
+     << m.shards.size() << " shards)\n";
+  os << "requests:         " << s.requests << " (" << s.merged_ok << " ok, "
+     << s.coordinator_sheds << " shed, " << s.degraded_results
+     << " degraded, " << s.deadline_expired << " deadline, " << s.failures
+     << " failed)\n";
+  for (std::size_t i = 0; i < s.shards.size(); ++i) {
+    const ShardCounters& sc = s.shards[i];
+    const obs::LatencyQuantiles q =
+        obs::latency_quantiles(client_.shard_histogram(i));
+    os << "shard " << i << ":          "
+       << (sc.healthy ? "healthy" : "UNHEALTHY") << "  ok=" << sc.ok
+       << " overloaded=" << sc.overloaded << " errors=" << sc.errors
+       << " deaths=" << sc.deaths << " deadline=" << sc.deadline
+       << " p99=" << static_cast<double>(q.p99) * 1e-9 << "s\n";
+  }
+  return os.str();
+}
+
+server::HttpResponse ClusterCoordinator::handle_http(
+    const std::string& path) const {
+  server::HttpResponse res;
+  if (path == "/metrics") {
+    res.body = metrics_text();
+    res.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  } else if (path == "/healthz") {
+    if (draining()) {
+      res.status = 503;
+      res.body = "draining\n";
+    } else {
+      res.body = "ok\n";
+    }
+  } else if (path == "/statusz") {
+    res.body = statusz_text();
+  } else {
+    res.status = 404;
+    res.body = "not found\n";
+  }
+  return res;
+}
+
+}  // namespace finehmm::cluster

@@ -1,0 +1,141 @@
+#include "cluster/merge.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "stats/distributions.hpp"
+#include "util/error.hpp"
+
+namespace finehmm::cluster {
+
+namespace {
+
+/// Permutation that visits shard results in manifest order, so every
+/// aggregate below is independent of arrival order.
+std::vector<std::size_t> manifest_order(
+    const std::vector<std::size_t>& shard_indices) {
+  std::vector<std::size_t> order(shard_indices.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return shard_indices[a] < shard_indices[b];
+  });
+  return order;
+}
+
+void add_stage(pipeline::StageStats& into, const pipeline::StageStats& from) {
+  into.n_in += from.n_in;
+  into.n_passed += from.n_passed;
+  into.cells += from.cells;
+}
+
+/// Re-base a shard-local hit into the global index space and apply the
+/// cluster Z exactly once.  For a shard that scored with z_override this
+/// multiply reproduces the identical bits; it also corrects a hit from a
+/// shard that scored at its local Z (same p, same multiply).
+void globalize_hit(pipeline::Hit& h, std::uint64_t seq_base,
+                   std::uint64_t total_z) {
+  h.seq_index += static_cast<std::size_t>(seq_base);
+  h.evalue = stats::evalue(h.pvalue, 0, total_z);
+}
+
+void sort_hits(std::vector<pipeline::Hit>& hits) {
+  // The pipeline's reporting order (pipeline.cpp): total on
+  // (evalue, seq_index), so the merged order is a pure function of the
+  // hit set.
+  std::sort(hits.begin(), hits.end(),
+            [](const pipeline::Hit& a, const pipeline::Hit& b) {
+              return a.evalue != b.evalue ? a.evalue < b.evalue
+                                          : a.seq_index < b.seq_index;
+            });
+}
+
+void check_inputs(std::size_t results, const std::vector<std::size_t>& indices,
+                  const ShardManifest& m) {
+  FH_REQUIRE(results == indices.size(),
+             "merge: one shard index per shard result required");
+  FH_REQUIRE(results >= 1, "merge: need at least one shard result");
+  for (std::size_t idx : indices)
+    FH_REQUIRE(idx < m.shards.size(), "merge: shard index out of range");
+}
+
+}  // namespace
+
+server::SearchResultWire merge_search_results(
+    std::vector<server::SearchResultWire> per_shard,
+    const std::vector<std::size_t>& shard_indices, const ShardManifest& m,
+    double report_evalue) {
+  check_inputs(per_shard.size(), shard_indices, m);
+
+  server::SearchResultWire out;
+  out.db_sequences = m.total_sequences;
+  out.db_residues = m.total_residues;
+  if (per_shard.size() < m.shards.size())
+    out.flags |= server::kResultDegraded;
+
+  for (std::size_t i : manifest_order(shard_indices)) {
+    server::SearchResultWire& r = per_shard[i];
+    const std::uint64_t base = m.shards[shard_indices[i]].seq_base;
+    add_stage(out.ssv, r.ssv);
+    add_stage(out.msv, r.msv);
+    add_stage(out.vit, r.vit);
+    add_stage(out.fwd, r.fwd);
+    add_stage(out.bwd, r.bwd);
+    for (pipeline::Hit& h : r.hits) {
+      globalize_hit(h, base, m.total_sequences);
+      if (h.evalue <= report_evalue) out.hits.push_back(std::move(h));
+    }
+  }
+  sort_hits(out.hits);
+  return out;
+}
+
+server::ScanResultWire merge_scan_results(
+    std::vector<server::ScanResultWire> per_shard,
+    const std::vector<std::size_t>& shard_indices, const ShardManifest& m,
+    double report_evalue) {
+  check_inputs(per_shard.size(), shard_indices, m);
+
+  server::ScanResultWire out;
+  out.db_sequences = m.total_sequences;
+  out.db_residues = m.total_residues;
+  if (per_shard.size() < m.shards.size())
+    out.flags |= server::kResultDegraded;
+
+  const std::vector<std::size_t> order = manifest_order(shard_indices);
+
+  // Every shard serves the same model library; name/order skew means a
+  // mis-deployed shard and a silently wrong merge, so it is fatal.
+  const std::vector<server::ScanModelHits>& first = per_shard[order[0]].models;
+  for (std::size_t i : order) {
+    const auto& models = per_shard[i].models;
+    FH_REQUIRE(models.size() == first.size(),
+               "merge: shards disagree on model library size");
+    for (std::size_t mi = 0; mi < models.size(); ++mi)
+      FH_REQUIRE(models[mi].model_name == first[mi].model_name,
+                 "merge: shards disagree on model library order");
+  }
+
+  out.models.resize(first.size());
+  double occupancy_weight = 0.0;
+  for (std::size_t i : order) {
+    server::ScanResultWire& r = per_shard[i];
+    const ShardInfo& shard = m.shards[shard_indices[i]];
+    out.fuse_groups += r.fuse_groups;
+    out.fused_models += r.fused_models;
+    out.lane_occupancy += r.lane_occupancy * static_cast<double>(shard.residues);
+    occupancy_weight += static_cast<double>(shard.residues);
+    for (std::size_t mi = 0; mi < r.models.size(); ++mi) {
+      out.models[mi].model_name = r.models[mi].model_name;
+      for (pipeline::Hit& h : r.models[mi].hits) {
+        globalize_hit(h, shard.seq_base, m.total_sequences);
+        if (h.evalue <= report_evalue)
+          out.models[mi].hits.push_back(std::move(h));
+      }
+    }
+  }
+  if (occupancy_weight > 0.0) out.lane_occupancy /= occupancy_weight;
+  for (server::ScanModelHits& mh : out.models) sort_hits(mh.hits);
+  return out;
+}
+
+}  // namespace finehmm::cluster

@@ -1,0 +1,55 @@
+// The scatter-gather merge: combine per-shard results into one result
+// bit-identical to an unsharded single-daemon scan (docs/cluster.md).
+//
+// Why bit-identity is achievable at all: every per-sequence score in the
+// pipeline (MSV/Viterbi/Forward bits, bias, P-value) depends only on the
+// query profile and that one sequence — CUDAMPF++'s database-partition
+// independence.  The only database-global quantity is the E-value,
+// E = p * Z, one IEEE-754 multiply.  So:
+//
+//   * each shard scores with z_override = cluster-total Z, making its
+//     E-values AND its `E <= report threshold` filter decisions exactly
+//     those of the unsharded scan restricted to its range;
+//   * the merge re-bases seq_index by the shard's manifest seq_base,
+//     re-applies E = p * Z once (the same multiply — bitwise a no-op for
+//     a well-behaved shard, a correction for a legacy one), re-filters
+//     at the request threshold, and re-sorts by the pipeline's total
+//     order (evalue, seq_index);
+//   * stage statistics are sums of disjoint ranges, so integer n_in /
+//     n_passed match exactly and cells sums are the same values the
+//     unsharded sweep adds (summed in shard order).
+//
+// The merge is deterministic in the shard results alone — arrival order
+// never matters.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/shard_map.hpp"
+#include "server/protocol.hpp"
+
+namespace finehmm::cluster {
+
+/// Merge SEARCH results.  `shard_indices[i]` names the manifest shard
+/// that produced `per_shard[i]` (a degraded merge passes the survivors
+/// only); the result's degraded flag is set when any shard is missing.
+/// `report_evalue` is the request threshold, re-applied after the Z
+/// correction.
+server::SearchResultWire merge_search_results(
+    std::vector<server::SearchResultWire> per_shard,
+    const std::vector<std::size_t>& shard_indices, const ShardManifest& m,
+    double report_evalue);
+
+/// Merge SCAN results (per-model hit lists).  Every shard scans the same
+/// resident model library, so the model lists must agree in names and
+/// order; throws Error on skew (a mis-deployed shard must not produce a
+/// silently wrong merge).  fuse_groups / fused_models sum over shards
+/// and lane_occupancy is their cell-weighted mean — they describe the
+/// union of the shard sweeps.
+server::ScanResultWire merge_scan_results(
+    std::vector<server::ScanResultWire> per_shard,
+    const std::vector<std::size_t>& shard_indices, const ShardManifest& m,
+    double report_evalue);
+
+}  // namespace finehmm::cluster

@@ -1,0 +1,289 @@
+#include "cluster/shard_map.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace finehmm::cluster {
+
+std::size_t length_bucket(std::size_t length) {
+  std::size_t b = 0;
+  while (b + 1 < kLengthBuckets && length > kLengthBucketEdges[b]) ++b;
+  return b;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> plan_shard_ranges(
+    const std::vector<std::uint32_t>& lengths, std::size_t n_shards) {
+  FH_REQUIRE(n_shards >= 1, "need at least one shard");
+  FH_REQUIRE(n_shards <= lengths.size(),
+             "more shards than sequences: every shard must be non-empty");
+  std::uint64_t total = 0;
+  for (std::uint32_t len : lengths) total += len;
+
+  // Cut shard k at the first index where the running residue total
+  // reaches (k+1)/n of the grand total, while leaving enough sequences
+  // for the remaining shards to be non-empty.  Integer arithmetic only:
+  // the plan must be identical on every host.
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  ranges.reserve(n_shards);
+  std::uint64_t running = 0;
+  std::size_t begin = 0;
+  for (std::size_t k = 0; k < n_shards; ++k) {
+    const std::uint64_t target = total / n_shards * (k + 1) +
+                                 total % n_shards * (k + 1) / n_shards;
+    std::size_t end = begin;
+    const std::size_t reserve_tail = n_shards - k - 1;  // shards after this
+    if (k + 1 == n_shards) {
+      end = lengths.size();
+    } else {
+      while (end < lengths.size() - reserve_tail &&
+             (end == begin || running < target)) {
+        running += lengths[end];
+        ++end;
+      }
+    }
+    ranges.emplace_back(begin, end);
+    begin = end;
+  }
+  return ranges;
+}
+
+// --- Minimal JSON ------------------------------------------------------
+//
+// The manifest is the repo's own format, so this parser covers exactly
+// the JSON subset the writer emits (objects, arrays, strings, unsigned
+// integers) and rejects everything else loudly — same philosophy as the
+// wire protocol's bounds-checked Reader: never trust input, fail with a
+// message instead of misparsing.
+
+namespace {
+
+struct Json {
+  enum Kind { kNull, kNum, kStr, kArr, kObj };
+  Kind kind = kNull;
+  std::uint64_t num = 0;
+  std::string str;
+  std::vector<Json> arr;
+  std::vector<std::pair<std::string, Json>> obj;
+
+  const Json& at(const std::string& key) const {
+    for (const auto& [k, v] : obj)
+      if (k == key) return v;
+    throw Error("manifest: missing key '" + key + "'");
+  }
+  std::uint64_t as_num(const char* what) const {
+    if (kind != kNum) throw Error(std::string("manifest: ") + what +
+                                  " is not an unsigned integer");
+    return num;
+  }
+  const std::string& as_str(const char* what) const {
+    if (kind != kStr)
+      throw Error(std::string("manifest: ") + what + " is not a string");
+    return str;
+  }
+};
+
+struct Cursor {
+  const char* p;
+  const char* end;
+
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r'))
+      ++p;
+  }
+  char peek() {
+    skip_ws();
+    if (p >= end) throw Error("manifest: truncated JSON");
+    return *p;
+  }
+  void expect(char c) {
+    if (peek() != c)
+      throw Error(std::string("manifest: expected '") + c + "', got '" +
+                  *p + "'");
+    ++p;
+  }
+  std::string string() {
+    expect('"');
+    std::string s;
+    while (p < end && *p != '"') {
+      char c = *p++;
+      if (c == '\\') {
+        if (p >= end) throw Error("manifest: truncated escape");
+        char esc = *p++;
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          default:
+            throw Error(std::string("manifest: unsupported escape \\") + esc);
+        }
+      }
+      s.push_back(c);
+    }
+    if (p >= end) throw Error("manifest: unterminated string");
+    ++p;  // closing quote
+    return s;
+  }
+  Json value() {
+    Json v;
+    const char c = peek();
+    if (c == '{') {
+      ++p;
+      v.kind = Json::kObj;
+      if (peek() == '}') {
+        ++p;
+        return v;
+      }
+      for (;;) {
+        std::string key = string();
+        expect(':');
+        v.obj.emplace_back(std::move(key), value());
+        const char next = peek();
+        ++p;
+        if (next == '}') return v;
+        if (next != ',') throw Error("manifest: expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++p;
+      v.kind = Json::kArr;
+      if (peek() == ']') {
+        ++p;
+        return v;
+      }
+      for (;;) {
+        v.arr.push_back(value());
+        const char next = peek();
+        ++p;
+        if (next == ']') return v;
+        if (next != ',') throw Error("manifest: expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      v.kind = Json::kStr;
+      v.str = string();
+      return v;
+    }
+    if (c >= '0' && c <= '9') {
+      v.kind = Json::kNum;
+      while (p < end && *p >= '0' && *p <= '9') {
+        const std::uint64_t digit = static_cast<std::uint64_t>(*p - '0');
+        FH_REQUIRE(v.num <= (UINT64_MAX - digit) / 10,
+                   "manifest: integer overflows u64");
+        v.num = v.num * 10 + digit;
+        ++p;
+      }
+      if (p < end && (*p == '.' || *p == 'e' || *p == 'E'))
+        throw Error("manifest: only unsigned integers are accepted");
+      return v;
+    }
+    throw Error(std::string("manifest: unexpected character '") + c + "'");
+  }
+};
+
+void write_json_string(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+std::string write_manifest(const ShardManifest& m) {
+  std::ostringstream out;
+  out << "{\n  \"schema\": \"finehmm.shard_manifest.v1\",\n  \"source\": ";
+  write_json_string(out, m.source);
+  out << ",\n  \"total_sequences\": " << m.total_sequences
+      << ",\n  \"total_residues\": " << m.total_residues
+      << ",\n  \"length_bucket_edges\": [";
+  for (std::size_t i = 0; i + 1 < kLengthBuckets; ++i)
+    out << (i ? ", " : "") << kLengthBucketEdges[i];
+  out << "],\n  \"shards\": [";
+  for (std::size_t s = 0; s < m.shards.size(); ++s) {
+    const ShardInfo& sh = m.shards[s];
+    out << (s ? ",\n    {" : "\n    {") << "\"path\": ";
+    write_json_string(out, sh.path);
+    out << ", \"seq_base\": " << sh.seq_base
+        << ", \"sequences\": " << sh.sequences
+        << ", \"residues\": " << sh.residues << ", \"length_buckets\": [";
+    for (std::size_t b = 0; b < sh.length_buckets.size(); ++b)
+      out << (b ? ", " : "") << sh.length_buckets[b];
+    out << "]}";
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+ShardManifest parse_manifest(const std::string& json_text) {
+  Cursor cur{json_text.data(), json_text.data() + json_text.size()};
+  const Json root = cur.value();
+  cur.skip_ws();
+  if (cur.p != cur.end) throw Error("manifest: trailing bytes after JSON");
+  if (root.kind != Json::kObj) throw Error("manifest: root is not an object");
+
+  if (root.at("schema").as_str("schema") != "finehmm.shard_manifest.v1")
+    throw Error("manifest: unknown schema '" +
+                root.at("schema").as_str("schema") + "'");
+
+  ShardManifest m;
+  m.source = root.at("source").as_str("source");
+  m.total_sequences = root.at("total_sequences").as_num("total_sequences");
+  m.total_residues = root.at("total_residues").as_num("total_residues");
+
+  const Json& shards = root.at("shards");
+  if (shards.kind != Json::kArr || shards.arr.empty())
+    throw Error("manifest: 'shards' must be a non-empty array");
+
+  std::uint64_t next_base = 0;
+  std::uint64_t residues = 0;
+  for (const Json& j : shards.arr) {
+    if (j.kind != Json::kObj) throw Error("manifest: shard is not an object");
+    ShardInfo sh;
+    sh.path = j.at("path").as_str("path");
+    sh.seq_base = j.at("seq_base").as_num("seq_base");
+    sh.sequences = j.at("sequences").as_num("sequences");
+    sh.residues = j.at("residues").as_num("residues");
+    const Json& buckets = j.at("length_buckets");
+    if (buckets.kind != Json::kArr || buckets.arr.size() != kLengthBuckets)
+      throw Error("manifest: length_buckets must have " +
+                  std::to_string(kLengthBuckets) + " entries");
+    for (const Json& b : buckets.arr)
+      sh.length_buckets.push_back(b.as_num("length_buckets entry"));
+    if (sh.sequences == 0) throw Error("manifest: empty shard");
+    if (sh.seq_base != next_base)
+      throw Error("manifest: shard ranges do not tile [0, total): expected "
+                  "seq_base " +
+                  std::to_string(next_base) + ", got " +
+                  std::to_string(sh.seq_base));
+    next_base += sh.sequences;
+    residues += sh.residues;
+    m.shards.push_back(std::move(sh));
+  }
+  if (next_base != m.total_sequences)
+    throw Error("manifest: shard sequence counts sum to " +
+                std::to_string(next_base) + ", not total_sequences " +
+                std::to_string(m.total_sequences));
+  if (residues != m.total_residues)
+    throw Error("manifest: shard residue counts sum to " +
+                std::to_string(residues) + ", not total_residues " +
+                std::to_string(m.total_residues));
+  return m;
+}
+
+ShardManifest read_manifest_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open manifest: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!in.good() && !in.eof())
+    throw IoError("failed reading manifest: " + path);
+  return parse_manifest(buf.str());
+}
+
+}  // namespace finehmm::cluster

@@ -1,0 +1,72 @@
+// Shard manifests for a sharded finehmmd cluster (docs/cluster.md).
+//
+// tools/fsqdb_shard splits one .fsqdb into N contiguous-range shard
+// files and writes a JSON manifest describing the split; the coordinator
+// (cluster_client/coordinator) reads the manifest to learn each shard's
+// global sequence base (for merging hit indices) and the cluster totals
+// (the Z every shard must score against).
+//
+// Sharding policy: contiguous index ranges, cut so each shard carries a
+// near-equal share of TOTAL RESIDUES, not of sequence count.  Sweep cost
+// is ~M*L cells per sequence with M fixed per query, so residues are the
+// cell-accurate load measure — a shard of many short sequences and a
+// shard of few long ones cost the same wall time.  Contiguity keeps the
+// global index recoverable as `seq_base + local_index`, which is what
+// lets the merge re-sort deterministically.  Each shard also records a
+// length-bucket histogram (the same log2 bucketing the fuse tuner uses)
+// so operators can see skew at a glance.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace finehmm::cluster {
+
+/// Length-bucket histogram shape: bucket b counts sequences with
+/// L <= kLengthBucketEdges[b]; the last bucket is unbounded.
+inline constexpr std::uint32_t kLengthBucketEdges[] = {64,   128,  256, 512,
+                                                      1024, 2048, 4096};
+inline constexpr std::size_t kLengthBuckets =
+    sizeof(kLengthBucketEdges) / sizeof(kLengthBucketEdges[0]) + 1;
+
+std::size_t length_bucket(std::size_t length);
+
+struct ShardInfo {
+  std::string path;            // shard .fsqdb, relative to the manifest
+  std::uint64_t seq_base = 0;  // global index of the shard's sequence 0
+  std::uint64_t sequences = 0;
+  std::uint64_t residues = 0;
+  std::vector<std::uint64_t> length_buckets;  // kLengthBuckets counts
+};
+
+struct ShardManifest {
+  std::string source;  // the unsharded .fsqdb this split came from
+  std::uint64_t total_sequences = 0;
+  std::uint64_t total_residues = 0;
+  std::vector<ShardInfo> shards;
+};
+
+/// Plan contiguous [begin, end) shard ranges over a database with the
+/// given per-sequence lengths, balancing cumulative residues: shard k
+/// ends at the first index where the running residue total reaches
+/// (k+1)/n of the grand total.  Every shard is non-empty when
+/// n_shards <= lengths.size(); throws Error otherwise (an empty shard
+/// would serve no purpose and complicates Z accounting).
+std::vector<std::pair<std::size_t, std::size_t>> plan_shard_ranges(
+    const std::vector<std::uint32_t>& lengths, std::size_t n_shards);
+
+/// Serialize a manifest as "finehmm.shard_manifest.v1" JSON.
+std::string write_manifest(const ShardManifest& m);
+
+/// Parse manifest JSON; throws finehmm::Error on anything malformed
+/// (wrong schema tag, missing fields, shard ranges that do not tile
+/// [0, total_sequences), totals that do not add up).
+ShardManifest parse_manifest(const std::string& json_text);
+
+/// Read + parse a manifest file (throws IoError / Error).
+ShardManifest read_manifest_file(const std::string& path);
+
+}  // namespace finehmm::cluster

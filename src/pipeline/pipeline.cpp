@@ -556,7 +556,7 @@ SearchResult HmmSearch::run_cpu_overlapped(ScanSource src,
       bias_nats = null2_correction(prof_, trace, codes);
     float bits = hmm::nats_to_bits(raw - bias_nats, static_cast<int>(L));
     double p = stats_.fwd_pvalue(bits);
-    double e = stats::evalue(p, n);
+    double e = stats::evalue(p, n, thr_.z_override);
     if (e <= thr_.report_evalue) {
       slot.reported = 1;
       slot.fwd_bits = bits;
@@ -715,8 +715,13 @@ SearchResult HmmSearch::run_cpu_overlapped(ScanSource src,
     out.hits.push_back(std::move(h));
     ++out.fwd.n_passed;
   }
-  std::sort(out.hits.begin(), out.hits.end(),
-            [](const Hit& a, const Hit& b) { return a.evalue < b.evalue; });
+  // (evalue, seq_index) is a total order, so the hit list is a pure
+  // function of the hit set — a cluster coordinator merging shard hits
+  // re-sorts by the same key and reproduces this order byte-for-byte.
+  std::sort(out.hits.begin(), out.hits.end(), [](const Hit& a, const Hit& b) {
+    return a.evalue != b.evalue ? a.evalue < b.evalue
+                                : a.seq_index < b.seq_index;
+  });
   // Stages overlap by design, so no per-stage wall clock exists.  Each
   // worker banked its busy time per stage into its own clock slot; the
   // serial merge here is the per-stage time (racing threads never touch
@@ -1579,7 +1584,7 @@ void HmmSearch::forward_stage(ScanSource src,
 
     float bits = hmm::nats_to_bits(raw - bias_nats, static_cast<int>(L));
     double p = stats_.fwd_pvalue(bits);
-    double e = stats::evalue(p, src.size());
+    double e = stats::evalue(p, src.size(), thr_.z_override);
     if (e <= thr_.report_evalue) {
       Hit h;
       h.seq_index = s;
@@ -1609,8 +1614,13 @@ void HmmSearch::forward_stage(ScanSource src,
   // The decode share of the loop belongs to the bwd stage, not fwd.
   out.bwd.seconds = bwd_seconds;
   out.fwd.seconds = timer.seconds() - bwd_seconds;
-  std::sort(out.hits.begin(), out.hits.end(),
-            [](const Hit& a, const Hit& b) { return a.evalue < b.evalue; });
+  // (evalue, seq_index) is a total order, so the hit list is a pure
+  // function of the hit set — a cluster coordinator merging shard hits
+  // re-sorts by the same key and reproduces this order byte-for-byte.
+  std::sort(out.hits.begin(), out.hits.end(), [](const Hit& a, const Hit& b) {
+    return a.evalue != b.evalue ? a.evalue < b.evalue
+                                : a.seq_index < b.seq_index;
+  });
 }
 
 }  // namespace finehmm::pipeline

@@ -56,6 +56,12 @@ struct Thresholds {
   /// Run posterior decoding on reported hits and attach per-domain
   /// envelopes, scores and alignments (hmmsearch's domain table).
   bool define_domains = false;
+  /// Effective database size Z for E-values; 0 = the scanned database's
+  /// own sequence count.  A cluster shard holding 1/Nth of a sharded
+  /// database scores with the cluster-total Z here so its E-values (and
+  /// the e <= report_evalue filter) are bit-identical to an unsharded
+  /// scan of the whole database (docs/cluster.md).
+  std::uint64_t z_override = 0;
 };
 
 struct Hit {

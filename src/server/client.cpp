@@ -29,26 +29,30 @@ RemoteResult BlockingClient::search(std::uint32_t db_id,
 RemoteResult BlockingClient::search_pressed(std::uint32_t db_id,
                                             const std::string& model_name,
                                             double evalue,
-                                            std::uint32_t deadline_ms) {
+                                            std::uint32_t deadline_ms,
+                                            std::uint64_t z_override) {
   SearchRequest req;
   req.db_id = db_id;
   req.model_kind = ModelRefKind::kPressed;
   req.model_name = model_name;
   req.evalue = evalue;
   req.deadline_ms = deadline_ms;
+  req.z_override = z_override;
   return roundtrip(req);
 }
 
 RemoteResult BlockingClient::search_blob(std::uint32_t db_id,
                                          std::vector<std::uint8_t> blob,
                                          double evalue,
-                                         std::uint32_t deadline_ms) {
+                                         std::uint32_t deadline_ms,
+                                         std::uint64_t z_override) {
   SearchRequest req;
   req.db_id = db_id;
   req.model_kind = ModelRefKind::kInline;
   req.model_blob = std::move(blob);
   req.evalue = evalue;
   req.deadline_ms = deadline_ms;
+  req.z_override = z_override;
   return roundtrip(req);
 }
 
@@ -85,11 +89,13 @@ RemoteResult BlockingClient::roundtrip(const SearchRequest& req) {
 }
 
 RemoteScanResult BlockingClient::scan(std::uint32_t db_id, double evalue,
-                                      std::uint32_t deadline_ms) {
+                                      std::uint32_t deadline_ms,
+                                      std::uint64_t z_override) {
   ScanRequest req;
   req.db_id = db_id;
   req.evalue = evalue;
   req.deadline_ms = deadline_ms;
+  req.z_override = z_override;
 
   RemoteScanResult out;
   const std::uint32_t id = next_id_++;
@@ -122,12 +128,21 @@ RemoteScanResult BlockingClient::scan(std::uint32_t db_id, double evalue,
   return out;
 }
 
-bool BlockingClient::ping() {
+bool BlockingClient::ping() { return ping_info().has_value(); }
+
+std::optional<PingInfo> BlockingClient::ping_info() {
   const std::uint32_t id = next_id_++;
-  if (!send_frame(*conn_, MsgType::kPing, id, {})) return false;
+  if (!send_frame(*conn_, MsgType::kPing, id, encode_ping(PingInfo{})))
+    return std::nullopt;
   Frame reply;
-  return recv_frame(*conn_, reply) == RecvStatus::kFrame &&
-         reply.type() == MsgType::kPong;
+  if (recv_frame(*conn_, reply) != RecvStatus::kFrame ||
+      reply.type() != MsgType::kPong)
+    return std::nullopt;
+  try {
+    return decode_ping(reply.payload);
+  } catch (const ProtocolError&) {
+    return std::nullopt;
+  }
 }
 
 std::optional<std::string> BlockingClient::stats_json() {

@@ -55,26 +55,38 @@ class BlockingClient {
                       double evalue = 10.0, std::uint32_t deadline_ms = 0);
 
   /// Search referencing a model pressed into the daemon's libraries.
+  /// z_override != 0 makes the daemon score E-values against that
+  /// effective database size instead of its resident one (the cluster
+  /// coordinator passes the cluster-total Z; docs/cluster.md).
   RemoteResult search_pressed(std::uint32_t db_id,
                               const std::string& model_name,
                               double evalue = 10.0,
-                              std::uint32_t deadline_ms = 0);
+                              std::uint32_t deadline_ms = 0,
+                              std::uint64_t z_override = 0);
 
   /// Raw variant: a pre-serialized hmm/binary_io blob.
   RemoteResult search_blob(std::uint32_t db_id,
                            std::vector<std::uint8_t> blob,
                            double evalue = 10.0,
-                           std::uint32_t deadline_ms = 0);
+                           std::uint32_t deadline_ms = 0,
+                           std::uint64_t z_override = 0);
 
   /// The SCAN verb: score resident database db_id against every model in
   /// the daemon's loaded .fhpdb libraries (one fused many-model sweep
   /// server-side; hits bit-identical to per-model SEARCHes).  The evalue
   /// can only tighten the daemon's resident E <= 10 threshold.
   RemoteScanResult scan(std::uint32_t db_id, double evalue = 10.0,
-                        std::uint32_t deadline_ms = 0);
+                        std::uint32_t deadline_ms = 0,
+                        std::uint64_t z_override = 0);
 
-  /// PING/PONG health check.
+  /// PING/PONG health check (sends this build's wire revision).
   bool ping();
+
+  /// PING returning the peer's handshake metadata (wire revision, node
+  /// role, shard id) — nullopt when the stream died or the peer rejected
+  /// the handshake (e.g. kVersionMismatch).  The cluster layer uses this
+  /// to verify each endpoint really is the shard it expects.
+  std::optional<PingInfo> ping_info();
 
   /// The STATS verb: the daemon's "finehmm.server_stats.v2" JSON
   /// (counters + latency histogram quantiles + recent request traces),

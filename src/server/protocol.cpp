@@ -139,7 +139,43 @@ pipeline::StageStats read_stage(Reader& r) {
   return s;
 }
 
+// Request-payload flags bits (encoder writes a bit only when the field
+// it gates is present, so legacy byte streams stay byte-identical).
+constexpr std::uint8_t kReqFlagZOverride = 0x1;
+constexpr std::uint32_t kScanFlagZOverride = 0x1;
+
 }  // namespace
+
+std::vector<std::uint8_t> encode_ping(const PingInfo& info) {
+  std::vector<std::uint8_t> out;
+  Writer w{out};
+  w.u16(info.wire_revision);
+  w.u8(static_cast<std::uint8_t>(info.role));
+  w.u8(0);  // reserved
+  w.u32(info.shard_id);
+  return out;
+}
+
+PingInfo decode_ping(const std::vector<std::uint8_t>& payload) {
+  PingInfo info;
+  if (payload.empty()) {
+    // Pre-cluster peers ping with an empty payload: legacy revision 1.
+    info.wire_revision = 1;
+    info.role = NodeRole::kStandalone;
+    info.shard_id = 0;
+    return info;
+  }
+  Reader r = reader(payload);
+  info.wire_revision = r.u16();
+  const std::uint8_t role = r.u8();
+  if (role > static_cast<std::uint8_t>(NodeRole::kCoordinator))
+    throw ProtocolError("unknown node role " + std::to_string(role));
+  info.role = static_cast<NodeRole>(role);
+  r.u8();  // reserved
+  info.shard_id = r.u32();
+  r.done();
+  return info;
+}
 
 void encode_header(const FrameHeader& h, std::uint8_t out[kFrameHeaderSize]) {
   out[0] = h.version;
@@ -176,10 +212,11 @@ std::vector<std::uint8_t> encode_search_request(const SearchRequest& req) {
   Writer w{out};
   w.u32(req.db_id);
   w.u8(static_cast<std::uint8_t>(req.model_kind));
-  w.u8(0);  // reserved flags
-  w.u16(0);
+  w.u8(req.z_override != 0 ? kReqFlagZOverride : 0);  // flags
+  w.u16(0);  // reserved
   w.f64(req.evalue);
   w.u32(req.deadline_ms);
+  if (req.z_override != 0) w.u64(req.z_override);
   if (req.model_kind == ModelRefKind::kPressed) {
     w.str(req.model_name);
   } else {
@@ -196,10 +233,18 @@ SearchRequest decode_search_request(const std::vector<std::uint8_t>& payload) {
   if (kind > static_cast<std::uint8_t>(ModelRefKind::kPressed))
     throw ProtocolError("unknown model reference kind " + std::to_string(kind));
   req.model_kind = static_cast<ModelRefKind>(kind);
-  r.u8();   // reserved flags
+  const std::uint8_t flags = r.u8();
+  if ((flags & ~kReqFlagZOverride) != 0)
+    throw ProtocolError("unknown search-request flags " +
+                        std::to_string(flags));
   r.u16();  // reserved
   req.evalue = r.f64();
   req.deadline_ms = r.u32();
+  if ((flags & kReqFlagZOverride) != 0) {
+    req.z_override = r.u64();
+    if (req.z_override == 0)
+      throw ProtocolError("z_override flag set but Z is zero");
+  }
   if (req.model_kind == ModelRefKind::kPressed) {
     req.model_name = r.str();
     r.done();
@@ -236,6 +281,9 @@ std::vector<std::uint8_t> encode_search_result(const SearchResultWire& res) {
     w.f64(h.pvalue);
     w.f64(h.evalue);
   }
+  // Optional trailing flags byte: omitted when zero so an undegraded
+  // result's bytes are unchanged from wire revision 1.
+  if (res.flags != 0) w.u8(res.flags);
   return out;
 }
 
@@ -265,6 +313,12 @@ SearchResultWire decode_search_result(
     h.evalue = r.f64();
     res.hits.push_back(std::move(h));
   }
+  if (r.remaining != 0) {
+    res.flags = r.u8();
+    if (res.flags == 0 || (res.flags & ~kResultDegraded) != 0)
+      throw ProtocolError("unknown result flags " +
+                          std::to_string(res.flags));
+  }
   r.done();
   return res;
 }
@@ -273,9 +327,10 @@ std::vector<std::uint8_t> encode_scan_request(const ScanRequest& req) {
   std::vector<std::uint8_t> out;
   Writer w{out};
   w.u32(req.db_id);
-  w.u32(0);  // reserved flags
+  w.u32(req.z_override != 0 ? kScanFlagZOverride : 0);  // flags
   w.f64(req.evalue);
   w.u32(req.deadline_ms);
+  if (req.z_override != 0) w.u64(req.z_override);
   return out;
 }
 
@@ -283,9 +338,16 @@ ScanRequest decode_scan_request(const std::vector<std::uint8_t>& payload) {
   Reader r = reader(payload);
   ScanRequest req;
   req.db_id = r.u32();
-  r.u32();  // reserved flags
+  const std::uint32_t flags = r.u32();
+  if ((flags & ~kScanFlagZOverride) != 0)
+    throw ProtocolError("unknown scan-request flags " + std::to_string(flags));
   req.evalue = r.f64();
   req.deadline_ms = r.u32();
+  if ((flags & kScanFlagZOverride) != 0) {
+    req.z_override = r.u64();
+    if (req.z_override == 0)
+      throw ProtocolError("z_override flag set but Z is zero");
+  }
   r.done();
   return req;
 }
@@ -335,6 +397,7 @@ std::vector<std::uint8_t> encode_scan_result(const ScanResultWire& res) {
     w.u32(static_cast<std::uint32_t>(m.hits.size()));
     for (const pipeline::Hit& h : m.hits) write_hit(w, h);
   }
+  if (res.flags != 0) w.u8(res.flags);  // optional trailing flags byte
   return out;
 }
 
@@ -356,6 +419,12 @@ ScanResultWire decode_scan_result(const std::vector<std::uint8_t>& payload) {
     mh.hits.reserve(std::min<std::size_t>(n_hits, 1024));
     for (std::uint32_t i = 0; i < n_hits; ++i) mh.hits.push_back(read_hit(r));
     res.models.push_back(std::move(mh));
+  }
+  if (r.remaining != 0) {
+    res.flags = r.u8();
+    if (res.flags == 0 || (res.flags & ~kResultDegraded) != 0)
+      throw ProtocolError("unknown result flags " +
+                          std::to_string(res.flags));
   }
   r.done();
   return res;

@@ -27,6 +27,14 @@
 namespace finehmm::server {
 
 inline constexpr std::uint8_t kProtocolVersion = 1;
+/// Application-level wire revision, carried in the PING/PONG handshake
+/// (PingInfo).  The frame-header version byte pins the *framing* layer
+/// and stays at 1; this revision pins the *payload* encodings, which
+/// gained optional fields (z_override, result flags) for the cluster
+/// layer.  Peers that decode revision-2 payloads with revision-1 code
+/// would misparse silently, so the handshake rejects mismatches with a
+/// structured kVersionMismatch ERROR instead (docs/cluster.md).
+inline constexpr std::uint16_t kWireRevision = 2;
 inline constexpr std::size_t kFrameHeaderSize = 10;
 /// Hard payload bound: a model blob is a few MB at most; anything larger
 /// is a corrupt or hostile frame.
@@ -40,8 +48,8 @@ class ProtocolError : public Error {
 };
 
 enum class MsgType : std::uint8_t {
-  kPing = 1,         // client -> server, empty payload
-  kPong = 2,         // server -> client, empty payload
+  kPing = 1,         // client -> server, PingInfo payload (empty = legacy)
+  kPong = 2,         // server -> client, PingInfo payload (empty = legacy)
   kSearch = 3,       // client -> server, SearchRequest payload
   kResult = 4,       // server -> client, SearchResultWire payload
   kError = 5,        // server -> client, ErrorInfo payload
@@ -60,7 +68,30 @@ enum class ErrorCode : std::uint16_t {
   kDeadlineExpired = 4,  // request sat queued past its deadline
   kShuttingDown = 5,     // daemon is draining; retry elsewhere
   kInternal = 6,         // scan failed server-side
+  kVersionMismatch = 7,  // peer's wire revision is incompatible (PingInfo)
 };
+
+/// What a node is, carried in the PING/PONG handshake so a coordinator
+/// can refuse to scatter onto another coordinator (or vice versa) and so
+/// operators can see topology from any client.
+enum class NodeRole : std::uint8_t {
+  kStandalone = 0,   // a plain finehmmd
+  kShard = 1,        // a finehmmd serving one shard of a sharded database
+  kCoordinator = 2,  // a finehmm_clusterd scatter-gather front end
+};
+
+/// PING/PONG payload.  An empty payload decodes as a revision-1 legacy
+/// peer (the pre-cluster protocol sent empty pings), which lets the
+/// handshake detect old binaries and answer kVersionMismatch instead of
+/// misdecoding their frames later.
+struct PingInfo {
+  std::uint16_t wire_revision = kWireRevision;
+  NodeRole role = NodeRole::kStandalone;
+  std::uint32_t shard_id = 0;  // meaningful for kShard only
+};
+
+std::vector<std::uint8_t> encode_ping(const PingInfo& info);
+PingInfo decode_ping(const std::vector<std::uint8_t>& payload);
 
 struct FrameHeader {
   std::uint8_t version = kProtocolVersion;
@@ -93,6 +124,13 @@ struct SearchRequest {
   ModelRefKind model_kind = ModelRefKind::kInline;
   double evalue = 10.0;          // report threshold
   std::uint32_t deadline_ms = 0; // 0 = no deadline
+  /// Effective database size Z for E-value computation; 0 = use the
+  /// resident database's own sequence count.  A cluster coordinator sets
+  /// this to the cluster-total sequence count so every shard scores
+  /// against the same Z and the merged E-values are bit-identical to an
+  /// unsharded scan (docs/cluster.md).  Encoded behind a flags bit, so a
+  /// zero override leaves the revision-1 byte stream unchanged.
+  std::uint64_t z_override = 0;
   std::string model_name;        // kPressed only
   std::vector<std::uint8_t> model_blob;  // kInline only
 };
@@ -113,7 +151,14 @@ struct SearchResultWire {
   std::uint64_t db_residues = 0;
   pipeline::StageStats ssv, msv, vit, fwd, bwd;  // seconds not carried (= 0)
   std::vector<pipeline::Hit> hits;          // alignments/domains empty
+  /// Result flags (kResultDegraded).  Encoded as an optional trailing
+  /// byte only when nonzero, so a clean result's bytes are unchanged
+  /// from wire revision 1.
+  std::uint8_t flags = 0;
 };
+
+/// SearchResultWire/ScanResultWire flags bits.
+inline constexpr std::uint8_t kResultDegraded = 0x1;  // >=1 shard missing
 
 std::vector<std::uint8_t> encode_search_result(const SearchResultWire& res);
 SearchResultWire decode_search_result(const std::vector<std::uint8_t>& payload);
@@ -128,6 +173,13 @@ struct ScanRequest {
   std::uint32_t db_id = 0;
   double evalue = 10.0;          // report threshold (<= the resident 10.0)
   std::uint32_t deadline_ms = 0; // 0 = no deadline
+  /// Effective database size Z for E-value computation; 0 = shard-local.
+  /// The resident sweep scores at the shard-local Z; when set, the
+  /// daemon recomputes each reported hit's E-value from its P-value as
+  /// p * z_override before applying the request threshold — bit-identical
+  /// to scoring against Z directly, since both are the same one multiply
+  /// (docs/cluster.md).  Encoded behind a flags bit like SearchRequest's.
+  std::uint64_t z_override = 0;
 };
 
 std::vector<std::uint8_t> encode_scan_request(const ScanRequest& req);
@@ -147,6 +199,7 @@ struct ScanResultWire {
   std::uint64_t fused_models = 0;  // models scored via fused groups
   double lane_occupancy = 0.0;     // cell-weighted mean, 0..1
   std::vector<ScanModelHits> models;
+  std::uint8_t flags = 0;          // kResultDegraded; optional trailing byte
 };
 
 std::vector<std::uint8_t> encode_scan_result(const ScanResultWire& res);

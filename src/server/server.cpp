@@ -7,6 +7,7 @@
 #include "cpu/simd_backend/backend.hpp"
 #include "cpu/simd_backend/simd_tier.hpp"
 #include "obs/log.hpp"
+#include "stats/distributions.hpp"
 
 namespace finehmm::server {
 
@@ -205,9 +206,35 @@ void SearchServer::handle_connection(const std::shared_ptr<Session>& session) {
       break;
     }
     switch (frame.type()) {
-      case MsgType::kPing:
-        send_reply(*session, MsgType::kPong, frame.header.request_id, {});
+      case MsgType::kPing: {
+        // Revision handshake (docs/cluster.md): the PING payload carries
+        // the peer's wire revision; an incompatible peer would misparse
+        // the optional cluster fields, so reject it here with a
+        // structured error instead of failing on a later frame.
+        PingInfo peer;
+        try {
+          peer = decode_ping(frame.payload);
+        } catch (const ProtocolError& e) {
+          send_error(*session, frame.header.request_id, ErrorCode::kBadRequest,
+                     e.what());
+          break;
+        }
+        if (peer.wire_revision != kWireRevision) {
+          send_error(*session, frame.header.request_id,
+                     ErrorCode::kVersionMismatch,
+                     "peer wire revision " +
+                         std::to_string(peer.wire_revision) +
+                         " incompatible with " +
+                         std::to_string(kWireRevision));
+          break;
+        }
+        PingInfo self;
+        self.role = cfg_.role;
+        self.shard_id = cfg_.shard_id;
+        send_reply(*session, MsgType::kPong, frame.header.request_id,
+                   encode_ping(self));
         break;
+      }
       case MsgType::kStats: {
         const std::string json = stats_json();
         send_reply(*session, MsgType::kStatsResult, frame.header.request_id,
@@ -270,6 +297,7 @@ void SearchServer::handle_search(const std::shared_ptr<Session>& session,
 
   pipeline::Thresholds thr;
   thr.report_evalue = req.evalue;
+  thr.z_override = req.z_override;
 
   auto pending = std::make_shared<Pending>();
   pending->request_id = id;
@@ -387,6 +415,7 @@ void SearchServer::handle_scan(const std::shared_ptr<Session>& session,
   pending->db_id = req.db_id;
   pending->is_scan = true;
   pending->scan_evalue = req.evalue;
+  pending->scan_z_override = req.z_override;
   pending->session = session;
   if (req.deadline_ms > 0) {
     pending->has_deadline = true;
@@ -630,9 +659,23 @@ void SearchServer::run_scans(
       mh.model_name = scan_names_[m];
       // The resident library reports at E <= 10; a request's threshold
       // can only tighten.  Hits are E-value sorted, so this is a prefix.
+      //
+      // z_override (cluster shards): the resident sweep scored at the
+      // shard-local Z, but E = p * Z is one multiply, so recomputing
+      // from the carried P-value against the caller's Z is bit-identical
+      // to having scored with it.  The recomputed E is monotone in p,
+      // exactly like the resident E, so the prefix property holds.  The
+      // override Z >= local Z (a cluster is a superset of its shard), so
+      // the resident E <= 10 cut never hides a hit the caller wants.
       for (const pipeline::Hit& h : scan.per_model[m].hits) {
-        if (h.evalue > p->scan_evalue) break;
-        mh.hits.push_back(h);
+        const double e =
+            p->scan_z_override != 0
+                ? stats::evalue(h.pvalue, 0, p->scan_z_override)
+                : h.evalue;
+        if (e > p->scan_evalue) break;
+        pipeline::Hit adjusted = h;
+        adjusted.evalue = e;
+        mh.hits.push_back(std::move(adjusted));
       }
       wire.models.push_back(std::move(mh));
     }

@@ -85,6 +85,11 @@ struct ServerConfig {
   /// breakdown through the structured log at warn level, rate-limited.
   /// 0 disables the slow-request log.
   double slow_request_seconds = 0.0;
+  /// What this node is in a cluster topology, answered in the PONG
+  /// handshake so a coordinator can verify it is talking to a shard
+  /// worker (finehmmd --shard-id; docs/cluster.md).
+  NodeRole role = NodeRole::kStandalone;
+  std::uint32_t shard_id = 0;  // meaningful when role == kShard
 };
 
 /// Monotonic request/connection accounting ("finehmm.server_stats.v2").
@@ -217,6 +222,7 @@ class SearchServer {
     std::shared_ptr<pipeline::HmmSearch> search;
     bool is_scan = false;
     double scan_evalue = 10.0;
+    std::uint64_t scan_z_override = 0;  // 0 = shard-local Z
     bool has_deadline = false;
     std::chrono::steady_clock::time_point deadline;
     std::shared_ptr<Session> session;

@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -58,6 +59,18 @@ struct ExponentialTail {
 /// E-value = P-value * database size.
 inline double evalue(double pvalue, std::size_t db_size) {
   return pvalue * static_cast<double>(db_size);
+}
+
+/// E-value against an externally supplied effective database size: when
+/// `z_override` is nonzero it replaces `db_size` as the Z multiplier.
+/// A cluster shard scoring 1/Nth of the database passes the cluster
+/// total here, so shard E-values are bit-identical to the unsharded
+/// scan's — both are the same single multiply (docs/cluster.md).
+inline double evalue(double pvalue, std::size_t db_size,
+                     std::uint64_t z_override) {
+  return evalue(pvalue, z_override != 0
+                            ? static_cast<std::size_t>(z_override)
+                            : db_size);
 }
 
 /// Kolmogorov-Smirnov goodness of fit (one-sample, fully specified null).

@@ -13,6 +13,10 @@
 //   --max-batch <n>  most requests per coalesced sweep (default 16)
 //   --window-ms <n>  coalesce gather window in milliseconds (default 2)
 //   --models <f>     load a pressed model library (.fhpdb); repeatable
+//   --shard-id <n>   announce role "shard" with this id in the PONG
+//                    handshake (the daemon serves shard n of a sharded
+//                    database; docs/cluster.md).  Coordinators started
+//                    with require_shard_role refuse workers without it.
 //   --pid-file <f>   write the daemon pid to f (removed on clean exit)
 //   --metrics-port <n>  serve HTTP /metrics, /healthz, /statusz on this
 //                    port (0 = ephemeral; printed as "finehmmd: metrics
@@ -56,7 +60,7 @@ void usage() {
                "usage: finehmmd [--host addr] [--port n] [--threads n] "
                "[--queue n] [--max-batch n]\n"
                "                [--window-ms n] [--models lib.fhpdb]... "
-               "[--pid-file f]\n"
+               "[--shard-id n] [--pid-file f]\n"
                "                [--metrics-port n] [--slow-ms n] "
                "[--log level] <db.fsqdb>...\n");
 }
@@ -90,6 +94,9 @@ int main(int argc, char** argv) {
       cfg.coalesce_window_ms = static_cast<std::uint32_t>(std::atoi(argv[++i]));
     } else if (arg == "--models" && i + 1 < argc) {
       model_paths.push_back(argv[++i]);
+    } else if (arg == "--shard-id" && i + 1 < argc) {
+      cfg.role = server::NodeRole::kShard;
+      cfg.shard_id = static_cast<std::uint32_t>(std::atoi(argv[++i]));
     } else if (arg == "--pid-file" && i + 1 < argc) {
       pid_file = argv[++i];
     } else if (arg == "--metrics-port" && i + 1 < argc) {

@@ -1,0 +1,121 @@
+// fsqdb_shard — split one .fsqdb into N shard files plus a manifest
+// (docs/cluster.md).
+//
+// Usage:
+//   fsqdb_shard --shards <n> --out <dir> [--prefix name] <db.fsqdb>
+//
+// Shards are contiguous index ranges balanced by total residues (the
+// cell-accurate load measure: sweep cost is ~M*L per sequence), planned
+// by cluster::plan_shard_ranges with integer arithmetic only, so the
+// same input always yields the same split on every host.  The manifest
+// ("finehmm.shard_manifest.v1") records each shard's global seq_base,
+// counts, and a length-bucket histogram; shard paths in the manifest are
+// relative to the manifest file, so the whole directory is relocatable.
+//
+// Exit codes follow examples/tool_exit.hpp.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bio/seq_db_io.hpp"
+#include "bio/sequence.hpp"
+#include "cluster/shard_map.hpp"
+#include "tool_exit.hpp"
+
+using namespace finehmm;
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: fsqdb_shard --shards n --out dir [--prefix name] "
+               "<db.fsqdb>\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t n_shards = 0;
+  std::string out_dir;
+  std::string prefix = "shard";
+  std::string db_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--shards" && i + 1 < argc) {
+      n_shards = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (arg == "--prefix" && i + 1 < argc) {
+      prefix = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage();
+      return tools::kBadArgs;
+    } else if (db_path.empty()) {
+      db_path = arg;
+    } else {
+      usage();
+      return tools::kBadArgs;
+    }
+  }
+  if (n_shards == 0 || out_dir.empty() || db_path.empty()) {
+    usage();
+    return tools::kBadArgs;
+  }
+
+  try {
+    const bio::SequenceDatabase db = bio::read_seq_db_file(db_path);
+    std::vector<std::uint32_t> lengths;
+    lengths.reserve(db.size());
+    for (const bio::Sequence& s : db)
+      lengths.push_back(static_cast<std::uint32_t>(s.length()));
+
+    const auto ranges = cluster::plan_shard_ranges(lengths, n_shards);
+
+    cluster::ShardManifest manifest;
+    manifest.source = db_path;
+    manifest.total_sequences = db.size();
+    manifest.total_residues = db.total_residues();
+
+    for (std::size_t k = 0; k < ranges.size(); ++k) {
+      const auto [begin, end] = ranges[k];
+      bio::SequenceDatabase shard_db;
+      shard_db.reserve(end - begin);
+      cluster::ShardInfo info;
+      info.path = prefix + "." + std::to_string(k) + ".fsqdb";
+      info.seq_base = begin;
+      info.sequences = end - begin;
+      info.length_buckets.assign(cluster::kLengthBuckets, 0);
+      for (std::size_t i = begin; i < end; ++i) {
+        info.residues += db[i].length();
+        ++info.length_buckets[cluster::length_bucket(db[i].length())];
+        shard_db.add(db[i]);
+      }
+      bio::write_seq_db_file(out_dir + "/" + info.path, shard_db);
+      std::printf("fsqdb_shard: %s  seqs=[%zu,%zu)  residues=%llu\n",
+                  info.path.c_str(), begin, end,
+                  static_cast<unsigned long long>(info.residues));
+      manifest.shards.push_back(std::move(info));
+    }
+
+    const std::string manifest_path = out_dir + "/" + prefix + ".manifest.json";
+    {
+      std::ofstream out(manifest_path, std::ios::binary);
+      if (!out) throw IoError("cannot open manifest for write: " +
+                              manifest_path);
+      out << cluster::write_manifest(manifest);
+      if (!out.good()) throw IoError("failed writing manifest: " +
+                                     manifest_path);
+    }
+    std::printf("fsqdb_shard: wrote %zu shards + %s (%llu sequences, %llu "
+                "residues)\n",
+                ranges.size(), manifest_path.c_str(),
+                static_cast<unsigned long long>(manifest.total_sequences),
+                static_cast<unsigned long long>(manifest.total_residues));
+  } catch (const std::exception& e) {
+    return tools::report_exception(e);
+  }
+  return tools::kOk;
+}
